@@ -1,0 +1,208 @@
+//! `acfc` — the Auto-CFD pre-compiler command line.
+//!
+//! ```text
+//! acfc INPUT.f [options]
+//!
+//!   --procs N            target processor count (partition chosen automatically)
+//!   --partition AxB[xC]  explicit processor grid (e.g. 3x2x1)
+//!   --no-optimize        skip the §5 synchronization optimizations
+//!   --emit FILE          write the generated parallel Fortran ('-' = stdout)
+//!   --report             print the synchronization-optimization report
+//!   --run                execute the parallel program on rank-threads
+//!   --verify             run sequential + parallel and compare owned regions
+//! ```
+//!
+//! Example:
+//! `cargo run -p autocfd --bin acfc -- program.f --partition 4x1 --report --verify`
+
+use autocfd::{compile, CompileOptions};
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    opts: CompileOptions,
+    emit: Option<String>,
+    report: bool,
+    analysis: bool,
+    profile: bool,
+    run: bool,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut input = None;
+    let mut opts = CompileOptions {
+        optimize: true,
+        ..Default::default()
+    };
+    let mut emit = None;
+    let mut report = false;
+    let mut analysis = false;
+    let mut profile = false;
+    let mut run = false;
+    let mut verify = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--procs" => {
+                let v = args.next().ok_or("--procs needs a value")?;
+                opts.procs = Some(v.parse().map_err(|_| format!("bad proc count `{v}`"))?);
+            }
+            "--partition" => {
+                let v = args.next().ok_or("--partition needs a value like 4x1x1")?;
+                let parts: Result<Vec<u32>, _> = v.split('x').map(str::parse).collect();
+                opts.partition = Some(parts.map_err(|_| format!("bad partition `{v}`"))?);
+            }
+            "--distance" => {
+                let v = args.next().ok_or("--distance needs a value")?;
+                opts.distance = Some(v.parse().map_err(|_| format!("bad distance `{v}`"))?);
+            }
+            "--no-optimize" => opts.optimize = false,
+            "--emit" => emit = Some(args.next().ok_or("--emit needs a path or -")?),
+            "--report" => report = true,
+            "--analysis" => analysis = true,
+            "--profile" => profile = true,
+            "--run" => run = true,
+            "--verify" => verify = true,
+            "--help" | "-h" => {
+                return Err("usage: acfc INPUT.f [--procs N | --partition AxB[xC]] \
+                            [--distance D] [--no-optimize] [--emit FILE|-] [--report] \
+                            [--analysis] [--profile] [--run] [--verify]"
+                    .into())
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(a),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("no input file (try --help)")?,
+        opts,
+        emit,
+        report,
+        analysis,
+        profile,
+        run,
+        verify,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("acfc: cannot read `{}`: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compile(&source, &args.opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "acfc: partition {} ({} subtasks), {} -> {} synchronizations ({:.1}% reduction)",
+        compiled.partition.spec.display(),
+        compiled.partition.spec.tasks(),
+        compiled.sync_plan.stats.before,
+        compiled.sync_plan.stats.after,
+        compiled.sync_plan.stats.reduction_pct(),
+    );
+
+    if args.analysis {
+        eprint!("{}", autocfd::ir::report_program(&compiled.ir));
+        // S_LDP: the dependency-pair sets of §4.2
+        for (unit, sldp) in &compiled.sync_plan.sldp {
+            for pair in &sldp.pairs {
+                let arrays: Vec<String> = pair
+                    .deps
+                    .iter()
+                    .map(|(a, d)| format!("{a}{:?}", d.ghost))
+                    .collect();
+                let kind = if pair.is_self_dependent() {
+                    "self-dependent"
+                } else if pair.wraps {
+                    "wrap-around"
+                } else {
+                    "forward"
+                };
+                eprintln!(
+                    "S_LDP `{unit}`: {} -> {} ({kind}) deps {}",
+                    pair.l_a,
+                    pair.l_r,
+                    arrays.join(" ")
+                );
+            }
+        }
+    }
+
+    if args.report {
+        for (k, pt) in compiled.sync_plan.sync_points.iter().enumerate() {
+            let arrays: Vec<&str> = pt.deps.keys().map(String::as_str).collect();
+            eprintln!(
+                "  sync {k}: unit `{}`, merged {} region(s), ships {arrays:?}",
+                pt.unit, pt.merged
+            );
+        }
+        for (unit, pairs) in &compiled.sync_plan.self_pairs {
+            for p in pairs {
+                eprintln!(
+                    "  self-dependent loop {} in `{unit}` (mirror-image/pipeline)",
+                    p.l_a
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &args.emit {
+        let out = compiled.parallel_source();
+        if path == "-" {
+            print!("{out}");
+        } else if let Err(e) = std::fs::write(path, out) {
+            eprintln!("acfc: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.verify {
+        match compiled.verify(vec![], 1e-12) {
+            Ok(d) => eprintln!("acfc: verified — max |seq - par| = {d:e}"),
+            Err(e) => {
+                eprintln!("acfc: VERIFICATION FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.run || args.profile {
+        match compiled.run_parallel(vec![]) {
+            Ok(ranks) => {
+                for line in &ranks[0].machine.output {
+                    println!("{line}");
+                }
+                if args.profile {
+                    let traces: Vec<_> = ranks.iter().map(|r| r.trace.clone()).collect();
+                    eprint!("{}", autocfd::runtime::render_timeline(&traces, 72));
+                    for (r, rank) in ranks.iter().enumerate() {
+                        let (n, wait, elems) = autocfd::runtime::summarize(&rank.trace);
+                        eprintln!(
+                            "rank {r}: {n} comm events, {wait:?} blocked, {elems} f64s moved"
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("acfc: runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

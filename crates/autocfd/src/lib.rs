@@ -1,0 +1,572 @@
+#![warn(missing_docs)]
+
+//! # Auto-CFD
+//!
+//! A from-scratch reproduction of *Auto-CFD: Efficiently Parallelizing
+//! CFD Applications on Clusters* (Xiao, Zhang, Kuang, Feng, Kang —
+//! IEEE CLUSTER 2003): a pre-compiler that transforms sequential Fortran
+//! CFD programs into message-passing SPMD parallel programs.
+//!
+//! The pipeline (paper Figure 2):
+//!
+//! ```text
+//! Fortran source + !$acf directives
+//!   → parse            (autocfd-fortran)
+//!   → build IR         (autocfd-ir: loop tree, A/R/C/O classification)
+//!   → partition grid   (autocfd-grid: balanced blocks, minimal comm)
+//!   → analyze deps     (autocfd-depend: S_LDP, self-dependent loops,
+//!                       mirror-image decomposition)    [after partitioning]
+//!   → optimize syncs   (autocfd-syncopt: upper-bound regions, minimal
+//!                       combining, interprocedural hoisting)
+//!   → restructure      (autocfd-codegen: SPMD source + executable plan)
+//!   → execute          (autocfd-interp + autocfd-runtime: rank threads)
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use autocfd::{compile, CompileOptions};
+//!
+//! let src = "
+//! !$acf grid(32, 32)
+//! !$acf status v, vn
+//!       program jacobi
+//!       real v(32,32), vn(32,32)
+//!       integer i, j, it
+//!       do i = 1, 32
+//!         v(i,1) = 1.0
+//!       end do
+//!       do it = 1, 10
+//!         do i = 2, 31
+//!           do j = 2, 31
+//!             vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+//!           end do
+//!         end do
+//!         do i = 2, 31
+//!           do j = 2, 31
+//!             v(i,j) = vn(i,j)
+//!           end do
+//!         end do
+//!       end do
+//!       write(*,*) v(16,16)
+//!       end
+//! ";
+//! let compiled = compile(src, &CompileOptions::with_procs(4)).unwrap();
+//! assert!(compiled.sync_plan.stats.after <= compiled.sync_plan.stats.before);
+//! let diff = compiled.verify(vec![], 1e-12).unwrap();
+//! assert!(diff < 1e-12); // parallel == sequential on every owned point
+//! ```
+
+use autocfd_codegen::{transform, SpmdPlan, TransformError};
+use autocfd_fortran::{FortranError, SourceFile};
+use autocfd_grid::{choose_partition, partition, GridShape, Partition, PartitionSpec};
+use autocfd_interp::spmd::{run_parallel, verify_owned_regions, RankResult};
+use autocfd_interp::{run_program_capture, Frame, Machine, NoHooks, RunError};
+use autocfd_ir::{build_ir, ProgramIr};
+use autocfd_syncopt::{plan_program, SyncPlan};
+
+pub use autocfd_codegen as codegen;
+pub use autocfd_depend as depend;
+pub use autocfd_fortran as fortran;
+pub use autocfd_grid as grid;
+pub use autocfd_interp as interp;
+pub use autocfd_ir as ir;
+pub use autocfd_runtime as runtime;
+pub use autocfd_syncopt as syncopt;
+
+/// Options controlling a compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Number of processors; the partitioner chooses the best shape.
+    /// Ignored when `partition` (or the `!$acf partition` directive)
+    /// fixes the shape explicitly.
+    pub procs: Option<u32>,
+    /// Explicit processor-grid shape, overriding the directive.
+    pub partition: Option<Vec<u32>>,
+    /// Dependency-distance fallback for opaque accesses, overriding the
+    /// `!$acf distance` directive (default 1).
+    pub distance: Option<u64>,
+    /// Apply the synchronization optimizations of §5 (default true).
+    /// `false` keeps one synchronization per writer loop — the paper's
+    /// "before optimization" configuration.
+    pub optimize: bool,
+}
+
+impl CompileOptions {
+    /// Default options for `procs` processors with optimization on.
+    pub fn with_procs(procs: u32) -> Self {
+        Self {
+            procs: Some(procs),
+            optimize: true,
+            ..Default::default()
+        }
+    }
+
+    /// Default options with an explicit partition shape.
+    pub fn with_partition(parts: &[u32]) -> Self {
+        Self {
+            partition: Some(parts.to_vec()),
+            optimize: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors from the compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Frontend (lex/parse/directive) failure.
+    Frontend(FortranError),
+    /// Missing or inconsistent directives / unpartitionable grid.
+    Setup(String),
+    /// Restructuring failure.
+    Transform(TransformError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Setup(s) => write!(f, "setup error: {s}"),
+            CompileError::Transform(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<FortranError> for CompileError {
+    fn from(e: FortranError) -> Self {
+        CompileError::Frontend(e)
+    }
+}
+
+impl From<TransformError> for CompileError {
+    fn from(e: TransformError) -> Self {
+        CompileError::Transform(e)
+    }
+}
+
+/// The result of running the pre-compiler on a program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The analyzed IR (including the original AST).
+    pub ir: ProgramIr,
+    /// The chosen grid partition.
+    pub partition: Partition,
+    /// The optimized synchronization plan (Table 1 statistics live in
+    /// `sync_plan.stats`).
+    pub sync_plan: SyncPlan,
+    /// The transformed parallel program.
+    pub parallel_file: SourceFile,
+    /// The executable plan behind the inserted `acf_*` calls.
+    pub spmd_plan: SpmdPlan,
+}
+
+impl Compiled {
+    /// The generated parallel Fortran source (the paper's Appendix 2
+    /// artifact).
+    pub fn parallel_source(&self) -> String {
+        autocfd_fortran::print(&self.parallel_file)
+    }
+
+    /// Run the *original sequential* program.
+    pub fn run_sequential(&self, input: Vec<f64>) -> Result<(Machine, Frame), RunError> {
+        let mut hooks = NoHooks;
+        run_program_capture(&self.ir.file, input, &mut hooks, 0)
+    }
+
+    /// Run the transformed program on `partition.tasks()` rank-threads.
+    pub fn run_parallel(&self, input: Vec<f64>) -> Result<Vec<RankResult>, RunError> {
+        run_parallel(&self.parallel_file, &self.spmd_plan, input, 0)
+    }
+
+    /// Run both versions and verify that every rank's owned region of
+    /// every status array matches the sequential result within `tol`.
+    /// Returns the maximum absolute difference.
+    pub fn verify(&self, input: Vec<f64>, tol: f64) -> Result<f64, String> {
+        let seq = self
+            .run_sequential(input.clone())
+            .map_err(|e| e.to_string())?;
+        let par = self.run_parallel(input).map_err(|e| e.to_string())?;
+        verify_owned_regions(&seq, &par, &self.spmd_plan, tol)
+    }
+}
+
+/// Run the full Auto-CFD pipeline on `source`.
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let file = autocfd_fortran::parse(source)?;
+    autocfd_fortran::lint(&file)?;
+    let ir = build_ir(file)?;
+
+    let shape = GridShape {
+        extents: ir.grid_extents(),
+    };
+    if shape.extents.is_empty() {
+        return Err(CompileError::Setup("missing `!$acf grid` directive".into()));
+    }
+
+    let distance = opts
+        .distance
+        .or(ir.directives.distance.map(u64::from))
+        .unwrap_or(1);
+
+    // partition precedence: options > directive > automatic choice
+    let part = if let Some(parts) = opts
+        .partition
+        .clone()
+        .or_else(|| ir.directives.partition.clone())
+    {
+        if parts.len() != shape.rank() {
+            return Err(CompileError::Setup(format!(
+                "partition has {} axes but the grid has {}",
+                parts.len(),
+                shape.rank()
+            )));
+        }
+        partition(&shape, &PartitionSpec::new(&parts))
+    } else {
+        // processor-count precedence: options > `!$acf cluster(nodes=N)`
+        // directive > 1
+        let procs = opts
+            .procs
+            .or_else(|| ir.directives.cluster.as_ref().map(|(n, _)| *n))
+            .unwrap_or(1);
+        choose_partition(&shape, procs, distance).0
+    };
+
+    let cut_axes: Vec<usize> = part
+        .spec
+        .parts
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 1)
+        .map(|(a, _)| a)
+        .collect();
+
+    let sync_plan = plan_program(&ir, &cut_axes, distance, opts.optimize);
+    let (parallel_file, spmd_plan) = transform(&ir, &part, &sync_plan, distance)?;
+
+    Ok(Compiled {
+        ir,
+        partition: part,
+        sync_plan,
+        parallel_file,
+        spmd_plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JACOBI: &str = "
+!$acf grid(24, 24)
+!$acf status v, vn
+      program jacobi
+      real v(24,24), vn(24,24)
+      integer i, j, it
+      do i = 1, 24
+        v(i,1) = 1.0
+        v(1,i) = 2.0
+      end do
+      do it = 1, 8
+        do i = 2, 23
+          do j = 2, 23
+            vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+          end do
+        end do
+        do i = 2, 23
+          do j = 2, 23
+            v(i,j) = vn(i,j)
+          end do
+        end do
+      end do
+      end
+";
+
+    #[test]
+    fn jacobi_parallel_equals_sequential_1d_cut() {
+        let c = compile(JACOBI, &CompileOptions::with_partition(&[3, 1])).unwrap();
+        let diff = c.verify(vec![], 0.0).unwrap();
+        assert_eq!(diff, 0.0, "bitwise identical");
+    }
+
+    #[test]
+    fn jacobi_parallel_equals_sequential_2d_cut() {
+        let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 2])).unwrap();
+        assert_eq!(c.verify(vec![], 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn gauss_seidel_mirror_image_equals_sequential() {
+        let src = "
+!$acf grid(20, 20)
+!$acf status v
+      program gs
+      real v(20,20)
+      integer i, j, it
+      do i = 1, 20
+        v(i,1) = 1.0
+        v(i,20) = 0.5
+      end do
+      do it = 1, 6
+        do i = 2, 19
+          do j = 2, 19
+            v(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+          end do
+        end do
+      end do
+      end
+";
+        for parts in [[4u32, 1], [2, 2], [1, 4]] {
+            let c = compile(src, &CompileOptions::with_partition(&parts)).unwrap();
+            assert_eq!(
+                c.verify(vec![], 0.0).unwrap(),
+                0.0,
+                "partition {parts:?}: mirror-image execution must be exactly sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_reduction_matches() {
+        let src = "
+!$acf grid(16, 16)
+!$acf status v, vn
+      program conv
+      real v(16,16), vn(16,16)
+      integer i, j, it
+      do i = 1, 16
+        v(i,1) = 1.0
+      end do
+      do it = 1, 100
+        err = 0.0
+        do i = 2, 15
+          do j = 2, 15
+            vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+            d = abs(vn(i,j) - v(i,j))
+            if (d .gt. err) err = d
+          end do
+        end do
+        do i = 2, 15
+          do j = 2, 15
+            v(i,j) = vn(i,j)
+          end do
+        end do
+        if (err .lt. 1.0e-8) goto 900
+      end do
+900   continue
+      write(*,*) it, err
+      end
+";
+        let c = compile(src, &CompileOptions::with_partition(&[4, 1])).unwrap();
+        assert!(
+            !c.spmd_plan.reduces.is_empty(),
+            "err must be recognized as a max-reduction"
+        );
+        assert_eq!(c.verify(vec![], 0.0).unwrap(), 0.0);
+        // every rank must take the same number of frames as sequential
+        let seq = c.run_sequential(vec![]).unwrap();
+        let par = c.run_parallel(vec![]).unwrap();
+        assert_eq!(seq.0.output, par[0].machine.output);
+    }
+
+    #[test]
+    fn generated_source_reparses() {
+        let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 2])).unwrap();
+        let src = c.parallel_source();
+        assert!(src.contains("call acf_init()"));
+        assert!(src.contains("acf_sync_"));
+        assert!(src.contains("max(2,acflo1)"));
+        // the emitted parallel program is valid Fortran for our frontend
+        let reparsed = autocfd_fortran::parse(&src).unwrap();
+        assert_eq!(reparsed.units.len(), c.parallel_file.units.len());
+    }
+
+    #[test]
+    fn directive_partition_respected() {
+        let src = JACOBI.replace(
+            "!$acf status v, vn",
+            "!$acf status v, vn\n!$acf partition(4, 1)",
+        );
+        let c = compile(
+            &src,
+            &CompileOptions {
+                optimize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.partition.spec.parts, vec![4, 1]);
+    }
+
+    #[test]
+    fn auto_partition_when_unspecified() {
+        let c = compile(JACOBI, &CompileOptions::with_procs(2)).unwrap();
+        assert_eq!(c.partition.spec.tasks(), 2);
+    }
+
+    #[test]
+    fn optimization_reduces_sync_points() {
+        let src = "
+!$acf grid(30, 30)
+!$acf status a, b, c, r
+      program p
+      real a(30,30), b(30,30), c(30,30), r(30,30)
+      integer i, j, it
+      do it = 1, 5
+        do i = 1, 30
+          do j = 1, 30
+            a(i,j) = 1.0
+          end do
+        end do
+        do i = 1, 30
+          do j = 1, 30
+            b(i,j) = 2.0
+          end do
+        end do
+        do i = 1, 30
+          do j = 1, 30
+            c(i,j) = 3.0
+          end do
+        end do
+        do i = 2, 29
+          do j = 1, 30
+            r(i,j) = a(i-1,j) + b(i+1,j) + c(i-1,j)
+          end do
+        end do
+      end do
+      end
+";
+        let opt = compile(src, &CompileOptions::with_partition(&[3, 1])).unwrap();
+        let raw = compile(
+            src,
+            &CompileOptions {
+                partition: Some(vec![3, 1]),
+                optimize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(opt.sync_plan.stats.after < raw.sync_plan.stats.before);
+        assert_eq!(opt.sync_plan.sync_points.len(), 1, "three writers combine");
+        assert_eq!(raw.sync_plan.sync_points.len(), 3);
+        // both must still be correct
+        assert_eq!(opt.verify(vec![], 0.0).unwrap(), 0.0);
+        assert_eq!(raw.verify(vec![], 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn partition_rank_mismatch_rejected() {
+        let e = compile(JACOBI, &CompileOptions::with_partition(&[2, 2, 2])).unwrap_err();
+        assert!(matches!(e, CompileError::Setup(_)));
+    }
+
+    #[test]
+    fn missing_grid_rejected() {
+        let e = compile(
+            "      program p\n      x = 1\n      end\n",
+            &CompileOptions::with_procs(2),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CompileError::Frontend(_)));
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::*;
+
+    #[test]
+    fn cluster_directive_sets_default_processor_count() {
+        let src = "
+!$acf grid(24, 24)
+!$acf status v
+!$acf cluster(nodes = 3, net = ethernet)
+      program p
+      real v(24,24)
+      integer i, j
+      do i = 2, 23
+        do j = 1, 24
+          v(i,j) = v(i-1,j)
+        end do
+      end do
+      end
+";
+        // no procs/partition given: the cluster directive decides
+        let c = compile(
+            src,
+            &CompileOptions {
+                optimize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.partition.spec.tasks(), 3);
+        // explicit options still win
+        let c = compile(src, &CompileOptions::with_procs(2)).unwrap();
+        assert_eq!(c.partition.spec.tasks(), 2);
+    }
+
+    #[test]
+    fn distance_directive_flows_to_opaque_ghosts() {
+        let src = "
+!$acf grid(30, 30)
+!$acf status a, b
+!$acf distance 3
+      program p
+      real a(30,30), b(30,30)
+      integer i, j, m
+      do i = 1, 30
+        do j = 1, 30
+          a(i,j) = 1.0
+        end do
+      end do
+      do i = 1, 30
+        do j = 1, 30
+          b(i,j) = a(m, j)
+        end do
+      end do
+      end
+";
+        let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
+        let sync = c.spmd_plan.syncs.values().next().unwrap();
+        assert_eq!(
+            sync.arrays[0].ghost[0],
+            [3, 3],
+            "opaque access uses the directive distance"
+        );
+    }
+
+    #[test]
+    fn ghost_declared_arrays_with_zero_lower_bounds() {
+        // arrays declared with explicit halo room, 0:n+1 style
+        let src = "
+!$acf grid(16, 12)
+!$acf status v, vn
+      program p
+      integer n, m
+      parameter (n = 16, m = 12)
+      real v(0:n+1, 0:m+1), vn(0:n+1, 0:m+1)
+      integer i, j, it
+      do it = 1, 3
+        do i = 2, n - 1
+          do j = 2, m - 1
+            vn(i,j) = 0.25*(v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+          end do
+        end do
+        do i = 2, n - 1
+          do j = 2, m - 1
+            v(i,j) = vn(i,j)
+          end do
+        end do
+      end do
+      end
+";
+        for parts in [[2u32, 1], [2, 2]] {
+            let c = compile(src, &CompileOptions::with_partition(&parts)).unwrap();
+            assert_eq!(c.verify(vec![], 0.0).unwrap(), 0.0, "{parts:?}");
+        }
+    }
+}

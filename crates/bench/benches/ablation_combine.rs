@@ -1,0 +1,83 @@
+//! Ablation: combining non-redundant synchronizations (the paper's core
+//! §5 contribution) versus the eliminate-redundant-only baseline.
+//!
+//! Prints both sync-point counts and *measured message traffic* from
+//! real parallel executions, then benchmarks both executions.
+
+use autocfd::{compile, CompileOptions, Compiled};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_cfd_kernels::{sprayer_program, CaseParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn build(optimize: bool) -> Compiled {
+    let src = sprayer_program(&CaseParams {
+        ni: 40,
+        nj: 16,
+        nk: 0,
+        frames: 3,
+        width: 4,
+    });
+    compile(
+        &src,
+        &CompileOptions {
+            partition: Some(vec![4, 1]),
+            optimize,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn measured_traffic(c: &Compiled) -> (u64, u64) {
+    let par = c.run_parallel(vec![]).unwrap();
+    let msgs: u64 = par.iter().map(|r| r.comm_stats.0).sum();
+    let elems: u64 = par.iter().map(|r| r.comm_stats.1).sum();
+    (msgs, elems)
+}
+
+fn print_ablation() {
+    let opt = build(true);
+    let raw = build(false);
+    let (m_opt, e_opt) = measured_traffic(&opt);
+    let (m_raw, e_raw) = measured_traffic(&raw);
+    let rows = vec![
+        Row::new(
+            "combined (paper §5)",
+            &[
+                opt.sync_plan.stats.after.to_string(),
+                m_opt.to_string(),
+                e_opt.to_string(),
+            ],
+        ),
+        Row::new(
+            "redundancy-elim only",
+            &[
+                raw.sync_plan.stats.after.to_string(),
+                m_raw.to_string(),
+                e_raw.to_string(),
+            ],
+        ),
+    ];
+    print_table(
+        "Ablation: synchronization combining (sprayer, 4x1, measured traffic)",
+        &["configuration", "sync points", "messages", "f64s shipped"],
+        &rows,
+    );
+    assert!(m_opt < m_raw, "combining must reduce real message count");
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    let opt = build(true);
+    let raw = build(false);
+    let mut g = c.benchmark_group("combine_ablation");
+    g.sample_size(10);
+    g.bench_function("combined", |b| b.iter(|| opt.run_parallel(vec![]).unwrap()));
+    g.bench_function("uncombined", |b| {
+        b.iter(|| raw.run_parallel(vec![]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

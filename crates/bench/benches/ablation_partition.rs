@@ -1,0 +1,94 @@
+//! Ablation: partition-shape selection (§4.1 + §6.2). Prints the cost
+//! vector of every factorization the partitioner considers for the
+//! paper's two grids, plus the simulated execution-time consequences,
+//! and benchmarks the partition search itself.
+
+use autocfd_bench::models::{run_case1, run_case2, Case1Model, Case2Model};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_grid::{
+    choose_partition, enumerate_factorizations, partition, GridShape, PartitionCost, PartitionSpec,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_shapes() {
+    let shape = GridShape::d3(99, 41, 13);
+    let mut rows = Vec::new();
+    let m1 = Case1Model::paper();
+    for parts in enumerate_factorizations(6, 3) {
+        if parts
+            .iter()
+            .zip(&shape.extents)
+            .any(|(&p, &n)| u64::from(p) > n)
+        {
+            continue;
+        }
+        let p = partition(&shape, &PartitionSpec::new(&parts));
+        let cost = PartitionCost::of(&p, 1);
+        let sim = run_case1(&m1, &parts);
+        rows.push(Row::new(
+            p.spec.display(),
+            &[
+                cost.max_comm.to_string(),
+                cost.total_comm.to_string(),
+                format!("{:.2}", cost.neighbor_imbalance_milli as f64 / 1000.0),
+                format!("{:.0}", sim.total),
+            ],
+        ));
+    }
+    print_table(
+        "Ablation: 6-processor partition shapes on 99x41x13 (case study 1)",
+        &[
+            "partition",
+            "max comm",
+            "total comm",
+            "imbalance",
+            "sim time(s)",
+        ],
+        &rows,
+    );
+
+    let shape2 = GridShape::d2(300, 100);
+    let m2 = Case2Model::paper();
+    let mut rows2 = Vec::new();
+    for parts in enumerate_factorizations(4, 2) {
+        if parts
+            .iter()
+            .zip(&shape2.extents)
+            .any(|(&p, &n)| u64::from(p) > n)
+        {
+            continue;
+        }
+        let p = partition(&shape2, &PartitionSpec::new(&parts));
+        let cost = PartitionCost::of(&p, 1);
+        let sim = run_case2(&m2, &parts);
+        rows2.push(Row::new(
+            p.spec.display(),
+            &[
+                cost.max_comm.to_string(),
+                cost.total_comm.to_string(),
+                format!("{:.0}", sim.total),
+            ],
+        ));
+    }
+    print_table(
+        "Ablation: 4-processor partition shapes on 300x100 (case study 2)",
+        &["partition", "max comm", "total comm", "sim time(s)"],
+        &rows2,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_shapes();
+    let mut g = c.benchmark_group("partition_search");
+    g.sample_size(20);
+    g.bench_function("choose_6_of_99x41x13", |b| {
+        b.iter(|| choose_partition(&GridShape::d3(99, 41, 13), 6, 1))
+    });
+    g.bench_function("choose_16_of_800x300", |b| {
+        b.iter(|| choose_partition(&GridShape::d2(800, 300), 16, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 1 bench: prints the measured synchronization-optimization table
+//! and benchmarks the pre-compiler itself on the paper-scale sources.
+
+use autocfd::{compile, CompileOptions};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_bench::table1::measure;
+use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table1() {
+    let rows: Vec<Row> = measure()
+        .into_iter()
+        .map(|r| {
+            let parts: Vec<String> = r.partition.iter().map(|p| p.to_string()).collect();
+            Row::new(
+                format!("{} {}", r.program, parts.join("x")),
+                &[
+                    r.before.to_string(),
+                    r.after.to_string(),
+                    format!("{:.1}%", r.pct()),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 1 (measured): synchronization points before/after optimization",
+        &["program / partition", "before", "after", "reduction"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    let aero = aerofoil_program(&CaseParams::aerofoil_paper());
+    let spray = sprayer_program(&CaseParams::sprayer_paper());
+    let mut g = c.benchmark_group("precompiler");
+    g.sample_size(10);
+    g.bench_function("compile_aerofoil_4x1x1", |b| {
+        b.iter(|| compile(&aero, &CompileOptions::with_partition(&[4, 1, 1])).unwrap())
+    });
+    g.bench_function("compile_aerofoil_4x4x1", |b| {
+        b.iter(|| compile(&aero, &CompileOptions::with_partition(&[4, 4, 1])).unwrap())
+    });
+    g.bench_function("compile_sprayer_4x4", |b| {
+        b.iter(|| compile(&spray, &CompileOptions::with_partition(&[4, 4])).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table 2 bench: prints the simulated case-study-1 table and benchmarks
+//! *real* parallel execution of a reduced aerofoil instance at the
+//! paper's processor counts.
+
+use autocfd::{compile, CompileOptions, Compiled};
+use autocfd_bench::models::{run_case1, Case1Model};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_cfd_kernels::{aerofoil_program, CaseParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table2() {
+    let m = Case1Model::paper();
+    let seq = run_case1(&m, &[1, 1, 1]);
+    let configs: &[(&str, &[u32])] = &[
+        ("1", &[1, 1, 1]),
+        ("2 (2x1x1)", &[2, 1, 1]),
+        ("4 (4x1x1)", &[4, 1, 1]),
+        ("6 (3x2x1)", &[3, 2, 1]),
+    ];
+    let rows: Vec<Row> = configs
+        .iter()
+        .map(|(label, parts)| {
+            let r = run_case1(&m, parts);
+            Row::new(
+                *label,
+                &[
+                    format!("{:.0}", r.total),
+                    format!("{:.2}", r.speedup_over(&seq)),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 2 (simulated): case study 1 on 99x41x13 — paper: 1970s / 1.12 / 0.84 / 1.80",
+        &["procs", "time(s)", "speedup"],
+        &rows,
+    );
+}
+
+fn compiled(parts: &[u32]) -> Compiled {
+    let src = aerofoil_program(&CaseParams {
+        ni: 20,
+        nj: 12,
+        nk: 6,
+        frames: 2,
+        width: 2,
+    });
+    compile(&src, &CompileOptions::with_partition(parts)).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let mut g = c.benchmark_group("case1_real_exec");
+    g.sample_size(10);
+    for (name, parts) in [
+        ("p1", vec![1u32, 1, 1]),
+        ("p2", vec![2, 1, 1]),
+        ("p4", vec![4, 1, 1]),
+        ("p6", vec![3, 2, 1]),
+    ] {
+        let cc = compiled(&parts);
+        g.bench_function(name, |b| b.iter(|| cc.run_parallel(vec![]).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

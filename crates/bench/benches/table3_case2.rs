@@ -1,0 +1,67 @@
+//! Table 3 bench: prints the simulated case-study-2 table and benchmarks
+//! real parallel execution of a reduced sprayer instance.
+
+use autocfd::{compile, CompileOptions, Compiled};
+use autocfd_bench::models::{run_case2, Case2Model};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_cfd_kernels::{sprayer_program, CaseParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table3() {
+    let m = Case2Model::paper();
+    let seq = run_case2(&m, &[1, 1]);
+    let configs: &[(&str, &[u32])] = &[
+        ("1", &[1, 1]),
+        ("2 (2x1)", &[2, 1]),
+        ("3 (3x1)", &[3, 1]),
+        ("4 (2x2)", &[2, 2]),
+    ];
+    let rows: Vec<Row> = configs
+        .iter()
+        .map(|(label, parts)| {
+            let r = run_case2(&m, parts);
+            Row::new(
+                *label,
+                &[
+                    format!("{:.0}", r.total),
+                    format!("{:.2}", r.speedup_over(&seq)),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 3 (simulated): case study 2 on 300x100 — paper: 362s / 1.43 / 1.97 / 2.78",
+        &["procs", "time(s)", "speedup"],
+        &rows,
+    );
+}
+
+fn compiled(parts: &[u32]) -> Compiled {
+    let src = sprayer_program(&CaseParams {
+        ni: 40,
+        nj: 16,
+        nk: 0,
+        frames: 3,
+        width: 3,
+    });
+    compile(&src, &CompileOptions::with_partition(parts)).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    print_table3();
+    let mut g = c.benchmark_group("case2_real_exec");
+    g.sample_size(10);
+    for (name, parts) in [
+        ("p1", vec![1u32, 1]),
+        ("p2", vec![2, 1]),
+        ("p3", vec![3, 1]),
+        ("p4", vec![2, 2]),
+    ] {
+        let cc = compiled(&parts);
+        g.bench_function(name, |b| b.iter(|| cc.run_parallel(vec![]).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table 4 bench: prints the simulated density-scaling table and
+//! benchmarks the native Jacobi kernel across the same grid series
+//! (sequential vs rayon-parallel), showing the real compute/comm ratio
+//! trend on today's hardware.
+
+use autocfd_bench::models::{run_case2, Case2Model};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_cfd_kernels::solvers::{jacobi_2d, jacobi_2d_parallel, Field2D};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SIZES: &[(u64, u64)] = &[
+    (40, 15),
+    (60, 23),
+    (80, 30),
+    (100, 38),
+    (120, 45),
+    (140, 53),
+    (160, 60),
+];
+
+fn print_table4() {
+    let rows: Vec<Row> = SIZES
+        .iter()
+        .map(|&(ni, nj)| {
+            let m = Case2Model::with_grid(ni, nj);
+            let t1 = run_case2(&m, &[1, 1]);
+            let t2 = run_case2(&m, &[2, 1]);
+            let s = t2.speedup_over(&t1);
+            Row::new(
+                format!("{ni}x{nj}"),
+                &[
+                    format!("{:.1}", t1.total),
+                    format!("{:.1}", t2.total),
+                    format!("{s:.2}"),
+                    format!("{:.0}%", 50.0 * s),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 4 (simulated): case study 2 scaling with density on 2 procs — paper eff: 50..88%",
+        &["grid", "t1(s)", "t2(s)", "speedup", "efficiency"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table4();
+    let mut g = c.benchmark_group("jacobi_density");
+    g.sample_size(10);
+    for &(ni, nj) in &[(40usize, 15usize), (160, 60), (320, 120)] {
+        let mut f = Field2D::zeros(ni, nj);
+        f.set_boundary(1.0);
+        g.bench_with_input(BenchmarkId::new("seq", format!("{ni}x{nj}")), &f, |b, f| {
+            b.iter(|| jacobi_2d(f.clone(), 50, 0.0))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("rayon", format!("{ni}x{nj}")),
+            &f,
+            |b, f| b.iter(|| jacobi_2d_parallel(f.clone(), 50, 0.0)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

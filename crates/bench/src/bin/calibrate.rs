@@ -1,0 +1,153 @@
+//! Calibration transparency: prints the cost-model parameters behind
+//! Tables 2–5, the closed-form vs discrete-event cross-check, and
+//! single-parameter sensitivity sweeps so a reader can judge how robust
+//! the reproduced shapes are.
+//!
+//! Run: `cargo run --release -p autocfd-bench --bin calibrate`
+
+use autocfd_bench::models::{
+    des_case1, des_case2, run_case1, run_case2, testbed_network, Case1Model, Case2Model,
+};
+use autocfd_bench::report::{print_table, Row};
+use autocfd_cluster_sim::MachineModel;
+
+fn main() {
+    let machine = MachineModel::pentium_2003();
+    let net = testbed_network();
+    println!("=== calibrated testbed model ===");
+    println!(
+        "machine: {:.1} MFLOPS cache-resident, {} KiB cache (miss factor {}), {} MiB RAM (thrash x{})",
+        1.0 / machine.flop_time / 1e6,
+        machine.cache_bytes / 1024,
+        machine.miss_factor,
+        machine.mem_bytes / (1024 * 1024),
+        machine.thrash_factor,
+    );
+    println!(
+        "network: {:.1} Mbit/s {}, {:.1} ms/message",
+        net.bandwidth * 8.0 / 1e6,
+        if net.shared {
+            "shared segment"
+        } else {
+            "dedicated links"
+        },
+        net.latency * 1e3,
+    );
+    let m1 = Case1Model::paper();
+    println!(
+        "case 1 : {} frames, {:.0} flops/pt parallel + 3 sweeps x {:.0} flops/pt \
+         (overlap {:.0}%), {} syncs/frame x {} arrays",
+        m1.frames,
+        m1.par_flops_per_point,
+        m1.sweep_flops_per_point,
+        m1.overlap * 100.0,
+        m1.syncs_per_frame,
+        m1.arrays_per_sync
+    );
+    let m2 = Case2Model::paper();
+    println!(
+        "case 2 : {} frames, {:.0} flops/pt, {} active arrays, {} syncs/frame x {} arrays",
+        m2.frames, m2.flops_per_point, m2.active_arrays, m2.syncs_per_frame, m2.arrays_per_sync
+    );
+
+    // closed-form vs DES cross-check
+    let frames = 20u64;
+    let scale = m2.frames as f64 / frames as f64;
+    let mut rows = Vec::new();
+    for parts in [[1u32, 1], [2, 1], [3, 1], [2, 2]] {
+        let cf = run_case2(&m2, &parts).total;
+        let des = des_case2(&m2, &parts, frames).makespan * scale;
+        rows.push(Row::new(
+            parts
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            &[
+                format!("{cf:.0}"),
+                format!("{des:.0}"),
+                format!("{:+.0}%", 100.0 * (des / cf - 1.0)),
+            ],
+        ));
+    }
+    print_table(
+        "closed-form vs discrete-event (case 2, seconds)",
+        &["partition", "closed-form", "DES", "delta"],
+        &rows,
+    );
+
+    let scale1 = m1.frames as f64 / 6.0;
+    let mut rows = Vec::new();
+    for parts in [[1u32, 1, 1], [2, 1, 1], [4, 1, 1], [3, 2, 1]] {
+        let cf = run_case1(&m1, &parts).total;
+        let des = des_case1(&m1, &parts, 6).makespan * scale1;
+        rows.push(Row::new(
+            parts
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            &[
+                format!("{cf:.0}"),
+                format!("{des:.0}"),
+                format!("{:+.0}%", 100.0 * (des / cf - 1.0)),
+            ],
+        ));
+    }
+    print_table(
+        "closed-form vs discrete-event (case 1, seconds)",
+        &["partition", "closed-form", "DES", "delta"],
+        &rows,
+    );
+
+    // sensitivity: pipeline overlap of case 1
+    let mut rows = Vec::new();
+    for ov in [0.0, 0.25, 0.5, 0.75] {
+        let m = Case1Model {
+            overlap: ov,
+            ..Case1Model::paper()
+        };
+        let t1 = run_case1(&m, &[1, 1, 1]);
+        let s2 = run_case1(&m, &[2, 1, 1]).speedup_over(&t1);
+        let s4 = run_case1(&m, &[4, 1, 1]).speedup_over(&t1);
+        let s6 = run_case1(&m, &[3, 2, 1]).speedup_over(&t1);
+        rows.push(Row::new(
+            format!("{:.0}%", ov * 100.0),
+            &[format!("{s2:.2}"), format!("{s4:.2}"), format!("{s6:.2}")],
+        ));
+    }
+    print_table(
+        "sensitivity: mirror-image pipeline overlap (case 1 speedups)",
+        &["overlap", "s(2)", "s(4x1x1)", "s(3x2x1)"],
+        &rows,
+    );
+
+    // sensitivity: network latency for case 2
+    let mut rows = Vec::new();
+    for lat_ms in [0.1, 0.5, 1.0, 2.0] {
+        let m = Case2Model::paper();
+        let part = |parts: &[u32]| {
+            let p = autocfd_grid::partition(&m.grid, &autocfd_grid::PartitionSpec::new(parts));
+            let w = autocfd_bench::models::case2_workload(&m, &p);
+            let net = autocfd_cluster_sim::NetworkModel {
+                latency: lat_ms / 1e3,
+                ..testbed_network()
+            };
+            autocfd_cluster_sim::simulate(&w, &MachineModel::pentium_2003(), &net)
+        };
+        let t1 = part(&[1, 1]);
+        rows.push(Row::new(
+            format!("{lat_ms} ms"),
+            &[
+                format!("{:.2}", part(&[2, 1]).speedup_over(&t1)),
+                format!("{:.2}", part(&[3, 1]).speedup_over(&t1)),
+                format!("{:.2}", part(&[2, 2]).speedup_over(&t1)),
+            ],
+        ));
+    }
+    print_table(
+        "sensitivity: message latency (case 2 speedups)",
+        &["latency", "s(2)", "s(3)", "s(4)"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerate Table 1: synchronization improvement by the optimizer.
+//!
+//! Run: `cargo run --release -p autocfd-bench --bin table1`
+
+use autocfd_bench::report::{print_table, Row};
+use autocfd_bench::table1::measure;
+
+/// Paper values for side-by-side comparison: (partition, before, after).
+const PAPER: &[(&str, u64, u64)] = &[
+    ("4x1x1", 73, 8),
+    ("1x4x1", 84, 10),
+    ("1x1x4", 81, 9),
+    ("4x4x1", 148, 13),
+    ("4x1x4", 145, 13),
+    ("1x4x4", 156, 14),
+    ("4x1", 72, 7),
+    ("1x4", 69, 7),
+    ("4x4", 141, 7),
+];
+
+fn main() {
+    let rows: Vec<Row> = measure()
+        .into_iter()
+        .zip(PAPER)
+        .map(|(r, (plabel, pb, pa))| {
+            let parts: Vec<String> = r.partition.iter().map(|p| p.to_string()).collect();
+            let label = parts.join("x");
+            assert_eq!(&label, plabel, "row order matches the paper");
+            Row::new(
+                format!("{} {}", r.program, label),
+                &[
+                    r.before.to_string(),
+                    r.after.to_string(),
+                    format!("{:.1}", r.pct()),
+                    format!("{pb}"),
+                    format!("{pa}"),
+                    format!("{:.1}", 100.0 * (1.0 - *pa as f64 / *pb as f64)),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 1: synchronization points before/after optimization (measured vs paper)",
+        &[
+            "program / partition",
+            "before",
+            "after",
+            "reduct%",
+            "paper-before",
+            "paper-after",
+            "paper-%",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Regenerate Table 2: overall performance of case study 1 (aerofoil,
+//! 99×41×13) under the cluster cost model.
+//!
+//! Run: `cargo run --release -p autocfd-bench --bin table2`
+
+use autocfd_bench::models::{run_case1, Case1Model};
+use autocfd_bench::report::{print_table, Row};
+
+fn main() {
+    let m = Case1Model::paper();
+    let seq = run_case1(&m, &[1, 1, 1]);
+    // paper rows: (procs, partition, time, speedup, efficiency%)
+    let paper: &[(u32, &str, f64, f64, u32)] = &[
+        (1, "-", 1970.0, 1.0, 100),
+        (2, "2x1x1", 1760.0, 1.12, 56),
+        (4, "4x1x1", 2341.0, 0.84, 21),
+        (6, "3x2x1", 1093.0, 1.80, 30),
+    ];
+    let configs: &[(u32, &[u32])] = &[
+        (1, &[1, 1, 1]),
+        (2, &[2, 1, 1]),
+        (4, &[4, 1, 1]),
+        (6, &[3, 2, 1]),
+    ];
+    let mut rows = Vec::new();
+    for ((procs, parts), (_, plabel, ptime, pspeed, peff)) in configs.iter().zip(paper) {
+        let r = run_case1(&m, parts);
+        let s = r.speedup_over(&seq);
+        rows.push(Row::new(
+            format!(
+                "{procs} procs {}",
+                parts
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            ),
+            &[
+                format!("{:.0}", r.total),
+                format!("{s:.2}"),
+                format!("{:.0}%", 100.0 * s / *procs as f64),
+                plabel.to_string(),
+                format!("{ptime:.0}"),
+                format!("{pspeed:.2}"),
+                format!("{peff}%"),
+            ],
+        ));
+    }
+    print_table(
+        "Table 2: case study 1 overall performance (simulated vs paper)",
+        &[
+            "config",
+            "time(s)",
+            "speedup",
+            "eff",
+            "paper-part",
+            "paper-t",
+            "paper-s",
+            "paper-e",
+        ],
+        &rows,
+    );
+    // the paper's alternative 4-processor partition
+    let alt = run_case1(&m, &[2, 2, 1]);
+    println!(
+        "alternative 2x2x1 on 4 procs: {:.0} s, speedup {:.2} (paper: 'similar result' to 4x1x1)",
+        alt.total,
+        alt.speedup_over(&seq)
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerate Table 3: overall performance of case study 2 (sprayer,
+//! 300×100).
+//!
+//! Run: `cargo run --release -p autocfd-bench --bin table3`
+
+use autocfd_bench::models::{run_case2, Case2Model};
+use autocfd_bench::report::{print_table, Row};
+
+fn main() {
+    let m = Case2Model::paper();
+    let seq = run_case2(&m, &[1, 1]);
+    let paper: &[(u32, &str, f64, f64, u32)] = &[
+        (1, "-", 362.0, 1.0, 100),
+        (2, "2x1", 254.0, 1.43, 71),
+        (3, "3x1", 184.0, 1.97, 66),
+        (4, "2x2", 130.0, 2.78, 70),
+    ];
+    let configs: &[(u32, &[u32])] = &[(1, &[1, 1]), (2, &[2, 1]), (3, &[3, 1]), (4, &[2, 2])];
+    let mut rows = Vec::new();
+    for ((procs, parts), (_, plabel, ptime, pspeed, peff)) in configs.iter().zip(paper) {
+        let r = run_case2(&m, parts);
+        let s = r.speedup_over(&seq);
+        rows.push(Row::new(
+            format!(
+                "{procs} procs {}",
+                parts
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            ),
+            &[
+                format!("{:.0}", r.total),
+                format!("{s:.2}"),
+                format!("{:.0}%", 100.0 * s / *procs as f64),
+                plabel.to_string(),
+                format!("{ptime:.0}"),
+                format!("{pspeed:.2}"),
+                format!("{peff}%"),
+            ],
+        ));
+    }
+    print_table(
+        "Table 3: case study 2 overall performance (simulated vs paper)",
+        &[
+            "config",
+            "time(s)",
+            "speedup",
+            "eff",
+            "paper-part",
+            "paper-t",
+            "paper-s",
+            "paper-e",
+        ],
+        &rows,
+    );
+}

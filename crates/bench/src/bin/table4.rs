@@ -1,0 +1,77 @@
+//! Regenerate Table 4: scaling of case study 2 with grid density on a
+//! 2-processor system (2×1 partition).
+//!
+//! Run: `cargo run --release -p autocfd-bench --bin table4`
+
+use autocfd_bench::models::{run_case2, Case2Model};
+use autocfd_bench::report::{print_table, Row};
+
+fn main() {
+    // paper rows: (ni, nj, t1, t2, speedup, efficiency%)
+    let paper: &[(u64, u64, f64, f64, f64, u32)] = &[
+        (40, 15, 45.0, 45.0, 1.0, 50),
+        (60, 23, 108.0, 66.0, 1.64, 82),
+        (80, 30, 199.0, 140.0, 1.42, 71),
+        (100, 38, 331.0, 218.0, 1.52, 76),
+        (120, 45, 472.0, 276.0, 1.71, 86),
+        (140, 53, 712.0, 403.0, 1.77, 88),
+        (160, 60, 908.0, 519.0, 1.75, 87),
+    ];
+    let mut rows = Vec::new();
+    for &(ni, nj, pt1, pt2, ps, pe) in paper {
+        let m = Case2Model::with_grid(ni, nj);
+        let t1 = run_case2(&m, &[1, 1]);
+        let t2 = run_case2(&m, &[2, 1]);
+        let s = t2.speedup_over(&t1);
+        rows.push(Row::new(
+            format!("{ni}x{nj}"),
+            &[
+                format!("{:.1}", t1.total),
+                format!("{:.1}", t2.total),
+                format!("{s:.2}"),
+                format!("{:.0}%", 50.0 * s),
+                format!("{pt1:.0}/{pt2:.0}"),
+                format!("{ps:.2}"),
+                format!("{pe}%"),
+            ],
+        ));
+    }
+    print_table(
+        "Table 4: case study 2 scaling with grid density, 2x1 partition (simulated vs paper)",
+        &[
+            "grid",
+            "t1(s)",
+            "t2(s)",
+            "speedup",
+            "eff",
+            "paper-t1/t2",
+            "paper-s",
+            "paper-e",
+        ],
+        &rows,
+    );
+
+    // §6.2's closing observation: past a certain density one workstation
+    // runs out of memory and slows down dramatically; adding workstations
+    // adds accumulated memory and removes the cliff.
+    let mut rows = Vec::new();
+    for (ni, nj) in [(1200u64, 450u64), (2000, 1000), (4000, 2000), (6000, 2800)] {
+        let m = Case2Model::with_grid(ni, nj);
+        let t1 = run_case2(&m, &[1, 1]);
+        let t4 = run_case2(&m, &[2, 2]);
+        let s = t1.total / t4.total;
+        rows.push(Row::new(
+            format!("{ni}x{nj}"),
+            &[
+                format!("{:.0}", t1.total),
+                format!("{:.0}", t4.total),
+                format!("{s:.1}"),
+            ],
+        ));
+    }
+    print_table(
+        "Extension: the memory cliff — one node pages, four nodes don't",
+        &["grid", "t1(s)", "t4(s) 2x2", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! Table 1: synchronization points before/after optimization.
+//!
+//! Unlike Tables 2–5 (which need the cluster cost model), Table 1 is a
+//! *direct measurement of this implementation*: we run the pre-compiler
+//! on the paper-scale case-study programs and count.
+
+use autocfd::{compile, CompileOptions};
+use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
+
+/// One Table-1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncRow {
+    /// Program label.
+    pub program: &'static str,
+    /// Partition, e.g. `[4,1,1]`.
+    pub partition: Vec<u32>,
+    /// Synchronizations before optimization.
+    pub before: u64,
+    /// After optimization.
+    pub after: u64,
+}
+
+impl SyncRow {
+    /// Percentage reduction.
+    pub fn pct(&self) -> f64 {
+        100.0 * (1.0 - self.after as f64 / self.before as f64)
+    }
+}
+
+/// The paper's nine partition rows.
+pub fn paper_partitions_case1() -> Vec<Vec<u32>> {
+    vec![
+        vec![4, 1, 1],
+        vec![1, 4, 1],
+        vec![1, 1, 4],
+        vec![4, 4, 1],
+        vec![4, 1, 4],
+        vec![1, 4, 4],
+    ]
+}
+
+/// Case-study-2 partition rows.
+pub fn paper_partitions_case2() -> Vec<Vec<u32>> {
+    vec![vec![4, 1], vec![1, 4], vec![4, 4]]
+}
+
+/// Run the pre-compiler over every Table-1 configuration.
+pub fn measure() -> Vec<SyncRow> {
+    let mut rows = Vec::new();
+    let a = aerofoil_program(&CaseParams::aerofoil_paper());
+    for parts in paper_partitions_case1() {
+        let c = compile(&a, &CompileOptions::with_partition(&parts)).expect("aerofoil compiles");
+        rows.push(SyncRow {
+            program: "case study 1 (aerofoil)",
+            partition: parts,
+            before: c.sync_plan.stats.before,
+            after: c.sync_plan.stats.after,
+        });
+    }
+    let b = sprayer_program(&CaseParams::sprayer_paper());
+    for parts in paper_partitions_case2() {
+        let c = compile(&b, &CompileOptions::with_partition(&parts)).expect("sprayer compiles");
+        rows.push(SyncRow {
+            program: "case study 2 (sprayer)",
+            partition: parts,
+            before: c.sync_plan.stats.before,
+            after: c.sync_plan.stats.after,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let rows = measure();
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(r.after < r.before, "{r:?}");
+            assert!(r.pct() > 60.0, "reduction too small: {r:?}");
+        }
+        // two-axis partitions have more raw syncs than one-axis ones
+        let one_axis = rows.iter().find(|r| r.partition == vec![4, 1, 1]).unwrap();
+        let two_axis = rows.iter().find(|r| r.partition == vec![4, 4, 1]).unwrap();
+        assert!(two_axis.before > one_axis.before);
+    }
+}

@@ -1,0 +1,463 @@
+//! Native iterative solvers (validation baselines).
+
+use rayon::prelude::*;
+
+/// A dense 2-D field with 1-based Fortran-style indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2D {
+    /// Points along axis 0.
+    pub ni: usize,
+    /// Points along axis 1.
+    pub nj: usize,
+    data: Vec<f64>,
+}
+
+impl Field2D {
+    /// Zero-filled field.
+    pub fn zeros(ni: usize, nj: usize) -> Self {
+        Self {
+            ni,
+            nj,
+            data: vec![0.0; ni * nj],
+        }
+    }
+
+    /// Element accessor (1-based, column-major like Fortran).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[(j - 1) * self.ni + (i - 1)]
+    }
+
+    /// Mutable element accessor (1-based).
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[(j - 1) * self.ni + (i - 1)]
+    }
+
+    /// Apply Dirichlet boundary: value `v` on all four edges.
+    pub fn set_boundary(&mut self, v: f64) {
+        for i in 1..=self.ni {
+            *self.at_mut(i, 1) = v;
+            *self.at_mut(i, self.nj) = v;
+        }
+        for j in 1..=self.nj {
+            *self.at_mut(1, j) = v;
+            *self.at_mut(self.ni, j) = v;
+        }
+    }
+
+    /// Max absolute difference against another field.
+    pub fn max_diff(&self, other: &Field2D) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Raw data (row of columns, column-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// One Jacobi iteration into `next`; returns the max update delta.
+pub fn jacobi_step(v: &Field2D, next: &mut Field2D) -> f64 {
+    let mut err = 0.0f64;
+    for j in 2..v.nj {
+        for i in 2..v.ni {
+            let nv = 0.25 * (v.at(i - 1, j) + v.at(i + 1, j) + v.at(i, j - 1) + v.at(i, j + 1));
+            err = err.max((nv - v.at(i, j)).abs());
+            *next.at_mut(i, j) = nv;
+        }
+    }
+    err
+}
+
+/// Run `iters` Jacobi iterations (or until `eps`); returns the field and
+/// the iteration count actually executed.
+pub fn jacobi_2d(mut v: Field2D, iters: usize, eps: f64) -> (Field2D, usize) {
+    let mut next = v.clone();
+    for it in 1..=iters {
+        let err = jacobi_step(&v, &mut next);
+        for j in 2..v.nj {
+            for i in 2..v.ni {
+                *v.at_mut(i, j) = next.at(i, j);
+            }
+        }
+        if err < eps {
+            return (v, it);
+        }
+    }
+    (v, iters)
+}
+
+/// Rayon-parallel Jacobi (row-parallel), identical results to
+/// [`jacobi_2d`].
+pub fn jacobi_2d_parallel(mut v: Field2D, iters: usize, eps: f64) -> (Field2D, usize) {
+    let ni = v.ni;
+    let nj = v.nj;
+    let mut next = v.clone();
+    for it in 1..=iters {
+        let cur = &v;
+        // compute interior columns in parallel
+        let cols: Vec<(usize, Vec<f64>, f64)> = (2..nj)
+            .into_par_iter()
+            .map(|j| {
+                let mut col = Vec::with_capacity(ni.saturating_sub(2));
+                let mut err = 0.0f64;
+                for i in 2..ni {
+                    let nv = 0.25
+                        * (cur.at(i - 1, j)
+                            + cur.at(i + 1, j)
+                            + cur.at(i, j - 1)
+                            + cur.at(i, j + 1));
+                    err = err.max((nv - cur.at(i, j)).abs());
+                    col.push(nv);
+                }
+                (j, col, err)
+            })
+            .collect();
+        let mut err = 0.0f64;
+        for (j, col, e) in cols {
+            err = err.max(e);
+            for (k, val) in col.into_iter().enumerate() {
+                *next.at_mut(k + 2, j) = val;
+            }
+        }
+        for j in 2..nj {
+            for i in 2..ni {
+                *v.at_mut(i, j) = next.at(i, j);
+            }
+        }
+        if err < eps {
+            return (v, it);
+        }
+    }
+    (v, iters)
+}
+
+/// In-place Gauss–Seidel sweep; returns max delta. This is the Fig 3(b)
+/// self-dependent loop.
+pub fn gauss_seidel_step(v: &mut Field2D) -> f64 {
+    let mut err = 0.0f64;
+    for j in 2..v.nj {
+        for i in 2..v.ni {
+            let nv = 0.25 * (v.at(i - 1, j) + v.at(i + 1, j) + v.at(i, j - 1) + v.at(i, j + 1));
+            err = err.max((nv - v.at(i, j)).abs());
+            *v.at_mut(i, j) = nv;
+        }
+    }
+    err
+}
+
+/// Run Gauss–Seidel to `eps` or `iters`.
+pub fn gauss_seidel_2d(mut v: Field2D, iters: usize, eps: f64) -> (Field2D, usize) {
+    for it in 1..=iters {
+        if gauss_seidel_step(&mut v) < eps {
+            return (v, it);
+        }
+    }
+    (v, iters)
+}
+
+/// SOR with relaxation `omega`.
+pub fn sor_2d(mut v: Field2D, omega: f64, iters: usize, eps: f64) -> (Field2D, usize) {
+    for it in 1..=iters {
+        let mut err = 0.0f64;
+        for j in 2..v.nj {
+            for i in 2..v.ni {
+                let gs = 0.25 * (v.at(i - 1, j) + v.at(i + 1, j) + v.at(i, j - 1) + v.at(i, j + 1));
+                let nv = v.at(i, j) + omega * (gs - v.at(i, j));
+                err = err.max((nv - v.at(i, j)).abs());
+                *v.at_mut(i, j) = nv;
+            }
+        }
+        if err < eps {
+            return (v, it);
+        }
+    }
+    (v, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_edges(ni: usize, nj: usize) -> Field2D {
+        let mut f = Field2D::zeros(ni, nj);
+        f.set_boundary(1.0);
+        f
+    }
+
+    #[test]
+    fn jacobi_converges_to_boundary_value() {
+        let (v, it) = jacobi_2d(hot_edges(20, 20), 5000, 1e-9);
+        assert!(it < 5000, "converged in {it}");
+        assert!((v.at(10, 10) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_faster_than_jacobi() {
+        let (_, itj) = jacobi_2d(hot_edges(24, 24), 10_000, 1e-8);
+        let (_, itg) = gauss_seidel_2d(hot_edges(24, 24), 10_000, 1e-8);
+        assert!(itg < itj, "GS {itg} vs Jacobi {itj}");
+    }
+
+    #[test]
+    fn sor_beats_gauss_seidel() {
+        let (_, itg) = gauss_seidel_2d(hot_edges(24, 24), 10_000, 1e-8);
+        let (_, its) = sor_2d(hot_edges(24, 24), 1.7, 10_000, 1e-8);
+        assert!(its < itg, "SOR {its} vs GS {itg}");
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_sequential_exactly() {
+        let (a, ita) = jacobi_2d(hot_edges(30, 17), 200, 0.0);
+        let (b, itb) = jacobi_2d_parallel(hot_edges(30, 17), 200, 0.0);
+        assert_eq!(ita, itb);
+        assert_eq!(a.max_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn field_indexing_is_one_based() {
+        let mut f = Field2D::zeros(3, 2);
+        *f.at_mut(1, 1) = 5.0;
+        *f.at_mut(3, 2) = 7.0;
+        assert_eq!(f.at(1, 1), 5.0);
+        assert_eq!(f.at(3, 2), 7.0);
+        assert_eq!(f.data()[0], 5.0);
+        assert_eq!(f.data()[5], 7.0);
+    }
+
+    #[test]
+    fn boundary_setting() {
+        let f = hot_edges(5, 4);
+        assert_eq!(f.at(1, 2), 1.0);
+        assert_eq!(f.at(5, 3), 1.0);
+        assert_eq!(f.at(3, 1), 1.0);
+        assert_eq!(f.at(2, 4), 1.0);
+        assert_eq!(f.at(3, 2), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line solvers (ADI) and ordering variants
+// ---------------------------------------------------------------------
+
+/// Solve a tridiagonal system `a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] =
+/// d[i]` with the Thomas algorithm. `a[0]` and `c[n-1]` are ignored.
+///
+/// # Panics
+/// Panics if the slices have mismatched lengths or a pivot vanishes.
+pub fn thomas(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    assert!(n >= 1 && a.len() == n && c.len() == n && d.len() == n);
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    assert!(b[0] != 0.0, "zero pivot");
+    cp[0] = c[0] / b[0];
+    dp[0] = d[0] / b[0];
+    for i in 1..n {
+        let m = b[i] - a[i] * cp[i - 1];
+        assert!(m != 0.0, "zero pivot at row {i}");
+        cp[i] = c[i] / m;
+        dp[i] = (d[i] - a[i] * dp[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = dp[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = dp[i] - cp[i] * x[i + 1];
+    }
+    x
+}
+
+/// One ADI (alternating-direction implicit) half-step pair for the heat
+/// equation on `v` with parameter `lambda`: an implicit line solve along
+/// axis 0 for every j, then along axis 1 for every i. Returns the max
+/// update delta. This is the numerical method behind the paper's
+/// dimensional-splitting sweeps.
+pub fn adi_step(v: &mut Field2D, lambda: f64) -> f64 {
+    let (ni, nj) = (v.ni, v.nj);
+    let mut err = 0.0f64;
+    // x-direction implicit solves (interior lines)
+    for j in 2..nj {
+        let n = ni - 2;
+        let a = vec![-lambda; n];
+        let b = vec![1.0 + 2.0 * lambda; n];
+        let c = vec![-lambda; n];
+        let mut d = Vec::with_capacity(n);
+        for i in 2..ni {
+            let rhs = v.at(i, j) + lambda * (v.at(i, j - 1) - 2.0 * v.at(i, j) + v.at(i, j + 1));
+            // fold boundary values into the RHS
+            let bl = if i == 2 { lambda * v.at(1, j) } else { 0.0 };
+            let br = if i == ni - 1 {
+                lambda * v.at(ni, j)
+            } else {
+                0.0
+            };
+            d.push(rhs + bl + br);
+        }
+        let x = thomas(&a, &b, &c, &d);
+        for (k, i) in (2..ni).enumerate() {
+            err = err.max((x[k] - v.at(i, j)).abs());
+            *v.at_mut(i, j) = x[k];
+        }
+    }
+    // y-direction implicit solves
+    for i in 2..ni {
+        let n = nj - 2;
+        let a = vec![-lambda; n];
+        let b = vec![1.0 + 2.0 * lambda; n];
+        let c = vec![-lambda; n];
+        let mut d = Vec::with_capacity(n);
+        for j in 2..nj {
+            let rhs = v.at(i, j) + lambda * (v.at(i - 1, j) - 2.0 * v.at(i, j) + v.at(i + 1, j));
+            let bl = if j == 2 { lambda * v.at(i, 1) } else { 0.0 };
+            let br = if j == nj - 1 {
+                lambda * v.at(i, nj)
+            } else {
+                0.0
+            };
+            d.push(rhs + bl + br);
+        }
+        let x = thomas(&a, &b, &c, &d);
+        for (k, j) in (2..nj).enumerate() {
+            err = err.max((x[k] - v.at(i, j)).abs());
+            *v.at_mut(i, j) = x[k];
+        }
+    }
+    err
+}
+
+/// Red-black Gauss–Seidel step: two half-sweeps over points of each
+/// parity. Unlike plain GS, each half-sweep is order-independent (and
+/// thus trivially parallel) — the classic reordering alternative to the
+/// paper's mirror-image decomposition.
+pub fn red_black_step(v: &mut Field2D) -> f64 {
+    let mut err = 0.0f64;
+    for color in 0..2usize {
+        for j in 2..v.nj {
+            for i in 2..v.ni {
+                if (i + j) % 2 != color {
+                    continue;
+                }
+                let nv = 0.25 * (v.at(i - 1, j) + v.at(i + 1, j) + v.at(i, j - 1) + v.at(i, j + 1));
+                err = err.max((nv - v.at(i, j)).abs());
+                *v.at_mut(i, j) = nv;
+            }
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod line_solver_tests {
+    use super::*;
+
+    #[test]
+    fn thomas_solves_known_system() {
+        // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1, 2, 3]
+        let x = thomas(
+            &[0.0, 1.0, 1.0],
+            &[2.0, 2.0, 2.0],
+            &[1.0, 1.0, 0.0],
+            &[4.0, 8.0, 8.0],
+        );
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn thomas_single_row() {
+        assert_eq!(thomas(&[0.0], &[4.0], &[0.0], &[8.0]), vec![2.0]);
+    }
+
+    #[test]
+    fn thomas_matches_dense_solution_on_random_systems() {
+        // diagonally dominant random systems; verify by residual
+        let mut seed = 12345u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for n in [2usize, 5, 17] {
+            let a: Vec<f64> = (0..n).map(|_| rnd() * 0.4).collect();
+            let c: Vec<f64> = (0..n).map(|_| rnd() * 0.4).collect();
+            let b: Vec<f64> = (0..n).map(|_| 2.0 + rnd() * 0.2).collect();
+            let d: Vec<f64> = (0..n).map(|_| rnd() * 3.0).collect();
+            let x = thomas(&a, &b, &c, &d);
+            for i in 0..n {
+                let mut lhs = b[i] * x[i];
+                if i > 0 {
+                    lhs += a[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    lhs += c[i] * x[i + 1];
+                }
+                assert!((lhs - d[i]).abs() < 1e-9, "row {i}: {lhs} vs {}", d[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn adi_converges_to_boundary_value() {
+        let mut v = Field2D::zeros(18, 18);
+        v.set_boundary(1.0);
+        let mut last = f64::MAX;
+        for _ in 0..400 {
+            last = adi_step(&mut v, 0.8);
+            if last < 1e-10 {
+                break;
+            }
+        }
+        assert!(last < 1e-10, "ADI residual {last}");
+        assert!((v.at(9, 9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adi_converges_faster_than_jacobi_per_sweep() {
+        let mut a = Field2D::zeros(20, 20);
+        a.set_boundary(1.0);
+        let mut adi_iters = 0;
+        for k in 1..=2000 {
+            if adi_step(&mut a, 0.8) < 1e-8 {
+                adi_iters = k;
+                break;
+            }
+        }
+        let (_, jac_iters) = jacobi_2d(
+            {
+                let mut f = Field2D::zeros(20, 20);
+                f.set_boundary(1.0);
+                f
+            },
+            10_000,
+            1e-8,
+        );
+        assert!(
+            adi_iters > 0 && adi_iters < jac_iters,
+            "ADI {adi_iters} vs Jacobi {jac_iters}"
+        );
+    }
+
+    #[test]
+    fn red_black_converges_to_same_solution_as_gs() {
+        let mk = || {
+            let mut f = Field2D::zeros(16, 16);
+            f.set_boundary(2.0);
+            f
+        };
+        let mut rb = mk();
+        for _ in 0..2000 {
+            if red_black_step(&mut rb) < 1e-12 {
+                break;
+            }
+        }
+        let (gs, _) = gauss_seidel_2d(mk(), 5000, 1e-12);
+        assert!(rb.max_diff(&gs) < 1e-8);
+    }
+}

@@ -1,0 +1,340 @@
+//! Discrete-event simulation of SPMD executions.
+//!
+//! The closed-form phase model in the crate root is convenient but
+//! coarse: it assumes phases are globally synchronous. This module
+//! simulates the *actual event structure* — per-rank virtual clocks,
+//! point-to-point messages with latency/bandwidth delivery times, FIFO
+//! matching, blocking receives, collectives — so the phase model's
+//! predictions can be cross-validated (see the `des_matches_closed_form`
+//! tests) and pipeline skew can be observed directly rather than
+//! approximated by an `overlap` coefficient.
+//!
+//! A rank's behaviour is a straight-line [`Action`] program; the
+//! simulator advances clocks until every program completes, detecting
+//! deadlock (no runnable rank) instead of hanging.
+
+use crate::NetworkModel;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Compute for this many seconds.
+    Compute(f64),
+    /// Send `bytes` to rank `to` (buffered; the sender pays the software
+    /// latency, the wire adds transfer time to the delivery).
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Block until the next FIFO message from `from` arrives.
+    Recv {
+        /// Source rank.
+        from: usize,
+    },
+    /// Block until all ranks reach this point.
+    Barrier,
+}
+
+/// Result of a DES run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesResult {
+    /// Per-rank completion times.
+    pub finish: Vec<f64>,
+    /// Makespan (max finish).
+    pub makespan: f64,
+    /// Per-rank total blocked (waiting) time.
+    pub blocked: Vec<f64>,
+}
+
+/// Why a DES run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesError {
+    /// No rank can make progress: a receive waits for a message that is
+    /// never sent (or a barrier some rank never reaches).
+    Deadlock {
+        /// Ranks stuck in a blocking action, with their program counter.
+        stuck: Vec<(usize, usize)>,
+    },
+    /// A send targets a rank outside the program list.
+    BadRank {
+        /// The offending rank.
+        rank: usize,
+        /// Its program counter.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for DesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesError::Deadlock { stuck } => write!(f, "deadlock; stuck ranks {stuck:?}"),
+            DesError::BadRank { rank, pc } => {
+                write!(f, "rank {rank} action {pc}: peer out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
+
+/// Run the simulation.
+pub fn run_des(programs: &[Vec<Action>], net: &NetworkModel) -> Result<DesResult, DesError> {
+    let n = programs.len();
+    let mut clock = vec![0.0f64; n];
+    let mut blocked = vec![0.0f64; n];
+    let mut pc = vec![0usize; n];
+    // in-flight messages per (from, to): FIFO of delivery times
+    let mut channels: Vec<Vec<VecDeque<f64>>> = vec![vec![VecDeque::new(); n]; n];
+    // shared-medium bus: the time the wire becomes free
+    let mut bus_free = 0.0f64;
+
+    // barrier bookkeeping: ranks waiting and their arrival times
+    let mut barrier_wait: Vec<Option<f64>> = vec![None; n];
+
+    loop {
+        let mut progressed = false;
+        for r in 0..n {
+            // run rank r as far as it can go
+            #[allow(clippy::while_let_loop)] // `break` exits on *blocking*, not just end
+            loop {
+                let Some(action) = programs[r].get(pc[r]) else {
+                    break;
+                };
+                match *action {
+                    Action::Compute(t) => {
+                        clock[r] += t;
+                        pc[r] += 1;
+                        progressed = true;
+                    }
+                    Action::Send { to, bytes } => {
+                        if to >= n {
+                            return Err(DesError::BadRank { rank: r, pc: pc[r] });
+                        }
+                        let wire = bytes as f64 / net.bandwidth;
+                        let delivery = if net.shared {
+                            // the shared segment serializes transfers
+                            let start = clock[r].max(bus_free) + net.latency;
+                            bus_free = start + wire;
+                            bus_free
+                        } else {
+                            clock[r] + net.latency + wire
+                        };
+                        channels[r][to].push_back(delivery);
+                        // sender pays the software overhead only
+                        clock[r] += net.latency;
+                        pc[r] += 1;
+                        progressed = true;
+                    }
+                    Action::Recv { from } => {
+                        if from >= n {
+                            return Err(DesError::BadRank { rank: r, pc: pc[r] });
+                        }
+                        match channels[from][r].front() {
+                            Some(&delivery) => {
+                                channels[from][r].pop_front();
+                                if delivery > clock[r] {
+                                    blocked[r] += delivery - clock[r];
+                                    clock[r] = delivery;
+                                }
+                                clock[r] += net.latency; // unpack overhead
+                                pc[r] += 1;
+                                progressed = true;
+                            }
+                            None => break, // blocked: try other ranks first
+                        }
+                    }
+                    Action::Barrier => {
+                        if barrier_wait[r].is_none() {
+                            barrier_wait[r] = Some(clock[r]);
+                            progressed = true;
+                        }
+                        // barrier resolves only when everyone with a
+                        // Barrier as the current action has arrived
+                        let arrived = (0..n).filter(|&q| barrier_wait[q].is_some()).count();
+                        if arrived == n {
+                            let release = barrier_wait
+                                .iter()
+                                .map(|t| t.unwrap())
+                                .fold(0.0f64, f64::max);
+                            for q in 0..n {
+                                let at = barrier_wait[q].take().unwrap();
+                                if release > at {
+                                    blocked[q] += release - at;
+                                }
+                                clock[q] = clock[q].max(release);
+                                pc[q] += 1;
+                            }
+                            progressed = true;
+                        } else {
+                            break; // wait for the others
+                        }
+                    }
+                }
+            }
+        }
+        if pc.iter().zip(programs).all(|(&p, prog)| p >= prog.len()) {
+            break;
+        }
+        if !progressed {
+            let stuck: Vec<(usize, usize)> = (0..n)
+                .filter(|&r| pc[r] < programs[r].len())
+                .map(|r| (r, pc[r]))
+                .collect();
+            return Err(DesError::Deadlock { stuck });
+        }
+    }
+    let makespan = clock.iter().copied().fold(0.0, f64::max);
+    Ok(DesResult {
+        finish: clock,
+        makespan,
+        blocked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel {
+            latency: 1.0e-3,
+            bandwidth: 1.25e6,
+            shared: false,
+        }
+    }
+
+    #[test]
+    fn independent_ranks_run_concurrently() {
+        let progs = vec![vec![Action::Compute(2.0)], vec![Action::Compute(3.0)]];
+        let r = run_des(&progs, &net()).unwrap();
+        assert_eq!(r.makespan, 3.0);
+        assert_eq!(r.finish, vec![2.0, 3.0]);
+        assert_eq!(r.blocked, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn message_delivery_includes_latency_and_wire() {
+        let n = net();
+        let progs = vec![
+            vec![Action::Compute(1.0), Action::Send { to: 1, bytes: 1250 }],
+            vec![Action::Recv { from: 0 }],
+        ];
+        let r = run_des(&progs, &n).unwrap();
+        // delivery = 1.0 + 1ms + 1250/1.25e6 (=1ms); receiver adds 1ms unpack
+        let expect = 1.0 + 0.001 + 0.001 + 0.001;
+        assert!((r.finish[1] - expect).abs() < 1e-9, "{}", r.finish[1]);
+        assert!(r.blocked[1] > 0.9, "receiver blocked while rank 0 computes");
+    }
+
+    #[test]
+    fn pipeline_serializes() {
+        // 4-stage forward pipeline: each rank waits for upstream, computes,
+        // sends downstream — makespan ≈ sum of compute times
+        let n = 4;
+        let compute = 0.5;
+        let progs: Vec<Vec<Action>> = (0..n)
+            .map(|r| {
+                let mut p = Vec::new();
+                if r > 0 {
+                    p.push(Action::Recv { from: r - 1 });
+                }
+                p.push(Action::Compute(compute));
+                if r + 1 < n {
+                    p.push(Action::Send {
+                        to: r + 1,
+                        bytes: 100,
+                    });
+                }
+                p
+            })
+            .collect();
+        let r = run_des(&progs, &net()).unwrap();
+        assert!(
+            (r.makespan - n as f64 * compute).abs() < 0.05,
+            "pipeline makespan {} ≈ {}",
+            r.makespan,
+            n as f64 * compute
+        );
+        // downstream ranks block progressively longer
+        assert!(r.blocked[3] > r.blocked[1]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let progs = vec![
+            vec![Action::Compute(1.0), Action::Barrier, Action::Compute(0.5)],
+            vec![Action::Compute(3.0), Action::Barrier, Action::Compute(0.5)],
+        ];
+        let r = run_des(&progs, &net()).unwrap();
+        assert_eq!(r.finish, vec![3.5, 3.5]);
+        assert!((r.blocked[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_bus_serializes_transfers() {
+        let shared = NetworkModel {
+            shared: true,
+            ..net()
+        };
+        let big = 1_250_000; // 1 second of wire time
+        let mk = |n: &NetworkModel| {
+            let progs = vec![
+                vec![Action::Send { to: 2, bytes: big }],
+                vec![Action::Send { to: 2, bytes: big }],
+                vec![Action::Recv { from: 0 }, Action::Recv { from: 1 }],
+            ];
+            run_des(&progs, n).unwrap().makespan
+        };
+        let t_shared = mk(&shared);
+        let t_switched = mk(&net());
+        assert!(
+            t_shared > t_switched + 0.9,
+            "bus serialization: {t_shared} vs {t_switched}"
+        );
+    }
+
+    #[test]
+    fn fifo_matching_per_channel() {
+        let n = net();
+        let progs = vec![
+            vec![
+                Action::Send { to: 1, bytes: 10 },
+                Action::Compute(1.0),
+                Action::Send { to: 1, bytes: 20 },
+            ],
+            vec![Action::Recv { from: 0 }, Action::Recv { from: 0 }],
+        ];
+        let r = run_des(&progs, &n).unwrap();
+        // second recv must wait for the second send (after 1s of compute)
+        assert!(r.finish[1] > 1.0);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let progs = vec![
+            vec![Action::Recv { from: 1 }],
+            vec![Action::Recv { from: 0 }],
+        ];
+        let e = run_des(&progs, &net()).unwrap_err();
+        assert!(matches!(e, DesError::Deadlock { ref stuck } if stuck.len() == 2));
+    }
+
+    #[test]
+    fn bad_rank_detected() {
+        let progs = vec![vec![Action::Send { to: 9, bytes: 1 }]];
+        assert!(matches!(
+            run_des(&progs, &net()),
+            Err(DesError::BadRank { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_programs_finish_instantly() {
+        let r = run_des(&[vec![], vec![]], &net()).unwrap();
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! SPMD restructuring — §3 of the paper ("the pre-compiler finally
+//! restructures the sequential source code into optimized parallel
+//! source code") and Appendix 2.
+//!
+//! The restructurer consumes the IR, a grid [`Partition`](autocfd_grid::Partition),
+//! and the optimized [`SyncPlan`](autocfd_syncopt::SyncPlan), and produces:
+//!
+//! * a transformed [`SourceFile`](autocfd_fortran::SourceFile) — the parallel Fortran program in SPMD
+//!   form, with
+//!   * `call acf_init()` injected at the top of the main program (binds
+//!     the per-rank subgrid bounds to the scalars `acflo1`/`acfhi1`, …),
+//!   * loop bounds localized: `do i = 2, 99` becomes
+//!     `do i = max(2, acflo1), min(99, acfhi1)` for every loop whose
+//!     induction variable spans a cut grid axis ("modifying loop
+//!     indices"),
+//!   * `call acf_sync_<k>()` inserted at each combined synchronization
+//!     point ("inserting communication statements"),
+//!   * self-dependent field loops bracketed by `call acf_pre_<k>()` /
+//!     `call acf_post_<k>()` implementing the mirror-image decomposition
+//!     schedule (old-value exchange + forward pipeline),
+//!   * `call acf_reduce_<op>_<var>()` inserted after field loops that
+//!     compute recognized reductions (the CFD convergence error),
+//! * an [`SpmdPlan`] — the executable description of those `acf_*` calls
+//!   (which arrays, which ghost widths, which axes/directions, the
+//!   partition geometry) that the SPMD interpreter's hook set executes
+//!   through the message-passing runtime.
+//!
+//! Deviations from the paper, by design (documented in DESIGN.md): each
+//! rank allocates full-size arrays and indexes them globally instead of
+//! resizing to subgrid+ghost ("redefining the sizes of arrays") — the
+//! communication pattern and volume are identical, memory behaviour is
+//! modeled separately by the cluster cost model.
+
+pub mod analyze;
+pub mod plan;
+pub mod restructure;
+
+pub use analyze::{detect_reductions, loop_axis, ReduceOpKind, Reduction};
+pub use plan::{PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncSpec};
+pub use restructure::{transform, TransformError};

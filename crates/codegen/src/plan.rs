@@ -1,0 +1,167 @@
+//! The executable SPMD plan: what each `acf_*` call must do.
+
+use autocfd_grid::Partition;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One boundary-slab transfer obligation of a self-dependent loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeStep {
+    /// Grid axis of the transfer.
+    pub axis: usize,
+    /// Where the incoming data comes from: −1 = lower neighbor, +1 = upper.
+    pub dir: i32,
+    /// Slab width in grid layers.
+    pub width: u64,
+}
+
+/// Ghost requirements of one array at a synchronization point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncArray {
+    /// Array name.
+    pub array: String,
+    /// Per grid axis `[from_lower, from_upper]` ghost layers to receive.
+    pub ghost: Vec<[u64; 2]>,
+}
+
+/// One combined synchronization point (a halo exchange of one or more
+/// arrays).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncSpec {
+    /// Plan-unique id; the generated call is `acf_sync_<id>`.
+    pub id: u32,
+    /// Arrays to exchange, with ghost widths.
+    pub arrays: Vec<SyncArray>,
+    /// How many upper-bound regions were merged here (reporting).
+    pub merged: usize,
+}
+
+/// The mirror-image schedule of one array within a self-dependent loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelfArraySpec {
+    /// Array name.
+    pub array: String,
+    /// Forward-subgraph obligations: receive *updated* slabs before
+    /// computing (pipeline; `dir` is the source direction).
+    pub forward: Vec<PipeStep>,
+    /// Mirror-subgraph obligations: receive *old* (pre-sweep) slabs.
+    pub mirror: Vec<PipeStep>,
+}
+
+/// One self-dependent field loop with its decomposition schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelfLoopSpec {
+    /// Plan-unique id; the generated calls are `acf_pre_<id>` and
+    /// `acf_post_<id>`.
+    pub id: u32,
+    /// Per-array schedules.
+    pub arrays: Vec<SelfArraySpec>,
+}
+
+/// A recognized reduction to make global after a localized field loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReduceSpec {
+    /// Scalar variable name.
+    pub var: String,
+    /// `"max"`, `"min"` or `"sum"` — the generated call is
+    /// `acf_reduce_<op>_<var>`.
+    pub op: String,
+}
+
+/// Everything the SPMD hook set needs at run time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpmdPlan {
+    /// The grid partition (per-rank subgrid bounds, neighbors).
+    pub partition: Partition,
+    /// Status-array dimension→axis mappings (needed to slice slabs out of
+    /// arbitrary-rank arrays), keyed by array name.
+    pub dim_axis: BTreeMap<String, Vec<Option<usize>>>,
+    /// Synchronization points by id.
+    pub syncs: BTreeMap<u32, SyncSpec>,
+    /// Self-dependent loops by id.
+    pub self_loops: BTreeMap<u32, SelfLoopSpec>,
+    /// Reductions (also encoded in the call names; kept for reporting).
+    pub reduces: Vec<ReduceSpec>,
+    /// Output fills by id: before a `write` that references status-array
+    /// elements, `acf_fill_<id>` allgathers the listed arrays so every
+    /// rank holds the complete field (ranks otherwise only own their
+    /// subgrid).
+    pub fills: BTreeMap<u32, Vec<String>>,
+    /// Table-1 statistics carried through from the sync plan.
+    pub sync_before: u64,
+    /// See [`SpmdPlan::sync_before`].
+    pub sync_after: u64,
+}
+
+impl SpmdPlan {
+    /// Number of ranks the plan targets.
+    pub fn ranks(&self) -> u32 {
+        self.partition.spec.tasks()
+    }
+
+    /// Axes with more than one part.
+    pub fn cut_axes(&self) -> Vec<usize> {
+        self.partition
+            .spec
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 1)
+            .map(|(a, _)| a)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocfd_grid::{partition, GridShape, PartitionSpec};
+
+    #[test]
+    fn cut_axes_from_spec() {
+        let p = partition(&GridShape::d3(40, 40, 10), &PartitionSpec::new(&[2, 1, 2]));
+        let plan = SpmdPlan {
+            partition: p,
+            dim_axis: BTreeMap::new(),
+            syncs: BTreeMap::new(),
+            self_loops: BTreeMap::new(),
+            reduces: vec![],
+            fills: BTreeMap::new(),
+            sync_before: 0,
+            sync_after: 0,
+        };
+        assert_eq!(plan.cut_axes(), vec![0, 2]);
+        assert_eq!(plan.ranks(), 4);
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let p = partition(&GridShape::d2(10, 10), &PartitionSpec::new(&[2, 1]));
+        let plan = SpmdPlan {
+            partition: p,
+            dim_axis: BTreeMap::from([("v".into(), vec![Some(0), Some(1)])]),
+            syncs: BTreeMap::from([(
+                0,
+                SyncSpec {
+                    id: 0,
+                    arrays: vec![SyncArray {
+                        array: "v".into(),
+                        ghost: vec![[1, 1], [0, 0]],
+                    }],
+                    merged: 2,
+                },
+            )]),
+            self_loops: BTreeMap::new(),
+            reduces: vec![ReduceSpec {
+                var: "err".into(),
+                op: "max".into(),
+            }],
+            fills: BTreeMap::new(),
+            sync_before: 5,
+            sync_after: 1,
+        };
+        let dbg = format!("{plan:?}");
+        assert!(dbg.contains("err"));
+        assert!(dbg.contains("SyncSpec"));
+    }
+}

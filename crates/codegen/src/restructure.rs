@@ -1,0 +1,836 @@
+//! The restructuring pass: sequential AST → parallel SPMD AST + plan.
+
+use crate::analyze::{detect_reductions, loop_axis, loop_step_sign, ReduceOpKind};
+use crate::plan::{
+    PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
+};
+use autocfd_depend::selfdep::{classify_self_dependence, SelfDepClass};
+use autocfd_depend::stencil::loop_stencil;
+use autocfd_fortran::ast::{Expr, SourceFile, Stmt, StmtId, StmtKind};
+use autocfd_grid::Partition;
+use autocfd_ir::{LoopId, ProgramIr, UnitIr};
+use autocfd_syncopt::{ListKey, SyncPlan};
+use std::collections::{BTreeMap, HashMap};
+
+/// Why a program cannot be restructured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// A self-dependent loop with undecodable accesses.
+    OpaqueSelfDependence {
+        /// Unit name.
+        unit: String,
+        /// Source line of the loop.
+        line: u32,
+    },
+    /// A sum reduction in a loop nest not localized on every cut axis
+    /// (the partial sums would double-count).
+    UnlocalizedSum {
+        /// Unit name.
+        unit: String,
+        /// The reduced variable.
+        var: String,
+    },
+    /// A status array is read at a fixed (constant or scalar) subscript
+    /// on a cut axis outside boundary code or output statements: the
+    /// value is only correct on the owning rank, so other ranks would
+    /// silently compute with stale data.
+    RemoteConstantRead {
+        /// Unit name.
+        unit: String,
+        /// Source line of the read.
+        line: u32,
+        /// The array read.
+        array: String,
+    },
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::OpaqueSelfDependence { unit, line } => write!(
+                f,
+                "cannot parallelize self-dependent loop with undecodable subscripts \
+                 (unit `{unit}`, line {line})"
+            ),
+            TransformError::UnlocalizedSum { unit, var } => write!(
+                f,
+                "sum reduction over `{var}` in unit `{unit}` is not localized on every \
+                 cut axis; the parallel partial sums would double-count"
+            ),
+            TransformError::RemoteConstantRead { unit, line, array } => write!(
+                f,
+                "`{array}` is read at a fixed subscript on a partitioned axis (unit \
+                 `{unit}`, line {line}); only the owning rank holds that value — move \
+                 the read into a write statement (which gathers the field) or index it \
+                 with the loop variables"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Transform the program into its SPMD form.
+///
+/// `distance` is the `!$acf distance` fallback for opaque accesses.
+pub fn transform(
+    ir: &ProgramIr,
+    part: &Partition,
+    plan: &SyncPlan,
+    distance: u64,
+) -> Result<(SourceFile, SpmdPlan), TransformError> {
+    let cut_axes = plan.cut_axes.clone();
+    let mut edit = Edits::new(&ir.file);
+
+    // ---- synchronization points → acf_sync_<k> calls -------------------
+    let mut syncs = BTreeMap::new();
+    for (k, pt) in plan.sync_points.iter().enumerate() {
+        let id = k as u32;
+        let arrays = pt
+            .deps
+            .iter()
+            .map(|(a, d)| SyncArray {
+                array: a.clone(),
+                ghost: d.ghost.clone(),
+            })
+            .collect();
+        syncs.insert(
+            id,
+            SyncSpec {
+                id,
+                arrays,
+                merged: pt.merged,
+            },
+        );
+        edit.insert(
+            &pt.unit,
+            pt.list,
+            pt.gap,
+            call_stmt(&format!("acf_sync_{id}")),
+        );
+    }
+
+    // ---- self-dependent loops → acf_pre/post_<k> ------------------------
+    let mut self_loops = BTreeMap::new();
+    let mut next_self = 0u32;
+    for u in &ir.units {
+        for pair in plan
+            .self_pairs
+            .get(&u.name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+        {
+            let l = pair.l_a;
+            let info = u.loop_info(l);
+            let mut arrays = Vec::new();
+            for array in pair.deps.keys() {
+                let st = loop_stencil(ir, u, l, array);
+                if st.has_opaque {
+                    return Err(TransformError::OpaqueSelfDependence {
+                        unit: u.name.clone(),
+                        line: info.line_start,
+                    });
+                }
+                if classify_self_dependence(&st, &cut_axes) == SelfDepClass::NoCrossDependence {
+                    continue;
+                }
+                let mut forward = Vec::new();
+                let mut mirror = Vec::new();
+                for &axis in &cut_axes {
+                    let sign = axis_iteration_sign(ir, u, l, axis);
+                    let [mut low, mut high] = st.ghost(axis);
+                    if sign < 0 {
+                        std::mem::swap(&mut low, &mut high);
+                    }
+                    // reads "behind" the sweep are forward (pipeline)
+                    // dependences; reads "ahead" are mirror (old-value).
+                    // With an ascending sweep, behind = lower neighbor.
+                    let (pipe_dir, old_dir) = if sign >= 0 { (-1, 1) } else { (1, -1) };
+                    if low > 0 {
+                        forward.push(PipeStep {
+                            axis,
+                            dir: pipe_dir,
+                            width: low,
+                        });
+                    }
+                    if high > 0 {
+                        mirror.push(PipeStep {
+                            axis,
+                            dir: old_dir,
+                            width: high,
+                        });
+                    }
+                }
+                if !forward.is_empty() || !mirror.is_empty() {
+                    arrays.push(SelfArraySpec {
+                        array: array.clone(),
+                        forward,
+                        mirror,
+                    });
+                }
+            }
+            if arrays.is_empty() {
+                continue;
+            }
+            let id = next_self;
+            next_self += 1;
+            self_loops.insert(id, SelfLoopSpec { id, arrays });
+            edit.wrap(
+                &u.name,
+                info.stmt,
+                call_stmt(&format!("acf_pre_{id}")),
+                call_stmt(&format!("acf_post_{id}")),
+            );
+        }
+    }
+
+    // ---- localization: loops whose variable spans a cut axis ------------
+    let mut units_with_localized: Vec<String> = Vec::new();
+    for u in &ir.units {
+        let mut any = false;
+        for l in &u.loops {
+            if let Some(axis) = loop_axis(ir, u, l.id) {
+                if cut_axes.contains(&axis) {
+                    edit.localize(&u.name, l.stmt, axis);
+                    any = true;
+                }
+            }
+        }
+        if any {
+            units_with_localized.push(u.name.clone());
+        }
+    }
+
+    // ---- reductions ------------------------------------------------------
+    let mut reduces = Vec::new();
+    for (uast, u) in ir.file.units.iter().zip(&ir.units) {
+        for root in u.field_roots() {
+            let body =
+                find_loop_body(&uast.body, root.stmt).expect("field root loop exists in AST");
+            let rs = detect_reductions(body);
+            if rs.is_empty() {
+                continue;
+            }
+            let localized_axes: Vec<usize> = cut_axes
+                .iter()
+                .copied()
+                .filter(|&a| nest_localized_on(ir, u, root.id, a))
+                .collect();
+            if localized_axes.is_empty() {
+                continue; // loop runs redundantly on all ranks: no reduce
+            }
+            for r in rs {
+                if r.op == ReduceOpKind::Sum && localized_axes.len() != cut_axes.len() {
+                    return Err(TransformError::UnlocalizedSum {
+                        unit: u.name.clone(),
+                        var: r.var,
+                    });
+                }
+                reduces.push(ReduceSpec {
+                    var: r.var.clone(),
+                    op: r.op.name().to_string(),
+                });
+                edit.insert_after_stmt(
+                    &u.name,
+                    root.stmt,
+                    call_stmt(&format!("acf_reduce_{}_{}", r.op.name(), r.var)),
+                );
+            }
+        }
+    }
+
+    // ---- soundness: remote constant reads -----------------------------
+    check_remote_constant_reads(ir, &cut_axes)?;
+
+    // ---- output fills: a `write` that prints status-array elements
+    // needs the full field, not just the rank's subgrid ----------------
+    let mut fills: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut next_fill = 0u32;
+    for (uast, u) in ir.file.units.iter().zip(&ir.units) {
+        let mut sites: Vec<(StmtId, Vec<String>)> = Vec::new();
+        autocfd_fortran::ast::walk_stmts(&uast.body, &mut |st| {
+            if let StmtKind::Write { items, .. } = &st.kind {
+                let mut arrays: Vec<String> = Vec::new();
+                for e in items {
+                    e.walk(&mut |x| {
+                        if let Expr::Index { name, .. } = x {
+                            if ir.status_arrays.contains_key(name) && !arrays.contains(name) {
+                                arrays.push(name.clone());
+                            }
+                        }
+                    });
+                }
+                if !arrays.is_empty() {
+                    sites.push((st.id, arrays));
+                }
+            }
+        });
+        for (stmt, arrays) in sites {
+            let id = next_fill;
+            next_fill += 1;
+            fills.insert(id, arrays);
+            edit.insert_before_stmt(&u.name, stmt, call_stmt(&format!("acf_fill_{id}")));
+        }
+    }
+
+    // ---- acf_init at the top of every unit that needs the rank's
+    // subgrid bounds (the `acflo`/`acfhi` scalars are frame-local) -------
+    let mut init_units = units_with_localized;
+    if let Some(main) = ir.file.main_unit() {
+        if !init_units.contains(&main.name) {
+            init_units.push(main.name.clone());
+        }
+    }
+    let rank = ir.grid_rank();
+    for unit in init_units {
+        edit.insert(&unit, ListKey::UnitBody, 0, call_stmt("acf_init"));
+        edit.declare_bounds(&unit, rank);
+    }
+
+    // ---- rebuild the AST -------------------------------------------------
+    let file = edit.apply(&ir.file, &cut_axes);
+
+    let spmd = SpmdPlan {
+        partition: part.clone(),
+        dim_axis: ir
+            .status_arrays
+            .iter()
+            .map(|(n, i)| (n.clone(), i.dim_axis.clone()))
+            .collect(),
+        syncs,
+        self_loops,
+        reduces,
+        fills,
+        sync_before: plan.stats.before,
+        sync_after: plan.stats.after,
+    };
+    let _ = distance;
+    Ok((file, spmd))
+}
+
+/// Reject reads of status arrays at fixed subscripts on cut axes, except
+/// (a) inside `write` statements (the generated `acf_fill` gathers the
+/// field first) and (b) in boundary code whose *writes* are also at
+/// fixed subscripts on a cut axis (the owner computes correct values and
+/// non-owners' garbage is confined to rows they never legitimately read;
+/// subsequent halo exchanges deliver the owner's values).
+fn check_remote_constant_reads(ir: &ProgramIr, cut_axes: &[usize]) -> Result<(), TransformError> {
+    use std::collections::HashSet;
+    // Scalar-variable subscripts (e.g. multigrid level indices) are the
+    // paper's §4.2 case 5 and stay covered by the user's `!$acf distance`
+    // promise; only compile-time-constant subscripts — statically a fixed
+    // global position — are flagged.
+    let fixed_on_cut = |acc: &autocfd_ir::ArrayAccess| -> bool {
+        let Some(info) = ir.status_arrays.get(&acc.array) else {
+            return false;
+        };
+        acc.patterns.iter().enumerate().any(|(d, p)| {
+            matches!(p, autocfd_ir::IndexPattern::Constant(_))
+                && info
+                    .dim_axis
+                    .get(d)
+                    .copied()
+                    .flatten()
+                    .is_some_and(|a| cut_axes.contains(&a))
+        })
+    };
+    for (uast, u) in ir.file.units.iter().zip(&ir.units) {
+        // statement ids of `write` statements (exempt)
+        let mut write_stmts: HashSet<StmtId> = HashSet::new();
+        autocfd_fortran::ast::walk_stmts(&uast.body, &mut |st| {
+            if matches!(st.kind, StmtKind::Write { .. }) {
+                write_stmts.insert(st.id);
+            }
+        });
+        for acc in &u.accesses {
+            if acc.is_assign || !fixed_on_cut(acc) || write_stmts.contains(&acc.stmt) {
+                continue;
+            }
+            // boundary-code exemption: the same statement writes a status
+            // array at a fixed subscript on a cut axis
+            let boundary = u
+                .accesses
+                .iter()
+                .any(|w| w.stmt == acc.stmt && w.is_assign && fixed_on_cut(w));
+            if !boundary {
+                return Err(TransformError::RemoteConstantRead {
+                    unit: u.name.clone(),
+                    line: acc.line,
+                    array: acc.array.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True if the nest rooted at `root` contains a loop localized on `axis`.
+fn nest_localized_on(ir: &ProgramIr, u: &UnitIr, root: LoopId, axis: usize) -> bool {
+    u.loops
+        .iter()
+        .any(|l| u.is_in_loop(l.id, root) && loop_axis(ir, u, l.id) == Some(axis))
+}
+
+/// The iteration direction (+1/−1) of the loop in `root`'s nest whose
+/// variable spans `axis`.
+fn axis_iteration_sign(ir: &ProgramIr, u: &UnitIr, root: LoopId, axis: usize) -> i64 {
+    for l in &u.loops {
+        if u.is_in_loop(l.id, root) && loop_axis(ir, u, l.id) == Some(axis) {
+            // find the Do statement's step in the AST
+            if let Some(step_sign) = find_step_sign(ir, &u.name, l.stmt) {
+                return step_sign;
+            }
+        }
+    }
+    1
+}
+
+fn find_step_sign(ir: &ProgramIr, unit: &str, stmt: StmtId) -> Option<i64> {
+    let uast = ir.file.unit(unit)?;
+    let mut sign = None;
+    autocfd_fortran::ast::walk_stmts(&uast.body, &mut |s| {
+        if s.id == stmt {
+            if let StmtKind::Do { step, .. } = &s.kind {
+                sign = Some(loop_step_sign(step.as_ref()));
+            }
+        }
+    });
+    sign
+}
+
+fn find_loop_body(stmts: &[Stmt], id: StmtId) -> Option<&[Stmt]> {
+    for s in stmts {
+        if s.id == id {
+            if let StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. } = &s.kind {
+                return Some(body);
+            }
+        }
+        for b in s.child_bodies() {
+            if let Some(found) = find_loop_body(b, id) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+fn call_stmt(name: &str) -> StmtKind {
+    StmtKind::Call {
+        name: name.to_string(),
+        args: vec![],
+    }
+}
+
+/// Localized loop bounds for a constant `step`, preserving the stride
+/// *phase*: the first executed index must stay congruent to the original
+/// `from` modulo the step. For |step| = 1 this is the classic
+/// `max(from, acflo)` / `min(to, acfhi)`; for larger strides the lower
+/// bound advances by whole steps:
+///
+/// ```text
+/// from' = from + ((max(0, acflo - from) + s - 1) / s) * s     (s > 0)
+/// from' = from - ((max(0, from - acfhi) + s - 1) / s) * s     (s < 0, s = |step|)
+/// ```
+///
+/// Returns `None` when the step is not a compile-time constant (the loop
+/// is then left global).
+fn localized_bounds(
+    from: &Expr,
+    to: &Expr,
+    step: Option<i64>,
+    axis: usize,
+) -> Option<(Expr, Expr)> {
+    let lo = Expr::Var(format!("acflo{}", axis + 1));
+    let hi = Expr::Var(format!("acfhi{}", axis + 1));
+    let step = step?;
+    if step == 0 {
+        return None;
+    }
+    let mag = step.unsigned_abs() as i64;
+    if step > 0 {
+        let new_from = if mag == 1 {
+            Expr::Index {
+                name: "max".into(),
+                indices: vec![from.clone(), lo],
+            }
+        } else {
+            // from + ((max(0, acflo - from) + (s-1)) / s) * s
+            let deficit = Expr::Index {
+                name: "max".into(),
+                indices: vec![
+                    Expr::IntLit(0),
+                    Expr::bin(autocfd_fortran::BinOp::Sub, lo, from.clone()),
+                ],
+            };
+            let steps_up = Expr::bin(
+                autocfd_fortran::BinOp::Div,
+                Expr::bin(autocfd_fortran::BinOp::Add, deficit, Expr::IntLit(mag - 1)),
+                Expr::IntLit(mag),
+            );
+            Expr::bin(
+                autocfd_fortran::BinOp::Add,
+                from.clone(),
+                Expr::bin(autocfd_fortran::BinOp::Mul, steps_up, Expr::IntLit(mag)),
+            )
+        };
+        let new_to = Expr::Index {
+            name: "min".into(),
+            indices: vec![to.clone(), hi],
+        };
+        Some((new_from, new_to))
+    } else {
+        let new_from = if mag == 1 {
+            Expr::Index {
+                name: "min".into(),
+                indices: vec![from.clone(), hi],
+            }
+        } else {
+            // from - ((max(0, from - acfhi) + (s-1)) / s) * s
+            let deficit = Expr::Index {
+                name: "max".into(),
+                indices: vec![
+                    Expr::IntLit(0),
+                    Expr::bin(autocfd_fortran::BinOp::Sub, from.clone(), hi),
+                ],
+            };
+            let steps_down = Expr::bin(
+                autocfd_fortran::BinOp::Div,
+                Expr::bin(autocfd_fortran::BinOp::Add, deficit, Expr::IntLit(mag - 1)),
+                Expr::IntLit(mag),
+            );
+            Expr::bin(
+                autocfd_fortran::BinOp::Sub,
+                from.clone(),
+                Expr::bin(autocfd_fortran::BinOp::Mul, steps_down, Expr::IntLit(mag)),
+            )
+        };
+        let new_to = Expr::Index {
+            name: "max".into(),
+            indices: vec![to.clone(), lo],
+        };
+        Some((new_from, new_to))
+    }
+}
+
+/// Pending insertions for one statement list: `(gap, seq, stmt kind)`.
+type ListInserts = Vec<(usize, usize, StmtKind)>;
+
+/// Collected edits, applied in one rebuild pass.
+struct Edits {
+    /// Per `(unit, list)` pending insertions.
+    inserts: BTreeMap<(String, ListKey), ListInserts>,
+    /// `(unit, do-stmt) → (pre, post)` wrappers.
+    wraps: HashMap<(String, StmtId), (StmtKind, StmtKind)>,
+    /// `(unit, do-stmt) → axis` bound localization.
+    localized: HashMap<(String, StmtId), usize>,
+    /// Gap-after-stmt inserts resolved lazily: `(unit, stmt) → kinds`.
+    after_stmt: BTreeMap<(String, StmtId), Vec<StmtKind>>,
+    /// Gap-before-stmt inserts resolved lazily.
+    before_stmt: BTreeMap<(String, StmtId), Vec<StmtKind>>,
+    /// Units that need `integer acflo*/acfhi*` declarations, with the
+    /// grid rank (the bound scalars would otherwise be implicitly REAL,
+    /// breaking the integer stride arithmetic of localized bounds).
+    bound_decls: BTreeMap<String, usize>,
+    seq: usize,
+    next_id: u32,
+}
+
+impl Edits {
+    fn new(file: &SourceFile) -> Self {
+        // fresh StmtIds start above everything in the file
+        let mut max_id = 0u32;
+        for u in &file.units {
+            autocfd_fortran::ast::walk_stmts(&u.body, &mut |s| max_id = max_id.max(s.id.0));
+        }
+        Self {
+            inserts: BTreeMap::new(),
+            wraps: HashMap::new(),
+            localized: HashMap::new(),
+            after_stmt: BTreeMap::new(),
+            before_stmt: BTreeMap::new(),
+            bound_decls: BTreeMap::new(),
+            seq: 0,
+            next_id: max_id + 1,
+        }
+    }
+
+    fn insert(&mut self, unit: &str, list: ListKey, gap: usize, kind: StmtKind) {
+        self.seq += 1;
+        self.inserts
+            .entry((unit.to_string(), list))
+            .or_default()
+            .push((gap, self.seq, kind));
+    }
+
+    fn insert_after_stmt(&mut self, unit: &str, stmt: StmtId, kind: StmtKind) {
+        self.after_stmt
+            .entry((unit.to_string(), stmt))
+            .or_default()
+            .push(kind);
+    }
+
+    fn insert_before_stmt(&mut self, unit: &str, stmt: StmtId, kind: StmtKind) {
+        self.before_stmt
+            .entry((unit.to_string(), stmt))
+            .or_default()
+            .push(kind);
+    }
+
+    fn wrap(&mut self, unit: &str, stmt: StmtId, pre: StmtKind, post: StmtKind) {
+        self.wraps.insert((unit.to_string(), stmt), (pre, post));
+    }
+
+    fn localize(&mut self, unit: &str, stmt: StmtId, axis: usize) {
+        self.localized.insert((unit.to_string(), stmt), axis);
+    }
+
+    fn declare_bounds(&mut self, unit: &str, rank: usize) {
+        self.bound_decls.insert(unit.to_string(), rank);
+    }
+
+    fn fresh(&mut self, kind: StmtKind) -> Stmt {
+        let id = StmtId(self.next_id);
+        self.next_id += 1;
+        Stmt {
+            label: None,
+            line: 0,
+            id,
+            kind,
+        }
+    }
+
+    fn apply(mut self, file: &SourceFile, cut_axes: &[usize]) -> SourceFile {
+        let mut out = file.clone();
+        for u in &mut out.units {
+            let name = u.name.clone();
+            if let Some(&rank) = self.bound_decls.get(&name) {
+                let names = (0..rank)
+                    .flat_map(|a| {
+                        [
+                            autocfd_fortran::VarDecl {
+                                name: format!("acflo{}", a + 1),
+                                dims: vec![],
+                            },
+                            autocfd_fortran::VarDecl {
+                                name: format!("acfhi{}", a + 1),
+                                dims: vec![],
+                            },
+                        ]
+                    })
+                    .collect();
+                u.decls.push(autocfd_fortran::Decl {
+                    kind: autocfd_fortran::DeclKind::Var {
+                        ty: autocfd_fortran::Type::Integer,
+                        names,
+                    },
+                    line: 0,
+                });
+            }
+            u.body = self.rebuild_list(&name, ListKey::UnitBody, &u.body.clone(), cut_axes);
+        }
+        out
+    }
+
+    fn rebuild_list(
+        &mut self,
+        unit: &str,
+        key: ListKey,
+        stmts: &[Stmt],
+        cut_axes: &[usize],
+    ) -> Vec<Stmt> {
+        let mut pending = self
+            .inserts
+            .remove(&(unit.to_string(), key))
+            .unwrap_or_default();
+        pending.sort_by_key(|&(gap, seq, _)| (gap, seq));
+        let mut pi = 0usize;
+        let mut out = Vec::with_capacity(stmts.len() + pending.len());
+        for (idx, s) in stmts.iter().enumerate() {
+            while pi < pending.len() && pending[pi].0 <= idx {
+                let kind = pending[pi].2.clone();
+                let st = self.fresh(kind);
+                out.push(st);
+                pi += 1;
+            }
+            if let Some(kinds) = self.before_stmt.remove(&(unit.to_string(), s.id)) {
+                for k in kinds {
+                    let st = self.fresh(k);
+                    out.push(st);
+                }
+            }
+            let wrapped = self.wraps.remove(&(unit.to_string(), s.id));
+            if let Some((pre, _)) = &wrapped {
+                let st = self.fresh(pre.clone());
+                out.push(st);
+            }
+            out.push(self.rebuild_stmt(unit, s, cut_axes));
+            if let Some((_, post)) = wrapped {
+                let st = self.fresh(post);
+                out.push(st);
+            }
+            if let Some(kinds) = self.after_stmt.remove(&(unit.to_string(), s.id)) {
+                for k in kinds {
+                    let st = self.fresh(k);
+                    out.push(st);
+                }
+            }
+        }
+        while pi < pending.len() {
+            let kind = pending[pi].2.clone();
+            let st = self.fresh(kind);
+            out.push(st);
+            pi += 1;
+        }
+        out
+    }
+
+    fn rebuild_stmt(&mut self, unit: &str, s: &Stmt, cut_axes: &[usize]) -> Stmt {
+        let mut s = s.clone();
+        match &mut s.kind {
+            StmtKind::Do {
+                from,
+                to,
+                step,
+                body,
+                term_label,
+                ..
+            } => {
+                if let Some(&axis) = self.localized.get(&(unit.to_string(), s.id)) {
+                    let step_val = match step {
+                        None => Some(1i64),
+                        Some(e) => e.const_int(&|_| None),
+                    };
+                    if let Some(new_bounds) = localized_bounds(from, to, step_val, axis) {
+                        *from = new_bounds.0;
+                        *to = new_bounds.1;
+                    }
+                    // non-constant step: leave the loop global (it runs
+                    // redundantly on every rank, which is safe — owned
+                    // points are computed from exchanged data)
+                }
+                let inner = body.clone();
+                let mut rebuilt = self.rebuild_list(unit, ListKey::DoBody(s.id), &inner, cut_axes);
+                // Label-terminated `do NN … NN continue`: the terminal
+                // labeled statement must stay LAST, or the printed source
+                // would re-parse with trailing insertions outside the loop.
+                if let Some(lbl) = term_label {
+                    if let Some(pos) = rebuilt.iter().position(|st| st.label == Some(*lbl)) {
+                        if pos + 1 != rebuilt.len() {
+                            let term = rebuilt.remove(pos);
+                            rebuilt.push(term);
+                        }
+                    }
+                }
+                *body = rebuilt;
+            }
+            StmtKind::DoWhile { body, .. } => {
+                let inner = body.clone();
+                *body = self.rebuild_list(unit, ListKey::DoBody(s.id), &inner, cut_axes);
+            }
+            StmtKind::If {
+                then,
+                else_ifs,
+                els,
+                ..
+            } => {
+                let t = then.clone();
+                *then = self.rebuild_list(unit, ListKey::ThenArm(s.id), &t, cut_axes);
+                for (k, (_, b)) in else_ifs.iter_mut().enumerate() {
+                    let inner = b.clone();
+                    *b = self.rebuild_list(
+                        unit,
+                        ListKey::ElseIfArm(s.id, k as u32),
+                        &inner,
+                        cut_axes,
+                    );
+                }
+                if let Some(b) = els {
+                    let inner = b.clone();
+                    *b = self.rebuild_list(unit, ListKey::ElseArm(s.id), &inner, cut_axes);
+                }
+            }
+            _ => {}
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod localized_bounds_tests {
+    use super::*;
+    use autocfd_fortran::Expr;
+
+    /// Evaluate a bound expression given acflo/acfhi values.
+    fn eval(e: &Expr, lo: i64, hi: i64) -> i64 {
+        match e {
+            Expr::IntLit(v) => *v,
+            Expr::Var(n) if n.starts_with("acflo") => lo,
+            Expr::Var(n) if n.starts_with("acfhi") => hi,
+            Expr::Index { name, indices } if name == "max" => {
+                indices.iter().map(|x| eval(x, lo, hi)).max().unwrap()
+            }
+            Expr::Index { name, indices } if name == "min" => {
+                indices.iter().map(|x| eval(x, lo, hi)).min().unwrap()
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let (a, b) = (eval(lhs, lo, hi), eval(rhs, lo, hi));
+                match op {
+                    autocfd_fortran::BinOp::Add => a + b,
+                    autocfd_fortran::BinOp::Sub => a - b,
+                    autocfd_fortran::BinOp::Mul => a * b,
+                    autocfd_fortran::BinOp::Div => a / b,
+                    other => panic!("unexpected op {other:?}"),
+                }
+            }
+            other => panic!("unexpected expr {other:?}"),
+        }
+    }
+
+    /// The indices a Fortran `do f, t, s` executes.
+    fn trip(f: i64, t: i64, s: i64) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut i = f;
+        while (s > 0 && i <= t) || (s < 0 && i >= t) {
+            out.push(i);
+            i += s;
+        }
+        out
+    }
+
+    /// Exhaustive check: for every (from, to, step, rank range), the
+    /// localized loop executes exactly the original iterations that fall
+    /// inside [lo, hi].
+    #[test]
+    fn localized_iterations_equal_filtered_originals() {
+        for from in 1..=6i64 {
+            for to in from..=14 {
+                for step in [1i64, 2, 3, -1, -2, -3] {
+                    let (f0, t0) = if step > 0 { (from, to) } else { (to, from) };
+                    for lo in 1..=10i64 {
+                        for hi in lo..=14 {
+                            let (nf, nt) = localized_bounds(
+                                &Expr::IntLit(f0),
+                                &Expr::IntLit(t0),
+                                Some(step),
+                                0,
+                            )
+                            .unwrap();
+                            let got = trip(eval(&nf, lo, hi), eval(&nt, lo, hi), step);
+                            let want: Vec<i64> = trip(f0, t0, step)
+                                .into_iter()
+                                .filter(|i| *i >= lo && *i <= hi)
+                                .collect();
+                            assert_eq!(got, want, "from={f0} to={t0} step={step} lo={lo} hi={hi}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_constant_step_is_not_localized() {
+        assert!(localized_bounds(&Expr::IntLit(1), &Expr::IntLit(9), None, 0).is_none());
+        assert!(localized_bounds(&Expr::IntLit(1), &Expr::IntLit(9), Some(0), 0).is_none());
+    }
+}

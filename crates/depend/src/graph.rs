@@ -1,0 +1,211 @@
+//! Explicit dependence graphs over small iteration spaces (Figure 4).
+//!
+//! The mirror-image decomposition is defined on the dependence graph of a
+//! self-dependent field loop: nodes are grid points, and each reference at
+//! offset `o` adds an edge from the iteration that *produces* a value to
+//! the iteration that *consumes* it. This module materializes such graphs
+//! for small grids so tests (and the `mirror_image` example) can verify
+//! the paper's Figure 4 claims: the full graph of a Fig 3(b) loop contains
+//! dependences both along and against the lexicographic order, while each
+//! mirror-image subgraph is a DAG that a wavefront can schedule.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A dependence graph over an `m × n` 2-D iteration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepGraph {
+    /// Extent of axis 0.
+    pub m: i64,
+    /// Extent of axis 1.
+    pub n: i64,
+    /// Edges `producer → consumer` between grid points.
+    pub edges: BTreeSet<((i64, i64), (i64, i64))>,
+}
+
+impl DepGraph {
+    /// Build the dependence graph of a self-dependent loop that reads the
+    /// given `offsets` (e.g. `[(-1,0),(1,0),(0,-1),(0,1)]` for Fig 3b) on
+    /// an `m × n` grid. For a read at offset `o`, iteration `p` consumes
+    /// the value of `p + o`; the producing iteration is `p + o`, so the
+    /// edge is `p + o → p`.
+    pub fn from_offsets(m: i64, n: i64, offsets: &[(i64, i64)]) -> Self {
+        let mut edges = BTreeSet::new();
+        for i in 1..=m {
+            for j in 1..=n {
+                for &(oi, oj) in offsets {
+                    let (pi, pj) = (i + oi, j + oj);
+                    if (1..=m).contains(&pi) && (1..=n).contains(&pj) {
+                        edges.insert(((pi, pj), (i, j)));
+                    }
+                }
+            }
+        }
+        Self { m, n, edges }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the directed graph contains a cycle.
+    pub fn has_cycle(&self) -> bool {
+        // Kahn's algorithm.
+        let mut indeg: BTreeMap<(i64, i64), usize> = BTreeMap::new();
+        let mut succ: BTreeMap<(i64, i64), Vec<(i64, i64)>> = BTreeMap::new();
+        let mut nodes: BTreeSet<(i64, i64)> = BTreeSet::new();
+        for &(a, b) in &self.edges {
+            *indeg.entry(b).or_default() += 1;
+            indeg.entry(a).or_default();
+            succ.entry(a).or_default().push(b);
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let mut queue: Vec<(i64, i64)> = nodes.iter().filter(|p| indeg[p] == 0).copied().collect();
+        let mut seen = 0usize;
+        while let Some(p) = queue.pop() {
+            seen += 1;
+            if let Some(ss) = succ.get(&p) {
+                for &s in ss {
+                    let d = indeg.get_mut(&s).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+        seen != nodes.len()
+    }
+
+    /// Split this graph into the forward subgraph (edges in lexicographic
+    /// order: producer < consumer) and its mirror image (producer >
+    /// consumer) — Figure 4(c)/(d).
+    pub fn mirror_split(&self) -> (DepGraph, DepGraph) {
+        let fwd: BTreeSet<_> = self.edges.iter().filter(|(a, b)| a < b).copied().collect();
+        let bwd: BTreeSet<_> = self.edges.iter().filter(|(a, b)| a > b).copied().collect();
+        (
+            DepGraph {
+                m: self.m,
+                n: self.n,
+                edges: fwd,
+            },
+            DepGraph {
+                m: self.m,
+                n: self.n,
+                edges: bwd,
+            },
+        )
+    }
+
+    /// Length of the longest dependence chain (the wavefront critical
+    /// path); `None` if cyclic.
+    pub fn critical_path(&self) -> Option<usize> {
+        if self.has_cycle() {
+            return None;
+        }
+        // longest path over DAG via DFS with memo
+        let mut succ: BTreeMap<(i64, i64), Vec<(i64, i64)>> = BTreeMap::new();
+        for &(a, b) in &self.edges {
+            succ.entry(a).or_default().push(b);
+        }
+        let mut memo: BTreeMap<(i64, i64), usize> = BTreeMap::new();
+        fn longest(
+            p: (i64, i64),
+            succ: &BTreeMap<(i64, i64), Vec<(i64, i64)>>,
+            memo: &mut BTreeMap<(i64, i64), usize>,
+        ) -> usize {
+            if let Some(&v) = memo.get(&p) {
+                return v;
+            }
+            let v = succ
+                .get(&p)
+                .map(|ss| {
+                    ss.iter()
+                        .map(|&s| 1 + longest(s, succ, memo))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            memo.insert(p, v);
+            v
+        }
+        let mut best = 0;
+        let starts: Vec<(i64, i64)> = succ.keys().copied().collect();
+        for p in starts {
+            best = best.max(longest(p, &succ, &mut memo));
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig 3(b)'s 4-neighbor loop: the full dependence graph has edges in
+    /// both directions (2-cycles between neighbors) — not parallelizable
+    /// by traditional reordering.
+    #[test]
+    fn fig4a_full_graph_is_cyclic() {
+        let g = DepGraph::from_offsets(4, 4, &[(-1, 0), (1, 0), (0, -1), (0, 1)]);
+        assert!(g.has_cycle());
+        assert!(g.critical_path().is_none());
+    }
+
+    /// Mirror-image decomposition (Fig 4c/d): both subgraphs are DAGs.
+    #[test]
+    fn mirror_decompose_subgraphs_acyclic() {
+        let g = DepGraph::from_offsets(4, 4, &[(-1, 0), (1, 0), (0, -1), (0, 1)]);
+        let (fwd, bwd) = g.mirror_split();
+        assert!(!fwd.has_cycle());
+        assert!(!bwd.has_cycle());
+        // they partition the edges exactly
+        assert_eq!(fwd.edge_count() + bwd.edge_count(), g.edge_count());
+        assert!(fwd.edges.is_disjoint(&bwd.edges));
+    }
+
+    /// The two subgraphs are mirror images: reversing one yields the other.
+    #[test]
+    fn mirror_subgraphs_are_mirror_images() {
+        let g = DepGraph::from_offsets(3, 3, &[(-1, 0), (1, 0), (0, -1), (0, 1)]);
+        let (fwd, bwd) = g.mirror_split();
+        let reversed: BTreeSet<_> = bwd.edges.iter().map(|&(a, b)| (b, a)).collect();
+        assert_eq!(fwd.edges, reversed);
+    }
+
+    /// Fig 3(a)-style forward-only loops are DAGs without decomposition,
+    /// and their critical path equals the wavefront depth (m-1 + n-1).
+    #[test]
+    fn forward_only_graph_wavefront_depth() {
+        let g = DepGraph::from_offsets(4, 5, &[(-1, 0), (0, -1)]);
+        assert!(!g.has_cycle());
+        assert_eq!(g.critical_path(), Some(3 + 4));
+    }
+
+    #[test]
+    fn empty_offsets_no_edges() {
+        let g = DepGraph::from_offsets(3, 3, &[]);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_cycle());
+        assert_eq!(g.critical_path(), Some(0));
+    }
+
+    #[test]
+    fn boundary_edges_clipped() {
+        // on a 2×2 grid with (-1,0): edges only where i-1 >= 1
+        let g = DepGraph::from_offsets(2, 2, &[(-1, 0)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.edges.contains(&((1, 1), (2, 1))));
+        assert!(g.edges.contains(&((1, 2), (2, 2))));
+    }
+
+    #[test]
+    fn distance_two_graph() {
+        let g = DepGraph::from_offsets(5, 1, &[(-2, 0)]);
+        assert!(!g.has_cycle());
+        // chain 1→3→5 has 2 edges
+        assert_eq!(g.critical_path(), Some(2));
+    }
+}

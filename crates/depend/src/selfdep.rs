@@ -1,0 +1,222 @@
+//! Self-dependent field loops — §4.2 and Figure 3 of the paper.
+//!
+//! "When a pair of dependent field loops (an A-type and an R-type)
+//! happens to be the same loop, the loop is called a *self-dependent
+//! field loop*."
+//!
+//! Figure 3(a) shows a loop whose dependences are all in the
+//! lexicographic order (reads `v(i-1,j)`, `v(i,j-1)`): it can be
+//! parallelized with a wavefront / loop-skewing technique. Figure 3(b)
+//! shows a Gauss–Seidel-style loop with dependences in *both* directions:
+//! "not parallelizable by traditional methods" — this is what the
+//! mirror-image decomposition (see [`crate::mirror`]) is for.
+
+use crate::stencil::Stencil;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a self-dependent field loop over the cut axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelfDepClass {
+    /// No reference offset crosses any cut axis: the loop is embarrassingly
+    /// parallel across the partition despite self-dependence inside a
+    /// subgrid.
+    NoCrossDependence,
+    /// All cross-partition dependences are lexicographically forward
+    /// (Fig 3a): wavefront / forward pipeline.
+    Forward,
+    /// All cross-partition dependences are lexicographically backward:
+    /// reverse pipeline (e.g. a back-substitution sweep).
+    Backward,
+    /// Dependences in both directions (Fig 3b): requires mirror-image
+    /// decomposition.
+    Mirror,
+    /// Undecodable accesses: must serialize conservatively.
+    Opaque,
+}
+
+/// Classify the self-dependence of a loop from its own reference
+/// [`Stencil`] restricted to `cut_axes`.
+///
+/// A reference at offset `o` induces a dependence distance of `-o` in
+/// iteration space: reading `v(i-1,…)` (offset −1) consumes the value
+/// produced one iteration *earlier* — a forward (lexicographically
+/// positive) dependence.
+pub fn classify_self_dependence(stencil: &Stencil, cut_axes: &[usize]) -> SelfDepClass {
+    if stencil.has_opaque {
+        return SelfDepClass::Opaque;
+    }
+    let mut any_fwd = false;
+    let mut any_bwd = false;
+    for &a in cut_axes {
+        for d in stencil.dependence_distances(a) {
+            if d > 0 {
+                any_fwd = true;
+            } else if d < 0 {
+                any_bwd = true;
+            }
+        }
+    }
+    match (any_fwd, any_bwd) {
+        (false, false) => SelfDepClass::NoCrossDependence,
+        (true, false) => SelfDepClass::Forward,
+        (false, true) => SelfDepClass::Backward,
+        (true, true) => SelfDepClass::Mirror,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocfd_fortran::parse;
+    use autocfd_ir::{build_ir, ProgramIr};
+
+    fn stencil_of(src: &str, array: &str) -> Stencil {
+        let ir: ProgramIr = build_ir(parse(src).unwrap()).unwrap();
+        let u = &ir.units[0];
+        let root = u.field_roots().next().expect("field root").id;
+        crate::stencil::loop_stencil(&ir, u, root, array)
+    }
+
+    /// Figure 3(a): forward-only self-dependence → wavefront-able.
+    #[test]
+    fn selfdep_fig3a_wavefront() {
+        let st = stencil_of(
+            "
+!$acf grid(40,40)
+!$acf status v
+      program f3a
+      real v(40,40)
+      integer i, j
+      do i = 2, 40
+        do j = 2, 40
+          v(i,j) = v(i-1,j) + v(i,j-1)
+        end do
+      end do
+      end
+",
+            "v",
+        );
+        assert_eq!(
+            classify_self_dependence(&st, &[0, 1]),
+            SelfDepClass::Forward
+        );
+        assert_eq!(classify_self_dependence(&st, &[0]), SelfDepClass::Forward);
+    }
+
+    /// Figure 3(b): both directions → mirror-image decomposition needed.
+    #[test]
+    fn selfdep_fig3b_mirror() {
+        let st = stencil_of(
+            "
+!$acf grid(40,40)
+!$acf status v
+      program f3b
+      real v(40,40)
+      integer i, j
+      do i = 2, 39
+        do j = 2, 39
+          v(i,j) = 0.25*(v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+        end do
+      end do
+      end
+",
+            "v",
+        );
+        assert_eq!(classify_self_dependence(&st, &[0]), SelfDepClass::Mirror);
+        assert_eq!(classify_self_dependence(&st, &[0, 1]), SelfDepClass::Mirror);
+    }
+
+    #[test]
+    fn backward_only_reverse_sweep() {
+        let st = stencil_of(
+            "
+!$acf grid(40,40)
+!$acf status v
+      program back
+      real v(40,40)
+      integer i, j
+      do i = 1, 39
+        do j = 1, 40
+          v(i,j) = v(i+1,j) * 0.5
+        end do
+      end do
+      end
+",
+            "v",
+        );
+        assert_eq!(classify_self_dependence(&st, &[0]), SelfDepClass::Backward);
+    }
+
+    #[test]
+    fn uncut_axis_dependences_are_invisible() {
+        // Self-dependence only along axis 1; if only axis 0 is cut, the
+        // loop is NoCrossDependence — partitioning first makes this free.
+        let st = stencil_of(
+            "
+!$acf grid(40,40)
+!$acf status v
+      program p
+      real v(40,40)
+      integer i, j
+      do i = 1, 40
+        do j = 2, 40
+          v(i,j) = v(i,j-1)
+        end do
+      end do
+      end
+",
+            "v",
+        );
+        assert_eq!(
+            classify_self_dependence(&st, &[0]),
+            SelfDepClass::NoCrossDependence
+        );
+        assert_eq!(classify_self_dependence(&st, &[1]), SelfDepClass::Forward);
+    }
+
+    #[test]
+    fn mixed_axes_directions_is_mirror() {
+        // forward on axis 0, backward on axis 1 → still needs both sweeps
+        let st = stencil_of(
+            "
+!$acf grid(40,40)
+!$acf status v
+      program p
+      real v(40,40)
+      integer i, j
+      do i = 2, 40
+        do j = 1, 39
+          v(i,j) = v(i-1,j) + v(i,j+1)
+        end do
+      end do
+      end
+",
+            "v",
+        );
+        assert_eq!(classify_self_dependence(&st, &[0, 1]), SelfDepClass::Mirror);
+        // but per single axis it is one-directional
+        assert_eq!(classify_self_dependence(&st, &[0]), SelfDepClass::Forward);
+        assert_eq!(classify_self_dependence(&st, &[1]), SelfDepClass::Backward);
+    }
+
+    #[test]
+    fn opaque_self_dep() {
+        let st = stencil_of(
+            "
+!$acf grid(40,40)
+!$acf status v
+      program p
+      real v(40,40)
+      integer i, j, m
+      do i = 1, 40
+        do j = 1, 40
+          v(i,j) = v(m,j)
+        end do
+      end do
+      end
+",
+            "v",
+        );
+        assert_eq!(classify_self_dependence(&st, &[0]), SelfDepClass::Opaque);
+    }
+}

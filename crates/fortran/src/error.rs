@@ -1,0 +1,100 @@
+//! Error types for the Fortran frontend.
+
+use std::fmt;
+
+/// Result alias used across the frontend.
+pub type Result<T> = std::result::Result<T, FortranError>;
+
+/// An error produced while lexing or parsing Fortran source, or while
+/// interpreting `!$acf` directives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FortranError {
+    /// 1-based source line the error was detected on (0 = unknown).
+    pub line: u32,
+    /// Which frontend stage failed.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The frontend stage an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Recursive-descent parsing.
+    Parse,
+    /// `!$acf` directive interpretation.
+    Directive,
+}
+
+impl FortranError {
+    /// Create a lexer error at `line`.
+    pub fn lex(line: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            stage: Stage::Lex,
+            message: message.into(),
+        }
+    }
+
+    /// Create a parser error at `line`.
+    pub fn parse(line: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            stage: Stage::Parse,
+            message: message.into(),
+        }
+    }
+
+    /// Create a directive error at `line`.
+    pub fn directive(line: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            stage: Stage::Directive,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FortranError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Directive => "directive",
+        };
+        if self.line == 0 {
+            write!(f, "{stage} error: {}", self.message)
+        } else {
+            write!(f, "{stage} error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for FortranError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_line() {
+        let e = FortranError::parse(12, "expected `then`");
+        assert_eq!(e.to_string(), "parse error at line 12: expected `then`");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = FortranError::lex(0, "empty input");
+        assert_eq!(e.to_string(), "lex error: empty input");
+    }
+
+    #[test]
+    fn stages_are_distinguished() {
+        assert_ne!(
+            FortranError::lex(1, "x").to_string(),
+            FortranError::directive(1, "x").to_string()
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! Tokenizer for the Fortran subset.
+//!
+//! The lexer is line-oriented, mirroring Fortran's statement-per-line
+//! model:
+//!
+//! * comments: full-line `c`/`C`/`*` in column 1 (fixed-form style) and
+//!   trailing `!` comments (free-form style), except `!$acf` directive
+//!   lines which are surfaced as [`Tok::Directive`];
+//! * continuation: a trailing `&` joins the next line (free-form style);
+//! * statement labels: a leading integer on a line becomes [`Tok::Label`];
+//! * keywords are case-insensitive; identifiers are lower-cased;
+//! * both `.lt.`-style and symbolic (`<`, `<=`, `==`, `/=`) relational
+//!   operators are accepted;
+//! * `end do`, `end if`, `endif`, `enddo`, `elseif`, `else if` are all
+//!   recognized (normalized by the parser).
+
+use crate::error::{FortranError, Result};
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, lower-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal (contents, without quotes).
+    Str(String),
+    /// `.true.` or `.false.`
+    Logical(bool),
+    /// Statement label (leading integer on a line).
+    Label(u32),
+    /// `!$acf …` directive body (text after `!$acf`).
+    Directive(String),
+    /// End of statement (newline).
+    Eos,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `:`
+    Colon,
+    /// `.lt.` / `<`
+    Lt,
+    /// `.le.` / `<=`
+    Le,
+    /// `.gt.` / `>`
+    Gt,
+    /// `.ge.` / `>=`
+    Ge,
+    /// `.eq.` / `==`
+    EqEq,
+    /// `.ne.` / `/=`
+    NeQ,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// End of file.
+    Eof,
+}
+
+impl Tok {
+    /// True if this token is the identifier `kw` (used for keyword checks).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenize `source` into a flat token stream with explicit [`Tok::Eos`]
+/// statement separators.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut pending: Option<String> = None; // continuation accumulator
+    let mut pending_start = 0u32;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+
+        // Directive lines: `!$acf …` anywhere after optional blanks.
+        let trimmed = raw.trim_start();
+        if let Some(body) = strip_directive(trimmed) {
+            out.push(Token {
+                tok: Tok::Directive(body.trim().to_string()),
+                line: lineno,
+            });
+            out.push(Token {
+                tok: Tok::Eos,
+                line: lineno,
+            });
+            continue;
+        }
+
+        // Fixed-form full-line comments: c/C/* in column 1.
+        if matches!(raw.chars().next(), Some('c') | Some('C') | Some('*'))
+            && raw
+                .chars()
+                .nth(1)
+                .is_none_or(|c| !c.is_ascii_alphanumeric() || raw.len() < 6 || raw.starts_with('*'))
+        {
+            // Heuristic: `call`, `common`, `continue` start with 'c' but are
+            // always indented in our subset; a bare 'c' in column 1 followed
+            // by space/word is a comment. To stay safe, only treat as
+            // comment when the line does not look like a statement keyword.
+            let word: String = raw
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            if !is_stmt_start_keyword(&word) {
+                continue;
+            }
+        }
+
+        // Strip trailing `!` comment (but not inside character literals).
+        let mut line = strip_trailing_comment(raw);
+
+        // Continuation handling. A continuation line may redundantly mark
+        // itself with a leading `&` (free-form `… & / & …` style).
+        if let Some(prev) = pending.take() {
+            let rest = line
+                .trim_start()
+                .strip_prefix('&')
+                .unwrap_or(line.trim_start())
+                .to_string();
+            line = format!("{prev} {rest}");
+            // keep start line for the whole statement
+            if let Some(stripped) = line.strip_suffix('&') {
+                pending = Some(stripped.to_string());
+                continue;
+            }
+            lex_line(&line, pending_start, &mut out)?;
+            out.push(Token {
+                tok: Tok::Eos,
+                line: pending_start,
+            });
+            continue;
+        }
+        if let Some(stripped) = line.trim_end().strip_suffix('&') {
+            pending = Some(stripped.to_string());
+            pending_start = lineno;
+            continue;
+        }
+
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Leading `&` continuation (column-6 style): join onto the
+        // previous statement by removing its end-of-statement marker.
+        if let Some(rest) = line.trim_start().strip_prefix('&') {
+            if matches!(out.last(), Some(Token { tok: Tok::Eos, .. })) {
+                out.pop();
+            }
+            let cont_line = out.last().map_or(lineno, |t| t.line);
+            if let Some(stripped) = rest.trim_end().strip_suffix('&') {
+                pending = Some(stripped.to_string());
+                pending_start = cont_line;
+                continue;
+            }
+            lex_line(rest, cont_line, &mut out)?;
+            out.push(Token {
+                tok: Tok::Eos,
+                line: cont_line,
+            });
+            continue;
+        }
+        lex_line(&line, lineno, &mut out)?;
+        out.push(Token {
+            tok: Tok::Eos,
+            line: lineno,
+        });
+    }
+    if let Some(prev) = pending {
+        // dangling continuation: lex what we have
+        lex_line(&prev, pending_start, &mut out)?;
+        out.push(Token {
+            tok: Tok::Eos,
+            line: pending_start,
+        });
+    }
+    let last = out.last().map_or(1, |t| t.line);
+    out.push(Token {
+        tok: Tok::Eof,
+        line: last,
+    });
+    Ok(out)
+}
+
+fn strip_directive(line: &str) -> Option<&str> {
+    let lower = line.to_ascii_lowercase();
+    // `!$acf`, `c$acf` and `*$acf` sentinels are all 5 bytes long
+    if lower.starts_with("!$acf") || lower.starts_with("c$acf") || lower.starts_with("*$acf") {
+        Some(&line[5..])
+    } else {
+        None
+    }
+}
+
+fn is_stmt_start_keyword(word: &str) -> bool {
+    matches!(word, "call" | "common" | "continue" | "character")
+}
+
+/// Remove a trailing `!` comment, respecting single-quoted strings.
+fn strip_trailing_comment(line: &str) -> String {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_str = !in_str,
+            '!' if !in_str => return line[..i].to_string(),
+            _ => {}
+        }
+    }
+    line.to_string()
+}
+
+/// Tokenize one logical line (after comment/continuation processing).
+fn lex_line(line: &str, lineno: u32, out: &mut Vec<Token>) -> Result<()> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let n = bytes.len();
+    let mut first_token = true;
+
+    while i < n {
+        let c = bytes[i] as char;
+        if c == ' ' || c == '\t' || c == '\r' {
+            i += 1;
+            continue;
+        }
+
+        // Statement label: integer as the very first token of the line.
+        if first_token && c.is_ascii_digit() {
+            let start = i;
+            while i < n && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            // A label must be followed by something other than `.`/digit
+            // continuation of a number — if the next char makes this a real
+            // literal (e.g. `10.5`), treat as number instead.
+            let next = bytes.get(i).map(|&b| b as char);
+            if next != Some('.') && next != Some('e') && next != Some('E') {
+                let text = &line[start..i];
+                let v: u32 = text
+                    .parse()
+                    .map_err(|_| FortranError::lex(lineno, format!("bad label `{text}`")))?;
+                out.push(Token {
+                    tok: Tok::Label(v),
+                    line: lineno,
+                });
+                first_token = false;
+                continue;
+            }
+            i = start; // fall through to number lexing
+        }
+        first_token = false;
+
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            let (tok, len) = lex_number(&line[i..], lineno)?;
+            out.push(Token { tok, line: lineno });
+            i += len;
+            continue;
+        }
+
+        // Dotted operators and logical literals.
+        if c == '.' {
+            let rest = &line[i..].to_ascii_lowercase();
+            let dotted: &[(&str, Tok)] = &[
+                (".true.", Tok::Logical(true)),
+                (".false.", Tok::Logical(false)),
+                (".and.", Tok::And),
+                (".or.", Tok::Or),
+                (".not.", Tok::Not),
+                (".lt.", Tok::Lt),
+                (".le.", Tok::Le),
+                (".gt.", Tok::Gt),
+                (".ge.", Tok::Ge),
+                (".eq.", Tok::EqEq),
+                (".ne.", Tok::NeQ),
+            ];
+            let mut matched = false;
+            for (pat, tok) in dotted {
+                if rest.starts_with(pat) {
+                    out.push(Token {
+                        tok: tok.clone(),
+                        line: lineno,
+                    });
+                    i += pat.len();
+                    matched = true;
+                    break;
+                }
+            }
+            if matched {
+                continue;
+            }
+            return Err(FortranError::lex(
+                lineno,
+                format!("unexpected `.` in `{line}`"),
+            ));
+        }
+
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                tok: Tok::Ident(line[start..i].to_ascii_lowercase()),
+                line: lineno,
+            });
+            continue;
+        }
+
+        // Strings.
+        if c == '\'' {
+            let start = i + 1;
+            let mut j = start;
+            while j < n && bytes[j] as char != '\'' {
+                j += 1;
+            }
+            if j >= n {
+                return Err(FortranError::lex(lineno, "unterminated character literal"));
+            }
+            out.push(Token {
+                tok: Tok::Str(line[start..j].to_string()),
+                line: lineno,
+            });
+            i = j + 1;
+            continue;
+        }
+
+        // Symbols.
+        let two = if i + 1 < n { &line[i..i + 2] } else { "" };
+        let (tok, len) = match two {
+            "**" => (Tok::StarStar, 2),
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            "==" => (Tok::EqEq, 2),
+            "/=" => (Tok::NeQ, 2),
+            _ => match c {
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                ',' => (Tok::Comma, 1),
+                '=' => (Tok::Assign, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                ':' => (Tok::Colon, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                _ => {
+                    return Err(FortranError::lex(
+                        lineno,
+                        format!("unexpected character `{c}`"),
+                    ))
+                }
+            },
+        };
+        out.push(Token { tok, line: lineno });
+        i += len;
+    }
+    Ok(())
+}
+
+/// Lex a numeric literal starting at the beginning of `s`. Returns the
+/// token and consumed byte length. Handles `123`, `1.5`, `1.`, `.5` (via
+/// caller), `1e5`, `1.0e-5`, `1d0`.
+fn lex_number(s: &str, lineno: u32) -> Result<(Tok, usize)> {
+    let bytes = s.as_bytes();
+    let n = bytes.len();
+    let mut i = 0usize;
+    let mut is_real = false;
+
+    while i < n && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    if i < n && bytes[i] as char == '.' {
+        // Don't swallow dotted operators like `1.and.` — only treat `.` as
+        // a decimal point when not starting a dotted word.
+        let rest = s[i..].to_ascii_lowercase();
+        let dotted_op = [
+            ".and.", ".or.", ".not.", ".lt.", ".le.", ".gt.", ".ge.", ".eq.", ".ne.",
+        ]
+        .iter()
+        .any(|p| rest.starts_with(p));
+        if !dotted_op {
+            is_real = true;
+            i += 1;
+            while i < n && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    if i < n {
+        let c = (bytes[i] as char).to_ascii_lowercase();
+        if c == 'e' || c == 'd' {
+            // exponent must be [+-]?digits
+            let mut j = i + 1;
+            if j < n && matches!(bytes[j] as char, '+' | '-') {
+                j += 1;
+            }
+            let digs = j;
+            while j < n && (bytes[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+            if j > digs {
+                is_real = true;
+                i = j;
+            }
+        }
+    }
+    let text = &s[..i];
+    if is_real {
+        let norm = text.to_ascii_lowercase().replace('d', "e");
+        let v: f64 = norm
+            .parse()
+            .map_err(|_| FortranError::lex(lineno, format!("bad real literal `{text}`")))?;
+        Ok((Tok::Real(v), i))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| FortranError::lex(lineno, format!("bad integer literal `{text}`")))?;
+        Ok((Tok::Int(v), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let t = toks("x = 1 + 2");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn real_literals() {
+        assert_eq!(toks("x = 1.5")[2], Tok::Real(1.5));
+        assert_eq!(toks("x = 1.0e-5")[2], Tok::Real(1.0e-5));
+        assert_eq!(toks("x = 2d0")[2], Tok::Real(2.0));
+        assert_eq!(toks("x = 3.")[2], Tok::Real(3.0));
+    }
+
+    #[test]
+    fn dotted_operators() {
+        let t = toks("if (a .lt. b .and. c .ge. 1.0) goto 10");
+        assert!(t.contains(&Tok::Lt));
+        assert!(t.contains(&Tok::And));
+        assert!(t.contains(&Tok::Ge));
+        assert!(t.contains(&Tok::Real(1.0)));
+    }
+
+    #[test]
+    fn symbolic_relationals() {
+        let t = toks("if (a <= b) x = 1");
+        assert!(t.contains(&Tok::Le));
+        let t = toks("if (a /= b) x = 1");
+        assert!(t.contains(&Tok::NeQ));
+    }
+
+    #[test]
+    fn labels() {
+        let t = toks("10 continue");
+        assert_eq!(t[0], Tok::Label(10));
+        assert!(t[1].is_kw("continue"));
+    }
+
+    #[test]
+    fn label_vs_real_start() {
+        // A line starting `10.5 = …` is nonsense Fortran but the lexer must
+        // not panic: it lexes 10.5 as a real.
+        let t = toks("x = 10");
+        assert_eq!(t[2], Tok::Int(10));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("c this is a comment\n      x = 1 ! trailing\n* star comment");
+        assert_eq!(t.len(), 5); // x = 1 Eos Eof
+    }
+
+    #[test]
+    fn call_in_column_one_is_not_a_comment() {
+        let t = toks("call foo(1)");
+        assert!(t[0].is_kw("call"));
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let t = toks("x = 1 + &\n    2");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_surface() {
+        let t = toks("!$acf grid(99,41,13)\nx = 1");
+        assert_eq!(t[0], Tok::Directive("grid(99,41,13)".into()));
+    }
+
+    #[test]
+    fn strings() {
+        let t = toks("write(*,*) 'hello world'");
+        assert!(t.contains(&Tok::Str("hello world".into())));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("x = 'oops").is_err());
+    }
+
+    #[test]
+    fn star_star_power() {
+        let t = toks("y = x ** 2");
+        assert!(t.contains(&Tok::StarStar));
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let tokens = lex("x = 1\n\ny = 2").unwrap();
+        let y = tokens.iter().find(|t| t.tok.is_kw("y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn leading_ampersand_continuation() {
+        // fixed-form column-6 style: continuation marked on the NEXT line
+        let t = toks("x = 1 + 2\n     &  + 3");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Plus,
+                Tok::Int(3),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_and_trailing_ampersand_chain() {
+        let t = toks("x = 1 + &\n     & 2 + &\n     & 3");
+        let ints: Vec<&Tok> = t.iter().filter(|t| matches!(t, Tok::Int(_))).collect();
+        assert_eq!(ints.len(), 3);
+    }
+
+    #[test]
+    fn c_dollar_acf_directive_form() {
+        let t = toks("c$acf grid(10,10)");
+        assert_eq!(t[0], Tok::Directive("grid(10,10)".into()));
+    }
+
+    #[test]
+    fn exclamation_inside_string_not_comment() {
+        let t = toks("write(*,*) 'a!b'");
+        assert!(t.contains(&Tok::Str("a!b".into())));
+    }
+
+    #[test]
+    fn tabs_and_crlf_tolerated() {
+        let t = toks("\tx = 1\r\n\ty = 2\r");
+        assert!(t.iter().any(|t| t.is_kw("x")));
+        assert!(t.iter().any(|t| t.is_kw("y")));
+    }
+
+    #[test]
+    fn logical_literals() {
+        let t = toks("flag = .true.");
+        assert!(t.contains(&Tok::Logical(true)));
+    }
+}

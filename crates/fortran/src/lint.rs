@@ -1,0 +1,326 @@
+//! Static validation of parsed programs.
+//!
+//! The pre-compiler should reject malformed inputs with precise
+//! diagnostics rather than let them surface as interpreter errors deep
+//! inside a parallel run. These checks run before IR construction:
+//!
+//! * every `goto` target label exists in the enclosing unit;
+//! * statement labels are unique within a unit;
+//! * `call` arity matches the callee's dummy-argument count (when the
+//!   callee is in the same file);
+//! * a name is not used both as a scalar and as an array within a unit;
+//! * subscripted references use the declared rank;
+//! * `call`s target subroutines, not functions (and vice versa for
+//!   function references this module can see statically).
+
+use crate::ast::{Expr, LValue, SourceFile, StmtKind, Unit, UnitKind};
+use crate::error::{FortranError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run all lints; the first problem found is returned as an error.
+pub fn lint(file: &SourceFile) -> Result<()> {
+    for unit in &file.units {
+        check_labels(unit)?;
+        check_shapes(unit)?;
+        check_calls(file, unit)?;
+    }
+    Ok(())
+}
+
+/// Labels must be unique; goto targets must exist.
+fn check_labels(unit: &Unit) -> Result<()> {
+    let mut labels: BTreeSet<u32> = BTreeSet::new();
+    let mut dup: Option<(u32, u32)> = None;
+    crate::ast::walk_stmts(&unit.body, &mut |s| {
+        if let Some(l) = s.label {
+            if !labels.insert(l) && dup.is_none() {
+                dup = Some((l, s.line));
+            }
+        }
+    });
+    if let Some((l, line)) = dup {
+        return Err(FortranError::parse(
+            line,
+            format!("duplicate statement label {l} in unit `{}`", unit.name),
+        ));
+    }
+    let mut bad: Option<(u32, u32)> = None;
+    crate::ast::walk_stmts(&unit.body, &mut |s| {
+        if let StmtKind::Goto { target } = &s.kind {
+            if !labels.contains(target) && bad.is_none() {
+                bad = Some((*target, s.line));
+            }
+        }
+    });
+    if let Some((l, line)) = bad {
+        return Err(FortranError::parse(
+            line,
+            format!("goto {l}: no such label in unit `{}`", unit.name),
+        ));
+    }
+    Ok(())
+}
+
+/// Array-vs-scalar consistency and subscript rank checks.
+fn check_shapes(unit: &Unit) -> Result<()> {
+    // declared ranks (dummies and locals)
+    let mut rank: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in &unit.decls {
+        let names = match &d.kind {
+            crate::ast::DeclKind::Var { names, .. }
+            | crate::ast::DeclKind::Dimension { names }
+            | crate::ast::DeclKind::Common { names, .. } => names,
+            crate::ast::DeclKind::Parameter { .. } => continue,
+        };
+        for v in names {
+            if !v.dims.is_empty() {
+                rank.insert(&v.name, v.dims.len());
+            }
+        }
+    }
+    let mut err: Option<FortranError> = None;
+    let check_lv =
+        |lv: &LValue, line: u32, err: &mut Option<FortranError>| match rank.get(lv.name.as_str()) {
+            Some(&r) if !lv.indices.is_empty() && lv.indices.len() != r => {
+                *err = Some(FortranError::parse(
+                    line,
+                    format!(
+                        "`{}` has rank {r} but is subscripted with {} indices",
+                        lv.name,
+                        lv.indices.len()
+                    ),
+                ));
+            }
+            Some(_) if lv.indices.is_empty() => {
+                *err = Some(FortranError::parse(
+                    line,
+                    format!("array `{}` assigned as a scalar", lv.name),
+                ));
+            }
+            _ => {}
+        };
+    crate::ast::walk_stmts(&unit.body, &mut |s| {
+        if err.is_some() {
+            return;
+        }
+        match &s.kind {
+            StmtKind::Assign { target, .. } => check_lv(target, s.line, &mut err),
+            StmtKind::Read { items, .. } => {
+                for lv in items {
+                    check_lv(lv, s.line, &mut err);
+                }
+            }
+            _ => {}
+        }
+        // expression-side rank checks
+        let mut exprs: Vec<&Expr> = Vec::new();
+        match &s.kind {
+            StmtKind::Assign { value, .. } => exprs.push(value),
+            StmtKind::If { cond, .. } | StmtKind::LogicalIf { cond, .. } => exprs.push(cond),
+            StmtKind::Write { items, .. } => exprs.extend(items.iter()),
+            StmtKind::Call { args, .. } => exprs.extend(args.iter()),
+            _ => {}
+        }
+        for e in exprs {
+            e.walk(&mut |x| {
+                if err.is_some() {
+                    return;
+                }
+                if let Expr::Index { name, indices } = x {
+                    if let Some(&r) = rank.get(name.as_str()) {
+                        if indices.len() != r {
+                            err = Some(FortranError::parse(
+                                s.line,
+                                format!(
+                                    "`{name}` has rank {r} but is subscripted with {} indices",
+                                    indices.len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Call arity and unit-kind checks against same-file callees.
+fn check_calls(file: &SourceFile, unit: &Unit) -> Result<()> {
+    let mut err: Option<FortranError> = None;
+    crate::ast::walk_stmts(&unit.body, &mut |s| {
+        if err.is_some() {
+            return;
+        }
+        if let StmtKind::Call { name, args } = &s.kind {
+            if let Some(target) = file.unit(name) {
+                if target.kind == UnitKind::Function {
+                    err = Some(FortranError::parse(
+                        s.line,
+                        format!("`{name}` is a function, not a subroutine"),
+                    ));
+                } else if target.params.len() != args.len() {
+                    err = Some(FortranError::parse(
+                        s.line,
+                        format!(
+                            "`{name}` takes {} argument(s), called with {}",
+                            target.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn lint_src(src: &str) -> Result<()> {
+        lint(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        lint_src(
+            "      program p
+      real v(10,10)
+      do i = 1, 10
+        v(i,1) = 1.0
+      end do
+      call s(v, 10)
+      end
+      subroutine s(v, n)
+      integer n
+      real v(n,n)
+      return
+      end
+",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_goto_target() {
+        let e = lint_src("      program p\n      goto 42\n      end\n").unwrap_err();
+        assert!(e.message.contains("no such label"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn duplicate_labels() {
+        let e = lint_src(
+            "      program p
+10    continue
+10    continue
+      end
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn rank_mismatch_in_expression() {
+        let e = lint_src(
+            "      program p
+      real v(10,10)
+      x = v(3)
+      end
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("rank 2"), "{e}");
+    }
+
+    #[test]
+    fn rank_mismatch_in_assignment() {
+        let e = lint_src(
+            "      program p
+      real v(10)
+      v(1,2) = 0.0
+      end
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("rank 1"), "{e}");
+    }
+
+    #[test]
+    fn array_assigned_as_scalar() {
+        let e = lint_src(
+            "      program p
+      real v(10)
+      v = 0.0
+      end
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("assigned as a scalar"), "{e}");
+    }
+
+    #[test]
+    fn call_arity_mismatch() {
+        let e = lint_src(
+            "      program p
+      call s(1.0)
+      end
+      subroutine s(a, b)
+      real a, b
+      return
+      end
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("takes 2"), "{e}");
+    }
+
+    #[test]
+    fn calling_a_function_as_subroutine() {
+        let e = lint_src(
+            "      program p
+      call f(1.0)
+      end
+      real function f(x)
+      real x
+      f = x
+      return
+      end
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("is a function"), "{e}");
+    }
+
+    #[test]
+    fn goto_into_nested_scope_is_not_flagged_here() {
+        // labels anywhere in the unit count (resolution semantics are the
+        // interpreter's concern; the lint only checks existence)
+        lint_src(
+            "      program p
+      do i = 1, 3
+        if (i .eq. 2) goto 10
+10      continue
+      end do
+      end
+",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn external_calls_are_not_checked() {
+        // a call to a unit not in this file (external library) passes
+        lint_src("      program p\n      call extern(1, 2, 3)\n      end\n").unwrap();
+    }
+}

@@ -1,0 +1,1266 @@
+//! Recursive-descent parser for the Fortran subset.
+//!
+//! The grammar follows Fortran 77 statement forms with the free-form
+//! conveniences the lexer provides. Both structured (`do` / `end do`,
+//! block `if`) and label-terminated (`do 10 i = …` … `10 continue`) loops
+//! are parsed into the same [`StmtKind::Do`] node; the terminal label is
+//! preserved for faithful re-printing.
+
+use crate::ast::*;
+use crate::directive::Directive;
+use crate::error::{FortranError, Result};
+use crate::lexer::{lex, Tok, Token};
+
+/// The parser. Create with [`Parser::new`], consume with
+/// [`Parser::parse_file`].
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+    directives: Vec<Directive>,
+}
+
+impl Parser {
+    /// Lex `source` and prepare a parser over it.
+    pub fn new(source: &str) -> Result<Self> {
+        Ok(Self {
+            toks: lex(source)?,
+            pos: 0,
+            next_id: 0,
+            directives: Vec::new(),
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        self.toks
+            .get(self.pos + 1)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(FortranError::parse(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(FortranError::parse(
+                self.line(),
+                format!("expected `{kw}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(FortranError::parse(
+                self.line(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn skip_eos(&mut self) {
+        while matches!(self.peek(), Tok::Eos) {
+            self.bump();
+        }
+    }
+
+    /// Consume any directive tokens at the current position.
+    fn drain_directives(&mut self) -> Result<()> {
+        loop {
+            self.skip_eos();
+            if let Tok::Directive(body) = self.peek().clone() {
+                let line = self.line();
+                self.bump();
+                self.directives.push(Directive::parse(&body, line)?);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parse the whole file into units + directives.
+    pub fn parse_file(mut self) -> Result<SourceFile> {
+        let mut units = Vec::new();
+        loop {
+            self.drain_directives()?;
+            if matches!(self.peek(), Tok::Eof) {
+                break;
+            }
+            units.push(self.parse_unit()?);
+        }
+        if units.is_empty() {
+            return Err(FortranError::parse(0, "no program units found"));
+        }
+        Ok(SourceFile {
+            units,
+            directives: self.directives,
+        })
+    }
+
+    fn parse_unit(&mut self) -> Result<Unit> {
+        self.skip_eos();
+        let line = self.line();
+        let (kind, name, params) = if self.eat_kw("program") {
+            let name = self.expect_ident("program name")?;
+            (UnitKind::Program, name, vec![])
+        } else if self.eat_kw("subroutine") {
+            let name = self.expect_ident("subroutine name")?;
+            let params = self.parse_param_list()?;
+            (UnitKind::Subroutine, name, params)
+        } else if self.peek().is_kw("function")
+            || (is_type_kw(self.peek()) && self.peek2().is_kw("function"))
+        {
+            if is_type_kw(self.peek()) {
+                self.bump(); // return type, ignored (treated as real)
+            }
+            self.expect_kw("function")?;
+            let name = self.expect_ident("function name")?;
+            let params = self.parse_param_list()?;
+            (UnitKind::Function, name, params)
+        } else {
+            return Err(FortranError::parse(
+                line,
+                format!("expected program unit header, found {:?}", self.peek()),
+            ));
+        };
+        self.expect(&Tok::Eos, "end of line")?;
+
+        // Specification part.
+        let mut decls = Vec::new();
+        loop {
+            self.skip_eos();
+            // Handle directives interleaved with declarations.
+            if matches!(self.peek(), Tok::Directive(_)) {
+                self.drain_directives()?;
+                continue;
+            }
+            match self.try_parse_decl()? {
+                Some(d) => decls.push(d),
+                None => break,
+            }
+        }
+
+        // Executable part, up to `end`.
+        let body = self.parse_stmt_list(&mut vec![])?;
+        self.parse_end_unit(kind)?;
+
+        Ok(Unit {
+            kind,
+            name,
+            params,
+            decls,
+            body,
+            line,
+        })
+    }
+
+    fn parse_end_unit(&mut self, kind: UnitKind) -> Result<()> {
+        self.skip_eos();
+        self.expect_kw("end")?;
+        // optional `end program name` / `end subroutine name`
+        let kw = match kind {
+            UnitKind::Program => "program",
+            UnitKind::Subroutine => "subroutine",
+            UnitKind::Function => "function",
+        };
+        if self.eat_kw(kw) {
+            if let Tok::Ident(_) = self.peek() {
+                self.bump();
+            }
+        }
+        if !matches!(self.peek(), Tok::Eof) {
+            self.expect(&Tok::Eos, "end of line after `end`")?;
+        }
+        Ok(())
+    }
+
+    fn parse_param_list(&mut self) -> Result<Vec<String>> {
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                params.push(self.expect_ident("parameter name")?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+        }
+        Ok(params)
+    }
+
+    /// Attempt to parse one specification statement; returns `None` when
+    /// the executable part begins.
+    fn try_parse_decl(&mut self) -> Result<Option<Decl>> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Tok::Ident(kw) => kw,
+            _ => return Ok(None),
+        };
+        let kind = match kind.as_str() {
+            "integer" | "real" | "logical" => {
+                // Could be `real function` (new unit) — but units are handled
+                // at file level; inside a unit `real` is always a decl. It
+                // could also be an assignment to a variable named `real`,
+                // which we don't support.
+                let ty = match kind.as_str() {
+                    "integer" => Type::Integer,
+                    "real" => Type::Real,
+                    _ => Type::Logical,
+                };
+                self.bump();
+                let names = self.parse_var_decl_list()?;
+                DeclKind::Var { ty, names }
+            }
+            "double" => {
+                self.bump();
+                self.expect_kw("precision")?;
+                let names = self.parse_var_decl_list()?;
+                DeclKind::Var {
+                    ty: Type::DoublePrecision,
+                    names,
+                }
+            }
+            "dimension" => {
+                self.bump();
+                let names = self.parse_var_decl_list()?;
+                DeclKind::Dimension { names }
+            }
+            "parameter" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let mut assigns = Vec::new();
+                loop {
+                    let name = self.expect_ident("parameter name")?;
+                    self.expect(&Tok::Assign, "`=`")?;
+                    let value = self.parse_expr()?;
+                    assigns.push((name, value));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                DeclKind::Parameter { assigns }
+            }
+            "common" => {
+                self.bump();
+                let block = if self.eat(&Tok::Slash) {
+                    let b = self.expect_ident("common block name")?;
+                    self.expect(&Tok::Slash, "`/`")?;
+                    b
+                } else {
+                    String::new()
+                };
+                let names = self.parse_var_decl_list()?;
+                DeclKind::Common { block, names }
+            }
+            "implicit" => {
+                // `implicit none` — accepted and dropped.
+                self.bump();
+                self.expect_kw("none")?;
+                self.expect(&Tok::Eos, "end of line")?;
+                return self.try_parse_decl();
+            }
+            _ => return Ok(None),
+        };
+        self.expect(&Tok::Eos, "end of line after declaration")?;
+        Ok(Some(Decl { kind, line }))
+    }
+
+    fn parse_var_decl_list(&mut self) -> Result<Vec<VarDecl>> {
+        let mut names = Vec::new();
+        loop {
+            let name = self.expect_ident("variable name")?;
+            let mut dims = Vec::new();
+            if self.eat(&Tok::LParen) {
+                loop {
+                    let first = self.parse_expr()?;
+                    if self.eat(&Tok::Colon) {
+                        let upper = self.parse_expr()?;
+                        dims.push(DimBound {
+                            lower: Some(first),
+                            upper,
+                        });
+                    } else {
+                        dims.push(DimBound {
+                            lower: None,
+                            upper: first,
+                        });
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+            }
+            names.push(VarDecl { name, dims });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(names)
+    }
+
+    /// Parse statements until a block terminator (`end`, `end do`,
+    /// `end if`, `else`, `else if`) or a `do`-terminating label in
+    /// `open_do_labels` is seen. Terminators are *not* consumed, except
+    /// the label-carrying terminal statement of a labeled `do`, which is
+    /// consumed by the `do` parser itself.
+    fn parse_stmt_list(&mut self, open_do_labels: &mut Vec<u32>) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_eos();
+            if matches!(self.peek(), Tok::Directive(_)) {
+                self.drain_directives()?;
+                continue;
+            }
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(kw)
+                    if kw == "end"
+                        || kw == "enddo"
+                        || kw == "endif"
+                        || kw == "else"
+                        || kw == "elseif" =>
+                {
+                    break
+                }
+                Tok::Label(l) if open_do_labels.contains(l) => break,
+                _ => {}
+            }
+            out.push(self.parse_stmt(open_do_labels)?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self, open_do_labels: &mut Vec<u32>) -> Result<Stmt> {
+        let label = if let Tok::Label(l) = self.peek() {
+            let l = *l;
+            self.bump();
+            Some(l)
+        } else {
+            None
+        };
+        let line = self.line();
+        let id = self.fresh_id();
+        let kind = self.parse_stmt_kind(open_do_labels)?;
+        Ok(Stmt {
+            label,
+            line,
+            id,
+            kind,
+        })
+    }
+
+    fn parse_stmt_kind(&mut self, open_do_labels: &mut Vec<u32>) -> Result<StmtKind> {
+        let line = self.line();
+        let kw = match self.peek().clone() {
+            Tok::Ident(s) => s,
+            other => {
+                return Err(FortranError::parse(
+                    line,
+                    format!("expected statement, found {other:?}"),
+                ))
+            }
+        };
+        match kw.as_str() {
+            "do" => self.parse_do(open_do_labels),
+            "if" => self.parse_if(open_do_labels),
+            "goto" => {
+                self.bump();
+                let target = self.expect_label_ref()?;
+                self.end_stmt()?;
+                Ok(StmtKind::Goto { target })
+            }
+            "go" => {
+                self.bump();
+                self.expect_kw("to")?;
+                let target = self.expect_label_ref()?;
+                self.end_stmt()?;
+                Ok(StmtKind::Goto { target })
+            }
+            "continue" => {
+                self.bump();
+                self.end_stmt()?;
+                Ok(StmtKind::Continue)
+            }
+            "call" => {
+                self.bump();
+                let name = self.expect_ident("subroutine name")?;
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                }
+                self.end_stmt()?;
+                Ok(StmtKind::Call { name, args })
+            }
+            "return" => {
+                self.bump();
+                self.end_stmt()?;
+                Ok(StmtKind::Return)
+            }
+            "stop" => {
+                self.bump();
+                // optional stop code
+                if !matches!(self.peek(), Tok::Eos | Tok::Eof) {
+                    self.bump();
+                }
+                self.end_stmt()?;
+                Ok(StmtKind::Stop)
+            }
+            "read" => {
+                self.bump();
+                let unit = self.parse_io_unit()?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(self.parse_lvalue()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.end_stmt()?;
+                Ok(StmtKind::Read { unit, items })
+            }
+            "write" | "print" => {
+                self.bump();
+                let unit = if kw == "print" {
+                    self.expect(&Tok::Star, "`*`")?;
+                    if !matches!(self.peek(), Tok::Eos) {
+                        self.expect(&Tok::Comma, "`,`")?;
+                    }
+                    IoUnit::Star
+                } else {
+                    self.parse_io_unit()?
+                };
+                let mut items = Vec::new();
+                if !matches!(self.peek(), Tok::Eos | Tok::Eof) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.end_stmt()?;
+                Ok(StmtKind::Write {
+                    unit: unit_for_write(unit),
+                    items,
+                })
+            }
+            _ => {
+                // assignment
+                let target = self.parse_lvalue()?;
+                self.expect(&Tok::Assign, "`=`")?;
+                let value = self.parse_expr()?;
+                self.end_stmt()?;
+                Ok(StmtKind::Assign { target, value })
+            }
+        }
+    }
+
+    fn end_stmt(&mut self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            return Ok(());
+        }
+        self.expect(&Tok::Eos, "end of statement")
+    }
+
+    fn expect_label_ref(&mut self) -> Result<u32> {
+        match self.bump() {
+            Tok::Int(v) if v > 0 => Ok(v as u32),
+            Tok::Label(l) => Ok(l),
+            other => Err(FortranError::parse(
+                self.line(),
+                format!("expected statement label, found {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_io_unit(&mut self) -> Result<IoUnit> {
+        // `read *, items` | `read(*,*) items` | `read(5,*) items`
+        if self.eat(&Tok::Star) {
+            self.expect(&Tok::Comma, "`,`")?;
+            return Ok(IoUnit::Star);
+        }
+        self.expect(&Tok::LParen, "`(` or `*`")?;
+        let unit = match self.bump() {
+            Tok::Star => IoUnit::Star,
+            Tok::Int(v) => IoUnit::Unit(v),
+            other => {
+                return Err(FortranError::parse(
+                    self.line(),
+                    format!("expected I/O unit, found {other:?}"),
+                ))
+            }
+        };
+        if self.eat(&Tok::Comma) {
+            // format: only `*` supported
+            self.expect(&Tok::Star, "`*` format")?;
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(unit)
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue> {
+        let name = self.expect_ident("variable name")?;
+        let mut indices = Vec::new();
+        if self.eat(&Tok::LParen) {
+            loop {
+                indices.push(self.parse_expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+        }
+        Ok(LValue { name, indices })
+    }
+
+    fn parse_do(&mut self, open_do_labels: &mut Vec<u32>) -> Result<StmtKind> {
+        self.expect_kw("do")?;
+
+        // `do while (cond)`
+        if self.peek().is_kw("while") {
+            self.bump();
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.parse_expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            self.end_stmt()?;
+            let body = self.parse_stmt_list(open_do_labels)?;
+            self.expect_end_do()?;
+            return Ok(StmtKind::DoWhile { cond, body });
+        }
+
+        // `do 10 i = …` (label-terminated) or `do i = …`
+        let term_label = if let Tok::Int(v) = self.peek() {
+            let v = *v as u32;
+            self.bump();
+            Some(v)
+        } else {
+            None
+        };
+        let var = self.expect_ident("loop variable")?;
+        self.expect(&Tok::Assign, "`=`")?;
+        let from = self.parse_expr()?;
+        self.expect(&Tok::Comma, "`,`")?;
+        let to = self.parse_expr()?;
+        let step = if self.eat(&Tok::Comma) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.end_stmt()?;
+
+        let body = if let Some(lbl) = term_label {
+            open_do_labels.push(lbl);
+            let mut body = self.parse_stmt_list(open_do_labels)?;
+            open_do_labels.pop();
+            // Consume the terminal labeled statement (usually `continue`).
+            self.skip_eos();
+            match self.peek() {
+                Tok::Label(l) if *l == lbl => {
+                    let term = self.parse_stmt(open_do_labels)?;
+                    body.push(term);
+                }
+                _ => {
+                    return Err(FortranError::parse(
+                        self.line(),
+                        format!("expected terminal statement with label {lbl} for `do {lbl}`"),
+                    ))
+                }
+            }
+            body
+        } else {
+            let body = self.parse_stmt_list(open_do_labels)?;
+            self.expect_end_do()?;
+            body
+        };
+
+        Ok(StmtKind::Do {
+            var,
+            from,
+            to,
+            step,
+            body,
+            term_label,
+        })
+    }
+
+    fn expect_end_do(&mut self) -> Result<()> {
+        self.skip_eos();
+        if self.eat_kw("enddo") {
+            return self.end_stmt();
+        }
+        self.expect_kw("end")?;
+        self.expect_kw("do")?;
+        self.end_stmt()
+    }
+
+    fn parse_if(&mut self, open_do_labels: &mut Vec<u32>) -> Result<StmtKind> {
+        self.expect_kw("if")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+
+        if self.eat_kw("then") {
+            self.end_stmt()?;
+            let then = self.parse_stmt_list(open_do_labels)?;
+            let mut else_ifs = Vec::new();
+            let mut els = None;
+            loop {
+                self.skip_eos();
+                if self.eat_kw("elseif") {
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let c = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    self.expect_kw("then")?;
+                    self.end_stmt()?;
+                    else_ifs.push((c, self.parse_stmt_list(open_do_labels)?));
+                } else if self.peek().is_kw("else") && self.peek2().is_kw("if") {
+                    self.bump();
+                    self.bump();
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let c = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    self.expect_kw("then")?;
+                    self.end_stmt()?;
+                    else_ifs.push((c, self.parse_stmt_list(open_do_labels)?));
+                } else if self.eat_kw("else") {
+                    self.end_stmt()?;
+                    els = Some(self.parse_stmt_list(open_do_labels)?);
+                } else {
+                    break;
+                }
+            }
+            self.expect_end_if()?;
+            Ok(StmtKind::If {
+                cond,
+                then,
+                else_ifs,
+                els,
+            })
+        } else {
+            // logical if: `if (cond) stmt`
+            let line = self.line();
+            let id = self.fresh_id();
+            let kind = self.parse_stmt_kind(open_do_labels)?;
+            Ok(StmtKind::LogicalIf {
+                cond,
+                stmt: Box::new(Stmt {
+                    label: None,
+                    line,
+                    id,
+                    kind,
+                }),
+            })
+        }
+    }
+
+    fn expect_end_if(&mut self) -> Result<()> {
+        self.skip_eos();
+        if self.eat_kw("endif") {
+            return self.end_stmt();
+        }
+        self.expect_kw("end")?;
+        self.expect_kw("if")?;
+        self.end_stmt()
+    }
+
+    // ---- expressions ------------------------------------------------
+
+    /// Parse a full expression (lowest precedence: `.or.`).
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.parse_not()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Not) {
+            let e = self.parse_not()?;
+            Ok(Expr::Un {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            })
+        } else {
+            self.parse_rel()
+        }
+    }
+
+    fn parse_rel(&mut self) -> Result<Expr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::NeQ => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_add()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_mul()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            let e = self.parse_unary()?;
+            Ok(Expr::Un {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            })
+        } else if self.eat(&Tok::Plus) {
+            self.parse_unary()
+        } else {
+            self.parse_pow()
+        }
+    }
+
+    fn parse_pow(&mut self) -> Result<Expr> {
+        let base = self.parse_primary()?;
+        if self.eat(&Tok::StarStar) {
+            // right-associative; exponent may itself be unary (e.g. `x**-2`)
+            let exp = self.parse_unary()?;
+            Ok(Expr::bin(BinOp::Pow, base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v)),
+            Tok::Real(v) => Ok(Expr::RealLit(v)),
+            Tok::Str(s) => Ok(Expr::StrLit(s)),
+            Tok::Logical(b) => Ok(Expr::LogicalLit(b)),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut indices = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            indices.push(self.parse_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen, "`)`")?;
+                    }
+                    Ok(Expr::Index { name, indices })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(FortranError::parse(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+fn is_type_kw(t: &Tok) -> bool {
+    matches!(t, Tok::Ident(s) if matches!(s.as_str(), "real" | "integer" | "logical" | "double"))
+}
+
+fn unit_for_write(u: IoUnit) -> IoUnit {
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn parse_ok(src: &str) -> SourceFile {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn minimal_program() {
+        let f = parse_ok("      program p\n      x = 1\n      end\n");
+        assert_eq!(f.units.len(), 1);
+        assert_eq!(f.units[0].kind, UnitKind::Program);
+        assert_eq!(f.units[0].body.len(), 1);
+    }
+
+    #[test]
+    fn declarations() {
+        let f = parse_ok(
+            "      program p
+      implicit none
+      integer n, m
+      parameter (n = 100, m = 40)
+      real v(n, m), u(0:n+1, m)
+      dimension w(10)
+      common /flow/ p1, p2(5)
+      x = 1
+      end
+",
+        );
+        let u = &f.units[0];
+        assert_eq!(u.decls.len(), 5);
+        assert!(u.is_array("v"));
+        assert!(u.is_array("u"));
+        assert!(u.is_array("w"));
+        assert!(u.is_array("p2"));
+        assert!(!u.is_array("n"));
+        assert_eq!(u.type_of("v"), Some(Type::Real));
+        assert_eq!(u.type_of("n"), Some(Type::Integer));
+        // lower bound of u's first dim is 0
+        let vd = u.decl_of("u").unwrap();
+        assert!(vd.dims[0].lower.is_some());
+    }
+
+    #[test]
+    fn structured_do_nest() {
+        let f = parse_ok(
+            "      program p
+      real v(10,10)
+      do i = 1, 10
+        do j = 1, 10
+          v(i,j) = i + j
+        end do
+      end do
+      end
+",
+        );
+        let body = &f.units[0].body;
+        assert_eq!(body.len(), 1);
+        match &body[0].kind {
+            StmtKind::Do { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(matches!(body[0].kind, StmtKind::Do { .. }));
+            }
+            other => panic!("expected Do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_do() {
+        let f = parse_ok(
+            "      program p
+      do 10 i = 1, 5
+        x = i
+10    continue
+      end
+",
+        );
+        match &f.units[0].body[0].kind {
+            StmtKind::Do {
+                term_label, body, ..
+            } => {
+                assert_eq!(*term_label, Some(10));
+                assert_eq!(body.len(), 2); // x=i and the labeled continue
+                assert_eq!(body[1].label, Some(10));
+            }
+            other => panic!("expected Do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_labeled_do_distinct_labels() {
+        let f = parse_ok(
+            "      program p
+      do 20 i = 1, 5
+      do 10 j = 1, 5
+        x = i + j
+10    continue
+20    continue
+      end
+",
+        );
+        match &f.units[0].body[0].kind {
+            StmtKind::Do { body, .. } => match &body[0].kind {
+                StmtKind::Do { term_label, .. } => assert_eq!(*term_label, Some(10)),
+                other => panic!("expected inner Do, got {other:?}"),
+            },
+            other => panic!("expected Do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_with_step() {
+        let f = parse_ok(
+            "      program p\n      do i = 10, 1, -1\n      x = i\n      end do\n      end\n",
+        );
+        match &f.units[0].body[0].kind {
+            StmtKind::Do { step, .. } => assert!(step.is_some()),
+            other => panic!("expected Do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_while() {
+        let f = parse_ok(
+            "      program p
+      err = 1.0
+      do while (err .gt. 1.0e-5)
+        err = err / 2.0
+      end do
+      end
+",
+        );
+        assert!(matches!(f.units[0].body[1].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn block_if_else() {
+        let f = parse_ok(
+            "      program p
+      if (x .gt. 0.0) then
+        y = 1.0
+      else if (x .lt. 0.0) then
+        y = -1.0
+      else
+        y = 0.0
+      end if
+      end
+",
+        );
+        match &f.units[0].body[0].kind {
+            StmtKind::If {
+                then,
+                else_ifs,
+                els,
+                ..
+            } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(else_ifs.len(), 1);
+                assert!(els.is_some());
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elseif_single_word() {
+        let f = parse_ok(
+            "      program p
+      if (x .gt. 0.0) then
+        y = 1.0
+      elseif (x .lt. 0.0) then
+        y = -1.0
+      endif
+      end
+",
+        );
+        match &f.units[0].body[0].kind {
+            StmtKind::If { else_ifs, .. } => assert_eq!(else_ifs.len(), 1),
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_if_goto() {
+        let f = parse_ok(
+            "      program p
+100   continue
+      err = err / 2.0
+      if (err .gt. eps) goto 100
+      end
+",
+        );
+        let body = &f.units[0].body;
+        assert_eq!(body[0].label, Some(100));
+        match &body[2].kind {
+            StmtKind::LogicalIf { stmt, .. } => {
+                assert!(matches!(stmt.kind, StmtKind::Goto { target: 100 }))
+            }
+            other => panic!("expected LogicalIf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn go_to_two_words() {
+        let f = parse_ok("      program p\n      go to 10\n10    continue\n      end\n");
+        assert!(matches!(
+            f.units[0].body[0].kind,
+            StmtKind::Goto { target: 10 }
+        ));
+    }
+
+    #[test]
+    fn subroutines_and_calls() {
+        let f = parse_ok(
+            "      program p
+      call sub(1, x)
+      end
+      subroutine sub(n, y)
+      integer n
+      real y
+      y = n * 2.0
+      return
+      end
+",
+        );
+        assert_eq!(f.units.len(), 2);
+        assert_eq!(f.units[1].kind, UnitKind::Subroutine);
+        assert_eq!(f.units[1].params, vec!["n", "y"]);
+        match &f.units[0].body[0].kind {
+            StmtKind::Call { name, args } => {
+                assert_eq!(name, "sub");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected Call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_unit() {
+        let f = parse_ok(
+            "      real function f(x)
+      real x
+      f = x * x
+      return
+      end
+",
+        );
+        assert_eq!(f.units[0].kind, UnitKind::Function);
+        assert_eq!(f.units[0].name, "f");
+    }
+
+    #[test]
+    fn read_write_forms() {
+        let f = parse_ok(
+            "      program p
+      read *, n, m
+      read(5,*) x
+      write(*,*) 'result', x
+      print *, n
+      end
+",
+        );
+        let b = &f.units[0].body;
+        assert!(
+            matches!(&b[0].kind, StmtKind::Read { unit: IoUnit::Star, items } if items.len() == 2)
+        );
+        assert!(matches!(
+            &b[1].kind,
+            StmtKind::Read {
+                unit: IoUnit::Unit(5),
+                ..
+            }
+        ));
+        assert!(matches!(&b[2].kind, StmtKind::Write { items, .. } if items.len() == 2));
+        assert!(matches!(&b[3].kind, StmtKind::Write { .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let f = parse_ok("      program p\n      x = 1.0 + 2.0 * 3.0 ** 2\n      end\n");
+        match &f.units[0].body[0].kind {
+            StmtKind::Assign { value, .. } => {
+                // 1 + (2 * (3 ** 2))
+                match value {
+                    Expr::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => match rhs.as_ref() {
+                        Expr::Bin {
+                            op: BinOp::Mul,
+                            rhs,
+                            ..
+                        } => {
+                            assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Pow, .. }))
+                        }
+                        other => panic!("expected Mul, got {other:?}"),
+                    },
+                    other => panic!("expected Add at root, got {other:?}"),
+                }
+            }
+            other => panic!("expected Assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_pow() {
+        let f = parse_ok("      program p\n      x = -y ** 2\n      end\n");
+        // Fortran: -y**2 = -(y**2)
+        match &f.units[0].body[0].kind {
+            StmtKind::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Un { op: UnOp::Neg, .. }))
+            }
+            other => panic!("expected Assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stencil_expression() {
+        let f = parse_ok(
+            "      program p
+      real v(10,10), vn(10,10)
+      vn(i,j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+      end
+",
+        );
+        match &f.units[0].body[0].kind {
+            StmtKind::Assign { target, value } => {
+                assert_eq!(target.name, "vn");
+                assert_eq!(value.indexed_names().len(), 4);
+            }
+            other => panic!("expected Assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_collected() {
+        let f = parse_ok(
+            "!$acf grid(99,41,13)
+!$acf status v, u
+      program p
+      x = 1
+      end
+",
+        );
+        assert_eq!(f.directives.len(), 2);
+    }
+
+    #[test]
+    fn stmt_ids_unique() {
+        let f = parse_ok(
+            "      program p
+      do i = 1, 3
+        x = i
+        y = i
+      end do
+      z = 0
+      end
+",
+        );
+        let mut ids = vec![];
+        crate::ast::walk_stmts(&f.units[0].body, &mut |s| ids.push(s.id));
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("      program p\n      x = = 1\n      end\n").is_err());
+        assert!(parse("      program\n").is_err());
+    }
+
+    #[test]
+    fn error_on_missing_end_do() {
+        assert!(parse("      program p\n      do i = 1, 3\n      x = i\n      end\n").is_err());
+    }
+
+    #[test]
+    fn line_numbers_on_stmts() {
+        let f = parse_ok("      program p\n      x = 1\n      y = 2\n      end\n");
+        assert_eq!(f.units[0].body[0].line, 2);
+        assert_eq!(f.units[0].body[1].line, 3);
+    }
+}

@@ -1,0 +1,573 @@
+//! Pretty-printer: AST → Fortran source.
+//!
+//! The printer emits free-form-friendly Fortran that the [`crate::parser`]
+//! accepts again; `parse(print(ast))` reproduces the same AST modulo
+//! statement ids and line numbers (checked by the round-trip property
+//! test). The SPMD restructurer uses this printer to emit the transformed
+//! parallel program of the paper's Appendix 2.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Print a whole source file.
+pub fn print_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for d in &file.directives {
+        let _ = writeln!(out, "!$acf {}", d.display_body());
+    }
+    for u in &file.units {
+        print_unit(u, &mut out);
+    }
+    out
+}
+
+/// Print one program unit.
+pub fn print_unit(u: &Unit, out: &mut String) {
+    match u.kind {
+        UnitKind::Program => {
+            let _ = writeln!(out, "      program {}", u.name);
+        }
+        UnitKind::Subroutine => {
+            let _ = writeln!(out, "      subroutine {}({})", u.name, u.params.join(", "));
+        }
+        UnitKind::Function => {
+            let _ = writeln!(
+                out,
+                "      real function {}({})",
+                u.name,
+                u.params.join(", ")
+            );
+        }
+    }
+    for d in &u.decls {
+        print_decl(d, out);
+    }
+    print_stmts(&u.body, 1, out);
+    let _ = writeln!(out, "      end");
+}
+
+fn print_decl(d: &Decl, out: &mut String) {
+    match &d.kind {
+        DeclKind::Var { ty, names } => {
+            let ty = match ty {
+                Type::Integer => "integer",
+                Type::Real => "real",
+                Type::DoublePrecision => "double precision",
+                Type::Logical => "logical",
+            };
+            let _ = writeln!(out, "      {ty} {}", var_decl_list(names));
+        }
+        DeclKind::Dimension { names } => {
+            let _ = writeln!(out, "      dimension {}", var_decl_list(names));
+        }
+        DeclKind::Parameter { assigns } => {
+            let items: Vec<String> = assigns
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", expr_str(e)))
+                .collect();
+            let _ = writeln!(out, "      parameter ({})", items.join(", "));
+        }
+        DeclKind::Common { block, names } => {
+            if block.is_empty() {
+                let _ = writeln!(out, "      common {}", var_decl_list(names));
+            } else {
+                let _ = writeln!(out, "      common /{block}/ {}", var_decl_list(names));
+            }
+        }
+    }
+}
+
+fn var_decl_list(names: &[VarDecl]) -> String {
+    names
+        .iter()
+        .map(|v| {
+            if v.dims.is_empty() {
+                v.name.clone()
+            } else {
+                let dims: Vec<String> = v
+                    .dims
+                    .iter()
+                    .map(|d| match &d.lower {
+                        Some(lo) => format!("{}:{}", expr_str(lo), expr_str(&d.upper)),
+                        None => expr_str(&d.upper),
+                    })
+                    .collect();
+                format!("{}({})", v.name, dims.join(","))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Print a statement list at nesting `depth` (controls indentation).
+pub fn print_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn prefix(label: Option<u32>, depth: usize) -> String {
+    let ind = "  ".repeat(depth.saturating_sub(1));
+    match label {
+        Some(l) => {
+            let ls = l.to_string();
+            let pad = 6usize.saturating_sub(ls.len());
+            format!("{ls}{}{ind}", " ".repeat(pad))
+        }
+        None => format!("      {ind}"),
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    let p = prefix(s.label, depth);
+    match &s.kind {
+        StmtKind::Assign { target, value } => {
+            let _ = writeln!(out, "{p}{} = {}", lvalue_str(target), expr_str(value));
+        }
+        StmtKind::If {
+            cond,
+            then,
+            else_ifs,
+            els,
+        } => {
+            let _ = writeln!(out, "{p}if ({}) then", expr_str(cond));
+            print_stmts(then, depth + 1, out);
+            for (c, body) in else_ifs {
+                let _ = writeln!(out, "{}else if ({}) then", prefix(None, depth), expr_str(c));
+                print_stmts(body, depth + 1, out);
+            }
+            if let Some(body) = els {
+                let _ = writeln!(out, "{}else", prefix(None, depth));
+                print_stmts(body, depth + 1, out);
+            }
+            let _ = writeln!(out, "{}end if", prefix(None, depth));
+        }
+        StmtKind::LogicalIf { cond, stmt } => {
+            let mut inner = String::new();
+            print_stmt(stmt, 1, &mut inner);
+            let inner = inner.trim_start().trim_end();
+            let _ = writeln!(out, "{p}if ({}) {inner}", expr_str(cond));
+        }
+        StmtKind::Do {
+            var,
+            from,
+            to,
+            step,
+            body,
+            term_label,
+        } => {
+            let head = match term_label {
+                Some(l) => format!("do {l} {var}"),
+                None => format!("do {var}"),
+            };
+            let step_str = step
+                .as_ref()
+                .map(|e| format!(", {}", expr_str(e)))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{p}{head} = {}, {}{step_str}",
+                expr_str(from),
+                expr_str(to)
+            );
+            if term_label.is_some() {
+                // body includes the terminal labeled statement
+                print_stmts(body, depth + 1, out);
+            } else {
+                print_stmts(body, depth + 1, out);
+                let _ = writeln!(out, "{}end do", prefix(None, depth));
+            }
+        }
+        StmtKind::DoWhile { cond, body } => {
+            let _ = writeln!(out, "{p}do while ({})", expr_str(cond));
+            print_stmts(body, depth + 1, out);
+            let _ = writeln!(out, "{}end do", prefix(None, depth));
+        }
+        StmtKind::Goto { target } => {
+            let _ = writeln!(out, "{p}goto {target}");
+        }
+        StmtKind::Continue => {
+            let _ = writeln!(out, "{p}continue");
+        }
+        StmtKind::Call { name, args } => {
+            if args.is_empty() {
+                let _ = writeln!(out, "{p}call {name}()");
+            } else {
+                let args: Vec<String> = args.iter().map(expr_str).collect();
+                let _ = writeln!(out, "{p}call {name}({})", args.join(", "));
+            }
+        }
+        StmtKind::Return => {
+            let _ = writeln!(out, "{p}return");
+        }
+        StmtKind::Stop => {
+            let _ = writeln!(out, "{p}stop");
+        }
+        StmtKind::Read { unit, items } => {
+            let items: Vec<String> = items.iter().map(lvalue_str).collect();
+            match unit {
+                IoUnit::Star => {
+                    let _ = writeln!(out, "{p}read *, {}", items.join(", "));
+                }
+                IoUnit::Unit(u) => {
+                    let _ = writeln!(out, "{p}read({u},*) {}", items.join(", "));
+                }
+            }
+        }
+        StmtKind::Write { unit, items } => {
+            let items: Vec<String> = items.iter().map(expr_str).collect();
+            match unit {
+                IoUnit::Star => {
+                    let _ = writeln!(out, "{p}write(*,*) {}", items.join(", "));
+                }
+                IoUnit::Unit(u) => {
+                    let _ = writeln!(out, "{p}write({u},*) {}", items.join(", "));
+                }
+            }
+        }
+    }
+}
+
+fn lvalue_str(lv: &LValue) -> String {
+    if lv.indices.is_empty() {
+        lv.name.clone()
+    } else {
+        let idx: Vec<String> = lv.indices.iter().map(expr_str).collect();
+        format!("{}({})", lv.name, idx.join(","))
+    }
+}
+
+/// Render an expression as Fortran source.
+pub fn expr_str(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+/// Precedence levels for parenthesization.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+        BinOp::Pow => 7,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Or => " .or. ",
+        BinOp::And => " .and. ",
+        BinOp::Eq => " .eq. ",
+        BinOp::Ne => " .ne. ",
+        BinOp::Lt => " .lt. ",
+        BinOp::Le => " .le. ",
+        BinOp::Gt => " .gt. ",
+        BinOp::Ge => " .ge. ",
+        BinOp::Add => " + ",
+        BinOp::Sub => " - ",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => "**",
+    }
+}
+
+fn expr_prec(e: &Expr, parent: u8) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::RealLit(v) => real_str(*v),
+        Expr::StrLit(s) => format!("'{s}'"),
+        Expr::LogicalLit(true) => ".true.".into(),
+        Expr::LogicalLit(false) => ".false.".into(),
+        Expr::Var(n) => n.clone(),
+        Expr::Index { name, indices } => {
+            let idx: Vec<String> = indices.iter().map(|e| expr_prec(e, 0)).collect();
+            format!("{name}({})", idx.join(","))
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let p = prec(*op);
+            // Left-associative operators need rhs at p+1; `**` is
+            // right-associative so lhs gets p+1 instead.
+            let (lp, rp) = if *op == BinOp::Pow {
+                (p + 1, p)
+            } else {
+                (p, p + 1)
+            };
+            let s = format!(
+                "{}{}{}",
+                expr_prec(lhs, lp),
+                op_str(*op),
+                expr_prec(rhs, rp)
+            );
+            if p < parent {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un { op, expr } => {
+            let (sym, p) = match op {
+                UnOp::Neg => ("-", 6u8),
+                UnOp::Not => (".not. ", 3u8),
+            };
+            let s = format!("{sym}{}", expr_prec(expr, p));
+            if p < parent {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Render a real literal so it round-trips as a Real token (always with a
+/// decimal point or exponent).
+fn real_str(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// Strip ids/lines so ASTs can be compared across a print→parse trip.
+    fn normalize(f: &SourceFile) -> String {
+        // Compare via the printer itself: print is deterministic, so two
+        // ASTs that print identically are (for our purposes) equal.
+        print_file(f)
+    }
+
+    fn roundtrip(src: &str) {
+        let f1 = parse(src).expect("initial parse");
+        let printed = print_file(&f1);
+        let f2 =
+            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        assert_eq!(normalize(&f1), normalize(&f2), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("      program p\n      x = 1 + 2 * 3\n      end\n");
+    }
+
+    #[test]
+    fn roundtrip_stencil() {
+        roundtrip(
+            "      program p
+      real v(10,10), vn(10,10)
+      do i = 2, 9
+        do j = 2, 9
+          vn(i,j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+        end do
+      end do
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_if_else() {
+        roundtrip(
+            "      program p
+      if (x .gt. 0.0) then
+        y = 1.0
+      else if (x .lt. 0.0) then
+        y = -1.0
+      else
+        y = 0.0
+      end if
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_labeled_do_and_goto() {
+        roundtrip(
+            "      program p
+100   continue
+      do 10 i = 1, 5
+        x = x + i
+10    continue
+      if (x .lt. 100.0) goto 100
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_subroutines() {
+        roundtrip(
+            "      program p
+      call solve(v, 10)
+      end
+      subroutine solve(v, n)
+      integer n
+      real v(n)
+      do i = 1, n
+        v(i) = 0.0
+      end do
+      return
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_declarations() {
+        roundtrip(
+            "      program p
+      integer n
+      parameter (n = 100)
+      real v(0:n+1, n), w
+      double precision d
+      logical flag
+      common /blk/ a, b(5)
+      x = 1
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_io() {
+        roundtrip(
+            "      program p
+      read *, n
+      read(5,*) x, y
+      write(*,*) 'err =', x
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_do_while() {
+        roundtrip(
+            "      program p
+      do while (err .gt. 1.0e-5 .and. it .lt. 1000)
+        err = err / 2.0
+        it = it + 1
+      end do
+      end
+",
+        );
+    }
+
+    #[test]
+    fn parenthesization_preserved() {
+        roundtrip("      program p\n      x = (a + b) * c - d / (e - f) ** 2\n      end\n");
+    }
+
+    #[test]
+    fn negative_exponent_roundtrip() {
+        roundtrip("      program p\n      x = 1.0e-5\n      y = 2.5e10\n      end\n");
+    }
+
+    #[test]
+    fn pow_right_assoc() {
+        // a ** b ** c must print so it reparses as a ** (b ** c)
+        roundtrip("      program p\n      x = a ** b ** c\n      end\n");
+        roundtrip("      program p\n      x = (a ** b) ** c\n      end\n");
+    }
+
+    #[test]
+    fn real_literal_always_reparses_as_real() {
+        assert_eq!(real_str(2.0), "2.0");
+        assert_eq!(real_str(0.25), "0.25");
+        let f = parse(&format!(
+            "      program p\n      x = {}\n      end\n",
+            real_str(3.0)
+        ))
+        .unwrap();
+        match &f.units[0].body[0].kind {
+            crate::ast::StmtKind::Assign { value, .. } => {
+                assert!(matches!(value, Expr::RealLit(v) if *v == 3.0))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn not_precedence() {
+        roundtrip("      program p\n      f = .not. (a .lt. b) .and. c .gt. d\n      end\n");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, UnOp};
+    use crate::parse;
+    use proptest::prelude::*;
+
+    /// Random numeric expression trees over scalars and 2-D array refs.
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0i64..1000).prop_map(Expr::IntLit),
+            (0u32..1000).prop_map(|v| Expr::RealLit(f64::from(v) / 8.0 + 0.5)),
+            Just(Expr::var("x")),
+            Just(Expr::var("y")),
+            Just(Expr::Index {
+                name: "v".into(),
+                indices: vec![Expr::var("i"), Expr::var("j")]
+            }),
+        ];
+        leaf.prop_recursive(4, 64, 3, |inner| {
+            prop_oneof![
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::Mul),
+                        Just(BinOp::Div),
+                        Just(BinOp::Pow),
+                    ]
+                )
+                    .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+                inner.clone().prop_map(|e| Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(e)
+                }),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Index {
+                    name: "max".into(),
+                    indices: vec![a, b]
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// print ∘ parse is the identity on printed expressions: the
+        /// printer's parenthesization preserves the tree exactly.
+        #[test]
+        fn random_expressions_roundtrip(e in arb_expr()) {
+            let src = format!("      program p\n      r = {}\n      end\n", expr_str(&e));
+            let f = parse(&src).unwrap_or_else(|err| panic!("{err}\n{src}"));
+            match &f.units[0].body[0].kind {
+                crate::ast::StmtKind::Assign { value, .. } => {
+                    prop_assert_eq!(
+                        expr_str(value),
+                        expr_str(&e),
+                        "tree changed through print→parse"
+                    );
+                }
+                other => panic!("expected Assign, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Automatic partition selection.
+//!
+//! When the user gives no `!$acf partition(...)` directive, Auto-CFD
+//! chooses the processor grid itself: it enumerates every factorization
+//! of the processor count over the grid axes and picks the one that
+//! minimizes communication, subject to load balance (§4.1). The cost
+//! order reproduces the paper's §6.2 reasoning:
+//!
+//! 1. primary: **maximum per-subtask communication volume** (the
+//!    bottleneck processor sets the pace in a lock-step stencil code);
+//! 2. tie-break: total communication volume;
+//! 3. tie-break: per-neighbor communication balance (the paper notes the
+//!    unbalanced faces of `2 × 2 × 1` hurt case study 1);
+//! 4. tie-break: load imbalance.
+
+use crate::partition::{partition, GridShape, Partition, PartitionSpec};
+use serde::{Deserialize, Serialize};
+
+/// The cost vector used to rank candidate partitions (lower is better,
+/// lexicographically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionCost {
+    /// Max per-subtask communicated points per exchange.
+    pub max_comm: u64,
+    /// Total communicated points per exchange.
+    pub total_comm: u64,
+    /// Worst per-neighbor face-size ratio across subtasks (×1000, as an
+    /// integer for total ordering).
+    pub neighbor_imbalance_milli: u64,
+    /// Load imbalance (×1000).
+    pub load_imbalance_milli: u64,
+}
+
+impl PartitionCost {
+    /// Evaluate a partition under dependency distance `distance`.
+    pub fn of(p: &Partition, distance: u64) -> Self {
+        let max_comm = p.max_comm_points(distance);
+        let total_comm = p.total_comm_points(distance);
+        let neighbor_imbalance_milli = (0..p.spec.tasks())
+            .map(|r| (p.neighbor_comm_imbalance(r) * 1000.0) as u64)
+            .max()
+            .unwrap_or(1000);
+        let load_imbalance_milli = (p.imbalance() * 1000.0) as u64;
+        Self {
+            max_comm,
+            total_comm,
+            neighbor_imbalance_milli,
+            load_imbalance_milli,
+        }
+    }
+
+    fn key(&self) -> (u64, u64, u64, u64) {
+        (
+            self.max_comm,
+            self.total_comm,
+            self.neighbor_imbalance_milli,
+            self.load_imbalance_milli,
+        )
+    }
+}
+
+/// Enumerate all ordered factorizations of `p` into `rank` factors
+/// (each ≥ 1): every candidate `x × y (× z)` processor grid.
+pub fn enumerate_factorizations(p: u32, rank: usize) -> Vec<Vec<u32>> {
+    assert!(p >= 1 && rank >= 1);
+    fn rec(p: u32, rank: usize, acc: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if rank == 1 {
+            acc.push(p);
+            out.push(acc.clone());
+            acc.pop();
+            return;
+        }
+        for f in 1..=p {
+            if p.is_multiple_of(f) {
+                acc.push(f);
+                rec(p / f, rank - 1, acc, out);
+                acc.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(p, rank, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Choose the best partition of `shape` over `procs` processors at halo
+/// width `distance`. Candidates with more parts than points on some axis
+/// are skipped. Returns the winning partition and its cost.
+///
+/// ```
+/// use autocfd_grid::{choose_partition, GridShape};
+/// // the paper's case study 1 on 6 processors: 3x2x1 wins (§6.2)
+/// let (p, cost) = choose_partition(&GridShape::d3(99, 41, 13), 6, 1);
+/// assert_eq!(p.spec.parts, vec![3, 2, 1]);
+/// assert!(cost.max_comm > 0);
+/// ```
+///
+/// # Panics
+/// Panics if no factorization fits the grid (e.g. more processors than
+/// grid points).
+pub fn choose_partition(
+    shape: &GridShape,
+    procs: u32,
+    distance: u64,
+) -> (Partition, PartitionCost) {
+    let mut best: Option<(Partition, PartitionCost)> = None;
+    for parts in enumerate_factorizations(procs, shape.rank()) {
+        if parts
+            .iter()
+            .zip(&shape.extents)
+            .any(|(&p, &n)| u64::from(p) > n)
+        {
+            continue;
+        }
+        let cand = partition(shape, &PartitionSpec::new(&parts));
+        let cost = PartitionCost::of(&cand, distance);
+        let better = match &best {
+            None => true,
+            Some((_, bc)) => cost.key() < bc.key(),
+        };
+        if better {
+            best = Some((cand, cost));
+        }
+    }
+    best.expect("no feasible partition for this grid/processor combination")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_of_4_rank3() {
+        let f = enumerate_factorizations(4, 3);
+        assert!(f.contains(&vec![4, 1, 1]));
+        assert!(f.contains(&vec![1, 4, 1]));
+        assert!(f.contains(&vec![2, 2, 1]));
+        assert!(f.contains(&vec![1, 2, 2]));
+        // every candidate multiplies to 4
+        assert!(f.iter().all(|v| v.iter().product::<u32>() == 4));
+    }
+
+    #[test]
+    fn factorizations_count_rank2() {
+        // 6 = 1*6, 2*3, 3*2, 6*1
+        assert_eq!(enumerate_factorizations(6, 2).len(), 4);
+    }
+
+    #[test]
+    fn two_procs_cut_longest_dimension() {
+        // Paper §6.2: "On 2 processors, the best way to partition the flow
+        // field is to cut the longest dimension of 99 grid points."
+        let (p, _) = choose_partition(&GridShape::d3(99, 41, 13), 2, 1);
+        assert_eq!(p.spec.parts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn six_procs_prefers_3x2x1() {
+        // Paper §6.2: 3×2×1 gives balanced neighbor communication and less
+        // volume than 2×2×1-style alternatives.
+        let (p, _) = choose_partition(&GridShape::d3(99, 41, 13), 6, 1);
+        assert_eq!(p.spec.parts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn sprayer_4_procs_never_cuts_short_axis_only() {
+        // 300×100 on 4 procs: 4×1 and 2×2 tie on max per-proc comm (200
+        // points); 1×4 is strictly worse (600). The cost model must not
+        // pick 1×4; the paper's Table 3 runs 2×2 via an explicit
+        // `!$acf partition` directive.
+        let (p, c) = choose_partition(&GridShape::d2(300, 100), 4, 1);
+        assert_ne!(p.spec.parts, vec![1, 4]);
+        assert_eq!(c.max_comm, 200);
+    }
+
+    #[test]
+    fn skips_infeasible_axes() {
+        // grid 100×3 with 4 procs: 1×4 infeasible on axis 1 (3 points);
+        // must pick an x-heavy split.
+        let (p, _) = choose_partition(&GridShape::d2(100, 3), 4, 1);
+        assert_eq!(p.spec.parts[0], 4);
+    }
+
+    #[test]
+    fn single_proc_trivial() {
+        let (p, c) = choose_partition(&GridShape::d2(50, 50), 1, 1);
+        assert_eq!(p.spec.parts, vec![1, 1]);
+        assert_eq!(c.max_comm, 0);
+        assert_eq!(c.total_comm, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible partition")]
+    fn infeasible_panics() {
+        choose_partition(&GridShape::d2(2, 2), 5, 1);
+    }
+
+    #[test]
+    fn distance_does_not_change_winner_but_scales_cost() {
+        let shape = GridShape::d2(300, 100);
+        let (_, c1) = choose_partition(&shape, 2, 1);
+        let (p2, c2) = choose_partition(&shape, 2, 2);
+        assert_eq!(p2.spec.parts, vec![2, 1]);
+        assert_eq!(c2.max_comm, 2 * c1.max_comm);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The chosen partition is optimal: no enumerated feasible
+        /// candidate has a strictly smaller cost key.
+        #[test]
+        fn chosen_is_optimal(
+            ni in 10u64..300, nj in 10u64..300, procs in 1u32..9,
+        ) {
+            let shape = GridShape::d2(ni, nj);
+            let (_, best_cost) = choose_partition(&shape, procs, 1);
+            for parts in enumerate_factorizations(procs, 2) {
+                if parts.iter().zip(&shape.extents).any(|(&p, &n)| u64::from(p) > n) {
+                    continue;
+                }
+                let cand = crate::partition::partition(&shape, &PartitionSpec::new(&parts));
+                let cost = PartitionCost::of(&cand, 1);
+                prop_assert!(
+                    (best_cost.max_comm, best_cost.total_comm)
+                        <= (cost.max_comm, cost.total_comm),
+                    "candidate {:?} beats chosen", parts
+                );
+            }
+        }
+
+        /// Factorizations always multiply back to p.
+        #[test]
+        fn factorizations_product(p in 1u32..64, rank in 1usize..4) {
+            for f in enumerate_factorizations(p, rank) {
+                prop_assert_eq!(f.iter().product::<u32>(), p);
+                prop_assert_eq!(f.len(), rank);
+            }
+        }
+    }
+}

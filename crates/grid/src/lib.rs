@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Structured-grid partitioning for Auto-CFD (§4.1 of the paper).
+//!
+//! Grid partitioning serves two purposes in the paper:
+//!
+//! 1. **load balance** — all subgrids sized as equally as possible, and
+//! 2. **communication minimization** — the paper proves communication is
+//!    minimized when every demarcation line splits the grid into (as close
+//!    as possible) equal point counts.
+//!
+//! This crate implements block decomposition of 2-D/3-D structured grids
+//! into an `x × y × z` processor grid ([`partition::partition`]), halo
+//! (ghost-layer) geometry for a given dependency distance, per-subtask
+//! communication volume analysis, and automatic partition selection
+//! ([`choose::choose_partition`]) that searches all factorizations of the
+//! processor count — reproducing the paper's §6.2 discussion of why
+//! `3 × 2 × 1` beats `4 × 1 × 1` and `2 × 2 × 1` on six processors.
+
+pub mod choose;
+pub mod partition;
+
+pub use choose::{choose_partition, enumerate_factorizations, PartitionCost};
+pub use partition::{
+    coords_to_rank, partition, rank_to_coords, split_axis, GridShape, Partition, PartitionSpec,
+    Subgrid,
+};

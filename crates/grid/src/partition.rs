@@ -1,0 +1,476 @@
+//! Block decomposition of structured grids.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a structured (rectangular) computational grid — §2 of the
+/// paper: the irregular physical flow field has already been mapped onto
+/// this regular grid by the CFD code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridShape {
+    /// Points per axis (2 or 3 axes), 1-based indexing like Fortran.
+    pub extents: Vec<u64>,
+}
+
+impl GridShape {
+    /// A 2-D grid.
+    pub fn d2(ni: u64, nj: u64) -> Self {
+        Self {
+            extents: vec![ni, nj],
+        }
+    }
+
+    /// A 3-D grid.
+    pub fn d3(ni: u64, nj: u64, nk: u64) -> Self {
+        Self {
+            extents: vec![ni, nj, nk],
+        }
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total grid points.
+    pub fn points(&self) -> u64 {
+        self.extents.iter().product()
+    }
+}
+
+/// A requested processor grid: parts per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Number of parts along each grid axis.
+    pub parts: Vec<u32>,
+}
+
+impl PartitionSpec {
+    /// Construct from a slice.
+    pub fn new(parts: &[u32]) -> Self {
+        Self {
+            parts: parts.to_vec(),
+        }
+    }
+
+    /// Total number of subtasks (processors).
+    pub fn tasks(&self) -> u32 {
+        self.parts.iter().product()
+    }
+
+    /// Render as the paper's `x × y × z` notation.
+    pub fn display(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    }
+}
+
+/// One subgrid: the block of grid points assigned to one subtask.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subgrid {
+    /// Subtask rank (row-major over the processor grid).
+    pub rank: u32,
+    /// Position in the processor grid, per axis.
+    pub coords: Vec<u32>,
+    /// Inclusive global lower corner (1-based).
+    pub lo: Vec<u64>,
+    /// Inclusive global upper corner (1-based).
+    pub hi: Vec<u64>,
+}
+
+impl Subgrid {
+    /// Local extent along `axis`.
+    pub fn extent(&self, axis: usize) -> u64 {
+        self.hi[axis] - self.lo[axis] + 1
+    }
+
+    /// Total points owned by this subtask.
+    pub fn points(&self) -> u64 {
+        (0..self.lo.len()).map(|a| self.extent(a)).product()
+    }
+
+    /// Surface (demarcation face) size perpendicular to `axis`: the number
+    /// of grid points on one face, i.e. the product of the other axes'
+    /// local extents.
+    pub fn face_points(&self, axis: usize) -> u64 {
+        (0..self.lo.len())
+            .filter(|&a| a != axis)
+            .map(|a| self.extent(a))
+            .product()
+    }
+}
+
+/// A complete block partition of a grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// The partitioned grid.
+    pub shape: GridShape,
+    /// Parts per axis.
+    pub spec: PartitionSpec,
+    /// All subgrids, indexed by rank (row-major over processor coords).
+    pub subgrids: Vec<Subgrid>,
+}
+
+/// Split extent `n` into `p` consecutive chunks whose sizes differ by at
+/// most one (the paper's equal-demarcation-line rule). Returns inclusive
+/// 1-based `(lo, hi)` ranges.
+pub fn split_axis(n: u64, p: u32) -> Vec<(u64, u64)> {
+    assert!(p >= 1, "at least one part");
+    let p = p as u64;
+    let base = n / p;
+    let extra = n % p; // first `extra` chunks get one more point
+    let mut out = Vec::with_capacity(p as usize);
+    let mut lo = 1u64;
+    for c in 0..p {
+        let len = base + u64::from(c < extra);
+        let hi = lo + len.saturating_sub(1);
+        out.push((lo, hi));
+        lo = hi + 1;
+    }
+    out
+}
+
+/// Build the block partition of `shape` by `spec`.
+///
+/// # Panics
+/// Panics if the spec rank differs from the grid rank, or if any axis has
+/// more parts than points.
+pub fn partition(shape: &GridShape, spec: &PartitionSpec) -> Partition {
+    assert_eq!(
+        shape.rank(),
+        spec.parts.len(),
+        "partition rank must match grid rank"
+    );
+    for (a, (&n, &p)) in shape.extents.iter().zip(&spec.parts).enumerate() {
+        assert!(
+            u64::from(p) <= n,
+            "axis {a}: cannot split {n} points into {p} parts"
+        );
+    }
+    let axis_ranges: Vec<Vec<(u64, u64)>> = shape
+        .extents
+        .iter()
+        .zip(&spec.parts)
+        .map(|(&n, &p)| split_axis(n, p))
+        .collect();
+
+    let mut subgrids = Vec::with_capacity(spec.tasks() as usize);
+    let rank_dims: Vec<u32> = spec.parts.clone();
+    let total = spec.tasks();
+    for r in 0..total {
+        let coords = rank_to_coords(r, &rank_dims);
+        let mut lo = Vec::with_capacity(coords.len());
+        let mut hi = Vec::with_capacity(coords.len());
+        for (a, &c) in coords.iter().enumerate() {
+            let (l, h) = axis_ranges[a][c as usize];
+            lo.push(l);
+            hi.push(h);
+        }
+        subgrids.push(Subgrid {
+            rank: r,
+            coords,
+            lo,
+            hi,
+        });
+    }
+    Partition {
+        shape: shape.clone(),
+        spec: spec.clone(),
+        subgrids,
+    }
+}
+
+/// Row-major rank → processor-grid coordinates.
+pub fn rank_to_coords(rank: u32, dims: &[u32]) -> Vec<u32> {
+    let mut coords = vec![0u32; dims.len()];
+    let mut rem = rank;
+    for a in (0..dims.len()).rev() {
+        coords[a] = rem % dims[a];
+        rem /= dims[a];
+    }
+    coords
+}
+
+/// Processor-grid coordinates → row-major rank.
+pub fn coords_to_rank(coords: &[u32], dims: &[u32]) -> u32 {
+    let mut rank = 0u32;
+    for a in 0..dims.len() {
+        rank = rank * dims[a] + coords[a];
+    }
+    rank
+}
+
+impl Partition {
+    /// The subgrid of `rank`.
+    pub fn subgrid(&self, rank: u32) -> &Subgrid {
+        &self.subgrids[rank as usize]
+    }
+
+    /// Neighbor rank of `rank` along `axis` in direction `dir` (−1/+1),
+    /// if inside the processor grid (no periodic wraparound — CFD grids
+    /// have physical boundaries).
+    pub fn neighbor(&self, rank: u32, axis: usize, dir: i32) -> Option<u32> {
+        let coords = &self.subgrids[rank as usize].coords;
+        let c = coords[axis] as i64 + i64::from(dir);
+        if c < 0 || c >= i64::from(self.spec.parts[axis]) {
+            return None;
+        }
+        let mut nc = coords.clone();
+        nc[axis] = c as u32;
+        Some(coords_to_rank(&nc, &self.spec.parts))
+    }
+
+    /// All `(axis, dir, neighbor_rank)` triples for `rank`.
+    pub fn neighbors(&self, rank: u32) -> Vec<(usize, i32, u32)> {
+        let mut out = Vec::new();
+        for axis in 0..self.shape.rank() {
+            for dir in [-1, 1] {
+                if let Some(n) = self.neighbor(rank, axis, dir) {
+                    out.push((axis, dir, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Grid points communicated *by* subtask `rank` per halo exchange,
+    /// with ghost-layer width `distance` (§4.2 case 5): the sum over all
+    /// neighbor faces of `face_points × distance`.
+    pub fn comm_points(&self, rank: u32, distance: u64) -> u64 {
+        let sg = &self.subgrids[rank as usize];
+        self.neighbors(rank)
+            .iter()
+            .map(|&(axis, _, _)| sg.face_points(axis) * distance)
+            .sum()
+    }
+
+    /// Total communicated points across all subtasks per exchange.
+    pub fn total_comm_points(&self, distance: u64) -> u64 {
+        (0..self.spec.tasks())
+            .map(|r| self.comm_points(r, distance))
+            .sum()
+    }
+
+    /// Maximum per-subtask communicated points (the bottleneck processor —
+    /// the paper's case-study-1 analysis is about exactly this quantity).
+    pub fn max_comm_points(&self, distance: u64) -> u64 {
+        (0..self.spec.tasks())
+            .map(|r| self.comm_points(r, distance))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Load imbalance: max subgrid points / mean subgrid points.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.subgrids.iter().map(Subgrid::points).max().unwrap_or(0) as f64;
+        let mean = self.shape.points() as f64 / self.subgrids.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Imbalance of communication across a subtask's neighbors: the ratio
+    /// of its largest face to its smallest face (1.0 = perfectly
+    /// balanced). The paper's §6.2 notes unbalanced neighbor communication
+    /// hurt the `2 × 2 × 1` partition.
+    pub fn neighbor_comm_imbalance(&self, rank: u32) -> f64 {
+        let sg = &self.subgrids[rank as usize];
+        let faces: Vec<u64> = self
+            .neighbors(rank)
+            .iter()
+            .map(|&(axis, _, _)| sg.face_points(axis))
+            .collect();
+        match (faces.iter().max(), faces.iter().min()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_axis_even() {
+        assert_eq!(
+            split_axis(100, 4),
+            vec![(1, 25), (26, 50), (51, 75), (76, 100)]
+        );
+    }
+
+    #[test]
+    fn split_axis_uneven() {
+        // 99 into 4: 25,25,25,24 — sizes differ by at most 1
+        let parts = split_axis(99, 4);
+        let sizes: Vec<u64> = parts.iter().map(|(l, h)| h - l + 1).collect();
+        assert_eq!(sizes, vec![25, 25, 25, 24]);
+        assert_eq!(parts.last().unwrap().1, 99);
+    }
+
+    #[test]
+    fn split_axis_single() {
+        assert_eq!(split_axis(7, 1), vec![(1, 7)]);
+    }
+
+    #[test]
+    fn partition_covers_grid_exactly() {
+        let p = partition(&GridShape::d3(99, 41, 13), &PartitionSpec::new(&[3, 2, 1]));
+        assert_eq!(p.subgrids.len(), 6);
+        let total: u64 = p.subgrids.iter().map(Subgrid::points).sum();
+        assert_eq!(total, 99 * 41 * 13);
+    }
+
+    #[test]
+    fn partition_sizes_balanced() {
+        let p = partition(&GridShape::d3(99, 41, 13), &PartitionSpec::new(&[4, 4, 1]));
+        let max = p.subgrids.iter().map(Subgrid::points).max().unwrap();
+        let min = p.subgrids.iter().map(Subgrid::points).min().unwrap();
+        // per-axis sizes differ by ≤1, so point counts stay close
+        assert!(p.imbalance() < 1.15, "imbalance {}", p.imbalance());
+        assert!(max >= min);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must match")]
+    fn rank_mismatch_panics() {
+        partition(&GridShape::d2(10, 10), &PartitionSpec::new(&[2, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn overpartition_panics() {
+        partition(&GridShape::d2(3, 3), &PartitionSpec::new(&[4, 1]));
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let dims = [3u32, 2, 4];
+        for r in 0..24 {
+            let c = rank_to_coords(r, &dims);
+            assert_eq!(coords_to_rank(&c, &dims), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_interior_and_boundary() {
+        let p = partition(&GridShape::d2(40, 40), &PartitionSpec::new(&[4, 1]));
+        // rank 0 is a boundary subtask: one neighbor
+        assert_eq!(p.neighbors(0).len(), 1);
+        // rank 1 is interior along axis 0: two neighbors
+        assert_eq!(p.neighbors(1).len(), 2);
+        assert_eq!(p.neighbor(1, 0, -1), Some(0));
+        assert_eq!(p.neighbor(1, 0, 1), Some(2));
+        assert_eq!(p.neighbor(0, 0, -1), None);
+        // axis 1 has a single part: no neighbors there
+        assert_eq!(p.neighbor(1, 1, 1), None);
+    }
+
+    #[test]
+    fn comm_points_2proc_vs_4proc_case_study_1() {
+        // The paper's §6.2 analysis: on 99×41×13, cutting the longest
+        // dimension for 2 procs gives one 41×13 face each; with 4×1×1 an
+        // interior proc has two 41×13 faces — per-proc comm doubles while
+        // per-proc compute halves.
+        let shape = GridShape::d3(99, 41, 13);
+        let p2 = partition(&shape, &PartitionSpec::new(&[2, 1, 1]));
+        let p4 = partition(&shape, &PartitionSpec::new(&[4, 1, 1]));
+        assert_eq!(p2.comm_points(0, 1), 41 * 13);
+        assert_eq!(p4.max_comm_points(1), 2 * 41 * 13);
+    }
+
+    #[test]
+    fn comm_points_2x2x1_ratio_paper() {
+        // Paper: with 2×2×1 each subgrid is ~50×21×13 and communicates
+        // (50×13 + 21×13) points ≈ 1.7× the (41×13) of the 2-proc split.
+        // (The paper quotes 1.6 using 45×21×13 subgrids from a slightly
+        // different split; the shape — "more than 2-proc" — is what
+        // matters.)
+        let shape = GridShape::d3(99, 41, 13);
+        let p = partition(&shape, &PartitionSpec::new(&[2, 2, 1]));
+        let per = p.comm_points(0, 1) as f64;
+        let two_proc = (41 * 13) as f64;
+        let ratio = per / two_proc;
+        assert!(ratio > 1.4 && ratio < 2.0, "ratio {ratio}");
+        // and its neighbor communication is unbalanced
+        assert!(p.neighbor_comm_imbalance(0) > 1.5);
+    }
+
+    #[test]
+    fn distance_scales_comm() {
+        let p = partition(&GridShape::d2(100, 100), &PartitionSpec::new(&[2, 1]));
+        assert_eq!(p.comm_points(0, 2), 2 * p.comm_points(0, 1));
+    }
+
+    #[test]
+    fn face_points() {
+        let p = partition(&GridShape::d3(100, 40, 10), &PartitionSpec::new(&[2, 2, 1]));
+        let sg = p.subgrid(0);
+        assert_eq!(sg.face_points(0), sg.extent(1) * sg.extent(2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Partition conserves grid points and every point is covered once.
+        #[test]
+        fn conserves_points(
+            ni in 4u64..200, nj in 4u64..200,
+            pi in 1u32..4, pj in 1u32..4,
+        ) {
+            prop_assume!(u64::from(pi) <= ni && u64::from(pj) <= nj);
+            let p = partition(&GridShape::d2(ni, nj), &PartitionSpec::new(&[pi, pj]));
+            let total: u64 = p.subgrids.iter().map(Subgrid::points).sum();
+            prop_assert_eq!(total, ni * nj);
+            // blocks tile without overlap: consecutive blocks along each
+            // axis abut exactly
+            for sg in &p.subgrids {
+                for axis in 0..2 {
+                    if let Some(n) = p.neighbor(sg.rank, axis, 1) {
+                        prop_assert_eq!(p.subgrid(n).lo[axis], sg.hi[axis] + 1);
+                    }
+                }
+            }
+        }
+
+        /// Per-axis chunk sizes differ by at most one (the paper's
+        /// equal-demarcation-lines rule).
+        #[test]
+        fn chunks_differ_by_at_most_one(n in 1u64..10_000, p in 1u32..64) {
+            prop_assume!(u64::from(p) <= n);
+            let chunks = split_axis(n, p);
+            let sizes: Vec<u64> = chunks.iter().map(|(l, h)| h - l + 1).collect();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1);
+            prop_assert_eq!(sizes.iter().sum::<u64>(), n);
+            prop_assert_eq!(chunks[0].0, 1);
+            prop_assert_eq!(chunks.last().unwrap().1, n);
+        }
+
+        /// Halo symmetry: if a has neighbor b along (axis,+1) then b has
+        /// neighbor a along (axis,-1), and the shared face sizes agree.
+        #[test]
+        fn halo_symmetry(
+            ni in 8u64..120, nj in 8u64..120, nk in 4u64..40,
+            pi in 1u32..4, pj in 1u32..4, pk in 1u32..3,
+        ) {
+            prop_assume!(u64::from(pi) <= ni && u64::from(pj) <= nj && u64::from(pk) <= nk);
+            let p = partition(&GridShape::d3(ni, nj, nk), &PartitionSpec::new(&[pi, pj, pk]));
+            for sg in &p.subgrids {
+                for (axis, dir, n) in p.neighbors(sg.rank) {
+                    prop_assert_eq!(p.neighbor(n, axis, -dir), Some(sg.rank));
+                    prop_assert_eq!(p.subgrid(n).face_points(axis), sg.face_points(axis));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Expression evaluation and intrinsic functions.
+
+use crate::exec::{Exec, Hooks};
+use crate::machine::{Frame, Machine, RunError};
+use crate::value::Value;
+use autocfd_fortran::{BinOp, Expr, UnOp};
+
+impl<'p, H: Hooks> Exec<'p, H> {
+    /// Evaluate an expression in the given frame.
+    pub fn eval(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        e: &Expr,
+    ) -> Result<Value, RunError> {
+        match e {
+            Expr::IntLit(v) => Ok(Value::Int(*v)),
+            Expr::RealLit(v) => Ok(Value::Real(*v)),
+            Expr::StrLit(s) => Ok(Value::Str(s.clone())),
+            Expr::LogicalLit(b) => Ok(Value::Logical(*b)),
+            Expr::Var(name) => {
+                if frame.arrays.contains_key(name) {
+                    return Err(RunError::new(format!(
+                        "array `{name}` used as a scalar value"
+                    )));
+                }
+                Ok(frame.get_scalar(name))
+            }
+            Expr::Index { name, indices } => {
+                if let Some(&id) = frame.arrays.get(name) {
+                    let mut idx = Vec::with_capacity(indices.len());
+                    for ix in indices {
+                        idx.push(self.eval(m, frame, ix)?.as_i64()?);
+                    }
+                    m.ops.loads += 1;
+                    let v = m.array(id).get(&idx)?;
+                    return Ok(if m.array(id).is_int {
+                        Value::Int(v as i64)
+                    } else {
+                        Value::Real(v)
+                    });
+                }
+                if is_intrinsic_name(name) {
+                    let mut vals = Vec::with_capacity(indices.len());
+                    for ix in indices {
+                        vals.push(self.eval(m, frame, ix)?);
+                    }
+                    return apply_intrinsic(m, name, &vals);
+                }
+                self.call_function(m, frame, name, indices)
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                // short-circuit logicals
+                if *op == BinOp::And {
+                    let l = self.eval(m, frame, lhs)?.as_bool()?;
+                    if !l {
+                        return Ok(Value::Logical(false));
+                    }
+                    return Ok(Value::Logical(self.eval(m, frame, rhs)?.as_bool()?));
+                }
+                if *op == BinOp::Or {
+                    let l = self.eval(m, frame, lhs)?.as_bool()?;
+                    if l {
+                        return Ok(Value::Logical(true));
+                    }
+                    return Ok(Value::Logical(self.eval(m, frame, rhs)?.as_bool()?));
+                }
+                let l = self.eval(m, frame, lhs)?;
+                let r = self.eval(m, frame, rhs)?;
+                binop(m, *op, l, r)
+            }
+            Expr::Un { op, expr } => {
+                let v = self.eval(m, frame, expr)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Real(r) => Ok(Value::Real(-r)),
+                        _ => Err(RunError::new("negation of non-numeric value")),
+                    },
+                    UnOp::Not => Ok(Value::Logical(!v.as_bool()?)),
+                }
+            }
+        }
+    }
+}
+
+/// Apply a numeric/relational binary operator with Fortran promotion
+/// rules (int⊕int stays integer; any real operand promotes).
+pub fn binop(m: &mut Machine, op: BinOp, l: Value, r: Value) -> Result<Value, RunError> {
+    use BinOp::*;
+    if op.is_relational() {
+        let res = match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => compare(op, *a as f64, *b as f64),
+            _ => compare(op, l.as_f64()?, r.as_f64()?),
+        };
+        return Ok(Value::Logical(res));
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(RunError::new("integer division by zero"));
+                    }
+                    a / b
+                }
+                Pow => {
+                    if b >= 0 {
+                        let mut acc = 1i64;
+                        for _ in 0..b {
+                            acc = acc.wrapping_mul(a);
+                        }
+                        acc
+                    } else {
+                        // Fortran integer power with negative exponent
+                        match a {
+                            1 => 1,
+                            -1 => {
+                                if b % 2 == 0 {
+                                    1
+                                } else {
+                                    -1
+                                }
+                            }
+                            0 => return Err(RunError::new("0 ** negative exponent")),
+                            _ => 0,
+                        }
+                    }
+                }
+                _ => unreachable!("logical ops handled by caller"),
+            };
+            Ok(Value::Int(v))
+        }
+        (l, r) => {
+            let (a, b) = (l.as_f64()?, r.as_f64()?);
+            m.ops.flops += 1;
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                Pow => a.powf(b),
+                _ => unreachable!("logical ops handled by caller"),
+            };
+            Ok(Value::Real(v))
+        }
+    }
+}
+
+fn compare(op: BinOp, a: f64, b: f64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!(),
+    }
+}
+
+/// Names recognized as intrinsic functions.
+pub fn is_intrinsic_name(name: &str) -> bool {
+    autocfd_ir::build::is_intrinsic(name)
+}
+
+/// Apply an intrinsic to evaluated arguments.
+pub fn apply_intrinsic(m: &mut Machine, name: &str, args: &[Value]) -> Result<Value, RunError> {
+    let need = |n: usize| -> Result<(), RunError> {
+        if args.len() < n {
+            Err(RunError::new(format!("`{name}` needs {n} argument(s)")))
+        } else {
+            Ok(())
+        }
+    };
+    let f = |i: usize| args[i].as_f64();
+    m.ops.flops += 1;
+    match name {
+        "abs" => {
+            need(1)?;
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                v => Ok(Value::Real(v.as_f64()?.abs())),
+            }
+        }
+        "iabs" => {
+            need(1)?;
+            Ok(Value::Int(args[0].as_i64()?.abs()))
+        }
+        "max" | "amax1" => {
+            need(1)?;
+            let all_int = name == "max" && args.iter().all(Value::is_int);
+            let mut acc = f(0)?;
+            for (i, _) in args.iter().enumerate().skip(1) {
+                acc = acc.max(f(i)?);
+            }
+            Ok(if all_int {
+                Value::Int(acc as i64)
+            } else {
+                Value::Real(acc)
+            })
+        }
+        "min" | "amin1" => {
+            need(1)?;
+            let all_int = name == "min" && args.iter().all(Value::is_int);
+            let mut acc = f(0)?;
+            for (i, _) in args.iter().enumerate().skip(1) {
+                acc = acc.min(f(i)?);
+            }
+            Ok(if all_int {
+                Value::Int(acc as i64)
+            } else {
+                Value::Real(acc)
+            })
+        }
+        "sqrt" => {
+            need(1)?;
+            let v = f(0)?;
+            if v < 0.0 {
+                return Err(RunError::new("sqrt of negative value"));
+            }
+            Ok(Value::Real(v.sqrt()))
+        }
+        "exp" => {
+            need(1)?;
+            Ok(Value::Real(f(0)?.exp()))
+        }
+        "log" => {
+            need(1)?;
+            let v = f(0)?;
+            if v <= 0.0 {
+                return Err(RunError::new("log of non-positive value"));
+            }
+            Ok(Value::Real(v.ln()))
+        }
+        "sin" => {
+            need(1)?;
+            Ok(Value::Real(f(0)?.sin()))
+        }
+        "cos" => {
+            need(1)?;
+            Ok(Value::Real(f(0)?.cos()))
+        }
+        "tan" => {
+            need(1)?;
+            Ok(Value::Real(f(0)?.tan()))
+        }
+        "atan" => {
+            need(1)?;
+            Ok(Value::Real(f(0)?.atan()))
+        }
+        "mod" => {
+            need(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) => {
+                    if *b == 0 {
+                        return Err(RunError::new("mod by zero"));
+                    }
+                    Ok(Value::Int(a % b))
+                }
+                _ => Ok(Value::Real(f(0)? % f(1)?)),
+            }
+        }
+        "sign" => {
+            // sign(a, b) = |a| with the sign of b
+            need(2)?;
+            let (a, b) = (f(0)?, f(1)?);
+            Ok(Value::Real(if b < 0.0 { -a.abs() } else { a.abs() }))
+        }
+        "float" | "real" | "dble" => {
+            need(1)?;
+            Ok(Value::Real(f(0)?))
+        }
+        "int" => {
+            need(1)?;
+            Ok(Value::Int(f(0)? as i64))
+        }
+        "nint" => {
+            need(1)?;
+            Ok(Value::Int(f(0)?.round() as i64))
+        }
+        other => Err(RunError::new(format!("unimplemented intrinsic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::exec::run_program;
+    use autocfd_fortran::parse;
+
+    fn eval_str(expr: &str) -> String {
+        let src = format!("      program p\n      r = {expr}\n      write(*,*) r\n      end\n");
+        let m = run_program(&parse(&src).unwrap(), vec![]).unwrap();
+        m.output.last().unwrap().clone()
+    }
+
+    fn eval_int(expr: &str) -> String {
+        let src = format!("      program p\n      i = {expr}\n      write(*,*) i\n      end\n");
+        let m = run_program(&parse(&src).unwrap(), vec![]).unwrap();
+        m.output.last().unwrap().clone()
+    }
+
+    #[test]
+    fn intrinsics_numeric() {
+        assert_eq!(eval_str("abs(-2.5)"), "2.500000");
+        assert_eq!(eval_str("sqrt(16.0)"), "4.000000");
+        assert_eq!(eval_str("max(1.0, 5.0, 3.0)"), "5.000000");
+        assert_eq!(eval_str("min(1.0, 5.0, -3.0)"), "-3.000000");
+        assert_eq!(eval_str("exp(0.0)"), "1.000000");
+        assert_eq!(eval_str("sign(3.0, -1.0)"), "-3.000000");
+        assert_eq!(eval_str("sign(-3.0, 2.0)"), "3.000000");
+        assert_eq!(eval_str("amax1(1.5, 2.5)"), "2.500000");
+    }
+
+    #[test]
+    fn intrinsics_integer() {
+        assert_eq!(eval_int("mod(7, 3)"), "1");
+        assert_eq!(eval_int("iabs(-4)"), "4");
+        assert_eq!(eval_int("int(3.9)"), "3");
+        assert_eq!(eval_int("nint(3.9)"), "4");
+        assert_eq!(eval_int("max(2, 7, 5)"), "7");
+    }
+
+    #[test]
+    fn integer_pow() {
+        assert_eq!(eval_int("2 ** 10"), "1024");
+        assert_eq!(eval_int("2 ** 0"), "1");
+        assert_eq!(eval_int("3 ** (-1)"), "0"); // Fortran integer semantics
+        assert_eq!(eval_int("(-1) ** 5"), "-1");
+    }
+
+    #[test]
+    fn real_pow() {
+        assert_eq!(eval_str("2.0 ** 0.5"), format!("{:.6}", 2.0f64.sqrt()));
+    }
+
+    #[test]
+    fn mixed_promotion() {
+        assert_eq!(eval_str("1 + 0.5"), "1.500000");
+        assert_eq!(eval_int("7 / 2"), "3");
+        assert_eq!(eval_str("7 / 2.0"), "3.500000");
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        // if .and. did not short-circuit, v(0) would be out of bounds
+        let src = "
+      program p
+      real v(5)
+      i = 0
+      if (i .ge. 1 .and. v(i) .gt. 0.0) then
+        write(*,*) 'yes'
+      else
+        write(*,*) 'no'
+      end if
+      end
+";
+        let m = run_program(&parse(src).unwrap(), vec![]).unwrap();
+        assert_eq!(m.output, vec!["no"]);
+    }
+
+    #[test]
+    fn short_circuit_or() {
+        let src = "
+      program p
+      real v(5)
+      i = 0
+      if (i .lt. 1 .or. v(i) .gt. 0.0) then
+        write(*,*) 'yes'
+      end if
+      end
+";
+        let m = run_program(&parse(src).unwrap(), vec![]).unwrap();
+        assert_eq!(m.output, vec!["yes"]);
+    }
+
+    #[test]
+    fn not_operator() {
+        let src = "
+      program p
+      if (.not. (1 .gt. 2)) then
+        write(*,*) 'ok'
+      end if
+      end
+";
+        let m = run_program(&parse(src).unwrap(), vec![]).unwrap();
+        assert_eq!(m.output, vec!["ok"]);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let src = "      program p\n      i = 1 / 0\n      end\n";
+        assert!(run_program(&parse(src).unwrap(), vec![]).is_err());
+        let src = "      program p\n      x = sqrt(-1.0)\n      end\n";
+        assert!(run_program(&parse(src).unwrap(), vec![]).is_err());
+    }
+
+    #[test]
+    fn array_as_scalar_errors() {
+        let src = "      program p\n      real v(5)\n      x = v + 1.0\n      end\n";
+        let e = run_program(&parse(src).unwrap(), vec![]).unwrap_err();
+        assert!(e.message.contains("used as a scalar"));
+    }
+}

@@ -1,0 +1,953 @@
+//! Statement execution and program driving.
+
+use crate::machine::{build_frame, ArrayId, Binding, Frame, Machine, RunError};
+use crate::value::Value;
+use autocfd_fortran::ast::{LValue, SourceFile, Stmt, StmtKind, UnitKind};
+use std::collections::HashMap;
+
+/// Control flow outcome of executing a statement (list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Fall through to the next statement.
+    Normal,
+    /// `goto` to a label, to be resolved by an enclosing statement list.
+    Goto(u32),
+    /// `return` from the current unit.
+    Return,
+    /// `stop` — terminate the whole program.
+    Stop,
+}
+
+/// Hook interface for `call acf_*` statements inserted by the
+/// restructurer. Return `Ok(true)` when the call was handled; `Ok(false)`
+/// falls through to ordinary subroutine dispatch.
+pub trait Hooks {
+    /// Handle a runtime call in the current frame.
+    fn call(&mut self, m: &mut Machine, frame: &mut Frame, name: &str) -> Result<bool, RunError>;
+}
+
+/// The no-op hook set (sequential execution).
+pub struct NoHooks;
+
+impl Hooks for NoHooks {
+    fn call(&mut self, _: &mut Machine, _: &mut Frame, _: &str) -> Result<bool, RunError> {
+        Ok(false)
+    }
+}
+
+/// The execution engine: a program plus its hook set.
+pub struct Exec<'p, H: Hooks> {
+    /// The program being interpreted.
+    pub program: &'p SourceFile,
+    /// Runtime hooks.
+    pub hooks: &'p mut H,
+    /// Current call depth (Fortran 77 forbids recursion; a cycle in the
+    /// call graph is reported instead of overflowing the stack).
+    pub depth: u32,
+}
+
+/// Scalar copy-out obligations after a call: `(dummy, caller variable)`.
+type CopyBacks = Vec<(String, String)>;
+
+/// Run the program's `program` unit to completion sequentially.
+pub fn run_program(file: &SourceFile, input: Vec<f64>) -> Result<Machine, RunError> {
+    let mut hooks = NoHooks;
+    run_program_with_hooks(file, input, &mut hooks, 0)
+}
+
+/// Run with hooks and a statement budget (0 = unlimited).
+pub fn run_program_with_hooks<H: Hooks>(
+    file: &SourceFile,
+    input: Vec<f64>,
+    hooks: &mut H,
+    stmt_limit: u64,
+) -> Result<Machine, RunError> {
+    run_program_capture(file, input, hooks, stmt_limit).map(|(m, _)| m)
+}
+
+/// Like [`run_program_with_hooks`], but also returns the main program's
+/// final frame so callers can inspect named arrays and scalars (used by
+/// the sequential-vs-parallel equivalence checks).
+pub fn run_program_capture<H: Hooks>(
+    file: &SourceFile,
+    input: Vec<f64>,
+    hooks: &mut H,
+    stmt_limit: u64,
+) -> Result<(Machine, Frame), RunError> {
+    let main = file
+        .main_unit()
+        .ok_or_else(|| RunError::new("no `program` unit"))?;
+    let mut m = Machine::new(input);
+    m.stmt_limit = stmt_limit;
+    let mut exec = Exec {
+        program: file,
+        hooks,
+        depth: 0,
+    };
+    let mut frame = build_frame(&mut m, main, HashMap::new())?;
+    let flow = exec.exec_stmts(&mut m, &mut frame, &main.body)?;
+    if let Flow::Goto(l) = flow {
+        return Err(RunError::new(format!("unresolved goto {l} at top level")));
+    }
+    Ok((m, frame))
+}
+
+impl<'p, H: Hooks> Exec<'p, H> {
+    /// Execute a statement list, resolving `goto`s whose target label is
+    /// in this list.
+    pub fn exec_stmts(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+    ) -> Result<Flow, RunError> {
+        let mut i = 0usize;
+        while i < stmts.len() {
+            match self.exec_stmt(m, frame, &stmts[i])? {
+                Flow::Normal => i += 1,
+                Flow::Goto(l) => match stmts.iter().position(|s| s.label == Some(l)) {
+                    Some(j) => i = j,
+                    None => return Ok(Flow::Goto(l)),
+                },
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        s: &Stmt,
+    ) -> Result<Flow, RunError> {
+        m.tick().map_err(|e| e.at(s.line))?;
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                let v = self.eval(m, frame, value).map_err(|e| e.at(s.line))?;
+                self.assign(m, frame, target, v).map_err(|e| e.at(s.line))?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then,
+                else_ifs,
+                els,
+            } => {
+                if self
+                    .eval(m, frame, cond)?
+                    .as_bool()
+                    .map_err(|e| e.at(s.line))?
+                {
+                    return self.exec_stmts(m, frame, then);
+                }
+                for (c, body) in else_ifs {
+                    if self
+                        .eval(m, frame, c)?
+                        .as_bool()
+                        .map_err(|e| e.at(s.line))?
+                    {
+                        return self.exec_stmts(m, frame, body);
+                    }
+                }
+                if let Some(body) = els {
+                    return self.exec_stmts(m, frame, body);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::LogicalIf { cond, stmt } => {
+                if self
+                    .eval(m, frame, cond)?
+                    .as_bool()
+                    .map_err(|e| e.at(s.line))?
+                {
+                    self.exec_stmt(m, frame, stmt)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::Do {
+                var,
+                from,
+                to,
+                step,
+                body,
+                ..
+            } => {
+                let from = self
+                    .eval(m, frame, from)?
+                    .as_i64()
+                    .map_err(|e| e.at(s.line))?;
+                let to = self
+                    .eval(m, frame, to)?
+                    .as_i64()
+                    .map_err(|e| e.at(s.line))?;
+                let step = match step {
+                    Some(e) => self.eval(m, frame, e)?.as_i64().map_err(|e| e.at(s.line))?,
+                    None => 1,
+                };
+                if step == 0 {
+                    return Err(RunError::new("zero do-loop step").at(s.line));
+                }
+                // Fortran trip count semantics
+                let trips = ((to - from + step) / step).max(0);
+                let mut iv = from;
+                for _ in 0..trips {
+                    frame.set_scalar(var, Value::Int(iv))?;
+                    match self.exec_stmts(m, frame, body)? {
+                        Flow::Normal => {}
+                        Flow::Goto(l) => return Ok(Flow::Goto(l)),
+                        other => return Ok(other),
+                    }
+                    iv += step;
+                }
+                // Fortran leaves the loop variable one past the last value
+                frame.set_scalar(var, Value::Int(iv))?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::DoWhile { cond, body } => {
+                loop {
+                    m.tick().map_err(|e| e.at(s.line))?;
+                    if !self
+                        .eval(m, frame, cond)?
+                        .as_bool()
+                        .map_err(|e| e.at(s.line))?
+                    {
+                        break;
+                    }
+                    match self.exec_stmts(m, frame, body)? {
+                        Flow::Normal => {}
+                        Flow::Goto(l) => return Ok(Flow::Goto(l)),
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Goto { target } => Ok(Flow::Goto(*target)),
+            StmtKind::Continue => Ok(Flow::Normal),
+            StmtKind::Return => Ok(Flow::Return),
+            StmtKind::Stop => Ok(Flow::Stop),
+            StmtKind::Call { name, args } => {
+                if name.starts_with("acf_") && self.hooks.call(m, frame, name)? {
+                    return Ok(Flow::Normal);
+                }
+                self.call_subroutine(m, frame, name, args)
+                    .map_err(|e| e.at(s.line))?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Read { items, .. } => {
+                for lv in items {
+                    let v = m
+                        .input
+                        .pop_front()
+                        .ok_or_else(|| RunError::new("input exhausted").at(s.line))?;
+                    self.assign(m, frame, lv, Value::Real(v))
+                        .map_err(|e| e.at(s.line))?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Write { items, .. } => {
+                let mut parts = Vec::with_capacity(items.len());
+                for e in items {
+                    let v = self.eval(m, frame, e).map_err(|err| err.at(s.line))?;
+                    parts.push(match v {
+                        Value::Int(i) => i.to_string(),
+                        Value::Real(r) => format!("{r:.6}"),
+                        Value::Logical(b) => if b { "T" } else { "F" }.to_string(),
+                        Value::Str(st) => st,
+                    });
+                }
+                // unit selection: all output is captured together
+                m.output.push(parts.join(" "));
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Assign `v` to a scalar or array element.
+    pub fn assign(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        lv: &LValue,
+        v: Value,
+    ) -> Result<(), RunError> {
+        if lv.indices.is_empty() {
+            if frame.arrays.contains_key(&lv.name) {
+                return Err(RunError::new(format!(
+                    "whole-array assignment to `{}` is not supported",
+                    lv.name
+                )));
+            }
+            frame.set_scalar(&lv.name, v)
+        } else {
+            let id = *frame.arrays.get(&lv.name).ok_or_else(|| {
+                RunError::new(format!("`{}` subscripted but not an array", lv.name))
+            })?;
+            let mut idx = Vec::with_capacity(lv.indices.len());
+            for e in &lv.indices {
+                idx.push(self.eval(m, frame, e)?.as_i64()?);
+            }
+            m.ops.stores += 1;
+            m.array_mut(id).set(&idx, v.as_f64()?)
+        }
+    }
+
+    /// Call a user subroutine by name.
+    fn call_subroutine(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        name: &str,
+        args: &[autocfd_fortran::Expr],
+    ) -> Result<(), RunError> {
+        let unit = self
+            .program
+            .unit(name)
+            .ok_or_else(|| RunError::new(format!("unknown subroutine `{name}`")))?;
+        if unit.kind != UnitKind::Subroutine {
+            return Err(RunError::new(format!("`{name}` is not a subroutine")));
+        }
+        let (bindings, copy_backs) = self.make_bindings(m, frame, unit, args)?;
+        let mut callee = build_frame(m, unit, bindings)?;
+        self.enter_call(name)?;
+        let flow = self.exec_stmts(m, &mut callee, &unit.body)?;
+        self.depth -= 1;
+        if let Flow::Goto(l) = flow {
+            return Err(RunError::new(format!("unresolved goto {l} in `{name}`")));
+        }
+        if flow == Flow::Stop {
+            return Err(RunError::new("stop inside subroutine"));
+        }
+        for (dummy, caller_name) in copy_backs {
+            let v = callee.get_scalar(&dummy);
+            frame.set_scalar(&caller_name, v)?;
+        }
+        Ok(())
+    }
+
+    /// Call a user function by name (from expression context).
+    pub(crate) fn call_function(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        name: &str,
+        args: &[autocfd_fortran::Expr],
+    ) -> Result<Value, RunError> {
+        let unit = self
+            .program
+            .unit(name)
+            .ok_or_else(|| RunError::new(format!("unknown array or function `{name}`")))?;
+        if unit.kind != UnitKind::Function {
+            return Err(RunError::new(format!("`{name}` is not a function")));
+        }
+        let (bindings, _) = self.make_bindings(m, frame, unit, args)?;
+        let mut callee = build_frame(m, unit, bindings)?;
+        self.enter_call(name)?;
+        let flow = self.exec_stmts(m, &mut callee, &unit.body)?;
+        self.depth -= 1;
+        if let Flow::Goto(l) = flow {
+            return Err(RunError::new(format!("unresolved goto {l} in `{name}`")));
+        }
+        // the function's return value is the final value of its own name
+        Ok(callee.get_scalar(name))
+    }
+
+    fn enter_call(&mut self, name: &str) -> Result<(), RunError> {
+        self.depth += 1;
+        if self.depth > 200 {
+            return Err(RunError::new(format!(
+                "call depth exceeded at `{name}` (recursion is not allowed in Fortran 77)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn make_bindings(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        unit: &autocfd_fortran::Unit,
+        args: &[autocfd_fortran::Expr],
+    ) -> Result<(HashMap<String, Binding>, CopyBacks), RunError> {
+        if args.len() != unit.params.len() {
+            return Err(RunError::new(format!(
+                "`{}` expects {} arguments, got {}",
+                unit.name,
+                unit.params.len(),
+                args.len()
+            )));
+        }
+        let mut bindings = HashMap::new();
+        let mut copy_backs = Vec::new();
+        for (param, actual) in unit.params.iter().zip(args) {
+            use autocfd_fortran::Expr;
+            match actual {
+                Expr::Var(n) if frame.arrays.contains_key(n) => {
+                    // status-array naming convention check (see lib docs)
+                    let id: ArrayId = frame.arrays[n];
+                    bindings.insert(param.clone(), Binding::Array(id));
+                }
+                Expr::Var(n) => {
+                    bindings.insert(param.clone(), Binding::Scalar(frame.get_scalar(n)));
+                    copy_backs.push((param.clone(), n.clone()));
+                }
+                other => {
+                    let v = self.eval(m, frame, other)?;
+                    bindings.insert(param.clone(), Binding::Scalar(v));
+                }
+            }
+        }
+        Ok((bindings, copy_backs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocfd_fortran::parse;
+
+    fn run(src: &str) -> Machine {
+        run_program(&parse(src).unwrap(), vec![]).unwrap()
+    }
+
+    fn run_with_input(src: &str, input: Vec<f64>) -> Machine {
+        run_program(&parse(src).unwrap(), input).unwrap()
+    }
+
+    fn last_output(m: &Machine) -> &str {
+        m.output.last().map(String::as_str).unwrap_or("")
+    }
+
+    #[test]
+    fn arithmetic_and_write() {
+        let m = run("      program p\n      x = 1.5 + 2.5 * 2.0\n      write(*,*) x\n      end\n");
+        assert_eq!(last_output(&m), "6.500000");
+    }
+
+    #[test]
+    fn integer_division_truncates() {
+        let m = run("      program p\n      i = 7 / 2\n      write(*,*) i\n      end\n");
+        assert_eq!(last_output(&m), "3");
+    }
+
+    #[test]
+    fn do_loop_sum() {
+        let m = run("      program p
+      s = 0.0
+      do i = 1, 10
+        s = s + i
+      end do
+      write(*,*) s
+      end
+");
+        assert_eq!(last_output(&m), "55.000000");
+    }
+
+    #[test]
+    fn do_loop_with_negative_step() {
+        let m = run("      program p
+      s = 0.0
+      do i = 10, 1, -2
+        s = s + i
+      end do
+      write(*,*) s, i
+      end
+");
+        // 10+8+6+4+2 = 30; loop var ends at 0
+        assert_eq!(last_output(&m), "30.000000 0");
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let m = run("      program p
+      s = 1.0
+      do i = 5, 1
+        s = 99.0
+      end do
+      write(*,*) s
+      end
+");
+        assert_eq!(last_output(&m), "1.000000");
+    }
+
+    #[test]
+    fn labeled_do_and_goto_loop() {
+        let m = run("      program p
+      x = 0.0
+      k = 0
+100   continue
+      x = x + 1.0
+      k = k + 1
+      if (k .lt. 5) goto 100
+      write(*,*) x
+      end
+");
+        assert_eq!(last_output(&m), "5.000000");
+    }
+
+    #[test]
+    fn goto_out_of_loop() {
+        let m = run("      program p
+      s = 0.0
+      do i = 1, 100
+        s = s + 1.0
+        if (s .ge. 3.0) goto 200
+      end do
+200   continue
+      write(*,*) s
+      end
+");
+        assert_eq!(last_output(&m), "3.000000");
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let m = run("      program p
+      do i = 1, 3
+        if (i .eq. 1) then
+          write(*,*) 'one'
+        else if (i .eq. 2) then
+          write(*,*) 'two'
+        else
+          write(*,*) 'many'
+        end if
+      end do
+      end
+");
+        assert_eq!(m.output, vec!["one", "two", "many"]);
+    }
+
+    #[test]
+    fn do_while_loop() {
+        let m = run("      program p
+      x = 1.0
+      do while (x .lt. 100.0)
+        x = x * 2.0
+      end do
+      write(*,*) x
+      end
+");
+        assert_eq!(last_output(&m), "128.000000");
+    }
+
+    #[test]
+    fn arrays_2d() {
+        let m = run("      program p
+      real a(3,3)
+      do i = 1, 3
+        do j = 1, 3
+          a(i,j) = i * 10 + j
+        end do
+      end do
+      write(*,*) a(2,3)
+      end
+");
+        assert_eq!(last_output(&m), "23.000000");
+    }
+
+    #[test]
+    fn subroutine_with_array_by_reference() {
+        let m = run("      program p
+      real v(4)
+      call fill(v, 4)
+      write(*,*) v(1), v(4)
+      end
+      subroutine fill(v, n)
+      integer n
+      real v(n)
+      do i = 1, n
+        v(i) = i * 2.0
+      end do
+      return
+      end
+");
+        assert_eq!(last_output(&m), "2.000000 8.000000");
+    }
+
+    #[test]
+    fn subroutine_scalar_copy_back() {
+        let m = run("      program p
+      real v(3)
+      v(1) = 5.0
+      v(2) = 9.0
+      v(3) = 2.0
+      big = 0.0
+      call findmax(v, 3, big)
+      write(*,*) big
+      end
+      subroutine findmax(v, n, big)
+      integer n
+      real v(n), big
+      big = v(1)
+      do i = 2, n
+        if (v(i) .gt. big) big = v(i)
+      end do
+      return
+      end
+");
+        assert_eq!(last_output(&m), "9.000000");
+    }
+
+    #[test]
+    fn user_function_call() {
+        let m = run("      program p
+      x = sq(3.0) + sq(4.0)
+      write(*,*) x
+      end
+      real function sq(a)
+      real a
+      sq = a * a
+      return
+      end
+");
+        assert_eq!(last_output(&m), "25.000000");
+    }
+
+    #[test]
+    fn read_statement() {
+        let m = run_with_input(
+            "      program p
+      real v(2)
+      read *, n
+      read(5,*) v(1), v(2)
+      write(*,*) n, v(1) + v(2)
+      end
+",
+            vec![7.0, 1.5, 2.5],
+        );
+        assert_eq!(last_output(&m), "7 4.000000");
+    }
+
+    #[test]
+    fn input_exhausted_errors() {
+        let r = run_program(
+            &parse("      program p\n      read *, x\n      end\n").unwrap(),
+            vec![],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stop_terminates() {
+        let m = run("      program p
+      write(*,*) 'before'
+      stop
+      write(*,*) 'after'
+      end
+");
+        assert_eq!(m.output, vec!["before"]);
+    }
+
+    #[test]
+    fn jacobi_converges() {
+        // a real CFD kernel: Jacobi on a 10x10 grid with fixed boundary 1.0
+        let m = run("      program jacobi
+      real v(10,10), vn(10,10)
+      do i = 1, 10
+        v(i,1) = 1.0
+        v(i,10) = 1.0
+        v(1,i) = 1.0
+        v(10,i) = 1.0
+      end do
+      do it = 1, 500
+        err = 0.0
+        do i = 2, 9
+          do j = 2, 9
+            vn(i,j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+          end do
+        end do
+        do i = 2, 9
+          do j = 2, 9
+            d = abs(vn(i,j) - v(i,j))
+            if (d .gt. err) err = d
+            v(i,j) = vn(i,j)
+          end do
+        end do
+        if (err .lt. 1.0e-6) goto 900
+      end do
+900   continue
+      write(*,*) v(5,5)
+      end
+");
+        // harmonic with constant boundary = 1 everywhere
+        let v: f64 = last_output(&m).parse().unwrap();
+        assert!((v - 1.0).abs() < 1e-4, "v(5,5) = {v}");
+    }
+
+    #[test]
+    fn statement_budget_stops_runaway() {
+        let r = run_program_with_hooks(
+            &parse(
+                "      program p
+      x = 0.0
+100   continue
+      x = x + 1.0
+      goto 100
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+            &mut NoHooks,
+            10_000,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_reports_line() {
+        let err = run_program(
+            &parse(
+                "      program p
+      real v(5)
+      i = 9
+      v(i) = 1.0
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn op_counting() {
+        let m = run("      program p
+      real v(10)
+      do i = 1, 10
+        v(i) = i * 2.0
+      end do
+      s = 0.0
+      do i = 1, 10
+        s = s + v(i)
+      end do
+      write(*,*) s
+      end
+");
+        assert_eq!(m.ops.stores, 10);
+        assert_eq!(m.ops.loads, 10);
+        assert!(m.ops.flops >= 20);
+        assert_eq!(last_output(&m), "110.000000");
+    }
+
+    #[test]
+    fn hooks_intercept_acf_calls() {
+        struct CountHook(u32);
+        impl Hooks for CountHook {
+            fn call(
+                &mut self,
+                _m: &mut Machine,
+                frame: &mut Frame,
+                name: &str,
+            ) -> Result<bool, RunError> {
+                if name == "acf_mark" {
+                    self.0 += 1;
+                    frame.set_scalar("hookval", Value::Real(42.0))?;
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+        }
+        let mut h = CountHook(0);
+        let m = run_program_with_hooks(
+            &parse(
+                "      program p
+      do i = 1, 3
+        call acf_mark()
+      end do
+      write(*,*) hookval
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+            &mut h,
+            0,
+        )
+        .unwrap();
+        assert_eq!(h.0, 3);
+        assert_eq!(last_output(&m), "42.000000");
+    }
+
+    #[test]
+    fn unknown_subroutine_errors() {
+        let r = run_program(
+            &parse("      program p\n      call nosuch(1)\n      end\n").unwrap(),
+            vec![],
+        );
+        assert!(r.unwrap_err().message.contains("unknown subroutine"));
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        let r = run_program(
+            &parse(
+                "      program p
+      call s(1, 2)
+      end
+      subroutine s(a)
+      real a
+      return
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        );
+        assert!(r.unwrap_err().message.contains("expects 1 arguments"));
+    }
+}
+
+#[cfg(test)]
+mod common_tests {
+    use super::*;
+    use autocfd_fortran::parse;
+
+    #[test]
+    fn common_block_arrays_are_shared_across_units() {
+        let m = run_program(
+            &parse(
+                "      program p
+      common /flow/ v(10)
+      call fill()
+      write(*,*) v(3)
+      end
+      subroutine fill()
+      common /flow/ v(10)
+      do i = 1, 10
+        v(i) = i * 1.5
+      end do
+      return
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(m.output, vec!["4.500000"]);
+    }
+
+    #[test]
+    fn distinct_common_blocks_are_distinct_storage() {
+        let m = run_program(
+            &parse(
+                "      program p
+      common /a/ x(3)
+      common /b/ y(3)
+      x(1) = 1.0
+      y(1) = 2.0
+      write(*,*) x(1), y(1)
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(m.output, vec!["1.000000 2.000000"]);
+    }
+
+    #[test]
+    fn common_scalars_rejected_with_clear_error() {
+        let e = run_program(
+            &parse(
+                "      program p
+      common /blk/ s
+      s = 1.0
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("common scalars"), "{e}");
+    }
+}
+
+#[cfg(test)]
+mod recursion_tests {
+    use super::*;
+    use autocfd_fortran::parse;
+
+    #[test]
+    fn direct_recursion_reported() {
+        let e = run_program(
+            &parse(
+                "      program p
+      call s(1.0)
+      end
+      subroutine s(x)
+      real x
+      call s(x)
+      return
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("recursion"), "{e}");
+    }
+
+    #[test]
+    fn mutual_recursion_reported() {
+        let e = run_program(
+            &parse(
+                "      program p
+      call a(1.0)
+      end
+      subroutine a(x)
+      real x
+      call b(x)
+      return
+      end
+      subroutine b(x)
+      real x
+      call a(x)
+      return
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("recursion"), "{e}");
+    }
+
+    #[test]
+    fn deep_but_finite_call_chains_allowed() {
+        // 3 levels of calls is fine
+        let m = run_program(
+            &parse(
+                "      program p
+      call a()
+      end
+      subroutine a()
+      call b()
+      return
+      end
+      subroutine b()
+      call c()
+      return
+      end
+      subroutine c()
+      write(*,*) 'deep'
+      return
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(m.output, vec!["deep"]);
+    }
+}

@@ -1,0 +1,417 @@
+//! The store: frames, arrays, I/O queues, operation counters.
+
+use crate::fasthash::FastMap;
+use crate::value::{implicit_is_integer, ArrayVal, Value};
+use autocfd_fortran::ast::{Type, Unit};
+use std::collections::HashMap;
+
+/// Handle to an array in the machine's array store (by-reference
+/// argument passing: a dummy array aliases the caller's storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub usize);
+
+/// A runtime error with optional source-line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    /// Description.
+    pub message: String,
+    /// Source line, when known.
+    pub line: u32,
+}
+
+impl RunError {
+    /// New error without line context.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            line: 0,
+        }
+    }
+
+    /// Attach a source line (kept if already set).
+    pub fn at(mut self, line: u32) -> Self {
+        if self.line == 0 {
+            self.line = line;
+        }
+        self
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "runtime error: {}", self.message)
+        } else {
+            write!(f, "runtime error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Operation counters (consumed by benchmarks and the cost model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Floating-point binary operations evaluated.
+    pub flops: u64,
+    /// Array element loads.
+    pub loads: u64,
+    /// Array element stores.
+    pub stores: u64,
+    /// Statements executed.
+    pub stmts: u64,
+}
+
+/// One invocation frame: scalar values and array bindings by name.
+#[derive(Debug, Default)]
+pub struct Frame {
+    /// Scalar variables.
+    pub scalars: FastMap<String, Value>,
+    /// Array bindings (name → store handle).
+    pub arrays: FastMap<String, ArrayId>,
+    /// Declared scalar types (for implicit-typing overrides).
+    pub types: FastMap<String, Type>,
+    /// The unit this frame executes.
+    pub unit: String,
+}
+
+impl Frame {
+    /// Is `name` an integer variable in this frame (declared or implicit)?
+    pub fn is_integer(&self, name: &str) -> bool {
+        match self.types.get(name) {
+            Some(Type::Integer) => true,
+            Some(_) => false,
+            None => implicit_is_integer(name),
+        }
+    }
+
+    /// Read a scalar; uninitialized variables default to 0 / 0.0 (many
+    /// legacy CFD codes rely on zero-initialized COMMON storage).
+    pub fn get_scalar(&self, name: &str) -> Value {
+        self.scalars.get(name).cloned().unwrap_or_else(|| {
+            if self.is_integer(name) {
+                Value::Int(0)
+            } else {
+                Value::Real(0.0)
+            }
+        })
+    }
+
+    /// Write a scalar, coercing to the variable's type.
+    pub fn set_scalar(&mut self, name: &str, v: Value) -> Result<(), RunError> {
+        let stored = match (&v, self.is_integer(name)) {
+            (Value::Real(r), true) => Value::Int(*r as i64),
+            (Value::Int(i), false) => {
+                if matches!(self.types.get(name), Some(Type::Logical)) {
+                    return Err(RunError::new(format!("numeric store to logical `{name}`")));
+                }
+                Value::Real(*i as f64)
+            }
+            _ => v,
+        };
+        self.scalars.insert(name.to_string(), stored);
+        Ok(())
+    }
+}
+
+/// The machine: array store, I/O queues, counters.
+#[derive(Debug, Default)]
+pub struct Machine {
+    /// All arrays ever allocated (frames hold handles into this store).
+    pub arrays: Vec<ArrayVal>,
+    /// List-directed input queue (consumed by `read`).
+    pub input: std::collections::VecDeque<f64>,
+    /// Captured `write` output lines.
+    pub output: Vec<String>,
+    /// Operation counters.
+    pub ops: OpCounts,
+    /// Statement-execution budget; 0 = unlimited. Exceeding it aborts
+    /// with an error (guards against non-converging loops in tests).
+    pub stmt_limit: u64,
+    /// `common`-block array storage, shared across units: every unit
+    /// declaring `common /blk/ a(...)` binds the same array.
+    pub commons: HashMap<(String, String), ArrayId>,
+}
+
+impl Machine {
+    /// Fresh machine with `input` queued for `read` statements.
+    pub fn new(input: Vec<f64>) -> Self {
+        Self {
+            input: input.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Allocate an array, returning its handle.
+    pub fn alloc(&mut self, a: ArrayVal) -> ArrayId {
+        self.arrays.push(a);
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Shared access to an array.
+    pub fn array(&self, id: ArrayId) -> &ArrayVal {
+        &self.arrays[id.0]
+    }
+
+    /// Mutable access to an array.
+    pub fn array_mut(&mut self, id: ArrayId) -> &mut ArrayVal {
+        &mut self.arrays[id.0]
+    }
+
+    /// Count one executed statement, enforcing the budget.
+    pub fn tick(&mut self) -> Result<(), RunError> {
+        self.ops.stmts += 1;
+        if self.stmt_limit != 0 && self.ops.stmts > self.stmt_limit {
+            return Err(RunError::new(format!(
+                "statement budget of {} exceeded (non-converging loop?)",
+                self.stmt_limit
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Build a frame for `unit`: declared types recorded, local (non-dummy)
+/// arrays allocated. Dummy parameters are bound by the caller.
+pub fn build_frame(
+    m: &mut Machine,
+    unit: &Unit,
+    bound_params: HashMap<String, Binding>,
+) -> Result<Frame, RunError> {
+    let mut frame = Frame {
+        unit: unit.name.clone(),
+        ..Default::default()
+    };
+
+    // declared types
+    for d in &unit.decls {
+        if let autocfd_fortran::DeclKind::Var { ty, names } = &d.kind {
+            for n in names {
+                frame.types.insert(n.name.clone(), *ty);
+            }
+        }
+    }
+
+    // parameter constants
+    for (name, expr) in unit.parameters() {
+        let lookup = |n: &str| match frame.scalars.get(n) {
+            Some(Value::Int(v)) => Some(*v),
+            _ => None,
+        };
+        if let Some(v) = expr.const_int(&lookup) {
+            frame.scalars.insert(name.to_string(), Value::Int(v));
+        } else {
+            // real-valued parameter: evaluate literals only
+            if let autocfd_fortran::Expr::RealLit(r) = expr {
+                frame.scalars.insert(name.to_string(), Value::Real(*r));
+            }
+        }
+    }
+
+    // bind dummies first (so adjustable array bounds can see them)
+    for (name, b) in bound_params {
+        match b {
+            Binding::Scalar(v) => {
+                frame.scalars.insert(name, v);
+            }
+            Binding::Array(id) => {
+                frame.arrays.insert(name, id);
+            }
+        }
+    }
+
+    // allocate local declared arrays (skip dummies already bound)
+    let param_set: std::collections::HashSet<&str> =
+        unit.params.iter().map(String::as_str).collect();
+    for d in &unit.decls {
+        let (names, is_int, common_block) = match &d.kind {
+            autocfd_fortran::DeclKind::Var { ty, names } => (names, *ty == Type::Integer, None),
+            autocfd_fortran::DeclKind::Dimension { names } => (names, false, None),
+            autocfd_fortran::DeclKind::Common { names, block } => {
+                (names, false, Some(block.clone()))
+            }
+            autocfd_fortran::DeclKind::Parameter { .. } => continue,
+        };
+        for n in names {
+            if let Some(block) = &common_block {
+                if n.dims.is_empty() {
+                    return Err(RunError::new(format!(
+                        "scalar `{}` in common /{block}/: common scalars are not \
+                         supported — pass scalars as arguments",
+                        n.name
+                    ))
+                    .at(d.line));
+                }
+                // shared storage: every unit declaring this block member
+                // binds the same array (first declaration allocates)
+                let key = (block.clone(), n.name.clone());
+                if let Some(&id) = m.commons.get(&key) {
+                    frame.arrays.insert(n.name.clone(), id);
+                    continue;
+                }
+            }
+            if n.dims.is_empty() || param_set.contains(n.name.as_str()) {
+                continue;
+            }
+            if frame.arrays.contains_key(&n.name) {
+                continue; // e.g. typed twice (real + dimension)
+            }
+            let lookup = |nm: &str| match frame.scalars.get(nm) {
+                Some(Value::Int(v)) => Some(*v),
+                Some(Value::Real(v)) => Some(*v as i64),
+                None => None,
+                _ => None,
+            };
+            let mut bounds = Vec::with_capacity(n.dims.len());
+            for dim in &n.dims {
+                let hi = dim.upper.const_int(&lookup).ok_or_else(|| {
+                    RunError::new(format!(
+                        "cannot resolve bound of `{}` in unit `{}`",
+                        n.name, unit.name
+                    ))
+                    .at(d.line)
+                })?;
+                let lo = match &dim.lower {
+                    Some(e) => e.const_int(&lookup).ok_or_else(|| {
+                        RunError::new(format!("cannot resolve lower bound of `{}`", n.name))
+                            .at(d.line)
+                    })?,
+                    None => 1,
+                };
+                bounds.push((lo, hi));
+            }
+            let id = m.alloc(ArrayVal::new(bounds, is_int).map_err(|e| e.at(d.line))?);
+            frame.arrays.insert(n.name.clone(), id);
+            if let Some(block) = &common_block {
+                m.commons.insert((block.clone(), n.name.clone()), id);
+            }
+        }
+    }
+    Ok(frame)
+}
+
+/// A value bound to a dummy parameter at a call.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    /// Scalar (copy-in; copy-out is handled by the caller).
+    Scalar(Value),
+    /// Array, by reference.
+    Array(ArrayId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocfd_fortran::parse;
+
+    #[test]
+    fn frame_implicit_and_declared_types() {
+        let f = parse(
+            "      program p
+      real n2x
+      integer xcount
+      x = 1
+      end
+",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let frame = build_frame(&mut m, &f.units[0], HashMap::new()).unwrap();
+        assert!(frame.is_integer("i"));
+        assert!(!frame.is_integer("x"));
+        assert!(
+            !frame.is_integer("n2x"),
+            "declared real overrides implicit integer"
+        );
+        assert!(
+            frame.is_integer("xcount"),
+            "declared integer overrides implicit real"
+        );
+    }
+
+    #[test]
+    fn scalar_store_coerces() {
+        let mut fr = Frame::default();
+        fr.set_scalar("i", Value::Real(2.9)).unwrap();
+        assert_eq!(fr.get_scalar("i"), Value::Int(2));
+        fr.set_scalar("x", Value::Int(3)).unwrap();
+        assert_eq!(fr.get_scalar("x"), Value::Real(3.0));
+    }
+
+    #[test]
+    fn uninitialized_defaults() {
+        let fr = Frame::default();
+        assert_eq!(fr.get_scalar("i"), Value::Int(0));
+        assert_eq!(fr.get_scalar("x"), Value::Real(0.0));
+    }
+
+    #[test]
+    fn frame_allocates_local_arrays_with_parameters() {
+        let f = parse(
+            "      program p
+      integer n
+      parameter (n = 10)
+      real v(n, 0:n+1)
+      x = 1
+      end
+",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let frame = build_frame(&mut m, &f.units[0], HashMap::new()).unwrap();
+        let id = frame.arrays["v"];
+        assert_eq!(m.array(id).bounds, vec![(1, 10), (0, 11)]);
+    }
+
+    #[test]
+    fn dummy_params_not_allocated() {
+        let f = parse(
+            "      subroutine s(v, n)
+      integer n
+      real v(n, n)
+      return
+      end
+",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let caller_arr = m.alloc(ArrayVal::new(vec![(1, 4), (1, 4)], false).unwrap());
+        let frame = build_frame(
+            &mut m,
+            &f.units[0],
+            HashMap::from([
+                ("v".to_string(), Binding::Array(caller_arr)),
+                ("n".to_string(), Binding::Scalar(Value::Int(4))),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(frame.arrays["v"], caller_arr);
+        assert_eq!(m.arrays.len(), 1, "no duplicate allocation for the dummy");
+    }
+
+    #[test]
+    fn unresolvable_bound_errors() {
+        let f = parse(
+            "      program p
+      real v(m)
+      x = 1
+      end
+",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        assert!(build_frame(&mut m, &f.units[0], HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn stmt_budget_enforced() {
+        let mut m = Machine {
+            stmt_limit: 3,
+            ..Default::default()
+        };
+        assert!(m.tick().is_ok());
+        assert!(m.tick().is_ok());
+        assert!(m.tick().is_ok());
+        assert!(m.tick().is_err());
+    }
+}

@@ -1,0 +1,655 @@
+//! SPMD parallel execution of restructured programs.
+//!
+//! The restructurer ([`autocfd_codegen`]) emits `call acf_*` statements;
+//! this module implements them through the message-passing runtime so the
+//! generated parallel program actually runs on `n` rank-threads:
+//!
+//! * `acf_init` — bind the rank's subgrid bounds to the `acflo<a>` /
+//!   `acfhi<a>` scalars used by localized loop bounds;
+//! * `acf_sync_<k>` — the combined halo exchange of a synchronization
+//!   point: per array and cut axis, exchange ghost slabs with both
+//!   neighbors (axes in ascending order, widening the slab by the ghost
+//!   layers already exchanged so corner points arrive correctly);
+//! * `acf_pre_<k>` / `acf_post_<k>` — the mirror-image schedule of a
+//!   self-dependent loop: `pre` ships *old* boundary values against the
+//!   sweep direction and blocks on the *updated* boundary from the
+//!   upstream neighbor (the pipeline); `post` forwards the freshly
+//!   computed boundary downstream;
+//! * `acf_reduce_<op>_<var>` — global reduction of a scalar (the CFD
+//!   convergence error).
+//!
+//! Because every rank holds full-size arrays indexed globally, a slab is
+//! identified purely by global index ranges; sender and receiver compute
+//! the *same* region (from the receiving rank's subgrid), so payloads
+//! need no headers.
+
+use crate::exec::{run_program_capture, Hooks};
+use crate::machine::{ArrayId, Frame, Machine, RunError};
+use crate::value::Value;
+use autocfd_codegen::{SelfLoopSpec, SpmdPlan, SyncSpec};
+use autocfd_fortran::SourceFile;
+use autocfd_runtime::{run_spmd, Comm, ReduceOp};
+
+/// The hook set wiring `acf_*` calls to the runtime.
+pub struct SpmdHooks<'a> {
+    /// The executable plan.
+    pub plan: &'a SpmdPlan,
+    /// This rank's communicator.
+    pub comm: &'a Comm,
+}
+
+/// Result of one rank's execution.
+#[derive(Debug)]
+pub struct RankResult {
+    /// The rank's machine (arrays, output, op counts).
+    pub machine: Machine,
+    /// The rank's final main-program frame (array name bindings).
+    pub frame: Frame,
+    /// Communication statistics `(messages, f64 elements, barriers,
+    /// reductions)` — real measured traffic, used by the ablation
+    /// benches.
+    pub comm_stats: (u64, u64, u64, u64),
+    /// The rank's communication trace (see
+    /// [`autocfd_runtime::trace`]): every send/recv/collective with
+    /// wall-clock timestamps, renderable as a timeline.
+    pub trace: Vec<autocfd_runtime::TraceEvent>,
+}
+
+impl Hooks for SpmdHooks<'_> {
+    fn call(&mut self, m: &mut Machine, frame: &mut Frame, name: &str) -> Result<bool, RunError> {
+        if name == "acf_init" {
+            self.init(frame)?;
+            return Ok(true);
+        }
+        if let Some(rest) = name.strip_prefix("acf_sync_") {
+            let id: u32 = rest
+                .parse()
+                .map_err(|_| RunError::new(format!("bad sync id in `{name}`")))?;
+            let spec = self
+                .plan
+                .syncs
+                .get(&id)
+                .ok_or_else(|| RunError::new(format!("unknown sync id {id}")))?;
+            self.sync(m, frame, spec)?;
+            return Ok(true);
+        }
+        if let Some(rest) = name.strip_prefix("acf_pre_") {
+            let id: u32 = rest
+                .parse()
+                .map_err(|_| RunError::new(format!("bad self-loop id in `{name}`")))?;
+            let spec = self.self_spec(id)?;
+            self.pre(m, frame, &spec)?;
+            return Ok(true);
+        }
+        if let Some(rest) = name.strip_prefix("acf_post_") {
+            let id: u32 = rest
+                .parse()
+                .map_err(|_| RunError::new(format!("bad self-loop id in `{name}`")))?;
+            let spec = self.self_spec(id)?;
+            self.post(m, frame, &spec)?;
+            return Ok(true);
+        }
+        if let Some(rest) = name.strip_prefix("acf_fill_") {
+            let id: u32 = rest
+                .parse()
+                .map_err(|_| RunError::new(format!("bad fill id in `{name}`")))?;
+            let arrays = self
+                .plan
+                .fills
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| RunError::new(format!("unknown fill id {id}")))?;
+            self.fill(m, frame, id, &arrays)?;
+            return Ok(true);
+        }
+        if let Some(rest) = name.strip_prefix("acf_reduce_") {
+            let (op, var) = rest
+                .split_once('_')
+                .ok_or_else(|| RunError::new(format!("bad reduce call `{name}`")))?;
+            let op = match op {
+                "max" => ReduceOp::Max,
+                "min" => ReduceOp::Min,
+                "sum" => ReduceOp::Sum,
+                other => return Err(RunError::new(format!("bad reduce op `{other}`"))),
+            };
+            let local = frame.get_scalar(var).as_f64()?;
+            let global = self
+                .comm
+                .allreduce(local, op)
+                .map_err(|e| RunError::new(e.to_string()))?;
+            frame.set_scalar(var, Value::Real(global))?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+impl SpmdHooks<'_> {
+    fn self_spec(&self, id: u32) -> Result<SelfLoopSpec, RunError> {
+        self.plan
+            .self_loops
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RunError::new(format!("unknown self-loop id {id}")))
+    }
+
+    fn init(&self, frame: &mut Frame) -> Result<(), RunError> {
+        let sg = self.plan.partition.subgrid(self.comm.rank() as u32);
+        for a in 0..sg.lo.len() {
+            frame.set_scalar(&format!("acflo{}", a + 1), Value::Int(sg.lo[a] as i64))?;
+            frame.set_scalar(&format!("acfhi{}", a + 1), Value::Int(sg.hi[a] as i64))?;
+        }
+        Ok(())
+    }
+
+    fn array_id(&self, frame: &Frame, array: &str) -> Result<ArrayId, RunError> {
+        frame.arrays.get(array).copied().ok_or_else(|| {
+            RunError::new(format!(
+                "status array `{array}` is not bound in unit `{}` at a communication \
+                 point (status arrays must keep their names across units)",
+                frame.unit
+            ))
+        })
+    }
+
+    /// The global index region (per array dimension) of the ghost slab
+    /// that `recv_rank` receives from direction `dir` along `axis`, for
+    /// an array with the given dim→axis mapping. `done` gives ghost
+    /// widths of already-exchanged axes (corner correctness).
+    #[allow(clippy::too_many_arguments)] // a slab is genuinely 7-dimensional
+    fn ghost_region(
+        &self,
+        m: &Machine,
+        id: ArrayId,
+        dim_axis: &[Option<usize>],
+        recv_rank: u32,
+        axis: usize,
+        dir: i32,
+        width: u64,
+        done: &[[u64; 2]],
+    ) -> Option<Vec<(i64, i64)>> {
+        let sg = self.plan.partition.subgrid(recv_rank);
+        let arr = m.array(id);
+        let mut region = Vec::with_capacity(arr.bounds.len());
+        for (d, &(blo, bhi)) in arr.bounds.iter().enumerate() {
+            let (lo, hi) = match dim_axis.get(d).copied().flatten() {
+                Some(a) if a == axis => {
+                    let w = width as i64;
+                    if dir < 0 {
+                        (sg.lo[a] as i64 - w, sg.lo[a] as i64 - 1)
+                    } else {
+                        (sg.hi[a] as i64 + 1, sg.hi[a] as i64 + w)
+                    }
+                }
+                Some(a) => {
+                    let g = done.get(a).copied().unwrap_or([0, 0]);
+                    (sg.lo[a] as i64 - g[0] as i64, sg.hi[a] as i64 + g[1] as i64)
+                }
+                None => (blo, bhi), // packed dimension: full extent
+            };
+            let (lo, hi) = (lo.max(blo), hi.min(bhi));
+            if hi < lo {
+                return None;
+            }
+            region.push((lo, hi));
+        }
+        Some(region)
+    }
+
+    fn pack(&self, m: &Machine, id: ArrayId, region: &[(i64, i64)]) -> Vec<f64> {
+        let arr = m.array(id);
+        let mut out = Vec::new();
+        let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+        loop {
+            out.push(arr.get(&idx).expect("region inside bounds"));
+            if !advance(&mut idx, region) {
+                break;
+            }
+        }
+        out
+    }
+
+    fn unpack(
+        &self,
+        m: &mut Machine,
+        id: ArrayId,
+        region: &[(i64, i64)],
+        data: &[f64],
+    ) -> Result<(), RunError> {
+        let arr = m.array_mut(id);
+        let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+        let mut k = 0usize;
+        loop {
+            let v = *data
+                .get(k)
+                .ok_or_else(|| RunError::new("halo payload shorter than region"))?;
+            arr.set(&idx, v)?;
+            k += 1;
+            if !advance(&mut idx, region) {
+                break;
+            }
+        }
+        if k != data.len() {
+            return Err(RunError::new("halo payload longer than region"));
+        }
+        Ok(())
+    }
+
+    /// The combined halo exchange of one synchronization point. The
+    /// paper's combining step "aggregates" the member communications:
+    /// all arrays of the point travel in ONE message per neighbor per
+    /// axis direction (verified by the `ablation_combine` bench, which
+    /// counts real messages).
+    fn sync(&self, m: &mut Machine, frame: &Frame, spec: &SyncSpec) -> Result<(), RunError> {
+        let me = self.comm.rank() as u32;
+        let cut = self.plan.cut_axes();
+        // resolve ids/mappings once; per-array `done` widths track the
+        // axes already exchanged (corner correctness)
+        let mut ids = Vec::with_capacity(spec.arrays.len());
+        let mut maps = Vec::with_capacity(spec.arrays.len());
+        let mut done: Vec<Vec<[u64; 2]>> = Vec::with_capacity(spec.arrays.len());
+        for sa in &spec.arrays {
+            ids.push(self.array_id(frame, &sa.array)?);
+            maps.push(self.dim_axis_of(&sa.array)?);
+            done.push(vec![[0u64; 2]; sa.ghost.len()]);
+        }
+        for &axis in &cut {
+            // ---- sends: one aggregated message per neighbor direction
+            for dir in [-1i32, 1] {
+                let Some(nb) = self.plan.partition.neighbor(me, axis, dir) else {
+                    continue;
+                };
+                let mut payload = Vec::new();
+                for (ai, sa) in spec.arrays.iter().enumerate() {
+                    let [gl, gh] = sa.ghost.get(axis).copied().unwrap_or([0, 0]);
+                    // the neighbor in `dir` needs, from me, the layers it
+                    // receives from its `-dir` side
+                    let their_w = if dir > 0 { gl } else { gh };
+                    if their_w == 0 {
+                        continue;
+                    }
+                    if let Some(region) =
+                        self.ghost_region(m, ids[ai], &maps[ai], nb, axis, -dir, their_w, &done[ai])
+                    {
+                        payload.extend(self.pack(m, ids[ai], &region));
+                    }
+                }
+                if !payload.is_empty() {
+                    let tag = tag_for(0, spec.id, 0, axis, -dir);
+                    self.comm.send(nb as usize, tag, &payload);
+                }
+            }
+            // ---- receives: split the aggregated message back apart
+            for dir in [-1i32, 1] {
+                let Some(nb) = self.plan.partition.neighbor(me, axis, dir) else {
+                    continue;
+                };
+                // compute the regions first to know whether a message is
+                // expected at all
+                let mut regions: Vec<(usize, Vec<(i64, i64)>)> = Vec::new();
+                for (ai, sa) in spec.arrays.iter().enumerate() {
+                    let [gl, gh] = sa.ghost.get(axis).copied().unwrap_or([0, 0]);
+                    let w = if dir < 0 { gl } else { gh };
+                    if w == 0 {
+                        continue;
+                    }
+                    if let Some(region) =
+                        self.ghost_region(m, ids[ai], &maps[ai], me, axis, dir, w, &done[ai])
+                    {
+                        regions.push((ai, region));
+                    }
+                }
+                if regions.is_empty() {
+                    continue;
+                }
+                let tag = tag_for(0, spec.id, 0, axis, dir);
+                let data = self
+                    .comm
+                    .recv(nb as usize, tag)
+                    .map_err(|e| RunError::new(e.to_string()))?;
+                let mut off = 0usize;
+                for (ai, region) in regions {
+                    let len: usize = region
+                        .iter()
+                        .map(|&(lo, hi)| (hi - lo + 1) as usize)
+                        .product();
+                    let slice = data.get(off..off + len).ok_or_else(|| {
+                        RunError::new("aggregated halo payload shorter than regions")
+                    })?;
+                    self.unpack(m, ids[ai], &region, slice)?;
+                    off += len;
+                }
+                if off != data.len() {
+                    return Err(RunError::new("aggregated halo payload longer than regions"));
+                }
+            }
+            for (ai, sa) in spec.arrays.iter().enumerate() {
+                done[ai][axis] = sa.ghost.get(axis).copied().unwrap_or([0, 0]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror-image `pre`: ship old boundary values, then block on the
+    /// pipeline (updated values from upstream).
+    fn pre(&self, m: &mut Machine, frame: &Frame, spec: &SelfLoopSpec) -> Result<(), RunError> {
+        let me = self.comm.rank() as u32;
+        // 1) all old-value sends (captured before any modification)
+        for (ai, sa) in spec.arrays.iter().enumerate() {
+            let id = self.array_id(frame, &sa.array)?;
+            let dim_axis = self.dim_axis_of(&sa.array)?;
+            for step in &sa.mirror {
+                // data flows opposite to `step.dir`: I serve the neighbor
+                // on my -dir side, which receives from its `dir` side.
+                if let Some(nb) = self.plan.partition.neighbor(me, step.axis, -step.dir) {
+                    if let Some(region) = self.ghost_region(
+                        m,
+                        id,
+                        &dim_axis,
+                        nb,
+                        step.axis,
+                        step.dir,
+                        step.width,
+                        &[],
+                    ) {
+                        let payload = self.pack(m, id, &region);
+                        let tag = tag_for(1, spec.id, ai, step.axis, step.dir);
+                        self.comm.send(nb as usize, tag, &payload);
+                    }
+                }
+            }
+        }
+        // 2) old-value receives
+        for (ai, sa) in spec.arrays.iter().enumerate() {
+            let id = self.array_id(frame, &sa.array)?;
+            let dim_axis = self.dim_axis_of(&sa.array)?;
+            for step in &sa.mirror {
+                if let Some(nb) = self.plan.partition.neighbor(me, step.axis, step.dir) {
+                    if let Some(region) = self.ghost_region(
+                        m,
+                        id,
+                        &dim_axis,
+                        me,
+                        step.axis,
+                        step.dir,
+                        step.width,
+                        &[],
+                    ) {
+                        let tag = tag_for(1, spec.id, ai, step.axis, step.dir);
+                        let data = self
+                            .comm
+                            .recv(nb as usize, tag)
+                            .map_err(|e| RunError::new(e.to_string()))?;
+                        self.unpack(m, id, &region, &data)?;
+                    }
+                }
+            }
+        }
+        // 3) pipeline receives (updated values; serializes the sweep)
+        for (ai, sa) in spec.arrays.iter().enumerate() {
+            let id = self.array_id(frame, &sa.array)?;
+            let dim_axis = self.dim_axis_of(&sa.array)?;
+            for step in &sa.forward {
+                if let Some(nb) = self.plan.partition.neighbor(me, step.axis, step.dir) {
+                    if let Some(region) = self.ghost_region(
+                        m,
+                        id,
+                        &dim_axis,
+                        me,
+                        step.axis,
+                        step.dir,
+                        step.width,
+                        &[],
+                    ) {
+                        let tag = tag_for(2, spec.id, ai, step.axis, step.dir);
+                        let data = self
+                            .comm
+                            .recv(nb as usize, tag)
+                            .map_err(|e| RunError::new(e.to_string()))?;
+                        self.unpack(m, id, &region, &data)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror-image `post`: forward the freshly-updated boundary
+    /// downstream (continuing the pipeline).
+    fn post(&self, m: &mut Machine, frame: &Frame, spec: &SelfLoopSpec) -> Result<(), RunError> {
+        let me = self.comm.rank() as u32;
+        for (ai, sa) in spec.arrays.iter().enumerate() {
+            let id = self.array_id(frame, &sa.array)?;
+            let dim_axis = self.dim_axis_of(&sa.array)?;
+            for step in &sa.forward {
+                if let Some(nb) = self.plan.partition.neighbor(me, step.axis, -step.dir) {
+                    if let Some(region) = self.ghost_region(
+                        m,
+                        id,
+                        &dim_axis,
+                        nb,
+                        step.axis,
+                        step.dir,
+                        step.width,
+                        &[],
+                    ) {
+                        let payload = self.pack(m, id, &region);
+                        let tag = tag_for(2, spec.id, ai, step.axis, step.dir);
+                        self.comm.send(nb as usize, tag, &payload);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allgather: every rank broadcasts its owned region of each array so
+    /// all ranks hold the complete field (inserted before `write`
+    /// statements that print status-array elements).
+    fn fill(
+        &self,
+        m: &mut Machine,
+        frame: &Frame,
+        id: u32,
+        arrays: &[String],
+    ) -> Result<(), RunError> {
+        let me = self.comm.rank() as u32;
+        let ranks = self.plan.ranks();
+        if ranks <= 1 {
+            return Ok(());
+        }
+        for (ai, array) in arrays.iter().enumerate() {
+            let aid = self.array_id(frame, array)?;
+            let dim_axis = self.dim_axis_of(array)?;
+            let owned = |rank: u32, arr: &crate::value::ArrayVal| -> Option<Vec<(i64, i64)>> {
+                let sg = self.plan.partition.subgrid(rank);
+                let mut region = Vec::with_capacity(arr.bounds.len());
+                for (d, &(blo, bhi)) in arr.bounds.iter().enumerate() {
+                    let (lo, hi) = match dim_axis.get(d).copied().flatten() {
+                        Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
+                        None => (blo, bhi),
+                    };
+                    if hi < lo {
+                        return None;
+                    }
+                    region.push((lo, hi));
+                }
+                Some(region)
+            };
+            // send my owned region to everyone
+            if let Some(region) = owned(me, m.array(aid)) {
+                let payload = self.pack(m, aid, &region);
+                let tag = tag_for(3, id, ai, 0, 1);
+                for peer in 0..ranks {
+                    if peer != me {
+                        self.comm.send(peer as usize, tag, &payload);
+                    }
+                }
+            }
+            // receive every peer's owned region
+            for peer in 0..ranks {
+                if peer == me {
+                    continue;
+                }
+                if let Some(region) = owned(peer, m.array(aid)) {
+                    let tag = tag_for(3, id, ai, 0, 1);
+                    let data = self
+                        .comm
+                        .recv(peer as usize, tag)
+                        .map_err(|e| RunError::new(e.to_string()))?;
+                    self.unpack(m, aid, &region, &data)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dim_axis_of(&self, array: &str) -> Result<Vec<Option<usize>>, RunError> {
+        self.plan
+            .dim_axis
+            .get(array)
+            .cloned()
+            .ok_or_else(|| RunError::new(format!("no mapping for `{array}`")))
+    }
+}
+
+/// Odometer increment over inclusive ranges; false when exhausted.
+fn advance(idx: &mut [i64], region: &[(i64, i64)]) -> bool {
+    for d in 0..idx.len() {
+        idx[d] += 1;
+        if idx[d] <= region[d].1 {
+            return true;
+        }
+        idx[d] = region[d].0;
+    }
+    false
+}
+
+/// Unique message tags: `kind` ∈ {0 sync, 1 mirror, 2 pipeline, 3 fill}.
+fn tag_for(kind: u64, id: u32, array_idx: usize, axis: usize, dir: i32) -> u64 {
+    let dirbit = u64::from(dir > 0);
+    ((((kind * 1_000_000 + id as u64) * 64 + array_idx as u64) * 8 + axis as u64) * 2 + dirbit)
+        + 1000
+}
+
+/// Run the transformed `file` under `plan` on `plan.ranks()` threads.
+/// Every rank receives its own copy of `input`. Returns per-rank results
+/// in rank order.
+pub fn run_parallel(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+) -> Result<Vec<RankResult>, RunError> {
+    let n = plan.ranks() as usize;
+    let results = run_spmd(n, |comm| {
+        let mut hooks = SpmdHooks { plan, comm: &comm };
+        run_program_capture(file, input.clone(), &mut hooks, stmt_limit).map(|(machine, frame)| {
+            RankResult {
+                machine,
+                frame,
+                comm_stats: comm.stats().snapshot(),
+                trace: comm.take_trace(),
+            }
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Verify that every rank's *owned* region of every status array equals
+/// the sequential run's values within `tol`. Returns the maximum absolute
+/// difference observed.
+pub fn verify_owned_regions(
+    seq: &(Machine, Frame),
+    par: &[RankResult],
+    plan: &SpmdPlan,
+    tol: f64,
+) -> Result<f64, String> {
+    let mut max_diff = 0.0f64;
+    for (array, dim_axis) in &plan.dim_axis {
+        let seq_id = match seq.1.arrays.get(array) {
+            Some(id) => *id,
+            None => continue, // not bound in main (e.g. subroutine-local)
+        };
+        let seq_arr = seq.0.array(seq_id);
+        for (r, rr) in par.iter().enumerate() {
+            let sg = plan.partition.subgrid(r as u32);
+            let par_id = rr
+                .frame
+                .arrays
+                .get(array)
+                .ok_or_else(|| format!("rank {r}: array `{array}` missing"))?;
+            let par_arr = rr.machine.array(*par_id);
+            // iterate the rank's owned region (full extent on packed dims)
+            let region: Vec<(i64, i64)> = seq_arr
+                .bounds
+                .iter()
+                .enumerate()
+                .map(
+                    |(d, &(blo, bhi))| match dim_axis.get(d).copied().flatten() {
+                        Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
+                        None => (blo, bhi),
+                    },
+                )
+                .collect();
+            if region.iter().any(|&(lo, hi)| hi < lo) {
+                continue;
+            }
+            let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+            loop {
+                let s = seq_arr.get(&idx).map_err(|e| e.to_string())?;
+                let p = par_arr.get(&idx).map_err(|e| e.to_string())?;
+                let d = (s - p).abs();
+                if d > max_diff {
+                    max_diff = d;
+                }
+                if d > tol {
+                    return Err(format!(
+                        "array `{array}` rank {r} at {idx:?}: sequential {s} vs parallel {p}"
+                    ));
+                }
+                if !advance(&mut idx, &region) {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(max_diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_odometer() {
+        let region = [(1i64, 2), (5, 6)];
+        let mut idx = vec![1i64, 5];
+        let mut seen = vec![idx.clone()];
+        while advance(&mut idx, &region) {
+            seen.push(idx.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![vec![1, 5], vec![2, 5], vec![1, 6], vec![2, 6]],
+            "first index varies fastest (column-major order)"
+        );
+    }
+
+    #[test]
+    fn tags_unique() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        for kind in 0..4u64 {
+            for id in 0..4u32 {
+                for ai in 0..3usize {
+                    for axis in 0..3usize {
+                        for dir in [-1, 1] {
+                            assert!(set.insert(tag_for(kind, id, ai, axis, dir)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Human-readable analysis reports (the `acfc --analysis` output).
+//!
+//! Renders the loop tree of every unit with its field-loop structure and
+//! per-array A/R/C/O classification — the information the paper's §2–§4
+//! analyses compute, in a form a user can check against their program.
+
+use crate::classify::{classify, LoopClass};
+use crate::model::{LoopId, ProgramIr, UnitIr};
+use std::fmt::Write as _;
+
+/// Render the analysis of one unit.
+pub fn report_unit(ir: &ProgramIr, unit: &UnitIr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "unit `{}`:", unit.name);
+    if unit.loops.is_empty() {
+        let _ = writeln!(out, "  (no loops)");
+        return out;
+    }
+    for &root in &unit.root_loops {
+        render_loop(ir, unit, root, 1, &mut out);
+    }
+    if !unit.calls.is_empty() {
+        let callees: Vec<&str> = unit.calls.iter().map(|c| c.callee.as_str()).collect();
+        let _ = writeln!(out, "  calls: {}", callees.join(", "));
+    }
+    out
+}
+
+fn render_loop(ir: &ProgramIr, unit: &UnitIr, id: LoopId, depth: usize, out: &mut String) {
+    let info = unit.loop_info(id);
+    let indent = "  ".repeat(depth);
+    let var = if info.var.is_empty() {
+        "while".to_string()
+    } else {
+        info.var.clone()
+    };
+    let mut tags = Vec::new();
+    if info.is_field_root {
+        tags.push("field loop".to_string());
+    }
+    // classification per status array that the loop touches
+    let mut classes = Vec::new();
+    for array in ir.status_arrays.keys() {
+        let c = classify(unit, id, array);
+        if c != LoopClass::OType {
+            classes.push(format!("{c}({array})"));
+        }
+    }
+    if !classes.is_empty() && (info.is_field_root || info.parent.is_none()) {
+        tags.push(classes.join(" "));
+    }
+    let tag_str = if tags.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", tags.join("; "))
+    };
+    let _ = writeln!(
+        out,
+        "{indent}do {var}  (lines {}-{}){tag_str}",
+        info.line_start, info.line_end
+    );
+    for &child in &info.children {
+        render_loop(ir, unit, child, depth + 1, out);
+    }
+}
+
+/// Render the analysis of the whole program.
+pub fn report_program(ir: &ProgramIr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "grid: {:?}; status arrays: {:?}",
+        ir.grid_extents(),
+        ir.status_arrays.keys().collect::<Vec<_>>()
+    );
+    for unit in &ir.units {
+        out.push_str(&report_unit(ir, unit));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_ir;
+    use autocfd_fortran::parse;
+
+    #[test]
+    fn report_contains_loop_tree_and_classes() {
+        let ir = build_ir(
+            parse(
+                "
+!$acf grid(20,20)
+!$acf status v, vn
+      program p
+      real v(20,20), vn(20,20)
+      integer i, j, it
+      do it = 1, 5
+        do i = 2, 19
+          do j = 2, 19
+            vn(i,j) = v(i-1,j) + v(i+1,j)
+          end do
+        end do
+      end do
+      call helper(v)
+      end
+      subroutine helper(v)
+      real v(20,20)
+      v(1,1) = 0.0
+      return
+      end
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = report_program(&ir);
+        assert!(text.contains("unit `p`"));
+        assert!(text.contains("do it"));
+        assert!(text.contains("field loop"), "{text}");
+        assert!(text.contains("A(vn)"), "{text}");
+        assert!(text.contains("R(v)"), "{text}");
+        assert!(text.contains("calls: helper"));
+        assert!(text.contains("unit `helper`"));
+        assert!(text.contains("(no loops)"));
+    }
+
+    #[test]
+    fn report_shows_grid_and_arrays() {
+        let ir = build_ir(
+            parse(
+                "
+!$acf grid(10,10)
+!$acf status w
+      program p
+      real w(10,10)
+      w(1,1) = 0.0
+      end
+",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = report_program(&ir);
+        assert!(text.contains("[10, 10]"));
+        assert!(text.contains("\"w\""));
+    }
+}

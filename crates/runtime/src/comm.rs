@@ -1,0 +1,641 @@
+//! The communicator: point-to-point messaging and collectives.
+
+use crate::trace::{EventKind, TraceEvent};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Default receive timeout; long enough for heavyweight tests, short
+/// enough that a deadlocked exchange fails rather than hangs.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A message in flight: `(source, tag, payload)`.
+type Msg = (usize, u64, Vec<f64>);
+
+/// Why a receive failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived within the timeout — almost always a
+    /// deadlock or a schedule bug in generated code.
+    Timeout {
+        /// The waiting rank.
+        rank: usize,
+        /// The peer it waited on.
+        from: usize,
+        /// The tag it waited for.
+        tag: u64,
+    },
+    /// The peer's endpoint is gone (its thread ended or panicked).
+    Disconnected {
+        /// The waiting rank.
+        rank: usize,
+        /// The peer it waited on.
+        from: usize,
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout { rank, from, tag } => write!(
+                f,
+                "rank {rank}: timeout waiting for message from rank {from} tag {tag} (deadlock?)"
+            ),
+            RecvError::Disconnected { rank, from } => {
+                write!(f, "rank {rank}: peer {from} disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Reduction operators for [`Comm::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise maximum (CFD convergence error).
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise sum.
+    Sum,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Sum => a + b,
+        }
+    }
+}
+
+/// Per-rank communication statistics.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Total f64 elements sent.
+    pub elems_sent: AtomicU64,
+    /// Barrier participations.
+    pub barriers: AtomicU64,
+    /// Allreduce participations.
+    pub reduces: AtomicU64,
+}
+
+impl CommStats {
+    /// Snapshot as plain numbers `(msgs, elems, barriers, reduces)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.msgs_sent.load(Ordering::Relaxed),
+            self.elems_sent.load(Ordering::Relaxed),
+            self.barriers.load(Ordering::Relaxed),
+            self.reduces.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One rank's endpoint into the communicator.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// `senders[d]` delivers to rank `d`.
+    senders: Vec<Sender<Msg>>,
+    /// This rank's inbox.
+    inbox: Receiver<Msg>,
+    /// Out-of-order messages parked until their `(from, tag)` is asked for.
+    parked: Mutex<VecDeque<Msg>>,
+    barrier: Arc<Barrier>,
+    stats: Arc<CommStats>,
+    timeout: Duration,
+    /// Shared epoch for trace timestamps (same instant on every rank).
+    epoch: Instant,
+    /// Recorded communication events.
+    trace: Mutex<Vec<TraceEvent>>,
+}
+
+impl Comm {
+    /// This rank's id (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's statistics handle.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Drain this rank's recorded trace (see [`crate::trace`]).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace.lock())
+    }
+
+    fn record(&self, kind: EventKind, start: Instant, peer: usize, elems: usize) {
+        let end = self.epoch.elapsed();
+        let start = start.duration_since(self.epoch);
+        self.trace.lock().push(TraceEvent {
+            kind,
+            start,
+            end,
+            peer,
+            elems,
+        });
+    }
+
+    /// Send `payload` to rank `to` with `tag`. Buffered; never blocks.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or is this rank itself.
+    pub fn send(&self, to: usize, tag: u64, payload: &[f64]) {
+        let t0 = Instant::now();
+        self.send_raw(to, tag, payload);
+        self.record(EventKind::Send, t0, to, payload.len());
+    }
+
+    fn send_raw(&self, to: usize, tag: u64, payload: &[f64]) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        assert_ne!(to, self.rank, "self-send is a schedule bug");
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .elems_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        // peer gone = program shutting down; ignore like MPI_Send to a
+        // finalized rank would abort — tests catch it via recv timeouts.
+        let _ = self.senders[to].send((self.rank, tag, payload.to_vec()));
+    }
+
+    /// Receive the next message from `from` with `tag` (FIFO per
+    /// `(from, tag)`); messages for other `(from, tag)` pairs arriving
+    /// first are parked, preserving their own order.
+    pub fn recv(&self, from: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
+        let t0 = Instant::now();
+        let r = self.recv_raw(from, tag);
+        if let Ok(p) = &r {
+            self.record(EventKind::Recv, t0, from, p.len());
+        }
+        r
+    }
+
+    fn recv_raw(&self, from: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
+        // check parked messages first
+        {
+            let mut parked = self.parked.lock();
+            if let Some(pos) = parked.iter().position(|m| m.0 == from && m.1 == tag) {
+                return Ok(parked.remove(pos).unwrap().2);
+            }
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.inbox.recv_timeout(remaining) {
+                Ok((src, t, payload)) => {
+                    if src == from && t == tag {
+                        return Ok(payload);
+                    }
+                    self.parked.lock().push_back((src, t, payload));
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(RecvError::Timeout {
+                        rank: self.rank,
+                        from,
+                        tag,
+                    })
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(RecvError::Disconnected {
+                        rank: self.rank,
+                        from,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Simultaneous exchange with a peer: send then receive. Safe against
+    /// deadlock because sends are buffered.
+    pub fn sendrecv(
+        &self,
+        peer: usize,
+        send_tag: u64,
+        payload: &[f64],
+        recv_tag: u64,
+    ) -> Result<Vec<f64>, RecvError> {
+        self.send(peer, send_tag, payload);
+        self.recv(peer, recv_tag)
+    }
+
+    /// Block until all ranks arrive.
+    pub fn barrier(&self) {
+        let t0 = Instant::now();
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        self.barrier.wait();
+        self.record(EventKind::Barrier, t0, 0, 0);
+    }
+
+    /// All-reduce a single value with `op`; every rank returns the same
+    /// result. Implemented as gather-to-0 + broadcast.
+    pub fn allreduce(&self, value: f64, op: ReduceOp) -> Result<f64, RecvError> {
+        let t0 = Instant::now();
+        self.stats.reduces.fetch_add(1, Ordering::Relaxed);
+        const REDUCE_TAG: u64 = u64::MAX - 1;
+        const BCAST_TAG: u64 = u64::MAX - 2;
+        if self.size == 1 {
+            return Ok(value);
+        }
+        let result = if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let v = self.recv_raw(src, REDUCE_TAG)?;
+                acc = op.apply(acc, v[0]);
+            }
+            for dst in 1..self.size {
+                self.send_raw(dst, BCAST_TAG, &[acc]);
+            }
+            acc
+        } else {
+            self.send_raw(0, REDUCE_TAG, &[value]);
+            self.recv_raw(0, BCAST_TAG)?[0]
+        };
+        self.record(EventKind::Reduce, t0, 0, 1);
+        Ok(result)
+    }
+
+    /// Gather every rank's `payload` at `root`: returns `Some(vec of
+    /// per-rank payloads, in rank order)` on the root and `None`
+    /// elsewhere.
+    pub fn gather(&self, root: usize, payload: &[f64]) -> Result<Option<Vec<Vec<f64>>>, RecvError> {
+        const TAG: u64 = u64::MAX - 4;
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            out[root] = payload.to_vec();
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = self.recv(src, TAG)?;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, TAG, payload);
+            Ok(None)
+        }
+    }
+
+    /// Broadcast `payload` from `root` to all ranks; returns the payload
+    /// on every rank.
+    pub fn broadcast(&self, root: usize, payload: &[f64]) -> Result<Vec<f64>, RecvError> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.size == 1 {
+            return Ok(payload.to_vec());
+        }
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send(dst, TAG, payload);
+                }
+            }
+            Ok(payload.to_vec())
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+}
+
+/// Launch `n` ranks; each runs `f(comm)` on its own thread. Results are
+/// returned in rank order. A panicking rank propagates its panic.
+///
+/// ```
+/// use autocfd_runtime::{run_spmd, ReduceOp};
+/// let maxima = run_spmd(4, |comm| {
+///     comm.allreduce(comm.rank() as f64, ReduceOp::Max).unwrap()
+/// });
+/// assert_eq!(maxima, vec![3.0; 4]);
+/// ```
+pub fn run_spmd<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    run_spmd_with_timeout(n, DEFAULT_TIMEOUT, f)
+}
+
+/// [`run_spmd`] with an explicit receive timeout (tests use short ones to
+/// exercise deadlock surfacing).
+pub fn run_spmd_with_timeout<T, F>(n: usize, timeout: Duration, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    assert!(n >= 1, "need at least one rank");
+    let mut senders = Vec::with_capacity(n);
+    let mut inboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Msg>();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(n));
+    let epoch = Instant::now();
+    let comms: Vec<Comm> = inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Comm {
+            rank,
+            size: n,
+            senders: senders.clone(),
+            inbox,
+            parked: Mutex::new(VecDeque::new()),
+            barrier: barrier.clone(),
+            stats: Arc::new(CommStats::default()),
+            timeout,
+            epoch,
+            trace: Mutex::new(Vec::new()),
+        })
+        .collect();
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(|| f(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPMD rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = run_spmd(4, |comm| {
+            let r = comm.rank();
+            let n = comm.size();
+            comm.send((r + 1) % n, 7, &[r as f64]);
+            comm.recv((r + n - 1) % n, 7).unwrap()[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let results = run_spmd(1, |comm| {
+            comm.barrier();
+            comm.allreduce(42.0, ReduceOp::Max).unwrap()
+        });
+        assert_eq!(results, vec![42.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0]);
+                comm.send(1, 2, &[2.0]);
+                comm.send(1, 3, &[3.0]);
+                0.0
+            } else {
+                // receive in reverse tag order: parking must kick in
+                let c = comm.recv(0, 3).unwrap()[0];
+                let b = comm.recv(0, 2).unwrap()[0];
+                let a = comm.recv(0, 1).unwrap()[0];
+                a * 100.0 + b * 10.0 + c
+            }
+        });
+        assert_eq!(results[1], 123.0);
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                for k in 0..100 {
+                    comm.send(1, 5, &[k as f64]);
+                }
+                0.0
+            } else {
+                let mut prev = -1.0;
+                for _ in 0..100 {
+                    let v = comm.recv(0, 5).unwrap()[0];
+                    assert!(v > prev, "FIFO violated: {v} after {prev}");
+                    prev = v;
+                }
+                prev
+            }
+        });
+        assert_eq!(results[1], 99.0);
+    }
+
+    #[test]
+    fn sendrecv_symmetric_exchange_no_deadlock() {
+        // all ranks exchange with both neighbors simultaneously
+        let n = 6;
+        let results = run_spmd(n, |comm| {
+            let r = comm.rank();
+            let mut acc = 0.0;
+            if r > 0 {
+                acc += comm.sendrecv(r - 1, 10, &[r as f64], 11).unwrap()[0];
+            }
+            if r + 1 < comm.size() {
+                acc += comm.sendrecv(r + 1, 11, &[r as f64], 10).unwrap()[0];
+            }
+            acc
+        });
+        // interior ranks get left + right neighbor ids
+        assert_eq!(results[2], 1.0 + 3.0);
+        assert_eq!(results[0], 1.0);
+        assert_eq!(results[n - 1], (n - 2) as f64);
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        for (op, expect) in [
+            (ReduceOp::Max, 3.0),
+            (ReduceOp::Min, 0.0),
+            (ReduceOp::Sum, 6.0),
+        ] {
+            let results = run_spmd(4, move |comm| {
+                comm.allreduce(comm.rank() as f64, op).unwrap()
+            });
+            assert!(
+                results.iter().all(|&v| v == expect),
+                "{op:?} -> {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = run_spmd(4, |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.gather(1, &mine).unwrap()
+        });
+        assert!(results[0].is_none() && results[2].is_none() && results[3].is_none());
+        let g = results[1].as_ref().unwrap();
+        assert_eq!(g.len(), 4);
+        for (r, v) in g.iter().enumerate() {
+            assert_eq!(v.len(), r + 1);
+            assert!(v.iter().all(|&x| x == r as f64));
+        }
+    }
+
+    #[test]
+    fn gather_single_rank() {
+        let results = run_spmd(1, |comm| comm.gather(0, &[7.0]).unwrap());
+        assert_eq!(results[0].as_ref().unwrap()[0], vec![7.0]);
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let results = run_spmd(4, |comm| {
+            let data = if comm.rank() == 2 {
+                vec![9.0, 8.0]
+            } else {
+                vec![]
+            };
+            comm.broadcast(2, &data).unwrap()
+        });
+        assert!(results.iter().all(|v| v == &vec![9.0, 8.0]));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_spmd(8, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // after the barrier everyone must observe all 8 increments
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn deadlock_surfaces_as_timeout() {
+        let results = run_spmd_with_timeout(2, Duration::from_millis(50), |comm| {
+            if comm.rank() == 0 {
+                // rank 0 waits for a message rank 1 never sends
+                comm.recv(1, 99)
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert_eq!(
+            results[0],
+            Err(RecvError::Timeout {
+                rank: 0,
+                from: 1,
+                tag: 99
+            })
+        );
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0.0; 10]);
+                comm.send(1, 2, &[0.0; 5]);
+            } else {
+                comm.recv(0, 1).unwrap();
+                comm.recv(0, 2).unwrap();
+            }
+            comm.barrier();
+            comm.stats().snapshot()
+        });
+        assert_eq!(results[0], (2, 15, 1, 0));
+        assert_eq!(results[1], (0, 0, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD rank panicked")]
+    fn self_send_panics() {
+        run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(0, 1, &[1.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let big: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        let results = run_spmd(2, move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &big);
+                true
+            } else {
+                let got = comm.recv(0, 1).unwrap();
+                got.len() == 100_000 && got[99_999] == 99_999.0
+            }
+        });
+        assert!(results[1]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// allreduce agrees with the sequential fold on every rank.
+        #[test]
+        fn allreduce_matches_sequential(
+            values in proptest::collection::vec(-1.0e6f64..1.0e6, 2..6),
+        ) {
+            let n = values.len();
+            let vals = values.clone();
+            let results = run_spmd(n, move |comm| {
+                comm.allreduce(vals[comm.rank()], ReduceOp::Max).unwrap()
+            });
+            let expect = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(results.iter().all(|&v| v == expect));
+
+            let vals = values.clone();
+            let sums = run_spmd(n, move |comm| {
+                comm.allreduce(vals[comm.rank()], ReduceOp::Sum).unwrap()
+            });
+            let expect_sum: f64 = values.iter().sum();
+            // gather-to-root makes the reduction order deterministic
+            prop_assert!(sums.iter().all(|&v| (v - expect_sum).abs() < 1e-6));
+        }
+
+        /// Random neighbor exchanges deliver exactly the sent payloads.
+        #[test]
+        fn exchange_payload_integrity(
+            payload in proptest::collection::vec(-1.0e9f64..1.0e9, 1..64),
+            n in 2usize..5,
+        ) {
+            let p = payload.clone();
+            let results = run_spmd(n, move |comm| {
+                let r = comm.rank();
+                let peer = if r % 2 == 0 { r + 1 } else { r - 1 };
+                if peer >= comm.size() {
+                    return true; // odd rank count: last even rank idles
+                }
+                let tagged: Vec<f64> =
+                    p.iter().map(|v| v + r as f64).collect();
+                let got = comm.sendrecv(peer, 1, &tagged, 1).unwrap();
+                let expect: Vec<f64> =
+                    p.iter().map(|v| v + peer as f64).collect();
+                got == expect
+            });
+            prop_assert!(results.iter().all(|&ok| ok));
+        }
+    }
+}

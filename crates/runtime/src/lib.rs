@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Rank-per-thread message-passing runtime — the PVM/MPI substitute.
+//!
+//! The Auto-CFD paper generates SPMD programs with PVM/MPI calls and runs
+//! them on a dedicated Ethernet cluster of Pentium workstations. This
+//! crate provides the same programming model on threads, so the generated
+//! parallel programs can actually *execute* and be checked for
+//! equivalence with their sequential originals:
+//!
+//! * [`run_spmd`] — launch `n` ranks, each a thread with a [`Comm`]
+//!   endpoint, and collect their results;
+//! * [`Comm`] — point-to-point `send`/`recv`/`sendrecv` with tag
+//!   matching and per-(source, tag) FIFO ordering, plus the collectives
+//!   the restructured programs need: `barrier`, `allreduce` (max / sum /
+//!   min — the convergence test of a CFD frame is an allreduce-max of
+//!   the local error);
+//! * deadlock surfacing: every receive carries a timeout; a blocked
+//!   exchange reports *which* rank waited on which peer/tag instead of
+//!   hanging the test suite;
+//! * communication statistics per rank (message and byte counts), which
+//!   the cluster cost model consumes.
+//!
+//! Sends are buffered (unbounded channels), matching the eager-send
+//! semantics of small-message MPI on Ethernet: a `send` never blocks, so
+//! the symmetric `sendrecv` used by halo exchange cannot deadlock.
+
+pub mod comm;
+pub mod trace;
+
+pub use comm::{run_spmd, Comm, CommStats, RecvError, ReduceOp, DEFAULT_TIMEOUT};
+pub use trace::{render_timeline, summarize, EventKind, TraceEvent};

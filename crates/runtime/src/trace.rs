@@ -1,0 +1,171 @@
+//! Per-rank execution traces and a text timeline renderer.
+//!
+//! The paper reasons about *where time goes* in the generated programs —
+//! pipeline stalls from mirror-image decomposition, communication versus
+//! computation, barrier waits. The communicator records every
+//! communication event with wall-clock timestamps, and
+//! [`render_timeline`] turns the per-rank traces into a text Gantt chart
+//! so a user can *see* the pipeline skew of a self-dependent sweep or
+//! the synchronization structure of a frame.
+
+use std::time::Duration;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A buffered send (instantaneous).
+    Send,
+    /// A receive: `start..end` spans the blocked wait.
+    Recv,
+    /// A barrier wait.
+    Barrier,
+    /// An allreduce (includes its internal waits).
+    Reduce,
+}
+
+/// One traced event on one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Offset from the communicator epoch at event start.
+    pub start: Duration,
+    /// Offset at event end (== `start` for sends).
+    pub end: Duration,
+    /// Peer rank (receiver for sends, source for receives; 0 for
+    /// collectives).
+    pub peer: usize,
+    /// Payload f64 elements (0 for barrier).
+    pub elems: usize,
+}
+
+impl TraceEvent {
+    /// Time spent blocked in this event.
+    pub fn wait(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Summarize a rank's trace: `(events, total wait, elems sent+received)`.
+pub fn summarize(trace: &[TraceEvent]) -> (usize, Duration, usize) {
+    let wait = trace.iter().map(TraceEvent::wait).sum();
+    let elems = trace.iter().map(|e| e.elems).sum();
+    (trace.len(), wait, elems)
+}
+
+/// Render per-rank traces as a fixed-width text timeline.
+///
+/// Each row is one rank; each column a time bucket. The glyph is the
+/// dominant activity in the bucket: `R` receive-wait, `B` barrier,
+/// `A` allreduce, `s` send, `·` compute/idle (no traced event).
+pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    let width = width.max(10);
+    let horizon = traces
+        .iter()
+        .flat_map(|t| t.iter().map(|e| e.end))
+        .max()
+        .unwrap_or_default();
+    if horizon.is_zero() {
+        return traces
+            .iter()
+            .enumerate()
+            .map(|(r, _)| format!("rank {r} |{}|\n", "·".repeat(width)))
+            .collect();
+    }
+    let bucket = horizon.as_secs_f64() / width as f64;
+    let mut out = String::new();
+    for (r, trace) in traces.iter().enumerate() {
+        let mut row = vec!['·'; width];
+        for e in trace {
+            let b0 = ((e.start.as_secs_f64() / bucket) as usize).min(width - 1);
+            let b1 = ((e.end.as_secs_f64() / bucket) as usize).min(width - 1);
+            let glyph = match e.kind {
+                EventKind::Send => 's',
+                EventKind::Recv => 'R',
+                EventKind::Barrier => 'B',
+                EventKind::Reduce => 'A',
+            };
+            for cell in row.iter_mut().take(b1 + 1).skip(b0) {
+                // precedence: waits dominate sends dominate idle
+                let keep = matches!(*cell, 'R' | 'B' | 'A') && glyph == 's';
+                if !keep {
+                    *cell = glyph;
+                }
+            }
+        }
+        out.push_str(&format!("rank {r} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "        0{}{:?}\n        (R recv-wait, B barrier, A allreduce, s send, · compute)\n",
+        " ".repeat(width.saturating_sub(1)),
+        horizon
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, start_ms: u64, end_ms: u64, elems: usize) -> TraceEvent {
+        TraceEvent {
+            kind,
+            start: Duration::from_millis(start_ms),
+            end: Duration::from_millis(end_ms),
+            peer: 0,
+            elems,
+        }
+    }
+
+    #[test]
+    fn summarize_totals() {
+        let t = vec![
+            ev(EventKind::Send, 1, 1, 10),
+            ev(EventKind::Recv, 2, 7, 10),
+            ev(EventKind::Barrier, 9, 10, 0),
+        ];
+        let (n, wait, elems) = summarize(&t);
+        assert_eq!(n, 3);
+        assert_eq!(wait, Duration::from_millis(6));
+        assert_eq!(elems, 20);
+    }
+
+    #[test]
+    fn render_rows_per_rank() {
+        let traces = vec![
+            vec![ev(EventKind::Recv, 0, 50, 5)],
+            vec![
+                ev(EventKind::Send, 10, 10, 5),
+                ev(EventKind::Reduce, 80, 100, 1),
+            ],
+        ];
+        let s = render_timeline(&traces, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("rank 0 |"));
+        assert!(lines[1].starts_with("rank 1 |"));
+        assert!(lines[0].contains('R'));
+        assert!(lines[1].contains('s'));
+        assert!(lines[1].contains('A'));
+    }
+
+    #[test]
+    fn empty_traces_render() {
+        let s = render_timeline(&[vec![], vec![]], 12);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("·"));
+    }
+
+    #[test]
+    fn waits_dominate_sends_in_a_bucket() {
+        let traces = vec![vec![
+            ev(EventKind::Recv, 0, 100, 1),
+            ev(EventKind::Send, 50, 50, 1),
+        ]];
+        let s = render_timeline(&traces, 10);
+        let row = s.lines().next().unwrap();
+        assert!(
+            !row.contains('s'),
+            "send must not overwrite the wait: {row}"
+        );
+    }
+}

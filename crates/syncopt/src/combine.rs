@@ -1,0 +1,295 @@
+//! Combining synchronization regions — §5.1.2 and Figure 6 of the paper.
+//!
+//! "All the upper-bound synchronization regions are sorted by the program
+//! line number of the first statement. Intersected regions are generated
+//! in the sorted order. A new intersection will not be generated until
+//! the currently sequenced region does not intersect with the existing
+//! intersections. Thus, the minimum number of intersections of the
+//! regions is found."
+//!
+//! This is the classic minimum piercing (stabbing) of intervals; the
+//! sorted running-intersection greedy is optimal, which the property
+//! tests below verify against a brute-force optimal stabber.
+
+use crate::region::{Region, RegionOrigin};
+use crate::skeleton::ListKey;
+use autocfd_depend::sldp::ArrayDep;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One final synchronization point: a single barrier+exchange that
+/// satisfies every region merged into it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncPoint {
+    /// Unit the point is inserted in.
+    pub unit: String,
+    /// Statement list to insert into.
+    pub list: ListKey,
+    /// Gap index to insert at.
+    pub gap: usize,
+    /// Aggregated communication: per-array ghost requirements, merged
+    /// across all member regions ("corresponding communications are
+    /// aggregated").
+    pub deps: BTreeMap<String, ArrayDep>,
+    /// How many upper-bound regions were merged into this point.
+    pub merged: usize,
+    /// Provenance of the merged regions.
+    pub origins: Vec<RegionOrigin>,
+}
+
+/// Combine all `regions` (any mix of units/lists) into the minimum set of
+/// synchronization points. Regions can only merge when they live in the
+/// same statement list of the same unit; within a list the paper's greedy
+/// is applied.
+pub fn combine_regions(regions: &[Region]) -> Vec<SyncPoint> {
+    let mut by_list: BTreeMap<(String, ListKey), Vec<&Region>> = BTreeMap::new();
+    for r in regions {
+        by_list.entry((r.unit.clone(), r.list)).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for ((unit, list), mut regs) in by_list {
+        regs.sort_by_key(|r| (r.start, r.end));
+        let mut group: Vec<&Region> = Vec::new();
+        let mut hi = usize::MAX;
+        for r in regs {
+            if group.is_empty() {
+                hi = r.end;
+                group.push(r);
+            } else if r.start <= hi {
+                hi = hi.min(r.end);
+                group.push(r);
+            } else {
+                out.push(commit(&unit, list, hi, &group));
+                group = vec![r];
+                hi = r.end;
+            }
+        }
+        if !group.is_empty() {
+            out.push(commit(&unit, list, hi, &group));
+        }
+    }
+    out
+}
+
+/// Materialize one merged synchronization point at the *latest* legal gap
+/// (placing as late as possible aggregates the freshest data and sits
+/// right before the earliest reader of the group).
+fn commit(unit: &str, list: ListKey, gap: usize, group: &[&Region]) -> SyncPoint {
+    let mut deps: BTreeMap<String, ArrayDep> = BTreeMap::new();
+    let mut origins = Vec::new();
+    for r in group {
+        for (a, d) in &r.deps {
+            deps.entry(a.clone())
+                .and_modify(|e| e.merge(d))
+                .or_insert_with(|| d.clone());
+        }
+        origins.extend(r.origin.iter().cloned());
+    }
+    SyncPoint {
+        unit: unit.to_string(),
+        list,
+        gap,
+        deps,
+        merged: group.len(),
+        origins,
+    }
+}
+
+/// Brute-force minimum piercing count for a set of `[start, end]`
+/// intervals (exponential; test-support only).
+pub fn optimal_piercing_count(intervals: &[(usize, usize)]) -> usize {
+    // classic optimal greedy: sort by right endpoint, pierce at it
+    let mut iv: Vec<(usize, usize)> = intervals.to_vec();
+    iv.sort_by_key(|&(s, e)| (e, s));
+    let mut count = 0;
+    let mut last: Option<usize> = None;
+    for (s, e) in iv {
+        if last.is_none_or(|p| p < s) {
+            count += 1;
+            last = Some(e);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(start: usize, end: usize) -> Region {
+        Region {
+            unit: "main".into(),
+            list: ListKey::UnitBody,
+            start,
+            end,
+            deps: BTreeMap::new(),
+            open_at_end: false,
+            origin: vec![],
+        }
+    }
+
+    /// Figure 6: six upper-bound regions combine into 2 synchronizations
+    /// with the sorted greedy — and a naive pairwise strategy would give 3
+    /// (Fig 6c), which the optimal count rules out.
+    #[test]
+    fn combine_fig6_optimal_2() {
+        let regs = vec![
+            region(1, 4),
+            region(2, 5),
+            region(3, 6),
+            region(5, 9),
+            region(6, 10),
+            region(7, 11),
+        ];
+        let pts = combine_regions(&regs);
+        assert_eq!(pts.len(), 2, "Fig 6(b): minimum is 2 synchronizations");
+        assert_eq!(pts[0].merged, 3);
+        assert_eq!(pts[1].merged, 3);
+        // placement inside each intersection
+        assert_eq!(pts[0].gap, 4); // [3,4] → latest gap 4
+        assert_eq!(pts[1].gap, 9); // [7,9] → latest gap 9
+                                   // the naive strategy of Fig 6(c) — pairing (1,2)(3,4)(5,6) — gives 3
+        let naive = 3;
+        assert!(pts.len() < naive);
+        // and matches the brute-force optimum
+        let iv: Vec<(usize, usize)> = regs.iter().map(|r| (r.start, r.end)).collect();
+        assert_eq!(pts.len(), optimal_piercing_count(&iv));
+    }
+
+    #[test]
+    fn disjoint_regions_stay_separate() {
+        let regs = vec![region(1, 2), region(5, 6), region(10, 12)];
+        let pts = combine_regions(&regs);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|p| p.merged == 1));
+    }
+
+    #[test]
+    fn identical_regions_fully_merge() {
+        let regs = vec![region(3, 7); 5];
+        let pts = combine_regions(&regs);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].merged, 5);
+        assert_eq!(pts[0].gap, 7);
+    }
+
+    #[test]
+    fn nested_regions_merge_at_inner_end() {
+        let regs = vec![region(1, 10), region(4, 5)];
+        let pts = combine_regions(&regs);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].gap, 5);
+    }
+
+    #[test]
+    fn different_lists_never_merge() {
+        let mut r2 = region(1, 4);
+        r2.list = ListKey::DoBody(autocfd_fortran::StmtId(7));
+        let regs = vec![region(1, 4), r2];
+        let pts = combine_regions(&regs);
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn different_units_never_merge() {
+        let mut r2 = region(1, 4);
+        r2.unit = "sub".into();
+        let regs = vec![region(1, 4), r2];
+        assert_eq!(combine_regions(&regs).len(), 2);
+    }
+
+    #[test]
+    fn deps_aggregate_across_merged_regions() {
+        let mut a = region(1, 5);
+        a.deps.insert(
+            "u".into(),
+            ArrayDep {
+                ghost: vec![[1, 0], [0, 0]],
+                opaque: false,
+            },
+        );
+        let mut b = region(2, 6);
+        b.deps.insert(
+            "u".into(),
+            ArrayDep {
+                ghost: vec![[0, 2], [0, 0]],
+                opaque: false,
+            },
+        );
+        b.deps.insert(
+            "v".into(),
+            ArrayDep {
+                ghost: vec![[1, 1], [0, 0]],
+                opaque: false,
+            },
+        );
+        let pts = combine_regions(&[a, b]);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].deps["u"].ghost[0], [1, 2]);
+        assert_eq!(pts[0].deps["v"].ghost[0], [1, 1]);
+    }
+
+    #[test]
+    fn single_point_regions() {
+        // start == end: the region is a single gap
+        let regs = vec![region(4, 4), region(4, 4), region(5, 5)];
+        let pts = combine_regions(&regs);
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(combine_regions(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The paper's sorted running-intersection greedy produces the
+        /// *minimum* number of synchronizations (matches the optimal
+        /// right-endpoint piercing), and every region is stabbed by the
+        /// point of its group.
+        #[test]
+        fn greedy_is_minimal_and_sound(
+            raw in proptest::collection::vec((0usize..40, 0usize..12), 1..25)
+        ) {
+            let regs: Vec<Region> = raw
+                .iter()
+                .map(|&(s, len)| {
+                    let mut r = Region {
+                        unit: "main".into(),
+                        list: ListKey::UnitBody,
+                        start: s,
+                        end: s + len,
+                        deps: BTreeMap::new(),
+                        open_at_end: false,
+                        origin: vec![],
+                    };
+                    r.origin.push(RegionOrigin::CallSite {
+                        callee: "x".into(),
+                        stmt: autocfd_fortran::StmtId(0),
+                    });
+                    r
+                })
+                .collect();
+            let pts = combine_regions(&regs);
+            // soundness: every region contains the gap of exactly one point
+            for r in &regs {
+                let stabbed = pts
+                    .iter()
+                    .filter(|p| p.gap >= r.start && p.gap <= r.end)
+                    .count();
+                prop_assert!(stabbed >= 1, "region [{},{}] unstabbed", r.start, r.end);
+            }
+            // minimality
+            let iv: Vec<(usize, usize)> = regs.iter().map(|r| (r.start, r.end)).collect();
+            prop_assert_eq!(pts.len(), optimal_piercing_count(&iv));
+            // merged counts add up
+            prop_assert_eq!(pts.iter().map(|p| p.merged).sum::<usize>(), regs.len());
+        }
+    }
+}

@@ -1,0 +1,474 @@
+#![warn(missing_docs)]
+
+//! Synchronization and communication optimization — §5 of the paper.
+//!
+//! This crate is the optimization heart of Auto-CFD. From the dependency
+//! analysis ([`autocfd_depend`]) it derives, per program:
+//!
+//! 1. **raw synchronization points** — one per writer field loop and cut
+//!    axis, the correctness baseline the dependency analysis implies
+//!    ("before optimization" in Table 1);
+//! 2. **upper-bound synchronization regions** ([`region`], Figures 5
+//!    and 7) — the maximal legal placement interval for each point, via
+//!    starting-point hoisting out of loops and branch arms, and forward
+//!    scanning with the goto / if-else / call rules;
+//! 3. **interprocedural hoisting** ([`interproc`], Figure 8) — regions
+//!    reaching a subroutine's end move to every call site;
+//! 4. **combining** ([`combine`], Figure 6) — the sorted
+//!    running-intersection greedy that merges overlapping regions into
+//!    the provably minimum number of synchronization points, with the
+//!    member communications aggregated into one exchange.
+//!
+//! The paper's distinctive claim is that it "combines all the
+//! *non-redundant* synchronizations" rather than only eliminating
+//! redundant ones; both happen here (redundant = region with no reader on
+//! any path, eliminated during region generation).
+//!
+//! [`plan_program`] is the driver, producing a [`SyncPlan`] that the
+//! restructurer consumes and a [`SyncStats`] that reproduces Table 1.
+
+pub mod combine;
+pub mod interproc;
+pub mod region;
+pub mod skeleton;
+pub mod summaries;
+
+pub use combine::{combine_regions, SyncPoint};
+pub use region::{Region, RegionOrigin, UnitCtx};
+pub use skeleton::{GapPos, ListKey, Skeleton};
+pub use summaries::{call_multiplicity, unit_summaries, UnitSummary};
+
+use autocfd_depend::sldp::{analyze_unit, ArrayDep, LoopDepPair, Sldp};
+use autocfd_depend::stencil::loop_stencil;
+use autocfd_ir::{LoopId, ProgramIr};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Synchronization-count statistics (the Table 1 quantities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncStats {
+    /// Synchronizations implied by dependency analysis alone: one per
+    /// writer loop per crossed cut axis, weighted by static call
+    /// multiplicity (Fig 8 counts subroutine syncs once per call site).
+    pub before: u64,
+    /// Synchronizations after region combining: one per merged point per
+    /// crossed cut axis, same weighting.
+    pub after: u64,
+}
+
+impl SyncStats {
+    /// Percentage reduction, as reported in Table 1.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.after as f64 / self.before as f64)
+        }
+    }
+}
+
+/// The per-program synchronization plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncPlan {
+    /// Axes of the grid actually cut by the partition.
+    pub cut_axes: Vec<usize>,
+    /// Final synchronization points (all units).
+    pub sync_points: Vec<SyncPoint>,
+    /// Per-unit `S_LDP` (kept for reporting and for the restructurer's
+    /// self-dependent loop handling).
+    pub sldp: BTreeMap<String, Sldp>,
+    /// Self-dependent pairs per unit (these keep their loop-attached
+    /// pipelined exchanges and are not subject to region combining).
+    pub self_pairs: BTreeMap<String, Vec<LoopDepPair>>,
+    /// Table-1 statistics.
+    pub stats: SyncStats,
+    /// Raw (unoptimized) synchronization descriptors, for the ablation
+    /// path and "before" reporting: `(unit, writer loop, deps)`.
+    pub raw_syncs: Vec<(String, LoopId, BTreeMap<String, ArrayDep>)>,
+}
+
+/// How many cut axes a dependency payload crosses.
+pub fn axes_crossed(deps: &BTreeMap<String, ArrayDep>, cut_axes: &[usize]) -> u64 {
+    cut_axes
+        .iter()
+        .filter(|&&a| {
+            deps.values()
+                .any(|d| d.ghost.get(a).is_some_and(|g| g[0] + g[1] > 0))
+        })
+        .count() as u64
+}
+
+/// Build the complete synchronization plan for a program partitioned
+/// along `cut_axes`, with `!$acf distance` fallback `default_distance`.
+///
+/// When `optimize` is false the combining/hoisting machinery is skipped
+/// and every raw point becomes its own synchronization — the Table 1
+/// "before optimization" configuration, also used by the ablation bench.
+pub fn plan_program(
+    ir: &ProgramIr,
+    cut_axes: &[usize],
+    default_distance: u64,
+    optimize: bool,
+) -> SyncPlan {
+    let sums = unit_summaries(ir);
+    let mult = call_multiplicity(ir);
+    let main_name = ir
+        .file
+        .main_unit()
+        .map(|u| u.name.clone())
+        .unwrap_or_default();
+
+    // ---- per-unit S_LDP and self pairs --------------------------------
+    let mut sldp_map = BTreeMap::new();
+    let mut self_pairs: BTreeMap<String, Vec<LoopDepPair>> = BTreeMap::new();
+    for u in &ir.units {
+        let sldp = analyze_unit(ir, u, cut_axes, default_distance);
+        self_pairs.insert(u.name.clone(), sldp.self_pairs().cloned().collect());
+        sldp_map.insert(u.name.clone(), sldp);
+    }
+
+    // ---- global reader requirements per array -------------------------
+    // For each status array: every (unit, loop) that reads it across a cut,
+    // with the ghost widths its stencil needs.
+    let rank = ir.grid_rank();
+    let mut readers: BTreeMap<String, Vec<(String, LoopId, ArrayDep)>> = BTreeMap::new();
+    for u in &ir.units {
+        for l in u.field_roots() {
+            for array in &l.referenced {
+                let st = loop_stencil(ir, u, l.id, array);
+                let opaque = st.has_opaque;
+                let mut ghost = vec![[0u64; 2]; rank];
+                let mut any = false;
+                for &a in cut_axes {
+                    ghost[a] = if opaque {
+                        [default_distance, default_distance]
+                    } else {
+                        st.ghost(a)
+                    };
+                    any |= ghost[a] != [0, 0];
+                }
+                if any {
+                    readers.entry(array.clone()).or_default().push((
+                        u.name.clone(),
+                        l.id,
+                        ArrayDep { ghost, opaque },
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- raw synchronization points: one per writer loop ---------------
+    // A writer loop needs a sync for array X iff some *other* loop reads X
+    // across a cut (a loop's own reads are served by its self-dependent
+    // exchange, planned separately).
+    let mut raw_syncs: Vec<(String, LoopId, BTreeMap<String, ArrayDep>)> = Vec::new();
+    for u in &ir.units {
+        for l in u.field_roots() {
+            let mut deps: BTreeMap<String, ArrayDep> = BTreeMap::new();
+            for array in &l.assigned {
+                let mut need: Option<ArrayDep> = None;
+                for (run, rloop, dep) in readers.get(array).into_iter().flatten() {
+                    if *run == u.name && *rloop == l.id {
+                        continue; // own reads: self-dependence
+                    }
+                    match &mut need {
+                        Some(n) => n.merge(dep),
+                        None => need = Some(dep.clone()),
+                    }
+                }
+                if let Some(n) = need {
+                    deps.insert(array.clone(), n);
+                }
+            }
+            if !deps.is_empty() {
+                raw_syncs.push((u.name.clone(), l.id, deps));
+            }
+        }
+    }
+
+    // ---- "before" statistic --------------------------------------------
+    let self_cost: u64 = self_pairs
+        .iter()
+        .map(|(unit, ps)| {
+            let m = mult.get(unit).copied().unwrap_or(0);
+            m * ps
+                .iter()
+                .map(|p| axes_crossed(&p.deps, cut_axes))
+                .sum::<u64>()
+        })
+        .sum();
+    let before: u64 = raw_syncs
+        .iter()
+        .map(|(unit, _, deps)| mult.get(unit).copied().unwrap_or(0) * axes_crossed(deps, cut_axes))
+        .sum::<u64>()
+        + self_cost;
+
+    // ---- regions, hoisting, combining ----------------------------------
+    let sync_points = if optimize {
+        let mut ctxs: BTreeMap<String, UnitCtx<'_>> = BTreeMap::new();
+        for (uast, uir) in ir.file.units.iter().zip(&ir.units) {
+            ctxs.insert(uir.name.clone(), UnitCtx::new(uast, uir, &sums));
+        }
+        let mut per_unit: BTreeMap<String, Vec<Region>> = BTreeMap::new();
+        for (unit, l_a, deps) in &raw_syncs {
+            let ctx = &ctxs[unit];
+            let dep_arrays: BTreeSet<&str> = deps.keys().map(String::as_str).collect();
+            let stmt = ctxs[unit].ir.loop_info(*l_a).stmt;
+            if let Some(r) = region::derive_region(
+                ctx,
+                stmt,
+                &dep_arrays,
+                deps.clone(),
+                vec![RegionOrigin::Writer { l_a: *l_a }],
+                unit == &main_name,
+            ) {
+                per_unit.entry(unit.clone()).or_default().push(r);
+            }
+        }
+        let regions = interproc::resolve_exports(ir, &ctxs, per_unit);
+        combine_regions(&regions)
+    } else {
+        // one sync right after each writer loop, untouched
+        let mut pts = Vec::new();
+        for (unit, l_a, deps) in &raw_syncs {
+            let uir = ir.unit(unit).unwrap();
+            let uast = ir.file.unit(unit).unwrap();
+            let sk = Skeleton::build(uast);
+            let gp = sk.gap_after(uir.loop_info(*l_a).stmt);
+            pts.push(SyncPoint {
+                unit: unit.clone(),
+                list: gp.list,
+                gap: gp.gap,
+                deps: deps.clone(),
+                merged: 1,
+                origins: vec![RegionOrigin::Writer { l_a: *l_a }],
+            });
+        }
+        pts
+    };
+
+    // ---- "after" statistic ----------------------------------------------
+    let after: u64 = sync_points
+        .iter()
+        .map(|p| mult.get(&p.unit).copied().unwrap_or(0) * axes_crossed(&p.deps, cut_axes))
+        .sum::<u64>()
+        + self_cost;
+
+    SyncPlan {
+        cut_axes: cut_axes.to_vec(),
+        sync_points,
+        sldp: sldp_map,
+        self_pairs,
+        stats: SyncStats { before, after },
+        raw_syncs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocfd_fortran::parse;
+    use autocfd_ir::build_ir;
+
+    fn ir_of(src: &str) -> ProgramIr {
+        build_ir(parse(src).unwrap()).unwrap()
+    }
+
+    /// A Jacobi frame loop: two sweeps, one wrap-around dependence. One
+    /// sync point must survive, placed inside the frame loop.
+    #[test]
+    fn jacobi_single_sync_per_frame() {
+        let ir = ir_of(
+            "
+!$acf grid(60,60)
+!$acf status v, vn
+      program jacobi
+      real v(60,60), vn(60,60)
+      integer i, j, it
+      do it = 1, 50
+        do i = 2, 59
+          do j = 2, 59
+            vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+          end do
+        end do
+        do i = 2, 59
+          do j = 2, 59
+            v(i,j) = vn(i,j)
+          end do
+        end do
+      end do
+      end
+",
+        );
+        let plan = plan_program(&ir, &[0], 1, true);
+        assert_eq!(plan.sync_points.len(), 1);
+        assert!(matches!(plan.sync_points[0].list, ListKey::DoBody(_)));
+        assert_eq!(plan.stats.before, 1);
+        assert_eq!(plan.stats.after, 1);
+        assert!(plan.self_pairs.values().all(Vec::is_empty));
+    }
+
+    /// Several writer sweeps feeding one reader sweep combine to one sync.
+    #[test]
+    fn multiple_writers_combine() {
+        let ir = ir_of(
+            "
+!$acf grid(60,60)
+!$acf status u, v, w, r
+      program p
+      real u(60,60), v(60,60), w(60,60), r(60,60)
+      integer i, j, it
+      do it = 1, 10
+        do i = 1, 60
+          do j = 1, 60
+            u(i,j) = 1.0
+          end do
+        end do
+        do i = 1, 60
+          do j = 1, 60
+            v(i,j) = 2.0
+          end do
+        end do
+        do i = 1, 60
+          do j = 1, 60
+            w(i,j) = 3.0
+          end do
+        end do
+        do i = 2, 59
+          do j = 2, 59
+            r(i,j) = u(i-1,j) + v(i+1,j) + w(i,j-1) + w(i,j+1)
+          end do
+        end do
+      end do
+      end
+",
+        );
+        // cutting both axes: u,v cross axis 0; w crosses axis 1
+        let plan = plan_program(&ir, &[0, 1], 1, true);
+        assert_eq!(
+            plan.sync_points.len(),
+            1,
+            "three writer syncs combine into one"
+        );
+        // before: u→1 axis, v→1 axis, w→1 axis = 3; after: merged point
+        // crosses both axes = 2
+        assert_eq!(plan.stats.before, 3);
+        assert_eq!(plan.stats.after, 2);
+        assert!(plan.stats.reduction_pct() > 30.0);
+        // unoptimized plan keeps them separate
+        let raw = plan_program(&ir, &[0, 1], 1, false);
+        assert_eq!(raw.sync_points.len(), 3);
+        assert_eq!(raw.stats.before, raw.stats.after);
+    }
+
+    /// Cross-unit flow: writers in subroutines, reader in main (Fig 8
+    /// end-to-end). Three raw syncs collapse into one in main.
+    #[test]
+    fn fig8_cross_unit_end_to_end() {
+        let ir = ir_of(
+            "
+!$acf grid(30,30)
+!$acf status u, v, w
+      program main
+      real u(30,30), v(30,30), w(30,30)
+      integer i, j
+      call a(u)
+      call b(v)
+      call a2(w)
+      do i = 2, 29
+        do j = 1, 30
+          u(i,j) = u(i-1,j) + v(i-1,j) + w(i+1,j)
+        end do
+      end do
+      end
+      subroutine a(u)
+      real u(30,30)
+      integer i, j
+      do i = 1, 30
+        do j = 1, 30
+          u(i,j) = 1.0
+        end do
+      end do
+      return
+      end
+      subroutine b(v)
+      real v(30,30)
+      integer i, j
+      do i = 1, 30
+        do j = 1, 30
+          v(i,j) = 2.0
+        end do
+      end do
+      return
+      end
+      subroutine a2(w)
+      real w(30,30)
+      integer i, j
+      do i = 1, 30
+        do j = 1, 30
+          w(i,j) = 3.0
+        end do
+      end do
+      return
+      end
+",
+        );
+        let plan = plan_program(&ir, &[0], 1, true);
+        // the reader loop is self-dependent on u (reads u(i-1)), which is a
+        // self pair; the three callee writes hoist to main and combine.
+        assert_eq!(plan.stats.before, 4, "3 writer syncs + 1 self exchange");
+        let main_points: Vec<_> = plan
+            .sync_points
+            .iter()
+            .filter(|p| p.unit == "main")
+            .collect();
+        assert_eq!(
+            plan.sync_points.len(),
+            main_points.len(),
+            "all syncs hoisted to main"
+        );
+        assert_eq!(main_points.len(), 1, "Fig 8: one combined synchronization");
+        assert_eq!(main_points[0].merged, 3);
+        assert_eq!(plan.stats.after, 2, "1 combined + 1 self exchange");
+        assert_eq!(plan.stats.reduction_pct(), 50.0);
+    }
+
+    /// Reduction percentage arithmetic.
+    #[test]
+    fn stats_reduction() {
+        let s = SyncStats {
+            before: 73,
+            after: 8,
+        };
+        assert!((s.reduction_pct() - 89.04).abs() < 0.1);
+        let z = SyncStats {
+            before: 0,
+            after: 0,
+        };
+        assert_eq!(z.reduction_pct(), 0.0);
+    }
+
+    /// No cut axes → no synchronization at all.
+    #[test]
+    fn no_cut_no_sync() {
+        let ir = ir_of(
+            "
+!$acf grid(30,30)
+!$acf status v
+      program p
+      real v(30,30)
+      integer i, j
+      do i = 2, 29
+        do j = 1, 30
+          v(i,j) = v(i-1,j)
+        end do
+      end do
+      end
+",
+        );
+        let plan = plan_program(&ir, &[], 1, true);
+        assert!(plan.sync_points.is_empty());
+        assert_eq!(plan.stats.before, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Interprocedural unit summaries (§5.3).
+//!
+//! "When a subroutine call is met in the process of locating the
+//! synchronization region, the pre-compiler checks if there is an R-type
+//! loop in the subroutine." We pre-compute, for every unit, the status
+//! arrays it reads and writes — *transitively* through the call graph —
+//! plus the static call multiplicity used by the Table-1 accounting
+//! (Figure 8 counts a subroutine's synchronizations once per call site).
+
+use autocfd_ir::ProgramIr;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Read/write summary of one unit, transitive through calls.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UnitSummary {
+    /// Status arrays referenced anywhere in the unit or its callees.
+    pub reads: BTreeSet<String>,
+    /// Status arrays assigned anywhere in the unit or its callees.
+    pub writes: BTreeSet<String>,
+    /// Units this unit calls directly.
+    pub callees: BTreeSet<String>,
+}
+
+/// Compute transitive summaries for every unit.
+///
+/// The call graph is assumed acyclic (Fortran 77 forbids recursion); a
+/// cycle would simply converge to the fixpoint anyway because the
+/// iteration is monotone.
+pub fn unit_summaries(ir: &ProgramIr) -> BTreeMap<String, UnitSummary> {
+    let mut sums: BTreeMap<String, UnitSummary> = BTreeMap::new();
+    for u in &ir.units {
+        let mut s = UnitSummary::default();
+        for a in &u.accesses {
+            if a.is_assign {
+                s.writes.insert(a.array.clone());
+            } else {
+                s.reads.insert(a.array.clone());
+            }
+        }
+        for c in &u.calls {
+            s.callees.insert(c.callee.clone());
+        }
+        sums.insert(u.name.clone(), s);
+    }
+    // Monotone fixpoint over the call graph.
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = sums.keys().cloned().collect();
+        for name in &names {
+            let callees: Vec<String> = sums[name].callees.iter().cloned().collect();
+            for callee in callees {
+                if let Some(cs) = sums.get(&callee).cloned() {
+                    let s = sums.get_mut(name).unwrap();
+                    for r in cs.reads {
+                        changed |= s.reads.insert(r);
+                    }
+                    for w in cs.writes {
+                        changed |= s.writes.insert(w);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+/// Static call multiplicity of each unit: how many times its body is
+/// textually reached from the main program (Fig 8 counts subroutine `a`'s
+/// synchronization twice because main calls it twice). Units never called
+/// from main get multiplicity 0; main itself gets 1.
+pub fn call_multiplicity(ir: &ProgramIr) -> BTreeMap<String, u64> {
+    let mut mult: BTreeMap<String, u64> = ir.units.iter().map(|u| (u.name.clone(), 0)).collect();
+    let main = match ir.file.main_unit() {
+        Some(m) => m.name.clone(),
+        None => return mult,
+    };
+    mult.insert(main.clone(), 1);
+    // Recompute from the main program each pass; the call graph is acyclic
+    // so #units passes reach the fixpoint (multiplicities sum over
+    // callers: a unit called twice by main and once by a twice-called
+    // subroutine has multiplicity 4).
+    for _ in 0..ir.units.len() {
+        let mut next: BTreeMap<String, u64> =
+            ir.units.iter().map(|u| (u.name.clone(), 0)).collect();
+        next.insert(main.clone(), 1);
+        for u in &ir.units {
+            let m = mult.get(&u.name).copied().unwrap_or(0);
+            if m == 0 {
+                continue;
+            }
+            for c in &u.calls {
+                if let Some(v) = next.get_mut(&c.callee) {
+                    *v += m;
+                }
+            }
+        }
+        if next == mult {
+            break;
+        }
+        mult = next;
+    }
+    mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocfd_fortran::parse;
+    use autocfd_ir::build_ir;
+
+    fn ir_of(src: &str) -> ProgramIr {
+        build_ir(parse(src).unwrap()).unwrap()
+    }
+
+    const MULTI: &str = "
+!$acf grid(20,20)
+!$acf status v, w
+      program main
+      real v(20,20), w(20,20)
+      call a(v, w)
+      call b(w)
+      call a(v, w)
+      end
+      subroutine a(v, w)
+      real v(20,20), w(20,20)
+      integer i, j
+      do i = 1, 20
+        do j = 1, 20
+          v(i,j) = 1.0
+        end do
+      end do
+      return
+      end
+      subroutine b(w)
+      real w(20,20)
+      call c(w)
+      return
+      end
+      subroutine c(w)
+      real w(20,20)
+      integer i, j
+      do i = 2, 19
+        do j = 1, 20
+          w(i,j) = w(i-1,j)
+        end do
+      end do
+      return
+      end
+";
+
+    #[test]
+    fn direct_summaries() {
+        let ir = ir_of(MULTI);
+        let s = unit_summaries(&ir);
+        assert!(s["a"].writes.contains("v"));
+        assert!(!s["a"].reads.contains("v"));
+        assert!(s["c"].reads.contains("w"));
+        assert!(s["c"].writes.contains("w"));
+    }
+
+    #[test]
+    fn transitive_through_calls() {
+        let ir = ir_of(MULTI);
+        let s = unit_summaries(&ir);
+        // b calls c, so b transitively reads and writes w
+        assert!(s["b"].reads.contains("w"));
+        assert!(s["b"].writes.contains("w"));
+        // main transitively sees everything
+        assert!(s["main"].writes.contains("v"));
+        assert!(s["main"].reads.contains("w"));
+    }
+
+    #[test]
+    fn multiplicity_counts_call_sites() {
+        let ir = ir_of(MULTI);
+        let m = call_multiplicity(&ir);
+        assert_eq!(m["main"], 1);
+        assert_eq!(m["a"], 2); // called twice from main
+        assert_eq!(m["b"], 1);
+        assert_eq!(m["c"], 1); // once via b
+    }
+
+    #[test]
+    fn uncalled_unit_multiplicity_zero() {
+        let ir = ir_of(
+            "
+!$acf grid(10,10)
+!$acf status v
+      program main
+      real v(10,10)
+      v(1,1) = 0.0
+      end
+      subroutine dead(v)
+      real v(10,10)
+      v(1,1) = 1.0
+      return
+      end
+",
+        );
+        let m = call_multiplicity(&ir);
+        assert_eq!(m["dead"], 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Mirror-image decomposition walkthrough (paper §4.2, Figures 3–4).
+//!
+//! Run: `cargo run -p autocfd --example mirror_image`
+//!
+//! Shows why a Gauss–Seidel loop defeats traditional parallelization
+//! (its dependence graph is cyclic in both directions), how the
+//! mirror-image decomposition splits it into two pipelinable DAGs, and
+//! that the resulting parallel schedule is *exactly* sequential-
+//! equivalent.
+
+use autocfd::depend::graph::DepGraph;
+use autocfd::{compile, CompileOptions};
+
+const GAUSS_SEIDEL: &str = "
+!$acf grid(32, 32)
+!$acf status v
+      program gs
+      real v(32,32)
+      integer i, j, it
+      do i = 1, 32
+        v(i,1) = 1.0
+        v(1,i) = 1.0
+      end do
+      do it = 1, 30
+        do i = 2, 31
+          do j = 2, 31
+            v(i,j) = 0.25*(v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+          end do
+        end do
+      end do
+      write(*,*) 'center', v(16,16)
+      end
+";
+
+fn main() {
+    println!("Mirror-image decomposition (paper Figures 3 and 4)\n");
+
+    // --- Figure 4 on a small dependence graph -------------------------
+    let g = DepGraph::from_offsets(4, 4, &[(-1, 0), (1, 0), (0, -1), (0, 1)]);
+    println!("Fig 3(b) loop on a 4x4 grid:");
+    println!(
+        "  full dependence graph: {} edges, cyclic = {}",
+        g.edge_count(),
+        g.has_cycle()
+    );
+    let (fwd, bwd) = g.mirror_split();
+    println!(
+        "  forward subgraph     : {} edges, cyclic = {}, wavefront depth = {:?}",
+        fwd.edge_count(),
+        fwd.has_cycle(),
+        fwd.critical_path()
+    );
+    println!(
+        "  mirror  subgraph     : {} edges, cyclic = {}, wavefront depth = {:?}",
+        bwd.edge_count(),
+        bwd.has_cycle(),
+        bwd.critical_path()
+    );
+    assert!(g.has_cycle() && !fwd.has_cycle() && !bwd.has_cycle());
+
+    // --- the real loop through the pre-compiler ------------------------
+    for parts in [[2u32, 1], [4, 1], [2, 2]] {
+        let c = compile(GAUSS_SEIDEL, &CompileOptions::with_partition(&parts)).unwrap();
+        let plan = &c.spmd_plan;
+        println!(
+            "\npartition {}: {} self-dependent loop(s) decomposed",
+            c.partition.spec.display(),
+            plan.self_loops.len()
+        );
+        for spec in plan.self_loops.values() {
+            for a in &spec.arrays {
+                println!(
+                    "  array `{}`: forward (pipeline) steps {:?}, mirror (old-value) steps {:?}",
+                    a.array, a.forward, a.mirror
+                );
+            }
+        }
+        let diff = c.verify(vec![], 0.0).unwrap();
+        println!("  parallel vs sequential max diff: {diff:e} (bit-exact \u{2713})");
+        assert_eq!(diff, 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Case study 2: the sprayer flow simulation (paper §6, Tables 3–5).
+//!
+//! Run: `cargo run --release -p autocfd --example sprayer`
+//!
+//! Compiles the generated sprayer program (Jacobi-style stages with
+//! cleanly separated A-type and R-type loops), runs a grid-density sweep
+//! on real rank-threads, and shows the efficiency trend Table 4 reports
+//! — computation grows cubically-ish while halo communication grows
+//! linearly with the edge length.
+
+use autocfd::{compile, CompileOptions};
+use autocfd_cfd_kernels::{sprayer_program, CaseParams};
+use std::time::Instant;
+
+fn main() {
+    println!("sprayer case study: grid-density scaling on a 2x1 partition\n");
+    println!(
+        "{:>9}  {:>10}  {:>10}  {:>9}",
+        "grid", "seq wall", "par wall", "exact?"
+    );
+    for (ni, nj) in [(24u64, 10u64), (36, 14), (48, 18), (64, 24)] {
+        let params = CaseParams {
+            ni,
+            nj,
+            nk: 0,
+            frames: 3,
+            width: 3,
+        };
+        let src = sprayer_program(&params);
+
+        let c = compile(&src, &CompileOptions::with_partition(&[2, 1])).unwrap();
+        let t0 = Instant::now();
+        let _seq = c.run_sequential(vec![]).unwrap();
+        let t_seq = t0.elapsed();
+        let t0 = Instant::now();
+        let _par = c.run_parallel(vec![]).unwrap();
+        let t_par = t0.elapsed();
+        let diff = c.verify(vec![], 0.0).unwrap();
+        println!(
+            "{:>9}  {:>10.2?}  {:>10.2?}  {:>9}",
+            format!("{ni}x{nj}"),
+            t_seq,
+            t_par,
+            if diff == 0.0 { "yes" } else { "NO" }
+        );
+        assert_eq!(diff, 0.0);
+    }
+
+    // the communication structure behind Table 3
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    println!("\ncommunication structure at the paper's partitions:");
+    for parts in [[2u32, 1], [3, 1], [2, 2]] {
+        let c = compile(&src, &CompileOptions::with_partition(&parts)).unwrap();
+        let p = &c.partition;
+        let max_comm = p.max_comm_points(1);
+        let label = parts
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        println!(
+            "  {label}: max per-rank demarcation points {max_comm}, sync points {}",
+            c.sync_plan.sync_points.len()
+        );
+    }
+
+    println!(
+        "\nFor the paper-scale Tables 3-5 under the calibrated cluster cost model run:\n  \
+         cargo run --release -p autocfd-bench --bin table3   (and table4, table5)"
+    );
+}

@@ -1,0 +1,82 @@
+//! End-to-end tests on the generated case-study programs: the full
+//! pre-compiler pipeline must compile them, optimize their
+//! synchronizations by a Table-1-like margin, and produce parallel
+//! executions bit-identical to sequential ones.
+
+use autocfd::{compile, CompileOptions};
+use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
+
+#[test]
+fn aerofoil_small_verifies_on_all_table1_partitions() {
+    let src = aerofoil_program(&CaseParams::aerofoil_small());
+    for parts in [[2u32, 1, 1], [1, 2, 1], [1, 1, 2], [2, 2, 1], [3, 1, 1]] {
+        let c = compile(&src, &CompileOptions::with_partition(&parts))
+            .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+        let diff = c
+            .verify(vec![], 0.0)
+            .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+        assert_eq!(diff, 0.0, "partition {parts:?}");
+    }
+}
+
+#[test]
+fn sprayer_small_verifies_on_all_table1_partitions() {
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    for parts in [[4u32, 1], [1, 4], [2, 2], [3, 1]] {
+        let c = compile(&src, &CompileOptions::with_partition(&parts))
+            .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+        let diff = c
+            .verify(vec![], 0.0)
+            .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+        assert_eq!(diff, 0.0, "partition {parts:?}");
+    }
+}
+
+#[test]
+fn aerofoil_sync_reduction_is_table1_like() {
+    // paper Table 1: ~90% reduction for case study 1
+    let src = aerofoil_program(&CaseParams {
+        width: 8,
+        ..CaseParams::aerofoil_small()
+    });
+    let c = compile(&src, &CompileOptions::with_partition(&[2, 1, 1])).unwrap();
+    let s = c.sync_plan.stats;
+    assert!(s.before >= 30, "before = {}", s.before);
+    assert!(
+        s.reduction_pct() > 70.0,
+        "reduction {:.1}% (before {} after {})",
+        s.reduction_pct(),
+        s.before,
+        s.after
+    );
+}
+
+#[test]
+fn sprayer_sync_reduction_is_table1_like() {
+    let src = sprayer_program(&CaseParams {
+        width: 8,
+        ..CaseParams::sprayer_small()
+    });
+    let c = compile(&src, &CompileOptions::with_partition(&[4, 1])).unwrap();
+    let s = c.sync_plan.stats;
+    assert!(s.before >= 15, "before = {}", s.before);
+    assert!(
+        s.reduction_pct() > 70.0,
+        "reduction {:.1}% (before {} after {})",
+        s.reduction_pct(),
+        s.before,
+        s.after
+    );
+}
+
+#[test]
+fn sequential_outputs_match_parallel_rank0() {
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    let c = compile(&src, &CompileOptions::with_partition(&[2, 2])).unwrap();
+    let seq = c.run_sequential(vec![]).unwrap();
+    let par = c.run_parallel(vec![]).unwrap();
+    assert_eq!(
+        seq.0.output, par[0].machine.output,
+        "same convergence trace and probes"
+    );
+}

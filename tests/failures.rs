@@ -1,0 +1,221 @@
+//! Failure injection: the system must *diagnose* bad inputs and runtime
+//! misbehavior, never hang or silently corrupt.
+
+use autocfd::interp::spmd::{run_parallel, verify_owned_regions};
+use autocfd::{compile, CompileError, CompileOptions};
+
+const JACOBI: &str = "
+!$acf grid(16, 16)
+!$acf status v, vn
+      program p
+      real v(16,16), vn(16,16)
+      integer i, j, it
+      do it = 1, 3
+        do i = 2, 15
+          do j = 2, 15
+            vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+          end do
+        end do
+        do i = 2, 15
+          do j = 2, 15
+            v(i,j) = vn(i,j)
+          end do
+        end do
+      end do
+      end
+";
+
+#[test]
+fn corrupted_plan_sync_id_reports_error() {
+    let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    // corrupt the plan: remove all sync specs so acf_sync_0 dangles
+    let mut bad_plan = c.spmd_plan.clone();
+    bad_plan.syncs.clear();
+    let err = run_parallel(&c.parallel_file, &bad_plan, vec![], 0).unwrap_err();
+    assert!(err.message.contains("unknown sync id"), "{err}");
+}
+
+#[test]
+fn verification_detects_divergence() {
+    let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let seq = c.run_sequential(vec![]).unwrap();
+    let mut par = c.run_parallel(vec![]).unwrap();
+    // corrupt one owned interior point on rank 1
+    let id = par[1].frame.arrays["v"];
+    let sg = c.spmd_plan.partition.subgrid(1);
+    let idx = vec![sg.lo[0] as i64 + 1, 2];
+    par[1].machine.array_mut(id).set(&idx, 424242.0).unwrap();
+    let err = verify_owned_regions(&seq, &par, &c.spmd_plan, 1e-9).unwrap_err();
+    assert!(err.contains("rank 1"), "{err}");
+    assert!(err.contains("424242"), "{err}");
+}
+
+#[test]
+fn statement_budget_aborts_runaway_parallel_programs() {
+    let src = "
+!$acf grid(8, 8)
+!$acf status v
+      program p
+      real v(8,8)
+100   continue
+      v(1,1) = v(1,1) + 1.0
+      goto 100
+      end
+";
+    let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let err = run_parallel(&c.parallel_file, &c.spmd_plan, vec![], 5_000).unwrap_err();
+    assert!(err.message.contains("budget"), "{err}");
+}
+
+#[test]
+fn opaque_self_dependence_rejected_at_compile_time() {
+    let src = "
+!$acf grid(12, 12)
+!$acf status v
+      program p
+      real v(12,12)
+      integer i, j, m
+      do i = 1, 12
+        do j = 1, 12
+          v(i,j) = v(m,j) + 1.0
+        end do
+      end do
+      do i = 2, 11
+        do j = 1, 12
+          v(i,j) = v(i-1,j)
+        end do
+      end do
+      end
+";
+    let e = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap_err();
+    assert!(
+        matches!(e, CompileError::Transform(_)),
+        "opaque self-dependence must fail loudly, got {e:?}"
+    );
+}
+
+#[test]
+fn out_of_bounds_stencil_caught_with_line_number() {
+    // the loop reads v(i-1) starting at i = 1: index 0 is out of bounds
+    let src = "
+!$acf grid(10, 10)
+!$acf status v, w
+      program p
+      real v(10,10), w(10,10)
+      integer i, j
+      do i = 1, 10
+        do j = 1, 10
+          w(i,j) = v(i-1,j)
+        end do
+      end do
+      end
+";
+    let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let err = c.run_sequential(vec![]).unwrap_err();
+    assert!(err.message.contains("out of bounds"), "{err}");
+    assert!(err.line > 0, "error carries a source line");
+}
+
+#[test]
+fn missing_status_array_at_comm_point_diagnosed() {
+    // a subroutine that contains a localized writer loop but does not
+    // declare the status array it would need at a sync point cannot
+    // happen through `compile` (the frontend checks), so exercise the
+    // hook diagnostics directly with a hand-corrupted plan instead:
+    let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let mut bad_plan = c.spmd_plan.clone();
+    // rename the array inside the sync spec to something unbound
+    for spec in bad_plan.syncs.values_mut() {
+        for sa in &mut spec.arrays {
+            sa.array = "ghost_array".into();
+        }
+    }
+    let err = run_parallel(&c.parallel_file, &bad_plan, vec![], 0).unwrap_err();
+    assert!(
+        err.message.contains("not bound") || err.message.contains("no mapping"),
+        "{err}"
+    );
+}
+
+#[test]
+fn tolerance_zero_vs_loose_verification() {
+    let c = compile(JACOBI, &CompileOptions::with_partition(&[4, 1])).unwrap();
+    // exact equivalence holds, so both tolerances succeed and report 0
+    assert_eq!(c.verify(vec![], 0.0).unwrap(), 0.0);
+    assert_eq!(c.verify(vec![], 1e-3).unwrap(), 0.0);
+}
+
+#[test]
+fn remote_constant_read_rejected() {
+    // `x = v(1,1)` runs on every rank but only the owner of (1,1) has the
+    // true value — the scalar would silently diverge across ranks
+    let src = "
+!$acf grid(16, 10)
+!$acf status v
+      program p
+      real v(16,10)
+      integer i, j
+      do i = 2, 15
+        do j = 1, 10
+          v(i,j) = v(i-1,j)
+        end do
+      end do
+      x = v(1, 5)
+      end
+";
+    let e = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap_err();
+    assert!(e.to_string().contains("owning rank"), "{e}");
+    // the same read on an UNCUT axis is fine
+    let ok = compile(src, &CompileOptions::with_partition(&[1, 2]));
+    // v(1,5): axis 0 constant uncut, axis 1 constant... 5 is a constant
+    // on the cut axis too — still rejected
+    assert!(ok.is_err());
+    // but with no cut at all (1 processor) nothing is remote
+    let one = compile(src, &CompileOptions::with_partition(&[1, 1])).unwrap();
+    assert_eq!(one.verify(vec![], 0.0).unwrap(), 0.0);
+}
+
+#[test]
+fn boundary_code_constant_reads_allowed() {
+    // v(1,j) = v(1,j) * 0.5 — boundary-to-boundary, owner-correct
+    let src = "
+!$acf grid(16, 10)
+!$acf status v, w
+      program p
+      real v(16,10), w(16,10)
+      integer i, j
+      do j = 1, 10
+        v(1,j) = v(1,j) * 0.5 + 1.0
+      end do
+      do i = 2, 15
+        do j = 1, 10
+          w(i,j) = v(i-1,j)
+        end do
+      end do
+      end
+";
+    let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    assert_eq!(c.verify(vec![], 0.0).unwrap(), 0.0);
+}
+
+#[test]
+fn probe_reads_in_write_statements_allowed() {
+    let src = "
+!$acf grid(16, 10)
+!$acf status v
+      program p
+      real v(16,10)
+      integer i, j
+      do i = 1, 16
+        do j = 1, 10
+          v(i,j) = 0.1*(i + j)
+        end do
+      end do
+      write(*,*) v(16, 10)
+      end
+";
+    let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let seq = c.run_sequential(vec![]).unwrap();
+    let par = c.run_parallel(vec![]).unwrap();
+    assert_eq!(seq.0.output, par[0].machine.output);
+}
