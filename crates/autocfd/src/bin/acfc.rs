@@ -1,7 +1,7 @@
 //! `acfc` — the Auto-CFD pre-compiler command line.
 //!
 //! ```text
-//! acfc INPUT.f [options]
+//! acfc [run] INPUT.f [options]
 //!
 //!   --procs N            target processor count (partition chosen automatically)
 //!   --partition AxB[xC]  explicit processor grid (e.g. 3x2x1)
@@ -10,13 +10,32 @@
 //!   --report             print the synchronization-optimization report
 //!   --run                execute the parallel program on rank-threads
 //!   --verify             run sequential + parallel and compare owned regions
+//!   --transport T        inproc (rank-threads, default) or tcp (one OS
+//!                        process per rank over localhost sockets)
+//!   --ranks N            shorthand for --procs N; with --transport tcp
+//!                        this is the worker-process count
+//!   --timeout-ms N       per-receive timeout (deadlock detection)
 //! ```
 //!
-//! Example:
+//! Examples:
 //! `cargo run -p autocfd --bin acfc -- program.f --partition 4x1 --report --verify`
+//! `cargo run -p autocfd --bin acfc -- run program.f --transport tcp --ranks 4 --verify`
+//!
+//! With `--transport tcp` the launcher binds a rendezvous socket, spawns
+//! one `acfd-worker` process per rank (found next to the `acfc`
+//! executable), serves the rank-assignment handshake, and aggregates the
+//! workers' exit statuses.
 
-use autocfd::{compile, CompileOptions};
+use autocfd::runtime_net::Rendezvous;
+use autocfd::{compile, CompileOptions, Compiled};
 use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(PartialEq, Clone, Copy)]
+enum TransportKind {
+    Inproc,
+    Tcp,
+}
 
 struct Args {
     input: String,
@@ -27,10 +46,13 @@ struct Args {
     profile: bool,
     run: bool,
     verify: bool,
+    transport: TransportKind,
+    ranks: Option<u32>,
+    timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let mut input = None;
     let mut opts = CompileOptions {
         optimize: true,
@@ -42,8 +64,32 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = false;
     let mut run = false;
     let mut verify = false;
+    let mut transport = TransportKind::Inproc;
+    let mut ranks = None;
+    let mut timeout_ms = None;
+    // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`
+    if args.peek().map(String::as_str) == Some("run") {
+        args.next();
+        run = true;
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--transport" => {
+                let v = args.next().ok_or("--transport needs `inproc` or `tcp`")?;
+                transport = match v.as_str() {
+                    "inproc" => TransportKind::Inproc,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport `{other}`")),
+                };
+            }
+            "--ranks" => {
+                let v = args.next().ok_or("--ranks needs a value")?;
+                ranks = Some(v.parse().map_err(|_| format!("bad rank count `{v}`"))?);
+            }
+            "--timeout-ms" => {
+                let v = args.next().ok_or("--timeout-ms needs a value")?;
+                timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
+            }
             "--procs" => {
                 let v = args.next().ok_or("--procs needs a value")?;
                 opts.procs = Some(v.parse().map_err(|_| format!("bad proc count `{v}`"))?);
@@ -65,14 +111,21 @@ fn parse_args() -> Result<Args, String> {
             "--run" => run = true,
             "--verify" => verify = true,
             "--help" | "-h" => {
-                return Err("usage: acfc INPUT.f [--procs N | --partition AxB[xC]] \
+                return Err(
+                    "usage: acfc [run] INPUT.f [--procs N | --partition AxB[xC]] \
                             [--distance D] [--no-optimize] [--emit FILE|-] [--report] \
-                            [--analysis] [--profile] [--run] [--verify]"
-                    .into())
+                            [--analysis] [--profile] [--run] [--verify] \
+                            [--transport inproc|tcp] [--ranks N] [--timeout-ms N]"
+                        .into(),
+                )
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(a),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if let (Some(n), None) = (ranks, &opts.partition) {
+        // --ranks doubles as the processor count when no explicit grid
+        opts.procs = Some(n);
     }
     Ok(Args {
         input: input.ok_or("no input file (try --help)")?,
@@ -83,7 +136,96 @@ fn parse_args() -> Result<Args, String> {
         profile,
         run,
         verify,
+        transport,
+        ranks,
+        timeout_ms,
     })
+}
+
+/// Launch one `acfd-worker` process per rank against a rendezvous
+/// socket, stream their output through, and aggregate exit statuses.
+fn run_tcp(args: &Args, compiled: &Compiled) -> Result<(), String> {
+    let n = compiled.spmd_plan.ranks() as usize;
+    let worker = std::env::current_exe()
+        .map_err(|e| format!("cannot locate own executable: {e}"))?
+        .with_file_name("acfd-worker");
+    if !worker.exists() {
+        return Err(format!(
+            "worker binary `{}` not found (build it with `cargo build -p autocfd --bins`)",
+            worker.display()
+        ));
+    }
+
+    let rendezvous = Rendezvous::bind(n, Duration::from_secs(30))
+        .map_err(|e| format!("cannot bind rendezvous socket: {e}"))?;
+    let addr = rendezvous.local_addr();
+    let server = rendezvous.spawn();
+    eprintln!("acfc: rendezvous on {addr}, spawning {n} worker process(es)");
+
+    // every worker re-compiles with the *resolved* partition so all
+    // processes hold the identical plan, however the shape was chosen
+    let partition_arg = compiled
+        .partition
+        .spec
+        .parts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    let mut children = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut cmd = std::process::Command::new(&worker);
+        cmd.arg(&args.input)
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--partition")
+            .arg(&partition_arg);
+        if let Some(d) = args.opts.distance {
+            cmd.arg("--distance").arg(d.to_string());
+        }
+        if !args.opts.optimize {
+            cmd.arg("--no-optimize");
+        }
+        if let Some(ms) = args.timeout_ms {
+            cmd.arg("--timeout-ms").arg(ms.to_string());
+        }
+        if args.verify {
+            cmd.arg("--verify");
+        }
+        if args.profile {
+            cmd.arg("--profile");
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(format!("cannot spawn worker {rank}: {e}"));
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    for (i, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker {i} exited with {status}")),
+            Err(e) => failures.push(format!("worker {i}: {e}")),
+        }
+    }
+    match server.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => failures.push(format!("rendezvous: {e}")),
+        Err(_) => failures.push("rendezvous thread panicked".into()),
+    }
+    if failures.is_empty() {
+        eprintln!("acfc: all {n} worker(s) completed");
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 fn main() -> ExitCode {
@@ -173,7 +315,21 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.verify {
+    if let Some(n) = args.ranks {
+        let tasks = compiled.partition.spec.tasks();
+        if tasks != n {
+            eprintln!("acfc: --ranks {n} conflicts with partition ({tasks} subtasks)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.transport == TransportKind::Tcp && (args.run || args.profile || args.verify) {
+        // multi-process path: workers execute, verify, and profile
+        if let Err(e) = run_tcp(&args, &compiled) {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if args.verify {
         match compiled.verify(vec![], 1e-12) {
             Ok(d) => eprintln!("acfc: verified — max |seq - par| = {d:e}"),
             Err(e) => {
@@ -190,6 +346,8 @@ fn main() -> ExitCode {
                 if args.profile {
                     let traces: Vec<_> = ranks.iter().map(|r| r.trace.clone()).collect();
                     eprint!("{}", autocfd::runtime::render_timeline(&traces, 72));
+                    let phases: Vec<_> = ranks.iter().map(|r| r.phases.clone()).collect();
+                    eprint!("{}", autocfd::runtime::render_wire_table(&traces, &phases));
                     for (r, rank) in ranks.iter().enumerate() {
                         let (n, wait, elems) = autocfd::runtime::summarize(&rank.trace);
                         eprintln!(

@@ -1,0 +1,178 @@
+//! `acfd-worker` — one rank of a multi-process SPMD run.
+//!
+//! Spawned by `acfc run --transport tcp`, one process per rank. Each
+//! worker re-runs the (deterministic) pre-compiler on the same source
+//! with the same options, so every process holds an identical
+//! [`SpmdPlan`](autocfd::codegen::SpmdPlan) without any plan
+//! serialization; the *rank identity* is the only thing negotiated at
+//! runtime, via the launcher's rendezvous socket. The worker then
+//! executes its rank of the generated program over the TCP transport
+//! and, on request, verifies its owned region against a local
+//! sequential execution.
+//!
+//! ```text
+//! acfd-worker INPUT.f --connect HOST:PORT [--partition AxB[xC]]
+//!             [--procs N] [--distance D] [--no-optimize]
+//!             [--timeout-ms N] [--verify] [--profile]
+//! ```
+//!
+//! Exit status: 0 on success; nonzero on compile, communication, or
+//! verification failure (the launcher aggregates these).
+
+use autocfd::interp::{run_rank, verify_rank_owned_region};
+use autocfd::runtime::{wire_by_phase, Comm, Transport};
+use autocfd::runtime_net::{MeshConfig, TcpTransport};
+use autocfd::{compile, CompileOptions};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    input: String,
+    connect: SocketAddr,
+    opts: CompileOptions,
+    timeout: Duration,
+    verify: bool,
+    profile: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut input = None;
+    let mut connect = None;
+    let mut opts = CompileOptions {
+        optimize: true,
+        ..Default::default()
+    };
+    let mut timeout = Duration::from_secs(30);
+    let mut verify = false;
+    let mut profile = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => {
+                let v = args.next().ok_or("--connect needs HOST:PORT")?;
+                connect = Some(v.parse().map_err(|_| format!("bad address `{v}`"))?);
+            }
+            "--procs" => {
+                let v = args.next().ok_or("--procs needs a value")?;
+                opts.procs = Some(v.parse().map_err(|_| format!("bad proc count `{v}`"))?);
+            }
+            "--partition" => {
+                let v = args.next().ok_or("--partition needs a value like 4x1x1")?;
+                let parts: Result<Vec<u32>, _> = v.split('x').map(str::parse).collect();
+                opts.partition = Some(parts.map_err(|_| format!("bad partition `{v}`"))?);
+            }
+            "--distance" => {
+                let v = args.next().ok_or("--distance needs a value")?;
+                opts.distance = Some(v.parse().map_err(|_| format!("bad distance `{v}`"))?);
+            }
+            "--timeout-ms" => {
+                let v = args.next().ok_or("--timeout-ms needs a value")?;
+                timeout =
+                    Duration::from_millis(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
+            }
+            "--no-optimize" => opts.optimize = false,
+            "--verify" => verify = true,
+            "--profile" => profile = true,
+            "--help" | "-h" => {
+                return Err("usage: acfd-worker INPUT.f --connect HOST:PORT \
+                            [--procs N | --partition AxB[xC]] [--distance D] \
+                            [--no-optimize] [--timeout-ms N] [--verify] [--profile]"
+                    .into())
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(a),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("no input file (try --help)")?,
+        connect: connect.ok_or("no rendezvous address (--connect HOST:PORT)")?,
+        opts,
+        timeout,
+        verify,
+        profile,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("acfd-worker: cannot read `{}`: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compile(&source, &args.opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("acfd-worker: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let transport = match TcpTransport::join(&MeshConfig::new(args.connect)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("acfd-worker: cannot join mesh at {}: {e}", args.connect);
+            return ExitCode::FAILURE;
+        }
+    };
+    let rank = Transport::rank(&transport);
+    let comm = Comm::new(Box::new(transport), args.timeout, Instant::now());
+    let rr = match run_rank(
+        &compiled.parallel_file,
+        &compiled.spmd_plan,
+        vec![],
+        0,
+        &comm,
+    ) {
+        Ok(rr) => rr,
+        Err(e) => {
+            eprintln!("acfd-worker[rank {rank}]: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    drop(comm); // closes this rank's mesh endpoint
+
+    if rank == 0 {
+        for line in &rr.machine.output {
+            println!("{line}");
+        }
+    }
+
+    if args.verify {
+        let seq = match compiled.run_sequential(vec![]) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("acfd-worker[rank {rank}]: sequential reference run: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match verify_rank_owned_region(&seq, &rr, rank, &compiled.spmd_plan, 1e-12) {
+            Ok(d) => eprintln!("acfd-worker[rank {rank}]: verified — max |seq - par| = {d:e}"),
+            Err(e) => {
+                eprintln!("acfd-worker[rank {rank}]: VERIFICATION FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.profile {
+        let ws = &rr.wire_stats;
+        eprintln!(
+            "acfd-worker[rank {rank}]: wire {} msg / {} B sent, {} msg / {} B recvd",
+            ws.msgs_sent, ws.bytes_sent, ws.msgs_recvd, ws.bytes_recvd
+        );
+        for (phase, msgs, bytes) in wire_by_phase(&rr.trace, &rr.phases) {
+            eprintln!("acfd-worker[rank {rank}]:   {phase}: {msgs} msg / {bytes} B");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -72,6 +72,7 @@ pub use autocfd_grid as grid;
 pub use autocfd_interp as interp;
 pub use autocfd_ir as ir;
 pub use autocfd_runtime as runtime;
+pub use autocfd_runtime_net as runtime_net;
 pub use autocfd_syncopt as syncopt;
 
 /// Options controlling a compilation.

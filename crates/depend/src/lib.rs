@@ -27,7 +27,7 @@
 //!   of which is pipelinable, plus an explicit dependence-graph model
 //!   used to validate acyclicity of the two subgraphs;
 //! * [`skew`] — loop skewing and wavefront scheduling for Fig 3(a)
-//!   loops (the paper's citation [22]): legality, minimal skew factors,
+//!   loops (the paper's citation \[22\]): legality, minimal skew factors,
 //!   and validated wavefront level assignments.
 
 pub mod graph;

@@ -35,6 +35,8 @@ pub mod value;
 
 pub use exec::{run_program, run_program_capture, run_program_with_hooks, Hooks, NoHooks};
 pub use machine::{ArrayId, Binding, Frame, Machine, OpCounts, RunError};
-pub use spmd::{run_parallel, verify_owned_regions, RankResult, SpmdHooks};
+pub use spmd::{
+    run_parallel, run_rank, verify_owned_regions, verify_rank_owned_region, RankResult, SpmdHooks,
+};
 pub use value::ArrayVal;
 pub use value::Value;

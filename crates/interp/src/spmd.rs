@@ -28,7 +28,7 @@ use crate::machine::{ArrayId, Frame, Machine, RunError};
 use crate::value::Value;
 use autocfd_codegen::{SelfLoopSpec, SpmdPlan, SyncSpec};
 use autocfd_fortran::SourceFile;
-use autocfd_runtime::{run_spmd, Comm, ReduceOp};
+use autocfd_runtime::{run_spmd, Comm, ReduceOp, WireStats};
 
 /// The hook set wiring `acf_*` calls to the runtime.
 pub struct SpmdHooks<'a> {
@@ -49,6 +49,12 @@ pub struct RankResult {
     /// reductions)` — real measured traffic, used by the ablation
     /// benches.
     pub comm_stats: (u64, u64, u64, u64),
+    /// Wire-level counters from the transport: messages and bytes
+    /// actually moved (framed size over TCP, payload size in-process).
+    pub wire_stats: WireStats,
+    /// Phase names in index order; `trace` events refer to these via
+    /// their `phase` field.
+    pub phases: Vec<String>,
     /// The rank's communication trace (see
     /// [`autocfd_runtime::trace`]): every send/recv/collective with
     /// wall-clock timestamps, renderable as a timeline.
@@ -70,6 +76,7 @@ impl Hooks for SpmdHooks<'_> {
                 .syncs
                 .get(&id)
                 .ok_or_else(|| RunError::new(format!("unknown sync id {id}")))?;
+            self.comm.enter_phase(&format!("sync_{id}"));
             self.sync(m, frame, spec)?;
             return Ok(true);
         }
@@ -78,6 +85,7 @@ impl Hooks for SpmdHooks<'_> {
                 .parse()
                 .map_err(|_| RunError::new(format!("bad self-loop id in `{name}`")))?;
             let spec = self.self_spec(id)?;
+            self.comm.enter_phase(&format!("pre_{id}"));
             self.pre(m, frame, &spec)?;
             return Ok(true);
         }
@@ -86,6 +94,7 @@ impl Hooks for SpmdHooks<'_> {
                 .parse()
                 .map_err(|_| RunError::new(format!("bad self-loop id in `{name}`")))?;
             let spec = self.self_spec(id)?;
+            self.comm.enter_phase(&format!("post_{id}"));
             self.post(m, frame, &spec)?;
             return Ok(true);
         }
@@ -99,6 +108,7 @@ impl Hooks for SpmdHooks<'_> {
                 .get(&id)
                 .cloned()
                 .ok_or_else(|| RunError::new(format!("unknown fill id {id}")))?;
+            self.comm.enter_phase(&format!("fill_{id}"));
             self.fill(m, frame, id, &arrays)?;
             return Ok(true);
         }
@@ -113,6 +123,7 @@ impl Hooks for SpmdHooks<'_> {
                 other => return Err(RunError::new(format!("bad reduce op `{other}`"))),
             };
             let local = frame.get_scalar(var).as_f64()?;
+            self.comm.enter_phase(&format!("reduce_{rest}"));
             let global = self
                 .comm
                 .allreduce(local, op)
@@ -276,7 +287,9 @@ impl SpmdHooks<'_> {
                 }
                 if !payload.is_empty() {
                     let tag = tag_for(0, spec.id, 0, axis, -dir);
-                    self.comm.send(nb as usize, tag, &payload);
+                    self.comm
+                        .send(nb as usize, tag, &payload)
+                        .map_err(|e| RunError::new(e.to_string()))?;
                 }
             }
             // ---- receives: split the aggregated message back apart
@@ -354,7 +367,9 @@ impl SpmdHooks<'_> {
                     ) {
                         let payload = self.pack(m, id, &region);
                         let tag = tag_for(1, spec.id, ai, step.axis, step.dir);
-                        self.comm.send(nb as usize, tag, &payload);
+                        self.comm
+                            .send(nb as usize, tag, &payload)
+                            .map_err(|e| RunError::new(e.to_string()))?;
                     }
                 }
             }
@@ -435,7 +450,9 @@ impl SpmdHooks<'_> {
                     ) {
                         let payload = self.pack(m, id, &region);
                         let tag = tag_for(2, spec.id, ai, step.axis, step.dir);
-                        self.comm.send(nb as usize, tag, &payload);
+                        self.comm
+                            .send(nb as usize, tag, &payload)
+                            .map_err(|e| RunError::new(e.to_string()))?;
                     }
                 }
             }
@@ -482,7 +499,9 @@ impl SpmdHooks<'_> {
                 let tag = tag_for(3, id, ai, 0, 1);
                 for peer in 0..ranks {
                     if peer != me {
-                        self.comm.send(peer as usize, tag, &payload);
+                        self.comm
+                            .send(peer as usize, tag, &payload)
+                            .map_err(|e| RunError::new(e.to_string()))?;
                     }
                 }
             }
@@ -532,6 +551,27 @@ fn tag_for(kind: u64, id: u32, array_idx: usize, axis: usize, dir: i32) -> u64 {
         + 1000
 }
 
+/// Execute one rank of the transformed `file` under `plan` over an
+/// existing communicator — any transport (in-process thread mesh or a
+/// TCP process mesh). The rank identity comes from `comm.rank()`.
+pub fn run_rank(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    comm: &Comm,
+) -> Result<RankResult, RunError> {
+    let mut hooks = SpmdHooks { plan, comm };
+    run_program_capture(file, input, &mut hooks, stmt_limit).map(|(machine, frame)| RankResult {
+        machine,
+        frame,
+        comm_stats: comm.stats().snapshot(),
+        wire_stats: comm.wire_stats(),
+        phases: comm.phase_names(),
+        trace: comm.take_trace(),
+    })
+}
+
 /// Run the transformed `file` under `plan` on `plan.ranks()` threads.
 /// Every rank receives its own copy of `input`. Returns per-rank results
 /// in rank order.
@@ -543,17 +583,70 @@ pub fn run_parallel(
 ) -> Result<Vec<RankResult>, RunError> {
     let n = plan.ranks() as usize;
     let results = run_spmd(n, |comm| {
-        let mut hooks = SpmdHooks { plan, comm: &comm };
-        run_program_capture(file, input.clone(), &mut hooks, stmt_limit).map(|(machine, frame)| {
-            RankResult {
-                machine,
-                frame,
-                comm_stats: comm.stats().snapshot(),
-                trace: comm.take_trace(),
-            }
-        })
+        run_rank(file, plan, input.clone(), stmt_limit, &comm)
     });
     results.into_iter().collect()
+}
+
+/// Verify that a *single* rank's owned region of every status array
+/// equals the sequential run's values within `tol`. Returns the maximum
+/// absolute difference observed on that rank. Multi-process workers use
+/// this to check their own slice without shipping whole machines around.
+pub fn verify_rank_owned_region(
+    seq: &(Machine, Frame),
+    rr: &RankResult,
+    rank: usize,
+    plan: &SpmdPlan,
+    tol: f64,
+) -> Result<f64, String> {
+    let mut max_diff = 0.0f64;
+    let sg = plan.partition.subgrid(rank as u32);
+    for (array, dim_axis) in &plan.dim_axis {
+        let seq_id = match seq.1.arrays.get(array) {
+            Some(id) => *id,
+            None => continue, // not bound in main (e.g. subroutine-local)
+        };
+        let seq_arr = seq.0.array(seq_id);
+        let par_id = rr
+            .frame
+            .arrays
+            .get(array)
+            .ok_or_else(|| format!("rank {rank}: array `{array}` missing"))?;
+        let par_arr = rr.machine.array(*par_id);
+        // iterate the rank's owned region (full extent on packed dims)
+        let region: Vec<(i64, i64)> = seq_arr
+            .bounds
+            .iter()
+            .enumerate()
+            .map(
+                |(d, &(blo, bhi))| match dim_axis.get(d).copied().flatten() {
+                    Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
+                    None => (blo, bhi),
+                },
+            )
+            .collect();
+        if region.iter().any(|&(lo, hi)| hi < lo) {
+            continue;
+        }
+        let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+        loop {
+            let s = seq_arr.get(&idx).map_err(|e| e.to_string())?;
+            let p = par_arr.get(&idx).map_err(|e| e.to_string())?;
+            let d = (s - p).abs();
+            if d > max_diff {
+                max_diff = d;
+            }
+            if d > tol {
+                return Err(format!(
+                    "array `{array}` rank {rank} at {idx:?}: sequential {s} vs parallel {p}"
+                ));
+            }
+            if !advance(&mut idx, &region) {
+                break;
+            }
+        }
+    }
+    Ok(max_diff)
 }
 
 /// Verify that every rank's *owned* region of every status array equals
@@ -566,52 +659,10 @@ pub fn verify_owned_regions(
     tol: f64,
 ) -> Result<f64, String> {
     let mut max_diff = 0.0f64;
-    for (array, dim_axis) in &plan.dim_axis {
-        let seq_id = match seq.1.arrays.get(array) {
-            Some(id) => *id,
-            None => continue, // not bound in main (e.g. subroutine-local)
-        };
-        let seq_arr = seq.0.array(seq_id);
-        for (r, rr) in par.iter().enumerate() {
-            let sg = plan.partition.subgrid(r as u32);
-            let par_id = rr
-                .frame
-                .arrays
-                .get(array)
-                .ok_or_else(|| format!("rank {r}: array `{array}` missing"))?;
-            let par_arr = rr.machine.array(*par_id);
-            // iterate the rank's owned region (full extent on packed dims)
-            let region: Vec<(i64, i64)> = seq_arr
-                .bounds
-                .iter()
-                .enumerate()
-                .map(
-                    |(d, &(blo, bhi))| match dim_axis.get(d).copied().flatten() {
-                        Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
-                        None => (blo, bhi),
-                    },
-                )
-                .collect();
-            if region.iter().any(|&(lo, hi)| hi < lo) {
-                continue;
-            }
-            let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
-            loop {
-                let s = seq_arr.get(&idx).map_err(|e| e.to_string())?;
-                let p = par_arr.get(&idx).map_err(|e| e.to_string())?;
-                let d = (s - p).abs();
-                if d > max_diff {
-                    max_diff = d;
-                }
-                if d > tol {
-                    return Err(format!(
-                        "array `{array}` rank {r} at {idx:?}: sequential {s} vs parallel {p}"
-                    ));
-                }
-                if !advance(&mut idx, &region) {
-                    break;
-                }
-            }
+    for (r, rr) in par.iter().enumerate() {
+        let d = verify_rank_owned_region(seq, rr, r, plan, tol)?;
+        if d > max_diff {
+            max_diff = d;
         }
     }
     Ok(max_diff)

@@ -1,0 +1,420 @@
+//! The wire format: length-prefixed binary frames.
+//!
+//! Every message on a socket — handshake and data alike — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic       0xACFD0001, big-endian
+//!      4     1  kind        0 Data, 1 Hello, 2 Welcome, 3 Peers
+//!      5     4  from        sending rank (u32, big-endian)
+//!      9     8  tag         message tag (u64, big-endian)
+//!     17     4  len         payload length in f64 *elements* (u32, BE)
+//!     21  8*len payload     IEEE-754 bit patterns, big-endian
+//! ```
+//!
+//! The decoder is incremental (asks for more bytes until a whole frame is
+//! buffered) and total: any malformed input — bad magic, unknown kind, or
+//! an absurd length — yields a typed [`DecodeError`], never a panic and
+//! never an attempt to allocate the claimed length.
+
+use bytes::{Buf, BufMut};
+
+/// Frame magic: "ACFD" spirit, version 1.
+pub const MAGIC: u32 = 0xACFD_0001;
+
+/// Fixed header size in bytes (`magic + kind + from + tag + len`).
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 8 + 4;
+
+/// Upper bound on payload elements a decoder will accept (1 GiB of
+/// f64s); anything larger is treated as a corrupt length field.
+pub const MAX_PAYLOAD_ELEMS: u32 = 1 << 27;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An application message (tagged `f64` payload between ranks).
+    Data,
+    /// Handshake: "here I am" — to the rendezvous (tag = my data port)
+    /// or on a fresh mesh connection (`from` = my rank).
+    Hello,
+    /// Handshake: rendezvous → worker; `from` = your assigned rank,
+    /// `tag` = total rank count.
+    Welcome,
+    /// Handshake: rendezvous → worker; payload = every rank's data port
+    /// in rank order.
+    Peers,
+}
+
+impl FrameKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Hello => 1,
+            FrameKind::Welcome => 2,
+            FrameKind::Peers => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Welcome),
+            3 => Some(FrameKind::Peers),
+            _ => None,
+        }
+    }
+}
+
+/// One wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What kind of message.
+    pub kind: FrameKind,
+    /// Sending rank (rendezvous handshake uses 0).
+    pub from: u32,
+    /// Message tag; handshake frames overload it (see [`FrameKind`]).
+    pub tag: u64,
+    /// The values. f64 bit patterns survive the round-trip exactly,
+    /// NaNs included.
+    pub payload: Vec<f64>,
+}
+
+impl Frame {
+    /// A data frame.
+    pub fn data(from: u32, tag: u64, payload: Vec<f64>) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            from,
+            tag,
+            payload,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() * 8
+    }
+}
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not enough bytes yet; the frame needs at least `needed` bytes
+    /// total (from the start of the buffer).
+    Incomplete {
+        /// Minimum total buffer length required to make progress.
+        needed: usize,
+    },
+    /// The bytes cannot be a frame (bad magic, unknown kind, corrupt
+    /// length). The connection carrying them is unrecoverable.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Incomplete { needed } => {
+                write!(f, "incomplete frame: need {needed} bytes")
+            }
+            DecodeError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a frame to its wire bytes.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    assert!(
+        frame.payload.len() <= MAX_PAYLOAD_ELEMS as usize,
+        "payload of {} elements exceeds the wire limit",
+        frame.payload.len()
+    );
+    let mut buf = Vec::with_capacity(frame.encoded_len());
+    buf.put_u32(MAGIC);
+    buf.put_u8(frame.kind.to_wire());
+    buf.put_u32(frame.from);
+    buf.put_u64(frame.tag);
+    buf.put_u32(frame.payload.len() as u32);
+    for &v in &frame.payload {
+        buf.put_f64(v);
+    }
+    buf
+}
+
+/// Decode one frame from the front of `buf`. Returns the frame and the
+/// number of bytes consumed; [`DecodeError::Incomplete`] means feed more
+/// bytes and retry, [`DecodeError::Malformed`] means the stream is
+/// corrupt beyond recovery.
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Incomplete { needed: HEADER_LEN });
+    }
+    let mut cur = buf;
+    let magic = cur.get_u32();
+    if magic != MAGIC {
+        return Err(DecodeError::Malformed(format!(
+            "bad magic {magic:#010x} (expected {MAGIC:#010x})"
+        )));
+    }
+    let kind_byte = cur.get_u8();
+    let kind = FrameKind::from_wire(kind_byte)
+        .ok_or_else(|| DecodeError::Malformed(format!("unknown frame kind {kind_byte}")))?;
+    let from = cur.get_u32();
+    let tag = cur.get_u64();
+    let len = cur.get_u32();
+    if len > MAX_PAYLOAD_ELEMS {
+        return Err(DecodeError::Malformed(format!(
+            "payload length {len} exceeds the wire limit"
+        )));
+    }
+    let total = HEADER_LEN + len as usize * 8;
+    if buf.len() < total {
+        return Err(DecodeError::Incomplete { needed: total });
+    }
+    let mut payload = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        payload.push(cur.get_f64());
+    }
+    Ok((
+        Frame {
+            kind,
+            from,
+            tag,
+            payload,
+        },
+        total,
+    ))
+}
+
+/// Read exactly one frame from a byte stream, blocking. Returns the
+/// frame and its wire size. `Ok(None)` is a clean end-of-stream (EOF at
+/// a frame boundary); EOF mid-frame and malformed bytes are errors.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<(Frame, usize)>> {
+    use std::io::{Error, ErrorKind};
+
+    let mut header = [0u8; HEADER_LEN];
+    // hand-rolled first read: distinguish clean EOF from mid-frame EOF
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "eof mid-frame (header)",
+                ))
+            }
+            k => got += k,
+        }
+    }
+    let needed = match decode(&header) {
+        Ok((frame, consumed)) => return Ok(Some((frame, consumed))),
+        Err(DecodeError::Incomplete { needed }) => needed,
+        Err(e @ DecodeError::Malformed(_)) => {
+            return Err(Error::new(ErrorKind::InvalidData, e.to_string()))
+        }
+    };
+    let mut buf = header.to_vec();
+    buf.resize(needed, 0);
+    r.read_exact(&mut buf[HEADER_LEN..])
+        .map_err(|e| match e.kind() {
+            ErrorKind::UnexpectedEof => {
+                Error::new(ErrorKind::UnexpectedEof, "eof mid-frame (payload)")
+            }
+            _ => e,
+        })?;
+    match decode(&buf) {
+        Ok((frame, consumed)) => Ok(Some((frame, consumed))),
+        Err(e) => Err(Error::new(ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let f = Frame::data(3, 1007, vec![1.0, -2.5, 0.0]);
+        let wire = encode(&f);
+        assert_eq!(wire.len(), f.encoded_len());
+        let (g, consumed) = decode(&wire).unwrap();
+        assert_eq!(g, f);
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let f = Frame::data(0, 1, vec![7.0]);
+        let mut wire = encode(&f);
+        let g = Frame::data(1, 2, vec![]);
+        wire.extend_from_slice(&encode(&g));
+        let (first, consumed) = decode(&wire).unwrap();
+        assert_eq!(first, f);
+        let (second, rest) = decode(&wire[consumed..]).unwrap();
+        assert_eq!(second, g);
+        assert_eq!(consumed + rest, wire.len());
+    }
+
+    #[test]
+    fn incomplete_asks_for_more() {
+        let wire = encode(&Frame::data(0, 9, vec![1.0, 2.0]));
+        assert_eq!(
+            decode(&wire[..3]),
+            Err(DecodeError::Incomplete { needed: HEADER_LEN })
+        );
+        assert_eq!(
+            decode(&wire[..HEADER_LEN + 4]),
+            Err(DecodeError::Incomplete {
+                needed: HEADER_LEN + 16
+            })
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_malformed() {
+        let mut wire = encode(&Frame::data(0, 0, vec![]));
+        wire[0] ^= 0xff;
+        assert!(matches!(decode(&wire), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_kind_is_malformed() {
+        let mut wire = encode(&Frame::data(0, 0, vec![]));
+        wire[4] = 200;
+        assert!(matches!(decode(&wire), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn absurd_length_is_malformed_not_oom() {
+        let mut wire = encode(&Frame::data(0, 0, vec![]));
+        // corrupt the length field to u32::MAX
+        wire[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(decode(&wire), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let wire = encode(&Frame::data(0, 0, vec![weird]));
+        let (f, _) = decode(&wire).unwrap();
+        assert_eq!(f.payload[0].to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn zero_length_payload_roundtrips() {
+        let f = Frame {
+            kind: FrameKind::Welcome,
+            from: 2,
+            tag: 4,
+            payload: vec![],
+        };
+        let wire = encode(&f);
+        assert_eq!(wire.len(), HEADER_LEN);
+        assert_eq!(decode(&wire).unwrap(), (f, HEADER_LEN));
+    }
+
+    #[test]
+    fn read_frame_clean_eof_vs_mid_frame() {
+        use std::io::Cursor;
+        let wire = encode(&Frame::data(2, 5, vec![1.0]));
+        // clean: exactly one frame then EOF
+        let mut c = Cursor::new(wire.clone());
+        let (f, n) = read_frame(&mut c).unwrap().unwrap();
+        assert_eq!((f.from, f.tag, n), (2, 5, wire.len()));
+        assert!(read_frame(&mut c).unwrap().is_none());
+        // truncated: EOF mid-frame is an error, not a None
+        let mut t = Cursor::new(wire[..wire.len() - 3].to_vec());
+        let err = read_frame(&mut t).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_frame() -> impl Strategy<Value = Frame> {
+        (
+            prop_oneof![
+                Just(FrameKind::Data),
+                Just(FrameKind::Hello),
+                Just(FrameKind::Welcome),
+                Just(FrameKind::Peers),
+            ],
+            0u32..=u32::MAX,
+            0u64..=u64::MAX,
+            // arbitrary bit patterns, NaNs and infinities included
+            proptest::collection::vec((0u64..=u64::MAX).prop_map(f64::from_bits), 0..48),
+        )
+            .prop_map(|(kind, from, tag, payload)| Frame {
+                kind,
+                from,
+                tag,
+                payload,
+            })
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// encode → decode is the identity for every payload bit pattern.
+        #[test]
+        fn roundtrip_any_frame(frame in arb_frame()) {
+            let wire = encode(&frame);
+            prop_assert_eq!(wire.len(), frame.encoded_len());
+            let (out, consumed) = decode(&wire).expect("own encoding decodes");
+            prop_assert_eq!(consumed, wire.len());
+            prop_assert_eq!(out.kind, frame.kind);
+            prop_assert_eq!(out.from, frame.from);
+            prop_assert_eq!(out.tag, frame.tag);
+            prop_assert_eq!(bits(&out.payload), bits(&frame.payload));
+        }
+
+        /// Any truncation is Incomplete with the exact byte requirement —
+        /// never a panic, never a bogus frame.
+        #[test]
+        fn truncation_reports_needed_bytes(frame in arb_frame(), cut_seed in 0usize..10_000) {
+            let wire = encode(&frame);
+            prop_assume!(!wire.is_empty());
+            let cut = cut_seed % wire.len();
+            let needed = if cut < HEADER_LEN { HEADER_LEN } else { wire.len() };
+            prop_assert_eq!(
+                decode(&wire[..cut]),
+                Err(DecodeError::Incomplete { needed })
+            );
+        }
+
+        /// Arbitrary garbage never panics the decoder: it either asks for
+        /// more bytes, rejects the buffer as malformed, or decodes a frame
+        /// that fits inside it.
+        #[test]
+        fn arbitrary_bytes_never_panic(buf in proptest::collection::vec(0u8..=255u8, 0..96)) {
+            match decode(&buf) {
+                Ok((_, consumed)) => prop_assert!(consumed <= buf.len()),
+                Err(DecodeError::Incomplete { needed }) => prop_assert!(needed > buf.len()),
+                Err(DecodeError::Malformed(_)) => {}
+            }
+        }
+
+        /// A corrupted header byte never panics; if the frame still
+        /// decodes, the corruption was in a value field, not the framing.
+        #[test]
+        fn corrupt_header_byte_is_clean(frame in arb_frame(), pos in 0usize..HEADER_LEN, flip in 1u8..=255) {
+            let mut wire = encode(&frame);
+            wire[pos] ^= flip;
+            match decode(&wire) {
+                Ok((_, consumed)) => prop_assert!(consumed <= wire.len()),
+                Err(DecodeError::Incomplete { needed }) => prop_assert!(needed > wire.len()),
+                Err(DecodeError::Malformed(_)) => {}
+            }
+        }
+    }
+}

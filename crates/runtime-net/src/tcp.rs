@@ -1,0 +1,437 @@
+//! The multi-process TCP backend.
+//!
+//! Topology: a *rendezvous* socket (opened by the launcher) assigns
+//! ranks to connecting workers in arrival order and tells everyone
+//! everyone else's data port; the workers then build a full mesh of TCP
+//! connections (rank `r` dials every lower rank, accepts from every
+//! higher one). Each peer connection gets two I/O threads:
+//!
+//! * a **writer** draining a bounded queue of encoded frames onto the
+//!   socket — `send` enqueues and returns, so the deadlock-avoiding
+//!   buffered-send semantics of the in-process backend carry over (the
+//!   queue bound plus the kernel socket buffer provide backpressure
+//!   without ever blocking the *receiving* side);
+//! * a **reader** decoding frames into the shared [`MatchingInbox`] —
+//!   reading continues regardless of what the application is waiting
+//!   for, so a symmetric exchange cannot wedge. A read error or EOF
+//!   turns into [`InboxMsg::PeerGone`], which surfaces as a typed
+//!   [`CommError`] only for receives that actually target the dead peer
+//!   (after draining everything it sent first).
+
+use crate::frame::{encode, read_frame, Frame, FrameKind};
+use autocfd_runtime::{CommError, InboxMsg, MatchingInbox, Transport, WireStats};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frames a peer writer queues before `send` blocks for backpressure.
+const WRITE_QUEUE_FRAMES: usize = 64;
+
+/// How mesh setup behaves.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Rendezvous address to dial.
+    pub rendezvous: SocketAddr,
+    /// Deadline for the whole handshake + mesh construction.
+    pub setup_timeout: Duration,
+}
+
+impl MeshConfig {
+    /// Config with the default 30 s setup timeout.
+    pub fn new(rendezvous: SocketAddr) -> MeshConfig {
+        MeshConfig {
+            rendezvous,
+            setup_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+fn proto(rank: usize, detail: impl Into<String>) -> CommError {
+    CommError::protocol(rank, detail)
+}
+
+fn io_err(rank: usize, peer: usize, e: &std::io::Error) -> CommError {
+    CommError::io(rank, peer, e.to_string())
+}
+
+/// The rendezvous point: accepts `n` workers, assigns ranks in arrival
+/// order, and distributes the port map. Run by the launcher (or by the
+/// test harness) before any worker starts.
+pub struct Rendezvous {
+    listener: TcpListener,
+    n: usize,
+    timeout: Duration,
+}
+
+impl Rendezvous {
+    /// Bind on `127.0.0.1:0`; the actual address comes from
+    /// [`Rendezvous::local_addr`].
+    pub fn bind(n: usize, timeout: Duration) -> std::io::Result<Rendezvous> {
+        assert!(n >= 1, "need at least one rank");
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Ok(Rendezvous {
+            listener,
+            n,
+            timeout,
+        })
+    }
+
+    /// The address workers must dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Serve the handshake to completion (blocking): accept `n` Hellos,
+    /// send each worker its Welcome immediately, then the Peers map once
+    /// everyone has arrived.
+    pub fn serve(self) -> Result<(), CommError> {
+        let deadline = Instant::now() + self.timeout;
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err(0, 0, &e))?;
+        let mut workers: Vec<(TcpStream, u16)> = Vec::with_capacity(self.n);
+        while workers.len() < self.n {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| io_err(0, 0, &e))?;
+                    stream
+                        .set_read_timeout(Some(self.timeout))
+                        .map_err(|e| io_err(0, 0, &e))?;
+                    let mut s = stream;
+                    let hello = read_frame(&mut s)
+                        .map_err(|e| io_err(0, 0, &e))?
+                        .ok_or_else(|| proto(0, "worker closed before Hello"))?
+                        .0;
+                    if hello.kind != FrameKind::Hello {
+                        return Err(proto(0, format!("expected Hello, got {:?}", hello.kind)));
+                    }
+                    let port = u16::try_from(hello.tag)
+                        .map_err(|_| proto(0, format!("bad data port {}", hello.tag)))?;
+                    let rank = workers.len() as u32;
+                    s.write_all(&encode(&Frame {
+                        kind: FrameKind::Welcome,
+                        from: rank,
+                        tag: self.n as u64,
+                        payload: vec![],
+                    }))
+                    .map_err(|e| io_err(0, rank as usize, &e))?;
+                    workers.push((s, port));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(proto(
+                            0,
+                            format!(
+                                "rendezvous timeout: {}/{} workers arrived",
+                                workers.len(),
+                                self.n
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(io_err(0, 0, &e)),
+            }
+        }
+        let ports: Vec<f64> = workers.iter().map(|&(_, p)| f64::from(p)).collect();
+        let peers = encode(&Frame {
+            kind: FrameKind::Peers,
+            from: 0,
+            tag: self.n as u64,
+            payload: ports,
+        });
+        for (rank, (s, _)) in workers.iter_mut().enumerate() {
+            s.write_all(&peers).map_err(|e| io_err(0, rank, &e))?;
+        }
+        Ok(())
+    }
+
+    /// [`Rendezvous::serve`] on its own thread.
+    pub fn spawn(self) -> JoinHandle<Result<(), CommError>> {
+        std::thread::spawn(move || self.serve())
+    }
+}
+
+/// One rank's endpoint of a TCP process mesh.
+pub struct TcpTransport {
+    rank: usize,
+    size: usize,
+    /// Per-peer bounded write queues (`None` at the self slot); taken on
+    /// shutdown so writers flush and close.
+    writers: Mutex<Vec<Option<Sender<Vec<u8>>>>>,
+    writer_handles: Mutex<Vec<JoinHandle<()>>>,
+    inbox: MatchingInbox,
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recvd: AtomicU64,
+    bytes_recvd: AtomicU64,
+}
+
+impl TcpTransport {
+    /// Join the mesh behind `cfg.rendezvous`: handshake for a rank
+    /// assignment, connect the full mesh, start the per-peer I/O
+    /// threads. Blocks until the mesh is up or `setup_timeout` passes.
+    pub fn join(cfg: &MeshConfig) -> Result<TcpTransport, CommError> {
+        let deadline = Instant::now() + cfg.setup_timeout;
+
+        // data listener first: its port goes into the Hello
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err(0, 0, &e))?;
+        let my_port = listener.local_addr().map_err(|e| io_err(0, 0, &e))?.port();
+
+        // ---- rendezvous handshake
+        let mut rv = connect_with_retry(cfg.rendezvous, deadline).map_err(|e| io_err(0, 0, &e))?;
+        rv.set_read_timeout(Some(cfg.setup_timeout))
+            .map_err(|e| io_err(0, 0, &e))?;
+        rv.write_all(&encode(&Frame {
+            kind: FrameKind::Hello,
+            from: 0,
+            tag: u64::from(my_port),
+            payload: vec![],
+        }))
+        .map_err(|e| io_err(0, 0, &e))?;
+        let welcome = read_frame(&mut rv)
+            .map_err(|e| io_err(0, 0, &e))?
+            .ok_or_else(|| proto(0, "rendezvous closed before Welcome"))?
+            .0;
+        if welcome.kind != FrameKind::Welcome {
+            return Err(proto(
+                0,
+                format!("expected Welcome, got {:?}", welcome.kind),
+            ));
+        }
+        let rank = welcome.from as usize;
+        let size = usize::try_from(welcome.tag)
+            .map_err(|_| proto(rank, format!("bad rank count {}", welcome.tag)))?;
+        if size == 0 || rank >= size {
+            return Err(proto(rank, format!("rank {rank} out of range for {size}")));
+        }
+        let peers_frame = read_frame(&mut rv)
+            .map_err(|e| io_err(rank, 0, &e))?
+            .ok_or_else(|| proto(rank, "rendezvous closed before Peers"))?
+            .0;
+        if peers_frame.kind != FrameKind::Peers || peers_frame.payload.len() != size {
+            return Err(proto(rank, "bad Peers frame"));
+        }
+        let ports: Vec<u16> = peers_frame
+            .payload
+            .iter()
+            .map(|&p| {
+                if p.fract() == 0.0 && (1.0..=f64::from(u16::MAX)).contains(&p) {
+                    Ok(p as u16)
+                } else {
+                    Err(proto(rank, format!("bad peer port {p}")))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        drop(rv);
+
+        // ---- full mesh: dial lower ranks, accept higher ones
+        let mut streams: HashMap<usize, TcpStream> = HashMap::new();
+        for (peer, &port) in ports.iter().enumerate().take(rank) {
+            let mut s = connect_with_retry(SocketAddr::from(([127, 0, 0, 1], port)), deadline)
+                .map_err(|e| io_err(rank, peer, &e))?;
+            s.write_all(&encode(&Frame {
+                kind: FrameKind::Hello,
+                from: rank as u32,
+                tag: 0,
+                payload: vec![],
+            }))
+            .map_err(|e| io_err(rank, peer, &e))?;
+            streams.insert(peer, s);
+        }
+        while streams.len() < size - 1 {
+            let (stream, _) = listener.accept().map_err(|e| io_err(rank, 0, &e))?;
+            stream
+                .set_read_timeout(Some(cfg.setup_timeout))
+                .map_err(|e| io_err(rank, 0, &e))?;
+            let mut s = stream;
+            let hello = read_frame(&mut s)
+                .map_err(|e| io_err(rank, 0, &e))?
+                .ok_or_else(|| proto(rank, "peer closed before Hello"))?
+                .0;
+            if hello.kind != FrameKind::Hello {
+                return Err(proto(rank, format!("expected Hello, got {:?}", hello.kind)));
+            }
+            let peer = hello.from as usize;
+            if peer <= rank || peer >= size || streams.contains_key(&peer) {
+                return Err(proto(
+                    rank,
+                    format!("unexpected mesh Hello from rank {peer}"),
+                ));
+            }
+            s.set_read_timeout(None)
+                .map_err(|e| io_err(rank, peer, &e))?;
+            streams.insert(peer, s);
+        }
+
+        // ---- I/O threads
+        let (inbox_tx, inbox_rx) = unbounded::<InboxMsg>();
+        let mut writers: Vec<Option<Sender<Vec<u8>>>> = (0..size).map(|_| None).collect();
+        let mut writer_handles = Vec::with_capacity(size.saturating_sub(1));
+        for (peer, stream) in streams {
+            let reader = stream.try_clone().map_err(|e| io_err(rank, peer, &e))?;
+            let inbox_tx = inbox_tx.clone();
+            std::thread::spawn(move || run_reader(peer, reader, inbox_tx));
+
+            let (wtx, wrx) = bounded::<Vec<u8>>(WRITE_QUEUE_FRAMES);
+            writers[peer] = Some(wtx);
+            writer_handles.push(std::thread::spawn(move || {
+                let mut stream = stream;
+                while let Ok(buf) = wrx.recv() {
+                    if stream.write_all(&buf).is_err() {
+                        // receiver side will learn via its reader; draining
+                        // the queue keeps senders from blocking forever
+                        break;
+                    }
+                }
+                let _ = stream.shutdown(Shutdown::Write);
+            }));
+        }
+        drop(inbox_tx);
+
+        Ok(TcpTransport {
+            rank,
+            size,
+            writers: Mutex::new(writers),
+            writer_handles: Mutex::new(writer_handles),
+            inbox: MatchingInbox::new(rank, inbox_rx),
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            msgs_recvd: AtomicU64::new(0),
+            bytes_recvd: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Reader thread body: decode frames into the inbox until the peer goes
+/// away, then report how it went away.
+fn run_reader(peer: usize, mut stream: TcpStream, inbox: Sender<InboxMsg>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some((frame, wire_bytes))) if frame.kind == FrameKind::Data => {
+                if inbox
+                    .send(InboxMsg::Data {
+                        from: peer,
+                        tag: frame.tag,
+                        payload: frame.payload,
+                        wire_bytes,
+                    })
+                    .is_err()
+                {
+                    return; // our own rank shut down
+                }
+            }
+            Ok(Some((frame, _))) => {
+                let _ = inbox.send(InboxMsg::PeerGone {
+                    peer,
+                    detail: format!("unexpected {:?} frame mid-stream", frame.kind),
+                });
+                return;
+            }
+            Ok(None) => {
+                let _ = inbox.send(InboxMsg::PeerGone {
+                    peer,
+                    detail: "connection closed".to_string(),
+                });
+                return;
+            }
+            Err(e) => {
+                let _ = inbox.send(InboxMsg::PeerGone {
+                    peer,
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+        let frame = Frame::data(self.rank as u32, tag, payload.to_vec());
+        let wire = encode(&frame);
+        let wire_bytes = wire.len();
+        let tx = {
+            let writers = self.writers.lock();
+            writers.get(to).and_then(|w| w.clone()).ok_or_else(|| {
+                CommError::disconnected(self.rank, to, "connection shut down").with_tag(tag)
+            })?
+        };
+        tx.send(wire).map_err(|_| {
+            CommError::disconnected(self.rank, to, "peer connection closed").with_tag(tag)
+        })?;
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        Ok(wire_bytes)
+    }
+
+    fn recv(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, usize), CommError> {
+        let (payload, wire_bytes) = self.inbox.recv(from, tag, timeout)?;
+        self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recvd
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        Ok((payload, wire_bytes))
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        WireStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_recvd: self.msgs_recvd.load(Ordering::Relaxed),
+            bytes_recvd: self.bytes_recvd.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        // dropping the queue senders makes each writer flush its backlog,
+        // half-close the socket, and exit; peers then see clean EOFs
+        for w in self.writers.lock().iter_mut() {
+            *w = None;
+        }
+        for h in self.writer_handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        // reader threads exit on their own once every peer half-closes
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

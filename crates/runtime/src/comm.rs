@@ -1,57 +1,17 @@
-//! The communicator: point-to-point messaging and collectives.
+//! The communicator: point-to-point messaging and collectives over any
+//! [`Transport`], with per-rank statistics, phase labels, and an event
+//! trace for the profiler.
 
+use crate::error::CommError;
 use crate::trace::{EventKind, TraceEvent};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{Transport, WireStats};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Default receive timeout; long enough for heavyweight tests, short
 /// enough that a deadlocked exchange fails rather than hangs.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// A message in flight: `(source, tag, payload)`.
-type Msg = (usize, u64, Vec<f64>);
-
-/// Why a receive failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RecvError {
-    /// No matching message arrived within the timeout — almost always a
-    /// deadlock or a schedule bug in generated code.
-    Timeout {
-        /// The waiting rank.
-        rank: usize,
-        /// The peer it waited on.
-        from: usize,
-        /// The tag it waited for.
-        tag: u64,
-    },
-    /// The peer's endpoint is gone (its thread ended or panicked).
-    Disconnected {
-        /// The waiting rank.
-        rank: usize,
-        /// The peer it waited on.
-        from: usize,
-    },
-}
-
-impl std::fmt::Display for RecvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RecvError::Timeout { rank, from, tag } => write!(
-                f,
-                "rank {rank}: timeout waiting for message from rank {from} tag {tag} (deadlock?)"
-            ),
-            RecvError::Disconnected { rank, from } => {
-                write!(f, "rank {rank}: peer {from} disconnected")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RecvError {}
 
 /// Reduction operators for [`Comm::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,34 +59,49 @@ impl CommStats {
     }
 }
 
-/// One rank's endpoint into the communicator.
+/// One rank's endpoint into the communicator, generic over the wire: the
+/// same collectives, tracing, and statistics run over the in-process
+/// channel backend ([`crate::inproc`]) or the multi-process TCP backend
+/// (`autocfd-runtime-net`).
 pub struct Comm {
-    rank: usize,
-    size: usize,
-    /// `senders[d]` delivers to rank `d`.
-    senders: Vec<Sender<Msg>>,
-    /// This rank's inbox.
-    inbox: Receiver<Msg>,
-    /// Out-of-order messages parked until their `(from, tag)` is asked for.
-    parked: Mutex<VecDeque<Msg>>,
-    barrier: Arc<Barrier>,
-    stats: Arc<CommStats>,
+    transport: Box<dyn Transport>,
+    stats: CommStats,
     timeout: Duration,
     /// Shared epoch for trace timestamps (same instant on every rank).
     epoch: Instant,
     /// Recorded communication events.
     trace: Mutex<Vec<TraceEvent>>,
+    /// Phase names in first-entered order; trace events and errors refer
+    /// to phases by index into this list.
+    phases: Mutex<Vec<String>>,
+    /// Index of the currently executing phase.
+    phase: AtomicU32,
 }
 
 impl Comm {
+    /// Wrap a transport endpoint. `epoch` anchors trace timestamps and
+    /// should be (approximately) the same instant on every rank;
+    /// `timeout` bounds every receive.
+    pub fn new(transport: Box<dyn Transport>, timeout: Duration, epoch: Instant) -> Comm {
+        Comm {
+            transport,
+            stats: CommStats::default(),
+            timeout,
+            epoch,
+            trace: Mutex::new(Vec::new()),
+            phases: Mutex::new(vec!["main".to_string()]),
+            phase: AtomicU32::new(0),
+        }
+    }
+
     /// This rank's id (0-based).
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
     /// This rank's statistics handle.
@@ -134,12 +109,51 @@ impl Comm {
         &self.stats
     }
 
-    /// Drain this rank's recorded trace (see [`crate::trace`]).
-    pub fn take_trace(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.trace.lock())
+    /// Wire-level counters from the transport (messages/bytes actually
+    /// moved, including framing overhead on networked backends).
+    pub fn wire_stats(&self) -> WireStats {
+        self.transport.wire_stats()
     }
 
-    fn record(&self, kind: EventKind, start: Instant, peer: usize, elems: usize) {
+    /// Enter a named program phase (`sync_3`, `pre_1`, `reduce_err`, ...).
+    /// Subsequent trace events and errors carry it; re-entering a name
+    /// reuses its index.
+    pub fn enter_phase(&self, name: &str) {
+        let mut phases = self.phases.lock();
+        let idx = match phases.iter().position(|p| p == name) {
+            Some(i) => i,
+            None => {
+                phases.push(name.to_string());
+                phases.len() - 1
+            }
+        };
+        self.phase.store(idx as u32, Ordering::Relaxed);
+    }
+
+    /// Phase names in index order (parallel to `TraceEvent::phase`).
+    pub fn phase_names(&self) -> Vec<String> {
+        self.phases.lock().clone()
+    }
+
+    fn current_phase(&self) -> u32 {
+        self.phase.load(Ordering::Relaxed)
+    }
+
+    fn current_phase_name(&self) -> String {
+        let phases = self.phases.lock();
+        phases
+            .get(self.current_phase() as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Attach the executing phase to a transport error.
+    fn ctx(&self, e: CommError) -> CommError {
+        let name = self.current_phase_name();
+        e.with_phase(&name)
+    }
+
+    fn record(&self, kind: EventKind, start: Instant, peer: usize, elems: usize, bytes: usize) {
         let end = self.epoch.elapsed();
         let start = start.duration_since(self.epoch);
         self.trace.lock().push(TraceEvent {
@@ -148,76 +162,56 @@ impl Comm {
             end,
             peer,
             elems,
+            bytes,
+            phase: self.current_phase(),
         });
+    }
+
+    /// Drain this rank's recorded trace (see [`crate::trace`]).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace.lock())
     }
 
     /// Send `payload` to rank `to` with `tag`. Buffered; never blocks.
     ///
     /// # Panics
     /// Panics if `to` is out of range or is this rank itself.
-    pub fn send(&self, to: usize, tag: u64, payload: &[f64]) {
+    pub fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<(), CommError> {
         let t0 = Instant::now();
-        self.send_raw(to, tag, payload);
-        self.record(EventKind::Send, t0, to, payload.len());
+        let bytes = self.send_raw(to, tag, payload)?;
+        self.record(EventKind::Send, t0, to, payload.len(), bytes);
+        Ok(())
     }
 
-    fn send_raw(&self, to: usize, tag: u64, payload: &[f64]) {
-        assert!(to < self.size, "send to rank {to} of {}", self.size);
-        assert_ne!(to, self.rank, "self-send is a schedule bug");
+    fn send_raw(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+        assert!(to < self.size(), "send to rank {to} of {}", self.size());
+        assert_ne!(to, self.rank(), "self-send is a schedule bug");
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.stats
             .elems_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        // peer gone = program shutting down; ignore like MPI_Send to a
-        // finalized rank would abort — tests catch it via recv timeouts.
-        let _ = self.senders[to].send((self.rank, tag, payload.to_vec()));
+        self.transport
+            .send(to, tag, payload)
+            .map_err(|e| self.ctx(e))
     }
 
     /// Receive the next message from `from` with `tag` (FIFO per
     /// `(from, tag)`); messages for other `(from, tag)` pairs arriving
     /// first are parked, preserving their own order.
-    pub fn recv(&self, from: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
+    pub fn recv(&self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
         let t0 = Instant::now();
-        let r = self.recv_raw(from, tag);
-        if let Ok(p) = &r {
-            self.record(EventKind::Recv, t0, from, p.len());
-        }
-        r
+        let (payload, bytes) = self
+            .transport
+            .recv(from, tag, self.timeout)
+            .map_err(|e| self.ctx(e))?;
+        self.record(EventKind::Recv, t0, from, payload.len(), bytes);
+        Ok(payload)
     }
 
-    fn recv_raw(&self, from: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
-        // check parked messages first
-        {
-            let mut parked = self.parked.lock();
-            if let Some(pos) = parked.iter().position(|m| m.0 == from && m.1 == tag) {
-                return Ok(parked.remove(pos).unwrap().2);
-            }
-        }
-        let deadline = std::time::Instant::now() + self.timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.inbox.recv_timeout(remaining) {
-                Ok((src, t, payload)) => {
-                    if src == from && t == tag {
-                        return Ok(payload);
-                    }
-                    self.parked.lock().push_back((src, t, payload));
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    return Err(RecvError::Timeout {
-                        rank: self.rank,
-                        from,
-                        tag,
-                    })
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(RecvError::Disconnected {
-                        rank: self.rank,
-                        from,
-                    })
-                }
-            }
-        }
+    fn recv_raw(&self, from: usize, tag: u64) -> Result<(Vec<f64>, usize), CommError> {
+        self.transport
+            .recv(from, tag, self.timeout)
+            .map_err(|e| self.ctx(e))
     }
 
     /// Simultaneous exchange with a peer: send then receive. Safe against
@@ -228,54 +222,61 @@ impl Comm {
         send_tag: u64,
         payload: &[f64],
         recv_tag: u64,
-    ) -> Result<Vec<f64>, RecvError> {
-        self.send(peer, send_tag, payload);
+    ) -> Result<Vec<f64>, CommError> {
+        self.send(peer, send_tag, payload)?;
         self.recv(peer, recv_tag)
     }
 
     /// Block until all ranks arrive.
-    pub fn barrier(&self) {
+    pub fn barrier(&self) -> Result<(), CommError> {
         let t0 = Instant::now();
         self.stats.barriers.fetch_add(1, Ordering::Relaxed);
-        self.barrier.wait();
-        self.record(EventKind::Barrier, t0, 0, 0);
+        self.transport
+            .barrier(self.timeout)
+            .map_err(|e| self.ctx(e))?;
+        self.record(EventKind::Barrier, t0, 0, 0, 0);
+        Ok(())
     }
 
     /// All-reduce a single value with `op`; every rank returns the same
     /// result. Implemented as gather-to-0 + broadcast.
-    pub fn allreduce(&self, value: f64, op: ReduceOp) -> Result<f64, RecvError> {
+    pub fn allreduce(&self, value: f64, op: ReduceOp) -> Result<f64, CommError> {
         let t0 = Instant::now();
         self.stats.reduces.fetch_add(1, Ordering::Relaxed);
         const REDUCE_TAG: u64 = u64::MAX - 1;
         const BCAST_TAG: u64 = u64::MAX - 2;
-        if self.size == 1 {
+        if self.size() == 1 {
             return Ok(value);
         }
-        let result = if self.rank == 0 {
+        let mut bytes = 0usize;
+        let result = if self.rank() == 0 {
             let mut acc = value;
-            for src in 1..self.size {
-                let v = self.recv_raw(src, REDUCE_TAG)?;
+            for src in 1..self.size() {
+                let (v, b) = self.recv_raw(src, REDUCE_TAG)?;
+                bytes += b;
                 acc = op.apply(acc, v[0]);
             }
-            for dst in 1..self.size {
-                self.send_raw(dst, BCAST_TAG, &[acc]);
+            for dst in 1..self.size() {
+                bytes += self.send_raw(dst, BCAST_TAG, &[acc])?;
             }
             acc
         } else {
-            self.send_raw(0, REDUCE_TAG, &[value]);
-            self.recv_raw(0, BCAST_TAG)?[0]
+            bytes += self.send_raw(0, REDUCE_TAG, &[value])?;
+            let (v, b) = self.recv_raw(0, BCAST_TAG)?;
+            bytes += b;
+            v[0]
         };
-        self.record(EventKind::Reduce, t0, 0, 1);
+        self.record(EventKind::Reduce, t0, 0, 1, bytes);
         Ok(result)
     }
 
     /// Gather every rank's `payload` at `root`: returns `Some(vec of
     /// per-rank payloads, in rank order)` on the root and `None`
     /// elsewhere.
-    pub fn gather(&self, root: usize, payload: &[f64]) -> Result<Option<Vec<Vec<f64>>>, RecvError> {
+    pub fn gather(&self, root: usize, payload: &[f64]) -> Result<Option<Vec<Vec<f64>>>, CommError> {
         const TAG: u64 = u64::MAX - 4;
-        if self.rank == root {
-            let mut out = vec![Vec::new(); self.size];
+        if self.rank() == root {
+            let mut out = vec![Vec::new(); self.size()];
             out[root] = payload.to_vec();
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
@@ -284,22 +285,22 @@ impl Comm {
             }
             Ok(Some(out))
         } else {
-            self.send(root, TAG, payload);
+            self.send(root, TAG, payload)?;
             Ok(None)
         }
     }
 
     /// Broadcast `payload` from `root` to all ranks; returns the payload
     /// on every rank.
-    pub fn broadcast(&self, root: usize, payload: &[f64]) -> Result<Vec<f64>, RecvError> {
+    pub fn broadcast(&self, root: usize, payload: &[f64]) -> Result<Vec<f64>, CommError> {
         const TAG: u64 = u64::MAX - 3;
-        if self.size == 1 {
+        if self.size() == 1 {
             return Ok(payload.to_vec());
         }
-        if self.rank == root {
-            for dst in 0..self.size {
+        if self.rank() == root {
+            for dst in 0..self.size() {
                 if dst != root {
-                    self.send(dst, TAG, payload);
+                    self.send(dst, TAG, payload)?;
                 }
             }
             Ok(payload.to_vec())
@@ -307,83 +308,26 @@ impl Comm {
             self.recv(root, TAG)
         }
     }
-}
 
-/// Launch `n` ranks; each runs `f(comm)` on its own thread. Results are
-/// returned in rank order. A panicking rank propagates its panic.
-///
-/// ```
-/// use autocfd_runtime::{run_spmd, ReduceOp};
-/// let maxima = run_spmd(4, |comm| {
-///     comm.allreduce(comm.rank() as f64, ReduceOp::Max).unwrap()
-/// });
-/// assert_eq!(maxima, vec![3.0; 4]);
-/// ```
-pub fn run_spmd<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(Comm) -> T + Sync,
-{
-    run_spmd_with_timeout(n, DEFAULT_TIMEOUT, f)
-}
-
-/// [`run_spmd`] with an explicit receive timeout (tests use short ones to
-/// exercise deadlock surfacing).
-pub fn run_spmd_with_timeout<T, F>(n: usize, timeout: Duration, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(Comm) -> T + Sync,
-{
-    assert!(n >= 1, "need at least one rank");
-    let mut senders = Vec::with_capacity(n);
-    let mut inboxes = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded::<Msg>();
-        senders.push(tx);
-        inboxes.push(rx);
+    /// Release wire resources (close sockets, join I/O threads). Safe to
+    /// call more than once; dropping the `Comm` without calling it is
+    /// also fine for the in-process backend.
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
     }
-    let barrier = Arc::new(Barrier::new(n));
-    let epoch = Instant::now();
-    let comms: Vec<Comm> = inboxes
-        .into_iter()
-        .enumerate()
-        .map(|(rank, inbox)| Comm {
-            rank,
-            size: n,
-            senders: senders.clone(),
-            inbox,
-            parked: Mutex::new(VecDeque::new()),
-            barrier: barrier.clone(),
-            stats: Arc::new(CommStats::default()),
-            timeout,
-            epoch,
-            trace: Mutex::new(Vec::new()),
-        })
-        .collect();
-    drop(senders);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|comm| scope.spawn(|| f(comm)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("SPMD rank panicked"))
-            .collect()
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inproc::{run_spmd, run_spmd_with_timeout};
 
     #[test]
     fn ring_pass() {
         let results = run_spmd(4, |comm| {
             let r = comm.rank();
             let n = comm.size();
-            comm.send((r + 1) % n, 7, &[r as f64]);
+            comm.send((r + 1) % n, 7, &[r as f64]).unwrap();
             comm.recv((r + n - 1) % n, 7).unwrap()[0]
         });
         assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
@@ -392,7 +336,7 @@ mod tests {
     #[test]
     fn single_rank_works() {
         let results = run_spmd(1, |comm| {
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.allreduce(42.0, ReduceOp::Max).unwrap()
         });
         assert_eq!(results, vec![42.0]);
@@ -402,9 +346,9 @@ mod tests {
     fn tag_matching_out_of_order() {
         let results = run_spmd(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, &[1.0]);
-                comm.send(1, 2, &[2.0]);
-                comm.send(1, 3, &[3.0]);
+                comm.send(1, 1, &[1.0]).unwrap();
+                comm.send(1, 2, &[2.0]).unwrap();
+                comm.send(1, 3, &[3.0]).unwrap();
                 0.0
             } else {
                 // receive in reverse tag order: parking must kick in
@@ -422,7 +366,7 @@ mod tests {
         let results = run_spmd(2, |comm| {
             if comm.rank() == 0 {
                 for k in 0..100 {
-                    comm.send(1, 5, &[k as f64]);
+                    comm.send(1, 5, &[k as f64]).unwrap();
                 }
                 0.0
             } else {
@@ -516,7 +460,7 @@ mod tests {
         let counter = AtomicUsize::new(0);
         run_spmd(8, |comm| {
             counter.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             // after the barrier everyone must observe all 8 increments
             assert_eq!(counter.load(Ordering::SeqCst), 8);
         });
@@ -532,27 +476,36 @@ mod tests {
                 Ok(vec![])
             }
         });
-        assert_eq!(
-            results[0],
-            Err(RecvError::Timeout {
-                rank: 0,
-                from: 1,
-                tag: 99
-            })
-        );
+        let err = results[0].as_ref().unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!((err.rank, err.peer, err.tag), (0, Some(1), Some(99)));
+    }
+
+    #[test]
+    fn errors_carry_the_entered_phase() {
+        let results = run_spmd_with_timeout(2, Duration::from_millis(50), |comm| {
+            comm.enter_phase("sync_7");
+            if comm.rank() == 0 {
+                comm.recv(1, 99)
+            } else {
+                Ok(vec![])
+            }
+        });
+        let err = results[0].as_ref().unwrap_err();
+        assert_eq!(err.phase.as_deref(), Some("sync_7"));
     }
 
     #[test]
     fn stats_count_traffic() {
         let results = run_spmd(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, &[0.0; 10]);
-                comm.send(1, 2, &[0.0; 5]);
+                comm.send(1, 1, &[0.0; 10]).unwrap();
+                comm.send(1, 2, &[0.0; 5]).unwrap();
             } else {
                 comm.recv(0, 1).unwrap();
                 comm.recv(0, 2).unwrap();
             }
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.stats().snapshot()
         });
         assert_eq!(results[0], (2, 15, 1, 0));
@@ -560,11 +513,56 @@ mod tests {
     }
 
     #[test]
+    fn wire_stats_count_bytes_both_ways() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0.0; 10]).unwrap();
+            } else {
+                comm.recv(0, 1).unwrap();
+            }
+            comm.barrier().unwrap();
+            comm.wire_stats()
+        });
+        assert_eq!((results[0].msgs_sent, results[0].bytes_sent), (1, 80));
+        assert_eq!((results[1].msgs_recvd, results[1].bytes_recvd), (1, 80));
+    }
+
+    #[test]
+    fn trace_events_carry_phase_and_bytes() {
+        let results = run_spmd(2, |comm| {
+            comm.enter_phase("fill_0");
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0, 2.0]).unwrap();
+            } else {
+                comm.recv(0, 1).unwrap();
+            }
+            comm.enter_phase("reduce_err");
+            comm.allreduce(1.0, ReduceOp::Max).unwrap();
+            (comm.take_trace(), comm.phase_names())
+        });
+        let (trace, names) = &results[0];
+        // "main" is index 0; entered phases follow in order
+        assert_eq!(names, &["main", "fill_0", "reduce_err"]);
+        let send = trace
+            .iter()
+            .find(|e| e.kind == EventKind::Send)
+            .expect("send traced");
+        assert_eq!(send.bytes, 16);
+        assert_eq!(names[send.phase as usize], "fill_0");
+        let reduce = trace
+            .iter()
+            .find(|e| e.kind == EventKind::Reduce)
+            .expect("reduce traced");
+        assert!(reduce.bytes > 0);
+        assert_eq!(names[reduce.phase as usize], "reduce_err");
+    }
+
+    #[test]
     #[should_panic(expected = "SPMD rank panicked")]
     fn self_send_panics() {
         run_spmd(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(0, 1, &[1.0]);
+                comm.send(0, 1, &[1.0]).unwrap();
             }
         });
     }
@@ -574,7 +572,7 @@ mod tests {
         let big: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
         let results = run_spmd(2, move |comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, &big);
+                comm.send(1, 1, &big).unwrap();
                 true
             } else {
                 let got = comm.recv(0, 1).unwrap();
@@ -583,11 +581,68 @@ mod tests {
         });
         assert!(results[1]);
     }
+
+    #[test]
+    fn default_dissemination_barrier_synchronizes() {
+        // Exercise the Transport::barrier default (dissemination over
+        // send/recv) by wrapping the inproc mesh in a transport that does
+        // NOT override barrier, so the trait default runs.
+        use crate::inproc::InprocTransport;
+        use crate::transport::{Transport, WireStats};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct NoNativeBarrier(InprocTransport);
+        impl Transport for NoNativeBarrier {
+            fn rank(&self) -> usize {
+                self.0.rank()
+            }
+            fn size(&self) -> usize {
+                self.0.size()
+            }
+            fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+                self.0.send(to, tag, payload)
+            }
+            fn recv(
+                &self,
+                from: usize,
+                tag: u64,
+                timeout: Duration,
+            ) -> Result<(Vec<f64>, usize), CommError> {
+                self.0.recv(from, tag, timeout)
+            }
+            fn wire_stats(&self) -> WireStats {
+                self.0.wire_stats()
+            }
+        }
+
+        for n in [1usize, 2, 3, 5, 8] {
+            let mesh: Vec<NoNativeBarrier> = InprocTransport::mesh(n)
+                .into_iter()
+                .map(NoNativeBarrier)
+                .collect();
+            let arrivals = AtomicUsize::new(0);
+            let released_early = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for t in mesh {
+                    let (arrivals, released_early) = (&arrivals, &released_early);
+                    scope.spawn(move || {
+                        arrivals.fetch_add(1, Ordering::SeqCst);
+                        t.barrier(Duration::from_secs(5)).unwrap();
+                        if arrivals.load(Ordering::SeqCst) != n {
+                            released_early.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(released_early.load(Ordering::SeqCst), 0, "n={n}");
+        }
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::inproc::run_spmd;
     use proptest::prelude::*;
 
     proptest! {

@@ -1,0 +1,176 @@
+//! The typed communication error: every failure carries *who* waited,
+//! *on whom*, *for what* (tag), and *where in the program* (phase), so a
+//! dropped peer or a deadlocked exchange in a 4-rank TCP run reads like a
+//! diagnosis instead of a hang.
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommErrorKind {
+    /// No matching message within the receive timeout — almost always a
+    /// deadlock or a schedule bug in generated code.
+    Timeout,
+    /// The peer's endpoint is gone (thread ended, process exited, or the
+    /// TCP connection closed). The string is backend detail ("connection
+    /// reset", "eof mid-frame", ...), empty for plain channel teardown.
+    Disconnected(String),
+    /// An I/O failure on the wire (socket error, short write).
+    Io(String),
+    /// A malformed or unexpected frame / handshake message.
+    Protocol(String),
+}
+
+/// A communication failure with full context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommError {
+    /// What happened.
+    pub kind: CommErrorKind,
+    /// The rank that observed the failure.
+    pub rank: usize,
+    /// The peer involved, when there is one.
+    pub peer: Option<usize>,
+    /// The message tag being waited for / sent, when there is one.
+    pub tag: Option<u64>,
+    /// The executing program phase (`sync_3`, `pre_1`, `reduce_err`, ...)
+    /// at the time of the failure, attached by the communicator.
+    pub phase: Option<String>,
+}
+
+impl CommError {
+    /// A receive timeout on `(from, tag)`.
+    pub fn timeout(rank: usize, from: usize, tag: u64) -> Self {
+        CommError {
+            kind: CommErrorKind::Timeout,
+            rank,
+            peer: Some(from),
+            tag: Some(tag),
+            phase: None,
+        }
+    }
+
+    /// A vanished peer, with backend detail.
+    pub fn disconnected(rank: usize, peer: usize, detail: impl Into<String>) -> Self {
+        CommError {
+            kind: CommErrorKind::Disconnected(detail.into()),
+            rank,
+            peer: Some(peer),
+            tag: None,
+            phase: None,
+        }
+    }
+
+    /// A wire I/O failure towards `peer`.
+    pub fn io(rank: usize, peer: usize, detail: impl Into<String>) -> Self {
+        CommError {
+            kind: CommErrorKind::Io(detail.into()),
+            rank,
+            peer: Some(peer),
+            tag: None,
+            phase: None,
+        }
+    }
+
+    /// A protocol violation (bad frame, bad handshake).
+    pub fn protocol(rank: usize, detail: impl Into<String>) -> Self {
+        CommError {
+            kind: CommErrorKind::Protocol(detail.into()),
+            rank,
+            peer: None,
+            tag: None,
+            phase: None,
+        }
+    }
+
+    /// Attach the tag being waited for.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// Attach the executing phase name (kept if already set).
+    pub fn with_phase(mut self, phase: &str) -> Self {
+        if self.phase.is_none() {
+            self.phase = Some(phase.to_string());
+        }
+        self
+    }
+
+    /// Whether this is a receive timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self.kind, CommErrorKind::Timeout)
+    }
+
+    /// Whether this is a vanished peer.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self.kind, CommErrorKind::Disconnected(_))
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {}", self.rank)?;
+        match &self.kind {
+            CommErrorKind::Timeout => {
+                write!(f, ": timeout waiting for message")?;
+                if let Some(p) = self.peer {
+                    write!(f, " from rank {p}")?;
+                }
+            }
+            CommErrorKind::Disconnected(detail) => {
+                match self.peer {
+                    Some(p) => write!(f, ": peer {p} disconnected")?,
+                    None => write!(f, ": peer disconnected")?,
+                }
+                if !detail.is_empty() {
+                    write!(f, " ({detail})")?;
+                }
+            }
+            CommErrorKind::Io(detail) => {
+                write!(f, ": i/o error")?;
+                if let Some(p) = self.peer {
+                    write!(f, " towards rank {p}")?;
+                }
+                write!(f, ": {detail}")?;
+            }
+            CommErrorKind::Protocol(detail) => {
+                write!(f, ": protocol error: {detail}")?;
+            }
+        }
+        if let Some(tag) = self.tag {
+            write!(f, " tag {tag}")?;
+        }
+        if let Some(phase) = &self.phase {
+            write!(f, " in phase `{phase}`")?;
+        }
+        if self.is_timeout() {
+            write!(f, " (deadlock?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_full_context() {
+        let e = CommError::timeout(2, 0, 1003).with_phase("sync_0");
+        let s = e.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("from rank 0"), "{s}");
+        assert!(s.contains("tag 1003"), "{s}");
+        assert!(s.contains("phase `sync_0`"), "{s}");
+        assert!(s.contains("deadlock"), "{s}");
+    }
+
+    #[test]
+    fn phase_attaches_once() {
+        let e = CommError::disconnected(1, 3, "connection reset")
+            .with_phase("pre_2")
+            .with_phase("later");
+        assert_eq!(e.phase.as_deref(), Some("pre_2"));
+        assert!(e.to_string().contains("connection reset"));
+    }
+}

@@ -1,0 +1,156 @@
+//! The in-process backend: every rank is a thread, messages travel over
+//! crossbeam channels, and the barrier is `std::sync::Barrier`. This is
+//! the zero-setup default transport behind [`run_spmd`]; the TCP backend
+//! in `autocfd-runtime-net` implements the same [`Transport`] contract
+//! across processes.
+
+use crate::comm::{Comm, DEFAULT_TIMEOUT};
+use crate::error::CommError;
+use crate::transport::{InboxMsg, MatchingInbox, Transport, WireStats};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One rank's endpoint of an in-process (thread + channel) mesh.
+pub struct InprocTransport {
+    rank: usize,
+    size: usize,
+    /// `senders[d]` feeds rank `d`'s inbox.
+    senders: Vec<Sender<InboxMsg>>,
+    inbox: MatchingInbox,
+    barrier: Arc<Barrier>,
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recvd: AtomicU64,
+    bytes_recvd: AtomicU64,
+}
+
+impl InprocTransport {
+    /// Build a fully connected `n`-rank mesh; element `r` is rank `r`'s
+    /// endpoint.
+    pub fn mesh(n: usize) -> Vec<InprocTransport> {
+        assert!(n >= 1, "need at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<InboxMsg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(n));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| InprocTransport {
+                rank,
+                size: n,
+                senders: senders.clone(),
+                inbox: MatchingInbox::new(rank, rx),
+                barrier: barrier.clone(),
+                msgs_sent: AtomicU64::new(0),
+                bytes_sent: AtomicU64::new(0),
+                msgs_recvd: AtomicU64::new(0),
+                bytes_recvd: AtomicU64::new(0),
+            })
+            .collect()
+    }
+}
+
+impl Transport for InprocTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+        let wire_bytes = payload.len() * 8;
+        // peer gone = program shutting down; ignore like MPI_Send to a
+        // finalized rank would abort — tests catch it via recv timeouts.
+        let _ = self.senders[to].send(InboxMsg::Data {
+            from: self.rank,
+            tag,
+            payload: payload.to_vec(),
+            wire_bytes,
+        });
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        Ok(wire_bytes)
+    }
+
+    fn recv(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, usize), CommError> {
+        let (payload, wire_bytes) = self.inbox.recv(from, tag, timeout)?;
+        self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recvd
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        Ok((payload, wire_bytes))
+    }
+
+    fn barrier(&self, _timeout: Duration) -> Result<(), CommError> {
+        // threads share an address space, so the native barrier is both
+        // cheaper and immune to tag-band traffic
+        self.barrier.wait();
+        Ok(())
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        WireStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_recvd: self.msgs_recvd.load(Ordering::Relaxed),
+            bytes_recvd: self.bytes_recvd.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Launch `n` ranks; each runs `f(comm)` on its own thread. Results are
+/// returned in rank order. A panicking rank propagates its panic.
+///
+/// ```
+/// use autocfd_runtime::{run_spmd, ReduceOp};
+/// let maxima = run_spmd(4, |comm| {
+///     comm.allreduce(comm.rank() as f64, ReduceOp::Max).unwrap()
+/// });
+/// assert_eq!(maxima, vec![3.0; 4]);
+/// ```
+pub fn run_spmd<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    run_spmd_with_timeout(n, DEFAULT_TIMEOUT, f)
+}
+
+/// [`run_spmd`] with an explicit receive timeout (tests use short ones to
+/// exercise deadlock surfacing).
+pub fn run_spmd_with_timeout<T, F>(n: usize, timeout: Duration, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    let epoch = Instant::now();
+    let comms: Vec<Comm> = InprocTransport::mesh(n)
+        .into_iter()
+        .map(|t| Comm::new(Box::new(t), timeout, epoch))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(|| f(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPMD rank panicked"))
+            .collect()
+    })
+}

@@ -4,29 +4,45 @@
 //!
 //! The Auto-CFD paper generates SPMD programs with PVM/MPI calls and runs
 //! them on a dedicated Ethernet cluster of Pentium workstations. This
-//! crate provides the same programming model on threads, so the generated
-//! parallel programs can actually *execute* and be checked for
-//! equivalence with their sequential originals:
+//! crate provides the same programming model, layered over a pluggable
+//! [`Transport`], so the generated parallel programs can actually
+//! *execute* and be checked for equivalence with their sequential
+//! originals:
 //!
-//! * [`run_spmd`] — launch `n` ranks, each a thread with a [`Comm`]
-//!   endpoint, and collect their results;
-//! * [`Comm`] — point-to-point `send`/`recv`/`sendrecv` with tag
-//!   matching and per-(source, tag) FIFO ordering, plus the collectives
-//!   the restructured programs need: `barrier`, `allreduce` (max / sum /
-//!   min — the convergence test of a CFD frame is an allreduce-max of
-//!   the local error);
-//! * deadlock surfacing: every receive carries a timeout; a blocked
-//!   exchange reports *which* rank waited on which peer/tag instead of
-//!   hanging the test suite;
-//! * communication statistics per rank (message and byte counts), which
-//!   the cluster cost model consumes.
+//! * [`Transport`] — the wire contract: tagged point-to-point
+//!   `send`/`recv` with per-`(source, tag)` FIFO, a barrier (default:
+//!   dissemination over reserved tags), and wire-level byte counters.
+//!   [`inproc::InprocTransport`] runs ranks as threads over channels;
+//!   the companion crate `autocfd-runtime-net` runs them as processes
+//!   over TCP with the same semantics;
+//! * [`run_spmd`] — launch `n` ranks in-process, each a thread with a
+//!   [`Comm`] endpoint, and collect their results;
+//! * [`Comm`] — the transport-agnostic communicator: `send`/`recv`/
+//!   `sendrecv` plus the collectives the restructured programs need
+//!   (`barrier`, `allreduce` max / sum / min — the convergence test of a
+//!   CFD frame is an allreduce-max of the local error), with program
+//!   *phase* labels threaded into traces and errors;
+//! * deadlock and failure surfacing: every receive carries a timeout and
+//!   failures return a typed [`CommError`] saying *which* rank waited on
+//!   which peer/tag in which phase, instead of hanging the run;
+//! * per-rank statistics and event traces (message, element, and wire
+//!   byte counts per phase), which the cluster cost model and the
+//!   profiler consume.
 //!
-//! Sends are buffered (unbounded channels), matching the eager-send
-//! semantics of small-message MPI on Ethernet: a `send` never blocks, so
-//! the symmetric `sendrecv` used by halo exchange cannot deadlock.
+//! Sends are buffered, matching the eager-send semantics of
+//! small-message MPI on Ethernet: a `send` never blocks, so the
+//! symmetric `sendrecv` used by halo exchange cannot deadlock.
 
 pub mod comm;
+pub mod error;
+pub mod inproc;
 pub mod trace;
+pub mod transport;
 
-pub use comm::{run_spmd, Comm, CommStats, RecvError, ReduceOp, DEFAULT_TIMEOUT};
-pub use trace::{render_timeline, summarize, EventKind, TraceEvent};
+pub use comm::{Comm, CommStats, ReduceOp, DEFAULT_TIMEOUT};
+pub use error::{CommError, CommErrorKind};
+pub use inproc::{run_spmd, run_spmd_with_timeout, InprocTransport};
+pub use trace::{
+    render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, TraceEvent,
+};
+pub use transport::{InboxMsg, MatchingInbox, Transport, WireStats, BARRIER_TAG_BASE};

@@ -1,12 +1,13 @@
-//! Per-rank execution traces and a text timeline renderer.
+//! Per-rank execution traces and text renderers.
 //!
 //! The paper reasons about *where time goes* in the generated programs —
 //! pipeline stalls from mirror-image decomposition, communication versus
 //! computation, barrier waits. The communicator records every
-//! communication event with wall-clock timestamps, and
-//! [`render_timeline`] turns the per-rank traces into a text Gantt chart
-//! so a user can *see* the pipeline skew of a self-dependent sweep or
-//! the synchronization structure of a frame.
+//! communication event with wall-clock timestamps, wire footprint, and
+//! the program phase it ran in; [`render_timeline`] turns the per-rank
+//! traces into a text Gantt chart, and [`render_wire_table`] breaks the
+//! wire traffic down per rank per phase — identically for the in-process
+//! and TCP transports, since both feed the same trace.
 
 use std::time::Duration;
 
@@ -37,6 +38,13 @@ pub struct TraceEvent {
     pub peer: usize,
     /// Payload f64 elements (0 for barrier).
     pub elems: usize,
+    /// Wire bytes moved by this event (framed size on networked
+    /// transports; payload size in-process; 0 for barrier).
+    pub bytes: usize,
+    /// Index into the rank's phase-name list (see
+    /// [`crate::Comm::phase_names`]) identifying the program phase this
+    /// event ran in.
+    pub phase: u32,
 }
 
 impl TraceEvent {
@@ -51,6 +59,118 @@ pub fn summarize(trace: &[TraceEvent]) -> (usize, Duration, usize) {
     let wait = trace.iter().map(TraceEvent::wait).sum();
     let elems = trace.iter().map(|e| e.elems).sum();
     (trace.len(), wait, elems)
+}
+
+/// Total wire bytes a rank moved (sent + received), from its trace.
+pub fn wire_bytes(trace: &[TraceEvent]) -> u64 {
+    trace.iter().map(|e| e.bytes as u64).sum()
+}
+
+/// Aggregate one rank's trace into per-phase wire traffic:
+/// `(phase name, messages, bytes)` in phase-index order, skipping phases
+/// with no traced events. `phase_names` is the rank's phase list
+/// ([`crate::Comm::phase_names`]).
+pub fn wire_by_phase(trace: &[TraceEvent], phase_names: &[String]) -> Vec<(String, u64, u64)> {
+    let slots = phase_names.len().max(
+        trace
+            .iter()
+            .map(|e| e.phase as usize + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut msgs = vec![0u64; slots];
+    let mut bytes = vec![0u64; slots];
+    let mut touched = vec![false; slots];
+    for e in trace {
+        let p = e.phase as usize;
+        touched[p] = true;
+        bytes[p] += e.bytes as u64;
+        if matches!(
+            e.kind,
+            EventKind::Send | EventKind::Recv | EventKind::Reduce
+        ) {
+            msgs[p] += 1;
+        }
+    }
+    (0..slots)
+        .filter(|&p| touched[p])
+        .map(|p| {
+            let name = phase_names
+                .get(p)
+                .cloned()
+                .unwrap_or_else(|| format!("phase_{p}"));
+            (name, msgs[p], bytes[p])
+        })
+        .collect()
+}
+
+/// Render per-rank per-phase wire traffic as a text table.
+///
+/// `traces[r]` and `phase_names[r]` are rank `r`'s trace and phase list.
+/// Rows are phases in first-appearance order across ranks; cells are
+/// `msgs/bytes`; a final column and row total per phase and per rank.
+pub fn render_wire_table(traces: &[Vec<TraceEvent>], phase_names: &[Vec<String>]) -> String {
+    let n = traces.len();
+    // ordered union of phase names with any traffic
+    let mut phases: Vec<String> = Vec::new();
+    let per_rank: Vec<Vec<(String, u64, u64)>> = traces
+        .iter()
+        .zip(phase_names)
+        .map(|(t, names)| wire_by_phase(t, names))
+        .collect();
+    for rows in &per_rank {
+        for (name, _, _) in rows {
+            if !phases.contains(name) {
+                phases.push(name.clone());
+            }
+        }
+    }
+    let cell = |msgs: u64, bytes: u64| {
+        if msgs == 0 && bytes == 0 {
+            "-".to_string()
+        } else {
+            format!("{msgs} msg/{bytes} B")
+        }
+    };
+    let name_w = phases
+        .iter()
+        .map(|p| p.len())
+        .chain(["phase".len(), "total".len()])
+        .max()
+        .unwrap_or(5);
+    let mut out = String::new();
+    out.push_str(&format!("{:name_w$}", "phase"));
+    for r in 0..n {
+        out.push_str(&format!("  {:>16}", format!("rank {r}")));
+    }
+    out.push_str(&format!("  {:>16}\n", "total"));
+    let mut rank_totals = vec![(0u64, 0u64); n];
+    for phase in &phases {
+        out.push_str(&format!("{phase:name_w$}"));
+        let (mut pm, mut pb) = (0u64, 0u64);
+        for (r, rows) in per_rank.iter().enumerate() {
+            let (m, b) = rows
+                .iter()
+                .find(|(name, _, _)| name == phase)
+                .map(|&(_, m, b)| (m, b))
+                .unwrap_or((0, 0));
+            pm += m;
+            pb += b;
+            rank_totals[r].0 += m;
+            rank_totals[r].1 += b;
+            out.push_str(&format!("  {:>16}", cell(m, b)));
+        }
+        out.push_str(&format!("  {:>16}\n", cell(pm, pb)));
+    }
+    out.push_str(&format!("{:name_w$}", "total"));
+    let (mut tm, mut tb) = (0u64, 0u64);
+    for &(m, b) in &rank_totals {
+        tm += m;
+        tb += b;
+        out.push_str(&format!("  {:>16}", cell(m, b)));
+    }
+    out.push_str(&format!("  {:>16}\n", cell(tm, tb)));
+    out
 }
 
 /// Render per-rank traces as a fixed-width text timeline.
@@ -108,12 +228,18 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind, start_ms: u64, end_ms: u64, elems: usize) -> TraceEvent {
+        ev_in(kind, start_ms, end_ms, elems, 0)
+    }
+
+    fn ev_in(kind: EventKind, start_ms: u64, end_ms: u64, elems: usize, phase: u32) -> TraceEvent {
         TraceEvent {
             kind,
             start: Duration::from_millis(start_ms),
             end: Duration::from_millis(end_ms),
             peer: 0,
             elems,
+            bytes: elems * 8,
+            phase,
         }
     }
 
@@ -128,6 +254,7 @@ mod tests {
         assert_eq!(n, 3);
         assert_eq!(wait, Duration::from_millis(6));
         assert_eq!(elems, 20);
+        assert_eq!(wire_bytes(&t), 160);
     }
 
     #[test]
@@ -167,5 +294,45 @@ mod tests {
             !row.contains('s'),
             "send must not overwrite the wait: {row}"
         );
+    }
+
+    #[test]
+    fn wire_by_phase_groups_and_skips_silent_phases() {
+        let names: Vec<String> = ["main", "sync_0", "quiet", "reduce_err"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let trace = vec![
+            ev_in(EventKind::Send, 0, 0, 4, 1),
+            ev_in(EventKind::Recv, 1, 2, 4, 1),
+            ev_in(EventKind::Reduce, 3, 4, 1, 3),
+            ev_in(EventKind::Barrier, 5, 6, 0, 3),
+        ];
+        let rows = wire_by_phase(&trace, &names);
+        assert_eq!(
+            rows,
+            vec![
+                ("sync_0".to_string(), 2, 64),
+                ("reduce_err".to_string(), 1, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn wire_table_totals_add_up() {
+        let names = vec![
+            vec!["main".to_string(), "sync_0".to_string()],
+            vec!["main".to_string(), "sync_0".to_string()],
+        ];
+        let traces = vec![
+            vec![ev_in(EventKind::Send, 0, 0, 8, 1)],
+            vec![ev_in(EventKind::Recv, 0, 1, 8, 1)],
+        ];
+        let s = render_wire_table(&traces, &names);
+        assert!(s.contains("sync_0"), "{s}");
+        assert!(s.contains("1 msg/64 B"), "{s}");
+        // grand total: 2 messages, 128 bytes
+        assert!(s.contains("2 msg/128 B"), "{s}");
+        assert!(s.lines().next().unwrap().contains("rank 0"));
     }
 }

@@ -1,0 +1,351 @@
+//! The pluggable transport layer: a [`Transport`] carries tagged `f64`
+//! payloads between ranks, and everything above it — the [`crate::Comm`]
+//! collectives, tracing, and the SPMD interpreter hooks — is
+//! backend-agnostic. The in-process crossbeam backend
+//! ([`crate::inproc`]) and the multi-process TCP backend (crate
+//! `autocfd-runtime-net`) both plug in here.
+//!
+//! Backends that deliver messages through a single inbox channel (both
+//! shipped backends do) share [`MatchingInbox`], so tag-matching, message
+//! parking, and FIFO-per-`(from, tag)` ordering behave identically
+//! in-process and over the wire.
+
+use crate::error::CommError;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// First tag of the band reserved for the default dissemination barrier
+/// (round `k` uses `BARRIER_TAG_BASE + k`). User-visible schedules use
+/// small tags and the collectives in `comm.rs` use `u64::MAX - 1..=4`,
+/// so a 64-tag band below those is safely out of everyone's way.
+pub const BARRIER_TAG_BASE: u64 = u64::MAX - 100;
+
+/// Cumulative wire-level counters for one rank, as reported by a
+/// backend: message and byte totals actually moved on its "wire"
+/// (channel payloads in-process, framed TCP bytes over sockets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Messages handed to the wire.
+    pub msgs_sent: u64,
+    /// Bytes handed to the wire (including any framing overhead).
+    pub bytes_sent: u64,
+    /// Messages taken off the wire.
+    pub msgs_recvd: u64,
+    /// Bytes taken off the wire.
+    pub bytes_recvd: u64,
+}
+
+impl WireStats {
+    /// Accumulate another rank's counters into this one.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recvd += other.msgs_recvd;
+        self.bytes_recvd += other.bytes_recvd;
+    }
+}
+
+/// A point-to-point message carrier for one rank of an SPMD program.
+///
+/// `send` is non-blocking (buffered); `recv` blocks up to a timeout and
+/// matches on `(from, tag)` with FIFO order per pair. Both return the
+/// number of *wire bytes* moved so the profiler can attribute traffic.
+/// All methods take `&self`: a transport is shared behind the
+/// [`crate::Comm`] owned by its rank's thread, and backends synchronize
+/// internally.
+pub trait Transport: Send {
+    /// This endpoint's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Buffer `payload` for delivery to rank `to` under `tag`. Returns
+    /// the wire bytes enqueued. Fails only when the peer is known dead
+    /// (backends without failure detection may silently drop instead).
+    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError>;
+
+    /// Block until a message from `from` with `tag` arrives, up to
+    /// `timeout`. Returns the payload and its wire size.
+    fn recv(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, usize), CommError>;
+
+    /// Synchronize all ranks. The default is a dissemination barrier
+    /// built on `send`/`recv` over the reserved tag band — ⌈log₂ n⌉
+    /// rounds, no coordinator. Backends with a cheaper native primitive
+    /// (the in-process backend has `std::sync::Barrier`) override this.
+    fn barrier(&self, timeout: Duration) -> Result<(), CommError> {
+        let n = self.size();
+        let rank = self.rank();
+        let mut round = 0u64;
+        let mut step = 1usize;
+        while step < n {
+            let to = (rank + step) % n;
+            let from = (rank + n - step) % n;
+            self.send(to, BARRIER_TAG_BASE + round, &[])?;
+            self.recv(from, BARRIER_TAG_BASE + round, timeout)?;
+            step <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Cumulative wire counters for this rank. Backends that do not
+    /// track traffic return zeros.
+    fn wire_stats(&self) -> WireStats {
+        WireStats::default()
+    }
+
+    /// Release wire resources (close sockets, join I/O threads). Called
+    /// once when the rank finishes; the default is a no-op.
+    fn shutdown(&self) {}
+}
+
+/// What a backend's delivery path feeds into a [`MatchingInbox`].
+#[derive(Debug)]
+pub enum InboxMsg {
+    /// A payload from `from` under `tag`; `wire_bytes` is its size as
+    /// moved on the backend's wire.
+    Data {
+        /// Sending rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+        /// The values.
+        payload: Vec<f64>,
+        /// Wire footprint of this message.
+        wire_bytes: usize,
+    },
+    /// The connection to `peer` is gone; no further messages from it can
+    /// arrive. `detail` says how it died ("connection reset", ...).
+    PeerGone {
+        /// The vanished rank.
+        peer: usize,
+        /// Backend-specific cause.
+        detail: String,
+    },
+}
+
+/// A parked message: `(from, tag, payload, wire_bytes)`.
+type ParkedMsg = (usize, u64, Vec<f64>, usize);
+
+/// Tag-matching receive logic shared by inbox-style backends.
+///
+/// Messages that arrive while the receiver waits for a different
+/// `(from, tag)` are parked and matched later, preserving arrival order
+/// per `(from, tag)` pair. A [`InboxMsg::PeerGone`] notice fails only
+/// receives targeting that peer — and only after every message the peer
+/// sent before dying has been drained.
+pub struct MatchingInbox {
+    rank: usize,
+    rx: Receiver<InboxMsg>,
+    /// Messages awaiting a matching `recv`.
+    parked: Mutex<VecDeque<ParkedMsg>>,
+    /// Peers known dead, with the failure detail.
+    gone: Mutex<BTreeMap<usize, String>>,
+}
+
+impl MatchingInbox {
+    /// An inbox for `rank` fed through `rx`.
+    pub fn new(rank: usize, rx: Receiver<InboxMsg>) -> Self {
+        MatchingInbox {
+            rank,
+            rx,
+            parked: Mutex::new(VecDeque::new()),
+            gone: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Take the first parked message matching `(from, tag)`.
+    fn take_parked(&self, from: usize, tag: u64) -> Option<(Vec<f64>, usize)> {
+        let mut parked = self.parked.lock();
+        let idx = parked
+            .iter()
+            .position(|(f, t, _, _)| *f == from && *t == tag)?;
+        let (_, _, payload, wire) = parked.remove(idx).expect("index from position");
+        Some((payload, wire))
+    }
+
+    /// Move every message already sitting in the channel into the parked
+    /// queue (used before declaring a dead peer's stream exhausted).
+    fn drain_pending(&self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.absorb(msg);
+        }
+    }
+
+    fn absorb(&self, msg: InboxMsg) {
+        match msg {
+            InboxMsg::Data {
+                from,
+                tag,
+                payload,
+                wire_bytes,
+            } => self
+                .parked
+                .lock()
+                .push_back((from, tag, payload, wire_bytes)),
+            InboxMsg::PeerGone { peer, detail } => {
+                self.gone.lock().entry(peer).or_insert(detail);
+            }
+        }
+    }
+
+    /// Whether `peer` has been reported dead; returns the detail.
+    fn peer_gone(&self, peer: usize) -> Option<String> {
+        self.gone.lock().get(&peer).cloned()
+    }
+
+    /// Blocking tag-matched receive; see [`Transport::recv`] for the
+    /// contract.
+    pub fn recv(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, usize), CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(found) = self.take_parked(from, tag) {
+                return Ok(found);
+            }
+            if let Some(detail) = self.peer_gone(from) {
+                // The peer died; anything it managed to send is already in
+                // the channel. Park it all and give matching one last look.
+                self.drain_pending();
+                if let Some(found) = self.take_parked(from, tag) {
+                    return Ok(found);
+                }
+                return Err(CommError::disconnected(self.rank, from, detail).with_tag(tag));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(msg) => self.absorb(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::timeout(self.rank, from, tag));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every sender handle dropped: the whole job is tearing
+                    // down around a rank still waiting.
+                    return Err(
+                        CommError::disconnected(self.rank, from, "all peers shut down")
+                            .with_tag(tag),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CommErrorKind;
+    use crossbeam::channel::unbounded;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn matches_and_parks_out_of_order() {
+        let (tx, rx) = unbounded();
+        let inbox = MatchingInbox::new(0, rx);
+        tx.send(InboxMsg::Data {
+            from: 1,
+            tag: 7,
+            payload: vec![1.0],
+            wire_bytes: 8,
+        })
+        .unwrap();
+        tx.send(InboxMsg::Data {
+            from: 1,
+            tag: 5,
+            payload: vec![2.0],
+            wire_bytes: 8,
+        })
+        .unwrap();
+        // Ask for tag 5 first: tag 7 must be parked, not lost.
+        assert_eq!(inbox.recv(1, 5, T).unwrap().0, vec![2.0]);
+        assert_eq!(inbox.recv(1, 7, T).unwrap().0, vec![1.0]);
+    }
+
+    #[test]
+    fn fifo_per_from_tag_pair() {
+        let (tx, rx) = unbounded();
+        let inbox = MatchingInbox::new(0, rx);
+        for v in [1.0, 2.0, 3.0] {
+            tx.send(InboxMsg::Data {
+                from: 2,
+                tag: 1,
+                payload: vec![v],
+                wire_bytes: 8,
+            })
+            .unwrap();
+        }
+        for v in [1.0, 2.0, 3.0] {
+            assert_eq!(inbox.recv(2, 1, T).unwrap().0, vec![v]);
+        }
+    }
+
+    #[test]
+    fn timeout_when_nothing_matches() {
+        let (_tx, rx) = unbounded::<InboxMsg>();
+        let inbox = MatchingInbox::new(3, rx);
+        let err = inbox.recv(0, 42, Duration::from_millis(30)).unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!((err.rank, err.peer, err.tag), (3, Some(0), Some(42)));
+    }
+
+    #[test]
+    fn peer_gone_fails_only_after_draining_its_messages() {
+        let (tx, rx) = unbounded();
+        let inbox = MatchingInbox::new(0, rx);
+        tx.send(InboxMsg::Data {
+            from: 1,
+            tag: 9,
+            payload: vec![4.0],
+            wire_bytes: 8,
+        })
+        .unwrap();
+        tx.send(InboxMsg::PeerGone {
+            peer: 1,
+            detail: "connection reset".into(),
+        })
+        .unwrap();
+        // The in-flight message is still delivered...
+        assert_eq!(inbox.recv(1, 9, T).unwrap().0, vec![4.0]);
+        // ...and only then does the dead peer surface, immediately (no
+        // timeout wait) and with the backend detail.
+        let err = inbox.recv(1, 9, T).unwrap_err();
+        assert!(err.is_disconnected());
+        assert_eq!(
+            err.kind,
+            CommErrorKind::Disconnected("connection reset".into())
+        );
+        assert_eq!(err.tag, Some(9));
+    }
+
+    #[test]
+    fn peer_gone_does_not_affect_other_peers() {
+        let (tx, rx) = unbounded();
+        let inbox = MatchingInbox::new(0, rx);
+        tx.send(InboxMsg::PeerGone {
+            peer: 1,
+            detail: String::new(),
+        })
+        .unwrap();
+        tx.send(InboxMsg::Data {
+            from: 2,
+            tag: 1,
+            payload: vec![5.0],
+            wire_bytes: 8,
+        })
+        .unwrap();
+        assert_eq!(inbox.recv(2, 1, T).unwrap().0, vec![5.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Emit a case-study Fortran source to stdout, so the `acfc` CLI (and
+//! the CI multi-process smoke job) can run on a real file:
+//!
+//! ```text
+//! cargo run -p autocfd --example emit_case -- sprayer-small > sprayer.f
+//! cargo run -p autocfd --bin acfc -- run sprayer.f --transport tcp --ranks 4 --verify
+//! ```
+
+use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sprayer-small".into());
+    let src = match name.as_str() {
+        "aerofoil-small" => aerofoil_program(&CaseParams::aerofoil_small()),
+        "aerofoil-paper" => aerofoil_program(&CaseParams::aerofoil_paper()),
+        "sprayer-small" => sprayer_program(&CaseParams::sprayer_small()),
+        "sprayer-paper" => sprayer_program(&CaseParams::sprayer_paper()),
+        other => {
+            eprintln!(
+                "unknown case `{other}` \
+                 (aerofoil-small|aerofoil-paper|sprayer-small|sprayer-paper)"
+            );
+            std::process::exit(1);
+        }
+    };
+    print!("{src}");
+}

@@ -1,8 +1,11 @@
 //! Failure injection: the system must *diagnose* bad inputs and runtime
 //! misbehavior, never hang or silently corrupt.
 
+use autocfd::interp::run_rank;
 use autocfd::interp::spmd::{run_parallel, verify_owned_regions};
+use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileError, CompileOptions};
+use std::time::{Duration, Instant};
 
 const JACOBI: &str = "
 !$acf grid(16, 16)
@@ -196,6 +199,56 @@ fn boundary_code_constant_reads_allowed() {
 ";
     let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
     assert_eq!(c.verify(vec![], 0.0).unwrap(), 0.0);
+}
+
+#[test]
+fn tcp_peer_dropping_mid_exchange_surfaces_typed_error() {
+    // rank 1's process dies before the first halo exchange; rank 0 must
+    // get a typed disconnect naming rank, peer, tag, and program phase —
+    // promptly, not after the 10 s receive timeout
+    let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let t0 = Instant::now();
+    let results = run_spmd_tcp(2, Duration::from_secs(10), |comm| {
+        if comm.rank() == 1 {
+            return None; // simulated crash: endpoint closes on drop
+        }
+        Some(run_rank(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm))
+    })
+    .unwrap();
+    let err = results[0].as_ref().unwrap().as_ref().unwrap_err();
+    assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
+    assert!(err.message.contains("rank 0"), "{err}");
+    assert!(err.message.contains("disconnected"), "{err}");
+    assert!(err.message.contains("tag "), "{err}");
+    assert!(
+        err.message.contains("in phase `"),
+        "error names the program phase: {err}"
+    );
+}
+
+#[test]
+fn tcp_recv_timeout_is_configurable_and_diagnosed() {
+    // rank 1 stays connected but never participates: rank 0's receive
+    // must trip the *configured* timeout (not hang) and hint deadlock
+    let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 1])).unwrap();
+    let results = run_spmd_tcp(2, Duration::from_millis(200), |comm| {
+        if comm.rank() == 1 {
+            std::thread::sleep(Duration::from_millis(1200));
+            return None; // alive the whole time, just silent
+        }
+        let t0 = Instant::now();
+        let r = run_rank(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm);
+        Some((r, t0.elapsed()))
+    })
+    .unwrap();
+    let (r, elapsed) = results[0].as_ref().unwrap();
+    let err = r.as_ref().unwrap_err();
+    assert!(
+        *elapsed < Duration::from_millis(1000),
+        "timed out at ~200 ms, not {elapsed:?}"
+    );
+    assert!(err.message.contains("timeout waiting for message"), "{err}");
+    assert!(err.message.contains("(deadlock?)"), "{err}");
 }
 
 #[test]

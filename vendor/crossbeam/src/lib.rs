@@ -1,0 +1,101 @@
+//! Offline stand-in for `crossbeam`: exactly the channel API surface the
+//! transports use (`unbounded`, `bounded`, `Sender`, `Receiver`,
+//! `recv_timeout`, `RecvTimeoutError`), implemented over `std::sync::mpsc`.
+//! Since Rust 1.72 the std channel *is* the crossbeam implementation, so
+//! semantics and performance match the real crate for this subset.
+
+pub mod channel {
+    //! Multi-producer channels (subset).
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Why a blocking receive with a timeout failed.
+    pub use std::sync::mpsc::RecvTimeoutError;
+    /// Why a non-blocking receive failed.
+    pub use std::sync::mpsc::TryRecvError;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel (unbounded or bounded).
+    pub struct Sender<T>(SenderInner<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only if every receiver is dropped. On a
+        /// bounded channel this blocks while the channel is full
+        /// (backpressure), as in real crossbeam.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx.send(value),
+                SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Block up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Create a bounded MPSC channel holding at most `cap` in-flight
+    /// values; senders block when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_applies_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let t = std::thread::spawn(move || tx.send(3).map_err(|_| ()));
+            // the third send must wait until we drain one slot
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `rayon`: the `into_par_iter().map(..).collect()`
+//! shape the CFD kernels use, executed on real threads via
+//! `std::thread::scope` (one chunk per available core). Ordering of the
+//! collected result matches the input order, as with real rayon.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out to.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Parallel-iterator entry points (subset).
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Consume `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// An eager parallel iterator: `map` fans the mapped closure out across
+/// threads in chunks; `collect` returns results in input order.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every element on a pool of scoped threads.
+    pub fn map<U, F>(self, f: F) -> MappedParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return MappedParIter { items: Vec::new() };
+        }
+        let chunk = n.div_ceil(threads().min(n));
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut work: Vec<(usize, Vec<T>)> = Vec::new();
+        let mut items = self.items;
+        let mut base = 0usize;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            work.push((base, items));
+            base += chunk;
+            items = rest;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(work.len());
+            for (base, chunk_items) in work {
+                handles.push(
+                    scope.spawn(move || (base, chunk_items.into_iter().map(f).collect::<Vec<U>>())),
+                );
+            }
+            for h in handles {
+                let (base, mapped) = h.join().expect("rayon-stub worker panicked");
+                for (k, v) in mapped.into_iter().enumerate() {
+                    slots[base + k] = Some(v);
+                }
+            }
+        });
+        MappedParIter {
+            items: slots.into_iter().map(|s| s.expect("slot filled")).collect(),
+        }
+    }
+}
+
+/// Result of [`ParIter::map`], ready to collect.
+pub struct MappedParIter<U: Send> {
+    items: Vec<U>,
+}
+
+impl<U: Send> MappedParIter<U> {
+    /// Collect mapped results (input order preserved).
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

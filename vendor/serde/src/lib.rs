@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image has no network access and no vendored registry, so
+//! the real serde cannot be fetched. The repository only *derives*
+//! `Serialize`/`Deserialize` on model types as forward-looking annotations —
+//! nothing in the dependency tree ever serializes a value — so marker traits
+//! plus no-op derive macros preserve every build while staying honest about
+//! capability: calling a serializer would simply not compile.
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the repo never
+/// serializes, only derives).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
+
+// The derive macros share the trait names, as in real serde with the
+// `derive` feature (macros and traits live in different namespaces).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its model types but
+//! never actually serializes anything (there is no serde_json or similar in
+//! the dependency tree), so the derives can legally expand to nothing. The
+//! `serde` helper attribute is still registered so `#[serde(...)]`
+//! annotations would not break compilation.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
