@@ -1,7 +1,8 @@
 //! `acfc` — the Auto-CFD pre-compiler command line.
 //!
 //! ```text
-//! acfc [run] INPUT.f [options]
+//! acfc [run|trace] INPUT.f [options]
+//! acfc stats DIR [--input INPUT.f] [options]
 //!
 //!   --procs N            target processor count (partition chosen automatically)
 //!   --partition AxB[xC]  explicit processor grid (e.g. 3x2x1)
@@ -15,19 +16,39 @@
 //!   --ranks N            shorthand for --procs N; with --transport tcp
 //!                        this is the worker-process count
 //!   --timeout-ms N       per-receive timeout (deadlock detection)
+//!   --trace-dir DIR      where `trace` writes the journal (default
+//!                        <INPUT stem>.trace/)
+//!   --tolerance T        max relative wire-byte error accepted by the
+//!                        predicted-vs-measured table (default 0.05)
+//!   --min-coverage C     min fraction of wall time the trace must cover
+//!                        per rank under --check (default 0.9)
+//!   --check              exit nonzero when the trace fails validation
+//!                        (incomplete journal, no phases, low coverage,
+//!                        model mismatch)
+//!   --input FILE         (stats) source file to forecast against, for
+//!                        the predicted-vs-measured table
 //! ```
+//!
+//! `acfc trace INPUT.f` executes the parallel program with per-rank
+//! JSONL journaling, writes a Perfetto-openable `trace.json`, and prints
+//! the timeline, wire table, per-phase metrics, per-rank breakdown, and
+//! the predicted-vs-measured cross-validation table. `acfc stats DIR`
+//! re-renders all of that from a previously written trace directory.
 //!
 //! Examples:
 //! `cargo run -p autocfd --bin acfc -- program.f --partition 4x1 --report --verify`
-//! `cargo run -p autocfd --bin acfc -- run program.f --transport tcp --ranks 4 --verify`
+//! `cargo run -p autocfd --bin acfc -- trace program.f --ranks 4 --transport tcp`
+//! `cargo run -p autocfd --bin acfc -- stats program.trace --input program.f --ranks 4 --check`
 //!
 //! With `--transport tcp` the launcher binds a rendezvous socket, spawns
 //! one `acfd-worker` process per rank (found next to the `acfc`
 //! executable), serves the rank-assignment handshake, and aggregates the
 //! workers' exit statuses.
 
+use autocfd::obs;
 use autocfd::runtime_net::Rendezvous;
 use autocfd::{compile, CompileOptions, Compiled};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -37,7 +58,18 @@ enum TransportKind {
     Tcp,
 }
 
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    /// Compile (and optionally run/verify/profile) — the classic path.
+    Compile,
+    /// Run with journaling and render the full trace report.
+    Trace,
+    /// Re-render a previously written trace directory.
+    Stats,
+}
+
 struct Args {
+    /// Input source file — or the trace directory in `stats` mode.
     input: String,
     opts: CompileOptions,
     emit: Option<String>,
@@ -46,9 +78,16 @@ struct Args {
     profile: bool,
     run: bool,
     verify: bool,
+    mode: Mode,
     transport: TransportKind,
     ranks: Option<u32>,
     timeout_ms: Option<u64>,
+    trace_dir: Option<String>,
+    tolerance: f64,
+    min_coverage: f64,
+    check: bool,
+    /// `stats` only: source file for the predicted-vs-measured table.
+    stats_input: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,13 +103,31 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = false;
     let mut run = false;
     let mut verify = false;
+    let mut mode = Mode::Compile;
     let mut transport = TransportKind::Inproc;
     let mut ranks = None;
     let mut timeout_ms = None;
-    // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`
-    if args.peek().map(String::as_str) == Some("run") {
-        args.next();
-        run = true;
+    let mut trace_dir = None;
+    let mut tolerance = 0.05;
+    let mut min_coverage = 0.9;
+    let mut check = false;
+    let mut stats_input = None;
+    // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`;
+    // `trace` and `stats` select the observability modes
+    match args.peek().map(String::as_str) {
+        Some("run") => {
+            args.next();
+            run = true;
+        }
+        Some("trace") => {
+            args.next();
+            mode = Mode::Trace;
+        }
+        Some("stats") => {
+            args.next();
+            mode = Mode::Stats;
+        }
+        _ => {}
     }
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -105,6 +162,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-optimize" => opts.optimize = false,
             "--emit" => emit = Some(args.next().ok_or("--emit needs a path or -")?),
+            "--trace-dir" => trace_dir = Some(args.next().ok_or("--trace-dir needs a path")?),
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value like 0.05")?;
+                tolerance = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
+            }
+            "--min-coverage" => {
+                let v = args.next().ok_or("--min-coverage needs a value like 0.9")?;
+                min_coverage = v.parse().map_err(|_| format!("bad coverage `{v}`"))?;
+            }
+            "--check" => check = true,
+            "--input" => stats_input = Some(args.next().ok_or("--input needs a path")?),
             "--report" => report = true,
             "--analysis" => analysis = true,
             "--profile" => profile = true,
@@ -112,10 +180,13 @@ fn parse_args() -> Result<Args, String> {
             "--verify" => verify = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: acfc [run] INPUT.f [--procs N | --partition AxB[xC]] \
+                    "usage: acfc [run|trace] INPUT.f [--procs N | --partition AxB[xC]] \
                             [--distance D] [--no-optimize] [--emit FILE|-] [--report] \
                             [--analysis] [--profile] [--run] [--verify] \
-                            [--transport inproc|tcp] [--ranks N] [--timeout-ms N]"
+                            [--transport inproc|tcp] [--ranks N] [--timeout-ms N] \
+                            [--trace-dir DIR] [--tolerance T] [--check]\n\
+                     or:    acfc stats DIR [--input INPUT.f] [--tolerance T] \
+                            [--min-coverage C] [--check] [compile options]"
                         .into(),
                 )
             }
@@ -136,15 +207,23 @@ fn parse_args() -> Result<Args, String> {
         profile,
         run,
         verify,
+        mode,
         transport,
         ranks,
         timeout_ms,
+        trace_dir,
+        tolerance,
+        min_coverage,
+        check,
+        stats_input,
     })
 }
 
 /// Launch one `acfd-worker` process per rank against a rendezvous
 /// socket, stream their output through, and aggregate exit statuses.
-fn run_tcp(args: &Args, compiled: &Compiled) -> Result<(), String> {
+/// With `journal`, workers write per-rank JSONL journals into that
+/// directory (even when they fail mid-run).
+fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(), String> {
     let n = compiled.spmd_plan.ranks() as usize;
     let worker = std::env::current_exe()
         .map_err(|e| format!("cannot locate own executable: {e}"))?
@@ -195,6 +274,9 @@ fn run_tcp(args: &Args, compiled: &Compiled) -> Result<(), String> {
         if args.profile {
             cmd.arg("--profile");
         }
+        if let Some(dir) = journal {
+            cmd.arg("--journal").arg(dir.as_os_str());
+        }
         match cmd.spawn() {
             Ok(child) => children.push(child),
             Err(e) => {
@@ -228,6 +310,188 @@ fn run_tcp(args: &Args, compiled: &Compiled) -> Result<(), String> {
     }
 }
 
+/// Validate a merged trace: complete journals, at least one
+/// communication phase, per-rank coverage, and (when a forecast is
+/// available) the predicted-vs-measured verdicts. Returns the failures.
+fn check_failures(
+    merged: &autocfd::runtime::MergedTrace,
+    checks: Option<&[obs::PhaseCheck]>,
+    min_coverage: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !merged.complete {
+        failures.push("journal incomplete (a rank stopped before its footer)".into());
+    }
+    if !merged.phase_names.iter().any(|p| p.len() > 1) {
+        failures.push("no communication phases recorded".into());
+    }
+    for b in autocfd::runtime::rank_breakdown(&merged.traces) {
+        if b.coverage() < min_coverage {
+            failures.push(format!(
+                "rank {} trace covers {:.1}% of wall time (< {:.1}%)",
+                b.rank,
+                b.coverage() * 100.0,
+                min_coverage * 100.0
+            ));
+        }
+    }
+    if let Some(checks) = checks {
+        for c in checks.iter().filter(|c| !c.ok()) {
+            failures.push(format!(
+                "phase {}: measured traffic off the model (msgs {} vs {}, bytes {} vs {})",
+                c.phase,
+                c.msgs_measured,
+                c.visits * c.msgs_per_visit,
+                c.bytes.measured,
+                c.bytes.predicted
+            ));
+        }
+    }
+    failures
+}
+
+/// `acfc stats DIR`: re-render a trace directory; with `--input`, also
+/// cross-validate against the forecast for that source.
+fn run_stats(args: &Args) -> ExitCode {
+    let dir = Path::new(&args.input);
+    let merged = match obs::load_merged(dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: cannot load trace dir `{}`: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprint!("{}", obs::render_report(&merged));
+    let mut checks = None;
+    if let Some(src_path) = &args.stats_input {
+        let source = match std::fs::read_to_string(src_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("acfc: cannot read `{src_path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let compiled = match compile(&source, &args.opts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("acfc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match obs::cross_validate(&compiled, &merged, args.tolerance) {
+            Ok(c) => {
+                eprint!("{}", obs::render_cross_validation(&c));
+                checks = Some(c);
+            }
+            Err(e) => {
+                eprintln!("acfc: cross-validation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.check {
+        let failures = check_failures(&merged, checks.as_deref(), args.min_coverage);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("acfc: CHECK FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("acfc: trace checks passed");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `acfc trace INPUT.f`: run with journaling, export `trace.json`, and
+/// render the report plus the predicted-vs-measured table. Renders the
+/// partial trace even when ranks fail.
+fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
+    let dir: PathBuf = args
+        .trace_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            let stem = Path::new(&args.input)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("acfc");
+            PathBuf::from(format!("{stem}.trace"))
+        });
+    if let Err(e) = obs::clean_trace_dir(&dir) {
+        eprintln!("acfc: cannot clean `{}`: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut run_error = None;
+    if args.transport == TransportKind::Tcp {
+        if let Err(e) = run_tcp(args, compiled, Some(&dir)) {
+            run_error = Some(e);
+        }
+    } else {
+        let runs = compiled.run_parallel_traced(vec![]);
+        if let Ok((m, _)) = &runs[0].outcome {
+            for line in &m.output {
+                println!("{line}");
+            }
+        }
+        for (rank, run) in runs.iter().enumerate() {
+            if let Err(e) = obs::write_rank_run(&dir, "inproc", rank, runs.len(), run) {
+                eprintln!("acfc: cannot write journal for rank {rank}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = &run.outcome {
+                run_error = Some(format!("rank {rank}: {e}"));
+            }
+        }
+    }
+    // render whatever the journals captured — also on failure, so a
+    // deadlock or crash still yields a partial timeline to debug with
+    let merged = match obs::load_merged(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: cannot load trace dir `{}`: {e}", dir.display());
+            if let Some(err) = run_error {
+                eprintln!("acfc: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let chrome = autocfd::runtime::chrome_trace(&merged);
+    if let Err(e) = std::fs::write(dir.join("trace.json"), chrome) {
+        eprintln!("acfc: cannot write trace.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprint!("{}", obs::render_report(&merged));
+    let checks = match obs::cross_validate(compiled, &merged, args.tolerance) {
+        Ok(c) => {
+            eprint!("{}", obs::render_cross_validation(&c));
+            Some(c)
+        }
+        Err(e) => {
+            eprintln!("acfc: cross-validation: {e}");
+            None
+        }
+    };
+    eprintln!(
+        "acfc: trace written to {} (open trace.json in ui.perfetto.dev)",
+        dir.display()
+    );
+    if let Some(e) = run_error {
+        eprintln!("acfc: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.check {
+        let failures = check_failures(&merged, checks.as_deref(), args.min_coverage);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("acfc: CHECK FAILED: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("acfc: trace checks passed");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -236,6 +500,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.mode == Mode::Stats {
+        return run_stats(&args);
+    }
     let source = match std::fs::read_to_string(&args.input) {
         Ok(s) => s,
         Err(e) => {
@@ -323,9 +590,13 @@ fn main() -> ExitCode {
         }
     }
 
+    if args.mode == Mode::Trace {
+        return run_trace(&args, &compiled);
+    }
+
     if args.transport == TransportKind::Tcp && (args.run || args.profile || args.verify) {
         // multi-process path: workers execute, verify, and profile
-        if let Err(e) = run_tcp(&args, &compiled) {
+        if let Err(e) = run_tcp(&args, &compiled, None) {
             eprintln!("acfc: {e}");
             return ExitCode::FAILURE;
         }
@@ -338,28 +609,33 @@ fn main() -> ExitCode {
             }
         }
     } else if args.run || args.profile {
-        match compiled.run_parallel(vec![]) {
-            Ok(ranks) => {
-                for line in &ranks[0].machine.output {
-                    println!("{line}");
-                }
-                if args.profile {
-                    let traces: Vec<_> = ranks.iter().map(|r| r.trace.clone()).collect();
-                    eprint!("{}", autocfd::runtime::render_timeline(&traces, 72));
-                    let phases: Vec<_> = ranks.iter().map(|r| r.phases.clone()).collect();
-                    eprint!("{}", autocfd::runtime::render_wire_table(&traces, &phases));
-                    for (r, rank) in ranks.iter().enumerate() {
-                        let (n, wait, elems) = autocfd::runtime::summarize(&rank.trace);
-                        eprintln!(
-                            "rank {r}: {n} comm events, {wait:?} blocked, {elems} f64s moved"
-                        );
-                    }
-                }
+        // traced even for a plain run: on failure the partial trace
+        // still renders, instead of vanishing with the error
+        let runs = compiled.run_parallel_traced(vec![]);
+        if let Ok((m, _)) = &runs[0].outcome {
+            for line in &m.output {
+                println!("{line}");
             }
-            Err(e) => {
-                eprintln!("acfc: runtime error: {e}");
-                return ExitCode::FAILURE;
+        }
+        if args.profile {
+            let traces: Vec<_> = runs.iter().map(|r| r.trace.clone()).collect();
+            eprint!("{}", autocfd::runtime::render_timeline(&traces, 72));
+            let phases: Vec<_> = runs.iter().map(|r| r.phases.clone()).collect();
+            eprint!("{}", autocfd::runtime::render_wire_table(&traces, &phases));
+            for (r, run) in runs.iter().enumerate() {
+                let (n, wait, elems) = autocfd::runtime::summarize(&run.trace);
+                eprintln!("rank {r}: {n} comm events, {wait:?} blocked, {elems} f64s moved");
             }
+        }
+        let mut failed = false;
+        for (r, run) in runs.iter().enumerate() {
+            if let Err(e) = &run.outcome {
+                eprintln!("acfc: rank {r}: runtime error: {e}");
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

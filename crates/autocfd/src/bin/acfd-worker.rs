@@ -13,17 +13,22 @@
 //! ```text
 //! acfd-worker INPUT.f --connect HOST:PORT [--partition AxB[xC]]
 //!             [--procs N] [--distance D] [--no-optimize]
-//!             [--timeout-ms N] [--verify] [--profile]
+//!             [--timeout-ms N] [--verify] [--profile] [--journal DIR]
 //! ```
+//!
+//! With `--journal DIR` the worker appends its rank's JSONL trace
+//! journal to `DIR/rank-<r>.jsonl` — *also when the run fails*, so a
+//! deadlock or crash still leaves a partial trace to debug with.
 //!
 //! Exit status: 0 on success; nonzero on compile, communication, or
 //! verification failure (the launcher aggregates these).
 
-use autocfd::interp::{run_rank, verify_rank_owned_region};
+use autocfd::interp::{run_rank_traced, verify_rank_owned_region, RankResult};
 use autocfd::runtime::{wire_by_phase, Comm, Transport};
 use autocfd::runtime_net::{MeshConfig, TcpTransport};
-use autocfd::{compile, CompileOptions};
+use autocfd::{compile, obs, CompileOptions};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -34,6 +39,7 @@ struct Args {
     timeout: Duration,
     verify: bool,
     profile: bool,
+    journal: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut timeout = Duration::from_secs(30);
     let mut verify = false;
     let mut profile = false;
+    let mut journal = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--connect" => {
@@ -74,10 +81,12 @@ fn parse_args() -> Result<Args, String> {
             "--no-optimize" => opts.optimize = false,
             "--verify" => verify = true,
             "--profile" => profile = true,
+            "--journal" => journal = Some(PathBuf::from(args.next().ok_or("--journal needs DIR")?)),
             "--help" | "-h" => {
                 return Err("usage: acfd-worker INPUT.f --connect HOST:PORT \
                             [--procs N | --partition AxB[xC]] [--distance D] \
-                            [--no-optimize] [--timeout-ms N] [--verify] [--profile]"
+                            [--no-optimize] [--timeout-ms N] [--verify] [--profile] \
+                            [--journal DIR]"
                     .into())
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(a),
@@ -91,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
         timeout,
         verify,
         profile,
+        journal,
     })
 }
 
@@ -125,29 +135,58 @@ fn main() -> ExitCode {
         }
     };
     let rank = Transport::rank(&transport);
+    let ranks_total = compiled.spmd_plan.ranks() as usize;
     let comm = Comm::new(Box::new(transport), args.timeout, Instant::now());
-    let rr = match run_rank(
+    let run = run_rank_traced(
         &compiled.parallel_file,
         &compiled.spmd_plan,
         vec![],
         0,
         &comm,
-    ) {
-        Ok(rr) => rr,
+    );
+    drop(comm); // closes this rank's mesh endpoint
+
+    // flush the journal before looking at the outcome: a failed rank's
+    // partial trace is exactly what the launcher renders for debugging
+    if let Some(dir) = &args.journal {
+        if let Err(e) = obs::write_rank_run(dir, "tcp", rank, ranks_total, &run) {
+            eprintln!("acfd-worker[rank {rank}]: cannot write journal: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.profile {
+        let ws = &run.wire_stats;
+        eprintln!(
+            "acfd-worker[rank {rank}]: wire {} msg / {} B sent, {} msg / {} B recvd",
+            ws.msgs_sent, ws.bytes_sent, ws.msgs_recvd, ws.bytes_recvd
+        );
+        for (phase, msgs, bytes) in wire_by_phase(&run.trace, &run.phases) {
+            eprintln!("acfd-worker[rank {rank}]:   {phase}: {msgs} msg / {bytes} B");
+        }
+    }
+
+    let (machine, frame) = match run.outcome {
+        Ok(mf) => mf,
         Err(e) => {
             eprintln!("acfd-worker[rank {rank}]: {e}");
             return ExitCode::FAILURE;
         }
     };
-    drop(comm); // closes this rank's mesh endpoint
-
     if rank == 0 {
-        for line in &rr.machine.output {
+        for line in &machine.output {
             println!("{line}");
         }
     }
 
     if args.verify {
+        let rr = RankResult {
+            machine,
+            frame,
+            comm_stats: run.comm_stats,
+            wire_stats: run.wire_stats,
+            phases: run.phases,
+            trace: run.trace,
+        };
         let seq = match compiled.run_sequential(vec![]) {
             Ok(s) => s,
             Err(e) => {
@@ -161,17 +200,6 @@ fn main() -> ExitCode {
                 eprintln!("acfd-worker[rank {rank}]: VERIFICATION FAILED: {e}");
                 return ExitCode::FAILURE;
             }
-        }
-    }
-
-    if args.profile {
-        let ws = &rr.wire_stats;
-        eprintln!(
-            "acfd-worker[rank {rank}]: wire {} msg / {} B sent, {} msg / {} B recvd",
-            ws.msgs_sent, ws.bytes_sent, ws.msgs_recvd, ws.bytes_recvd
-        );
-        for (phase, msgs, bytes) in wire_by_phase(&rr.trace, &rr.phases) {
-            eprintln!("acfd-worker[rank {rank}]:   {phase}: {msgs} msg / {bytes} B");
         }
     }
     ExitCode::SUCCESS

@@ -57,6 +57,8 @@
 //! assert!(diff < 1e-12); // parallel == sequential on every owned point
 //! ```
 
+pub mod obs;
+
 use autocfd_codegen::{transform, SpmdPlan, TransformError};
 use autocfd_fortran::{FortranError, SourceFile};
 use autocfd_grid::{choose_partition, partition, GridShape, Partition, PartitionSpec};

@@ -1,0 +1,322 @@
+//! Execution observability: journaling traced runs, rendering the full
+//! trace report, and cross-validating the cost model against measured
+//! traces — the machinery behind `acfc trace` and `acfc stats`.
+//!
+//! A traced run produces one JSONL journal per rank (see
+//! [`autocfd_runtime::journal`]); this module writes them, reloads and
+//! merges them, exports Chrome trace-event JSON, and compares the
+//! static per-visit traffic forecast ([`autocfd_interp::forecast()`])
+//! against what the trace actually measured. The forecast shares its
+//! slab geometry with the live SPMD handlers, so on a correct build the
+//! byte counts agree *exactly*; any drift flags a real divergence
+//! between the model and the execution.
+
+use crate::Compiled;
+use autocfd_cluster_sim::{Comparison, NetworkModel};
+use autocfd_interp::forecast::{forecast, PhaseForecast};
+use autocfd_interp::spmd::run_parallel_traced;
+use autocfd_interp::RankRun;
+use autocfd_runtime::journal::{self, JournalHeader, MergedTrace, SCHEMA_VERSION};
+use autocfd_runtime::{
+    phase_metrics, rank_breakdown, render_phase_metrics, render_rank_breakdown, render_timeline,
+    render_wire_table,
+};
+use autocfd_runtime_net::frame::HEADER_LEN;
+use std::path::{Path, PathBuf};
+
+impl Compiled {
+    /// Run the transformed program on rank-threads, returning every
+    /// rank's [`RankRun`] — traces and statistics survive individual
+    /// rank failures, unlike [`Compiled::run_parallel`].
+    pub fn run_parallel_traced(&self, input: Vec<f64>) -> Vec<RankRun> {
+        run_parallel_traced(&self.parallel_file, &self.spmd_plan, input, 0)
+    }
+}
+
+/// Remove artifacts of a previous traced run (`rank-*.jsonl`,
+/// `trace.json`) from `dir`, leaving anything else alone. Missing
+/// directories are fine.
+pub fn clean_trace_dir(dir: &Path) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if (name.starts_with("rank-") && name.ends_with(".jsonl")) || name == "trace.json" {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write one rank's journal (header + events + footer) into `dir`.
+/// Works for failed ranks too — the trace inside a [`RankRun`] covers
+/// everything up to the failure.
+pub fn write_rank_run(
+    dir: &Path,
+    transport: &str,
+    rank: usize,
+    ranks: usize,
+    run: &RankRun,
+) -> Result<PathBuf, String> {
+    let header = JournalHeader {
+        version: SCHEMA_VERSION,
+        rank,
+        ranks,
+        transport: transport.into(),
+        epoch_unix_ns: run.epoch_unix_ns,
+    };
+    journal::write_rank_journal(dir, &header, &run.trace, &run.phases).map_err(|e| e.to_string())
+}
+
+/// Reload a trace directory and merge the rank journals onto one clock.
+pub fn load_merged(dir: &Path) -> Result<MergedTrace, String> {
+    let journals = journal::load_trace_dir(dir).map_err(|e| e.to_string())?;
+    Ok(journal::merge(&journals))
+}
+
+/// Render the full trace report: timeline, wire table, per-phase
+/// metrics, and per-rank wall-time breakdown.
+pub fn render_report(merged: &MergedTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&render_timeline(&merged.traces, 72));
+    out.push_str(&render_wire_table(&merged.traces, &merged.phase_names));
+    out.push_str(&render_phase_metrics(&phase_metrics(merged)));
+    out.push_str(&render_rank_breakdown(&rank_breakdown(&merged.traces)));
+    out
+}
+
+/// Cross-validation verdict for one communication phase: the static
+/// per-visit traffic forecast, scaled to the visit count inferred from
+/// the trace, against the measured messages and wire bytes.
+#[derive(Debug, Clone)]
+pub struct PhaseCheck {
+    /// Phase label (`sync_<id>`, `pre_<id>`, …).
+    pub phase: String,
+    /// Inferred visit count: measured messages / predicted messages per
+    /// visit.
+    pub visits: u64,
+    /// Whether the measured message count is an exact multiple of the
+    /// per-visit prediction (it must be — the program visits a phase a
+    /// whole number of times).
+    pub structure_ok: bool,
+    /// Predicted messages per visit, summed over ranks.
+    pub msgs_per_visit: u64,
+    /// Measured messages, summed over ranks.
+    pub msgs_measured: u64,
+    /// Wire bytes: `visits × per-visit payload` (plus frame headers over
+    /// TCP) against the bytes the trace recorded.
+    pub bytes: Comparison,
+    /// Cost-model communication time for the inferred visits. The model
+    /// prices the paper's 10 Mbit shared Ethernet, not this machine —
+    /// informational, never checked against the tolerance.
+    pub model_seconds: f64,
+    /// Measured communication + wait seconds in this phase (all ranks).
+    pub measured_seconds: f64,
+}
+
+impl PhaseCheck {
+    /// Whether the measurement agrees with the prediction.
+    pub fn ok(&self) -> bool {
+        self.structure_ok && self.bytes.within_tolerance()
+    }
+}
+
+/// The cost model's communication time for `visits` visits of a phase.
+fn model_phase_seconds(net: &NetworkModel, f: &PhaseForecast, visits: u64) -> f64 {
+    if f.phase.starts_with("reduce_") {
+        let ranks = f.per_rank.iter().filter(|t| t.events > 0).count() as u64;
+        if ranks > 1 {
+            return visits as f64 * 2.0 * (ranks - 1) as f64 * net.latency;
+        }
+        return 0.0;
+    }
+    let msgs_max = f.per_rank.iter().map(|t| t.frames_out).max().unwrap_or(0);
+    let total: u64 = f.per_rank.iter().map(|t| t.payload_out).sum();
+    let max = f.per_rank.iter().map(|t| t.payload_out).max().unwrap_or(0);
+    visits as f64 * net.exchange_time(msgs_max, total, max)
+}
+
+/// Cross-validate the traffic forecast (and, informationally, the
+/// cluster cost model) against a measured merged trace. `tolerance` is
+/// the maximum relative error accepted on wire bytes. Also flags phases
+/// the trace measured but the forecast never predicted.
+pub fn cross_validate(
+    compiled: &Compiled,
+    merged: &MergedTrace,
+    tolerance: f64,
+) -> Result<Vec<PhaseCheck>, String> {
+    let fc = forecast(&compiled.parallel_file, &compiled.spmd_plan).map_err(|e| e.to_string())?;
+    let metrics = phase_metrics(merged);
+    let tcp = merged.transport == "tcp";
+    let net = NetworkModel::ethernet_10mbit();
+    let mut checks = Vec::new();
+    for f in &fc {
+        let m = metrics.iter().find(|m| m.phase == f.phase);
+        let (msgs, bytes, seconds) = m
+            .map(|m| (m.msgs, m.bytes, (m.comm + m.wait).as_secs_f64()))
+            .unwrap_or((0, 0, 0.0));
+        let per_visit = f.events();
+        let (visits, structure_ok) = match msgs.checked_div(per_visit) {
+            None => (0, msgs == 0),
+            Some(v) => (v, msgs % per_visit == 0),
+        };
+        let framing = if tcp {
+            HEADER_LEN as u64 * f.frames()
+        } else {
+            0
+        };
+        checks.push(PhaseCheck {
+            phase: f.phase.clone(),
+            visits,
+            structure_ok,
+            msgs_per_visit: per_visit,
+            msgs_measured: msgs,
+            bytes: Comparison {
+                label: format!("{} wire bytes", f.phase),
+                predicted: (visits * (f.payload() + framing)) as f64,
+                measured: bytes as f64,
+                tolerance,
+            },
+            model_seconds: model_phase_seconds(&net, f, visits),
+            measured_seconds: seconds,
+        });
+    }
+    for m in &metrics {
+        if m.msgs > 0 && !fc.iter().any(|f| f.phase == m.phase) {
+            checks.push(PhaseCheck {
+                phase: m.phase.clone(),
+                visits: 0,
+                structure_ok: false,
+                msgs_per_visit: 0,
+                msgs_measured: m.msgs,
+                bytes: Comparison {
+                    label: format!("{} wire bytes", m.phase),
+                    predicted: 0.0,
+                    measured: m.bytes as f64,
+                    tolerance,
+                },
+                model_seconds: 0.0,
+                measured_seconds: (m.comm + m.wait).as_secs_f64(),
+            });
+        }
+    }
+    Ok(checks)
+}
+
+/// Render the predicted-vs-measured table, one row per communication
+/// phase.
+pub fn render_cross_validation(checks: &[PhaseCheck]) -> String {
+    let name_w = checks
+        .iter()
+        .map(|c| c.phase.len())
+        .chain(["phase".len()])
+        .max()
+        .unwrap_or(5);
+    let mut out = format!(
+        "{:name_w$}  {:>6}  {:>15}  {:>21}  {:>7}  {:>19}  {:>7}\n",
+        "phase", "visits", "msgs pred/meas", "bytes pred/meas", "err", "model/meas time", "verdict",
+    );
+    for c in checks {
+        out.push_str(&format!(
+            "{:name_w$}  {:>6}  {:>15}  {:>21}  {:>6.1}%  {:>19}  {:>7}\n",
+            c.phase,
+            c.visits,
+            format!("{}/{}", c.visits * c.msgs_per_visit, c.msgs_measured),
+            format!("{}/{}", c.bytes.predicted as u64, c.bytes.measured as u64),
+            (c.bytes.error() * 100.0).min(999.9),
+            format!(
+                "{:.1}ms/{:.1}ms",
+                c.model_seconds * 1e3,
+                c.measured_seconds * 1e3
+            ),
+            if c.ok() { "ok" } else { "OFF" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+
+    const JACOBI: &str = "
+!$acf grid(24, 24)
+!$acf status v, vn
+      program jacobi
+      real v(24,24), vn(24,24)
+      integer i, j, it
+      do i = 1, 24
+        v(i,1) = 1.0
+      end do
+      do it = 1, 8
+        do i = 2, 23
+          do j = 2, 23
+            vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+          end do
+        end do
+        do i = 2, 23
+          do j = 2, 23
+            v(i,j) = vn(i,j)
+          end do
+        end do
+      end do
+      end
+";
+
+    #[test]
+    fn forecast_matches_measured_traffic_exactly() {
+        let c = compile(JACOBI, &CompileOptions::with_partition(&[3, 1])).unwrap();
+        let runs = c.run_parallel_traced(vec![]);
+        let dir = std::env::temp_dir().join(format!("acf-obs-{}", std::process::id()));
+        clean_trace_dir(&dir).unwrap();
+        for (rank, run) in runs.iter().enumerate() {
+            assert!(run.outcome.is_ok());
+            write_rank_run(&dir, "inproc", rank, runs.len(), run).unwrap();
+        }
+        let merged = load_merged(&dir).unwrap();
+        assert!(merged.complete);
+        let checks = cross_validate(&c, &merged, 0.0).unwrap();
+        assert!(!checks.is_empty());
+        for ch in &checks {
+            assert!(ch.ok(), "{}: {ch:?}", ch.phase);
+            assert_eq!(
+                ch.bytes.error(),
+                0.0,
+                "{}: bytes must match exactly",
+                ch.phase
+            );
+        }
+        // the jacobi stencil syncs every iteration: some sync phase must
+        // show 8 visits (others may have been hoisted out of the loop)
+        let max_visits = checks
+            .iter()
+            .filter(|c| c.phase.starts_with("sync_"))
+            .map(|c| c.visits)
+            .max()
+            .unwrap();
+        assert_eq!(max_visits, 8, "{}", render_cross_validation(&checks));
+        let rendered = render_cross_validation(&checks);
+        assert!(rendered.contains("ok"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let c = compile(JACOBI, &CompileOptions::with_partition(&[2, 2])).unwrap();
+        let runs = c.run_parallel_traced(vec![]);
+        let dir = std::env::temp_dir().join(format!("acf-obs-rep-{}", std::process::id()));
+        clean_trace_dir(&dir).unwrap();
+        for (rank, run) in runs.iter().enumerate() {
+            write_rank_run(&dir, "inproc", rank, runs.len(), run).unwrap();
+        }
+        let merged = load_merged(&dir).unwrap();
+        let report = render_report(&merged);
+        assert!(report.contains("rank 0 |"), "timeline present:\n{report}");
+        assert!(report.contains("covered"), "breakdown present:\n{report}");
+        assert!(report.contains("compute"), "metrics present:\n{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -308,6 +308,45 @@ mod tests {
         assert!(prev > 0.7, "large grids reach high efficiency: {prev:.2}");
     }
 
+    /// The analytic models above are only trustworthy if the traffic
+    /// geometry they consume is real. Cross-validate: run the actual
+    /// generated case-2 program traced, and require the static forecast
+    /// (the same partition geometry the cost model uses) to reproduce
+    /// the measured per-phase wire traffic *exactly* across the paper's
+    /// partition sweep.
+    #[test]
+    fn forecast_reproduces_traced_traffic_on_paper_partitions() {
+        use autocfd::runtime::MergedTrace;
+        use autocfd_cfd_kernels::{sprayer_program, CaseParams};
+        let src = sprayer_program(&CaseParams::sprayer_small());
+        for parts in [[2u32, 1], [3, 1], [2, 2]] {
+            let c =
+                autocfd::compile(&src, &autocfd::CompileOptions::with_partition(&parts)).unwrap();
+            let runs = c.run_parallel_traced(vec![]);
+            let merged = MergedTrace {
+                traces: runs.iter().map(|r| r.trace.clone()).collect(),
+                phase_names: runs.iter().map(|r| r.phases.clone()).collect(),
+                transport: "inproc".into(),
+                complete: true,
+            };
+            let checks = autocfd::obs::cross_validate(&c, &merged, 0.0).unwrap();
+            assert!(!checks.is_empty(), "{parts:?}: nothing to validate");
+            for chk in &checks {
+                assert!(
+                    chk.ok()
+                        && autocfd_cluster_sim::relative_error(
+                            chk.bytes.predicted,
+                            chk.bytes.measured
+                        ) == 0.0,
+                    "{parts:?} phase {}: forecast {} B vs measured {} B",
+                    chk.phase,
+                    chk.bytes.predicted,
+                    chk.bytes.measured
+                );
+            }
+        }
+    }
+
     /// §6.2's memory observation: once the single-node working set
     /// exceeds physical memory, the sequential run falls off a cliff and
     /// the 4-node speedup becomes enormous (accumulated memory).

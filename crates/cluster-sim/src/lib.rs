@@ -26,8 +26,10 @@
 //! virtual execution time with a per-category breakdown.
 
 pub mod des;
+pub mod validate;
 
 pub use des::{run_des, Action, DesError, DesResult};
+pub use validate::{relative_error, Comparison};
 
 use serde::{Deserialize, Serialize};
 

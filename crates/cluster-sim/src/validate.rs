@@ -1,0 +1,76 @@
+//! Cross-validation of the cost model against measured traces.
+//!
+//! The cost model predicts what a phase *should* do (messages, bytes,
+//! time); the execution trace records what it *did*. This module holds
+//! the small comparison vocabulary shared by the `acfc stats`
+//! cross-validation table and the model-validation benches: a relative
+//! error, and a labelled predicted-vs-measured pair with a tolerance
+//! verdict.
+
+/// Relative error of `measured` against `predicted`:
+/// `|measured − predicted| / max(|predicted|, ε)`. When both values are
+/// zero the error is zero (a perfect prediction of "nothing happens").
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    if predicted == 0.0 && measured == 0.0 {
+        return 0.0;
+    }
+    (measured - predicted).abs() / predicted.abs().max(f64::EPSILON)
+}
+
+/// One predicted-vs-measured quantity with a tolerance verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// What is being compared (e.g. `"sync_3 payload bytes"`).
+    pub label: String,
+    /// The model's prediction.
+    pub predicted: f64,
+    /// The traced measurement.
+    pub measured: f64,
+    /// Maximum relative error accepted as agreement.
+    pub tolerance: f64,
+}
+
+impl Comparison {
+    /// Relative error of this comparison.
+    pub fn error(&self) -> f64 {
+        relative_error(self.predicted, self.measured)
+    }
+
+    /// Whether the measurement agrees with the prediction within the
+    /// tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.error() <= self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+        assert!((relative_error(100.0, 110.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(100.0, 90.0) - 0.1).abs() < 1e-12);
+        // zero prediction with a nonzero measurement is a huge error
+        assert!(relative_error(0.0, 1.0) > 1e10);
+    }
+
+    #[test]
+    fn comparison_verdicts() {
+        let ok = Comparison {
+            label: "sync_0 bytes".into(),
+            predicted: 1000.0,
+            measured: 1040.0,
+            tolerance: 0.05,
+        };
+        assert!(ok.within_tolerance());
+        let off = Comparison {
+            tolerance: 0.01,
+            ..ok.clone()
+        };
+        assert!(!off.within_tolerance());
+        assert!((off.error() - 0.04).abs() < 1e-12);
+    }
+}

@@ -3,7 +3,9 @@
 use crate::machine::{build_frame, ArrayId, Binding, Frame, Machine, RunError};
 use crate::value::Value;
 use autocfd_fortran::ast::{LValue, SourceFile, Stmt, StmtKind, UnitKind};
+use autocfd_runtime::{EventKind, Recorder};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Control flow outcome of executing a statement (list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +26,14 @@ pub enum Flow {
 pub trait Hooks {
     /// Handle a runtime call in the current frame.
     fn call(&mut self, m: &mut Machine, frame: &mut Frame, name: &str) -> Result<bool, RunError>;
+
+    /// Where the engine should record compute spans (timed loop-nest
+    /// executions), or `None` (the default) to skip span tracking
+    /// entirely. SPMD hooks return their rank's communicator so compute
+    /// and communication land on one timeline.
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        None
+    }
 }
 
 /// The no-op hook set (sequential execution).
@@ -44,6 +54,15 @@ pub struct Exec<'p, H: Hooks> {
     /// Current call depth (Fortran 77 forbids recursion; a cycle in the
     /// call graph is reported instead of overflowing the stack).
     pub depth: u32,
+    // Completed comm-free loop executions not yet handed to the
+    // recorder. An enclosing comm-free loop replaces its children with
+    // one merged span, so what ends up recorded is the *maximal*
+    // comm-free loop nests; flushed before every `acf_*` hook call to
+    // keep the rank's trace chronological.
+    pending: Vec<(Instant, Instant)>,
+    // Monotone count of `acf_*` hook dispatches; a loop whose body left
+    // it unchanged was communication-free.
+    hook_calls: u64,
 }
 
 /// Scalar copy-out obligations after a call: `(dummy, caller variable)`.
@@ -83,16 +102,58 @@ pub fn run_program_capture<H: Hooks>(
         program: file,
         hooks,
         depth: 0,
+        pending: Vec::new(),
+        hook_calls: 0,
     };
     let mut frame = build_frame(&mut m, main, HashMap::new())?;
     let flow = exec.exec_stmts(&mut m, &mut frame, &main.body)?;
+    exec.flush_spans();
     if let Flow::Goto(l) = flow {
         return Err(RunError::new(format!("unresolved goto {l} at top level")));
     }
     Ok((m, frame))
 }
 
+/// Snapshot taken at loop entry for compute-span tracking; `None` when
+/// the hook set has no recorder (tracking disabled, zero overhead).
+type SpanMark = Option<(usize, u64, Instant)>;
+
 impl<'p, H: Hooks> Exec<'p, H> {
+    /// Loop-entry half of compute-span tracking: remember how many
+    /// pending spans and hook dispatches exist so far, and when the loop
+    /// started.
+    fn span_enter(&self) -> SpanMark {
+        self.hooks.recorder()?;
+        Some((self.pending.len(), self.hook_calls, Instant::now()))
+    }
+
+    /// Loop-exit half: if the loop body dispatched no `acf_*` call, it
+    /// was pure computation — drop any spans its inner loops queued and
+    /// queue one merged span for the whole nest.
+    fn span_exit(&mut self, mark: SpanMark) {
+        if let Some((pend0, calls0, t0)) = mark {
+            if self.hook_calls == calls0 {
+                self.pending.truncate(pend0);
+                self.pending.push((t0, Instant::now()));
+            }
+        }
+    }
+
+    /// Hand queued compute spans to the hooks' recorder. Runs before
+    /// every `acf_*` dispatch (so recorded spans stay chronological with
+    /// communication events) and once at end of program.
+    fn flush_spans(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let spans = std::mem::take(&mut self.pending);
+        if let Some(rec) = self.hooks.recorder() {
+            for (start, end) in spans {
+                rec.record_span(EventKind::Compute, start, end);
+            }
+        }
+    }
+
     /// Execute a statement list, resolving `goto`s whose target label is
     /// in this list.
     pub fn exec_stmts(
@@ -191,21 +252,30 @@ impl<'p, H: Hooks> Exec<'p, H> {
                 }
                 // Fortran trip count semantics
                 let trips = ((to - from + step) / step).max(0);
+                let mark = self.span_enter();
                 let mut iv = from;
+                let mut flow = Flow::Normal;
                 for _ in 0..trips {
                     frame.set_scalar(var, Value::Int(iv))?;
                     match self.exec_stmts(m, frame, body)? {
                         Flow::Normal => {}
-                        Flow::Goto(l) => return Ok(Flow::Goto(l)),
-                        other => return Ok(other),
+                        other => {
+                            flow = other;
+                            break;
+                        }
                     }
                     iv += step;
                 }
-                // Fortran leaves the loop variable one past the last value
-                frame.set_scalar(var, Value::Int(iv))?;
-                Ok(Flow::Normal)
+                if flow == Flow::Normal {
+                    // Fortran leaves the loop variable one past the last value
+                    frame.set_scalar(var, Value::Int(iv))?;
+                }
+                self.span_exit(mark);
+                Ok(flow)
             }
             StmtKind::DoWhile { cond, body } => {
+                let mark = self.span_enter();
+                let mut flow = Flow::Normal;
                 loop {
                     m.tick().map_err(|e| e.at(s.line))?;
                     if !self
@@ -217,19 +287,26 @@ impl<'p, H: Hooks> Exec<'p, H> {
                     }
                     match self.exec_stmts(m, frame, body)? {
                         Flow::Normal => {}
-                        Flow::Goto(l) => return Ok(Flow::Goto(l)),
-                        other => return Ok(other),
+                        other => {
+                            flow = other;
+                            break;
+                        }
                     }
                 }
-                Ok(Flow::Normal)
+                self.span_exit(mark);
+                Ok(flow)
             }
             StmtKind::Goto { target } => Ok(Flow::Goto(*target)),
             StmtKind::Continue => Ok(Flow::Normal),
             StmtKind::Return => Ok(Flow::Return),
             StmtKind::Stop => Ok(Flow::Stop),
             StmtKind::Call { name, args } => {
-                if name.starts_with("acf_") && self.hooks.call(m, frame, name)? {
-                    return Ok(Flow::Normal);
+                if name.starts_with("acf_") {
+                    self.flush_spans();
+                    self.hook_calls += 1;
+                    if self.hooks.call(m, frame, name)? {
+                        return Ok(Flow::Normal);
+                    }
                 }
                 self.call_subroutine(m, frame, name, args)
                     .map_err(|e| e.at(s.line))?;

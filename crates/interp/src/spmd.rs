@@ -28,7 +28,9 @@ use crate::machine::{ArrayId, Frame, Machine, RunError};
 use crate::value::Value;
 use autocfd_codegen::{SelfLoopSpec, SpmdPlan, SyncSpec};
 use autocfd_fortran::SourceFile;
-use autocfd_runtime::{run_spmd, Comm, ReduceOp, WireStats};
+use autocfd_grid::Partition;
+use autocfd_runtime::{run_spmd, Comm, EventKind, Recorder, ReduceOp, TraceEvent, WireStats};
+use std::time::Instant;
 
 /// The hook set wiring `acf_*` calls to the runtime.
 pub struct SpmdHooks<'a> {
@@ -133,6 +135,10 @@ impl Hooks for SpmdHooks<'_> {
         }
         Ok(false)
     }
+
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        Some(self.comm)
+    }
 }
 
 impl SpmdHooks<'_> {
@@ -161,50 +167,6 @@ impl SpmdHooks<'_> {
                 frame.unit
             ))
         })
-    }
-
-    /// The global index region (per array dimension) of the ghost slab
-    /// that `recv_rank` receives from direction `dir` along `axis`, for
-    /// an array with the given dim→axis mapping. `done` gives ghost
-    /// widths of already-exchanged axes (corner correctness).
-    #[allow(clippy::too_many_arguments)] // a slab is genuinely 7-dimensional
-    fn ghost_region(
-        &self,
-        m: &Machine,
-        id: ArrayId,
-        dim_axis: &[Option<usize>],
-        recv_rank: u32,
-        axis: usize,
-        dir: i32,
-        width: u64,
-        done: &[[u64; 2]],
-    ) -> Option<Vec<(i64, i64)>> {
-        let sg = self.plan.partition.subgrid(recv_rank);
-        let arr = m.array(id);
-        let mut region = Vec::with_capacity(arr.bounds.len());
-        for (d, &(blo, bhi)) in arr.bounds.iter().enumerate() {
-            let (lo, hi) = match dim_axis.get(d).copied().flatten() {
-                Some(a) if a == axis => {
-                    let w = width as i64;
-                    if dir < 0 {
-                        (sg.lo[a] as i64 - w, sg.lo[a] as i64 - 1)
-                    } else {
-                        (sg.hi[a] as i64 + 1, sg.hi[a] as i64 + w)
-                    }
-                }
-                Some(a) => {
-                    let g = done.get(a).copied().unwrap_or([0, 0]);
-                    (sg.lo[a] as i64 - g[0] as i64, sg.hi[a] as i64 + g[1] as i64)
-                }
-                None => (blo, bhi), // packed dimension: full extent
-            };
-            let (lo, hi) = (lo.max(blo), hi.min(bhi));
-            if hi < lo {
-                return None;
-            }
-            region.push((lo, hi));
-        }
-        Some(region)
     }
 
     fn pack(&self, m: &Machine, id: ArrayId, region: &[(i64, i64)]) -> Vec<f64> {
@@ -252,6 +214,7 @@ impl SpmdHooks<'_> {
     /// axis direction (verified by the `ablation_combine` bench, which
     /// counts real messages).
     fn sync(&self, m: &mut Machine, frame: &Frame, spec: &SyncSpec) -> Result<(), RunError> {
+        let mut gap = Instant::now();
         let me = self.comm.rank() as u32;
         let cut = self.plan.cut_axes();
         // resolve ids/mappings once; per-array `done` widths track the
@@ -279,17 +242,22 @@ impl SpmdHooks<'_> {
                     if their_w == 0 {
                         continue;
                     }
-                    if let Some(region) =
-                        self.ghost_region(m, ids[ai], &maps[ai], nb, axis, -dir, their_w, &done[ai])
-                    {
+                    if let Some(region) = ghost_region(
+                        &self.plan.partition,
+                        &m.array(ids[ai]).bounds,
+                        &maps[ai],
+                        nb,
+                        axis,
+                        -dir,
+                        their_w,
+                        &done[ai],
+                    ) {
                         payload.extend(self.pack(m, ids[ai], &region));
                     }
                 }
                 if !payload.is_empty() {
                     let tag = tag_for(0, spec.id, 0, axis, -dir);
-                    self.comm
-                        .send(nb as usize, tag, &payload)
-                        .map_err(|e| RunError::new(e.to_string()))?;
+                    self.gap_send(&mut gap, nb as usize, tag, &payload)?;
                 }
             }
             // ---- receives: split the aggregated message back apart
@@ -306,9 +274,16 @@ impl SpmdHooks<'_> {
                     if w == 0 {
                         continue;
                     }
-                    if let Some(region) =
-                        self.ghost_region(m, ids[ai], &maps[ai], me, axis, dir, w, &done[ai])
-                    {
+                    if let Some(region) = ghost_region(
+                        &self.plan.partition,
+                        &m.array(ids[ai]).bounds,
+                        &maps[ai],
+                        me,
+                        axis,
+                        dir,
+                        w,
+                        &done[ai],
+                    ) {
                         regions.push((ai, region));
                     }
                 }
@@ -316,16 +291,10 @@ impl SpmdHooks<'_> {
                     continue;
                 }
                 let tag = tag_for(0, spec.id, 0, axis, dir);
-                let data = self
-                    .comm
-                    .recv(nb as usize, tag)
-                    .map_err(|e| RunError::new(e.to_string()))?;
+                let data = self.gap_recv(&mut gap, nb as usize, tag)?;
                 let mut off = 0usize;
                 for (ai, region) in regions {
-                    let len: usize = region
-                        .iter()
-                        .map(|&(lo, hi)| (hi - lo + 1) as usize)
-                        .product();
+                    let len = region_len(&region) as usize;
                     let slice = data.get(off..off + len).ok_or_else(|| {
                         RunError::new("aggregated halo payload shorter than regions")
                     })?;
@@ -340,12 +309,14 @@ impl SpmdHooks<'_> {
                 done[ai][axis] = sa.ghost.get(axis).copied().unwrap_or([0, 0]);
             }
         }
+        self.gap_end(gap);
         Ok(())
     }
 
     /// Mirror-image `pre`: ship old boundary values, then block on the
     /// pipeline (updated values from upstream).
     fn pre(&self, m: &mut Machine, frame: &Frame, spec: &SelfLoopSpec) -> Result<(), RunError> {
+        let mut gap = Instant::now();
         let me = self.comm.rank() as u32;
         // 1) all old-value sends (captured before any modification)
         for (ai, sa) in spec.arrays.iter().enumerate() {
@@ -355,9 +326,9 @@ impl SpmdHooks<'_> {
                 // data flows opposite to `step.dir`: I serve the neighbor
                 // on my -dir side, which receives from its `dir` side.
                 if let Some(nb) = self.plan.partition.neighbor(me, step.axis, -step.dir) {
-                    if let Some(region) = self.ghost_region(
-                        m,
-                        id,
+                    if let Some(region) = ghost_region(
+                        &self.plan.partition,
+                        &m.array(id).bounds,
                         &dim_axis,
                         nb,
                         step.axis,
@@ -367,9 +338,7 @@ impl SpmdHooks<'_> {
                     ) {
                         let payload = self.pack(m, id, &region);
                         let tag = tag_for(1, spec.id, ai, step.axis, step.dir);
-                        self.comm
-                            .send(nb as usize, tag, &payload)
-                            .map_err(|e| RunError::new(e.to_string()))?;
+                        self.gap_send(&mut gap, nb as usize, tag, &payload)?;
                     }
                 }
             }
@@ -380,9 +349,9 @@ impl SpmdHooks<'_> {
             let dim_axis = self.dim_axis_of(&sa.array)?;
             for step in &sa.mirror {
                 if let Some(nb) = self.plan.partition.neighbor(me, step.axis, step.dir) {
-                    if let Some(region) = self.ghost_region(
-                        m,
-                        id,
+                    if let Some(region) = ghost_region(
+                        &self.plan.partition,
+                        &m.array(id).bounds,
                         &dim_axis,
                         me,
                         step.axis,
@@ -391,10 +360,7 @@ impl SpmdHooks<'_> {
                         &[],
                     ) {
                         let tag = tag_for(1, spec.id, ai, step.axis, step.dir);
-                        let data = self
-                            .comm
-                            .recv(nb as usize, tag)
-                            .map_err(|e| RunError::new(e.to_string()))?;
+                        let data = self.gap_recv(&mut gap, nb as usize, tag)?;
                         self.unpack(m, id, &region, &data)?;
                     }
                 }
@@ -406,9 +372,9 @@ impl SpmdHooks<'_> {
             let dim_axis = self.dim_axis_of(&sa.array)?;
             for step in &sa.forward {
                 if let Some(nb) = self.plan.partition.neighbor(me, step.axis, step.dir) {
-                    if let Some(region) = self.ghost_region(
-                        m,
-                        id,
+                    if let Some(region) = ghost_region(
+                        &self.plan.partition,
+                        &m.array(id).bounds,
                         &dim_axis,
                         me,
                         step.axis,
@@ -417,30 +383,29 @@ impl SpmdHooks<'_> {
                         &[],
                     ) {
                         let tag = tag_for(2, spec.id, ai, step.axis, step.dir);
-                        let data = self
-                            .comm
-                            .recv(nb as usize, tag)
-                            .map_err(|e| RunError::new(e.to_string()))?;
+                        let data = self.gap_recv(&mut gap, nb as usize, tag)?;
                         self.unpack(m, id, &region, &data)?;
                     }
                 }
             }
         }
+        self.gap_end(gap);
         Ok(())
     }
 
     /// Mirror-image `post`: forward the freshly-updated boundary
     /// downstream (continuing the pipeline).
     fn post(&self, m: &mut Machine, frame: &Frame, spec: &SelfLoopSpec) -> Result<(), RunError> {
+        let mut gap = Instant::now();
         let me = self.comm.rank() as u32;
         for (ai, sa) in spec.arrays.iter().enumerate() {
             let id = self.array_id(frame, &sa.array)?;
             let dim_axis = self.dim_axis_of(&sa.array)?;
             for step in &sa.forward {
                 if let Some(nb) = self.plan.partition.neighbor(me, step.axis, -step.dir) {
-                    if let Some(region) = self.ghost_region(
-                        m,
-                        id,
+                    if let Some(region) = ghost_region(
+                        &self.plan.partition,
+                        &m.array(id).bounds,
                         &dim_axis,
                         nb,
                         step.axis,
@@ -450,13 +415,12 @@ impl SpmdHooks<'_> {
                     ) {
                         let payload = self.pack(m, id, &region);
                         let tag = tag_for(2, spec.id, ai, step.axis, step.dir);
-                        self.comm
-                            .send(nb as usize, tag, &payload)
-                            .map_err(|e| RunError::new(e.to_string()))?;
+                        self.gap_send(&mut gap, nb as usize, tag, &payload)?;
                     }
                 }
             }
         }
+        self.gap_end(gap);
         Ok(())
     }
 
@@ -475,33 +439,19 @@ impl SpmdHooks<'_> {
         if ranks <= 1 {
             return Ok(());
         }
+        let mut gap = Instant::now();
         for (ai, array) in arrays.iter().enumerate() {
             let aid = self.array_id(frame, array)?;
             let dim_axis = self.dim_axis_of(array)?;
-            let owned = |rank: u32, arr: &crate::value::ArrayVal| -> Option<Vec<(i64, i64)>> {
-                let sg = self.plan.partition.subgrid(rank);
-                let mut region = Vec::with_capacity(arr.bounds.len());
-                for (d, &(blo, bhi)) in arr.bounds.iter().enumerate() {
-                    let (lo, hi) = match dim_axis.get(d).copied().flatten() {
-                        Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
-                        None => (blo, bhi),
-                    };
-                    if hi < lo {
-                        return None;
-                    }
-                    region.push((lo, hi));
-                }
-                Some(region)
-            };
             // send my owned region to everyone
-            if let Some(region) = owned(me, m.array(aid)) {
+            if let Some(region) =
+                owned_region(&self.plan.partition, &m.array(aid).bounds, &dim_axis, me)
+            {
                 let payload = self.pack(m, aid, &region);
                 let tag = tag_for(3, id, ai, 0, 1);
                 for peer in 0..ranks {
                     if peer != me {
-                        self.comm
-                            .send(peer as usize, tag, &payload)
-                            .map_err(|e| RunError::new(e.to_string()))?;
+                        self.gap_send(&mut gap, peer as usize, tag, &payload)?;
                     }
                 }
             }
@@ -510,16 +460,16 @@ impl SpmdHooks<'_> {
                 if peer == me {
                     continue;
                 }
-                if let Some(region) = owned(peer, m.array(aid)) {
+                if let Some(region) =
+                    owned_region(&self.plan.partition, &m.array(aid).bounds, &dim_axis, peer)
+                {
                     let tag = tag_for(3, id, ai, 0, 1);
-                    let data = self
-                        .comm
-                        .recv(peer as usize, tag)
-                        .map_err(|e| RunError::new(e.to_string()))?;
+                    let data = self.gap_recv(&mut gap, peer as usize, tag)?;
                     self.unpack(m, aid, &region, &data)?;
                 }
             }
         }
+        self.gap_end(gap);
         Ok(())
     }
 
@@ -530,6 +480,127 @@ impl SpmdHooks<'_> {
             .cloned()
             .ok_or_else(|| RunError::new(format!("no mapping for `{array}`")))
     }
+
+    /// Record the compute gap since `*gap` (packing and region math
+    /// between communication calls), send, and restart the gap clock.
+    fn gap_send(
+        &self,
+        gap: &mut Instant,
+        to: usize,
+        tag: u64,
+        payload: &[f64],
+    ) -> Result<(), RunError> {
+        self.comm
+            .record_span(EventKind::Compute, *gap, Instant::now());
+        let r = self
+            .comm
+            .send(to, tag, payload)
+            .map_err(|e| RunError::new(e.to_string()));
+        *gap = Instant::now();
+        r
+    }
+
+    /// Record the compute gap since `*gap`, receive, and restart the gap
+    /// clock.
+    fn gap_recv(&self, gap: &mut Instant, from: usize, tag: u64) -> Result<Vec<f64>, RunError> {
+        self.comm
+            .record_span(EventKind::Compute, *gap, Instant::now());
+        let r = self
+            .comm
+            .recv(from, tag)
+            .map_err(|e| RunError::new(e.to_string()));
+        *gap = Instant::now();
+        r
+    }
+
+    /// Record the trailing compute gap of a communication handler.
+    fn gap_end(&self, gap: Instant) {
+        self.comm
+            .record_span(EventKind::Compute, gap, Instant::now());
+    }
+}
+
+/// The global index region (one inclusive `(lo, hi)` per array
+/// dimension) of the ghost slab that `recv_rank` receives from direction
+/// `dir` along `axis`, for an array with declared `bounds` and
+/// dimension→axis map `dim_axis`. `done` gives the ghost widths of axes
+/// already exchanged (corner correctness: the slab widens to cover ghost
+/// layers filled by earlier axes). `None` when clipping against the
+/// declared bounds empties the slab.
+///
+/// This is the single source of truth for halo-slab geometry: both the
+/// live SPMD handlers and the traffic forecast ([`crate::forecast()`]) call
+/// it, so predicted and measured payload sizes agree by construction.
+#[allow(clippy::too_many_arguments)] // a slab is genuinely 7-dimensional
+pub fn ghost_region(
+    partition: &Partition,
+    bounds: &[(i64, i64)],
+    dim_axis: &[Option<usize>],
+    recv_rank: u32,
+    axis: usize,
+    dir: i32,
+    width: u64,
+    done: &[[u64; 2]],
+) -> Option<Vec<(i64, i64)>> {
+    let sg = partition.subgrid(recv_rank);
+    let mut region = Vec::with_capacity(bounds.len());
+    for (d, &(blo, bhi)) in bounds.iter().enumerate() {
+        let (lo, hi) = match dim_axis.get(d).copied().flatten() {
+            Some(a) if a == axis => {
+                let w = width as i64;
+                if dir < 0 {
+                    (sg.lo[a] as i64 - w, sg.lo[a] as i64 - 1)
+                } else {
+                    (sg.hi[a] as i64 + 1, sg.hi[a] as i64 + w)
+                }
+            }
+            Some(a) => {
+                let g = done.get(a).copied().unwrap_or([0, 0]);
+                (sg.lo[a] as i64 - g[0] as i64, sg.hi[a] as i64 + g[1] as i64)
+            }
+            None => (blo, bhi), // packed dimension: full extent
+        };
+        let (lo, hi) = (lo.max(blo), hi.min(bhi));
+        if hi < lo {
+            return None;
+        }
+        region.push((lo, hi));
+    }
+    Some(region)
+}
+
+/// The region of an array that `rank` owns: its subgrid slice on
+/// distributed dimensions, full declared extent on packed ones. `None`
+/// when the rank's subgrid misses the declared bounds entirely. Shared by
+/// the allgather fill, the owned-region verifier, and the traffic
+/// forecast.
+pub fn owned_region(
+    partition: &Partition,
+    bounds: &[(i64, i64)],
+    dim_axis: &[Option<usize>],
+    rank: u32,
+) -> Option<Vec<(i64, i64)>> {
+    let sg = partition.subgrid(rank);
+    let mut region = Vec::with_capacity(bounds.len());
+    for (d, &(blo, bhi)) in bounds.iter().enumerate() {
+        let (lo, hi) = match dim_axis.get(d).copied().flatten() {
+            Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
+            None => (blo, bhi),
+        };
+        if hi < lo {
+            return None;
+        }
+        region.push((lo, hi));
+    }
+    Some(region)
+}
+
+/// Number of points in an inclusive region.
+pub fn region_len(region: &[(i64, i64)]) -> u64 {
+    region
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1) as u64)
+        .product()
 }
 
 /// Odometer increment over inclusive ranges; false when exhausted.
@@ -551,6 +622,54 @@ fn tag_for(kind: u64, id: u32, array_idx: usize, axis: usize, dir: i32) -> u64 {
         + 1000
 }
 
+/// Everything a traced rank execution produces — statistics, phases, the
+/// trace, and the journal epoch are returned even when the program
+/// itself failed, so a partial trace can still be rendered and journaled
+/// after a communication error.
+#[derive(Debug)]
+pub struct RankRun {
+    /// The execution outcome: machine + final main-program frame, or the
+    /// error that stopped the rank.
+    pub outcome: Result<(Machine, Frame), RunError>,
+    /// Communication statistics `(messages, f64 elements, barriers,
+    /// reductions)`.
+    pub comm_stats: (u64, u64, u64, u64),
+    /// Wire-level counters from the transport.
+    pub wire_stats: WireStats,
+    /// Phase names in index order; `trace` events refer to these via
+    /// their `phase` field.
+    pub phases: Vec<String>,
+    /// The rank's full trace: communication events *and* compute spans.
+    pub trace: Vec<TraceEvent>,
+    /// The communicator epoch as unix nanoseconds — journal headers
+    /// carry it so the merger can align ranks that ran in different
+    /// processes.
+    pub epoch_unix_ns: i128,
+}
+
+/// Execute one rank of the transformed `file` under `plan` over an
+/// existing communicator, always returning trace and statistics — even
+/// when the program fails mid-run (the partial trace covers everything
+/// up to the failure). The rank identity comes from `comm.rank()`.
+pub fn run_rank_traced(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    comm: &Comm,
+) -> RankRun {
+    let mut hooks = SpmdHooks { plan, comm };
+    let outcome = run_program_capture(file, input, &mut hooks, stmt_limit);
+    RankRun {
+        outcome,
+        comm_stats: comm.stats().snapshot(),
+        wire_stats: comm.wire_stats(),
+        phases: comm.phase_names(),
+        trace: comm.take_trace(),
+        epoch_unix_ns: autocfd_runtime::epoch_unix_ns(comm.epoch()),
+    }
+}
+
 /// Execute one rank of the transformed `file` under `plan` over an
 /// existing communicator — any transport (in-process thread mesh or a
 /// TCP process mesh). The rank identity comes from `comm.rank()`.
@@ -561,14 +680,15 @@ pub fn run_rank(
     stmt_limit: u64,
     comm: &Comm,
 ) -> Result<RankResult, RunError> {
-    let mut hooks = SpmdHooks { plan, comm };
-    run_program_capture(file, input, &mut hooks, stmt_limit).map(|(machine, frame)| RankResult {
+    let run = run_rank_traced(file, plan, input, stmt_limit, comm);
+    let (machine, frame) = run.outcome?;
+    Ok(RankResult {
         machine,
         frame,
-        comm_stats: comm.stats().snapshot(),
-        wire_stats: comm.wire_stats(),
-        phases: comm.phase_names(),
-        trace: comm.take_trace(),
+        comm_stats: run.comm_stats,
+        wire_stats: run.wire_stats,
+        phases: run.phases,
+        trace: run.trace,
     })
 }
 
@@ -588,6 +708,21 @@ pub fn run_parallel(
     results.into_iter().collect()
 }
 
+/// Like [`run_parallel`], but every rank returns a [`RankRun`] — traces
+/// and statistics survive individual rank failures, so the profiler can
+/// render a partial timeline after a communication error.
+pub fn run_parallel_traced(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+) -> Vec<RankRun> {
+    let n = plan.ranks() as usize;
+    run_spmd(n, |comm| {
+        run_rank_traced(file, plan, input.clone(), stmt_limit, &comm)
+    })
+}
+
 /// Verify that a *single* rank's owned region of every status array
 /// equals the sequential run's values within `tol`. Returns the maximum
 /// absolute difference observed on that rank. Multi-process workers use
@@ -600,7 +735,6 @@ pub fn verify_rank_owned_region(
     tol: f64,
 ) -> Result<f64, String> {
     let mut max_diff = 0.0f64;
-    let sg = plan.partition.subgrid(rank as u32);
     for (array, dim_axis) in &plan.dim_axis {
         let seq_id = match seq.1.arrays.get(array) {
             Some(id) => *id,
@@ -614,20 +748,10 @@ pub fn verify_rank_owned_region(
             .ok_or_else(|| format!("rank {rank}: array `{array}` missing"))?;
         let par_arr = rr.machine.array(*par_id);
         // iterate the rank's owned region (full extent on packed dims)
-        let region: Vec<(i64, i64)> = seq_arr
-            .bounds
-            .iter()
-            .enumerate()
-            .map(
-                |(d, &(blo, bhi))| match dim_axis.get(d).copied().flatten() {
-                    Some(a) => ((sg.lo[a] as i64).max(blo), (sg.hi[a] as i64).min(bhi)),
-                    None => (blo, bhi),
-                },
-            )
-            .collect();
-        if region.iter().any(|&(lo, hi)| hi < lo) {
+        let Some(region) = owned_region(&plan.partition, &seq_arr.bounds, dim_axis, rank as u32)
+        else {
             continue;
-        }
+        };
         let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
         loop {
             let s = seq_arr.get(&idx).map_err(|e| e.to_string())?;

@@ -23,6 +23,8 @@ use bytes::{Buf, BufMut};
 pub const MAGIC: u32 = 0xACFD_0001;
 
 /// Fixed header size in bytes (`magic + kind + from + tag + len`).
+/// Consumers beyond the codec: the trace cross-validation adds this per
+/// predicted frame to turn payload bytes into TCP wire bytes.
 pub const HEADER_LEN: usize = 4 + 1 + 4 + 8 + 4;
 
 /// Upper bound on payload elements a decoder will accept (1 GiB of

@@ -3,7 +3,7 @@
 //! trace for the profiler.
 
 use crate::error::CommError;
-use crate::trace::{EventKind, TraceEvent};
+use crate::trace::{EventKind, Recorder, TraceEvent};
 use crate::transport::{Transport, WireStats};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -153,7 +153,14 @@ impl Comm {
         e.with_phase(&name)
     }
 
-    fn record(&self, kind: EventKind, start: Instant, peer: usize, elems: usize, bytes: usize) {
+    fn record(
+        &self,
+        kind: EventKind,
+        start: Instant,
+        peer: Option<usize>,
+        elems: usize,
+        bytes: usize,
+    ) {
         let end = self.epoch.elapsed();
         let start = start.duration_since(self.epoch);
         self.trace.lock().push(TraceEvent {
@@ -165,6 +172,11 @@ impl Comm {
             bytes,
             phase: self.current_phase(),
         });
+    }
+
+    /// The instant trace timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// Drain this rank's recorded trace (see [`crate::trace`]).
@@ -179,7 +191,7 @@ impl Comm {
     pub fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<(), CommError> {
         let t0 = Instant::now();
         let bytes = self.send_raw(to, tag, payload)?;
-        self.record(EventKind::Send, t0, to, payload.len(), bytes);
+        self.record(EventKind::Send, t0, Some(to), payload.len(), bytes);
         Ok(())
     }
 
@@ -204,7 +216,7 @@ impl Comm {
             .transport
             .recv(from, tag, self.timeout)
             .map_err(|e| self.ctx(e))?;
-        self.record(EventKind::Recv, t0, from, payload.len(), bytes);
+        self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
         Ok(payload)
     }
 
@@ -234,7 +246,7 @@ impl Comm {
         self.transport
             .barrier(self.timeout)
             .map_err(|e| self.ctx(e))?;
-        self.record(EventKind::Barrier, t0, 0, 0, 0);
+        self.record(EventKind::Barrier, t0, None, 0, 0);
         Ok(())
     }
 
@@ -266,7 +278,7 @@ impl Comm {
             bytes += b;
             v[0]
         };
-        self.record(EventKind::Reduce, t0, 0, 1, bytes);
+        self.record(EventKind::Reduce, t0, None, 1, bytes);
         Ok(result)
     }
 
@@ -314,6 +326,22 @@ impl Comm {
     /// also fine for the in-process backend.
     pub fn shutdown(&self) {
         self.transport.shutdown();
+    }
+}
+
+impl Recorder for Comm {
+    /// Append a span (typically [`EventKind::Compute`] from the
+    /// interpreter) to this rank's trace under the current phase.
+    fn record_span(&self, kind: EventKind, start: Instant, end: Instant) {
+        self.trace.lock().push(TraceEvent {
+            kind,
+            start: start.duration_since(self.epoch),
+            end: end.duration_since(self.epoch),
+            peer: None,
+            elems: 0,
+            bytes: 0,
+            phase: self.current_phase(),
+        });
     }
 }
 

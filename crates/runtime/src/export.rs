@@ -1,0 +1,452 @@
+//! Trace exporters and aggregate metrics.
+//!
+//! Consumes a [`MergedTrace`] (or raw
+//! per-rank traces) and produces:
+//!
+//! * [`chrome_trace`] — Chrome trace-event JSON with one track per rank,
+//!   openable in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`;
+//! * [`phase_metrics`] / [`render_phase_metrics`] — per-phase counters
+//!   and wait/compute histograms (p50 / p95 / max), the
+//!   compute-vs-comm-vs-wait breakdown per synchronization region;
+//! * [`rank_breakdown`] / [`render_rank_breakdown`] — how much of each
+//!   rank's wall time the trace accounts for, the coverage check the CI
+//!   smoke test asserts on.
+
+use crate::journal::MergedTrace;
+use crate::trace::{EventKind, TraceEvent};
+use serde::json::Value;
+use std::time::Duration;
+
+/// Render a merged trace in Chrome trace-event JSON (object form, `"X"`
+/// complete events, microsecond timestamps). Tracks: `pid` 0, one `tid`
+/// per rank plus a `thread_name` metadata record; event names are
+/// `<kind> <phase>` so Perfetto groups by activity.
+pub fn chrome_trace(merged: &MergedTrace) -> String {
+    let mut events = Vec::new();
+    for (rank, trace) in merged.traces.iter().enumerate() {
+        events.push(Value::obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::Int(0)),
+            ("tid", Value::Int(rank as i128)),
+            (
+                "args",
+                Value::obj(vec![("name", Value::Str(format!("rank {rank}")))]),
+            ),
+        ]));
+        let names = &merged.phase_names[rank];
+        for e in trace {
+            let phase = names
+                .get(e.phase as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("phase_{}", e.phase));
+            let mut args = vec![("phase", Value::Str(phase.clone()))];
+            if let Some(p) = e.peer {
+                args.push(("peer", Value::Int(p as i128)));
+            }
+            if e.elems > 0 {
+                args.push(("elems", Value::Int(e.elems as i128)));
+            }
+            if e.bytes > 0 {
+                args.push(("bytes", Value::Int(e.bytes as i128)));
+            }
+            events.push(Value::obj(vec![
+                ("name", Value::Str(format!("{} {}", e.kind.name(), phase))),
+                ("cat", Value::Str(e.kind.name().into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::Float(e.start.as_nanos() as f64 / 1000.0)),
+                ("dur", Value::Float(e.span().as_nanos() as f64 / 1000.0)),
+                ("pid", Value::Int(0)),
+                ("tid", Value::Int(rank as i128)),
+                ("args", Value::obj(args)),
+            ]));
+        }
+    }
+    Value::obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+    .to_string()
+}
+
+/// p50 / p95 / max over a set of span durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+/// Percentiles of a sample set (nearest-rank method; zeros if empty).
+pub fn percentiles(samples: &mut [Duration]) -> Percentiles {
+    if samples.is_empty() {
+        return Percentiles::default();
+    }
+    samples.sort_unstable();
+    let rank = |q: f64| {
+        let idx = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+        samples[idx.min(samples.len() - 1)]
+    };
+    Percentiles {
+        p50: rank(0.50),
+        p95: rank(0.95),
+        max: *samples.last().unwrap(),
+    }
+}
+
+/// Aggregated activity of one program phase across all ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// Phase name.
+    pub phase: String,
+    /// Traced events in this phase (all kinds, all ranks).
+    pub events: usize,
+    /// Point-to-point + reduce messages.
+    pub msgs: u64,
+    /// Wire bytes moved.
+    pub bytes: u64,
+    /// Total compute-span time across ranks.
+    pub compute: Duration,
+    /// Total send/reduce busy time across ranks (communication proper).
+    pub comm: Duration,
+    /// Total blocked time (receive + barrier waits) across ranks.
+    pub wait: Duration,
+    /// Distribution of individual compute spans.
+    pub compute_hist: Percentiles,
+    /// Distribution of individual wait spans.
+    pub wait_hist: Percentiles,
+}
+
+/// Aggregate a merged trace into per-phase metrics, in first-appearance
+/// order across ranks.
+pub fn phase_metrics(merged: &MergedTrace) -> Vec<PhaseMetrics> {
+    let mut order: Vec<String> = Vec::new();
+    for (trace, names) in merged.traces.iter().zip(&merged.phase_names) {
+        for e in trace {
+            if let Some(name) = names.get(e.phase as usize) {
+                if !order.contains(name) {
+                    order.push(name.clone());
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for phase in &order {
+        let mut m = PhaseMetrics {
+            phase: phase.clone(),
+            events: 0,
+            msgs: 0,
+            bytes: 0,
+            compute: Duration::ZERO,
+            comm: Duration::ZERO,
+            wait: Duration::ZERO,
+            compute_hist: Percentiles::default(),
+            wait_hist: Percentiles::default(),
+        };
+        let mut compute_samples = Vec::new();
+        let mut wait_samples = Vec::new();
+        for (trace, names) in merged.traces.iter().zip(&merged.phase_names) {
+            for e in trace {
+                if names.get(e.phase as usize) != Some(phase) {
+                    continue;
+                }
+                m.events += 1;
+                m.bytes += e.bytes as u64;
+                match e.kind {
+                    EventKind::Compute => {
+                        m.compute += e.span();
+                        compute_samples.push(e.span());
+                    }
+                    EventKind::Send | EventKind::Reduce => {
+                        m.msgs += 1;
+                        m.comm += e.span();
+                    }
+                    EventKind::Recv => {
+                        m.msgs += 1;
+                        m.wait += e.wait();
+                        wait_samples.push(e.wait());
+                    }
+                    EventKind::Barrier => {
+                        m.wait += e.wait();
+                        wait_samples.push(e.wait());
+                    }
+                }
+            }
+        }
+        m.compute_hist = percentiles(&mut compute_samples);
+        m.wait_hist = percentiles(&mut wait_samples);
+        out.push(m);
+    }
+    out
+}
+
+fn dur(d: Duration) -> String {
+    let us = d.as_nanos() as f64 / 1000.0;
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{us:.1}µs")
+    }
+}
+
+/// Render per-phase metrics as a text table (one row per phase).
+pub fn render_phase_metrics(metrics: &[PhaseMetrics]) -> String {
+    let name_w = metrics
+        .iter()
+        .map(|m| m.phase.len())
+        .chain(["phase".len()])
+        .max()
+        .unwrap_or(5);
+    let mut out = format!(
+        "{:name_w$}  {:>6}  {:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>20}  {:>20}\n",
+        "phase",
+        "events",
+        "msgs",
+        "bytes",
+        "compute",
+        "comm",
+        "wait",
+        "wait p50/p95/max",
+        "compute p50/p95/max",
+    );
+    for m in metrics {
+        out.push_str(&format!(
+            "{:name_w$}  {:>6}  {:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>20}  {:>20}\n",
+            m.phase,
+            m.events,
+            m.msgs,
+            m.bytes,
+            dur(m.compute),
+            dur(m.comm),
+            dur(m.wait),
+            format!(
+                "{}/{}/{}",
+                dur(m.wait_hist.p50),
+                dur(m.wait_hist.p95),
+                dur(m.wait_hist.max)
+            ),
+            format!(
+                "{}/{}/{}",
+                dur(m.compute_hist.p50),
+                dur(m.compute_hist.p95),
+                dur(m.compute_hist.max)
+            ),
+        ));
+    }
+    out
+}
+
+/// One rank's wall-time accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankBreakdown {
+    /// Rank id (position in the merged trace).
+    pub rank: usize,
+    /// First event start to last event end.
+    pub wall: Duration,
+    /// Total compute-span time.
+    pub compute: Duration,
+    /// Total send/reduce busy time.
+    pub comm: Duration,
+    /// Total blocked (receive + barrier) time.
+    pub wait: Duration,
+}
+
+impl RankBreakdown {
+    /// Fraction of wall time the traced spans account for (0 when the
+    /// trace is empty; spans never overlap on a rank, so ≤ ~1).
+    pub fn coverage(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        (self.compute + self.comm + self.wait).as_secs_f64() / self.wall.as_secs_f64()
+    }
+}
+
+/// Per-rank compute/comm/wait totals against the rank's traced wall
+/// time (first event start → last event end).
+pub fn rank_breakdown(traces: &[Vec<TraceEvent>]) -> Vec<RankBreakdown> {
+    traces
+        .iter()
+        .enumerate()
+        .map(|(rank, trace)| {
+            let first = trace.iter().map(|e| e.start).min().unwrap_or_default();
+            let last = trace.iter().map(|e| e.end).max().unwrap_or_default();
+            let mut b = RankBreakdown {
+                rank,
+                wall: last.saturating_sub(first),
+                compute: Duration::ZERO,
+                comm: Duration::ZERO,
+                wait: Duration::ZERO,
+            };
+            for e in trace {
+                match e.kind {
+                    EventKind::Compute => b.compute += e.span(),
+                    EventKind::Send | EventKind::Reduce => b.comm += e.span(),
+                    EventKind::Recv | EventKind::Barrier => b.wait += e.wait(),
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+/// Render the per-rank breakdown as a text table with a coverage column.
+pub fn render_rank_breakdown(breakdowns: &[RankBreakdown]) -> String {
+    let mut out = format!(
+        "{:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>8}\n",
+        "rank", "wall", "compute", "comm", "wait", "covered"
+    );
+    for b in breakdowns {
+        out.push_str(&format!(
+            "{:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7.1}%\n",
+            b.rank,
+            dur(b.wall),
+            dur(b.compute),
+            dur(b.comm),
+            dur(b.wait),
+            b.coverage() * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{JournalEvent, JournalHeader, RankJournal, SCHEMA_VERSION};
+    use serde::json;
+
+    fn merged_fixture() -> MergedTrace {
+        let mk = |rank: usize, events: Vec<JournalEvent>| RankJournal {
+            header: JournalHeader {
+                version: SCHEMA_VERSION,
+                rank,
+                ranks: 2,
+                transport: "inproc".into(),
+                epoch_unix_ns: 0,
+            },
+            events,
+            complete: true,
+        };
+        let ev = |kind, s: u64, e: u64, phase: &str| JournalEvent {
+            kind,
+            start: Duration::from_micros(s),
+            end: Duration::from_micros(e),
+            peer: if kind == EventKind::Send {
+                Some(1)
+            } else {
+                None
+            },
+            elems: if kind == EventKind::Send { 8 } else { 0 },
+            bytes: if kind == EventKind::Send { 64 } else { 0 },
+            phase: phase.into(),
+        };
+        crate::journal::merge(&[
+            mk(
+                0,
+                vec![
+                    ev(EventKind::Compute, 0, 40, "main"),
+                    ev(EventKind::Send, 40, 40, "sync_0"),
+                    ev(EventKind::Recv, 40, 90, "sync_0"),
+                ],
+            ),
+            mk(
+                1,
+                vec![
+                    ev(EventKind::Compute, 0, 80, "main"),
+                    ev(EventKind::Barrier, 80, 100, "sync_0"),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_track_per_rank() {
+        let merged = merged_fixture();
+        let text = chrome_trace(&merged);
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 metadata records + 5 spans
+        assert_eq!(events.len(), 7);
+        let tids: Vec<i128> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("tid").unwrap().as_int().unwrap())
+            .collect();
+        assert!(tids.contains(&0) && tids.contains(&1));
+        let meta: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("rank 0")
+        );
+        // a send span carries its peer and wire bytes
+        let send = events
+            .iter()
+            .find(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("send")))
+            .unwrap();
+        assert_eq!(
+            send.get("args").unwrap().get("peer").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            send.get("args").unwrap().get("bytes").unwrap().as_int(),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn phase_metrics_split_compute_comm_wait() {
+        let merged = merged_fixture();
+        let ms = phase_metrics(&merged);
+        assert_eq!(ms.len(), 2);
+        let main = &ms[0];
+        assert_eq!(main.phase, "main");
+        assert_eq!(main.events, 2);
+        assert_eq!(main.compute, Duration::from_micros(120));
+        assert_eq!(main.wait, Duration::ZERO);
+        assert_eq!(main.compute_hist.max, Duration::from_micros(80));
+        assert_eq!(main.compute_hist.p50, Duration::from_micros(40));
+        let sync = &ms[1];
+        assert_eq!(sync.phase, "sync_0");
+        assert_eq!(sync.msgs, 2, "send + recv; barrier is not a message");
+        assert_eq!(sync.bytes, 64);
+        assert_eq!(sync.wait, Duration::from_micros(70), "recv 50 + barrier 20");
+        let rendered = render_phase_metrics(&ms);
+        assert!(rendered.contains("sync_0"), "{rendered}");
+        assert!(rendered.lines().next().unwrap().contains("compute"));
+    }
+
+    #[test]
+    fn rank_breakdown_covers_wall_time() {
+        let merged = merged_fixture();
+        let b = rank_breakdown(&merged.traces);
+        assert_eq!(b[0].wall, Duration::from_micros(90));
+        assert_eq!(b[0].compute, Duration::from_micros(40));
+        assert_eq!(b[0].wait, Duration::from_micros(50));
+        assert!(b[0].coverage() > 0.99, "{}", b[0].coverage());
+        assert_eq!(b[1].wall, Duration::from_micros(100));
+        assert!((b[1].coverage() - 1.0).abs() < 1e-9);
+        let rendered = render_rank_breakdown(&b);
+        assert!(rendered.contains("covered"), "{rendered}");
+        assert!(rendered.contains("100.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let p = percentiles(&mut samples);
+        assert_eq!(p.p50, Duration::from_micros(50));
+        assert_eq!(p.p95, Duration::from_micros(95));
+        assert_eq!(p.max, Duration::from_micros(100));
+        assert_eq!(percentiles(&mut Vec::new()), Percentiles::default());
+    }
+}

@@ -1,0 +1,639 @@
+//! Structured per-rank execution journal (JSONL).
+//!
+//! Every rank of a traced run streams its events to
+//! `rank-<r>.jsonl` inside a per-run trace directory. Each line is one
+//! self-contained JSON record:
+//!
+//! * a `header` line first — schema version, rank, rank count,
+//!   transport, and the rank's trace epoch as Unix nanoseconds
+//!   ([`epoch_unix_ns`]);
+//! * one `event` line per [`TraceEvent`], with times as nanosecond
+//!   offsets from the rank's epoch and the phase carried *by name* (so a
+//!   truncated journal is still interpretable without the phase table);
+//! * a `footer` line with the event count — its absence marks a journal
+//!   cut short by a crash, which the parser tolerates and reports via
+//!   [`RankJournal::complete`].
+//!
+//! Ranks timestamp against private epochs (separate processes on the TCP
+//! transport); the [`merge`] step re-anchors every rank to the earliest
+//! epoch in the run so one cross-rank timeline comes out, ready for the
+//! renderers in [`crate::trace`] and the exporters in [`crate::export`].
+
+use crate::trace::{EventKind, TraceEvent};
+use serde::json::{self, Value};
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Version stamped into every journal header; bump on any change to the
+/// record shapes below.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Run-level metadata opening each rank's journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub version: i64,
+    /// The rank this journal belongs to.
+    pub rank: usize,
+    /// Total ranks in the run.
+    pub ranks: usize,
+    /// Transport label (`"inproc"` or `"tcp"`).
+    pub transport: String,
+    /// The rank's trace epoch as nanoseconds since the Unix epoch; the
+    /// merger aligns ranks by these.
+    pub epoch_unix_ns: i128,
+}
+
+/// One journaled event: a [`TraceEvent`] with its phase resolved to a
+/// name (journal lines are self-contained).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Start offset from the rank's epoch.
+    pub start: Duration,
+    /// End offset from the rank's epoch.
+    pub end: Duration,
+    /// Peer rank for point-to-point events.
+    pub peer: Option<usize>,
+    /// Payload f64 elements.
+    pub elems: usize,
+    /// Wire bytes moved.
+    pub bytes: usize,
+    /// Program phase name.
+    pub phase: String,
+}
+
+/// One rank's parsed journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankJournal {
+    /// The header line.
+    pub header: JournalHeader,
+    /// Events in recorded order.
+    pub events: Vec<JournalEvent>,
+    /// Whether the footer was present and its count matched — `false`
+    /// means the journal was truncated (the rank died mid-run).
+    pub complete: bool,
+}
+
+/// A journal read or parse failure.
+#[derive(Debug)]
+pub struct JournalError {
+    /// What went wrong, with file/line context where known.
+    pub message: String,
+}
+
+impl JournalError {
+    fn new(message: impl Into<String>) -> JournalError {
+        JournalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::new(e.to_string())
+    }
+}
+
+/// A rank's trace epoch as Unix nanoseconds: the wall-clock time that
+/// `epoch` refers to, computed from the current instant. Call while the
+/// `Instant` is recent (at run end) — drift is the error of one
+/// `SystemTime::now()` read.
+pub fn epoch_unix_ns(epoch: Instant) -> i128 {
+    let now_unix = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_nanos() as i128;
+    now_unix - epoch.elapsed().as_nanos() as i128
+}
+
+/// The journal file path for `rank` under `dir`.
+pub fn rank_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank-{rank}.jsonl"))
+}
+
+/// An open, streaming journal for one rank. The header is written on
+/// creation, events as they are appended, and the footer by
+/// [`JournalWriter::finish`]; every line is flushed immediately so a
+/// crashed rank leaves a truncated-but-parseable journal behind.
+pub struct JournalWriter {
+    file: std::fs::File,
+    events: usize,
+}
+
+impl JournalWriter {
+    /// Create `rank-<r>.jsonl` under `dir` (creating `dir` if needed)
+    /// and write the header line.
+    pub fn create(dir: &Path, header: &JournalHeader) -> Result<JournalWriter, JournalError> {
+        std::fs::create_dir_all(dir)?;
+        let mut file = std::fs::File::create(rank_path(dir, header.rank))?;
+        let line = Value::obj(vec![
+            ("type", Value::Str("header".into())),
+            ("version", Value::Int(header.version as i128)),
+            ("rank", Value::Int(header.rank as i128)),
+            ("ranks", Value::Int(header.ranks as i128)),
+            ("transport", Value::Str(header.transport.clone())),
+            ("epoch_unix_ns", Value::Int(header.epoch_unix_ns)),
+        ]);
+        writeln!(file, "{line}")?;
+        file.flush()?;
+        Ok(JournalWriter { file, events: 0 })
+    }
+
+    /// Append one event line.
+    pub fn append(&mut self, ev: &JournalEvent) -> Result<(), JournalError> {
+        let peer = match ev.peer {
+            Some(p) => Value::Int(p as i128),
+            None => Value::Null,
+        };
+        let line = Value::obj(vec![
+            ("type", Value::Str("event".into())),
+            ("kind", Value::Str(ev.kind.name().into())),
+            ("start_ns", Value::Int(ev.start.as_nanos() as i128)),
+            ("end_ns", Value::Int(ev.end.as_nanos() as i128)),
+            ("peer", peer),
+            ("elems", Value::Int(ev.elems as i128)),
+            ("bytes", Value::Int(ev.bytes as i128)),
+            ("phase", Value::Str(ev.phase.clone())),
+        ]);
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Write the footer line and close the journal.
+    pub fn finish(mut self) -> Result<(), JournalError> {
+        let line = Value::obj(vec![
+            ("type", Value::Str("footer".into())),
+            ("events", Value::Int(self.events as i128)),
+        ]);
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// Resolve a rank's raw trace to journal events (phase indices become
+/// names; unknown indices render as `phase_<i>`).
+pub fn resolve_events(trace: &[TraceEvent], phase_names: &[String]) -> Vec<JournalEvent> {
+    trace
+        .iter()
+        .map(|e| JournalEvent {
+            kind: e.kind,
+            start: e.start,
+            end: e.end,
+            peer: e.peer,
+            elems: e.elems,
+            bytes: e.bytes,
+            phase: phase_names
+                .get(e.phase as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("phase_{}", e.phase)),
+        })
+        .collect()
+}
+
+/// Write one rank's complete journal (header, every event, footer) to
+/// `dir/rank-<r>.jsonl`, returning the path.
+pub fn write_rank_journal(
+    dir: &Path,
+    header: &JournalHeader,
+    trace: &[TraceEvent],
+    phase_names: &[String],
+) -> Result<PathBuf, JournalError> {
+    let mut w = JournalWriter::create(dir, header)?;
+    for ev in resolve_events(trace, phase_names) {
+        w.append(&ev)?;
+    }
+    w.finish()?;
+    Ok(rank_path(dir, header.rank))
+}
+
+fn field<'v>(line: &'v Value, key: &str, ln: usize) -> Result<&'v Value, JournalError> {
+    line.get(key)
+        .ok_or_else(|| JournalError::new(format!("line {ln}: missing `{key}`")))
+}
+
+fn int_field(line: &Value, key: &str, ln: usize) -> Result<i128, JournalError> {
+    field(line, key, ln)?
+        .as_int()
+        .ok_or_else(|| JournalError::new(format!("line {ln}: `{key}` is not an integer")))
+}
+
+fn str_field(line: &Value, key: &str, ln: usize) -> Result<String, JournalError> {
+    Ok(field(line, key, ln)?
+        .as_str()
+        .ok_or_else(|| JournalError::new(format!("line {ln}: `{key}` is not a string")))?
+        .to_string())
+}
+
+/// Parse one rank's journal text. A missing or short footer is not an
+/// error — the journal is returned with [`RankJournal::complete`] set to
+/// `false` (that is exactly the crashed-rank case the journal exists
+/// for). A missing header, or garbage on any present line, is an error.
+pub fn parse_rank_journal(text: &str) -> Result<RankJournal, JournalError> {
+    let mut header: Option<JournalHeader> = None;
+    let mut events = Vec::new();
+    let mut complete = false;
+    for (i, raw) in text.lines().enumerate() {
+        let ln = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = json::parse(raw).map_err(|e| JournalError::new(format!("line {ln}: {e}")))?;
+        let ty = str_field(&line, "type", ln)?;
+        match ty.as_str() {
+            "header" => {
+                let version = int_field(&line, "version", ln)? as i64;
+                if version != SCHEMA_VERSION {
+                    return Err(JournalError::new(format!(
+                        "line {ln}: unsupported schema version {version} (expected {SCHEMA_VERSION})"
+                    )));
+                }
+                header = Some(JournalHeader {
+                    version,
+                    rank: int_field(&line, "rank", ln)? as usize,
+                    ranks: int_field(&line, "ranks", ln)? as usize,
+                    transport: str_field(&line, "transport", ln)?,
+                    epoch_unix_ns: int_field(&line, "epoch_unix_ns", ln)?,
+                });
+            }
+            "event" => {
+                let kind_name = str_field(&line, "kind", ln)?;
+                let kind = EventKind::from_name(&kind_name).ok_or_else(|| {
+                    JournalError::new(format!("line {ln}: unknown event kind `{kind_name}`"))
+                })?;
+                let peer = match field(&line, "peer", ln)? {
+                    Value::Null => None,
+                    v => Some(v.as_int().ok_or_else(|| {
+                        JournalError::new(format!("line {ln}: `peer` is not an integer"))
+                    })? as usize),
+                };
+                events.push(JournalEvent {
+                    kind,
+                    start: Duration::from_nanos(int_field(&line, "start_ns", ln)? as u64),
+                    end: Duration::from_nanos(int_field(&line, "end_ns", ln)? as u64),
+                    peer,
+                    elems: int_field(&line, "elems", ln)? as usize,
+                    bytes: int_field(&line, "bytes", ln)? as usize,
+                    phase: str_field(&line, "phase", ln)?,
+                });
+            }
+            "footer" => {
+                let n = int_field(&line, "events", ln)? as usize;
+                complete = n == events.len();
+            }
+            other => {
+                return Err(JournalError::new(format!(
+                    "line {ln}: unknown record type `{other}`"
+                )));
+            }
+        }
+    }
+    let header = header.ok_or_else(|| JournalError::new("no header line"))?;
+    Ok(RankJournal {
+        header,
+        events,
+        complete,
+    })
+}
+
+/// Load every `rank-*.jsonl` under `dir`, in rank order. Requires at
+/// least one journal and rejects duplicate ranks.
+pub fn load_trace_dir(dir: &Path) -> Result<Vec<RankJournal>, JournalError> {
+    let mut journals = Vec::new();
+    for entry in
+        std::fs::read_dir(dir).map_err(|e| JournalError::new(format!("{}: {e}", dir.display())))?
+    {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !(name.starts_with("rank-") && name.ends_with(".jsonl")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| JournalError::new(format!("{}: {e}", path.display())))?;
+        let j = parse_rank_journal(&text)
+            .map_err(|e| JournalError::new(format!("{}: {}", path.display(), e.message)))?;
+        journals.push(j);
+    }
+    if journals.is_empty() {
+        return Err(JournalError::new(format!(
+            "no rank-*.jsonl journals in {}",
+            dir.display()
+        )));
+    }
+    journals.sort_by_key(|j| j.header.rank);
+    for w in journals.windows(2) {
+        if w[0].header.rank == w[1].header.rank {
+            return Err(JournalError::new(format!(
+                "duplicate journal for rank {}",
+                w[0].header.rank
+            )));
+        }
+    }
+    Ok(journals)
+}
+
+/// A run's journals merged onto one epoch-aligned timeline, shaped for
+/// the text renderers in [`crate::trace`] and the exporters in
+/// [`crate::export`].
+#[derive(Debug, Clone)]
+pub struct MergedTrace {
+    /// Per-rank events, times re-anchored to the earliest rank epoch and
+    /// sorted by start within each rank. `traces[r]` belongs to the
+    /// rank of `journals[r]`.
+    pub traces: Vec<Vec<TraceEvent>>,
+    /// Per-rank phase names in first-appearance order; `TraceEvent::phase`
+    /// indexes into the owning rank's list.
+    pub phase_names: Vec<Vec<String>>,
+    /// Transport label from the headers.
+    pub transport: String,
+    /// Whether every rank's journal was complete (footer matched).
+    pub complete: bool,
+}
+
+/// Merge per-rank journals into one timeline. Ranks journal against
+/// private epochs; each rank's events shift forward by the gap between
+/// its epoch and the earliest epoch in the run, so timestamps become
+/// comparable across ranks. Events are (re)sorted by start time within
+/// each rank, making the merge robust to out-of-order lines.
+pub fn merge(journals: &[RankJournal]) -> MergedTrace {
+    let base = journals
+        .iter()
+        .map(|j| j.header.epoch_unix_ns)
+        .min()
+        .unwrap_or(0);
+    let mut traces = Vec::with_capacity(journals.len());
+    let mut phase_names = Vec::with_capacity(journals.len());
+    for j in journals {
+        let offset = Duration::from_nanos((j.header.epoch_unix_ns - base).max(0) as u64);
+        let mut names: Vec<String> = Vec::new();
+        let mut trace: Vec<TraceEvent> = j
+            .events
+            .iter()
+            .map(|e| {
+                let phase = match names.iter().position(|n| n == &e.phase) {
+                    Some(i) => i,
+                    None => {
+                        names.push(e.phase.clone());
+                        names.len() - 1
+                    }
+                } as u32;
+                TraceEvent {
+                    kind: e.kind,
+                    start: e.start + offset,
+                    end: e.end + offset,
+                    peer: e.peer,
+                    elems: e.elems,
+                    bytes: e.bytes,
+                    phase,
+                }
+            })
+            .collect();
+        trace.sort_by_key(|e| (e.start, e.end));
+        traces.push(trace);
+        phase_names.push(names);
+    }
+    MergedTrace {
+        traces,
+        phase_names,
+        transport: journals
+            .first()
+            .map(|j| j.header.transport.clone())
+            .unwrap_or_default(),
+        complete: journals.iter().all(|j| j.complete),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(rank: usize, epoch_unix_ns: i128) -> JournalHeader {
+        JournalHeader {
+            version: SCHEMA_VERSION,
+            rank,
+            ranks: 2,
+            transport: "inproc".into(),
+            epoch_unix_ns,
+        }
+    }
+
+    fn event(kind: EventKind, start_us: u64, end_us: u64, phase: &str) -> JournalEvent {
+        JournalEvent {
+            kind,
+            start: Duration::from_micros(start_us),
+            end: Duration::from_micros(end_us),
+            peer: match kind {
+                EventKind::Send => Some(1),
+                EventKind::Recv => Some(0),
+                _ => None,
+            },
+            elems: 4,
+            bytes: 32,
+            phase: phase.into(),
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("acf-journal-{}", std::process::id()));
+        let trace = vec![
+            TraceEvent {
+                kind: EventKind::Compute,
+                start: Duration::from_micros(0),
+                end: Duration::from_micros(50),
+                peer: None,
+                elems: 0,
+                bytes: 0,
+                phase: 0,
+            },
+            TraceEvent {
+                kind: EventKind::Send,
+                start: Duration::from_micros(50),
+                end: Duration::from_micros(50),
+                peer: Some(1),
+                elems: 10,
+                bytes: 80,
+                phase: 1,
+            },
+        ];
+        let names = vec!["main".to_string(), "sync_0".to_string()];
+        let h = header(0, 1_722_000_000_123_456_789);
+        let path = write_rank_journal(&dir, &h, &trace, &names).unwrap();
+        let parsed = parse_rank_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(parsed.complete);
+        assert_eq!(parsed.header, h);
+        assert_eq!(parsed.events, resolve_events(&trace, &names));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_journal_parses_as_incomplete() {
+        let dir = std::env::temp_dir().join(format!("acf-trunc-{}", std::process::id()));
+        let trace = vec![TraceEvent {
+            kind: EventKind::Recv,
+            start: Duration::from_micros(1),
+            end: Duration::from_micros(9),
+            peer: Some(1),
+            elems: 2,
+            bytes: 16,
+            phase: 0,
+        }];
+        let path = write_rank_journal(&dir, &header(0, 1), &trace, &["main".to_string()]).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        // drop the footer, as a crash mid-run would
+        let cut: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let parsed = parse_rank_journal(&cut).unwrap();
+        assert!(!parsed.complete);
+        assert_eq!(parsed.events.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_header_and_bad_kind_are_errors() {
+        assert!(parse_rank_journal("").is_err());
+        let bad = r#"{"type":"header","version":1,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}
+{"type":"event","kind":"teleport","start_ns":0,"end_ns":0,"peer":null,"elems":0,"bytes":0,"phase":"main"}"#;
+        let e = parse_rank_journal(bad).unwrap_err();
+        assert!(e.message.contains("teleport"), "{e}");
+        let wrong_version = r#"{"type":"header","version":99,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}"#;
+        let e = parse_rank_journal(wrong_version).unwrap_err();
+        assert!(e.message.contains("version"), "{e}");
+    }
+
+    #[test]
+    fn merge_aligns_rank_epochs() {
+        // rank 1's clock started 100 µs after rank 0's: its events must
+        // shift forward by the difference
+        let j0 = RankJournal {
+            header: header(0, 1_000_000_000),
+            events: vec![event(EventKind::Send, 0, 0, "sync_0")],
+            complete: true,
+        };
+        let j1 = RankJournal {
+            header: header(1, 1_000_100_000),
+            events: vec![event(EventKind::Recv, 0, 30, "sync_0")],
+            complete: true,
+        };
+        let merged = merge(&[j0, j1]);
+        assert_eq!(merged.traces[0][0].start, Duration::from_micros(0));
+        assert_eq!(merged.traces[1][0].start, Duration::from_micros(100));
+        assert_eq!(merged.traces[1][0].end, Duration::from_micros(130));
+        assert_eq!(merged.phase_names[0], vec!["sync_0".to_string()]);
+        assert!(merged.complete);
+    }
+
+    #[test]
+    fn load_trace_dir_orders_and_validates() {
+        let dir = std::env::temp_dir().join(format!("acf-dir-{}", std::process::id()));
+        // write rank 1 before rank 0; loading must come back rank-ordered
+        for rank in [1usize, 0] {
+            write_rank_journal(&dir, &header(rank, rank as i128), &[], &[]).unwrap();
+        }
+        let js = load_trace_dir(&dir).unwrap();
+        assert_eq!(js.len(), 2);
+        assert_eq!(js[0].header.rank, 0);
+        assert_eq!(js[1].header.rank, 1);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(load_trace_dir(Path::new("/nonexistent-acf")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = EventKind> {
+        prop_oneof![
+            Just(EventKind::Send),
+            Just(EventKind::Recv),
+            Just(EventKind::Barrier),
+            Just(EventKind::Reduce),
+            Just(EventKind::Compute),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Epoch alignment is exact: for every event, merged start ==
+        /// (rank epoch + journal start) − earliest epoch; per-rank order
+        /// is by start time; phase indices resolve to the journal names.
+        #[test]
+        fn merge_preserves_absolute_times_and_order(
+            epochs in proptest::collection::vec(0i64..1_000_000, 1..4),
+            starts in proptest::collection::vec(0u32..1_000_000, 1..20),
+            kinds in proptest::collection::vec(arb_kind(), 1..20),
+            phases in proptest::collection::vec(0u8..3, 1..20),
+        ) {
+            let n = starts.len().min(kinds.len()).min(phases.len());
+            let journals: Vec<RankJournal> = epochs
+                .iter()
+                .enumerate()
+                .map(|(rank, &epoch)| RankJournal {
+                    header: JournalHeader {
+                        version: SCHEMA_VERSION,
+                        rank,
+                        ranks: epochs.len(),
+                        transport: "inproc".into(),
+                        epoch_unix_ns: epoch as i128,
+                    },
+                    events: (0..n)
+                        .map(|i| JournalEvent {
+                            kind: kinds[i],
+                            start: Duration::from_nanos(starts[i] as u64),
+                            end: Duration::from_nanos(starts[i] as u64 + 5),
+                            peer: None,
+                            elems: i,
+                            bytes: i * 8,
+                            phase: format!("phase_{}", phases[i]),
+                        })
+                        .collect(),
+                    complete: true,
+                })
+                .collect();
+            let base = *epochs.iter().min().unwrap() as i128;
+            let merged = merge(&journals);
+            for (j, trace) in journals.iter().zip(&merged.traces) {
+                prop_assert_eq!(j.events.len(), trace.len());
+                let offset = (j.header.epoch_unix_ns - base) as u64;
+                // absolute times survive the re-anchoring
+                let mut expected: Vec<u64> = j
+                    .events
+                    .iter()
+                    .map(|e| e.start.as_nanos() as u64 + offset)
+                    .collect();
+                expected.sort_unstable();
+                let got: Vec<u64> =
+                    trace.iter().map(|e| e.start.as_nanos() as u64).collect();
+                prop_assert_eq!(&expected, &got);
+                // merged events are start-ordered within the rank
+                prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+            }
+            // every phase index resolves to the name the journal carried
+            for (r, trace) in merged.traces.iter().enumerate() {
+                for e in trace {
+                    let name = &merged.phase_names[r][e.phase as usize];
+                    prop_assert!(
+                        journals[r].events.iter().any(|je| &je.phase == name)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -35,14 +35,25 @@
 
 pub mod comm;
 pub mod error;
+pub mod export;
 pub mod inproc;
+pub mod journal;
 pub mod trace;
 pub mod transport;
 
 pub use comm::{Comm, CommStats, ReduceOp, DEFAULT_TIMEOUT};
 pub use error::{CommError, CommErrorKind};
+pub use export::{
+    chrome_trace, phase_metrics, rank_breakdown, render_phase_metrics, render_rank_breakdown,
+    PhaseMetrics, RankBreakdown,
+};
 pub use inproc::{run_spmd, run_spmd_with_timeout, InprocTransport};
+pub use journal::{
+    epoch_unix_ns, load_trace_dir, merge, parse_rank_journal, write_rank_journal, JournalError,
+    JournalEvent, JournalHeader, JournalWriter, MergedTrace, RankJournal, SCHEMA_VERSION,
+};
 pub use trace::{
-    render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, TraceEvent,
+    render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, Recorder,
+    TraceEvent,
 };
 pub use transport::{InboxMsg, MatchingInbox, Transport, WireStats, BARRIER_TAG_BASE};

@@ -9,7 +9,7 @@
 //! wire traffic down per rank per phase — identically for the in-process
 //! and TCP transports, since both feed the same trace.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +22,34 @@ pub enum EventKind {
     Barrier,
     /// An allreduce (includes its internal waits).
     Reduce,
+    /// Local computation: `start..end` spans time spent *outside* the
+    /// communicator (loop-nest execution, halo pack/unpack).
+    Compute,
+}
+
+impl EventKind {
+    /// Stable lowercase name, used by the journal and exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Send => "send",
+            EventKind::Recv => "recv",
+            EventKind::Barrier => "barrier",
+            EventKind::Reduce => "reduce",
+            EventKind::Compute => "compute",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "send" => EventKind::Send,
+            "recv" => EventKind::Recv,
+            "barrier" => EventKind::Barrier,
+            "reduce" => EventKind::Reduce,
+            "compute" => EventKind::Compute,
+            _ => return None,
+        })
+    }
 }
 
 /// One traced event on one rank.
@@ -33,13 +61,13 @@ pub struct TraceEvent {
     pub start: Duration,
     /// Offset at event end (== `start` for sends).
     pub end: Duration,
-    /// Peer rank (receiver for sends, source for receives; 0 for
-    /// collectives).
-    pub peer: usize,
-    /// Payload f64 elements (0 for barrier).
+    /// Peer rank: `Some(receiver)` for sends, `Some(source)` for
+    /// receives, `None` for collectives and compute spans.
+    pub peer: Option<usize>,
+    /// Payload f64 elements (0 for barrier and compute).
     pub elems: usize,
     /// Wire bytes moved by this event (framed size on networked
-    /// transports; payload size in-process; 0 for barrier).
+    /// transports; payload size in-process; 0 for barrier and compute).
     pub bytes: usize,
     /// Index into the rank's phase-name list (see
     /// [`crate::Comm::phase_names`]) identifying the program phase this
@@ -48,13 +76,33 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// Time spent blocked in this event.
+    /// Time spent blocked in this event (zero for compute spans, which
+    /// are working, not waiting).
     pub fn wait(&self) -> Duration {
+        if self.kind == EventKind::Compute {
+            return Duration::ZERO;
+        }
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Span duration, regardless of kind.
+    pub fn span(&self) -> Duration {
         self.end.saturating_sub(self.start)
     }
 }
 
+/// A sink for timed execution spans. The interpreter records compute
+/// spans against whatever recorder its hooks expose; [`crate::Comm`]
+/// implements this by appending to its own trace under the current
+/// phase, so compute and communication share one timeline.
+pub trait Recorder {
+    /// Record a span of kind `kind` running from `start` to `end`
+    /// (wall-clock instants; the recorder translates to its epoch).
+    fn record_span(&self, kind: EventKind, start: Instant, end: Instant);
+}
+
 /// Summarize a rank's trace: `(events, total wait, elems sent+received)`.
+/// Compute spans count as events but contribute no wait and no elements.
 pub fn summarize(trace: &[TraceEvent]) -> (usize, Duration, usize) {
     let wait = trace.iter().map(TraceEvent::wait).sum();
     let elems = trace.iter().map(|e| e.elems).sum();
@@ -68,7 +116,8 @@ pub fn wire_bytes(trace: &[TraceEvent]) -> u64 {
 
 /// Aggregate one rank's trace into per-phase wire traffic:
 /// `(phase name, messages, bytes)` in phase-index order, skipping phases
-/// with no traced events. `phase_names` is the rank's phase list
+/// with no traced *communication* events (compute spans are ignored —
+/// this is a wire table). `phase_names` is the rank's phase list
 /// ([`crate::Comm::phase_names`]).
 pub fn wire_by_phase(trace: &[TraceEvent], phase_names: &[String]) -> Vec<(String, u64, u64)> {
     let slots = phase_names.len().max(
@@ -82,6 +131,9 @@ pub fn wire_by_phase(trace: &[TraceEvent], phase_names: &[String]) -> Vec<(Strin
     let mut bytes = vec![0u64; slots];
     let mut touched = vec![false; slots];
     for e in trace {
+        if e.kind == EventKind::Compute {
+            continue;
+        }
         let p = e.phase as usize;
         touched[p] = true;
         bytes[p] += e.bytes as u64;
@@ -177,7 +229,8 @@ pub fn render_wire_table(traces: &[Vec<TraceEvent>], phase_names: &[Vec<String>]
 ///
 /// Each row is one rank; each column a time bucket. The glyph is the
 /// dominant activity in the bucket: `R` receive-wait, `B` barrier,
-/// `A` allreduce, `s` send, `·` compute/idle (no traced event).
+/// `A` allreduce, `s` send, `C` compute span, `·` idle (no traced
+/// event). Waits dominate sends dominate compute dominates idle.
 pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
     let width = width.max(10);
     let horizon = traces
@@ -192,6 +245,15 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
             .map(|(r, _)| format!("rank {r} |{}|\n", "·".repeat(width)))
             .collect();
     }
+    // precedence of a glyph when buckets contend
+    fn strength(g: char) -> u8 {
+        match g {
+            'R' | 'B' | 'A' => 3,
+            's' => 2,
+            'C' => 1,
+            _ => 0,
+        }
+    }
     let bucket = horizon.as_secs_f64() / width as f64;
     let mut out = String::new();
     for (r, trace) in traces.iter().enumerate() {
@@ -204,11 +266,10 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
                 EventKind::Recv => 'R',
                 EventKind::Barrier => 'B',
                 EventKind::Reduce => 'A',
+                EventKind::Compute => 'C',
             };
             for cell in row.iter_mut().take(b1 + 1).skip(b0) {
-                // precedence: waits dominate sends dominate idle
-                let keep = matches!(*cell, 'R' | 'B' | 'A') && glyph == 's';
-                if !keep {
+                if strength(glyph) >= strength(*cell) {
                     *cell = glyph;
                 }
             }
@@ -216,7 +277,7 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         out.push_str(&format!("rank {r} |{}|\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!(
-        "        0{}{:?}\n        (R recv-wait, B barrier, A allreduce, s send, · compute)\n",
+        "        0{}{:?}\n        (R recv-wait, B barrier, A allreduce, s send, C compute, · idle)\n",
         " ".repeat(width.saturating_sub(1)),
         horizon
     ));
@@ -236,7 +297,7 @@ mod tests {
             kind,
             start: Duration::from_millis(start_ms),
             end: Duration::from_millis(end_ms),
-            peer: 0,
+            peer: None,
             elems,
             bytes: elems * 8,
             phase,
@@ -334,5 +395,84 @@ mod tests {
         // grand total: 2 messages, 128 bytes
         assert!(s.contains("2 msg/128 B"), "{s}");
         assert!(s.lines().next().unwrap().contains("rank 0"));
+    }
+
+    #[test]
+    fn compute_spans_have_no_wait_and_no_wire_footprint() {
+        let t = vec![
+            ev(EventKind::Compute, 0, 40, 0),
+            ev(EventKind::Recv, 40, 50, 4),
+        ];
+        let (n, wait, elems) = summarize(&t);
+        assert_eq!(n, 2);
+        assert_eq!(wait, Duration::from_millis(10), "compute is not wait");
+        assert_eq!(elems, 4);
+        assert_eq!(t[0].span(), Duration::from_millis(40));
+        // compute never shows up in the wire table
+        let names = vec!["main".to_string()];
+        let rows = wire_by_phase(&t, &names);
+        assert_eq!(rows, vec![("main".to_string(), 1, 32)]);
+        let quiet = vec![ev(EventKind::Compute, 0, 40, 0)];
+        assert!(wire_by_phase(&quiet, &names).is_empty());
+    }
+
+    #[test]
+    fn event_kind_names_round_trip() {
+        for k in [
+            EventKind::Send,
+            EventKind::Recv,
+            EventKind::Barrier,
+            EventKind::Reduce,
+            EventKind::Compute,
+        ] {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("mystery"), None);
+    }
+
+    #[test]
+    fn timeline_golden_output() {
+        // rank 0: compute 0-40 ms, recv 40-80 ms, barrier 80-100 ms
+        // rank 1: compute 0-70 ms, send at 70 ms, barrier 80-100 ms
+        let traces = vec![
+            vec![
+                ev(EventKind::Compute, 0, 40, 0),
+                ev(EventKind::Recv, 40, 80, 8),
+                ev(EventKind::Barrier, 80, 100, 0),
+            ],
+            vec![
+                ev(EventKind::Compute, 0, 70, 0),
+                ev(EventKind::Send, 70, 70, 8),
+                ev(EventKind::Barrier, 80, 100, 0),
+            ],
+        ];
+        let s = render_timeline(&traces, 10);
+        let expect = "\
+rank 0 |CCCCRRRRBB|
+rank 1 |CCCCCCCsBB|
+        0         100ms
+        (R recv-wait, B barrier, A allreduce, s send, C compute, · idle)\n";
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn wire_table_golden_output() {
+        let names = vec![
+            vec!["main".to_string(), "sync_0".to_string()],
+            vec!["main".to_string(), "sync_0".to_string()],
+        ];
+        let traces = vec![
+            vec![
+                ev_in(EventKind::Compute, 0, 5, 0, 0),
+                ev_in(EventKind::Send, 5, 5, 8, 1),
+            ],
+            vec![ev_in(EventKind::Recv, 5, 6, 8, 1)],
+        ];
+        let s = render_wire_table(&traces, &names);
+        let expect = "\
+phase             rank 0            rank 1             total
+sync_0        1 msg/64 B        1 msg/64 B       2 msg/128 B
+total         1 msg/64 B        1 msg/64 B       2 msg/128 B\n";
+        assert_eq!(s, expect);
     }
 }

@@ -4,7 +4,7 @@
 //! match the sequential original on every owned point, on both case
 //! studies, across the Table-1 partitions.
 
-use autocfd::interp::{run_rank, verify_owned_regions, RankResult};
+use autocfd::interp::{run_rank, run_rank_traced, verify_owned_regions, RankResult, RankRun};
 use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileOptions, Compiled};
 use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
@@ -79,6 +79,56 @@ fn sprayer_tcp_matches_inproc_and_sequential_on_table1_partitions() {
     for parts in [[4u32, 1], [1, 4], [2, 2], [3, 1]] {
         check_transports_agree(&src, &parts);
     }
+}
+
+/// The full event *structure* of a traced run — kind, peer, payload
+/// size, and phase of every event, in order, on every rank — must be
+/// identical across transports. Only timestamps and wire bytes (TCP
+/// frames carry headers) may differ.
+fn check_trace_structure_agrees(src: &str, parts: &[u32]) {
+    let c = compile(src, &CompileOptions::with_partition(parts)).unwrap();
+    let n = c.spmd_plan.ranks() as usize;
+    let inproc = c.run_parallel_traced(vec![]);
+    let tcp: Vec<RankRun> = run_spmd_tcp(n, Duration::from_secs(60), |comm| {
+        run_rank_traced(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm)
+    })
+    .expect("mesh setup");
+
+    // structural skeleton of a trace: everything but time and framing
+    let skeleton = |run: &RankRun| -> Vec<(&'static str, Option<usize>, usize, String)> {
+        run.trace
+            .iter()
+            .map(|e| {
+                (
+                    e.kind.name(),
+                    e.peer,
+                    e.elems,
+                    run.phases[e.phase as usize].clone(),
+                )
+            })
+            .collect()
+    };
+    for (r, (i, t)) in inproc.iter().zip(&tcp).enumerate() {
+        assert!(i.outcome.is_ok(), "{parts:?} rank {r} inproc");
+        assert!(t.outcome.is_ok(), "{parts:?} rank {r} tcp");
+        assert_eq!(
+            skeleton(i),
+            skeleton(t),
+            "{parts:?} rank {r}: transports disagree on event structure"
+        );
+    }
+}
+
+#[test]
+fn aerofoil_trace_structure_identical_across_transports() {
+    let src = aerofoil_program(&CaseParams::aerofoil_small());
+    check_trace_structure_agrees(&src, &[2, 2, 1]);
+}
+
+#[test]
+fn sprayer_trace_structure_identical_across_transports() {
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    check_trace_structure_agrees(&src, &[2, 2]);
 }
 
 #[test]

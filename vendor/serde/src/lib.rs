@@ -1,11 +1,15 @@
 //! Offline stand-in for `serde`.
 //!
 //! The container image has no network access and no vendored registry, so
-//! the real serde cannot be fetched. The repository only *derives*
+//! the real serde cannot be fetched. The repository mostly *derives*
 //! `Serialize`/`Deserialize` on model types as forward-looking annotations —
-//! nothing in the dependency tree ever serializes a value — so marker traits
-//! plus no-op derive macros preserve every build while staying honest about
-//! capability: calling a serializer would simply not compile.
+//! marker traits plus no-op derive macros preserve those builds while
+//! staying honest about capability. The one consumer that actually moves
+//! bytes, the runtime's JSONL trace journal, uses the [`json`] module: a
+//! small working JSON value model with an exact-integer number type, a
+//! deterministic renderer, and a parser.
+
+pub mod json;
 
 /// Marker trait mirroring `serde::Serialize` (no methods; the repo never
 /// serializes, only derives).
