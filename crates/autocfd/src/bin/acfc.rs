@@ -11,6 +11,8 @@
 //!   --report             print the synchronization-optimization report
 //!   --run                execute the parallel program on rank-threads
 //!   --verify             run sequential + parallel and compare owned regions
+//!   --overlap            hide eligible halo exchanges behind interior
+//!                        computation (nonblocking sync points)
 //!   --transport T        inproc (rank-threads, default) or tcp (one OS
 //!                        process per rank over localhost sockets)
 //!   --ranks N            shorthand for --procs N; with --transport tcp
@@ -32,31 +34,32 @@
 //! `acfc trace INPUT.f` executes the parallel program with per-rank
 //! JSONL journaling, writes a Perfetto-openable `trace.json`, and prints
 //! the timeline, wire table, per-phase metrics, per-rank breakdown, and
-//! the predicted-vs-measured cross-validation table. `acfc stats DIR`
-//! re-renders all of that from a previously written trace directory.
+//! the predicted-vs-measured cross-validation table; with `--overlap`
+//! it also prints how much communication latency the overlap hid.
+//! `acfc stats DIR` re-renders all of that from a previously written
+//! trace directory.
 //!
 //! Examples:
 //! `cargo run -p autocfd --bin acfc -- program.f --partition 4x1 --report --verify`
-//! `cargo run -p autocfd --bin acfc -- trace program.f --ranks 4 --transport tcp`
+//! `cargo run -p autocfd --bin acfc -- trace program.f --ranks 4 --transport tcp --overlap`
 //! `cargo run -p autocfd --bin acfc -- stats program.trace --input program.f --ranks 4 --check`
 //!
 //! With `--transport tcp` the launcher binds a rendezvous socket, spawns
 //! one `acfd-worker` process per rank (found next to the `acfc`
 //! executable), serves the rank-assignment handshake, and aggregates the
 //! workers' exit statuses.
+//!
+//! Exit codes: 0 success, 1 usage or I/O error, 2 compile failure,
+//! 3 runtime/communication failure, 4 validation failure (see
+//! [`autocfd::Error::exit_code`]).
 
+use autocfd::cli::{CommonOpts, TransportKind};
 use autocfd::obs;
 use autocfd::runtime_net::Rendezvous;
-use autocfd::{compile, CompileOptions, Compiled};
+use autocfd::{compile, Compiled, Error};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
-
-#[derive(PartialEq, Clone, Copy)]
-enum TransportKind {
-    Inproc,
-    Tcp,
-}
 
 #[derive(PartialEq, Clone, Copy)]
 enum Mode {
@@ -71,18 +74,14 @@ enum Mode {
 struct Args {
     /// Input source file — or the trace directory in `stats` mode.
     input: String,
-    opts: CompileOptions,
+    /// The flags shared by every subcommand and the worker.
+    common: CommonOpts,
     emit: Option<String>,
     report: bool,
     analysis: bool,
-    profile: bool,
     run: bool,
     verify: bool,
     mode: Mode,
-    transport: TransportKind,
-    ranks: Option<u32>,
-    timeout_ms: Option<u64>,
-    trace_dir: Option<String>,
     tolerance: f64,
     min_coverage: f64,
     check: bool,
@@ -93,21 +92,13 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1).peekable();
     let mut input = None;
-    let mut opts = CompileOptions {
-        optimize: true,
-        ..Default::default()
-    };
+    let mut common = CommonOpts::new();
     let mut emit = None;
     let mut report = false;
     let mut analysis = false;
-    let mut profile = false;
     let mut run = false;
     let mut verify = false;
     let mut mode = Mode::Compile;
-    let mut transport = TransportKind::Inproc;
-    let mut ranks = None;
-    let mut timeout_ms = None;
-    let mut trace_dir = None;
     let mut tolerance = 0.05;
     let mut min_coverage = 0.9;
     let mut check = false;
@@ -130,39 +121,11 @@ fn parse_args() -> Result<Args, String> {
         _ => {}
     }
     while let Some(a) = args.next() {
+        if common.accept(&a, &mut args)? {
+            continue;
+        }
         match a.as_str() {
-            "--transport" => {
-                let v = args.next().ok_or("--transport needs `inproc` or `tcp`")?;
-                transport = match v.as_str() {
-                    "inproc" => TransportKind::Inproc,
-                    "tcp" => TransportKind::Tcp,
-                    other => return Err(format!("unknown transport `{other}`")),
-                };
-            }
-            "--ranks" => {
-                let v = args.next().ok_or("--ranks needs a value")?;
-                ranks = Some(v.parse().map_err(|_| format!("bad rank count `{v}`"))?);
-            }
-            "--timeout-ms" => {
-                let v = args.next().ok_or("--timeout-ms needs a value")?;
-                timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
-            }
-            "--procs" => {
-                let v = args.next().ok_or("--procs needs a value")?;
-                opts.procs = Some(v.parse().map_err(|_| format!("bad proc count `{v}`"))?);
-            }
-            "--partition" => {
-                let v = args.next().ok_or("--partition needs a value like 4x1x1")?;
-                let parts: Result<Vec<u32>, _> = v.split('x').map(str::parse).collect();
-                opts.partition = Some(parts.map_err(|_| format!("bad partition `{v}`"))?);
-            }
-            "--distance" => {
-                let v = args.next().ok_or("--distance needs a value")?;
-                opts.distance = Some(v.parse().map_err(|_| format!("bad distance `{v}`"))?);
-            }
-            "--no-optimize" => opts.optimize = false,
             "--emit" => emit = Some(args.next().ok_or("--emit needs a path or -")?),
-            "--trace-dir" => trace_dir = Some(args.next().ok_or("--trace-dir needs a path")?),
             "--tolerance" => {
                 let v = args.next().ok_or("--tolerance needs a value like 0.05")?;
                 tolerance = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
@@ -175,14 +138,13 @@ fn parse_args() -> Result<Args, String> {
             "--input" => stats_input = Some(args.next().ok_or("--input needs a path")?),
             "--report" => report = true,
             "--analysis" => analysis = true,
-            "--profile" => profile = true,
             "--run" => run = true,
             "--verify" => verify = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: acfc [run|trace] INPUT.f [--procs N | --partition AxB[xC]] \
                             [--distance D] [--no-optimize] [--emit FILE|-] [--report] \
-                            [--analysis] [--profile] [--run] [--verify] \
+                            [--analysis] [--profile] [--run] [--verify] [--overlap] \
                             [--transport inproc|tcp] [--ranks N] [--timeout-ms N] \
                             [--trace-dir DIR] [--tolerance T] [--check]\n\
                      or:    acfc stats DIR [--input INPUT.f] [--tolerance T] \
@@ -194,24 +156,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    if let (Some(n), None) = (ranks, &opts.partition) {
-        // --ranks doubles as the processor count when no explicit grid
-        opts.procs = Some(n);
-    }
+    common.finish();
     Ok(Args {
         input: input.ok_or("no input file (try --help)")?,
-        opts,
+        common,
         emit,
         report,
         analysis,
-        profile,
         run,
         verify,
         mode,
-        transport,
-        ranks,
-        timeout_ms,
-        trace_dir,
         tolerance,
         min_coverage,
         check,
@@ -222,21 +176,24 @@ fn parse_args() -> Result<Args, String> {
 /// Launch one `acfd-worker` process per rank against a rendezvous
 /// socket, stream their output through, and aggregate exit statuses.
 /// With `journal`, workers write per-rank JSONL journals into that
-/// directory (even when they fail mid-run).
-fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(), String> {
+/// directory (even when they fail mid-run). A worker exiting with the
+/// validation code makes the whole launch a validation failure;
+/// anything else is a runtime failure.
+fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(), Error> {
+    let runtime_err = |msg: String| Error::Runtime(autocfd::interp::RunError::new(msg));
     let n = compiled.spmd_plan.ranks() as usize;
     let worker = std::env::current_exe()
-        .map_err(|e| format!("cannot locate own executable: {e}"))?
+        .map_err(|e| runtime_err(format!("cannot locate own executable: {e}")))?
         .with_file_name("acfd-worker");
     if !worker.exists() {
-        return Err(format!(
+        return Err(runtime_err(format!(
             "worker binary `{}` not found (build it with `cargo build -p autocfd --bins`)",
             worker.display()
-        ));
+        )));
     }
 
     let rendezvous = Rendezvous::bind(n, Duration::from_secs(30))
-        .map_err(|e| format!("cannot bind rendezvous socket: {e}"))?;
+        .map_err(|e| runtime_err(format!("cannot bind rendezvous socket: {e}")))?;
     let addr = rendezvous.local_addr();
     let server = rendezvous.spawn();
     eprintln!("acfc: rendezvous on {addr}, spawning {n} worker process(es)");
@@ -258,21 +215,10 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
             .arg("--connect")
             .arg(addr.to_string())
             .arg("--partition")
-            .arg(&partition_arg);
-        if let Some(d) = args.opts.distance {
-            cmd.arg("--distance").arg(d.to_string());
-        }
-        if !args.opts.optimize {
-            cmd.arg("--no-optimize");
-        }
-        if let Some(ms) = args.timeout_ms {
-            cmd.arg("--timeout-ms").arg(ms.to_string());
-        }
+            .arg(&partition_arg)
+            .args(args.common.worker_args());
         if args.verify {
             cmd.arg("--verify");
-        }
-        if args.profile {
-            cmd.arg("--profile");
         }
         if let Some(dir) = journal {
             cmd.arg("--journal").arg(dir.as_os_str());
@@ -284,16 +230,22 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
                     let _ = c.kill();
                     let _ = c.wait();
                 }
-                return Err(format!("cannot spawn worker {rank}: {e}"));
+                return Err(runtime_err(format!("cannot spawn worker {rank}: {e}")));
             }
         }
     }
 
     let mut failures = Vec::new();
+    let mut validation_failed = false;
     for (i, child) in children.iter_mut().enumerate() {
         match child.wait() {
             Ok(status) if status.success() => {}
-            Ok(status) => failures.push(format!("worker {i} exited with {status}")),
+            Ok(status) => {
+                if status.code() == Some(4) {
+                    validation_failed = true;
+                }
+                failures.push(format!("worker {i} exited with {status}"));
+            }
             Err(e) => failures.push(format!("worker {i}: {e}")),
         }
     }
@@ -305,8 +257,10 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
     if failures.is_empty() {
         eprintln!("acfc: all {n} worker(s) completed");
         Ok(())
+    } else if validation_failed {
+        Err(Error::Validation(failures.join("; ")))
     } else {
-        Err(failures.join("; "))
+        Err(runtime_err(failures.join("; ")))
     }
 }
 
@@ -350,6 +304,19 @@ fn check_failures(
     failures
 }
 
+/// Report trace-check failures and return the validation exit code.
+fn check_exit(failures: &[String]) -> ExitCode {
+    for f in failures {
+        eprintln!("acfc: CHECK FAILED: {f}");
+    }
+    exit_with(&Error::Validation("trace checks failed".into()))
+}
+
+/// The process exit code for a categorized error.
+fn exit_with(e: &Error) -> ExitCode {
+    ExitCode::from(e.exit_code())
+}
+
 /// `acfc stats DIR`: re-render a trace directory; with `--input`, also
 /// cross-validate against the forecast for that source.
 fn run_stats(args: &Args) -> ExitCode {
@@ -371,11 +338,11 @@ fn run_stats(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let compiled = match compile(&source, &args.opts) {
+        let compiled = match compile(&source, &args.common.compile) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("acfc: {e}");
-                return ExitCode::FAILURE;
+                return exit_with(&Error::Compile(e));
             }
         };
         match obs::cross_validate(&compiled, &merged, args.tolerance) {
@@ -392,10 +359,7 @@ fn run_stats(args: &Args) -> ExitCode {
     if args.check {
         let failures = check_failures(&merged, checks.as_deref(), args.min_coverage);
         if !failures.is_empty() {
-            for f in &failures {
-                eprintln!("acfc: CHECK FAILED: {f}");
-            }
-            return ExitCode::FAILURE;
+            return check_exit(&failures);
         }
         eprintln!("acfc: trace checks passed");
     }
@@ -407,6 +371,7 @@ fn run_stats(args: &Args) -> ExitCode {
 /// partial trace even when ranks fail.
 fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
     let dir: PathBuf = args
+        .common
         .trace_dir
         .clone()
         .map(PathBuf::from)
@@ -421,13 +386,13 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
         eprintln!("acfc: cannot clean `{}`: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    let mut run_error = None;
-    if args.transport == TransportKind::Tcp {
+    let mut run_error: Option<Error> = None;
+    if args.common.transport == TransportKind::Tcp {
         if let Err(e) = run_tcp(args, compiled, Some(&dir)) {
             run_error = Some(e);
         }
     } else {
-        let runs = compiled.run_parallel_traced(vec![]);
+        let runs = compiled.run_parallel_traced_opts(vec![], args.common.overlap);
         if let Ok((m, _)) = &runs[0].outcome {
             for line in &m.output {
                 println!("{line}");
@@ -439,7 +404,7 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             if let Err(e) = &run.outcome {
-                run_error = Some(format!("rank {rank}: {e}"));
+                run_error = Some(Error::Runtime(e.clone()));
             }
         }
     }
@@ -451,6 +416,7 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
             eprintln!("acfc: cannot load trace dir `{}`: {e}", dir.display());
             if let Some(err) = run_error {
                 eprintln!("acfc: {err}");
+                return exit_with(&err);
             }
             return ExitCode::FAILURE;
         }
@@ -477,15 +443,12 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
     );
     if let Some(e) = run_error {
         eprintln!("acfc: {e}");
-        return ExitCode::FAILURE;
+        return exit_with(&e);
     }
     if args.check {
         let failures = check_failures(&merged, checks.as_deref(), args.min_coverage);
         if !failures.is_empty() {
-            for f in &failures {
-                eprintln!("acfc: CHECK FAILED: {f}");
-            }
-            return ExitCode::FAILURE;
+            return check_exit(&failures);
         }
         eprintln!("acfc: trace checks passed");
     }
@@ -510,11 +473,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compile(&source, &args.opts) {
+    let compiled = match compile(&source, &args.common.compile) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("acfc: {e}");
-            return ExitCode::FAILURE;
+            return exit_with(&Error::Compile(e));
         }
     };
 
@@ -557,8 +520,13 @@ fn main() -> ExitCode {
     if args.report {
         for (k, pt) in compiled.sync_plan.sync_points.iter().enumerate() {
             let arrays: Vec<&str> = pt.deps.keys().map(String::as_str).collect();
+            let overlap = if compiled.spmd_plan.overlaps.contains_key(&(k as u32)) {
+                ", overlappable"
+            } else {
+                ""
+            };
             eprintln!(
-                "  sync {k}: unit `{}`, merged {} region(s), ships {arrays:?}",
+                "  sync {k}: unit `{}`, merged {} region(s), ships {arrays:?}{overlap}",
                 pt.unit, pt.merged
             );
         }
@@ -582,7 +550,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(n) = args.ranks {
+    if let Some(n) = args.common.ranks {
         let tasks = compiled.partition.spec.tasks();
         if tasks != n {
             eprintln!("acfc: --ranks {n} conflicts with partition ({tasks} subtasks)");
@@ -594,30 +562,32 @@ fn main() -> ExitCode {
         return run_trace(&args, &compiled);
     }
 
-    if args.transport == TransportKind::Tcp && (args.run || args.profile || args.verify) {
+    if args.common.transport == TransportKind::Tcp
+        && (args.run || args.common.profile || args.verify)
+    {
         // multi-process path: workers execute, verify, and profile
         if let Err(e) = run_tcp(&args, &compiled, None) {
             eprintln!("acfc: {e}");
-            return ExitCode::FAILURE;
+            return exit_with(&e);
         }
     } else if args.verify {
-        match compiled.verify(vec![], 1e-12) {
+        match compiled.verify_opts(vec![], 1e-12, args.common.overlap) {
             Ok(d) => eprintln!("acfc: verified — max |seq - par| = {d:e}"),
             Err(e) => {
                 eprintln!("acfc: VERIFICATION FAILED: {e}");
-                return ExitCode::FAILURE;
+                return exit_with(&e);
             }
         }
-    } else if args.run || args.profile {
+    } else if args.run || args.common.profile {
         // traced even for a plain run: on failure the partial trace
         // still renders, instead of vanishing with the error
-        let runs = compiled.run_parallel_traced(vec![]);
+        let runs = compiled.run_parallel_traced_opts(vec![], args.common.overlap);
         if let Ok((m, _)) = &runs[0].outcome {
             for line in &m.output {
                 println!("{line}");
             }
         }
-        if args.profile {
+        if args.common.profile {
             let traces: Vec<_> = runs.iter().map(|r| r.trace.clone()).collect();
             eprint!("{}", autocfd::runtime::render_timeline(&traces, 72));
             let phases: Vec<_> = runs.iter().map(|r| r.phases.clone()).collect();
@@ -627,15 +597,15 @@ fn main() -> ExitCode {
                 eprintln!("rank {r}: {n} comm events, {wait:?} blocked, {elems} f64s moved");
             }
         }
-        let mut failed = false;
+        let mut failed = None;
         for (r, run) in runs.iter().enumerate() {
             if let Err(e) = &run.outcome {
                 eprintln!("acfc: rank {r}: runtime error: {e}");
-                failed = true;
+                failed = Some(Error::Runtime(e.clone()));
             }
         }
-        if failed {
-            return ExitCode::FAILURE;
+        if let Some(e) = failed {
+            return exit_with(&e);
         }
     }
     ExitCode::SUCCESS

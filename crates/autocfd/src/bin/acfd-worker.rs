@@ -12,21 +12,25 @@
 //!
 //! ```text
 //! acfd-worker INPUT.f --connect HOST:PORT [--partition AxB[xC]]
-//!             [--procs N] [--distance D] [--no-optimize]
+//!             [--procs N] [--distance D] [--no-optimize] [--overlap]
 //!             [--timeout-ms N] [--verify] [--profile] [--journal DIR]
 //! ```
 //!
 //! With `--journal DIR` the worker appends its rank's JSONL trace
 //! journal to `DIR/rank-<r>.jsonl` — *also when the run fails*, so a
-//! deadlock or crash still leaves a partial trace to debug with.
+//! deadlock or crash still leaves a partial trace to debug with. With
+//! `--overlap`, eligible sync points keep their last-axis exchange in
+//! flight while the following nest's interior computes.
 //!
-//! Exit status: 0 on success; nonzero on compile, communication, or
-//! verification failure (the launcher aggregates these).
+//! Exit status: 0 on success; the launcher aggregates the same distinct
+//! failure codes `acfc` uses — 2 compile, 3 runtime/communication,
+//! 4 verification (see [`autocfd::Error::exit_code`]).
 
-use autocfd::interp::{run_rank_traced, verify_rank_owned_region, RankResult};
+use autocfd::cli::CommonOpts;
+use autocfd::interp::{run_rank_traced_opts, verify_rank_owned_region, RankResult};
 use autocfd::runtime::{wire_by_phase, Comm, Transport};
 use autocfd::runtime_net::{MeshConfig, TcpTransport};
-use autocfd::{compile, obs, CompileOptions};
+use autocfd::{compile, obs, Error};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,10 +39,8 @@ use std::time::{Duration, Instant};
 struct Args {
     input: String,
     connect: SocketAddr,
-    opts: CompileOptions,
-    timeout: Duration,
+    common: CommonOpts,
     verify: bool,
-    profile: bool,
     journal: Option<PathBuf>,
 }
 
@@ -46,60 +48,37 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut input = None;
     let mut connect = None;
-    let mut opts = CompileOptions {
-        optimize: true,
-        ..Default::default()
-    };
-    let mut timeout = Duration::from_secs(30);
+    let mut common = CommonOpts::new();
     let mut verify = false;
-    let mut profile = false;
     let mut journal = None;
     while let Some(a) = args.next() {
+        if common.accept(&a, &mut args)? {
+            continue;
+        }
         match a.as_str() {
             "--connect" => {
                 let v = args.next().ok_or("--connect needs HOST:PORT")?;
                 connect = Some(v.parse().map_err(|_| format!("bad address `{v}`"))?);
             }
-            "--procs" => {
-                let v = args.next().ok_or("--procs needs a value")?;
-                opts.procs = Some(v.parse().map_err(|_| format!("bad proc count `{v}`"))?);
-            }
-            "--partition" => {
-                let v = args.next().ok_or("--partition needs a value like 4x1x1")?;
-                let parts: Result<Vec<u32>, _> = v.split('x').map(str::parse).collect();
-                opts.partition = Some(parts.map_err(|_| format!("bad partition `{v}`"))?);
-            }
-            "--distance" => {
-                let v = args.next().ok_or("--distance needs a value")?;
-                opts.distance = Some(v.parse().map_err(|_| format!("bad distance `{v}`"))?);
-            }
-            "--timeout-ms" => {
-                let v = args.next().ok_or("--timeout-ms needs a value")?;
-                timeout =
-                    Duration::from_millis(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
-            }
-            "--no-optimize" => opts.optimize = false,
             "--verify" => verify = true,
-            "--profile" => profile = true,
             "--journal" => journal = Some(PathBuf::from(args.next().ok_or("--journal needs DIR")?)),
             "--help" | "-h" => {
                 return Err("usage: acfd-worker INPUT.f --connect HOST:PORT \
                             [--procs N | --partition AxB[xC]] [--distance D] \
-                            [--no-optimize] [--timeout-ms N] [--verify] [--profile] \
-                            [--journal DIR]"
+                            [--no-optimize] [--overlap] [--timeout-ms N] [--verify] \
+                            [--profile] [--journal DIR]"
                     .into())
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(a),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
+    common.finish();
     Ok(Args {
         input: input.ok_or("no input file (try --help)")?,
         connect: connect.ok_or("no rendezvous address (--connect HOST:PORT)")?,
-        opts,
-        timeout,
+        common,
         verify,
-        profile,
         journal,
     })
 }
@@ -119,11 +98,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compile(&source, &args.opts) {
+    let compiled = match compile(&source, &args.common.compile) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("acfd-worker: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(Error::Compile(e).exit_code());
         }
     };
 
@@ -131,18 +110,24 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => {
             eprintln!("acfd-worker: cannot join mesh at {}: {e}", args.connect);
-            return ExitCode::FAILURE;
+            return ExitCode::from(Error::Comm(e).exit_code());
         }
     };
     let rank = Transport::rank(&transport);
     let ranks_total = compiled.spmd_plan.ranks() as usize;
-    let comm = Comm::new(Box::new(transport), args.timeout, Instant::now());
-    let run = run_rank_traced(
+    let timeout = args
+        .common
+        .timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30));
+    let comm = Comm::new(Box::new(transport), timeout, Instant::now());
+    let run = run_rank_traced_opts(
         &compiled.parallel_file,
         &compiled.spmd_plan,
         vec![],
         0,
         &comm,
+        args.common.overlap,
     );
     drop(comm); // closes this rank's mesh endpoint
 
@@ -154,7 +139,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if args.profile {
+    if args.common.profile {
         let ws = &run.wire_stats;
         eprintln!(
             "acfd-worker[rank {rank}]: wire {} msg / {} B sent, {} msg / {} B recvd",
@@ -169,7 +154,7 @@ fn main() -> ExitCode {
         Ok(mf) => mf,
         Err(e) => {
             eprintln!("acfd-worker[rank {rank}]: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(Error::Runtime(e).exit_code());
         }
     };
     if rank == 0 {
@@ -191,14 +176,14 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("acfd-worker[rank {rank}]: sequential reference run: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(Error::Runtime(e).exit_code());
             }
         };
         match verify_rank_owned_region(&seq, &rr, rank, &compiled.spmd_plan, 1e-12) {
             Ok(d) => eprintln!("acfd-worker[rank {rank}]: verified — max |seq - par| = {d:e}"),
             Err(e) => {
                 eprintln!("acfd-worker[rank {rank}]: VERIFICATION FAILED: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(Error::Validation(e).exit_code());
             }
         }
     }

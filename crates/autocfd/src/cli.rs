@@ -1,0 +1,216 @@
+//! Command-line options shared by the `acfc` subcommands (`run`,
+//! `trace`, `stats`) and the `acfd-worker` rank processes.
+//!
+//! Every binary parses its own argument list, but the flags that select
+//! a compilation and an execution environment — `--procs`,
+//! `--partition`, `--distance`, `--no-optimize`, `--transport`,
+//! `--ranks`, `--timeout-ms`, `--trace-dir`, `--profile`, `--overlap` —
+//! mean the same thing everywhere. [`CommonOpts`] owns their parsing:
+//! a binary's argument loop offers each flag to [`CommonOpts::accept`]
+//! first and only handles its own mode-specific flags itself.
+
+use crate::CompileOptions;
+
+/// Which transport backs a parallel execution.
+#[derive(Debug, PartialEq, Eq, Clone, Copy, Default)]
+pub enum TransportKind {
+    /// Rank-threads in one process over in-memory channels (default).
+    #[default]
+    Inproc,
+    /// One OS process per rank over localhost TCP sockets.
+    Tcp,
+}
+
+/// The options every `acfc` subcommand (and the worker) shares.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// Compilation options accumulated from `--procs`, `--partition`,
+    /// `--distance`, `--no-optimize`.
+    pub compile: CompileOptions,
+    /// `--transport inproc|tcp`.
+    pub transport: TransportKind,
+    /// `--ranks N` — processor count; with `--transport tcp`, the
+    /// worker-process count.
+    pub ranks: Option<u32>,
+    /// `--timeout-ms N` — per-receive timeout (deadlock detection).
+    pub timeout_ms: Option<u64>,
+    /// `--trace-dir DIR` — where `trace` writes the journal.
+    pub trace_dir: Option<String>,
+    /// `--profile` — print wire statistics after the run.
+    pub profile: bool,
+    /// `--overlap` — hide eligible halo exchanges behind interior
+    /// computation (nonblocking sync points).
+    pub overlap: bool,
+}
+
+impl CommonOpts {
+    /// Fresh options with optimization on (the `acfc` default).
+    pub fn new() -> Self {
+        Self {
+            compile: CompileOptions {
+                optimize: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Try to consume `arg` (pulling any value from `rest`). Returns
+    /// `Ok(true)` when the flag was one of the shared set, `Ok(false)`
+    /// when the caller must handle it, and `Err` on a malformed value.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        rest: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--transport" => {
+                let v = rest.next().ok_or("--transport needs `inproc` or `tcp`")?;
+                self.transport = match v.as_str() {
+                    "inproc" => TransportKind::Inproc,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport `{other}`")),
+                };
+            }
+            "--ranks" => {
+                let v = rest.next().ok_or("--ranks needs a value")?;
+                self.ranks = Some(v.parse().map_err(|_| format!("bad rank count `{v}`"))?);
+            }
+            "--procs" => {
+                let v = rest.next().ok_or("--procs needs a value")?;
+                self.compile.procs = Some(v.parse().map_err(|_| format!("bad proc count `{v}`"))?);
+            }
+            "--partition" => {
+                let v = rest.next().ok_or("--partition needs a value like 4x1x1")?;
+                let parts: Result<Vec<u32>, _> = v.split('x').map(str::parse).collect();
+                self.compile.partition = Some(parts.map_err(|_| format!("bad partition `{v}`"))?);
+            }
+            "--distance" => {
+                let v = rest.next().ok_or("--distance needs a value")?;
+                self.compile.distance = Some(v.parse().map_err(|_| format!("bad distance `{v}`"))?);
+            }
+            "--timeout-ms" => {
+                let v = rest.next().ok_or("--timeout-ms needs a value")?;
+                self.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
+            }
+            "--trace-dir" => {
+                self.trace_dir = Some(rest.next().ok_or("--trace-dir needs a path")?);
+            }
+            "--no-optimize" => self.compile.optimize = false,
+            "--profile" => self.profile = true,
+            "--overlap" => self.overlap = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Resolve flag interactions once parsing is done: `--ranks` doubles
+    /// as the processor count when no explicit partition fixed the grid.
+    pub fn finish(&mut self) {
+        if let (Some(n), None) = (self.ranks, &self.compile.partition) {
+            self.compile.procs = Some(n);
+        }
+    }
+
+    /// The shared flags a launcher forwards to each `acfd-worker`
+    /// process (the partition is forwarded separately, already resolved,
+    /// so every process holds the identical plan).
+    pub fn worker_args(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(d) = self.compile.distance {
+            out.push("--distance".into());
+            out.push(d.to_string());
+        }
+        if !self.compile.optimize {
+            out.push("--no-optimize".into());
+        }
+        if let Some(ms) = self.timeout_ms {
+            out.push("--timeout-ms".into());
+            out.push(ms.to_string());
+        }
+        if self.profile {
+            out.push("--profile".into());
+        }
+        if self.overlap {
+            out.push("--overlap".into());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<(CommonOpts, Vec<String>), String> {
+        let mut opts = CommonOpts::new();
+        let mut own = Vec::new();
+        let mut it = words.iter().map(|s| s.to_string());
+        while let Some(a) = it.next() {
+            if !opts.accept(&a, &mut it)? {
+                own.push(a);
+            }
+        }
+        opts.finish();
+        Ok((opts, own))
+    }
+
+    #[test]
+    fn shared_flags_are_consumed_and_own_flags_passed_through() {
+        let (opts, own) = parse(&[
+            "in.f",
+            "--transport",
+            "tcp",
+            "--ranks",
+            "4",
+            "--trace-dir",
+            "out.trace",
+            "--profile",
+            "--overlap",
+            "--check",
+        ])
+        .unwrap();
+        assert_eq!(opts.transport, TransportKind::Tcp);
+        assert_eq!(opts.ranks, Some(4));
+        assert_eq!(opts.compile.procs, Some(4), "--ranks doubles as --procs");
+        assert_eq!(opts.trace_dir.as_deref(), Some("out.trace"));
+        assert!(opts.profile && opts.overlap);
+        assert_eq!(own, vec!["in.f", "--check"]);
+    }
+
+    #[test]
+    fn explicit_partition_wins_over_ranks() {
+        let (opts, _) = parse(&["--partition", "2x2", "--ranks", "4"]).unwrap();
+        assert_eq!(opts.compile.partition, Some(vec![2, 2]));
+        assert_eq!(opts.compile.procs, None);
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(parse(&["--transport", "carrier-pigeon"]).is_err());
+        assert!(parse(&["--ranks", "many"]).is_err());
+        assert!(parse(&["--partition", "2xtwo"]).is_err());
+        assert!(parse(&["--timeout-ms"]).is_err());
+    }
+
+    #[test]
+    fn worker_args_round_trip_the_shared_subset() {
+        let (opts, _) = parse(&[
+            "--distance",
+            "2",
+            "--no-optimize",
+            "--timeout-ms",
+            "500",
+            "--overlap",
+        ])
+        .unwrap();
+        let words = opts.worker_args();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let (back, own) = parse(&refs).unwrap();
+        assert!(own.is_empty());
+        assert_eq!(back.compile.distance, Some(2));
+        assert!(!back.compile.optimize);
+        assert_eq!(back.timeout_ms, Some(500));
+        assert!(back.overlap && !back.profile);
+    }
+}

@@ -57,14 +57,24 @@
 //! assert!(diff < 1e-12); // parallel == sequential on every owned point
 //! ```
 
+pub mod cli;
 pub mod obs;
+pub mod prelude;
+
+/// Compile-checks the README's library-usage example: its `rust` code
+/// block runs as a doctest, so the documented entry points can never
+/// drift from the real API.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 use autocfd_codegen::{transform, SpmdPlan, TransformError};
 use autocfd_fortran::{FortranError, SourceFile};
 use autocfd_grid::{choose_partition, partition, GridShape, Partition, PartitionSpec};
-use autocfd_interp::spmd::{run_parallel, verify_owned_regions, RankResult};
+use autocfd_interp::spmd::{run_parallel, run_parallel_opts, verify_owned_regions, RankResult};
 use autocfd_interp::{run_program_capture, Frame, Machine, NoHooks, RunError};
 use autocfd_ir::{build_ir, ProgramIr};
+use autocfd_runtime::CommError;
 use autocfd_syncopt::{plan_program, SyncPlan};
 
 pub use autocfd_codegen as codegen;
@@ -150,6 +160,81 @@ impl From<TransformError> for CompileError {
     }
 }
 
+/// The driver's unified error surface: every layer of the pipeline —
+/// frontend, restructurer, interpreter, transport — converts into this
+/// one type, and each category maps to a distinct `acfc` process exit
+/// code so scripts can tell *what kind* of failure occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Pre-compilation failure: parse, directive/setup, or
+    /// restructuring (exit code 2).
+    Compile(CompileError),
+    /// Execution failure in the interpreter (exit code 3).
+    Runtime(RunError),
+    /// Communication failure in the transport layer, carrying
+    /// rank/peer/tag context (exit code 3).
+    Comm(CommError),
+    /// The computation ran but its result failed validation:
+    /// sequential/parallel divergence or trace checks (exit code 4).
+    Validation(String),
+}
+
+impl Error {
+    /// Exit code for the paper's `acfc` binary (compile = 2,
+    /// runtime/communication = 3, validation = 4; argument and I/O
+    /// errors use the conventional 1).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Compile(_) => 2,
+            Error::Runtime(_) | Error::Comm(_) => 3,
+            Error::Validation(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+            Error::Comm(e) => write!(f, "{e}"),
+            Error::Validation(s) => write!(f, "validation failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<FortranError> for Error {
+    fn from(e: FortranError) -> Self {
+        Error::Compile(CompileError::Frontend(e))
+    }
+}
+
+impl From<TransformError> for Error {
+    fn from(e: TransformError) -> Self {
+        Error::Compile(CompileError::Transform(e))
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<CommError> for Error {
+    fn from(e: CommError) -> Self {
+        Error::Comm(e)
+    }
+}
+
 /// The result of running the pre-compiler on a program.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -184,6 +269,18 @@ impl Compiled {
         run_parallel(&self.parallel_file, &self.spmd_plan, input, 0)
     }
 
+    /// [`Compiled::run_parallel`] with compute/communication overlap on
+    /// or off: with `overlap`, sync points the plan marked eligible keep
+    /// their last-axis halo exchange in flight while the following loop
+    /// nest's interior computes.
+    pub fn run_parallel_opts(
+        &self,
+        input: Vec<f64>,
+        overlap: bool,
+    ) -> Result<Vec<RankResult>, RunError> {
+        run_parallel_opts(&self.parallel_file, &self.spmd_plan, input, 0, overlap)
+    }
+
     /// Run both versions and verify that every rank's owned region of
     /// every status array matches the sequential result within `tol`.
     /// Returns the maximum absolute difference.
@@ -193,6 +290,16 @@ impl Compiled {
             .map_err(|e| e.to_string())?;
         let par = self.run_parallel(input).map_err(|e| e.to_string())?;
         verify_owned_regions(&seq, &par, &self.spmd_plan, tol)
+    }
+
+    /// [`Compiled::verify`] with overlap on or off, reporting failures
+    /// through the unified [`Error`]: execution failures are
+    /// [`Error::Runtime`], a sequential/parallel divergence is
+    /// [`Error::Validation`].
+    pub fn verify_opts(&self, input: Vec<f64>, tol: f64, overlap: bool) -> Result<f64, Error> {
+        let seq = self.run_sequential(input.clone())?;
+        let par = self.run_parallel_opts(input, overlap)?;
+        verify_owned_regions(&seq, &par, &self.spmd_plan, tol).map_err(Error::Validation)
     }
 }
 

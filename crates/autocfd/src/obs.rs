@@ -14,22 +14,29 @@
 use crate::Compiled;
 use autocfd_cluster_sim::{Comparison, NetworkModel};
 use autocfd_interp::forecast::{forecast, PhaseForecast};
-use autocfd_interp::spmd::run_parallel_traced;
+use autocfd_interp::spmd::run_parallel_traced_opts;
 use autocfd_interp::RankRun;
 use autocfd_runtime::journal::{self, JournalHeader, MergedTrace, SCHEMA_VERSION};
 use autocfd_runtime::{
     phase_metrics, rank_breakdown, render_phase_metrics, render_rank_breakdown, render_timeline,
-    render_wire_table,
+    render_wire_table, PhaseMetrics,
 };
 use autocfd_runtime_net::frame::HEADER_LEN;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 impl Compiled {
     /// Run the transformed program on rank-threads, returning every
     /// rank's [`RankRun`] — traces and statistics survive individual
     /// rank failures, unlike [`Compiled::run_parallel`].
     pub fn run_parallel_traced(&self, input: Vec<f64>) -> Vec<RankRun> {
-        run_parallel_traced(&self.parallel_file, &self.spmd_plan, input, 0)
+        self.run_parallel_traced_opts(input, false)
+    }
+
+    /// [`Compiled::run_parallel_traced`] with compute/communication
+    /// overlap on or off.
+    pub fn run_parallel_traced_opts(&self, input: Vec<f64>, overlap: bool) -> Vec<RankRun> {
+        run_parallel_traced_opts(&self.parallel_file, &self.spmd_plan, input, 0, overlap)
     }
 }
 
@@ -77,14 +84,45 @@ pub fn load_merged(dir: &Path) -> Result<MergedTrace, String> {
 }
 
 /// Render the full trace report: timeline, wire table, per-phase
-/// metrics, and per-rank wall-time breakdown.
+/// metrics, per-rank wall-time breakdown, and — when the run used
+/// compute/communication overlap — the fraction of communication
+/// latency hidden behind interior computation.
 pub fn render_report(merged: &MergedTrace) -> String {
+    let metrics = phase_metrics(merged);
     let mut out = String::new();
     out.push_str(&render_timeline(&merged.traces, 72));
     out.push_str(&render_wire_table(&merged.traces, &merged.phase_names));
-    out.push_str(&render_phase_metrics(&phase_metrics(merged)));
+    out.push_str(&render_phase_metrics(&metrics));
     out.push_str(&render_rank_breakdown(&rank_breakdown(&merged.traces)));
+    if let Some(line) = render_comm_hidden(&metrics) {
+        out.push_str(&line);
+    }
     out
+}
+
+/// The fraction of communication latency hidden by overlap, over all
+/// phases: `overlap / (overlap + wait)`. `None` when the trace has no
+/// overlap spans (blocking run — nothing was hidden).
+pub fn comm_hidden(metrics: &[PhaseMetrics]) -> Option<f64> {
+    let overlap: Duration = metrics.iter().map(|m| m.overlap).sum();
+    if overlap.is_zero() {
+        return None;
+    }
+    let wait: Duration = metrics.iter().map(|m| m.wait).sum();
+    Some(overlap.as_secs_f64() / (overlap + wait).as_secs_f64())
+}
+
+/// Render the "% of comm hidden" summary line, when overlap spans exist.
+pub fn render_comm_hidden(metrics: &[PhaseMetrics]) -> Option<String> {
+    let hidden = comm_hidden(metrics)?;
+    let overlap: Duration = metrics.iter().map(|m| m.overlap).sum();
+    let wait: Duration = metrics.iter().map(|m| m.wait).sum();
+    Some(format!(
+        "comm hidden by overlap: {:.1}% ({:.2}ms interior compute during exchange vs {:.2}ms blocked)\n",
+        hidden * 100.0,
+        overlap.as_secs_f64() * 1e3,
+        wait.as_secs_f64() * 1e3,
+    ))
 }
 
 /// Cross-validation verdict for one communication phase: the static
@@ -300,6 +338,44 @@ mod tests {
         assert_eq!(max_visits, 8, "{}", render_cross_validation(&checks));
         let rendered = render_cross_validation(&checks);
         assert!(rendered.contains("ok"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overlap_run_is_bit_exact_and_reports_hidden_comm() {
+        let c = compile(JACOBI, &CompileOptions::with_partition(&[3, 1])).unwrap();
+        assert!(
+            !c.spmd_plan.overlaps.is_empty(),
+            "the jacobi stencil nest must be recognized as overlappable"
+        );
+        // bit-exactness against the sequential program with overlap on
+        let seq = c.run_sequential(vec![]).unwrap();
+        let par =
+            autocfd_interp::run_parallel_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, true)
+                .unwrap();
+        let diff = autocfd_interp::verify_owned_regions(&seq, &par, &c.spmd_plan, 0.0).unwrap();
+        assert_eq!(diff, 0.0, "overlapped execution must stay bit-identical");
+
+        // the trace carries overlap spans, the forecast still matches
+        // exactly, and the report prints the %-hidden figure
+        let runs = c.run_parallel_traced_opts(vec![], true);
+        let dir = std::env::temp_dir().join(format!("acf-obs-ovl-{}", std::process::id()));
+        clean_trace_dir(&dir).unwrap();
+        for (rank, run) in runs.iter().enumerate() {
+            assert!(run.outcome.is_ok());
+            write_rank_run(&dir, "inproc", rank, runs.len(), run).unwrap();
+        }
+        let merged = load_merged(&dir).unwrap();
+        let metrics = phase_metrics(&merged);
+        assert!(
+            comm_hidden(&metrics).is_some(),
+            "overlap spans must be recorded: {metrics:?}"
+        );
+        for ch in cross_validate(&c, &merged, 0.0).unwrap() {
+            assert!(ch.ok(), "{}: {ch:?}", ch.phase);
+        }
+        let report = render_report(&merged);
+        assert!(report.contains("comm hidden by overlap"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

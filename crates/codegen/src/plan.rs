@@ -1,5 +1,6 @@
 //! The executable SPMD plan: what each `acf_*` call must do.
 
+use autocfd_fortran::ast::StmtId;
 use autocfd_grid::Partition;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -68,6 +69,34 @@ pub struct ReduceSpec {
     pub op: String,
 }
 
+/// Compute/communication overlap opportunity at one synchronization
+/// point: the loop nest immediately after the `acf_sync_<id>` call may
+/// run its interior (cells whose stencil stays inside the rank's owned
+/// region on the overlapped axis) while the last-axis halo exchange is
+/// in flight, then complete the receives and run the two boundary
+/// strips. Emitted only for nests the restructurer proved safe to
+/// split: perfect prefix down to the overlapped loop, unit step, no
+/// scalar writes, written arrays disjoint from read and synced arrays,
+/// and no cross-loop bound dependences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapSpec {
+    /// The top `do` statement of the nest that immediately follows the
+    /// sync call (statement ids survive restructuring).
+    pub stmt: StmtId,
+    /// Loop variable of the nest loop iterating the overlapped axis;
+    /// the interior/boundary split clamps this variable's range.
+    pub var: String,
+    /// The overlapped grid axis: the *last* cut axis the sync
+    /// exchanges. Earlier axes complete eagerly because later axes'
+    /// sends include corner data received from them.
+    pub axis: usize,
+    /// Boundary width at the low end of the loop range (max ghost
+    /// layers any synced array receives from the lower neighbor).
+    pub low_width: u64,
+    /// Boundary width at the high end (max upper ghost layers).
+    pub high_width: u64,
+}
+
 /// Everything the SPMD hook set needs at run time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpmdPlan {
@@ -78,6 +107,10 @@ pub struct SpmdPlan {
     pub dim_axis: BTreeMap<String, Vec<Option<usize>>>,
     /// Synchronization points by id.
     pub syncs: BTreeMap<u32, SyncSpec>,
+    /// Overlap opportunities by sync id (subset of `syncs`): halo
+    /// exchanges whose following loop nest can hide the last-axis
+    /// exchange behind interior computation.
+    pub overlaps: BTreeMap<u32, OverlapSpec>,
     /// Self-dependent loops by id.
     pub self_loops: BTreeMap<u32, SelfLoopSpec>,
     /// Reductions (also encoded in the call names; kept for reporting).
@@ -124,6 +157,7 @@ mod tests {
             partition: p,
             dim_axis: BTreeMap::new(),
             syncs: BTreeMap::new(),
+            overlaps: BTreeMap::new(),
             self_loops: BTreeMap::new(),
             reduces: vec![],
             fills: BTreeMap::new(),
@@ -149,6 +183,16 @@ mod tests {
                         ghost: vec![[1, 1], [0, 0]],
                     }],
                     merged: 2,
+                },
+            )]),
+            overlaps: BTreeMap::from([(
+                0,
+                OverlapSpec {
+                    stmt: StmtId(7),
+                    var: "i".into(),
+                    axis: 0,
+                    low_width: 1,
+                    high_width: 1,
                 },
             )]),
             self_loops: BTreeMap::new(),

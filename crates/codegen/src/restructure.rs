@@ -2,15 +2,16 @@
 
 use crate::analyze::{detect_reductions, loop_axis, loop_step_sign, ReduceOpKind};
 use crate::plan::{
-    PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
+    OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
 };
 use autocfd_depend::selfdep::{classify_self_dependence, SelfDepClass};
 use autocfd_depend::stencil::loop_stencil;
 use autocfd_fortran::ast::{Expr, SourceFile, Stmt, StmtId, StmtKind};
+use autocfd_fortran::BinOp;
 use autocfd_grid::Partition;
 use autocfd_ir::{LoopId, ProgramIr, UnitIr};
-use autocfd_syncopt::{ListKey, SyncPlan};
-use std::collections::{BTreeMap, HashMap};
+use autocfd_syncopt::{ListKey, SyncPlan, SyncPoint};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Why a program cannot be restructured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -287,6 +288,29 @@ pub fn transform(
         edit.declare_bounds(&unit, rank);
     }
 
+    // ---- compute/communication overlap opportunities -------------------
+    // A sync immediately followed by a provably splittable loop nest can
+    // leave its last-axis exchange in flight while the interpreter runs
+    // the nest's interior iterations (see `OverlapSpec`).
+    let mut overlaps = BTreeMap::new();
+    {
+        // When several syncs insert at one gap, only the last call is
+        // adjacent to the nest; the earlier ones complete eagerly.
+        let mut last_at_site: BTreeMap<(&str, ListKey, usize), u32> = BTreeMap::new();
+        for (k, pt) in plan.sync_points.iter().enumerate() {
+            last_at_site.insert((pt.unit.as_str(), pt.list, pt.gap), k as u32);
+        }
+        for (k, pt) in plan.sync_points.iter().enumerate() {
+            let id = k as u32;
+            if last_at_site[&(pt.unit.as_str(), pt.list, pt.gap)] != id {
+                continue;
+            }
+            if let Some(spec) = overlap_spec(ir, &cut_axes, pt, &edit) {
+                overlaps.insert(id, spec);
+            }
+        }
+    }
+
     // ---- rebuild the AST -------------------------------------------------
     let file = edit.apply(&ir.file, &cut_axes);
 
@@ -298,6 +322,7 @@ pub fn transform(
             .map(|(n, i)| (n.clone(), i.dim_axis.clone()))
             .collect(),
         syncs,
+        overlaps,
         self_loops,
         reduces,
         fills,
@@ -362,6 +387,356 @@ fn check_remote_constant_reads(ir: &ProgramIr, cut_axes: &[usize]) -> Result<(),
         }
     }
     Ok(())
+}
+
+/// The signed constant offset `c` when `e` is `var`, `var ± c`, or
+/// `c + var`; `None` for any other shape.
+fn var_offset(e: &Expr, var: &str) -> Option<i64> {
+    match e {
+        Expr::Var(n) if n == var => Some(0),
+        Expr::Bin { op, lhs, rhs } => match (op, lhs.as_ref(), rhs.as_ref()) {
+            (BinOp::Add, Expr::Var(n), Expr::IntLit(c)) if n == var => Some(*c),
+            (BinOp::Add, Expr::IntLit(c), Expr::Var(n)) if n == var => Some(*c),
+            (BinOp::Sub, Expr::Var(n), Expr::IntLit(c)) if n == var => Some(-c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Check the overlap-safety conditions for the statement following sync
+/// point `pt` and build its [`OverlapSpec`] when every one holds.
+///
+/// The nest may sit one call deep: real CFD programs keep each stencil
+/// in its own subroutine, so a sync is typically followed by
+/// `call relax(...)` rather than by the nest itself. When the statement
+/// at the gap is a call whose every argument is a plain variable named
+/// like its dummy (the subset's "status arrays keep their names across
+/// units" rule), the callee's *first* body statement is checked as the
+/// nest instead. The exchange then stays in flight across the call —
+/// argument binding reads no array elements, and the callee's
+/// `acf_init` prologue only sets frame scalars (the runtime exempts it
+/// from the complete-on-hook fallback) — provided no other edit (a
+/// fill, a pipeline pre-hook) lands between the call site and the nest.
+///
+/// The nest conditions (any failure returns `None`):
+/// * a perfect-nest prefix reaches a unit-step loop iterating the
+///   sync's last exchanged cut axis — that loop's variable is clamped
+///   at run time;
+/// * the nest contains only `do`/`if`/logical-`if`/assignment/`continue`
+///   statements (no calls, gotos, I/O, or `do while`), with every
+///   logical-`if` guarding an assignment or `continue`, so control flow
+///   cannot escape a chunk;
+/// * no scalar assignments, and no written array is itself synced by
+///   this point: boundary strips never race the in-flight messages;
+/// * reads of a written array stay inside the writer's own slice of the
+///   clamped variable (subscripting the write dimension at the write's
+///   own offset, e.g. `u(i,j) = u(i,j) + ...` relaxation updates):
+///   chunks partition the clamped variable and preserve order within a
+///   slice, so in-slice flow is safe while cross-slice flow is not;
+/// * no nest loop bound references a nest loop variable (the bounds are
+///   chunk-invariant);
+/// * every read of a synced array indexes the overlapped axis as
+///   `var ± c` with `c` inside the exchanged ghost widths, so interior
+///   iterations never touch the cells the in-flight messages will fill;
+/// * no other edit (sync, fill, reduce, self-loop wrap) lands inside
+///   the nest — an `acf_*` call in the body would run once per chunk.
+///
+/// Statement ids survive the rebuild (statements are cloned with their
+/// ids), so the spec addresses the post-edit AST.
+fn overlap_spec(
+    ir: &ProgramIr,
+    cut_axes: &[usize],
+    pt: &SyncPoint,
+    edit: &Edits,
+) -> Option<OverlapSpec> {
+    // The overlapped axis is the last cut axis this sync exchanges: the
+    // ascending exchange order folds earlier receives' corner data into
+    // later sends, so only the final axis's messages may stay in flight.
+    let axis = cut_axes
+        .iter()
+        .copied()
+        .filter(|&a| {
+            pt.deps
+                .values()
+                .any(|d| d.ghost.get(a).is_some_and(|g| g[0] > 0 || g[1] > 0))
+        })
+        .max()?;
+    let low_width = pt
+        .deps
+        .values()
+        .filter_map(|d| d.ghost.get(axis))
+        .map(|g| g[0])
+        .max()?;
+    let high_width = pt
+        .deps
+        .values()
+        .filter_map(|d| d.ghost.get(axis))
+        .map(|g| g[1])
+        .max()?;
+
+    let u = ir.units.iter().find(|u| u.name == pt.unit)?;
+    let uast = ir.file.unit(&pt.unit)?;
+    let list: &[Stmt] = match pt.list {
+        ListKey::UnitBody => &uast.body,
+        ListKey::DoBody(sid) => find_loop_body(&uast.body, sid)?,
+        // a sync parked in an `if` arm is not followed by a plain nest
+        ListKey::ThenArm(_) | ListKey::ElseIfArm(..) | ListKey::ElseArm(_) => return None,
+    };
+    let top = match list.get(pt.gap) {
+        Some(s) => s,
+        // The sync sits at the end of a loop body (placed right after
+        // the writer): the dynamically-next statement is the body's
+        // *first* statement, reached at the next enclosing-loop
+        // iteration. On the final iteration the armed overlap is a
+        // no-op — the runtime falls back to a blocking completion
+        // before any other loop runs.
+        None if pt.gap == list.len() && matches!(pt.list, ListKey::DoBody(_)) => list.first()?,
+        None => return None,
+    };
+
+    // Follow one call deep (see the function doc): the nest the
+    // exchange will hide behind may be the leading statement of the
+    // subroutine the gap statement calls.
+    let (host_unit, host_u, top) = match &top.kind {
+        StmtKind::Call { name, args } if !name.starts_with("acf_") => {
+            let cast = ir.file.unit(name)?;
+            let cu = ir.units.iter().find(|u| u.name == *name)?;
+            if args.len() != cast.params.len() {
+                return None;
+            }
+            // pure aliasing only: every actual a plain variable named
+            // like its dummy, so the sync's array names mean the same
+            // thing on both sides of the call
+            for (p, a) in cast.params.iter().zip(args) {
+                match a {
+                    Expr::Var(n) if n == p => {}
+                    _ => return None,
+                }
+            }
+            let nest = cast.body.first()?;
+            // nothing but the callee's `acf_init` may run before the
+            // nest: any other leading insert or a hook ahead of the
+            // call site would complete the exchange early
+            let leading_ok =
+                edit.inserts
+                    .get(&(name.clone(), ListKey::UnitBody))
+                    .is_none_or(|ins| {
+                        ins.iter().all(|(gap, _, kind)| {
+                            *gap > 0
+                                || matches!(kind, StmtKind::Call { name, .. } if name == "acf_init")
+                        })
+                    });
+            if !leading_ok
+                || edit.before_stmt.contains_key(&(name.clone(), nest.id))
+                || edit.before_stmt.contains_key(&(pt.unit.clone(), top.id))
+            {
+                return None;
+            }
+            (name.as_str(), cu, nest)
+        }
+        _ => (pt.unit.as_str(), u, top),
+    };
+
+    // Self-dependent loops are pipelined by acf_pre/post instead.
+    if edit.wraps.contains_key(&(host_unit.to_string(), top.id)) {
+        return None;
+    }
+
+    // Perfect-nest prefix down to the loop iterating the overlapped axis.
+    let mut cur = top;
+    let var = loop {
+        let StmtKind::Do {
+            var, step, body, ..
+        } = &cur.kind
+        else {
+            return None;
+        };
+        let on_axis = host_u
+            .do_stmt_loop
+            .get(&cur.id)
+            .is_some_and(|&l| loop_axis(ir, host_u, l) == Some(axis));
+        if on_axis {
+            match step {
+                None | Some(Expr::IntLit(1)) => {}
+                Some(_) => return None,
+            }
+            break var.clone();
+        }
+        let [inner] = body.as_slice() else {
+            return None;
+        };
+        cur = inner;
+    };
+
+    let mut nest_vars: Vec<&str> = Vec::new();
+    let mut nest_ids: Vec<StmtId> = Vec::new();
+    top.walk(&mut |s| {
+        nest_ids.push(s.id);
+        if let StmtKind::Do { var, .. } = &s.kind {
+            nest_vars.push(var);
+        }
+    });
+
+    // Whole-nest statement audit, collecting reads and written arrays.
+    let mut ok = true;
+    let mut written: Vec<&str> = Vec::new();
+    let mut reads: Vec<&Expr> = Vec::new();
+    // Chunks reorder iterations of the clamped variable, so two distinct
+    // values of it must never write the same cell: every write must
+    // subscript some dimension as `var ± c`, with a single (dim, offset)
+    // pattern per array across all of its writes.
+    let mut write_pat: HashMap<&str, (usize, i64)> = HashMap::new();
+    top.walk(&mut |s| match &s.kind {
+        StmtKind::Do { from, to, step, .. } => {
+            for e in [from, to].into_iter().chain(step.as_ref()) {
+                e.walk(&mut |x| {
+                    if let Expr::Var(n) = x {
+                        if nest_vars.iter().any(|v| v == n) {
+                            ok = false; // triangular bound: chunk-variant
+                        }
+                    }
+                });
+                reads.push(e);
+            }
+        }
+        StmtKind::If { cond, .. } => reads.push(cond),
+        StmtKind::LogicalIf { cond, stmt } => {
+            reads.push(cond);
+            // the guarded statement is audited by this walk too; only
+            // allow forms that cannot escape the nest
+            if !matches!(stmt.kind, StmtKind::Assign { .. } | StmtKind::Continue) {
+                ok = false;
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            if target.indices.is_empty() {
+                ok = false; // scalar write: carried across iterations
+            }
+            match target
+                .indices
+                .iter()
+                .enumerate()
+                .find_map(|(d, e)| var_offset(e, &var).map(|c| (d, c)))
+            {
+                Some(pat) => {
+                    if *write_pat.entry(&target.name).or_insert(pat) != pat {
+                        ok = false;
+                    }
+                }
+                None => ok = false,
+            }
+            written.push(&target.name);
+            for e in &target.indices {
+                reads.push(e);
+            }
+            reads.push(value);
+        }
+        StmtKind::Continue => {}
+        _ => ok = false, // call/goto/return/stop/I-O/do-while
+    });
+    if !ok {
+        return None;
+    }
+
+    // A written array must not itself be in flight.
+    if written.iter().any(|&w| pt.deps.contains_key(w)) {
+        return None;
+    }
+    // Reads of a written array must stay inside the writer's own slice
+    // of the clamped variable. Chunks partition `var` and preserve the
+    // original iteration order *within* each value of it, so data may
+    // flow freely inside a slice but never across slices, whose order
+    // the split changes. A write with pattern `(d, c)` puts all of an
+    // iteration's output in plane `var + c` of dimension `d`; a read at
+    // the same `(d, c)` stays in-plane (e.g. `u(i,j) = u(i,j) + ...`),
+    // any other subscript of that array may cross planes.
+    for e in &reads {
+        let mut bad = false;
+        e.walk(&mut |x| {
+            let Expr::Index { name, indices } = x else {
+                return;
+            };
+            let Some(&(d, c)) = write_pat.get(name.as_str()) else {
+                return;
+            };
+            match indices.get(d).and_then(|sub| var_offset(sub, &var)) {
+                Some(off) if off == c => {}
+                _ => bad = true,
+            }
+        });
+        if bad {
+            return None;
+        }
+    }
+
+    // Reads of synced arrays must stay within the exchanged widths on
+    // the overlapped axis, relative to the clamped variable.
+    for e in &reads {
+        let mut bad = false;
+        e.walk(&mut |x| {
+            let Expr::Index { name, indices } = x else {
+                return;
+            };
+            if !pt.deps.contains_key(name) {
+                return;
+            }
+            let Some(info) = ir.status_arrays.get(name) else {
+                bad = true;
+                return;
+            };
+            for (d, sub) in indices.iter().enumerate() {
+                if info.dim_axis.get(d).copied().flatten() != Some(axis) {
+                    continue;
+                }
+                match var_offset(sub, &var) {
+                    Some(c) if -(low_width as i64) <= c && c <= high_width as i64 => {}
+                    _ => bad = true,
+                }
+            }
+        });
+        if bad {
+            return None;
+        }
+    }
+
+    // No other edit may land inside the nest.
+    let nest_set: HashSet<StmtId> = nest_ids.iter().copied().collect();
+    if edit.inserts.keys().any(|(un, key)| {
+        un.as_str() == host_unit
+            && match key {
+                ListKey::UnitBody => false,
+                ListKey::DoBody(s)
+                | ListKey::ThenArm(s)
+                | ListKey::ElseIfArm(s, _)
+                | ListKey::ElseArm(s) => nest_set.contains(s),
+            }
+    }) {
+        return None;
+    }
+    if edit
+        .wraps
+        .keys()
+        .any(|(un, id)| un.as_str() == host_unit && nest_set.contains(id))
+    {
+        return None;
+    }
+    if edit
+        .after_stmt
+        .keys()
+        .chain(edit.before_stmt.keys())
+        .any(|(un, id)| un.as_str() == host_unit && *id != top.id && nest_set.contains(id))
+    {
+        return None;
+    }
+
+    Some(OverlapSpec {
+        stmt: top.id,
+        var,
+        axis,
+        low_width,
+        high_width,
+    })
 }
 
 /// True if the nest rooted at `root` contains a loop localized on `axis`.

@@ -20,12 +20,50 @@ pub enum Flow {
     Stop,
 }
 
+/// Interior/boundary split geometry for one overlapped loop nest (see
+/// [`Hooks::split_loop`]). The widths clamp the named loop variable's
+/// evaluated range `[from, to]` into three disjoint chunks that exactly
+/// cover it: the interior `[from+low, to-high]`, the low strip
+/// `[from, min(to, from+low-1)]`, and the high strip
+/// `[max(from+low, to-high+1), to]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSplit {
+    /// Loop variable to clamp — a loop inside the split `do` statement's
+    /// perfect-nest prefix (possibly the split statement itself).
+    pub var: String,
+    /// Boundary width at the low end of the variable's range.
+    pub low_width: u64,
+    /// Boundary width at the high end.
+    pub high_width: u64,
+}
+
 /// Hook interface for `call acf_*` statements inserted by the
 /// restructurer. Return `Ok(true)` when the call was handled; `Ok(false)`
 /// falls through to ordinary subroutine dispatch.
 pub trait Hooks {
     /// Handle a runtime call in the current frame.
     fn call(&mut self, m: &mut Machine, frame: &mut Frame, name: &str) -> Result<bool, RunError>;
+
+    /// When `Ok(Some(..))`, the engine executes this `do` statement in
+    /// three chunks — interior first, then (after
+    /// [`Hooks::finish_split`]) the low and high boundary strips — so
+    /// messages a preceding hook call left in flight are hidden behind
+    /// the interior computation. Called for every `do` statement with
+    /// the machine borrowed mutably so an implementation can *complete*
+    /// in-flight communication when a different loop runs first (the
+    /// blocking fallback). The default never splits.
+    fn split_loop(&mut self, m: &mut Machine, stmt: &Stmt) -> Result<Option<LoopSplit>, RunError> {
+        let _ = (m, stmt);
+        Ok(None)
+    }
+
+    /// Complete the communication an earlier hook call left in flight;
+    /// runs between the interior chunk and the boundary strips of a
+    /// split loop. The default has nothing to complete.
+    fn finish_split(&mut self, m: &mut Machine, frame: &mut Frame) -> Result<(), RunError> {
+        let _ = (m, frame);
+        Ok(())
+    }
 
     /// Where the engine should record compute spans (timed loop-nest
     /// executions), or `None` (the default) to skip span tracking
@@ -117,6 +155,40 @@ pub fn run_program_capture<H: Hooks>(
 /// Snapshot taken at loop entry for compute-span tracking; `None` when
 /// the hook set has no recorder (tracking disabled, zero overhead).
 type SpanMark = Option<(usize, u64, Instant)>;
+
+/// Which chunk of a split loop is being executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Clamp {
+    /// `[from+low, to-high]` — safe while messages are in flight.
+    Interior,
+    /// `[from, min(to, from+low-1)]` — needs the lower ghosts.
+    Low,
+    /// `[max(from+low, to-high+1), to]` — needs the upper ghosts.
+    High,
+}
+
+/// The sub-range of `[f, t]` a chunk covers. The three chunks are
+/// disjoint and exactly cover `[f, t]` for every combination of widths
+/// (an oversized width only empties the interior).
+fn clamp_range(f: i64, t: i64, split: &LoopSplit, mode: Clamp) -> (i64, i64) {
+    let lw = split.low_width as i64;
+    let hw = split.high_width as i64;
+    match mode {
+        Clamp::Interior => (f + lw, t - hw),
+        Clamp::Low => (f, t.min(f + lw - 1)),
+        Clamp::High => ((f + lw).max(t - hw + 1), t),
+    }
+}
+
+/// Split chunks must fall through: the restructurer only emits splits
+/// for nests it proved free of escaping control flow.
+fn ensure_normal(flow: Flow, line: u32) -> Result<(), RunError> {
+    if flow == Flow::Normal {
+        Ok(())
+    } else {
+        Err(RunError::new("control flow escaped an overlapped loop nest").at(line))
+    }
+}
 
 impl<'p, H: Hooks> Exec<'p, H> {
     /// Loop-entry half of compute-span tracking: remember how many
@@ -235,6 +307,9 @@ impl<'p, H: Hooks> Exec<'p, H> {
                 body,
                 ..
             } => {
+                if let Some(split) = self.hooks.split_loop(m, s)? {
+                    return self.exec_split_do(m, frame, s, &split);
+                }
                 let from = self
                     .eval(m, frame, from)?
                     .as_i64()
@@ -338,6 +413,225 @@ impl<'p, H: Hooks> Exec<'p, H> {
                 m.output.push(parts.join(" "));
                 Ok(Flow::Normal)
             }
+        }
+    }
+
+    /// Execute a `do` statement the hooks asked to split: interior
+    /// chunk (recorded as an [`EventKind::Overlap`] span — the time the
+    /// in-flight exchange hides), then `finish_split`, then the two
+    /// boundary strips. Iteration *order* differs from the unsplit loop
+    /// but the set of iterations is identical, and the restructurer
+    /// only emits splits for nests whose iterations are independent.
+    fn exec_split_do(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        s: &Stmt,
+        split: &LoopSplit,
+    ) -> Result<Flow, RunError> {
+        self.flush_spans();
+        // The hidden exchange is communication: an enclosing loop must
+        // not merge this nest into one compute span.
+        self.hook_calls += 1;
+        let pend0 = self.pending.len();
+        let t0 = Instant::now();
+        let flow = self.exec_stmt_clamped(m, frame, s, split, Clamp::Interior)?;
+        ensure_normal(flow, s.line)?;
+        self.pending.truncate(pend0);
+        if let Some(rec) = self.hooks.recorder() {
+            rec.record_span(EventKind::Overlap, t0, Instant::now());
+        }
+        self.hooks.finish_split(m, frame)?;
+        let flow = self.exec_stmt_clamped(m, frame, s, split, Clamp::Low)?;
+        ensure_normal(flow, s.line)?;
+        let flow = self.exec_stmt_clamped(m, frame, s, split, Clamp::High)?;
+        ensure_normal(flow, s.line)?;
+        self.finalize_split_var(m, frame, s, split)
+    }
+
+    /// Leave the clamped variable where the unsplit loop would: one past
+    /// `to` after a nonempty range, else at `from`. Every other variable
+    /// already matches — outer prefix loops run their full range in each
+    /// chunk, and loops inside the clamped one have chunk-invariant
+    /// bounds (the restructurer rejects nest-variable-dependent bounds),
+    /// so any complete body execution leaves them at the same values.
+    fn finalize_split_var(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        s: &Stmt,
+        split: &LoopSplit,
+    ) -> Result<Flow, RunError> {
+        let mut cur = s;
+        loop {
+            let StmtKind::Do {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } = &cur.kind
+            else {
+                return Err(RunError::new("split loop's perfect-nest prefix is broken").at(s.line));
+            };
+            if *var == split.var {
+                let f = self
+                    .eval(m, frame, from)?
+                    .as_i64()
+                    .map_err(|e| e.at(cur.line))?;
+                let t = self
+                    .eval(m, frame, to)?
+                    .as_i64()
+                    .map_err(|e| e.at(cur.line))?;
+                frame.set_scalar(var, Value::Int(f + (t - f + 1).max(0)))?;
+                return Ok(Flow::Normal);
+            }
+            let [inner] = body.as_slice() else {
+                return Err(RunError::new("split loop's perfect-nest prefix is broken").at(s.line));
+            };
+            cur = inner;
+        }
+    }
+
+    /// Statement-list execution for one chunk of a split loop; mirrors
+    /// [`Exec::exec_stmts`].
+    fn exec_stmts_clamped(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+        split: &LoopSplit,
+        mode: Clamp,
+    ) -> Result<Flow, RunError> {
+        let mut i = 0usize;
+        while i < stmts.len() {
+            match self.exec_stmt_clamped(m, frame, &stmts[i], split, mode)? {
+                Flow::Normal => i += 1,
+                Flow::Goto(l) => match stmts.iter().position(|s| s.label == Some(l)) {
+                    Some(j) => i = j,
+                    None => return Ok(Flow::Goto(l)),
+                },
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Execute one statement of a split chunk: the `do` whose variable
+    /// matches the split is clamped to the chunk's sub-range; other
+    /// structured statements recurse so the clamp reaches it; everything
+    /// else runs normally.
+    fn exec_stmt_clamped(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        s: &Stmt,
+        split: &LoopSplit,
+        mode: Clamp,
+    ) -> Result<Flow, RunError> {
+        match &s.kind {
+            StmtKind::Do {
+                var,
+                from,
+                to,
+                step,
+                body,
+                ..
+            } => {
+                m.tick().map_err(|e| e.at(s.line))?;
+                let f = self
+                    .eval(m, frame, from)?
+                    .as_i64()
+                    .map_err(|e| e.at(s.line))?;
+                let t = self
+                    .eval(m, frame, to)?
+                    .as_i64()
+                    .map_err(|e| e.at(s.line))?;
+                let step = match step {
+                    Some(e) => self.eval(m, frame, e)?.as_i64().map_err(|e| e.at(s.line))?,
+                    None => 1,
+                };
+                if step == 0 {
+                    return Err(RunError::new("zero do-loop step").at(s.line));
+                }
+                let clamped = *var == split.var;
+                let (f, t, step) = if clamped {
+                    if step != 1 {
+                        return Err(RunError::new("overlapped loop must have unit step").at(s.line));
+                    }
+                    let (cf, ct) = clamp_range(f, t, split, mode);
+                    (cf, ct, 1)
+                } else {
+                    (f, t, step)
+                };
+                let trips = ((t - f + step) / step).max(0);
+                let mark = self.span_enter();
+                let mut iv = f;
+                let mut flow = Flow::Normal;
+                for _ in 0..trips {
+                    frame.set_scalar(var, Value::Int(iv))?;
+                    // below the clamped loop the body runs unmodified
+                    let r = if clamped {
+                        self.exec_stmts(m, frame, body)?
+                    } else {
+                        self.exec_stmts_clamped(m, frame, body, split, mode)?
+                    };
+                    match r {
+                        Flow::Normal => {}
+                        other => {
+                            flow = other;
+                            break;
+                        }
+                    }
+                    iv += step;
+                }
+                if flow == Flow::Normal {
+                    frame.set_scalar(var, Value::Int(iv))?;
+                }
+                self.span_exit(mark);
+                Ok(flow)
+            }
+            StmtKind::If {
+                cond,
+                then,
+                else_ifs,
+                els,
+            } => {
+                m.tick().map_err(|e| e.at(s.line))?;
+                if self
+                    .eval(m, frame, cond)?
+                    .as_bool()
+                    .map_err(|e| e.at(s.line))?
+                {
+                    return self.exec_stmts_clamped(m, frame, then, split, mode);
+                }
+                for (c, body) in else_ifs {
+                    if self
+                        .eval(m, frame, c)?
+                        .as_bool()
+                        .map_err(|e| e.at(s.line))?
+                    {
+                        return self.exec_stmts_clamped(m, frame, body, split, mode);
+                    }
+                }
+                if let Some(body) = els {
+                    return self.exec_stmts_clamped(m, frame, body, split, mode);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::LogicalIf { cond, stmt } => {
+                m.tick().map_err(|e| e.at(s.line))?;
+                if self
+                    .eval(m, frame, cond)?
+                    .as_bool()
+                    .map_err(|e| e.at(s.line))?
+                {
+                    self.exec_stmt_clamped(m, frame, stmt, split, mode)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            _ => self.exec_stmt(m, frame, s),
         }
     }
 
@@ -848,6 +1142,91 @@ mod tests {
         .unwrap();
         assert_eq!(h.0, 3);
         assert_eq!(last_output(&m), "42.000000");
+    }
+
+    #[test]
+    fn split_loops_cover_the_range_and_finalize_the_variable() {
+        // A hook that arms splitting at `acf_mark` and splits the next
+        // `do i` nest 1/1; the chunked execution must compute exactly
+        // what the unsplit loop would, call `finish_split` once, and
+        // leave `i` one past the range.
+        struct SplitHook {
+            armed: bool,
+            splits: u32,
+            finishes: u32,
+        }
+        impl Hooks for SplitHook {
+            fn call(
+                &mut self,
+                _m: &mut Machine,
+                _frame: &mut Frame,
+                name: &str,
+            ) -> Result<bool, RunError> {
+                if name == "acf_mark" {
+                    self.armed = true;
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+            fn split_loop(
+                &mut self,
+                _m: &mut Machine,
+                stmt: &Stmt,
+            ) -> Result<Option<LoopSplit>, RunError> {
+                if !self.armed {
+                    return Ok(None);
+                }
+                if let StmtKind::Do { var, .. } = &stmt.kind {
+                    if var == "i" {
+                        self.armed = false;
+                        self.splits += 1;
+                        return Ok(Some(LoopSplit {
+                            var: "i".into(),
+                            low_width: 1,
+                            high_width: 1,
+                        }));
+                    }
+                }
+                Ok(None)
+            }
+            fn finish_split(
+                &mut self,
+                _m: &mut Machine,
+                _frame: &mut Frame,
+            ) -> Result<(), RunError> {
+                self.finishes += 1;
+                Ok(())
+            }
+        }
+        let mut h = SplitHook {
+            armed: false,
+            splits: 0,
+            finishes: 0,
+        };
+        let m = run_program_with_hooks(
+            &parse(
+                "      program p
+      real v(10), w(10)
+      do i = 1, 10
+        v(i) = i
+      end do
+      call acf_mark()
+      do i = 2, 9
+        w(i) = v(i-1) + v(i+1)
+      end do
+      write(*,*) w(2), w(5), w(9), i
+      end
+",
+            )
+            .unwrap(),
+            vec![],
+            &mut h,
+            0,
+        )
+        .unwrap();
+        assert_eq!(h.splits, 1);
+        assert_eq!(h.finishes, 1);
+        assert_eq!(last_output(&m), "4.000000 10.000000 18.000000 10");
     }
 
     #[test]

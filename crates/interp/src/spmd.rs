@@ -22,15 +22,40 @@
 //! identified purely by global index ranges; sender and receiver compute
 //! the *same* region (from the receiving rank's subgrid), so payloads
 //! need no headers.
+//!
+//! With overlap enabled (see [`SpmdHooks::new`]), a sync point the plan
+//! marked eligible posts its *last*-axis exchange as `isend`/`irecv`
+//! pairs and returns with the receives still in flight; the engine then
+//! splits the following loop nest ([`crate::exec::Hooks::split_loop`])
+//! so its interior runs while the messages travel, completes the
+//! receives, and finishes with the two boundary strips.
 
-use crate::exec::{run_program_capture, Hooks};
+use crate::exec::{run_program_capture, Hooks, LoopSplit};
 use crate::machine::{ArrayId, Frame, Machine, RunError};
 use crate::value::Value;
 use autocfd_codegen::{SelfLoopSpec, SpmdPlan, SyncSpec};
+use autocfd_fortran::ast::{Stmt, StmtId};
 use autocfd_fortran::SourceFile;
 use autocfd_grid::Partition;
-use autocfd_runtime::{run_spmd, Comm, EventKind, Recorder, ReduceOp, TraceEvent, WireStats};
+use autocfd_runtime::{
+    run_spmd, Comm, EventKind, Recorder, RecvRequest, ReduceOp, TraceEvent, WireStats,
+};
 use std::time::Instant;
+
+/// One in-flight ghost receive with the regions its payload fills.
+struct PendingRecv {
+    req: RecvRequest,
+    /// `(array, region)` pairs in payload order (aggregated message).
+    regions: Vec<(ArrayId, Vec<(i64, i64)>)>,
+}
+
+/// The last-axis exchange a sync left in flight, to be completed by the
+/// split of the nest at `stmt` (or defensively by the next hook call).
+struct PendingOverlap {
+    stmt: StmtId,
+    split: LoopSplit,
+    recvs: Vec<PendingRecv>,
+}
 
 /// The hook set wiring `acf_*` calls to the runtime.
 pub struct SpmdHooks<'a> {
@@ -38,6 +63,31 @@ pub struct SpmdHooks<'a> {
     pub plan: &'a SpmdPlan,
     /// This rank's communicator.
     pub comm: &'a Comm,
+    /// Exploit the plan's overlap opportunities: split eligible nests
+    /// and hide their sync's last-axis exchange behind the interior
+    /// computation. Off (the default constructors) runs every sync
+    /// blocking.
+    pub overlap: bool,
+    /// The exchange currently in flight, if any.
+    pending: Option<PendingOverlap>,
+    /// Whether the engine is currently executing the split nest of
+    /// `pending` — inner loops of the nest must not trigger the
+    /// blocking fallback of [`SpmdHooks::split_loop`].
+    in_split: bool,
+}
+
+impl<'a> SpmdHooks<'a> {
+    /// Hook set for one rank; `overlap` enables compute/communication
+    /// overlap at the plan's eligible sync points.
+    pub fn new(plan: &'a SpmdPlan, comm: &'a Comm, overlap: bool) -> Self {
+        Self {
+            plan,
+            comm,
+            overlap,
+            pending: None,
+            in_split: false,
+        }
+    }
 }
 
 /// Result of one rank's execution.
@@ -66,9 +116,21 @@ pub struct RankResult {
 impl Hooks for SpmdHooks<'_> {
     fn call(&mut self, m: &mut Machine, frame: &mut Frame, name: &str) -> Result<bool, RunError> {
         if name == "acf_init" {
+            // `acf_init` only seeds the frame's subgrid bound scalars —
+            // it reads no arrays, so it is exempt from the completion
+            // fallback below. It is exactly the hook that runs between
+            // a sync and a called subroutine's leading nest, and
+            // draining there would forfeit every call-carried overlap
+            // (see the restructurer's `overlap_spec`).
             self.init(frame)?;
             return Ok(true);
         }
+        // Complete any exchange still in flight before handling a new
+        // runtime call. Normally the split nest's `finish_split` already
+        // did; this covers degraded paths where another hook runs first
+        // (the receives then land in the phase of the sync that posted
+        // them, keeping per-phase traffic identical to blocking mode).
+        self.complete_pending(m)?;
         if let Some(rest) = name.strip_prefix("acf_sync_") {
             let id: u32 = rest
                 .parse()
@@ -134,6 +196,30 @@ impl Hooks for SpmdHooks<'_> {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    fn split_loop(&mut self, m: &mut Machine, stmt: &Stmt) -> Result<Option<LoopSplit>, RunError> {
+        if self.in_split {
+            return Ok(None); // a loop inside the nest being split
+        }
+        let Some(p) = self.pending.as_ref() else {
+            return Ok(None);
+        };
+        if p.stmt == stmt.id {
+            self.in_split = true;
+            return Ok(Some(p.split.clone()));
+        }
+        // A different loop runs before the overlapped nest (the nest was
+        // the first statement of a loop body whose final iteration just
+        // ended, or control took an unforeseen path): complete the
+        // exchange now so no statement can observe stale ghost cells.
+        self.complete_pending(m)?;
+        Ok(None)
+    }
+
+    fn finish_split(&mut self, m: &mut Machine, _frame: &mut Frame) -> Result<(), RunError> {
+        self.in_split = false;
+        self.complete_pending(m)
     }
 
     fn recorder(&self) -> Option<&dyn Recorder> {
@@ -208,15 +294,68 @@ impl SpmdHooks<'_> {
         Ok(())
     }
 
+    /// Wait for and unpack every in-flight ghost receive. The `Recv`
+    /// trace events are recorded here — at completion — which is what
+    /// the profiler's "% comm hidden" figure measures the overlap span
+    /// against.
+    fn complete_pending(&mut self, m: &mut Machine) -> Result<(), RunError> {
+        let Some(p) = self.pending.take() else {
+            return Ok(());
+        };
+        for pr in p.recvs {
+            let data = self
+                .comm
+                .wait_recv(pr.req)
+                .map_err(|e| RunError::new(e.to_string()))?;
+            let mut off = 0usize;
+            for (id, region) in &pr.regions {
+                let len = region_len(region) as usize;
+                let slice = data
+                    .get(off..off + len)
+                    .ok_or_else(|| RunError::new("aggregated halo payload shorter than regions"))?;
+                self.unpack(m, *id, region, slice)?;
+                off += len;
+            }
+            if off != data.len() {
+                return Err(RunError::new("aggregated halo payload longer than regions"));
+            }
+        }
+        Ok(())
+    }
+
     /// The combined halo exchange of one synchronization point. The
     /// paper's combining step "aggregates" the member communications:
     /// all arrays of the point travel in ONE message per neighbor per
     /// axis direction (verified by the `ablation_combine` bench, which
     /// counts real messages).
-    fn sync(&self, m: &mut Machine, frame: &Frame, spec: &SyncSpec) -> Result<(), RunError> {
+    ///
+    /// With overlap enabled and this sync marked eligible, the *last*
+    /// exchanged axis is posted nonblocking: sends complete at post
+    /// (buffered), receives are left in flight for the following split
+    /// nest to complete. Earlier axes still complete eagerly — their
+    /// received corner layers widen the later axes' slabs.
+    fn sync(&mut self, m: &mut Machine, frame: &Frame, spec: &SyncSpec) -> Result<(), RunError> {
         let mut gap = Instant::now();
         let me = self.comm.rank() as u32;
         let cut = self.plan.cut_axes();
+        // the axis whose messages may stay in flight, with the split
+        // geometry for the nest that will hide them
+        let fly: Option<(usize, StmtId, LoopSplit)> = if self.overlap {
+            self.plan.overlaps.get(&spec.id).map(|ov| {
+                (
+                    ov.axis,
+                    ov.stmt,
+                    LoopSplit {
+                        var: ov.var.clone(),
+                        low_width: ov.low_width,
+                        high_width: ov.high_width,
+                    },
+                )
+            })
+        } else {
+            None
+        };
+        let mut pending_recvs: Vec<PendingRecv> = Vec::new();
         // resolve ids/mappings once; per-array `done` widths track the
         // axes already exchanged (corner correctness)
         let mut ids = Vec::with_capacity(spec.arrays.len());
@@ -228,6 +367,7 @@ impl SpmdHooks<'_> {
             done.push(vec![[0u64; 2]; sa.ghost.len()]);
         }
         for &axis in &cut {
+            let in_flight = fly.as_ref().is_some_and(|&(a, _, _)| a == axis);
             // ---- sends: one aggregated message per neighbor direction
             for dir in [-1i32, 1] {
                 let Some(nb) = self.plan.partition.neighbor(me, axis, dir) else {
@@ -257,7 +397,11 @@ impl SpmdHooks<'_> {
                 }
                 if !payload.is_empty() {
                     let tag = tag_for(0, spec.id, 0, axis, -dir);
-                    self.gap_send(&mut gap, nb as usize, tag, &payload)?;
+                    if in_flight {
+                        self.gap_isend(&mut gap, nb as usize, tag, &payload)?;
+                    } else {
+                        self.gap_send(&mut gap, nb as usize, tag, &payload)?;
+                    }
                 }
             }
             // ---- receives: split the aggregated message back apart
@@ -291,6 +435,19 @@ impl SpmdHooks<'_> {
                     continue;
                 }
                 let tag = tag_for(0, spec.id, 0, axis, dir);
+                if in_flight {
+                    // leave the receive posted; the split nest (or the
+                    // next hook call) waits for and unpacks it
+                    let req = self.comm.irecv(nb as usize, tag);
+                    pending_recvs.push(PendingRecv {
+                        req,
+                        regions: regions
+                            .into_iter()
+                            .map(|(ai, region)| (ids[ai], region))
+                            .collect(),
+                    });
+                    continue;
+                }
                 let data = self.gap_recv(&mut gap, nb as usize, tag)?;
                 let mut off = 0usize;
                 for (ai, region) in regions {
@@ -308,6 +465,14 @@ impl SpmdHooks<'_> {
             for (ai, sa) in spec.arrays.iter().enumerate() {
                 done[ai][axis] = sa.ghost.get(axis).copied().unwrap_or([0, 0]);
             }
+        }
+        if !pending_recvs.is_empty() {
+            let (_, stmt, split) = fly.expect("in-flight receives imply an overlap spec");
+            self.pending = Some(PendingOverlap {
+                stmt,
+                split,
+                recvs: pending_recvs,
+            });
         }
         self.gap_end(gap);
         Ok(())
@@ -500,6 +665,29 @@ impl SpmdHooks<'_> {
         r
     }
 
+    /// Like [`SpmdHooks::gap_send`] but through the nonblocking pair:
+    /// post, then complete the (buffered, immediately done) send. Used
+    /// on the in-flight axis so its sends go through the same code path
+    /// as its receives.
+    fn gap_isend(
+        &self,
+        gap: &mut Instant,
+        to: usize,
+        tag: u64,
+        payload: &[f64],
+    ) -> Result<(), RunError> {
+        self.comm
+            .record_span(EventKind::Compute, *gap, Instant::now());
+        let r = self
+            .comm
+            .isend(to, tag, payload)
+            .and_then(|req| self.comm.wait_send(req))
+            .map(|_| ())
+            .map_err(|e| RunError::new(e.to_string()));
+        *gap = Instant::now();
+        r
+    }
+
     /// Record the compute gap since `*gap`, receive, and restart the gap
     /// clock.
     fn gap_recv(&self, gap: &mut Instant, from: usize, tag: u64) -> Result<Vec<f64>, RunError> {
@@ -658,8 +846,32 @@ pub fn run_rank_traced(
     stmt_limit: u64,
     comm: &Comm,
 ) -> RankRun {
-    let mut hooks = SpmdHooks { plan, comm };
-    let outcome = run_program_capture(file, input, &mut hooks, stmt_limit);
+    run_rank_traced_opts(file, plan, input, stmt_limit, comm, false)
+}
+
+/// [`run_rank_traced`] with compute/communication overlap control:
+/// `overlap` makes eligible sync points leave their last-axis exchange
+/// in flight behind the following nest's interior.
+pub fn run_rank_traced_opts(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    comm: &Comm,
+    overlap: bool,
+) -> RankRun {
+    let mut hooks = SpmdHooks::new(plan, comm, overlap);
+    let mut outcome = run_program_capture(file, input, &mut hooks, stmt_limit);
+    // Safety net: a program that ends with an exchange still in flight
+    // (its overlapped nest never ran) completes it here so receive
+    // counters and traces stay consistent with blocking mode.
+    if let Ok((m, _)) = &mut outcome {
+        if let Err(e) = hooks.complete_pending(m) {
+            outcome = Err(e);
+        }
+    } else {
+        hooks.pending = None;
+    }
     RankRun {
         outcome,
         comm_stats: comm.stats().snapshot(),
@@ -680,7 +892,19 @@ pub fn run_rank(
     stmt_limit: u64,
     comm: &Comm,
 ) -> Result<RankResult, RunError> {
-    let run = run_rank_traced(file, plan, input, stmt_limit, comm);
+    run_rank_opts(file, plan, input, stmt_limit, comm, false)
+}
+
+/// [`run_rank`] with compute/communication overlap control.
+pub fn run_rank_opts(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    comm: &Comm,
+    overlap: bool,
+) -> Result<RankResult, RunError> {
+    let run = run_rank_traced_opts(file, plan, input, stmt_limit, comm, overlap);
     let (machine, frame) = run.outcome?;
     Ok(RankResult {
         machine,
@@ -701,9 +925,20 @@ pub fn run_parallel(
     input: Vec<f64>,
     stmt_limit: u64,
 ) -> Result<Vec<RankResult>, RunError> {
+    run_parallel_opts(file, plan, input, stmt_limit, false)
+}
+
+/// [`run_parallel`] with compute/communication overlap control.
+pub fn run_parallel_opts(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    overlap: bool,
+) -> Result<Vec<RankResult>, RunError> {
     let n = plan.ranks() as usize;
     let results = run_spmd(n, |comm| {
-        run_rank(file, plan, input.clone(), stmt_limit, &comm)
+        run_rank_opts(file, plan, input.clone(), stmt_limit, &comm, overlap)
     });
     results.into_iter().collect()
 }
@@ -717,9 +952,20 @@ pub fn run_parallel_traced(
     input: Vec<f64>,
     stmt_limit: u64,
 ) -> Vec<RankRun> {
+    run_parallel_traced_opts(file, plan, input, stmt_limit, false)
+}
+
+/// [`run_parallel_traced`] with compute/communication overlap control.
+pub fn run_parallel_traced_opts(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    overlap: bool,
+) -> Vec<RankRun> {
     let n = plan.ranks() as usize;
     run_spmd(n, |comm| {
-        run_rank_traced(file, plan, input.clone(), stmt_limit, &comm)
+        run_rank_traced_opts(file, plan, input.clone(), stmt_limit, &comm, overlap)
     })
 }
 

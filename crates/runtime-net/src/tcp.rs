@@ -19,7 +19,9 @@
 //!   (after draining everything it sent first).
 
 use crate::frame::{encode, read_frame, Frame, FrameKind};
-use autocfd_runtime::{CommError, InboxMsg, MatchingInbox, Transport, WireStats};
+use autocfd_runtime::{
+    CommError, InboxMsg, MatchingInbox, RecvRequest, SendRequest, Transport, WireStats,
+};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -376,7 +378,7 @@ impl Transport for TcpTransport {
         self.size
     }
 
-    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+    fn isend(&self, to: usize, tag: u64, payload: &[f64]) -> Result<SendRequest, CommError> {
         let frame = Frame::data(self.rank as u32, tag, payload.to_vec());
         let wire = encode(&frame);
         let wire_bytes = wire.len();
@@ -386,26 +388,51 @@ impl Transport for TcpTransport {
                 CommError::disconnected(self.rank, to, "connection shut down").with_tag(tag)
             })?
         };
+        // handing the frame to the writer queue completes the request:
+        // the writer thread drains it onto the socket asynchronously
         tx.send(wire).map_err(|_| {
             CommError::disconnected(self.rank, to, "peer connection closed").with_tag(tag)
         })?;
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent
             .fetch_add(wire_bytes as u64, Ordering::Relaxed);
-        Ok(wire_bytes)
+        Ok(SendRequest {
+            to,
+            tag,
+            wire_bytes,
+        })
     }
 
-    fn recv(
+    fn wait_recv(
         &self,
-        from: usize,
-        tag: u64,
+        mut req: RecvRequest,
         timeout: Duration,
     ) -> Result<(Vec<f64>, usize), CommError> {
-        let (payload, wire_bytes) = self.inbox.recv(from, tag, timeout)?;
+        // test_recv already pulled it off the inbox (and counted it)
+        if let Some(found) = req.take_done() {
+            return Ok(found);
+        }
+        let (payload, wire_bytes) = self.inbox.recv(req.from, req.tag, timeout)?;
         self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
         self.bytes_recvd
             .fetch_add(wire_bytes as u64, Ordering::Relaxed);
         Ok((payload, wire_bytes))
+    }
+
+    fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError> {
+        if req.is_done() {
+            return Ok(true);
+        }
+        match self.inbox.try_recv(req.from, req.tag)? {
+            Some((payload, wire_bytes)) => {
+                self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
+                self.bytes_recvd
+                    .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+                req.complete(payload, wire_bytes);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     fn wire_stats(&self) -> WireStats {

@@ -4,7 +4,7 @@
 
 use crate::error::CommError;
 use crate::trace::{EventKind, Recorder, TraceEvent};
-use crate::transport::{Transport, WireStats};
+use crate::transport::{RecvRequest, SendRequest, Transport, WireStats};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -218,6 +218,64 @@ impl Comm {
             .map_err(|e| self.ctx(e))?;
         self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
         Ok(payload)
+    }
+
+    /// Post a nonblocking send of `payload` to rank `to` under `tag`.
+    /// Both shipped backends buffer sends, so the returned request is
+    /// already complete; a `Send` trace event is recorded at post time
+    /// (same footprint as the blocking [`Comm::send`], so overlap does
+    /// not change per-phase message/byte accounting).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or is this rank itself.
+    pub fn isend(&self, to: usize, tag: u64, payload: &[f64]) -> Result<SendRequest, CommError> {
+        let t0 = Instant::now();
+        assert!(to < self.size(), "send to rank {to} of {}", self.size());
+        assert_ne!(to, self.rank(), "self-send is a schedule bug");
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .elems_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let req = self
+            .transport
+            .isend(to, tag, payload)
+            .map_err(|e| self.ctx(e))?;
+        self.record(EventKind::Send, t0, Some(to), payload.len(), req.wire_bytes);
+        Ok(req)
+    }
+
+    /// Complete a send request posted with [`Comm::isend`], returning
+    /// its wire bytes.
+    pub fn wait_send(&self, req: SendRequest) -> Result<usize, CommError> {
+        self.transport
+            .wait_send(req, self.timeout)
+            .map_err(|e| self.ctx(e))
+    }
+
+    /// Post a nonblocking receive for a message from `from` under
+    /// `tag`. Nothing is recorded until the request completes.
+    pub fn irecv(&self, from: usize, tag: u64) -> RecvRequest {
+        self.transport.irecv(from, tag)
+    }
+
+    /// Block until the receive posted as `req` completes, recording a
+    /// `Recv` trace event spanning the wait (so hidden latency shows up
+    /// as a short wait instead of a long one).
+    pub fn wait_recv(&self, req: RecvRequest) -> Result<Vec<f64>, CommError> {
+        let t0 = Instant::now();
+        let from = req.from;
+        let (payload, bytes) = self
+            .transport
+            .wait_recv(req, self.timeout)
+            .map_err(|e| self.ctx(e))?;
+        self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
+        Ok(payload)
+    }
+
+    /// Poll a receive request without blocking; see
+    /// [`Transport::test_recv`].
+    pub fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError> {
+        self.transport.test_recv(req).map_err(|e| self.ctx(e))
     }
 
     fn recv_raw(&self, from: usize, tag: u64) -> Result<(Vec<f64>, usize), CommError> {
@@ -611,6 +669,36 @@ mod tests {
     }
 
     #[test]
+    fn nonblocking_roundtrip_records_the_same_events_as_blocking() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(1, 4, &[1.0, 2.0, 3.0]).unwrap();
+                assert_eq!(comm.wait_send(req).unwrap(), 24);
+            } else {
+                let mut req = comm.irecv(0, 4);
+                // poll until the message lands, then wait must hand back
+                // the payload test_recv cached — never a lost completion
+                while !comm.test_recv(&mut req).unwrap() {
+                    std::thread::yield_now();
+                }
+                assert_eq!(comm.wait_recv(req).unwrap(), vec![1.0, 2.0, 3.0]);
+            }
+            comm.barrier().unwrap();
+            comm.take_trace()
+        });
+        let send = results[0]
+            .iter()
+            .find(|e| e.kind == EventKind::Send)
+            .expect("isend traced as a Send at post time");
+        assert_eq!((send.peer, send.elems, send.bytes), (Some(1), 3, 24));
+        let recv = results[1]
+            .iter()
+            .find(|e| e.kind == EventKind::Recv)
+            .expect("wait_recv traced as a Recv");
+        assert_eq!((recv.peer, recv.elems, recv.bytes), (Some(0), 3, 24));
+    }
+
+    #[test]
     fn default_dissemination_barrier_synchronizes() {
         // Exercise the Transport::barrier default (dissemination over
         // send/recv) by wrapping the inproc mesh in a transport that does
@@ -627,16 +715,23 @@ mod tests {
             fn size(&self) -> usize {
                 self.0.size()
             }
-            fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
-                self.0.send(to, tag, payload)
-            }
-            fn recv(
+            fn isend(
                 &self,
-                from: usize,
+                to: usize,
                 tag: u64,
+                payload: &[f64],
+            ) -> Result<SendRequest, CommError> {
+                self.0.isend(to, tag, payload)
+            }
+            fn wait_recv(
+                &self,
+                req: RecvRequest,
                 timeout: Duration,
             ) -> Result<(Vec<f64>, usize), CommError> {
-                self.0.recv(from, tag, timeout)
+                self.0.wait_recv(req, timeout)
+            }
+            fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError> {
+                self.0.test_recv(req)
             }
             fn wire_stats(&self) -> WireStats {
                 self.0.wire_stats()

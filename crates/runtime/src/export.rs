@@ -114,6 +114,10 @@ pub struct PhaseMetrics {
     pub comm: Duration,
     /// Total blocked time (receive + barrier waits) across ranks.
     pub wait: Duration,
+    /// Total overlapped-compute time across ranks: interior work done
+    /// while halo exchanges were in flight (communication latency
+    /// hidden behind computation).
+    pub overlap: Duration,
     /// Distribution of individual compute spans.
     pub compute_hist: Percentiles,
     /// Distribution of individual wait spans.
@@ -143,6 +147,7 @@ pub fn phase_metrics(merged: &MergedTrace) -> Vec<PhaseMetrics> {
             compute: Duration::ZERO,
             comm: Duration::ZERO,
             wait: Duration::ZERO,
+            overlap: Duration::ZERO,
             compute_hist: Percentiles::default(),
             wait_hist: Percentiles::default(),
         };
@@ -158,6 +163,11 @@ pub fn phase_metrics(merged: &MergedTrace) -> Vec<PhaseMetrics> {
                 match e.kind {
                     EventKind::Compute => {
                         m.compute += e.span();
+                        compute_samples.push(e.span());
+                    }
+                    EventKind::Overlap => {
+                        m.compute += e.span();
+                        m.overlap += e.span();
                         compute_samples.push(e.span());
                     }
                     EventKind::Send | EventKind::Reduce => {
@@ -285,7 +295,7 @@ pub fn rank_breakdown(traces: &[Vec<TraceEvent>]) -> Vec<RankBreakdown> {
             };
             for e in trace {
                 match e.kind {
-                    EventKind::Compute => b.compute += e.span(),
+                    EventKind::Compute | EventKind::Overlap => b.compute += e.span(),
                     EventKind::Send | EventKind::Reduce => b.comm += e.span(),
                     EventKind::Recv | EventKind::Barrier => b.wait += e.wait(),
                 }
@@ -423,6 +433,50 @@ mod tests {
         let rendered = render_phase_metrics(&ms);
         assert!(rendered.contains("sync_0"), "{rendered}");
         assert!(rendered.lines().next().unwrap().contains("compute"));
+    }
+
+    #[test]
+    fn overlap_counts_as_compute_and_accumulates_separately() {
+        let journal = RankJournal {
+            header: JournalHeader {
+                version: SCHEMA_VERSION,
+                rank: 0,
+                ranks: 1,
+                transport: "inproc".into(),
+                epoch_unix_ns: 0,
+            },
+            events: vec![
+                JournalEvent {
+                    kind: EventKind::Overlap,
+                    start: Duration::from_micros(0),
+                    end: Duration::from_micros(30),
+                    peer: None,
+                    elems: 0,
+                    bytes: 0,
+                    phase: "sync_0".into(),
+                },
+                JournalEvent {
+                    kind: EventKind::Recv,
+                    start: Duration::from_micros(30),
+                    end: Duration::from_micros(40),
+                    peer: Some(1),
+                    elems: 4,
+                    bytes: 32,
+                    phase: "sync_0".into(),
+                },
+            ],
+            complete: true,
+        };
+        let merged = crate::journal::merge(&[journal]);
+        let ms = phase_metrics(&merged);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].overlap, Duration::from_micros(30));
+        assert_eq!(ms[0].compute, Duration::from_micros(30), "overlap is work");
+        assert_eq!(ms[0].wait, Duration::from_micros(10));
+        let b = rank_breakdown(&merged.traces);
+        assert_eq!(b[0].compute, Duration::from_micros(30));
+        assert_eq!(b[0].wait, Duration::from_micros(10));
+        assert!((b[0].coverage() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -565,6 +565,7 @@ mod proptests {
             Just(EventKind::Barrier),
             Just(EventKind::Reduce),
             Just(EventKind::Compute),
+            Just(EventKind::Overlap),
         ]
     }
 

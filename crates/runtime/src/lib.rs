@@ -9,9 +9,13 @@
 //! *execute* and be checked for equivalence with their sequential
 //! originals:
 //!
-//! * [`Transport`] — the wire contract: tagged point-to-point
-//!   `send`/`recv` with per-`(source, tag)` FIFO, a barrier (default:
-//!   dissemination over reserved tags), and wire-level byte counters.
+//! * [`Transport`] — the wire contract: nonblocking tagged
+//!   point-to-point `isend`/`irecv` returning typed request handles
+//!   ([`SendRequest`]/[`RecvRequest`]) with `wait`/`test` completion
+//!   operations and per-`(source, tag)` FIFO matching (blocking
+//!   `send`/`recv` are default-method shims over the handles), a
+//!   barrier (default: dissemination over reserved tags), and
+//!   wire-level byte counters.
 //!   [`inproc::InprocTransport`] runs ranks as threads over channels;
 //!   the companion crate `autocfd-runtime-net` runs them as processes
 //!   over TCP with the same semantics;
@@ -56,4 +60,6 @@ pub use trace::{
     render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, Recorder,
     TraceEvent,
 };
-pub use transport::{InboxMsg, MatchingInbox, Transport, WireStats, BARRIER_TAG_BASE};
+pub use transport::{
+    InboxMsg, MatchingInbox, RecvRequest, SendRequest, Transport, WireStats, BARRIER_TAG_BASE,
+};

@@ -25,6 +25,11 @@ pub enum EventKind {
     /// Local computation: `start..end` spans time spent *outside* the
     /// communicator (loop-nest execution, halo pack/unpack).
     Compute,
+    /// Interior computation overlapped with in-flight halo exchange:
+    /// like [`EventKind::Compute`], but the span runs between posting
+    /// nonblocking ghost sends/receives and waiting on them, so its
+    /// duration is communication latency *hidden* behind useful work.
+    Overlap,
 }
 
 impl EventKind {
@@ -36,6 +41,7 @@ impl EventKind {
             EventKind::Barrier => "barrier",
             EventKind::Reduce => "reduce",
             EventKind::Compute => "compute",
+            EventKind::Overlap => "overlap",
         }
     }
 
@@ -47,6 +53,7 @@ impl EventKind {
             "barrier" => EventKind::Barrier,
             "reduce" => EventKind::Reduce,
             "compute" => EventKind::Compute,
+            "overlap" => EventKind::Overlap,
             _ => return None,
         })
     }
@@ -76,10 +83,10 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// Time spent blocked in this event (zero for compute spans, which
-    /// are working, not waiting).
+    /// Time spent blocked in this event (zero for compute and overlap
+    /// spans, which are working, not waiting).
     pub fn wait(&self) -> Duration {
-        if self.kind == EventKind::Compute {
+        if matches!(self.kind, EventKind::Compute | EventKind::Overlap) {
             return Duration::ZERO;
         }
         self.end.saturating_sub(self.start)
@@ -131,7 +138,7 @@ pub fn wire_by_phase(trace: &[TraceEvent], phase_names: &[String]) -> Vec<(Strin
     let mut bytes = vec![0u64; slots];
     let mut touched = vec![false; slots];
     for e in trace {
-        if e.kind == EventKind::Compute {
+        if matches!(e.kind, EventKind::Compute | EventKind::Overlap) {
             continue;
         }
         let p = e.phase as usize;
@@ -229,8 +236,9 @@ pub fn render_wire_table(traces: &[Vec<TraceEvent>], phase_names: &[Vec<String>]
 ///
 /// Each row is one rank; each column a time bucket. The glyph is the
 /// dominant activity in the bucket: `R` receive-wait, `B` barrier,
-/// `A` allreduce, `s` send, `C` compute span, `·` idle (no traced
-/// event). Waits dominate sends dominate compute dominates idle.
+/// `A` allreduce, `s` send, `C` compute span, `O` overlapped compute,
+/// `·` idle (no traced event). Waits dominate sends dominate compute
+/// dominates idle.
 pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
     let width = width.max(10);
     let horizon = traces
@@ -250,7 +258,7 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         match g {
             'R' | 'B' | 'A' => 3,
             's' => 2,
-            'C' => 1,
+            'C' | 'O' => 1,
             _ => 0,
         }
     }
@@ -267,6 +275,7 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
                 EventKind::Barrier => 'B',
                 EventKind::Reduce => 'A',
                 EventKind::Compute => 'C',
+                EventKind::Overlap => 'O',
             };
             for cell in row.iter_mut().take(b1 + 1).skip(b0) {
                 if strength(glyph) >= strength(*cell) {
@@ -277,7 +286,7 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         out.push_str(&format!("rank {r} |{}|\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!(
-        "        0{}{:?}\n        (R recv-wait, B barrier, A allreduce, s send, C compute, · idle)\n",
+        "        0{}{:?}\n        (R recv-wait, B barrier, A allreduce, s send, C compute, O overlap, · idle)\n",
         " ".repeat(width.saturating_sub(1)),
         horizon
     ));
@@ -417,6 +426,21 @@ mod tests {
     }
 
     #[test]
+    fn overlap_spans_hide_wait_and_stay_off_the_wire_table() {
+        let t = vec![
+            ev(EventKind::Overlap, 0, 30, 0),
+            ev(EventKind::Recv, 30, 35, 4),
+        ];
+        let (n, wait, _) = summarize(&t);
+        assert_eq!(n, 2);
+        assert_eq!(wait, Duration::from_millis(5), "overlap is not wait");
+        let names = vec!["main".to_string()];
+        assert_eq!(wire_by_phase(&t, &names), vec![("main".to_string(), 1, 32)]);
+        let s = render_timeline(&[t], 10);
+        assert!(s.lines().next().unwrap().contains('O'), "{s}");
+    }
+
+    #[test]
     fn event_kind_names_round_trip() {
         for k in [
             EventKind::Send,
@@ -424,6 +448,7 @@ mod tests {
             EventKind::Barrier,
             EventKind::Reduce,
             EventKind::Compute,
+            EventKind::Overlap,
         ] {
             assert_eq!(EventKind::from_name(k.name()), Some(k));
         }
@@ -451,7 +476,7 @@ mod tests {
 rank 0 |CCCCRRRRBB|
 rank 1 |CCCCCCCsBB|
         0         100ms
-        (R recv-wait, B barrier, A allreduce, s send, C compute, · idle)\n";
+        (R recv-wait, B barrier, A allreduce, s send, C compute, O overlap, · idle)\n";
         assert_eq!(s, expect);
     }
 

@@ -5,6 +5,15 @@
 //! ([`crate::inproc`]) and the multi-process TCP backend (crate
 //! `autocfd-runtime-net`) both plug in here.
 //!
+//! The primitive operations are *nonblocking*: [`Transport::isend`] and
+//! [`Transport::irecv`] post an operation and return a typed request
+//! handle ([`SendRequest`] / [`RecvRequest`]); the completion operations
+//! [`Transport::wait_send`], [`Transport::wait_recv`],
+//! [`Transport::wait_all_recv`] and [`Transport::test_recv`] retire
+//! them. The classic blocking [`Transport::send`] / [`Transport::recv`]
+//! are provided as default-method shims (post + immediately wait), so
+//! backends only implement the nonblocking core.
+//!
 //! Backends that deliver messages through a single inbox channel (both
 //! shipped backends do) share [`MatchingInbox`], so tag-matching, message
 //! parking, and FIFO-per-`(from, tag)` ordering behave identically
@@ -47,12 +56,78 @@ impl WireStats {
     }
 }
 
+/// Handle for a posted nonblocking send ([`Transport::isend`]).
+///
+/// Both shipped backends buffer outgoing messages (a channel in-process,
+/// a bounded per-peer write queue over TCP), so a send request is
+/// logically complete the moment it is posted; the handle carries the
+/// wire footprint for [`Transport::wait_send`] to report. The handle is
+/// `#[must_use]` so a posted send cannot be silently forgotten.
+#[derive(Debug)]
+#[must_use = "complete the send with `wait_send` (or drop it knowingly)"]
+pub struct SendRequest {
+    /// Destination rank the message was posted to.
+    pub to: usize,
+    /// Tag the message was posted under.
+    pub tag: u64,
+    /// Wire bytes enqueued at post time.
+    pub wire_bytes: usize,
+}
+
+/// Handle for a posted nonblocking receive ([`Transport::irecv`]).
+///
+/// Posting is infallible and purely local: the handle records the
+/// `(from, tag)` the caller wants to match. [`Transport::test_recv`]
+/// may complete it early, caching the payload inside the handle so a
+/// later [`Transport::wait_recv`] returns it without touching the
+/// inbox; a completion observed by `test_recv` is therefore never lost.
+#[derive(Debug)]
+#[must_use = "complete the receive with `wait_recv` or poll it with `test_recv`"]
+pub struct RecvRequest {
+    /// Source rank to match.
+    pub from: usize,
+    /// Tag to match.
+    pub tag: u64,
+    /// Payload cached by an early completion (`test_recv`).
+    done: Option<(Vec<f64>, usize)>,
+}
+
+impl RecvRequest {
+    /// A fresh (incomplete) receive request for `(from, tag)`.
+    pub fn new(from: usize, tag: u64) -> Self {
+        RecvRequest {
+            from,
+            tag,
+            done: None,
+        }
+    }
+
+    /// Whether the request already holds its matched payload.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Store an early-completed payload (used by backends from
+    /// `test_recv`). Panics if the request is already complete.
+    pub fn complete(&mut self, payload: Vec<f64>, wire_bytes: usize) {
+        assert!(self.done.is_none(), "receive request completed twice");
+        self.done = Some((payload, wire_bytes));
+    }
+
+    /// Take the cached payload out of the handle, if any.
+    pub fn take_done(&mut self) -> Option<(Vec<f64>, usize)> {
+        self.done.take()
+    }
+}
+
 /// A point-to-point message carrier for one rank of an SPMD program.
 ///
-/// `send` is non-blocking (buffered); `recv` blocks up to a timeout and
-/// matches on `(from, tag)` with FIFO order per pair. Both return the
-/// number of *wire bytes* moved so the profiler can attribute traffic.
-/// All methods take `&self`: a transport is shared behind the
+/// The required primitives are nonblocking: [`Transport::isend`] posts a
+/// buffered send, [`Transport::wait_recv`] / [`Transport::test_recv`]
+/// retire receives posted with [`Transport::irecv`]. Matching is on
+/// `(from, tag)` with FIFO order per pair. All completion paths return
+/// the number of *wire bytes* moved so the profiler can attribute
+/// traffic. All methods take `&self`: a transport is shared behind the
 /// [`crate::Comm`] owned by its rank's thread, and backends synchronize
 /// internally.
 pub trait Transport: Send {
@@ -62,19 +137,77 @@ pub trait Transport: Send {
     /// Number of ranks.
     fn size(&self) -> usize;
 
-    /// Buffer `payload` for delivery to rank `to` under `tag`. Returns
-    /// the wire bytes enqueued. Fails only when the peer is known dead
-    /// (backends without failure detection may silently drop instead).
-    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError>;
+    /// Post a nonblocking send of `payload` to rank `to` under `tag`.
+    /// The payload is buffered by the backend, so the returned request
+    /// is complete as soon as posting succeeds. Fails only when the
+    /// peer is known dead (backends without failure detection may
+    /// silently drop instead).
+    fn isend(&self, to: usize, tag: u64, payload: &[f64]) -> Result<SendRequest, CommError>;
 
-    /// Block until a message from `from` with `tag` arrives, up to
-    /// `timeout`. Returns the payload and its wire size.
+    /// Post a nonblocking receive for a message from `from` under
+    /// `tag`. Posting is local and infallible; errors surface at
+    /// completion time.
+    fn irecv(&self, from: usize, tag: u64) -> RecvRequest {
+        RecvRequest::new(from, tag)
+    }
+
+    /// Complete a send request, returning the wire bytes moved. Both
+    /// shipped backends buffer sends, so the default returns
+    /// immediately; a backend with real send completion would override
+    /// this and honor `timeout`.
+    fn wait_send(&self, req: SendRequest, _timeout: Duration) -> Result<usize, CommError> {
+        Ok(req.wire_bytes)
+    }
+
+    /// Block until the receive posted as `req` completes (or `timeout`
+    /// expires), returning the payload and its wire size. If
+    /// [`Transport::test_recv`] already completed the request, the
+    /// cached payload is returned without blocking.
+    fn wait_recv(
+        &self,
+        req: RecvRequest,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, usize), CommError>;
+
+    /// Poll a receive request without blocking. Returns `Ok(true)` once
+    /// the matching message has arrived (the payload is cached in the
+    /// handle for the eventual `wait_recv`), `Ok(false)` while it is
+    /// still in flight, and an error if the peer is known dead with no
+    /// matching message left to drain.
+    fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError>;
+
+    /// Complete a batch of receive requests in order, returning their
+    /// payloads. Equivalent to calling [`Transport::wait_recv`] on each
+    /// request; the first failure aborts the batch.
+    fn wait_all_recv(
+        &self,
+        reqs: Vec<RecvRequest>,
+        timeout: Duration,
+    ) -> Result<Vec<(Vec<f64>, usize)>, CommError> {
+        reqs.into_iter()
+            .map(|req| self.wait_recv(req, timeout))
+            .collect()
+    }
+
+    /// Blocking send: post with [`Transport::isend`] and immediately
+    /// complete. Returns the wire bytes enqueued.
+    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+        let req = self.isend(to, tag, payload)?;
+        self.wait_send(req, Duration::ZERO)
+    }
+
+    /// Blocking receive: post with [`Transport::irecv`] and wait up to
+    /// `timeout` for a message from `from` with `tag`. Returns the
+    /// payload and its wire size.
     fn recv(
         &self,
         from: usize,
         tag: u64,
         timeout: Duration,
-    ) -> Result<(Vec<f64>, usize), CommError>;
+    ) -> Result<(Vec<f64>, usize), CommError> {
+        let req = self.irecv(from, tag);
+        self.wait_recv(req, timeout)
+    }
 
     /// Synchronize all ranks. The default is a dissemination barrier
     /// built on `send`/`recv` over the reserved tag band — ⌈log₂ n⌉
@@ -173,7 +306,8 @@ impl MatchingInbox {
     }
 
     /// Move every message already sitting in the channel into the parked
-    /// queue (used before declaring a dead peer's stream exhausted).
+    /// queue (used before declaring a dead peer's stream exhausted, and
+    /// by the nonblocking `try_recv` poll).
     fn drain_pending(&self) {
         while let Ok(msg) = self.rx.try_recv() {
             self.absorb(msg);
@@ -240,6 +374,24 @@ impl MatchingInbox {
                 }
             }
         }
+    }
+
+    /// Nonblocking tag-matched poll; see [`Transport::test_recv`] for
+    /// the contract. Returns the matched payload if one is available
+    /// now, `None` if the caller should poll again later, and an error
+    /// once the peer is known dead with nothing left to drain.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<(Vec<f64>, usize)>, CommError> {
+        if let Some(found) = self.take_parked(from, tag) {
+            return Ok(Some(found));
+        }
+        self.drain_pending();
+        if let Some(found) = self.take_parked(from, tag) {
+            return Ok(Some(found));
+        }
+        if let Some(detail) = self.peer_gone(from) {
+            return Err(CommError::disconnected(self.rank, from, detail).with_tag(tag));
+        }
+        Ok(None)
     }
 }
 
@@ -347,5 +499,48 @@ mod tests {
         })
         .unwrap();
         assert_eq!(inbox.recv(2, 1, T).unwrap().0, vec![5.0]);
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let (tx, rx) = unbounded();
+        let inbox = MatchingInbox::new(0, rx);
+        // Nothing there yet: poll says "in flight", instantly.
+        assert!(inbox.try_recv(1, 3).unwrap().is_none());
+        tx.send(InboxMsg::Data {
+            from: 1,
+            tag: 3,
+            payload: vec![6.0],
+            wire_bytes: 8,
+        })
+        .unwrap();
+        assert_eq!(inbox.try_recv(1, 3).unwrap().unwrap().0, vec![6.0]);
+        // Consumed: a second poll goes back to "in flight".
+        assert!(inbox.try_recv(1, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn try_recv_surfaces_dead_peer_after_drain() {
+        let (tx, rx) = unbounded();
+        let inbox = MatchingInbox::new(0, rx);
+        tx.send(InboxMsg::Data {
+            from: 1,
+            tag: 2,
+            payload: vec![7.0],
+            wire_bytes: 8,
+        })
+        .unwrap();
+        tx.send(InboxMsg::PeerGone {
+            peer: 1,
+            detail: "gone".into(),
+        })
+        .unwrap();
+        // The buffered message still matches...
+        assert_eq!(inbox.try_recv(1, 2).unwrap().unwrap().0, vec![7.0]);
+        // ...then the poll fails fast instead of reporting "in flight".
+        let err = inbox.try_recv(1, 2).unwrap_err();
+        assert!(err.is_disconnected());
+        // A different live peer is unaffected.
+        assert!(inbox.try_recv(2, 2).unwrap().is_none());
     }
 }

@@ -227,6 +227,42 @@ fn tcp_peer_dropping_mid_exchange_surfaces_typed_error() {
 }
 
 #[test]
+fn tcp_peer_dying_between_isend_and_wait_fails_the_request() {
+    // exercise the nonblocking API under peer loss: rank 0 posts an
+    // isend and an irecv towards rank 1, and rank 1 exits after the
+    // first message lands. The posted send completes (buffered at
+    // post), but waiting on the in-flight receive must surface a typed
+    // disconnect naming who waited (rank 0), on whom (peer 1), and for
+    // what (tag 8) — promptly, not at the 10 s receive timeout.
+    let t0 = Instant::now();
+    let results = run_spmd_tcp(2, Duration::from_secs(10), |comm| {
+        if comm.rank() == 1 {
+            // consume rank 0's message so its isend demonstrably made
+            // it out, then die with the reply still owed
+            let got = comm.recv(0, 7).unwrap();
+            assert_eq!(got, vec![1.0, 2.0]);
+            return None;
+        }
+        let send = comm.isend(1, 7, &[1.0, 2.0]).unwrap();
+        // wire bytes = 16 payload bytes plus TCP frame header
+        assert!(comm.wait_send(send).unwrap() >= 16);
+        let reply = comm.irecv(1, 8);
+        Some(comm.wait_recv(reply))
+    })
+    .unwrap();
+    let err = results[0].as_ref().unwrap().as_ref().unwrap_err();
+    assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
+    assert!(err.is_disconnected(), "{err}");
+    assert_eq!(
+        (err.rank, err.peer, err.tag),
+        (0, Some(1), Some(8)),
+        "{err}"
+    );
+    assert!(err.to_string().contains("rank 0"), "{err}");
+    assert!(err.to_string().contains("tag 8"), "{err}");
+}
+
+#[test]
 fn tcp_recv_timeout_is_configurable_and_diagnosed() {
     // rank 1 stays connected but never participates: rank 0's receive
     // must trip the *configured* timeout (not hang) and hint deadlock

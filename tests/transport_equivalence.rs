@@ -4,7 +4,9 @@
 //! match the sequential original on every owned point, on both case
 //! studies, across the Table-1 partitions.
 
-use autocfd::interp::{run_rank, run_rank_traced, verify_owned_regions, RankResult, RankRun};
+use autocfd::interp::{
+    run_parallel_opts, run_rank_opts, run_rank_traced, verify_owned_regions, RankResult, RankRun,
+};
 use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileOptions, Compiled};
 use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
@@ -12,10 +14,10 @@ use std::time::Duration;
 
 /// Execute the compiled program with every rank on its own TCP endpoint
 /// (localhost sockets), returning per-rank results in rank order.
-fn run_over_tcp(c: &Compiled) -> Vec<RankResult> {
+fn run_over_tcp(c: &Compiled, overlap: bool) -> Vec<RankResult> {
     let n = c.spmd_plan.ranks() as usize;
     run_spmd_tcp(n, Duration::from_secs(60), |comm| {
-        run_rank(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm)
+        run_rank_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm, overlap)
     })
     .expect("mesh setup")
     .into_iter()
@@ -23,46 +25,65 @@ fn run_over_tcp(c: &Compiled) -> Vec<RankResult> {
     .expect("rank execution")
 }
 
+/// Every cell of the equivalence matrix — {overlap off, overlap on} ×
+/// {inproc, tcp} — must be bit-exact against the sequential original.
+/// Overlapped sync points change *when* ghost cells arrive (mid-nest,
+/// after the interior chunk) but never *what* arrives, so the fields,
+/// the observable output, and the per-rank traffic counters all stay
+/// identical to blocking mode.
 fn check_transports_agree(src: &str, parts: &[u32]) {
     let c = compile(src, &CompileOptions::with_partition(parts))
         .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
     let seq = c.run_sequential(vec![]).unwrap();
-    let inproc = c.run_parallel(vec![]).unwrap();
-    let tcp = run_over_tcp(&c);
+    let blocking = run_parallel_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, false).unwrap();
 
-    // both transports bit-exact against sequential on every owned point
-    let d = verify_owned_regions(&seq, &inproc, &c.spmd_plan, 0.0).unwrap();
-    assert_eq!(d, 0.0, "{parts:?} inproc");
-    let d = verify_owned_regions(&seq, &tcp, &c.spmd_plan, 0.0).unwrap();
-    assert_eq!(d, 0.0, "{parts:?} tcp");
+    for overlap in [false, true] {
+        let inproc = if overlap {
+            run_parallel_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, true).unwrap()
+        } else {
+            c.run_parallel(vec![]).unwrap()
+        };
+        let tcp = run_over_tcp(&c, overlap);
 
-    // identical observable output (write statements run on rank 0)
-    assert_eq!(seq.0.output, inproc[0].machine.output, "{parts:?}");
-    assert_eq!(inproc[0].machine.output, tcp[0].machine.output, "{parts:?}");
+        // both transports bit-exact against sequential on every owned point
+        let d = verify_owned_regions(&seq, &inproc, &c.spmd_plan, 0.0).unwrap();
+        assert_eq!(d, 0.0, "{parts:?} inproc overlap={overlap}");
+        let d = verify_owned_regions(&seq, &tcp, &c.spmd_plan, 0.0).unwrap();
+        assert_eq!(d, 0.0, "{parts:?} tcp overlap={overlap}");
 
-    for (r, (i, t)) in inproc.iter().zip(&tcp).enumerate() {
-        // the program takes the same communication path on either wire:
-        // identical per-rank message/element/barrier/reduce counts
-        assert_eq!(
-            i.comm_stats, t.comm_stats,
-            "{parts:?} rank {r}: transports disagree on traffic"
-        );
-        // and both visit the same program phases in the same order
-        assert_eq!(i.phases, t.phases, "{parts:?} rank {r}");
+        // identical observable output (write statements run on rank 0)
+        assert_eq!(seq.0.output, inproc[0].machine.output, "{parts:?}");
+        assert_eq!(inproc[0].machine.output, tcp[0].machine.output, "{parts:?}");
+
+        for (r, (i, t)) in inproc.iter().zip(&tcp).enumerate() {
+            // the program takes the same communication path on either
+            // wire — and whether or not exchanges stay in flight:
+            // identical per-rank message/element/barrier/reduce counts
+            assert_eq!(
+                i.comm_stats, t.comm_stats,
+                "{parts:?} rank {r} overlap={overlap}: transports disagree on traffic"
+            );
+            assert_eq!(
+                i.comm_stats, blocking[r].comm_stats,
+                "{parts:?} rank {r}: overlap changed the traffic totals"
+            );
+            // and both visit the same program phases in the same order
+            assert_eq!(i.phases, t.phases, "{parts:?} rank {r}");
+        }
+
+        // TCP wire accounting: framing overhead makes wire bytes strictly
+        // larger than payload bytes, and the mesh conserves them in total
+        let payload: u64 = tcp.iter().map(|t| t.comm_stats.1 * 8).sum();
+        let sent: u64 = tcp.iter().map(|t| t.wire_stats.bytes_sent).sum();
+        let recvd: u64 = tcp.iter().map(|t| t.wire_stats.bytes_recvd).sum();
+        if payload > 0 {
+            assert!(
+                sent > payload,
+                "{parts:?}: {sent} wire vs {payload} payload"
+            );
+        }
+        assert_eq!(sent, recvd, "{parts:?}: every wire byte sent is received");
     }
-
-    // TCP wire accounting: framing overhead makes wire bytes strictly
-    // larger than payload bytes, and the mesh conserves them in total
-    let payload: u64 = tcp.iter().map(|t| t.comm_stats.1 * 8).sum();
-    let sent: u64 = tcp.iter().map(|t| t.wire_stats.bytes_sent).sum();
-    let recvd: u64 = tcp.iter().map(|t| t.wire_stats.bytes_recvd).sum();
-    if payload > 0 {
-        assert!(
-            sent > payload,
-            "{parts:?}: {sent} wire vs {payload} payload"
-        );
-    }
-    assert_eq!(sent, recvd, "{parts:?}: every wire byte sent is received");
 }
 
 #[test]
@@ -131,13 +152,45 @@ fn sprayer_trace_structure_identical_across_transports() {
     check_trace_structure_agrees(&src, &[2, 2]);
 }
 
+/// Both case studies must offer real overlap work: the restructurer
+/// marks sync points whose exchange hides behind a following nest
+/// (directly or through the subroutine call carrying it), and an
+/// overlapped run records the hidden interior compute as `Overlap`
+/// spans on every rank with in-flight receives.
+#[test]
+fn case_studies_expose_and_exercise_overlap() {
+    for (src, parts) in [
+        (
+            aerofoil_program(&CaseParams::aerofoil_small()),
+            vec![3u32, 1, 1],
+        ),
+        (sprayer_program(&CaseParams::sprayer_small()), vec![4, 1]),
+    ] {
+        let c = compile(&src, &CompileOptions::with_partition(&parts)).unwrap();
+        assert!(
+            !c.spmd_plan.overlaps.is_empty(),
+            "{parts:?}: no sync point was recognized as overlappable"
+        );
+        let runs = c.run_parallel_traced_opts(vec![], true);
+        for (r, run) in runs.iter().enumerate() {
+            assert!(run.outcome.is_ok(), "rank {r}");
+            let overlaps = run
+                .trace
+                .iter()
+                .filter(|e| e.kind.name() == "overlap")
+                .count();
+            assert!(overlaps > 0, "{parts:?} rank {r}: no overlap spans traced");
+        }
+    }
+}
+
 #[test]
 fn single_rank_tcp_degenerates_to_sequential() {
     // a 1x1 partition over TCP: no peers, no traffic, same answer
     let src = sprayer_program(&CaseParams::sprayer_small());
     let c = compile(&src, &CompileOptions::with_partition(&[1, 1])).unwrap();
     let seq = c.run_sequential(vec![]).unwrap();
-    let tcp = run_over_tcp(&c);
+    let tcp = run_over_tcp(&c, true);
     assert_eq!(
         verify_owned_regions(&seq, &tcp, &c.spmd_plan, 0.0).unwrap(),
         0.0
