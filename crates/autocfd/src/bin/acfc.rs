@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! acfc [run|trace] INPUT.f [options]
+//! acfc plan INPUT.f [-o plan.json] [compile options]
+//! acfc resume DIR [--verify | --verify-exact] [--profile] [--trace-dir DIR]
 //! acfc stats DIR [--input INPUT.f] [options]
 //!
 //!   --procs N            target processor count (partition chosen automatically)
@@ -29,7 +31,29 @@
 //!                        model mismatch)
 //!   --input FILE         (stats) source file to forecast against, for
 //!                        the predicted-vs-measured table
+//!   --plan FILE          execute against a previously emitted plan JSON
+//!                        instead of the plan this compile produced
+//!   --checkpoint-every N snapshot every N-th checkpoint-safe sync visit
+//!                        (tcp transport; requires --checkpoint-dir)
+//!   --checkpoint-dir DIR where per-epoch snapshots and the relaunch
+//!                        manifest are written
+//!   --verify-exact       like --verify with a zero tolerance: the
+//!                        parallel fields must be bit-identical
+//!   --chaos-abort-after N fault injection: one worker hard-aborts at its
+//!                        N-th checkpoint-safe sync visit (chaos testing)
+//!   -o FILE              (plan) where to write the plan JSON ('-' or
+//!                        absent = stdout)
 //! ```
+//!
+//! `acfc plan INPUT.f -o plan.json` runs the analysis pipeline and
+//! emits the executable [`SpmdPlan`](autocfd::codegen::SpmdPlan) as
+//! schema-versioned JSON; `acfc run --plan plan.json` (and each
+//! `acfd-worker`) then executes against that artifact instead of the
+//! plan its own compile produced. `acfc resume DIR` reloads the
+//! relaunch manifest a checkpointed `acfc run` wrote into DIR, picks the
+//! newest epoch for which every rank has a consistent snapshot
+//! (discarding torn or incomplete epochs), and relaunches the worker
+//! mesh from that cut; the resumed run continues bit-exactly.
 //!
 //! `acfc trace INPUT.f` executes the parallel program with per-rank
 //! JSONL journaling, writes a Perfetto-openable `trace.json`, and prints
@@ -55,6 +79,7 @@
 
 use autocfd::cli::{CommonOpts, TransportKind};
 use autocfd::obs;
+use autocfd::runtime::checkpoint::{self, RunManifest};
 use autocfd::runtime_net::Rendezvous;
 use autocfd::{compile, Compiled, Error};
 use std::path::{Path, PathBuf};
@@ -69,10 +94,15 @@ enum Mode {
     Trace,
     /// Re-render a previously written trace directory.
     Stats,
+    /// Emit the SpmdPlan as schema-versioned JSON.
+    Plan,
+    /// Relaunch a checkpointed run from its newest consistent epoch.
+    Resume,
 }
 
 struct Args {
-    /// Input source file — or the trace directory in `stats` mode.
+    /// Input source file — or the trace/checkpoint directory in
+    /// `stats`/`resume` mode.
     input: String,
     /// The flags shared by every subcommand and the worker.
     common: CommonOpts,
@@ -81,12 +111,16 @@ struct Args {
     analysis: bool,
     run: bool,
     verify: bool,
+    /// `--verify-exact`: verify with a zero tolerance.
+    verify_exact: bool,
     mode: Mode,
     tolerance: f64,
     min_coverage: f64,
     check: bool,
     /// `stats` only: source file for the predicted-vs-measured table.
     stats_input: Option<String>,
+    /// `plan` only: output path for the plan JSON.
+    plan_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,13 +132,16 @@ fn parse_args() -> Result<Args, String> {
     let mut analysis = false;
     let mut run = false;
     let mut verify = false;
+    let mut verify_exact = false;
     let mut mode = Mode::Compile;
     let mut tolerance = 0.05;
     let mut min_coverage = 0.9;
     let mut check = false;
     let mut stats_input = None;
+    let mut plan_out = None;
     // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`;
-    // `trace` and `stats` select the observability modes
+    // `trace` and `stats` select the observability modes, `plan` emits
+    // the plan artifact, `resume` relaunches a checkpointed run
     match args.peek().map(String::as_str) {
         Some("run") => {
             args.next();
@@ -117,6 +154,14 @@ fn parse_args() -> Result<Args, String> {
         Some("stats") => {
             args.next();
             mode = Mode::Stats;
+        }
+        Some("plan") => {
+            args.next();
+            mode = Mode::Plan;
+        }
+        Some("resume") => {
+            args.next();
+            mode = Mode::Resume;
         }
         _ => {}
     }
@@ -140,13 +185,21 @@ fn parse_args() -> Result<Args, String> {
             "--analysis" => analysis = true,
             "--run" => run = true,
             "--verify" => verify = true,
+            "--verify-exact" => {
+                verify = true;
+                verify_exact = true;
+            }
+            "-o" | "--output" => plan_out = Some(args.next().ok_or("-o needs a path or -")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: acfc [run|trace] INPUT.f [--procs N | --partition AxB[xC]] \
                             [--distance D] [--no-optimize] [--emit FILE|-] [--report] \
-                            [--analysis] [--profile] [--run] [--verify] [--overlap] \
-                            [--transport inproc|tcp] [--ranks N] [--timeout-ms N] \
-                            [--trace-dir DIR] [--tolerance T] [--check]\n\
+                            [--analysis] [--profile] [--run] [--verify] [--verify-exact] \
+                            [--overlap] [--transport inproc|tcp] [--ranks N] \
+                            [--timeout-ms N] [--trace-dir DIR] [--tolerance T] [--check] \
+                            [--plan FILE] [--checkpoint-every N] [--checkpoint-dir DIR]\n\
+                     or:    acfc plan INPUT.f [-o plan.json] [compile options]\n\
+                     or:    acfc resume DIR [--verify | --verify-exact] [--profile]\n\
                      or:    acfc stats DIR [--input INPUT.f] [--tolerance T] \
                             [--min-coverage C] [--check] [compile options]"
                         .into(),
@@ -165,23 +218,22 @@ fn parse_args() -> Result<Args, String> {
         analysis,
         run,
         verify,
+        verify_exact,
         mode,
         tolerance,
         min_coverage,
         check,
         stats_input,
+        plan_out,
     })
 }
 
-/// Launch one `acfd-worker` process per rank against a rendezvous
-/// socket, stream their output through, and aggregate exit statuses.
-/// With `journal`, workers write per-rank JSONL journals into that
-/// directory (even when they fail mid-run). A worker exiting with the
-/// validation code makes the whole launch a validation failure;
-/// anything else is a runtime failure.
-fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(), Error> {
-    let runtime_err = |msg: String| Error::Runtime(autocfd::interp::RunError::new(msg));
-    let n = compiled.spmd_plan.ranks() as usize;
+fn runtime_err(msg: String) -> Error {
+    Error::Runtime(autocfd::interp::RunError::new(msg))
+}
+
+/// Locate the `acfd-worker` binary next to this executable.
+fn worker_binary() -> Result<PathBuf, Error> {
     let worker = std::env::current_exe()
         .map_err(|e| runtime_err(format!("cannot locate own executable: {e}")))?
         .with_file_name("acfd-worker");
@@ -191,38 +243,31 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
             worker.display()
         )));
     }
+    Ok(worker)
+}
 
+/// Launch `n` `acfd-worker` processes against a rendezvous socket,
+/// stream their output through, and aggregate exit statuses;
+/// `extra_args(i)` supplies each spawned worker's argument list beyond
+/// `--connect ADDR` (workers are numbered by spawn order — *ranks* are
+/// assigned by arrival at the rendezvous). A worker exiting with the
+/// validation code makes the whole launch a validation failure;
+/// anything else — including a chaos-aborted worker — is a runtime
+/// failure.
+fn launch_workers(n: usize, extra_args: impl Fn(usize) -> Vec<String>) -> Result<(), Error> {
+    let worker = worker_binary()?;
     let rendezvous = Rendezvous::bind(n, Duration::from_secs(30))
         .map_err(|e| runtime_err(format!("cannot bind rendezvous socket: {e}")))?;
     let addr = rendezvous.local_addr();
     let server = rendezvous.spawn();
     eprintln!("acfc: rendezvous on {addr}, spawning {n} worker process(es)");
 
-    // every worker re-compiles with the *resolved* partition so all
-    // processes hold the identical plan, however the shape was chosen
-    let partition_arg = compiled
-        .partition
-        .spec
-        .parts
-        .iter()
-        .map(u32::to_string)
-        .collect::<Vec<_>>()
-        .join("x");
     let mut children = Vec::with_capacity(n);
-    for rank in 0..n {
+    for i in 0..n {
         let mut cmd = std::process::Command::new(&worker);
-        cmd.arg(&args.input)
+        cmd.args(extra_args(i))
             .arg("--connect")
-            .arg(addr.to_string())
-            .arg("--partition")
-            .arg(&partition_arg)
-            .args(args.common.worker_args());
-        if args.verify {
-            cmd.arg("--verify");
-        }
-        if let Some(dir) = journal {
-            cmd.arg("--journal").arg(dir.as_os_str());
-        }
+            .arg(addr.to_string());
         match cmd.spawn() {
             Ok(child) => children.push(child),
             Err(e) => {
@@ -230,7 +275,7 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
                     let _ = c.kill();
                     let _ = c.wait();
                 }
-                return Err(runtime_err(format!("cannot spawn worker {rank}: {e}")));
+                return Err(runtime_err(format!("cannot spawn worker {i}: {e}")));
             }
         }
     }
@@ -262,6 +307,218 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
     } else {
         Err(runtime_err(failures.join("; ")))
     }
+}
+
+/// The dependence-distance limit a compile actually used (option >
+/// directive > default), recorded in the relaunch manifest so `acfc
+/// resume` recompiles the identical program.
+fn effective_distance(args: &Args, compiled: &Compiled) -> u64 {
+    args.common
+        .compile
+        .distance
+        .or(compiled.ir.directives.distance.map(u64::from))
+        .unwrap_or(1)
+}
+
+/// Launch a multi-process run: one `acfd-worker` per rank. With
+/// checkpointing on, first write the relaunch manifest (and the source
+/// it embeds) into the checkpoint directory so `acfc resume DIR` can
+/// reconstruct the identical compile. A `--chaos-abort-after` request
+/// is injected into exactly one spawned worker.
+fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(), Error> {
+    let n = compiled.spmd_plan.ranks() as usize;
+    let ckpt = args.common.checkpointing().map_err(runtime_err)?;
+    if let Some((every, dir)) = &ckpt {
+        let source = std::fs::read_to_string(&args.input)
+            .map_err(|e| runtime_err(format!("cannot re-read `{}`: {e}", args.input)))?;
+        let manifest = RunManifest {
+            source,
+            parts: compiled.partition.spec.parts.clone(),
+            ranks: n,
+            distance: effective_distance(args, compiled) as i64,
+            optimize: args.common.compile.optimize,
+            overlap: args.common.overlap,
+            checkpoint_every: *every,
+            timeout_ms: args
+                .common
+                .timeout_ms
+                .unwrap_or(Duration::from_secs(30).as_millis() as u64),
+        };
+        checkpoint::write_manifest(Path::new(dir), &manifest)
+            .map_err(|e| runtime_err(format!("cannot write relaunch manifest: {e}")))?;
+    }
+
+    // every worker re-compiles with the *resolved* partition so all
+    // processes hold the identical plan, however the shape was chosen
+    let partition_arg = compiled
+        .partition
+        .spec
+        .parts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    launch_workers(n, |i| {
+        let mut a = vec![
+            args.input.clone(),
+            "--partition".into(),
+            partition_arg.clone(),
+        ];
+        a.extend(args.common.worker_args());
+        if args.verify_exact {
+            a.push("--verify-exact".into());
+        } else if args.verify {
+            a.push("--verify".into());
+        }
+        if let Some(dir) = journal {
+            a.push("--journal".into());
+            a.push(dir.to_string_lossy().into_owned());
+        }
+        if i == 0 {
+            if let Some(v) = args.common.chaos_abort_after {
+                a.push("--chaos-abort-after".into());
+                a.push(v.to_string());
+            }
+        }
+        a
+    })
+}
+
+/// `acfc resume DIR`: reload the relaunch manifest, recompile the
+/// embedded source (statement ids are minted deterministically, so the
+/// saved cursors stay valid), find the newest epoch with a complete
+/// consistent snapshot set — torn or partial epochs are skipped — and
+/// relaunch the worker mesh from it.
+fn run_resume(args: &Args) -> ExitCode {
+    let dir = PathBuf::from(&args.input);
+    let manifest = match checkpoint::load_manifest(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = autocfd::CompileOptions {
+        partition: Some(manifest.parts.clone()),
+        distance: Some(manifest.distance as u64),
+        optimize: manifest.optimize,
+        ..Default::default()
+    };
+    let compiled = match compile(&manifest.source, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("acfc: manifest source no longer compiles: {e}");
+            return exit_with(&Error::Compile(e));
+        }
+    };
+    let n = manifest.ranks;
+    if compiled.spmd_plan.ranks() as usize != n {
+        eprintln!(
+            "acfc: manifest claims {n} ranks but its partition compiles to {}",
+            compiled.spmd_plan.ranks()
+        );
+        return exit_with(&Error::Validation("manifest/partition mismatch".into()));
+    }
+    let epoch = match checkpoint::latest_consistent_epoch(&dir, n) {
+        Some(e) => e,
+        None => {
+            let err = runtime_err(format!(
+                "no consistent checkpoint epoch under `{}` (need all {n} rank snapshots \
+                 of one epoch to parse and agree)",
+                dir.display()
+            ));
+            eprintln!("acfc: {err}");
+            return exit_with(&err);
+        }
+    };
+    eprintln!(
+        "acfc: resuming from checkpoint epoch {epoch} in {}",
+        dir.display()
+    );
+
+    // workers re-read the source from disk; hand them the manifest's
+    // embedded copy, which is the authority even if the original file
+    // changed since the checkpointed launch
+    let source_path = dir.join("source.f");
+    if let Err(e) = std::fs::write(&source_path, &manifest.source) {
+        eprintln!("acfc: cannot write `{}`: {e}", source_path.display());
+        return ExitCode::FAILURE;
+    }
+    // `--trace-dir` journals the resumed run, so `acfc stats --check`
+    // can validate a post-recovery execution like any other
+    let journal_dir = args.common.trace_dir.clone().map(PathBuf::from);
+    if let Some(d) = &journal_dir {
+        if let Err(e) = obs::clean_trace_dir(d) {
+            eprintln!("acfc: cannot clean `{}`: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let partition_arg = manifest
+        .parts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    let result = launch_workers(n, |_| {
+        let mut a = vec![
+            source_path.to_string_lossy().into_owned(),
+            "--partition".into(),
+            partition_arg.clone(),
+            "--distance".into(),
+            manifest.distance.to_string(),
+            "--timeout-ms".into(),
+            manifest.timeout_ms.to_string(),
+            "--checkpoint-every".into(),
+            manifest.checkpoint_every.to_string(),
+            "--checkpoint-dir".into(),
+            dir.to_string_lossy().into_owned(),
+            "--resume-epoch".into(),
+            epoch.to_string(),
+        ];
+        if !manifest.optimize {
+            a.push("--no-optimize".into());
+        }
+        if manifest.overlap {
+            a.push("--overlap".into());
+        }
+        if args.verify_exact {
+            a.push("--verify-exact".into());
+        } else if args.verify {
+            a.push("--verify".into());
+        }
+        if args.common.profile {
+            a.push("--profile".into());
+        }
+        if let Some(d) = &journal_dir {
+            a.push("--journal".into());
+            a.push(d.to_string_lossy().into_owned());
+        }
+        a
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            exit_with(&e)
+        }
+    }
+}
+
+/// `acfc plan INPUT.f -o plan.json`: emit the compiled SpmdPlan as
+/// schema-versioned JSON (stdout when `-o` is `-` or absent).
+fn run_plan(args: &Args, compiled: &Compiled) -> ExitCode {
+    let text = autocfd::codegen::to_json(&compiled.spmd_plan);
+    match args.plan_out.as_deref() {
+        None | Some("-") => println!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("acfc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("acfc: plan written to {path}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Validate a merged trace: complete journals, at least one
@@ -466,6 +723,9 @@ fn main() -> ExitCode {
     if args.mode == Mode::Stats {
         return run_stats(&args);
     }
+    if args.mode == Mode::Resume {
+        return run_resume(&args);
+    }
     let source = match std::fs::read_to_string(&args.input) {
         Ok(s) => s,
         Err(e) => {
@@ -473,13 +733,54 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compile(&source, &args.common.compile) {
+    let mut compiled = match compile(&source, &args.common.compile) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("acfc: {e}");
             return exit_with(&Error::Compile(e));
         }
     };
+    // `--plan plan.json`: execute against a previously emitted plan
+    // artifact instead of the plan this compile just produced
+    if let Some(path) = &args.common.plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("acfc: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match autocfd::codegen::from_json(&text) {
+            Ok(plan) if plan.ranks() == compiled.spmd_plan.ranks() => compiled.spmd_plan = plan,
+            Ok(plan) => {
+                let e = Error::Validation(format!(
+                    "plan `{path}` targets {} ranks but the compile produced {}",
+                    plan.ranks(),
+                    compiled.spmd_plan.ranks()
+                ));
+                eprintln!("acfc: {e}");
+                return exit_with(&e);
+            }
+            Err(e) => {
+                eprintln!("acfc: `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.mode == Mode::Plan {
+        return run_plan(&args, &compiled);
+    }
+    match args.common.checkpointing() {
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(Some(_)) if args.common.transport != TransportKind::Tcp => {
+            eprintln!("acfc: checkpointing requires --transport tcp (one process per rank)");
+            return ExitCode::FAILURE;
+        }
+        _ => {}
+    }
 
     eprintln!(
         "acfc: partition {} ({} subtasks), {} -> {} synchronizations ({:.1}% reduction)",
@@ -571,7 +872,8 @@ fn main() -> ExitCode {
             return exit_with(&e);
         }
     } else if args.verify {
-        match compiled.verify_opts(vec![], 1e-12, args.common.overlap) {
+        let tol = if args.verify_exact { 0.0 } else { 1e-12 };
+        match compiled.verify_opts(vec![], tol, args.common.overlap) {
             Ok(d) => eprintln!("acfc: verified — max |seq - par| = {d:e}"),
             Err(e) => {
                 eprintln!("acfc: VERIFICATION FAILED: {e}");

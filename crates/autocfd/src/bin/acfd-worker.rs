@@ -13,7 +13,10 @@
 //! ```text
 //! acfd-worker INPUT.f --connect HOST:PORT [--partition AxB[xC]]
 //!             [--procs N] [--distance D] [--no-optimize] [--overlap]
-//!             [--timeout-ms N] [--verify] [--profile] [--journal DIR]
+//!             [--timeout-ms N] [--verify] [--verify-exact] [--profile]
+//!             [--journal DIR] [--plan plan.json]
+//!             [--checkpoint-every N] [--checkpoint-dir DIR]
+//!             [--resume-epoch E] [--chaos-abort-after N]
 //! ```
 //!
 //! With `--journal DIR` the worker appends its rank's JSONL trace
@@ -22,12 +25,23 @@
 //! `--overlap`, eligible sync points keep their last-axis exchange in
 //! flight while the following nest's interior computes.
 //!
+//! With `--checkpoint-every N --checkpoint-dir DIR` the rank snapshots
+//! its full interpreter state every N-th checkpoint-safe sync visit.
+//! `--resume-epoch E` restores rank state from `DIR/epoch-E/` — the
+//! snapshot is loaded *after* the mesh join assigns this process its
+//! rank — and continues bit-exactly. `--plan plan.json` substitutes a
+//! previously emitted plan artifact for the one the local compile
+//! produced. `--chaos-abort-after N` (fault injection for the chaos
+//! tests) aborts the whole process at the N-th checkpoint-safe sync
+//! visit, before any journal flush — a deliberate hard crash.
+//!
 //! Exit status: 0 on success; the launcher aggregates the same distinct
 //! failure codes `acfc` uses — 2 compile, 3 runtime/communication,
 //! 4 verification (see [`autocfd::Error::exit_code`]).
 
 use autocfd::cli::CommonOpts;
-use autocfd::interp::{run_rank_traced_opts, verify_rank_owned_region, RankResult};
+use autocfd::interp::{run_rank_traced_full, verify_rank_owned_region, CheckpointOpts, RankResult};
+use autocfd::runtime::checkpoint::{load_snapshot, rank_snapshot_path, Snapshot};
 use autocfd::runtime::{wire_by_phase, Comm, Transport};
 use autocfd::runtime_net::{MeshConfig, TcpTransport};
 use autocfd::{compile, obs, Error};
@@ -41,7 +55,9 @@ struct Args {
     connect: SocketAddr,
     common: CommonOpts,
     verify: bool,
+    verify_exact: bool,
     journal: Option<PathBuf>,
+    resume_epoch: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,7 +66,9 @@ fn parse_args() -> Result<Args, String> {
     let mut connect = None;
     let mut common = CommonOpts::new();
     let mut verify = false;
+    let mut verify_exact = false;
     let mut journal = None;
+    let mut resume_epoch = None;
     while let Some(a) = args.next() {
         if common.accept(&a, &mut args)? {
             continue;
@@ -61,12 +79,23 @@ fn parse_args() -> Result<Args, String> {
                 connect = Some(v.parse().map_err(|_| format!("bad address `{v}`"))?);
             }
             "--verify" => verify = true,
+            "--verify-exact" => {
+                verify = true;
+                verify_exact = true;
+            }
             "--journal" => journal = Some(PathBuf::from(args.next().ok_or("--journal needs DIR")?)),
+            "--resume-epoch" => {
+                let v = args.next().ok_or("--resume-epoch needs a value")?;
+                resume_epoch = Some(v.parse().map_err(|_| format!("bad epoch `{v}`"))?);
+            }
             "--help" | "-h" => {
                 return Err("usage: acfd-worker INPUT.f --connect HOST:PORT \
                             [--procs N | --partition AxB[xC]] [--distance D] \
                             [--no-optimize] [--overlap] [--timeout-ms N] [--verify] \
-                            [--profile] [--journal DIR]"
+                            [--verify-exact] [--profile] [--journal DIR] \
+                            [--plan plan.json] [--checkpoint-every N] \
+                            [--checkpoint-dir DIR] [--resume-epoch E] \
+                            [--chaos-abort-after N]"
                     .into())
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(a),
@@ -74,12 +103,17 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     common.finish();
+    if resume_epoch.is_some() && common.checkpoint_dir.is_none() {
+        return Err("--resume-epoch needs --checkpoint-dir DIR".into());
+    }
     Ok(Args {
         input: input.ok_or("no input file (try --help)")?,
         connect: connect.ok_or("no rendezvous address (--connect HOST:PORT)")?,
         common,
         verify,
+        verify_exact,
         journal,
+        resume_epoch,
     })
 }
 
@@ -98,11 +132,62 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compile(&source, &args.common.compile) {
+    let mut compiled = match compile(&source, &args.common.compile) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("acfd-worker: {e}");
             return ExitCode::from(Error::Compile(e).exit_code());
+        }
+    };
+    // `--plan plan.json`: substitute the previously emitted plan
+    // artifact for the one the local compile produced
+    if let Some(path) = &args.common.plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("acfd-worker: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match autocfd::codegen::from_json(&text) {
+            Ok(plan) if plan.ranks() == compiled.spmd_plan.ranks() => compiled.spmd_plan = plan,
+            Ok(plan) => {
+                eprintln!(
+                    "acfd-worker: plan `{path}` targets {} ranks, compile produced {}",
+                    plan.ranks(),
+                    compiled.spmd_plan.ranks()
+                );
+                return ExitCode::from(
+                    Error::Validation("plan/partition mismatch".into()).exit_code(),
+                );
+            }
+            Err(e) => {
+                eprintln!("acfd-worker: `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ckpt = match args.common.checkpointing() {
+        Ok(resolved) => {
+            let chaos = args.common.chaos_abort_after;
+            match resolved {
+                Some((every, dir)) => Some(CheckpointOpts {
+                    every,
+                    dir: PathBuf::from(dir),
+                    chaos_abort_after: chaos,
+                }),
+                // chaos injection works without a snapshot directory:
+                // visits are counted either way
+                None => chaos.map(|n| CheckpointOpts {
+                    every: 0,
+                    dir: PathBuf::new(),
+                    chaos_abort_after: Some(n),
+                }),
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
     };
 
@@ -115,21 +200,54 @@ fn main() -> ExitCode {
     };
     let rank = Transport::rank(&transport);
     let ranks_total = compiled.spmd_plan.ranks() as usize;
+    // the snapshot can only be picked once the mesh join has assigned
+    // this process its rank — workers are interchangeable until then
+    let resume: Option<Snapshot> = match args.resume_epoch {
+        None => None,
+        Some(epoch) => {
+            let dir = PathBuf::from(args.common.checkpoint_dir.as_deref().unwrap_or(""));
+            match load_snapshot(&rank_snapshot_path(&dir, epoch, rank)) {
+                Ok(s) if s.ranks == ranks_total => Some(s),
+                Ok(s) => {
+                    eprintln!(
+                        "acfd-worker[rank {rank}]: snapshot is for a {}-rank mesh, not {ranks_total}",
+                        s.ranks
+                    );
+                    return ExitCode::from(3);
+                }
+                Err(e) => {
+                    eprintln!("acfd-worker[rank {rank}]: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    };
     let timeout = args
         .common
         .timeout_ms
         .map(Duration::from_millis)
         .unwrap_or(Duration::from_secs(30));
     let comm = Comm::new(Box::new(transport), timeout, Instant::now());
-    let run = run_rank_traced_opts(
+    let run = run_rank_traced_full(
         &compiled.parallel_file,
         &compiled.spmd_plan,
         vec![],
         0,
         &comm,
         args.common.overlap,
+        ckpt,
+        resume.as_ref(),
     );
     drop(comm); // closes this rank's mesh endpoint
+
+    // a chaos-injected failure simulates a hard crash: abort without
+    // flushing the journal, exactly like a killed process would
+    if let Err(e) = &run.outcome {
+        if e.to_string().contains("chaos-abort") {
+            eprintln!("acfd-worker[rank {rank}]: {e}");
+            std::process::abort();
+        }
+    }
 
     // flush the journal before looking at the outcome: a failed rank's
     // partial trace is exactly what the launcher renders for debugging
@@ -179,7 +297,8 @@ fn main() -> ExitCode {
                 return ExitCode::from(Error::Runtime(e).exit_code());
             }
         };
-        match verify_rank_owned_region(&seq, &rr, rank, &compiled.spmd_plan, 1e-12) {
+        let tol = if args.verify_exact { 0.0 } else { 1e-12 };
+        match verify_rank_owned_region(&seq, &rr, rank, &compiled.spmd_plan, tol) {
             Ok(d) => eprintln!("acfd-worker[rank {rank}]: verified — max |seq - par| = {d:e}"),
             Err(e) => {
                 eprintln!("acfd-worker[rank {rank}]: VERIFICATION FAILED: {e}");

@@ -41,6 +41,19 @@ pub struct CommonOpts {
     /// `--overlap` — hide eligible halo exchanges behind interior
     /// computation (nonblocking sync points).
     pub overlap: bool,
+    /// `--checkpoint-every N` — snapshot every N-th checkpoint-safe
+    /// sync visit (requires `--checkpoint-dir`).
+    pub checkpoint_every: Option<u64>,
+    /// `--checkpoint-dir DIR` — where per-epoch snapshots are written
+    /// (implies a cadence of 1 when `--checkpoint-every` is absent).
+    pub checkpoint_dir: Option<String>,
+    /// `--plan FILE` — execute against a previously emitted plan JSON
+    /// (`acfc plan`) instead of the plan this compile produced.
+    pub plan: Option<String>,
+    /// `--chaos-abort-after N` — fault injection for the chaos tests:
+    /// abort the rank at its N-th checkpoint-safe sync visit. The
+    /// launcher injects this into a single worker, never the whole mesh.
+    pub chaos_abort_after: Option<u64>,
 }
 
 impl CommonOpts {
@@ -96,6 +109,24 @@ impl CommonOpts {
             "--trace-dir" => {
                 self.trace_dir = Some(rest.next().ok_or("--trace-dir needs a path")?);
             }
+            "--checkpoint-every" => {
+                let v = rest.next().ok_or("--checkpoint-every needs a value")?;
+                self.checkpoint_every = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad checkpoint cadence `{v}`"))?,
+                );
+            }
+            "--checkpoint-dir" => {
+                self.checkpoint_dir = Some(rest.next().ok_or("--checkpoint-dir needs a path")?);
+            }
+            "--plan" => self.plan = Some(rest.next().ok_or("--plan needs a path")?),
+            "--chaos-abort-after" => {
+                let v = rest.next().ok_or("--chaos-abort-after needs a value")?;
+                self.chaos_abort_after = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad chaos visit count `{v}`"))?,
+                );
+            }
             "--no-optimize" => self.compile.optimize = false,
             "--profile" => self.profile = true,
             "--overlap" => self.overlap = true,
@@ -109,6 +140,17 @@ impl CommonOpts {
     pub fn finish(&mut self) {
         if let (Some(n), None) = (self.ranks, &self.compile.partition) {
             self.compile.procs = Some(n);
+        }
+    }
+
+    /// The resolved checkpoint cadence and directory, when checkpointing
+    /// was requested: `--checkpoint-dir` alone implies a cadence of 1;
+    /// `--checkpoint-every` without a directory is a usage error.
+    pub fn checkpointing(&self) -> Result<Option<(u64, String)>, String> {
+        match (self.checkpoint_every, &self.checkpoint_dir) {
+            (Some(_), None) => Err("--checkpoint-every needs --checkpoint-dir DIR".into()),
+            (every, Some(dir)) => Ok(Some((every.unwrap_or(1), dir.clone()))),
+            (None, None) => Ok(None),
         }
     }
 
@@ -134,6 +176,21 @@ impl CommonOpts {
         if self.overlap {
             out.push("--overlap".into());
         }
+        if let Some(n) = self.checkpoint_every {
+            out.push("--checkpoint-every".into());
+            out.push(n.to_string());
+        }
+        if let Some(dir) = &self.checkpoint_dir {
+            out.push("--checkpoint-dir".into());
+            out.push(dir.clone());
+        }
+        if let Some(plan) = &self.plan {
+            out.push("--plan".into());
+            out.push(plan.clone());
+        }
+        // --chaos-abort-after is deliberately NOT forwarded here: the
+        // launcher injects it into exactly one worker, so a chaos run
+        // kills one rank, not the whole mesh
         out
     }
 }
@@ -191,6 +248,36 @@ mod tests {
         assert!(parse(&["--ranks", "many"]).is_err());
         assert!(parse(&["--partition", "2xtwo"]).is_err());
         assert!(parse(&["--timeout-ms"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_resolve_and_forward() {
+        let (opts, _) = parse(&[
+            "--checkpoint-dir",
+            "ck",
+            "--plan",
+            "p.json",
+            "--chaos-abort-after",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(opts.checkpointing().unwrap(), Some((1, "ck".into())));
+        assert_eq!(opts.chaos_abort_after, Some(3));
+        let words = opts.worker_args();
+        assert!(words.contains(&"--checkpoint-dir".to_string()));
+        assert!(words.contains(&"--plan".to_string()));
+        assert!(
+            !words.contains(&"--chaos-abort-after".to_string()),
+            "chaos is injected into one worker by the launcher, never forwarded"
+        );
+
+        let (opts, _) = parse(&["--checkpoint-every", "4", "--checkpoint-dir", "ck"]).unwrap();
+        assert_eq!(opts.checkpointing().unwrap(), Some((4, "ck".into())));
+        assert!(parse(&["--checkpoint-every", "4"])
+            .unwrap()
+            .0
+            .checkpointing()
+            .is_err());
     }
 
     #[test]

@@ -60,6 +60,7 @@
 pub mod cli;
 pub mod obs;
 pub mod prelude;
+pub mod transport;
 
 /// Compile-checks the README's library-usage example: its `rust` code
 /// block runs as a doctest, so the documented entry points can never

@@ -1,0 +1,24 @@
+//! One import path for the whole transport layer.
+//!
+//! The transport implementations live in two crates for dependency
+//! reasons: [`InprocTransport`] sits in `autocfd-runtime` next to the
+//! [`Transport`] contract it implements, while [`TcpTransport`] needs a
+//! wire codec and a rendezvous protocol and lives in
+//! `autocfd-runtime-net` (which depends on `autocfd-runtime`; the
+//! reverse edge would be a cycle). Downstream code should not have to
+//! know that split — this module re-exports both backends, the
+//! communicator, the request handles, and the typed error surface under
+//! a single `autocfd::transport` path:
+//!
+//! ```
+//! use autocfd::transport::{Comm, InprocTransport, TcpTransport};
+//! ```
+//!
+//! Everything here is a re-export; the originals remain available at
+//! their defining crates for code that already imports them from there.
+
+pub use autocfd_runtime::transport::{
+    InprocTransport, MatchingInbox, RecvRequest, SendRequest, Transport, WireStats,
+};
+pub use autocfd_runtime::{Comm, CommError, CommErrorKind, CommStats, ReduceOp};
+pub use autocfd_runtime_net::{MeshConfig, Rendezvous, TcpTransport, HEARTBEAT_INTERVAL};

@@ -35,8 +35,12 @@
 
 pub mod analyze;
 pub mod plan;
+pub mod plan_json;
 pub mod restructure;
 
 pub use analyze::{detect_reductions, loop_axis, ReduceOpKind, Reduction};
-pub use plan::{PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncSpec};
+pub use plan::{
+    OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
+};
+pub use plan_json::{from_json, to_json, PLAN_SCHEMA_VERSION};
 pub use restructure::{transform, TransformError};

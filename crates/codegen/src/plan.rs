@@ -120,6 +120,15 @@ pub struct SpmdPlan {
     /// rank holds the complete field (ranks otherwise only own their
     /// subgrid).
     pub fills: BTreeMap<u32, Vec<String>>,
+    /// Checkpoint-safe synchronization points: sync id → the id of its
+    /// `call acf_sync_<id>` statement *in the main program unit*. At the
+    /// start of such a call every rank has drained its pending requests
+    /// (the hook set completes in-flight receives before dispatching any
+    /// sync) and the control stack is just the main unit, so the
+    /// interpreter state is fully restorable from a per-rank snapshot.
+    /// Syncs hoisted into subroutines are excluded — their call-stack
+    /// context cannot be re-entered from a flat cursor.
+    pub checkpoint_syncs: BTreeMap<u32, StmtId>,
     /// Table-1 statistics carried through from the sync plan.
     pub sync_before: u64,
     /// See [`SpmdPlan::sync_before`].
@@ -161,6 +170,7 @@ mod tests {
             self_loops: BTreeMap::new(),
             reduces: vec![],
             fills: BTreeMap::new(),
+            checkpoint_syncs: BTreeMap::new(),
             sync_before: 0,
             sync_after: 0,
         };
@@ -201,6 +211,7 @@ mod tests {
                 op: "max".into(),
             }],
             fills: BTreeMap::new(),
+            checkpoint_syncs: BTreeMap::from([(0, StmtId(3))]),
             sync_before: 5,
             sync_after: 1,
         };

@@ -1,0 +1,520 @@
+//! Schema-versioned JSON serialization of the [`SpmdPlan`].
+//!
+//! `acfc plan INPUT.f -o plan.json` decouples compilation from
+//! execution: the emitted artifact carries everything the SPMD hook set
+//! needs at run time, so `acfc run --plan plan.json` / `acfd-worker
+//! --plan plan.json` can execute a previously generated parallel source
+//! without re-running the analysis pipeline. The format is hand-written
+//! over the vendored JSON value model (the `serde` derives in this tree
+//! are inert stubs); see DESIGN.md §11 for the schema.
+//!
+//! Numbers that must survive exactly (statement ids, ghost widths,
+//! extents) are emitted as JSON integers, which the value model keeps as
+//! `i128` — nothing round-trips through `f64`.
+
+use crate::plan::{
+    OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
+};
+use autocfd_fortran::ast::StmtId;
+use autocfd_grid::{partition, GridShape, PartitionSpec};
+use serde::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// Version of the plan JSON schema. Bump on any incompatible change;
+/// the loader rejects mismatches instead of guessing.
+pub const PLAN_SCHEMA_VERSION: i64 = 1;
+
+fn ints<T: Copy + Into<i128>>(vs: &[T]) -> Value {
+    Value::Arr(vs.iter().map(|&v| Value::Int(v.into())).collect())
+}
+
+fn pipe_steps(steps: &[PipeStep]) -> Value {
+    Value::Arr(
+        steps
+            .iter()
+            .map(|s| {
+                Value::obj(vec![
+                    ("axis", Value::Int(s.axis as i128)),
+                    ("dir", Value::Int(s.dir.into())),
+                    ("width", Value::Int(s.width.into())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render a plan as schema-versioned JSON (compact, deterministic field
+/// order — the artifact is diffable).
+pub fn to_json(plan: &SpmdPlan) -> String {
+    let partition_v = Value::obj(vec![
+        ("extents", ints(&plan.partition.shape.extents)),
+        ("parts", ints(&plan.partition.spec.parts)),
+    ]);
+    let dim_axis = Value::Arr(
+        plan.dim_axis
+            .iter()
+            .map(|(name, axes)| {
+                Value::obj(vec![
+                    ("array", Value::Str(name.clone())),
+                    (
+                        "axes",
+                        Value::Arr(
+                            axes.iter()
+                                .map(|a| match a {
+                                    Some(x) => Value::Int(*x as i128),
+                                    None => Value::Null,
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let syncs = Value::Arr(
+        plan.syncs
+            .values()
+            .map(|s| {
+                Value::obj(vec![
+                    ("id", Value::Int(s.id.into())),
+                    ("merged", Value::Int(s.merged as i128)),
+                    (
+                        "arrays",
+                        Value::Arr(
+                            s.arrays
+                                .iter()
+                                .map(|a| {
+                                    Value::obj(vec![
+                                        ("array", Value::Str(a.array.clone())),
+                                        (
+                                            "ghost",
+                                            Value::Arr(
+                                                a.ghost.iter().map(|g| ints(&g[..])).collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let overlaps = Value::Arr(
+        plan.overlaps
+            .iter()
+            .map(|(sync, o)| {
+                Value::obj(vec![
+                    ("sync", Value::Int((*sync).into())),
+                    ("stmt", Value::Int(o.stmt.0.into())),
+                    ("var", Value::Str(o.var.clone())),
+                    ("axis", Value::Int(o.axis as i128)),
+                    ("low_width", Value::Int(o.low_width.into())),
+                    ("high_width", Value::Int(o.high_width.into())),
+                ])
+            })
+            .collect(),
+    );
+    let self_loops = Value::Arr(
+        plan.self_loops
+            .values()
+            .map(|sl| {
+                Value::obj(vec![
+                    ("id", Value::Int(sl.id.into())),
+                    (
+                        "arrays",
+                        Value::Arr(
+                            sl.arrays
+                                .iter()
+                                .map(|a| {
+                                    Value::obj(vec![
+                                        ("array", Value::Str(a.array.clone())),
+                                        ("forward", pipe_steps(&a.forward)),
+                                        ("mirror", pipe_steps(&a.mirror)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let reduces = Value::Arr(
+        plan.reduces
+            .iter()
+            .map(|r| {
+                Value::obj(vec![
+                    ("var", Value::Str(r.var.clone())),
+                    ("op", Value::Str(r.op.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let fills = Value::Arr(
+        plan.fills
+            .iter()
+            .map(|(id, arrays)| {
+                Value::obj(vec![
+                    ("id", Value::Int((*id).into())),
+                    (
+                        "arrays",
+                        Value::Arr(arrays.iter().map(|a| Value::Str(a.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let checkpoint_syncs = Value::Arr(
+        plan.checkpoint_syncs
+            .iter()
+            .map(|(sync, stmt)| {
+                Value::obj(vec![
+                    ("sync", Value::Int((*sync).into())),
+                    ("stmt", Value::Int(stmt.0.into())),
+                ])
+            })
+            .collect(),
+    );
+    Value::obj(vec![
+        ("version", Value::Int(PLAN_SCHEMA_VERSION.into())),
+        ("partition", partition_v),
+        ("dim_axis", dim_axis),
+        ("syncs", syncs),
+        ("overlaps", overlaps),
+        ("self_loops", self_loops),
+        ("reduces", reduces),
+        ("fills", fills),
+        ("checkpoint_syncs", checkpoint_syncs),
+        ("sync_before", Value::Int(plan.sync_before.into())),
+        ("sync_after", Value::Int(plan.sync_after.into())),
+    ])
+    .to_string()
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("plan JSON: missing `{key}`"))
+}
+
+fn int(v: &Value, key: &str) -> Result<i128, String> {
+    get(v, key)?
+        .as_int()
+        .ok_or_else(|| format!("plan JSON: `{key}` is not an integer"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    u64::try_from(int(v, key)?).map_err(|_| format!("plan JSON: `{key}` out of range"))
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(int(v, key)?).map_err(|_| format!("plan JSON: `{key}` out of range"))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    usize::try_from(int(v, key)?).map_err(|_| format!("plan JSON: `{key}` out of range"))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    Ok(get(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("plan JSON: `{key}` is not a string"))?
+        .to_string())
+}
+
+fn arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    get(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("plan JSON: `{key}` is not an array"))
+}
+
+fn int_vec<T: TryFrom<i128>>(v: &Value, key: &str) -> Result<Vec<T>, String> {
+    arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_int()
+                .and_then(|i| T::try_from(i).ok())
+                .ok_or_else(|| format!("plan JSON: bad element in `{key}`"))
+        })
+        .collect()
+}
+
+fn parse_pipe_steps(v: &Value, key: &str) -> Result<Vec<PipeStep>, String> {
+    arr(v, key)?
+        .iter()
+        .map(|s| {
+            Ok(PipeStep {
+                axis: usize_field(s, "axis")?,
+                dir: int(s, "dir")? as i32,
+                width: u64_field(s, "width")?,
+            })
+        })
+        .collect()
+}
+
+/// Parse a plan back from its JSON rendering. The partition geometry is
+/// validated (axis count, no overpartitioned axis) and *rebuilt* from
+/// shape + spec, so subgrid bounds and neighbor maps are exactly the
+/// ones the compiler would have produced.
+pub fn from_json(text: &str) -> Result<SpmdPlan, String> {
+    let v = json::parse(text).map_err(|e| format!("plan JSON: {e}"))?;
+    let version = int(&v, "version")?;
+    if version != i128::from(PLAN_SCHEMA_VERSION) {
+        return Err(format!(
+            "plan JSON: schema version {version} (this build reads {PLAN_SCHEMA_VERSION})"
+        ));
+    }
+
+    let part = get(&v, "partition")?;
+    let extents: Vec<u64> = int_vec(part, "extents")?;
+    let parts: Vec<u32> = int_vec(part, "parts")?;
+    if extents.is_empty() || extents.len() != parts.len() {
+        return Err(format!(
+            "plan JSON: partition has {} parts for {} grid axes",
+            parts.len(),
+            extents.len()
+        ));
+    }
+    for (a, (&n, &p)) in extents.iter().zip(&parts).enumerate() {
+        if p == 0 || u64::from(p) > n {
+            return Err(format!(
+                "plan JSON: axis {a} of extent {n} cannot be split into {p} parts"
+            ));
+        }
+    }
+    let partition = partition(&GridShape { extents }, &PartitionSpec::new(&parts));
+
+    let mut dim_axis = BTreeMap::new();
+    for d in arr(&v, "dim_axis")? {
+        let axes = arr(d, "axes")?
+            .iter()
+            .map(|a| match a {
+                Value::Null => Ok(None),
+                _ => a
+                    .as_int()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .map(Some)
+                    .ok_or_else(|| "plan JSON: bad axis entry".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        dim_axis.insert(str_field(d, "array")?, axes);
+    }
+
+    let mut syncs = BTreeMap::new();
+    for s in arr(&v, "syncs")? {
+        let id = u32_field(s, "id")?;
+        let arrays = arr(s, "arrays")?
+            .iter()
+            .map(|a| {
+                let ghost = arr(a, "ghost")?
+                    .iter()
+                    .map(|g| {
+                        let pair: Vec<u64> = g
+                            .as_arr()
+                            .filter(|p| p.len() == 2)
+                            .ok_or("plan JSON: ghost entry is not a pair")?
+                            .iter()
+                            .map(|x| {
+                                x.as_int()
+                                    .and_then(|i| u64::try_from(i).ok())
+                                    .ok_or("plan JSON: bad ghost width")
+                            })
+                            .collect::<Result<_, _>>()?;
+                        Ok::<[u64; 2], String>([pair[0], pair[1]])
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(SyncArray {
+                    array: str_field(a, "array")?,
+                    ghost,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        syncs.insert(
+            id,
+            SyncSpec {
+                id,
+                arrays,
+                merged: usize_field(s, "merged")?,
+            },
+        );
+    }
+
+    let mut overlaps = BTreeMap::new();
+    for o in arr(&v, "overlaps")? {
+        overlaps.insert(
+            u32_field(o, "sync")?,
+            OverlapSpec {
+                stmt: StmtId(u32_field(o, "stmt")?),
+                var: str_field(o, "var")?,
+                axis: usize_field(o, "axis")?,
+                low_width: u64_field(o, "low_width")?,
+                high_width: u64_field(o, "high_width")?,
+            },
+        );
+    }
+
+    let mut self_loops = BTreeMap::new();
+    for sl in arr(&v, "self_loops")? {
+        let id = u32_field(sl, "id")?;
+        let arrays = arr(sl, "arrays")?
+            .iter()
+            .map(|a| {
+                Ok::<SelfArraySpec, String>(SelfArraySpec {
+                    array: str_field(a, "array")?,
+                    forward: parse_pipe_steps(a, "forward")?,
+                    mirror: parse_pipe_steps(a, "mirror")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        self_loops.insert(id, SelfLoopSpec { id, arrays });
+    }
+
+    let reduces = arr(&v, "reduces")?
+        .iter()
+        .map(|r| {
+            Ok::<ReduceSpec, String>(ReduceSpec {
+                var: str_field(r, "var")?,
+                op: str_field(r, "op")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+
+    let mut fills = BTreeMap::new();
+    for f in arr(&v, "fills")? {
+        let arrays = arr(f, "arrays")?
+            .iter()
+            .map(|a| {
+                a.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "plan JSON: bad fill array".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        fills.insert(u32_field(f, "id")?, arrays);
+    }
+
+    let mut checkpoint_syncs = BTreeMap::new();
+    for c in arr(&v, "checkpoint_syncs")? {
+        checkpoint_syncs.insert(u32_field(c, "sync")?, StmtId(u32_field(c, "stmt")?));
+    }
+
+    Ok(SpmdPlan {
+        partition,
+        dim_axis,
+        syncs,
+        overlaps,
+        self_loops,
+        reduces,
+        fills,
+        checkpoint_syncs,
+        sync_before: u64_field(&v, "sync_before")?,
+        sync_after: u64_field(&v, "sync_after")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_full_plan() {
+        let p = partition(&GridShape::d2(10, 10), &PartitionSpec::new(&[2, 1]));
+        let plan = SpmdPlan {
+            partition: p,
+            dim_axis: BTreeMap::from([("v".into(), vec![Some(0), None, Some(1)])]),
+            syncs: BTreeMap::from([(
+                0,
+                SyncSpec {
+                    id: 0,
+                    arrays: vec![SyncArray {
+                        array: "v".into(),
+                        ghost: vec![[1, 2], [0, 0]],
+                    }],
+                    merged: 2,
+                },
+            )]),
+            overlaps: BTreeMap::from([(
+                0,
+                OverlapSpec {
+                    stmt: StmtId(7),
+                    var: "i".into(),
+                    axis: 0,
+                    low_width: 1,
+                    high_width: 1,
+                },
+            )]),
+            self_loops: BTreeMap::from([(
+                0,
+                SelfLoopSpec {
+                    id: 0,
+                    arrays: vec![SelfArraySpec {
+                        array: "v".into(),
+                        forward: vec![PipeStep {
+                            axis: 0,
+                            dir: -1,
+                            width: 1,
+                        }],
+                        mirror: vec![PipeStep {
+                            axis: 0,
+                            dir: 1,
+                            width: 1,
+                        }],
+                    }],
+                },
+            )]),
+            reduces: vec![ReduceSpec {
+                var: "err".into(),
+                op: "max".into(),
+            }],
+            fills: BTreeMap::from([(0, vec!["v".into()])]),
+            checkpoint_syncs: BTreeMap::from([(0, StmtId(4))]),
+            sync_before: 5,
+            sync_after: 1,
+        };
+        let text = to_json(&plan);
+        let back = from_json(&text).unwrap();
+        assert_eq!(back, plan);
+        // serialization is deterministic
+        assert_eq!(to_json(&back), text);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let p = partition(&GridShape::d2(4, 4), &PartitionSpec::new(&[1, 1]));
+        let plan = SpmdPlan {
+            partition: p,
+            dim_axis: BTreeMap::new(),
+            syncs: BTreeMap::new(),
+            overlaps: BTreeMap::new(),
+            self_loops: BTreeMap::new(),
+            reduces: vec![],
+            fills: BTreeMap::new(),
+            checkpoint_syncs: BTreeMap::new(),
+            sync_before: 0,
+            sync_after: 0,
+        };
+        let text = to_json(&plan).replace("\"version\":1", "\"version\":99");
+        let err = from_json(&text).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn invalid_partition_rejected_not_panicking() {
+        // 8 parts on an extent-4 axis would make `partition()` panic;
+        // the loader must reject it as a parse error instead
+        let text = r#"{"version":1,"partition":{"extents":[4,4],"parts":[8,1]},
+            "dim_axis":[],"syncs":[],"overlaps":[],"self_loops":[],
+            "reduces":[],"fills":[],"checkpoint_syncs":[],
+            "sync_before":0,"sync_after":0}"#;
+        let err = from_json(text).unwrap_err();
+        assert!(err.contains("cannot be split"), "{err}");
+    }
+
+    #[test]
+    fn garbage_rejected_with_context() {
+        assert!(from_json("not json").unwrap_err().contains("parse error"));
+        assert!(from_json("{}").unwrap_err().contains("version"));
+        let err = from_json(r#"{"version":1}"#).unwrap_err();
+        assert!(err.contains("partition"), "{err}");
+    }
+}

@@ -314,6 +314,26 @@ pub fn transform(
     // ---- rebuild the AST -------------------------------------------------
     let file = edit.apply(&ir.file, &cut_axes);
 
+    // ---- checkpoint-safe sync points ------------------------------------
+    // A sync whose `call acf_sync_<k>` statement sits in the rebuilt
+    // *main* unit can be re-entered on resume from a flat loop cursor;
+    // record its statement id so the checkpoint layer knows where a
+    // snapshot cut is legal. Syncs hoisted into subroutines are excluded
+    // (their call-stack context cannot be reconstructed from a cursor).
+    let mut checkpoint_syncs = BTreeMap::new();
+    if let Some(main) = file.main_unit() {
+        autocfd_fortran::ast::walk_stmts(&main.body, &mut |st| {
+            if let StmtKind::Call { name, .. } = &st.kind {
+                if let Some(id) = name
+                    .strip_prefix("acf_sync_")
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
+                    checkpoint_syncs.insert(id, st.id);
+                }
+            }
+        });
+    }
+
     let spmd = SpmdPlan {
         partition: part.clone(),
         dim_axis: ir
@@ -326,6 +346,7 @@ pub fn transform(
         self_loops,
         reduces,
         fills,
+        checkpoint_syncs,
         sync_before: plan.stats.before,
         sync_after: plan.stats.after,
     };
@@ -518,15 +539,15 @@ fn overlap_spec(
             // nothing but the callee's `acf_init` may run before the
             // nest: any other leading insert or a hook ahead of the
             // call site would complete the exchange early
-            let leading_ok =
-                edit.inserts
-                    .get(&(name.clone(), ListKey::UnitBody))
-                    .is_none_or(|ins| {
-                        ins.iter().all(|(gap, _, kind)| {
-                            *gap > 0
-                                || matches!(kind, StmtKind::Call { name, .. } if name == "acf_init")
-                        })
-                    });
+            let leading_ok = edit
+                .inserts
+                .get(&(name.clone(), ListKey::UnitBody))
+                .is_none_or(|ins| {
+                    ins.iter().all(|(gap, _, kind)| {
+                        *gap > 0
+                            || matches!(kind, StmtKind::Call { name, .. } if name == "acf_init")
+                    })
+                });
             if !leading_ok
                 || edit.before_stmt.contains_key(&(name.clone(), nest.id))
                 || edit.before_stmt.contains_key(&(pt.unit.clone(), top.id))

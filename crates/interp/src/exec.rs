@@ -2,8 +2,8 @@
 
 use crate::machine::{build_frame, ArrayId, Binding, Frame, Machine, RunError};
 use crate::value::Value;
-use autocfd_fortran::ast::{LValue, SourceFile, Stmt, StmtKind, UnitKind};
-use autocfd_runtime::{EventKind, Recorder};
+use autocfd_fortran::ast::{LValue, SourceFile, Stmt, StmtId, StmtKind, UnitKind};
+use autocfd_runtime::{DoProgress, EventKind, Recorder};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -72,6 +72,23 @@ pub trait Hooks {
     fn recorder(&self) -> Option<&dyn Recorder> {
         None
     }
+
+    /// Whether the engine should maintain a resume cursor — the stack of
+    /// top-level `do`-loop positions — and report it through
+    /// [`Hooks::hook_site`]. Off by default (zero overhead); checkpoint
+    /// hooks turn it on.
+    fn wants_cursor(&self) -> bool {
+        false
+    }
+
+    /// Called just before [`Hooks::call`] for every `acf_*` call at the
+    /// main program's call depth, when [`Hooks::wants_cursor`] is on:
+    /// `stmt` is the call statement's identity and `cursor` the enclosing
+    /// top-level `do` loops outermost-first. Together they pin the exact
+    /// execution point a checkpoint must restore to.
+    fn hook_site(&mut self, stmt: StmtId, cursor: &[DoProgress]) {
+        let _ = (stmt, cursor);
+    }
 }
 
 /// The no-op hook set (sequential execution).
@@ -101,6 +118,11 @@ pub struct Exec<'p, H: Hooks> {
     // Monotone count of `acf_*` hook dispatches; a loop whose body left
     // it unchanged was communication-free.
     hook_calls: u64,
+    // Resume-cursor tracking (see [`Hooks::wants_cursor`]): the stack of
+    // depth-0 `do` loops currently executing, outermost first. Only
+    // maintained when `track` is set — sequential runs pay nothing.
+    cursor: Vec<DoProgress>,
+    track: bool,
 }
 
 /// Scalar copy-out obligations after a call: `(dummy, caller variable)`.
@@ -136,12 +158,15 @@ pub fn run_program_capture<H: Hooks>(
         .ok_or_else(|| RunError::new("no `program` unit"))?;
     let mut m = Machine::new(input);
     m.stmt_limit = stmt_limit;
+    let track = hooks.wants_cursor();
     let mut exec = Exec {
         program: file,
         hooks,
         depth: 0,
         pending: Vec::new(),
         hook_calls: 0,
+        cursor: Vec::new(),
+        track,
     };
     let mut frame = build_frame(&mut m, main, HashMap::new())?;
     let flow = exec.exec_stmts(&mut m, &mut frame, &main.body)?;
@@ -150,6 +175,82 @@ pub fn run_program_capture<H: Hooks>(
         return Err(RunError::new(format!("unresolved goto {l} at top level")));
     }
     Ok((m, frame))
+}
+
+/// Resume a program at a checkpointed execution point instead of from
+/// the top: build the main frame, let `seed` overwrite it with restored
+/// state, then walk the *static* path from the main body to the
+/// statement `target` (the checkpoint-safe `acf_sync_*` call the
+/// snapshot was taken at), re-entering each enclosing top-level `do`
+/// loop mid-flight per `dos` (outermost first). Execution re-runs the
+/// target statement itself — the checkpoint was written *before* its
+/// exchange, so re-executing it regenerates all communication — and
+/// continues normally from there.
+///
+/// Control flow below the target needs no saved state: `if` arms are
+/// re-derived from restored scalars, and a `do while` re-evaluates its
+/// condition. Only counted `do` loops carry hidden position (the trips
+/// already run), which is exactly what `dos` supplies.
+pub fn run_program_capture_from<H: Hooks>(
+    file: &SourceFile,
+    input: Vec<f64>,
+    hooks: &mut H,
+    stmt_limit: u64,
+    target: StmtId,
+    dos: &[DoProgress],
+    seed: impl FnOnce(&mut Machine, &mut Frame) -> Result<(), RunError>,
+) -> Result<(Machine, Frame), RunError> {
+    let main = file
+        .main_unit()
+        .ok_or_else(|| RunError::new("no `program` unit"))?;
+    let mut m = Machine::new(input);
+    m.stmt_limit = stmt_limit;
+    let track = hooks.wants_cursor();
+    let mut exec = Exec {
+        program: file,
+        hooks,
+        depth: 0,
+        pending: Vec::new(),
+        hook_calls: 0,
+        cursor: Vec::new(),
+        track,
+    };
+    let mut frame = build_frame(&mut m, main, HashMap::new())?;
+    seed(&mut m, &mut frame)?;
+    let flow = exec.resume_stmts(&mut m, &mut frame, &main.body, target, dos)?;
+    exec.flush_spans();
+    if let Flow::Goto(l) = flow {
+        return Err(RunError::new(format!("unresolved goto {l} at top level")));
+    }
+    Ok((m, frame))
+}
+
+/// Whether `target` is `s` or lives anywhere inside its nested bodies.
+fn contains_stmt(s: &Stmt, target: StmtId) -> bool {
+    if s.id == target {
+        return true;
+    }
+    match &s.kind {
+        StmtKind::If {
+            then,
+            else_ifs,
+            els,
+            ..
+        } => {
+            then.iter().any(|c| contains_stmt(c, target))
+                || else_ifs
+                    .iter()
+                    .any(|(_, b)| b.iter().any(|c| contains_stmt(c, target)))
+                || els
+                    .as_ref()
+                    .is_some_and(|b| b.iter().any(|c| contains_stmt(c, target)))
+        }
+        StmtKind::LogicalIf { stmt, .. } => contains_stmt(stmt, target),
+        StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. } => {
+            body.iter().any(|c| contains_stmt(c, target))
+        }
+        _ => false,
+    }
 }
 
 /// Snapshot taken at loop entry for compute-span tracking; `None` when
@@ -248,6 +349,196 @@ impl<'p, H: Hooks> Exec<'p, H> {
         Ok(Flow::Normal)
     }
 
+    /// Re-enter a statement list at the (sub)tree containing `target`,
+    /// then continue executing the rest of the list normally — with
+    /// `goto` resolution against the *full* list, so a convergence jump
+    /// out of the resumed loop finds its landing label.
+    fn resume_stmts(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+        target: StmtId,
+        dos: &[DoProgress],
+    ) -> Result<Flow, RunError> {
+        let idx = stmts
+            .iter()
+            .position(|s| contains_stmt(s, target))
+            .ok_or_else(|| {
+                RunError::new(format!(
+                    "resume target {target} not found in statement list"
+                ))
+            })?;
+        let mut i = idx;
+        let mut entry = Some(dos);
+        while i < stmts.len() {
+            let flow = match entry.take() {
+                Some(d) => self.resume_stmt(m, frame, &stmts[i], target, d)?,
+                None => self.exec_stmt(m, frame, &stmts[i])?,
+            };
+            match flow {
+                Flow::Normal => i += 1,
+                Flow::Goto(l) => match stmts.iter().position(|s| s.label == Some(l)) {
+                    Some(j) => i = j,
+                    None => return Ok(Flow::Goto(l)),
+                },
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Descend into one statement containing `target` without re-running
+    /// anything before it, consuming one [`DoProgress`] per counted-loop
+    /// level. The target statement itself executes normally. No entry
+    /// `tick` is charged for re-entered structures — the uninterrupted
+    /// run already counted those before the snapshot was written.
+    fn resume_stmt(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        s: &Stmt,
+        target: StmtId,
+        dos: &[DoProgress],
+    ) -> Result<Flow, RunError> {
+        if s.id == target {
+            if !dos.is_empty() {
+                return Err(RunError::new(format!(
+                    "resume cursor has {} unconsumed do level(s) at the target",
+                    dos.len()
+                ))
+                .at(s.line));
+            }
+            return self.exec_stmt(m, frame, s);
+        }
+        match &s.kind {
+            StmtKind::Do { var, body, .. } => {
+                let Some((d, rest)) = dos.split_first() else {
+                    return Err(RunError::new(format!(
+                        "resume cursor exhausted entering `do {var}`"
+                    ))
+                    .at(s.line));
+                };
+                if d.var != *var {
+                    return Err(RunError::new(format!(
+                        "resume cursor mismatch: expected `do {}`, found `do {var}`",
+                        d.var
+                    ))
+                    .at(s.line));
+                }
+                let track = self.track && self.depth == 0;
+                if track {
+                    self.cursor.push(d.clone());
+                }
+                let res = self.resume_do(m, frame, var, body, target, d, rest, track);
+                if track {
+                    self.cursor.pop();
+                }
+                res
+            }
+            StmtKind::If {
+                then,
+                else_ifs,
+                els,
+                ..
+            } => {
+                // the arm is identified statically — the restored scalars
+                // would re-derive the same choice, but the checkpointed
+                // run *was* inside this arm, so no condition re-evaluation
+                // (with its flop counts) may run twice
+                if then.iter().any(|c| contains_stmt(c, target)) {
+                    return self.resume_stmts(m, frame, then, target, dos);
+                }
+                for (_, b) in else_ifs {
+                    if b.iter().any(|c| contains_stmt(c, target)) {
+                        return self.resume_stmts(m, frame, b, target, dos);
+                    }
+                }
+                if let Some(b) = els {
+                    if b.iter().any(|c| contains_stmt(c, target)) {
+                        return self.resume_stmts(m, frame, b, target, dos);
+                    }
+                }
+                Err(RunError::new("resume target vanished inside `if`").at(s.line))
+            }
+            StmtKind::LogicalIf { stmt, .. } => self.resume_stmt(m, frame, stmt, target, dos),
+            StmtKind::DoWhile { cond, body } => {
+                // no saved state: finish the interrupted iteration from
+                // the target onward, then let the condition drive the rest
+                let mut flow = self.resume_stmts(m, frame, body, target, dos)?;
+                if flow == Flow::Normal {
+                    loop {
+                        m.tick().map_err(|e| e.at(s.line))?;
+                        if !self
+                            .eval(m, frame, cond)?
+                            .as_bool()
+                            .map_err(|e| e.at(s.line))?
+                        {
+                            break;
+                        }
+                        match self.exec_stmts(m, frame, body)? {
+                            Flow::Normal => {}
+                            other => {
+                                flow = other;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(flow)
+            }
+            _ => Err(RunError::new("resume target inside an unexpected statement").at(s.line)),
+        }
+    }
+
+    /// Re-enter one counted `do` loop mid-flight: set the variable to the
+    /// interrupted iteration's value, finish that iteration from the
+    /// target onward, run the remaining full trips, and leave the
+    /// variable one past the end — exactly where the unsplit execution
+    /// would have left it.
+    #[allow(clippy::too_many_arguments)]
+    fn resume_do(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        var: &str,
+        body: &[Stmt],
+        target: StmtId,
+        d: &DoProgress,
+        rest: &[DoProgress],
+        track: bool,
+    ) -> Result<Flow, RunError> {
+        frame.set_scalar(var, Value::Int(d.iv))?;
+        let mut iv = d.iv;
+        let mut flow = self.resume_stmts(m, frame, body, target, rest)?;
+        if flow == Flow::Normal {
+            iv += d.step;
+            for k in 0..d.remaining {
+                if track {
+                    let c = self
+                        .cursor
+                        .last_mut()
+                        .expect("cursor entry pushed by caller");
+                    c.iv = iv;
+                    c.remaining = d.remaining - 1 - k;
+                }
+                frame.set_scalar(var, Value::Int(iv))?;
+                match self.exec_stmts(m, frame, body)? {
+                    Flow::Normal => {}
+                    other => {
+                        flow = other;
+                        break;
+                    }
+                }
+                iv += d.step;
+            }
+        }
+        if flow == Flow::Normal {
+            frame.set_scalar(var, Value::Int(iv))?;
+        }
+        Ok(flow)
+    }
+
     fn exec_stmt(
         &mut self,
         m: &mut Machine,
@@ -327,10 +618,24 @@ impl<'p, H: Hooks> Exec<'p, H> {
                 }
                 // Fortran trip count semantics
                 let trips = ((to - from + step) / step).max(0);
+                let track = self.track && self.depth == 0;
+                if track {
+                    self.cursor.push(DoProgress {
+                        var: var.clone(),
+                        iv: from,
+                        step,
+                        remaining: trips.max(1) as u64 - 1,
+                    });
+                }
                 let mark = self.span_enter();
                 let mut iv = from;
                 let mut flow = Flow::Normal;
-                for _ in 0..trips {
+                for k in 0..trips {
+                    if track {
+                        let d = self.cursor.last_mut().expect("cursor entry pushed above");
+                        d.iv = iv;
+                        d.remaining = (trips - 1 - k) as u64;
+                    }
                     frame.set_scalar(var, Value::Int(iv))?;
                     match self.exec_stmts(m, frame, body)? {
                         Flow::Normal => {}
@@ -340,6 +645,9 @@ impl<'p, H: Hooks> Exec<'p, H> {
                         }
                     }
                     iv += step;
+                }
+                if track {
+                    self.cursor.pop();
                 }
                 if flow == Flow::Normal {
                     // Fortran leaves the loop variable one past the last value
@@ -379,6 +687,9 @@ impl<'p, H: Hooks> Exec<'p, H> {
                 if name.starts_with("acf_") {
                     self.flush_spans();
                     self.hook_calls += 1;
+                    if self.track && self.depth == 0 {
+                        self.hooks.hook_site(s.id, &self.cursor);
+                    }
                     if self.hooks.call(m, frame, name)? {
                         return Ok(Flow::Normal);
                     }

@@ -35,14 +35,16 @@ pub mod spmd;
 pub mod value;
 
 pub use exec::{
-    run_program, run_program_capture, run_program_with_hooks, Hooks, LoopSplit, NoHooks,
+    run_program, run_program_capture, run_program_capture_from, run_program_with_hooks, Hooks,
+    LoopSplit, NoHooks,
 };
 pub use forecast::{forecast, PhaseForecast, RankTraffic};
 pub use machine::{ArrayId, Binding, Frame, Machine, OpCounts, RunError};
 pub use spmd::{
-    ghost_region, owned_region, region_len, run_parallel, run_parallel_opts, run_parallel_traced,
-    run_parallel_traced_opts, run_rank, run_rank_opts, run_rank_traced, run_rank_traced_opts,
-    verify_owned_regions, verify_rank_owned_region, RankResult, RankRun, SpmdHooks,
+    ghost_region, owned_region, region_len, restore_into, run_parallel, run_parallel_opts,
+    run_parallel_traced, run_parallel_traced_opts, run_rank, run_rank_opts, run_rank_traced,
+    run_rank_traced_full, run_rank_traced_opts, verify_owned_regions, verify_rank_owned_region,
+    CheckpointOpts, RankResult, RankRun, SpmdHooks,
 };
 pub use value::ArrayVal;
 pub use value::Value;

@@ -30,16 +30,20 @@
 //! so its interior runs while the messages travel, completes the
 //! receives, and finishes with the two boundary strips.
 
-use crate::exec::{run_program_capture, Hooks, LoopSplit};
+use crate::exec::{run_program_capture, run_program_capture_from, Hooks, LoopSplit};
 use crate::machine::{ArrayId, Frame, Machine, RunError};
-use crate::value::Value;
+use crate::value::{ArrayVal, Value};
 use autocfd_codegen::{SelfLoopSpec, SpmdPlan, SyncSpec};
 use autocfd_fortran::ast::{Stmt, StmtId};
 use autocfd_fortran::SourceFile;
 use autocfd_grid::Partition;
+use autocfd_runtime::checkpoint::{
+    write_snapshot, ArraySnap, Cursor, DoProgress, OpsSnap, ScalarSnap, Snapshot,
+};
 use autocfd_runtime::{
     run_spmd, Comm, EventKind, Recorder, RecvRequest, ReduceOp, TraceEvent, WireStats,
 };
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// One in-flight ghost receive with the regions its payload fills.
@@ -55,6 +59,20 @@ struct PendingOverlap {
     stmt: StmtId,
     split: LoopSplit,
     recvs: Vec<PendingRecv>,
+}
+
+/// Checkpoint behavior for one rank (see [`run_rank_traced_full`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointOpts {
+    /// Write a snapshot every `every`-th visit of a checkpoint-safe sync
+    /// point (0 disables writing; chaos injection still counts visits).
+    pub every: u64,
+    /// Directory snapshots go to (per-epoch subdirectories inside).
+    pub dir: PathBuf,
+    /// Fault injection for tests and the chaos CI job: fail the rank
+    /// with a `chaos-abort` error when the visit counter reaches this
+    /// value, *before* any snapshot or exchange of that visit.
+    pub chaos_abort_after: Option<u64>,
 }
 
 /// The hook set wiring `acf_*` calls to the runtime.
@@ -74,6 +92,16 @@ pub struct SpmdHooks<'a> {
     /// `pending` — inner loops of the nest must not trigger the
     /// blocking fallback of [`SpmdHooks::split_loop`].
     in_split: bool,
+    /// Checkpoint/chaos configuration; `None` runs without either.
+    ckpt: Option<CheckpointOpts>,
+    /// Visits of checkpoint-safe sync points so far, including those
+    /// replayed into a restored run (the snapshot's epoch).
+    visits: u64,
+    /// The last `acf_*` call site the engine reported at depth 0.
+    site: Option<(StmtId, Vec<DoProgress>)>,
+    /// Set on resume: the first checkpoint-safe visit is the re-executed
+    /// snapshot sync itself and must not be counted (or written) again.
+    resume_skip: bool,
 }
 
 impl<'a> SpmdHooks<'a> {
@@ -86,6 +114,10 @@ impl<'a> SpmdHooks<'a> {
             overlap,
             pending: None,
             in_split: false,
+            ckpt: None,
+            visits: 0,
+            site: None,
+            resume_skip: false,
         }
     }
 }
@@ -140,6 +172,10 @@ impl Hooks for SpmdHooks<'_> {
                 .syncs
                 .get(&id)
                 .ok_or_else(|| RunError::new(format!("unknown sync id {id}")))?;
+            // With `complete_pending` done and the exchange not yet
+            // started, no request is in flight anywhere in this rank —
+            // the consistent cut the snapshot is defined at.
+            self.maybe_checkpoint(m, frame, id)?;
             self.comm.enter_phase(&format!("sync_{id}"));
             self.sync(m, frame, spec)?;
             return Ok(true);
@@ -225,6 +261,14 @@ impl Hooks for SpmdHooks<'_> {
     fn recorder(&self) -> Option<&dyn Recorder> {
         Some(self.comm)
     }
+
+    fn wants_cursor(&self) -> bool {
+        self.ckpt.is_some()
+    }
+
+    fn hook_site(&mut self, stmt: StmtId, cursor: &[DoProgress]) {
+        self.site = Some((stmt, cursor.to_vec()));
+    }
 }
 
 impl SpmdHooks<'_> {
@@ -303,9 +347,12 @@ impl SpmdHooks<'_> {
             return Ok(());
         };
         for pr in p.recvs {
+            // adaptive wait: a short test_recv spin catches messages that
+            // already arrived during the interior chunk without the
+            // blocking path's syscall, then parks properly
             let data = self
                 .comm
-                .wait_recv(pr.req)
+                .wait_recv_adaptive(pr.req)
                 .map_err(|e| RunError::new(e.to_string()))?;
             let mut off = 0usize;
             for (id, region) in &pr.regions {
@@ -321,6 +368,125 @@ impl SpmdHooks<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Count a visit of a checkpoint-safe sync point and, when due,
+    /// write this rank's snapshot. Runs at the *start* of the sync —
+    /// after the universal `complete_pending` and before any exchange —
+    /// so the cut is consistent by construction: every rank that reaches
+    /// visit `E` has completed all communication of visits `< E` and
+    /// started none of visit `E` (see [`autocfd_runtime::checkpoint`]).
+    fn maybe_checkpoint(
+        &mut self,
+        m: &mut Machine,
+        frame: &Frame,
+        sync_id: u32,
+    ) -> Result<(), RunError> {
+        let Some(opts) = self.ckpt.clone() else {
+            return Ok(());
+        };
+        // only syncs the plan marked checkpoint-safe (their call lives in
+        // the main unit) count, and only when dispatched from that site —
+        // the same sync id reached through a subroutine has no cursor
+        let Some(&safe_stmt) = self.plan.checkpoint_syncs.get(&sync_id) else {
+            return Ok(());
+        };
+        let Some((at, cursor)) = self.site.clone() else {
+            return Ok(());
+        };
+        if at != safe_stmt {
+            return Ok(());
+        }
+        if self.resume_skip {
+            // the re-executed snapshot sync: its visit is already in
+            // `visits` (the snapshot's epoch), and its snapshot exists
+            self.resume_skip = false;
+            return Ok(());
+        }
+        self.visits += 1;
+        if let Some(n) = opts.chaos_abort_after {
+            if self.visits == n {
+                return Err(RunError::new(format!(
+                    "chaos-abort injected at checkpoint-safe sync visit {n}"
+                )));
+            }
+        }
+        if opts.every > 0 && self.visits.is_multiple_of(opts.every) {
+            let snap = self.snapshot(m, frame, sync_id, self.visits, at, &cursor)?;
+            write_snapshot(&opts.dir, &snap)
+                .map_err(|e| RunError::new(format!("checkpoint write failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Build this rank's snapshot: every live array (common blocks and
+    /// main-frame locals), every main-frame scalar, the I/O queues, and
+    /// the op counters, all bit-exact (f64 payloads travel as raw bits).
+    fn snapshot(
+        &self,
+        m: &Machine,
+        frame: &Frame,
+        sync_id: u32,
+        epoch: u64,
+        at: StmtId,
+        cursor: &[DoProgress],
+    ) -> Result<Snapshot, RunError> {
+        let array_snap = |name: &str, arr: &ArrayVal| ArraySnap {
+            name: name.to_string(),
+            bounds: arr.bounds.clone(),
+            is_int: arr.is_int,
+            data: arr.data.iter().map(|v| v.to_bits()).collect(),
+        };
+        let mut commons: Vec<(String, String, ArraySnap)> = m
+            .commons
+            .iter()
+            .map(|((blk, name), id)| (blk.clone(), name.clone(), array_snap(name, m.array(*id))))
+            .collect();
+        commons.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let common_ids: std::collections::HashSet<usize> =
+            m.commons.values().map(|id| id.0).collect();
+        let mut arrays: Vec<ArraySnap> = frame
+            .arrays
+            .iter()
+            .filter(|(_, id)| !common_ids.contains(&id.0))
+            .map(|(name, id)| array_snap(name, m.array(*id)))
+            .collect();
+        arrays.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut scalars: Vec<(String, ScalarSnap)> = frame
+            .scalars
+            .iter()
+            .map(|(name, v)| {
+                let s = match v {
+                    Value::Int(i) => ScalarSnap::Int(*i),
+                    Value::Real(r) => ScalarSnap::Real(r.to_bits()),
+                    Value::Logical(b) => ScalarSnap::Logical(*b),
+                    Value::Str(s) => ScalarSnap::Str(s.clone()),
+                };
+                (name.clone(), s)
+            })
+            .collect();
+        scalars.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Snapshot {
+            rank: self.comm.rank(),
+            ranks: self.comm.size(),
+            epoch,
+            sync_id,
+            cursor: Cursor {
+                stmt: at.0,
+                dos: cursor.to_vec(),
+            },
+            arrays,
+            commons,
+            scalars,
+            input: m.input.iter().map(|v| v.to_bits()).collect(),
+            output: m.output.clone(),
+            ops: OpsSnap {
+                flops: m.ops.flops,
+                loads: m.ops.loads,
+                stores: m.ops.stores,
+                stmts: m.ops.stmts,
+            },
+        })
     }
 
     /// The combined halo exchange of one synchronization point. The
@@ -860,8 +1026,108 @@ pub fn run_rank_traced_opts(
     comm: &Comm,
     overlap: bool,
 ) -> RankRun {
+    run_rank_traced_full(file, plan, input, stmt_limit, comm, overlap, None, None)
+}
+
+/// Overwrite a freshly built main-program machine/frame with a
+/// snapshot's state: common-block arrays, main-frame local arrays,
+/// scalars, the I/O queues, and the op counters. Every array the
+/// snapshot names must exist with identical bounds — the snapshot only
+/// restores correctly into the *same* compiled program.
+pub fn restore_into(m: &mut Machine, frame: &mut Frame, snap: &Snapshot) -> Result<(), RunError> {
+    fn restore_array(arr: &mut ArrayVal, s: &ArraySnap, what: &str) -> Result<(), RunError> {
+        if arr.bounds != s.bounds {
+            return Err(RunError::new(format!(
+                "checkpoint mismatch: {what} `{}` has bounds {:?}, snapshot has {:?}",
+                s.name, arr.bounds, s.bounds
+            )));
+        }
+        arr.data = s.data.iter().map(|&b| f64::from_bits(b)).collect();
+        Ok(())
+    }
+    for (blk, name, s) in &snap.commons {
+        let id = *m.commons.get(&(blk.clone(), name.clone())).ok_or_else(|| {
+            RunError::new(format!(
+                "checkpoint mismatch: common /{blk}/ `{name}` not in program"
+            ))
+        })?;
+        restore_array(m.array_mut(id), s, "common array")?;
+    }
+    for s in &snap.arrays {
+        let id = *frame.arrays.get(&s.name).ok_or_else(|| {
+            RunError::new(format!(
+                "checkpoint mismatch: array `{}` not in main program",
+                s.name
+            ))
+        })?;
+        restore_array(m.array_mut(id), s, "array")?;
+    }
+    for (name, s) in &snap.scalars {
+        let v = match s {
+            ScalarSnap::Int(i) => Value::Int(*i),
+            ScalarSnap::Real(bits) => Value::Real(f64::from_bits(*bits)),
+            ScalarSnap::Logical(b) => Value::Logical(*b),
+            ScalarSnap::Str(t) => Value::Str(t.clone()),
+        };
+        frame.set_scalar(name, v)?;
+    }
+    m.input = snap.input.iter().map(|&b| f64::from_bits(b)).collect();
+    m.output = snap.output.clone();
+    m.ops.flops = snap.ops.flops;
+    m.ops.loads = snap.ops.loads;
+    m.ops.stores = snap.ops.stores;
+    m.ops.stmts = snap.ops.stmts;
+    Ok(())
+}
+
+/// The full-featured rank runner: [`run_rank_traced_opts`] plus
+/// checkpointing (`ckpt`) and restart (`resume`).
+///
+/// With `resume` set, the program does not start from the top: the
+/// machine is rebuilt, overwritten from the snapshot, and execution
+/// re-enters the main body at the snapshot's cursor — the start of the
+/// checkpoint-safe sync the snapshot was written at. Re-executing that
+/// sync regenerates its exchange over the fresh connections, after
+/// which the run is statement-for-statement identical to one that was
+/// never interrupted (every rank must resume from the *same* epoch).
+#[allow(clippy::too_many_arguments)]
+pub fn run_rank_traced_full(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    comm: &Comm,
+    overlap: bool,
+    ckpt: Option<CheckpointOpts>,
+    resume: Option<&Snapshot>,
+) -> RankRun {
     let mut hooks = SpmdHooks::new(plan, comm, overlap);
-    let mut outcome = run_program_capture(file, input, &mut hooks, stmt_limit);
+    hooks.ckpt = ckpt;
+    let mut outcome = match resume {
+        None => run_program_capture(file, input, &mut hooks, stmt_limit),
+        Some(snap) => {
+            hooks.visits = snap.epoch;
+            hooks.resume_skip = true;
+            // the cursor only makes sense with tracking on; a resumed run
+            // that doesn't checkpoint further still needs the machinery
+            if hooks.ckpt.is_none() {
+                hooks.ckpt = Some(CheckpointOpts {
+                    every: 0,
+                    dir: PathBuf::new(),
+                    chaos_abort_after: None,
+                });
+            }
+            run_program_capture_from(
+                file,
+                input,
+                &mut hooks,
+                stmt_limit,
+                StmtId(snap.cursor.stmt),
+                &snap.cursor.dos,
+                |m, frame| restore_into(m, frame, snap),
+            )
+        }
+    };
     // Safety net: a program that ends with an exchange still in flight
     // (its overlapped nest never ran) completes it here so receive
     // counters and traces stay consistent with blocking mode.

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic       0xACFD0001, big-endian
-//!      4     1  kind        0 Data, 1 Hello, 2 Welcome, 3 Peers
+//!      4     1  kind        0 Data, 1 Hello, 2 Welcome, 3 Peers, 4 Heartbeat
 //!      5     4  from        sending rank (u32, big-endian)
 //!      9     8  tag         message tag (u64, big-endian)
 //!     17     4  len         payload length in f64 *elements* (u32, BE)
@@ -45,6 +45,12 @@ pub enum FrameKind {
     /// Handshake: rendezvous → worker; payload = every rank's data port
     /// in rank order.
     Peers,
+    /// Liveness probe: "I'm still here" — sent periodically on idle
+    /// connections so a receive timeout can distinguish a slow peer
+    /// (heartbeats arriving) from a hung or dead one (silence). Carries
+    /// no payload, is never delivered to the application, and is
+    /// excluded from wire statistics.
+    Heartbeat,
 }
 
 impl FrameKind {
@@ -54,6 +60,7 @@ impl FrameKind {
             FrameKind::Hello => 1,
             FrameKind::Welcome => 2,
             FrameKind::Peers => 3,
+            FrameKind::Heartbeat => 4,
         }
     }
 
@@ -63,6 +70,7 @@ impl FrameKind {
             1 => Some(FrameKind::Hello),
             2 => Some(FrameKind::Welcome),
             3 => Some(FrameKind::Peers),
+            4 => Some(FrameKind::Heartbeat),
             _ => None,
         }
     }
@@ -346,6 +354,7 @@ mod proptests {
                 Just(FrameKind::Hello),
                 Just(FrameKind::Welcome),
                 Just(FrameKind::Peers),
+                Just(FrameKind::Heartbeat),
             ],
             0u32..=u32::MAX,
             0u64..=u64::MAX,

@@ -26,7 +26,7 @@
 pub mod frame;
 pub mod tcp;
 
-pub use tcp::{MeshConfig, Rendezvous, TcpTransport};
+pub use tcp::{MeshConfig, Rendezvous, TcpTransport, HEARTBEAT_INTERVAL};
 
 use autocfd_runtime::{Comm, CommError};
 use std::time::{Duration, Instant};
@@ -203,6 +203,95 @@ mod tests {
         let (got, disconnected) = results[0].unwrap();
         assert_eq!(got, 4.5);
         assert!(disconnected);
+    }
+
+    #[test]
+    fn dead_peer_port_classified_as_peer_restarting() {
+        use crate::frame::{encode, read_frame, Frame, FrameKind};
+        use std::io::Write;
+
+        let rv = Rendezvous::bind(2, Duration::from_secs(5)).unwrap();
+        let addr = rv.local_addr();
+        let server = rv.spawn();
+
+        // a data port that refuses connections: bind, note the port, drop
+        let dead_port = {
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().port()
+        };
+
+        // fake rank 0: completes the rendezvous handshake advertising the
+        // dead port, then stays alive holding its rendezvous socket — so
+        // this is not a vanished peer, just an endpoint refusing
+        // connections, which is exactly what a worker mid-restart looks
+        // like from the outside
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let fake = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(&encode(&Frame {
+                kind: FrameKind::Hello,
+                from: 0,
+                tag: u64::from(dead_port),
+                payload: vec![],
+            }))
+            .unwrap();
+            let welcome = read_frame(&mut s).unwrap().unwrap().0;
+            assert_eq!(welcome.kind, FrameKind::Welcome);
+            assert_eq!(welcome.from, 0, "fake worker must arrive first");
+            let _peers = read_frame(&mut s).unwrap().unwrap().0;
+            let _ = done_rx.recv_timeout(Duration::from_secs(10));
+        });
+
+        // let the fake worker claim rank 0, then join as rank 1, which
+        // dials rank 0's (dead) data port through the backoff window
+        std::thread::sleep(Duration::from_millis(100));
+        let cfg = MeshConfig {
+            rendezvous: addr,
+            setup_timeout: Duration::from_millis(600),
+        };
+        let err = match TcpTransport::join(&cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("join must fail: rank 0's data port is dead"),
+        };
+        assert!(err.is_peer_restarting(), "{err}");
+        assert_eq!(err.peer, Some(0));
+        assert!(err.to_string().contains("presumed restarting"), "{err}");
+        let _ = done_tx.send(());
+        fake.join().unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn heartbeat_distinguishes_slow_peer_from_dead() {
+        let results = run_spmd_tcp(2, Duration::from_millis(150), |comm| {
+            if comm.rank() == 0 {
+                // slow, not dead: stay silent past the recv timeout
+                std::thread::sleep(Duration::from_millis(700));
+                comm.send(1, 7, &[2.5]).unwrap();
+                None
+            } else {
+                // first wait times out, but the heartbeat stream tells
+                // the error the peer is alive
+                let err = comm.recv(0, 7).unwrap_err();
+                assert!(err.is_timeout(), "{err}");
+                let note = err.note.clone().expect("timeout carries a liveness note");
+                assert!(note.contains("alive"), "{note}");
+                // keep waiting: the late message must still land intact
+                let got = loop {
+                    match comm.recv(0, 7) {
+                        Ok(v) => break v[0],
+                        Err(e) => assert!(e.is_timeout(), "{e}"),
+                    }
+                };
+                Some((got, comm.wire_stats()))
+            }
+        })
+        .unwrap();
+        let (got, stats) = results[1].expect("rank 1 reports");
+        assert_eq!(got, 2.5);
+        // heartbeats crossed the wire during the 700 ms stall but must
+        // never leak into the message/byte counters
+        assert_eq!(stats.msgs_recvd, 1, "{stats:?}");
     }
 
     #[test]

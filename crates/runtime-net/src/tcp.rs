@@ -17,6 +17,22 @@
 //!   turns into [`InboxMsg::PeerGone`], which surfaces as a typed
 //!   [`CommError`] only for receives that actually target the dead peer
 //!   (after draining everything it sent first).
+//!
+//! Fault-tolerance hardening on top of the mesh:
+//!
+//! * a **heartbeat** thread drops a tiny liveness frame into every write
+//!   queue each [`HEARTBEAT_INTERVAL`] (skipping full queues — data in
+//!   flight already proves liveness). Heartbeats never enter the inbox
+//!   or the wire counters; their only job is to keep each peer's
+//!   *last-seen* clock fresh, so a receive timeout can say whether the
+//!   peer is alive-but-slow or silent/hung;
+//! * mesh dialing uses bounded **exponential backoff with jitter**
+//!   (`connect_with_backoff`), and a peer whose data port still
+//!   refuses connections when the backoff window closes is classified
+//!   as [`CommErrorKind::PeerRestarting`](autocfd_runtime::CommErrorKind)
+//!   — its rendezvous claim proves a worker existed there, so a
+//!   supervisor should resume from a checkpoint rather than declare the
+//!   run dead.
 
 use crate::frame::{encode, read_frame, Frame, FrameKind};
 use autocfd_runtime::{
@@ -27,12 +43,18 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Frames a peer writer queues before `send` blocks for backpressure.
 const WRITE_QUEUE_FRAMES: usize = 64;
+
+/// How often the heartbeat thread pulses each peer connection. A peer
+/// is reported "alive but slow" while its last frame (data or
+/// heartbeat) is at most three intervals old, "silent" beyond that.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
 
 /// How mesh setup behaves.
 #[derive(Debug, Clone)]
@@ -161,15 +183,25 @@ impl Rendezvous {
     }
 }
 
+/// Per-peer bounded write queues, `None` at the self slot.
+type WriterQueues = Vec<Option<Sender<Vec<u8>>>>;
+
 /// One rank's endpoint of a TCP process mesh.
 pub struct TcpTransport {
     rank: usize,
     size: usize,
     /// Per-peer bounded write queues (`None` at the self slot); taken on
-    /// shutdown so writers flush and close.
-    writers: Mutex<Vec<Option<Sender<Vec<u8>>>>>,
+    /// shutdown so writers flush and close. Behind an `Arc` because the
+    /// heartbeat thread pulses the same queues.
+    writers: Arc<Mutex<WriterQueues>>,
     writer_handles: Mutex<Vec<JoinHandle<()>>>,
     inbox: MatchingInbox,
+    /// Milliseconds since `liveness_epoch` at which each peer's reader
+    /// last decoded *any* frame (data or heartbeat); slot 0 at mesh-up.
+    last_seen: Arc<Vec<AtomicU64>>,
+    liveness_epoch: Instant,
+    hb_stop: Arc<AtomicBool>,
+    hb_handle: Mutex<Option<JoinHandle<()>>>,
     msgs_sent: AtomicU64,
     bytes_sent: AtomicU64,
     msgs_recvd: AtomicU64,
@@ -187,8 +219,10 @@ impl TcpTransport {
         let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err(0, 0, &e))?;
         let my_port = listener.local_addr().map_err(|e| io_err(0, 0, &e))?.port();
 
-        // ---- rendezvous handshake
-        let mut rv = connect_with_retry(cfg.rendezvous, deadline).map_err(|e| io_err(0, 0, &e))?;
+        // ---- rendezvous handshake (a dead rendezvous is a launcher
+        // failure, not a restarting peer — keep the plain I/O error)
+        let mut rv = connect_with_backoff(cfg.rendezvous, deadline, u64::from(my_port))
+            .map_err(|e| io_err(0, 0, &e))?;
         rv.set_read_timeout(Some(cfg.setup_timeout))
             .map_err(|e| io_err(0, 0, &e))?;
         rv.write_all(&encode(&Frame {
@@ -237,8 +271,20 @@ impl TcpTransport {
         // ---- full mesh: dial lower ranks, accept higher ones
         let mut streams: HashMap<usize, TcpStream> = HashMap::new();
         for (peer, &port) in ports.iter().enumerate().take(rank) {
-            let mut s = connect_with_retry(SocketAddr::from(([127, 0, 0, 1], port)), deadline)
-                .map_err(|e| io_err(rank, peer, &e))?;
+            let seed = ((rank as u64) << 16) | peer as u64;
+            let mut s =
+                connect_with_backoff(SocketAddr::from(([127, 0, 0, 1], port)), deadline, seed)
+                    .map_err(|e| {
+                        // the peer claimed this port at the rendezvous, so a
+                        // worker *was* there: refusing connections through
+                        // the whole backoff window reads as a restart in
+                        // progress, not a vanished peer
+                        CommError::peer_restarting(
+                            rank,
+                            peer,
+                            format!("data port {port} refused through backoff window: {e}"),
+                        )
+                    })?;
             s.write_all(&encode(&Frame {
                 kind: FrameKind::Hello,
                 from: rank as u32,
@@ -274,13 +320,17 @@ impl TcpTransport {
         }
 
         // ---- I/O threads
+        let liveness_epoch = Instant::now();
+        let last_seen: Arc<Vec<AtomicU64>> =
+            Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
         let (inbox_tx, inbox_rx) = unbounded::<InboxMsg>();
-        let mut writers: Vec<Option<Sender<Vec<u8>>>> = (0..size).map(|_| None).collect();
+        let mut writers: WriterQueues = (0..size).map(|_| None).collect();
         let mut writer_handles = Vec::with_capacity(size.saturating_sub(1));
         for (peer, stream) in streams {
             let reader = stream.try_clone().map_err(|e| io_err(rank, peer, &e))?;
             let inbox_tx = inbox_tx.clone();
-            std::thread::spawn(move || run_reader(peer, reader, inbox_tx));
+            let seen = Arc::clone(&last_seen);
+            std::thread::spawn(move || run_reader(peer, reader, inbox_tx, seen, liveness_epoch));
 
             let (wtx, wrx) = bounded::<Vec<u8>>(WRITE_QUEUE_FRAMES);
             writers[peer] = Some(wtx);
@@ -298,26 +348,99 @@ impl TcpTransport {
         }
         drop(inbox_tx);
 
+        // ---- heartbeat thread: pulse every peer queue so readers on the
+        // other side keep their last-seen clocks fresh even when the
+        // program computes for a long time between exchanges
+        let writers = Arc::new(Mutex::new(writers));
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let hb_handle = if size > 1 {
+            let writers = Arc::clone(&writers);
+            let stop = Arc::clone(&hb_stop);
+            let beat = encode(&Frame {
+                kind: FrameKind::Heartbeat,
+                from: rank as u32,
+                tag: 0,
+                payload: vec![],
+            });
+            Some(std::thread::spawn(move || {
+                // short ticks so shutdown never waits a full interval
+                let tick = Duration::from_millis(25);
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_beat += tick;
+                    if since_beat < HEARTBEAT_INTERVAL {
+                        continue;
+                    }
+                    since_beat = Duration::ZERO;
+                    for w in writers.lock().iter().flatten() {
+                        // a full queue means data frames are in flight,
+                        // which proves liveness better than a heartbeat
+                        let _ = w.try_send(beat.clone());
+                    }
+                }
+            }))
+        } else {
+            None
+        };
+
         Ok(TcpTransport {
             rank,
             size,
-            writers: Mutex::new(writers),
+            writers,
             writer_handles: Mutex::new(writer_handles),
             inbox: MatchingInbox::new(rank, inbox_rx),
+            last_seen,
+            liveness_epoch,
+            hb_stop,
+            hb_handle: Mutex::new(hb_handle),
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             msgs_recvd: AtomicU64::new(0),
             bytes_recvd: AtomicU64::new(0),
         })
     }
+
+    /// On a receive timeout towards `from`, attach what the heartbeat
+    /// stream knows: a peer whose connection carried *any* frame within
+    /// the last three heartbeat intervals is alive but slow (keep
+    /// waiting / suspect a schedule bug); one silent longer than that is
+    /// hung or dead (restart it and resume from a checkpoint).
+    fn annotate_liveness(&self, err: CommError, from: usize) -> CommError {
+        if !err.is_timeout() || from == self.rank || from >= self.last_seen.len() {
+            return err;
+        }
+        let now = self.liveness_epoch.elapsed().as_millis() as u64;
+        let age = now.saturating_sub(self.last_seen[from].load(Ordering::Relaxed));
+        let limit = 3 * HEARTBEAT_INTERVAL.as_millis() as u64;
+        if age <= limit {
+            err.with_note(format!(
+                "peer {from} alive (last frame {age} ms ago) — slow, not gone"
+            ))
+        } else {
+            err.with_note(format!("peer {from} silent for {age} ms — hung or dead"))
+        }
+    }
 }
 
 /// Reader thread body: decode frames into the inbox until the peer goes
-/// away, then report how it went away.
-fn run_reader(peer: usize, mut stream: TcpStream, inbox: Sender<InboxMsg>) {
+/// away, then report how it went away. Every decoded frame — data or
+/// heartbeat — refreshes the peer's last-seen clock; heartbeats are
+/// otherwise swallowed here (never forwarded, never counted).
+fn run_reader(
+    peer: usize,
+    mut stream: TcpStream,
+    inbox: Sender<InboxMsg>,
+    last_seen: Arc<Vec<AtomicU64>>,
+    epoch: Instant,
+) {
     loop {
         match read_frame(&mut stream) {
+            Ok(Some((frame, _))) if frame.kind == FrameKind::Heartbeat => {
+                last_seen[peer].store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+            }
             Ok(Some((frame, wire_bytes))) if frame.kind == FrameKind::Data => {
+                last_seen[peer].store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
                 if inbox
                     .send(InboxMsg::Data {
                         from: peer,
@@ -355,15 +478,38 @@ fn run_reader(peer: usize, mut stream: TcpStream, inbox: Sender<InboxMsg>) {
     }
 }
 
-fn connect_with_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+/// Dial with bounded exponential backoff: base 10 ms doubling to a
+/// 500 ms cap, each sleep stretched by xorshift-derived jitter (seeded
+/// per caller) so a cohort of workers re-dialing a restarting peer does
+/// not reconnect in lockstep. Returns the last dial error once
+/// `deadline` passes.
+fn connect_with_backoff(
+    addr: SocketAddr,
+    deadline: Instant,
+    seed: u64,
+) -> std::io::Result<TcpStream> {
+    let mut state = seed | 1; // xorshift must not start at zero
+    let mut attempt = 0u32;
     loop {
-        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let dial_timeout = Duration::from_secs(2)
+            .min(remaining)
+            .max(Duration::from_millis(10));
+        match TcpStream::connect_timeout(&addr, dial_timeout) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() > deadline {
+                if Instant::now() >= deadline {
                     return Err(e);
                 }
-                std::thread::sleep(Duration::from_millis(10));
+                let base_ms = (10u64 << attempt.min(6)).min(500);
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let jitter_ms = state % (base_ms / 2 + 1);
+                let sleep = Duration::from_millis(base_ms + jitter_ms)
+                    .min(deadline.saturating_duration_since(Instant::now()));
+                std::thread::sleep(sleep);
+                attempt += 1;
             }
         }
     }
@@ -412,7 +558,10 @@ impl Transport for TcpTransport {
         if let Some(found) = req.take_done() {
             return Ok(found);
         }
-        let (payload, wire_bytes) = self.inbox.recv(req.from, req.tag, timeout)?;
+        let (payload, wire_bytes) = self
+            .inbox
+            .recv(req.from, req.tag, timeout)
+            .map_err(|e| self.annotate_liveness(e, req.from))?;
         self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
         self.bytes_recvd
             .fetch_add(wire_bytes as u64, Ordering::Relaxed);
@@ -445,6 +594,11 @@ impl Transport for TcpTransport {
     }
 
     fn shutdown(&self) {
+        // stop the heartbeat first so it cannot race the queue teardown
+        self.hb_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.hb_handle.lock().take() {
+            let _ = h.join();
+        }
         // dropping the queue senders makes each writer flush its backlog,
         // half-close the socket, and exit; peers then see clean EOFs
         for w in self.writers.lock().iter_mut() {

@@ -1,0 +1,752 @@
+//! Epoch checkpoint/restart: schema-versioned per-rank snapshots.
+//!
+//! A *checkpoint-safe* synchronization point (marked by the compiler in
+//! the `SpmdPlan`) is a `call acf_sync_<k>` statement in the main
+//! program unit. At the start of such a call the hook set has already
+//! completed every pending `isend`/`irecv`, the interpreter's control
+//! stack is just the main unit, and no message addressed to the
+//! not-yet-executed sync exists anywhere in the mesh — so a snapshot of
+//! (arrays, scalars, I/O queues, counters, loop cursor) taken there is
+//! a globally consistent cut: restoring every rank at the same visit of
+//! the same sync and *re-executing* the sync regenerates all in-flight
+//! traffic deterministically. See DESIGN.md §11 for the protocol.
+//!
+//! This module owns the portable snapshot data model and its on-disk
+//! layout; the interpreter layer (`autocfd-interp`) converts machine
+//! state to and from [`Snapshot`]s. Layout under a checkpoint
+//! directory:
+//!
+//! ```text
+//! DIR/run.json              — relaunch manifest (source, partition, flags)
+//! DIR/epoch-<E>/rank-<r>.json — per-rank snapshot of checkpoint epoch E
+//! ```
+//!
+//! Snapshots are written to a temp file and atomically renamed, so a
+//! crash mid-write leaves at most a stray `.tmp` file, never a
+//! half-readable snapshot under the final name. Recovery picks the
+//! newest epoch for which *all* ranks' snapshots parse and agree
+//! ([`latest_consistent_epoch`]); a torn or missing file simply makes
+//! recovery fall back to the previous complete epoch.
+//!
+//! All floating-point payloads are stored as IEEE-754 bit patterns
+//! (`f64::to_bits`) in JSON integers, so restore is bit-exact including
+//! negative zero, infinities and NaN payloads.
+
+use serde::json::{self, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the snapshot/manifest schema. Bump on any incompatible
+/// change; loaders reject mismatches instead of guessing.
+pub const CHECKPOINT_SCHEMA_VERSION: i64 = 1;
+
+/// Progress of one active `do` loop on the path from the top of the
+/// main unit to the checkpoint statement, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoProgress {
+    /// Loop variable name.
+    pub var: String,
+    /// The loop variable's value in the iteration being snapshotted.
+    pub iv: i64,
+    /// Loop step.
+    pub step: i64,
+    /// Full iterations still to run *after* the current one finishes.
+    pub remaining: u64,
+}
+
+/// Where in the main unit execution stood when the snapshot was taken:
+/// the checkpoint statement plus the state of every enclosing `do`.
+/// `if`/`do while` levels on the path need no saved state — their arms
+/// are rediscovered statically and their conditions re-evaluated from
+/// the restored scalars.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cursor {
+    /// Statement id of the `call acf_sync_<k>` the snapshot cuts at.
+    pub stmt: u32,
+    /// Enclosing `do` loops, outermost first.
+    pub dos: Vec<DoProgress>,
+}
+
+/// One array's saved contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySnap {
+    /// Binding name (frame variable or common-block member).
+    pub name: String,
+    /// Declared `(lower, upper)` bounds per dimension.
+    pub bounds: Vec<(i64, i64)>,
+    /// True if declared `integer`.
+    pub is_int: bool,
+    /// Column-major element storage as `f64::to_bits` patterns.
+    pub data: Vec<u64>,
+}
+
+/// One scalar's saved value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarSnap {
+    /// Fortran `integer`.
+    Int(i64),
+    /// Fortran `real`/`double precision`, as its IEEE-754 bit pattern.
+    Real(u64),
+    /// Fortran `logical`.
+    Logical(bool),
+    /// Character value.
+    Str(String),
+}
+
+/// Saved operation counters (restored so resumed profiles stay
+/// comparable to uninterrupted runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpsSnap {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Array element loads.
+    pub loads: u64,
+    /// Array element stores.
+    pub stores: u64,
+    /// Statements executed.
+    pub stmts: u64,
+}
+
+/// A complete per-rank snapshot at one checkpoint epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Owning rank.
+    pub rank: usize,
+    /// Mesh size the run was partitioned for.
+    pub ranks: usize,
+    /// Checkpoint epoch: the count of checkpoint-safe sync visits made
+    /// when this snapshot was cut. All ranks of one epoch agree.
+    pub epoch: u64,
+    /// Id of the sync (`acf_sync_<id>`) the snapshot cuts at.
+    pub sync_id: u32,
+    /// Resume position in the main unit.
+    pub cursor: Cursor,
+    /// Main-frame local arrays (excluding common-block members).
+    pub arrays: Vec<ArraySnap>,
+    /// Common-block members as `(block, member, contents)`.
+    pub commons: Vec<(String, String, ArraySnap)>,
+    /// Main-frame scalars.
+    pub scalars: Vec<(String, ScalarSnap)>,
+    /// Unconsumed list-directed input, as bit patterns.
+    pub input: Vec<u64>,
+    /// `write` output captured so far.
+    pub output: Vec<String>,
+    /// Operation counters at the cut.
+    pub ops: OpsSnap,
+}
+
+/// Relaunch manifest written next to the snapshots: everything `acfc
+/// resume DIR` needs to recompile the identical program (statement ids
+/// are minted deterministically, so an identical compile yields the
+/// same plan and the saved cursor stays valid) and relaunch the mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Original Fortran source text, embedded verbatim.
+    pub source: String,
+    /// Partition parts per grid axis.
+    pub parts: Vec<u32>,
+    /// Mesh size.
+    pub ranks: usize,
+    /// Dependence-test distance limit the compile used.
+    pub distance: i64,
+    /// Whether sync merging/optimization was on.
+    pub optimize: bool,
+    /// Whether compute/communication overlap was on.
+    pub overlap: bool,
+    /// Checkpoint cadence (snapshot every N checkpoint-safe visits).
+    pub checkpoint_every: u64,
+    /// Receive timeout in milliseconds.
+    pub timeout_ms: u64,
+}
+
+// ---------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------
+
+fn bits_arr(bits: &[u64]) -> Value {
+    Value::Arr(bits.iter().map(|&b| Value::Int(i128::from(b))).collect())
+}
+
+fn array_snap_json(a: &ArraySnap) -> Value {
+    Value::obj(vec![
+        ("name", Value::Str(a.name.clone())),
+        (
+            "bounds",
+            Value::Arr(
+                a.bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        Value::Arr(vec![Value::Int(i128::from(lo)), Value::Int(i128::from(hi))])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("is_int", Value::Bool(a.is_int)),
+        ("data", bits_arr(&a.data)),
+    ])
+}
+
+fn scalar_json(s: &ScalarSnap) -> Value {
+    match s {
+        ScalarSnap::Int(v) => Value::obj(vec![
+            ("t", Value::Str("int".into())),
+            ("v", Value::Int(i128::from(*v))),
+        ]),
+        ScalarSnap::Real(bits) => Value::obj(vec![
+            ("t", Value::Str("real".into())),
+            ("bits", Value::Int(i128::from(*bits))),
+        ]),
+        ScalarSnap::Logical(b) => Value::obj(vec![
+            ("t", Value::Str("log".into())),
+            ("v", Value::Bool(*b)),
+        ]),
+        ScalarSnap::Str(s) => Value::obj(vec![
+            ("t", Value::Str("str".into())),
+            ("v", Value::Str(s.clone())),
+        ]),
+    }
+}
+
+/// Render a snapshot as schema-versioned JSON.
+pub fn snapshot_to_json(s: &Snapshot) -> String {
+    let cursor = Value::obj(vec![
+        ("stmt", Value::Int(i128::from(s.cursor.stmt))),
+        (
+            "dos",
+            Value::Arr(
+                s.cursor
+                    .dos
+                    .iter()
+                    .map(|d| {
+                        Value::obj(vec![
+                            ("var", Value::Str(d.var.clone())),
+                            ("iv", Value::Int(i128::from(d.iv))),
+                            ("step", Value::Int(i128::from(d.step))),
+                            ("remaining", Value::Int(i128::from(d.remaining))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Value::obj(vec![
+        ("version", Value::Int(i128::from(CHECKPOINT_SCHEMA_VERSION))),
+        ("rank", Value::Int(s.rank as i128)),
+        ("ranks", Value::Int(s.ranks as i128)),
+        ("epoch", Value::Int(i128::from(s.epoch))),
+        ("sync_id", Value::Int(i128::from(s.sync_id))),
+        ("cursor", cursor),
+        (
+            "arrays",
+            Value::Arr(s.arrays.iter().map(array_snap_json).collect()),
+        ),
+        (
+            "commons",
+            Value::Arr(
+                s.commons
+                    .iter()
+                    .map(|(block, name, a)| {
+                        Value::obj(vec![
+                            ("block", Value::Str(block.clone())),
+                            ("member", Value::Str(name.clone())),
+                            ("array", array_snap_json(a)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "scalars",
+            Value::Arr(
+                s.scalars
+                    .iter()
+                    .map(|(name, v)| {
+                        Value::obj(vec![
+                            ("name", Value::Str(name.clone())),
+                            ("value", scalar_json(v)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("input", bits_arr(&s.input)),
+        (
+            "output",
+            Value::Arr(s.output.iter().map(|l| Value::Str(l.clone())).collect()),
+        ),
+        (
+            "ops",
+            Value::obj(vec![
+                ("flops", Value::Int(i128::from(s.ops.flops))),
+                ("loads", Value::Int(i128::from(s.ops.loads))),
+                ("stores", Value::Int(i128::from(s.ops.stores))),
+                ("stmts", Value::Int(i128::from(s.ops.stmts))),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("snapshot: missing `{key}`"))
+}
+
+fn int_field(v: &Value, key: &str) -> Result<i128, String> {
+    get(v, key)?
+        .as_int()
+        .ok_or_else(|| format!("snapshot: `{key}` is not an integer"))
+}
+
+fn num<T: TryFrom<i128>>(v: &Value, key: &str) -> Result<T, String> {
+    T::try_from(int_field(v, key)?).map_err(|_| format!("snapshot: `{key}` out of range"))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    Ok(get(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("snapshot: `{key}` is not a string"))?
+        .to_string())
+}
+
+fn arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    get(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("snapshot: `{key}` is not an array"))
+}
+
+fn bits_field(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("snapshot: bad bit pattern in `{key}`"))
+        })
+        .collect()
+}
+
+fn parse_array_snap(v: &Value) -> Result<ArraySnap, String> {
+    let bounds = arr(v, "bounds")?
+        .iter()
+        .map(|b| {
+            let pair = b
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or("snapshot: bound is not a pair")?;
+            let lo = pair[0]
+                .as_int()
+                .and_then(|i| i64::try_from(i).ok())
+                .ok_or("snapshot: bad bound")?;
+            let hi = pair[1]
+                .as_int()
+                .and_then(|i| i64::try_from(i).ok())
+                .ok_or("snapshot: bad bound")?;
+            Ok::<(i64, i64), String>((lo, hi))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ArraySnap {
+        name: str_field(v, "name")?,
+        bounds,
+        is_int: matches!(get(v, "is_int")?, Value::Bool(true)),
+        data: bits_field(v, "data")?,
+    })
+}
+
+fn parse_scalar(v: &Value) -> Result<ScalarSnap, String> {
+    match str_field(v, "t")?.as_str() {
+        "int" => Ok(ScalarSnap::Int(num(v, "v")?)),
+        "real" => Ok(ScalarSnap::Real(num(v, "bits")?)),
+        "log" => Ok(ScalarSnap::Logical(matches!(
+            get(v, "v")?,
+            Value::Bool(true)
+        ))),
+        "str" => Ok(ScalarSnap::Str(str_field(v, "v")?)),
+        other => Err(format!("snapshot: unknown scalar tag `{other}`")),
+    }
+}
+
+/// Parse a snapshot back from its JSON rendering.
+pub fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
+    let v = json::parse(text).map_err(|e| format!("snapshot: {e}"))?;
+    let version = int_field(&v, "version")?;
+    if version != i128::from(CHECKPOINT_SCHEMA_VERSION) {
+        return Err(format!(
+            "snapshot: schema version {version} (this build reads {CHECKPOINT_SCHEMA_VERSION})"
+        ));
+    }
+    let cv = get(&v, "cursor")?;
+    let cursor = Cursor {
+        stmt: num(cv, "stmt")?,
+        dos: arr(cv, "dos")?
+            .iter()
+            .map(|d| {
+                Ok::<DoProgress, String>(DoProgress {
+                    var: str_field(d, "var")?,
+                    iv: num(d, "iv")?,
+                    step: num(d, "step")?,
+                    remaining: num(d, "remaining")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let arrays = arr(&v, "arrays")?
+        .iter()
+        .map(parse_array_snap)
+        .collect::<Result<Vec<_>, _>>()?;
+    let commons = arr(&v, "commons")?
+        .iter()
+        .map(|c| {
+            Ok::<(String, String, ArraySnap), String>((
+                str_field(c, "block")?,
+                str_field(c, "member")?,
+                parse_array_snap(get(c, "array")?)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let scalars = arr(&v, "scalars")?
+        .iter()
+        .map(|s| {
+            Ok::<(String, ScalarSnap), String>((
+                str_field(s, "name")?,
+                parse_scalar(get(s, "value")?)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let output = arr(&v, "output")?
+        .iter()
+        .map(|l| {
+            l.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "snapshot: bad output line".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let ov = get(&v, "ops")?;
+    Ok(Snapshot {
+        rank: num(&v, "rank")?,
+        ranks: num(&v, "ranks")?,
+        epoch: num(&v, "epoch")?,
+        sync_id: num(&v, "sync_id")?,
+        cursor,
+        arrays,
+        commons,
+        scalars,
+        input: bits_field(&v, "input")?,
+        output,
+        ops: OpsSnap {
+            flops: num(ov, "flops")?,
+            loads: num(ov, "loads")?,
+            stores: num(ov, "stores")?,
+            stmts: num(ov, "stmts")?,
+        },
+    })
+}
+
+/// Render a run manifest as schema-versioned JSON.
+pub fn manifest_to_json(m: &RunManifest) -> String {
+    Value::obj(vec![
+        ("version", Value::Int(i128::from(CHECKPOINT_SCHEMA_VERSION))),
+        ("source", Value::Str(m.source.clone())),
+        (
+            "parts",
+            Value::Arr(m.parts.iter().map(|&p| Value::Int(i128::from(p))).collect()),
+        ),
+        ("ranks", Value::Int(m.ranks as i128)),
+        ("distance", Value::Int(i128::from(m.distance))),
+        ("optimize", Value::Bool(m.optimize)),
+        ("overlap", Value::Bool(m.overlap)),
+        (
+            "checkpoint_every",
+            Value::Int(i128::from(m.checkpoint_every)),
+        ),
+        ("timeout_ms", Value::Int(i128::from(m.timeout_ms))),
+    ])
+    .to_string()
+}
+
+/// Parse a run manifest back from its JSON rendering.
+pub fn manifest_from_json(text: &str) -> Result<RunManifest, String> {
+    let v = json::parse(text).map_err(|e| format!("run manifest: {e}"))?;
+    let version = int_field(&v, "version")?;
+    if version != i128::from(CHECKPOINT_SCHEMA_VERSION) {
+        return Err(format!(
+            "run manifest: schema version {version} (this build reads {CHECKPOINT_SCHEMA_VERSION})"
+        ));
+    }
+    let parts = arr(&v, "parts")?
+        .iter()
+        .map(|p| {
+            p.as_int()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| "run manifest: bad part".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RunManifest {
+        source: str_field(&v, "source")?,
+        parts,
+        ranks: num(&v, "ranks")?,
+        distance: num(&v, "distance")?,
+        optimize: matches!(get(&v, "optimize")?, Value::Bool(true)),
+        overlap: matches!(get(&v, "overlap")?, Value::Bool(true)),
+        checkpoint_every: num(&v, "checkpoint_every")?,
+        timeout_ms: num(&v, "timeout_ms")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// On-disk layout
+// ---------------------------------------------------------------------
+
+/// Directory holding epoch `epoch`'s snapshots.
+pub fn epoch_dir(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("epoch-{epoch}"))
+}
+
+/// Path of rank `rank`'s snapshot within epoch `epoch`.
+pub fn rank_snapshot_path(dir: &Path, epoch: u64, rank: usize) -> PathBuf {
+    epoch_dir(dir, epoch).join(format!("rank-{rank}.json"))
+}
+
+/// Path of the run manifest within `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("run.json")
+}
+
+fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+/// Write rank `snap.rank`'s snapshot for its epoch under `dir`,
+/// atomically (temp file + rename — a crash mid-write never leaves a
+/// half-readable file under the final name). Returns the final path.
+pub fn write_snapshot(dir: &Path, snap: &Snapshot) -> io::Result<PathBuf> {
+    let edir = epoch_dir(dir, snap.epoch);
+    fs::create_dir_all(&edir)?;
+    let path = edir.join(format!("rank-{}.json", snap.rank));
+    write_atomic(&path, &snapshot_to_json(snap))?;
+    Ok(path)
+}
+
+/// Load one snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    snapshot_from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Write the run manifest into `dir` (created if needed).
+pub fn write_manifest(dir: &Path, m: &RunManifest) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = manifest_path(dir);
+    write_atomic(&path, &manifest_to_json(m))?;
+    Ok(path)
+}
+
+/// Load the run manifest from `dir`.
+pub fn load_manifest(dir: &Path) -> Result<RunManifest, String> {
+    let path = manifest_path(dir);
+    let text = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    manifest_from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Newest epoch under `dir` for which all `ranks` snapshots exist,
+/// parse, and agree on (epoch, mesh size, sync id, cursor statement).
+/// A torn, missing, or inconsistent file disqualifies the whole epoch
+/// and the scan falls back to the next older one — so recovery always
+/// lands on a complete consistent cut or reports none.
+pub fn latest_consistent_epoch(dir: &Path, ranks: usize) -> Option<u64> {
+    let mut epochs: Vec<u64> = fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("epoch-")?
+                .parse::<u64>()
+                .ok()
+        })
+        .collect();
+    epochs.sort_unstable();
+    epochs
+        .into_iter()
+        .rev()
+        .find(|&epoch| load_epoch(dir, epoch, ranks).is_ok())
+}
+
+/// Load every rank's snapshot of one epoch, verifying consistency:
+/// all files present and parseable, each claiming the requested epoch
+/// and mesh size, all cut at the same sync visit.
+pub fn load_epoch(dir: &Path, epoch: u64, ranks: usize) -> Result<Vec<Snapshot>, String> {
+    let mut snaps = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let snap = load_snapshot(&rank_snapshot_path(dir, epoch, rank))?;
+        if snap.rank != rank || snap.ranks != ranks || snap.epoch != epoch {
+            return Err(format!(
+                "epoch {epoch} rank {rank}: snapshot claims rank {}/{} epoch {}",
+                snap.rank, snap.ranks, snap.epoch
+            ));
+        }
+        snaps.push(snap);
+    }
+    let first = &snaps[0];
+    for s in &snaps[1..] {
+        if s.sync_id != first.sync_id || s.cursor.stmt != first.cursor.stmt {
+            return Err(format!(
+                "epoch {epoch}: ranks disagree on the cut point \
+                 (sync {} stmt {} vs sync {} stmt {})",
+                first.sync_id, first.cursor.stmt, s.sync_id, s.cursor.stmt
+            ));
+        }
+    }
+    Ok(snaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot(rank: usize, epoch: u64) -> Snapshot {
+        Snapshot {
+            rank,
+            ranks: 2,
+            epoch,
+            sync_id: 3,
+            cursor: Cursor {
+                stmt: 17,
+                dos: vec![DoProgress {
+                    var: "it".into(),
+                    iv: 4,
+                    step: 1,
+                    remaining: 6,
+                }],
+            },
+            arrays: vec![ArraySnap {
+                name: "v".into(),
+                bounds: vec![(1, 2), (0, 1)],
+                is_int: false,
+                data: vec![
+                    1.5f64.to_bits(),
+                    (-0.0f64).to_bits(),
+                    f64::NAN.to_bits(),
+                    f64::INFINITY.to_bits(),
+                ],
+            }],
+            commons: vec![(
+                "blk".into(),
+                "w".into(),
+                ArraySnap {
+                    name: "w".into(),
+                    bounds: vec![(1, 2)],
+                    is_int: true,
+                    data: vec![2.0f64.to_bits(), 3.0f64.to_bits()],
+                },
+            )],
+            scalars: vec![
+                ("i".into(), ScalarSnap::Int(-7)),
+                ("err".into(), ScalarSnap::Real(1e-9f64.to_bits())),
+                ("done".into(), ScalarSnap::Logical(true)),
+                ("tag".into(), ScalarSnap::Str("frame".into())),
+            ],
+            input: vec![0.25f64.to_bits()],
+            output: vec!["line one".into()],
+            ops: OpsSnap {
+                flops: 10,
+                loads: 20,
+                stores: 30,
+                stmts: 40,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let s = sample_snapshot(1, 2);
+        let back = snapshot_from_json(&snapshot_to_json(&s)).unwrap();
+        assert_eq!(back, s);
+        // NaN payload preserved exactly through the bits encoding
+        assert_eq!(back.arrays[0].data[2], f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = RunManifest {
+            source: "      program p\n      end\n".into(),
+            parts: vec![2, 1, 2],
+            ranks: 4,
+            distance: 3,
+            optimize: true,
+            overlap: false,
+            checkpoint_every: 5,
+            timeout_ms: 30_000,
+        };
+        let back = manifest_from_json(&manifest_to_json(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let text =
+            snapshot_to_json(&sample_snapshot(0, 0)).replace("\"version\":1", "\"version\":9");
+        assert!(snapshot_from_json(&text).unwrap_err().contains("version 9"));
+    }
+
+    #[test]
+    fn torn_newest_epoch_falls_back() {
+        let dir = std::env::temp_dir().join(format!("acfd-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for epoch in [1, 2] {
+            for rank in 0..2 {
+                write_snapshot(&dir, &sample_snapshot(rank, epoch)).unwrap();
+            }
+        }
+        assert_eq!(latest_consistent_epoch(&dir, 2), Some(2));
+
+        // truncate rank 1's newest snapshot mid-file: epoch 2 is torn
+        let torn = rank_snapshot_path(&dir, 2, 1);
+        let text = fs::read_to_string(&torn).unwrap();
+        fs::write(&torn, &text[..text.len() / 2]).unwrap();
+        assert_eq!(latest_consistent_epoch(&dir, 2), Some(1));
+
+        // remove it entirely: still epoch 1
+        fs::remove_file(&torn).unwrap();
+        assert_eq!(latest_consistent_epoch(&dir, 2), Some(1));
+
+        // no epoch has all ranks → none
+        fs::remove_file(rank_snapshot_path(&dir, 1, 0)).unwrap();
+        fs::remove_file(rank_snapshot_path(&dir, 2, 0)).unwrap();
+        assert_eq!(latest_consistent_epoch(&dir, 2), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_cut_points_rejected() {
+        let dir = std::env::temp_dir().join(format!("acfd-ckpt-cut-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        write_snapshot(&dir, &sample_snapshot(0, 1)).unwrap();
+        let mut other = sample_snapshot(1, 1);
+        other.sync_id = 9;
+        write_snapshot(&dir, &other).unwrap();
+        let err = load_epoch(&dir, 1, 2).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+        assert_eq!(latest_consistent_epoch(&dir, 2), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_is_atomic_under_final_name() {
+        let dir = std::env::temp_dir().join(format!("acfd-ckpt-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = write_snapshot(&dir, &sample_snapshot(0, 7)).unwrap();
+        assert!(path.ends_with("epoch-7/rank-0.json"));
+        // no stray temp file left behind
+        let names: Vec<String> = fs::read_dir(epoch_dir(&dir, 7))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["rank-0.json"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

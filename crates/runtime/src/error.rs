@@ -4,7 +4,12 @@
 //! diagnosis instead of a hang.
 
 /// What went wrong.
+///
+/// Non-exhaustive: the fault-tolerance work adds variants over time
+/// (most recently [`CommErrorKind::PeerRestarting`]); downstream
+/// matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CommErrorKind {
     /// No matching message within the receive timeout — almost always a
     /// deadlock or a schedule bug in generated code.
@@ -17,10 +22,22 @@ pub enum CommErrorKind {
     Io(String),
     /// A malformed or unexpected frame / handshake message.
     Protocol(String),
+    /// The peer is temporarily unreachable but believed to be coming
+    /// back: its endpoint refused connections while a bounded
+    /// backoff-and-retry dial was in progress. Distinct from
+    /// [`CommErrorKind::Disconnected`] (an *established* connection
+    /// died): a supervisor seeing this should wait or resume from a
+    /// checkpoint rather than declare the peer dead.
+    PeerRestarting(String),
 }
 
 /// A communication failure with full context.
+///
+/// Non-exhaustive: construct via the provided constructors
+/// ([`CommError::timeout`], [`CommError::disconnected`], ...), not a
+/// struct literal.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CommError {
     /// What happened.
     pub kind: CommErrorKind,
@@ -33,6 +50,10 @@ pub struct CommError {
     /// The executing program phase (`sync_3`, `pre_1`, `reduce_err`, ...)
     /// at the time of the failure, attached by the communicator.
     pub phase: Option<String>,
+    /// A free-form backend annotation — the TCP transport uses it to
+    /// attach the peer's heartbeat status to a timeout, so the message
+    /// says whether the peer is alive-but-slow or silent.
+    pub note: Option<String>,
 }
 
 impl CommError {
@@ -44,6 +65,7 @@ impl CommError {
             peer: Some(from),
             tag: Some(tag),
             phase: None,
+            note: None,
         }
     }
 
@@ -55,6 +77,7 @@ impl CommError {
             peer: Some(peer),
             tag: None,
             phase: None,
+            note: None,
         }
     }
 
@@ -66,6 +89,7 @@ impl CommError {
             peer: Some(peer),
             tag: None,
             phase: None,
+            note: None,
         }
     }
 
@@ -77,6 +101,20 @@ impl CommError {
             peer: None,
             tag: None,
             phase: None,
+            note: None,
+        }
+    }
+
+    /// A peer that refused connections through a full backoff window —
+    /// presumed restarting rather than gone.
+    pub fn peer_restarting(rank: usize, peer: usize, detail: impl Into<String>) -> Self {
+        CommError {
+            kind: CommErrorKind::PeerRestarting(detail.into()),
+            rank,
+            peer: Some(peer),
+            tag: None,
+            phase: None,
+            note: None,
         }
     }
 
@@ -94,6 +132,15 @@ impl CommError {
         self
     }
 
+    /// Attach a backend annotation (kept if already set), e.g. the
+    /// peer's heartbeat status at the time of a timeout.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        if self.note.is_none() {
+            self.note = Some(note.into());
+        }
+        self
+    }
+
     /// Whether this is a receive timeout.
     pub fn is_timeout(&self) -> bool {
         matches!(self.kind, CommErrorKind::Timeout)
@@ -102,6 +149,11 @@ impl CommError {
     /// Whether this is a vanished peer.
     pub fn is_disconnected(&self) -> bool {
         matches!(self.kind, CommErrorKind::Disconnected(_))
+    }
+
+    /// Whether this is a presumed-restarting peer.
+    pub fn is_peer_restarting(&self) -> bool {
+        matches!(self.kind, CommErrorKind::PeerRestarting(_))
     }
 }
 
@@ -134,6 +186,15 @@ impl std::fmt::Display for CommError {
             CommErrorKind::Protocol(detail) => {
                 write!(f, ": protocol error: {detail}")?;
             }
+            CommErrorKind::PeerRestarting(detail) => {
+                match self.peer {
+                    Some(p) => write!(f, ": peer {p} unreachable, presumed restarting")?,
+                    None => write!(f, ": peer unreachable, presumed restarting")?,
+                }
+                if !detail.is_empty() {
+                    write!(f, " ({detail})")?;
+                }
+            }
         }
         if let Some(tag) = self.tag {
             write!(f, " tag {tag}")?;
@@ -143,6 +204,9 @@ impl std::fmt::Display for CommError {
         }
         if self.is_timeout() {
             write!(f, " (deadlock?)")?;
+        }
+        if let Some(note) = &self.note {
+            write!(f, " [{note}]")?;
         }
         Ok(())
     }

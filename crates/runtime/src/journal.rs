@@ -240,6 +240,77 @@ fn str_field(line: &Value, key: &str, ln: usize) -> Result<String, JournalError>
         .to_string())
 }
 
+/// One parsed journal line.
+///
+/// Non-exhaustive: future schema versions may add record types (a
+/// checkpoint marker, say) without that being a breaking change, so
+/// downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JournalRecord {
+    /// The opening `header` line.
+    Header(JournalHeader),
+    /// One `event` line.
+    Event(JournalEvent),
+    /// The closing `footer` line.
+    Footer {
+        /// The event count the writer claims to have appended; a
+        /// mismatch with the lines actually present marks truncation.
+        events: usize,
+    },
+}
+
+/// Parse one journal line (`ln` is its 1-based line number, used in
+/// error messages).
+pub fn parse_line(raw: &str, ln: usize) -> Result<JournalRecord, JournalError> {
+    let line = json::parse(raw).map_err(|e| JournalError::new(format!("line {ln}: {e}")))?;
+    let ty = str_field(&line, "type", ln)?;
+    match ty.as_str() {
+        "header" => {
+            let version = int_field(&line, "version", ln)? as i64;
+            if version != SCHEMA_VERSION {
+                return Err(JournalError::new(format!(
+                    "line {ln}: unsupported schema version {version} (expected {SCHEMA_VERSION})"
+                )));
+            }
+            Ok(JournalRecord::Header(JournalHeader {
+                version,
+                rank: int_field(&line, "rank", ln)? as usize,
+                ranks: int_field(&line, "ranks", ln)? as usize,
+                transport: str_field(&line, "transport", ln)?,
+                epoch_unix_ns: int_field(&line, "epoch_unix_ns", ln)?,
+            }))
+        }
+        "event" => {
+            let kind_name = str_field(&line, "kind", ln)?;
+            let kind = EventKind::from_name(&kind_name).ok_or_else(|| {
+                JournalError::new(format!("line {ln}: unknown event kind `{kind_name}`"))
+            })?;
+            let peer = match field(&line, "peer", ln)? {
+                Value::Null => None,
+                v => Some(v.as_int().ok_or_else(|| {
+                    JournalError::new(format!("line {ln}: `peer` is not an integer"))
+                })? as usize),
+            };
+            Ok(JournalRecord::Event(JournalEvent {
+                kind,
+                start: Duration::from_nanos(int_field(&line, "start_ns", ln)? as u64),
+                end: Duration::from_nanos(int_field(&line, "end_ns", ln)? as u64),
+                peer,
+                elems: int_field(&line, "elems", ln)? as usize,
+                bytes: int_field(&line, "bytes", ln)? as usize,
+                phase: str_field(&line, "phase", ln)?,
+            }))
+        }
+        "footer" => Ok(JournalRecord::Footer {
+            events: int_field(&line, "events", ln)? as usize,
+        }),
+        other => Err(JournalError::new(format!(
+            "line {ln}: unknown record type `{other}`"
+        ))),
+    }
+}
+
 /// Parse one rank's journal text. A missing or short footer is not an
 /// error — the journal is returned with [`RankJournal::complete`] set to
 /// `false` (that is exactly the crashed-rank case the journal exists
@@ -253,54 +324,14 @@ pub fn parse_rank_journal(text: &str) -> Result<RankJournal, JournalError> {
         if raw.trim().is_empty() {
             continue;
         }
-        let line = json::parse(raw).map_err(|e| JournalError::new(format!("line {ln}: {e}")))?;
-        let ty = str_field(&line, "type", ln)?;
-        match ty.as_str() {
-            "header" => {
-                let version = int_field(&line, "version", ln)? as i64;
-                if version != SCHEMA_VERSION {
-                    return Err(JournalError::new(format!(
-                        "line {ln}: unsupported schema version {version} (expected {SCHEMA_VERSION})"
-                    )));
-                }
-                header = Some(JournalHeader {
-                    version,
-                    rank: int_field(&line, "rank", ln)? as usize,
-                    ranks: int_field(&line, "ranks", ln)? as usize,
-                    transport: str_field(&line, "transport", ln)?,
-                    epoch_unix_ns: int_field(&line, "epoch_unix_ns", ln)?,
-                });
-            }
-            "event" => {
-                let kind_name = str_field(&line, "kind", ln)?;
-                let kind = EventKind::from_name(&kind_name).ok_or_else(|| {
-                    JournalError::new(format!("line {ln}: unknown event kind `{kind_name}`"))
-                })?;
-                let peer = match field(&line, "peer", ln)? {
-                    Value::Null => None,
-                    v => Some(v.as_int().ok_or_else(|| {
-                        JournalError::new(format!("line {ln}: `peer` is not an integer"))
-                    })? as usize),
-                };
-                events.push(JournalEvent {
-                    kind,
-                    start: Duration::from_nanos(int_field(&line, "start_ns", ln)? as u64),
-                    end: Duration::from_nanos(int_field(&line, "end_ns", ln)? as u64),
-                    peer,
-                    elems: int_field(&line, "elems", ln)? as usize,
-                    bytes: int_field(&line, "bytes", ln)? as usize,
-                    phase: str_field(&line, "phase", ln)?,
-                });
-            }
-            "footer" => {
-                let n = int_field(&line, "events", ln)? as usize;
-                complete = n == events.len();
-            }
-            other => {
-                return Err(JournalError::new(format!(
-                    "line {ln}: unknown record type `{other}`"
-                )));
-            }
+        match parse_line(raw, ln)? {
+            JournalRecord::Header(h) => header = Some(h),
+            JournalRecord::Event(e) => events.push(e),
+            JournalRecord::Footer { events: n } => complete = n == events.len(),
+            // `JournalRecord` is non-exhaustive for downstream crates;
+            // record types this build doesn't know cannot parse above.
+            #[allow(unreachable_patterns)]
+            _ => {}
         }
     }
     let header = header.ok_or_else(|| JournalError::new("no header line"))?;

@@ -37,6 +37,7 @@
 //! small-message MPI on Ethernet: a `send` never blocks, so the
 //! symmetric `sendrecv` used by halo exchange cannot deadlock.
 
+pub mod checkpoint;
 pub mod comm;
 pub mod error;
 pub mod export;
@@ -45,6 +46,11 @@ pub mod journal;
 pub mod trace;
 pub mod transport;
 
+pub use checkpoint::{
+    latest_consistent_epoch, load_epoch, load_manifest, load_snapshot, write_manifest,
+    write_snapshot, ArraySnap, Cursor, DoProgress, OpsSnap, RunManifest, ScalarSnap, Snapshot,
+    CHECKPOINT_SCHEMA_VERSION,
+};
 pub use comm::{Comm, CommStats, ReduceOp, DEFAULT_TIMEOUT};
 pub use error::{CommError, CommErrorKind};
 pub use export::{
@@ -53,8 +59,9 @@ pub use export::{
 };
 pub use inproc::{run_spmd, run_spmd_with_timeout, InprocTransport};
 pub use journal::{
-    epoch_unix_ns, load_trace_dir, merge, parse_rank_journal, write_rank_journal, JournalError,
-    JournalEvent, JournalHeader, JournalWriter, MergedTrace, RankJournal, SCHEMA_VERSION,
+    epoch_unix_ns, load_trace_dir, merge, parse_line, parse_rank_journal, write_rank_journal,
+    JournalError, JournalEvent, JournalHeader, JournalRecord, JournalWriter, MergedTrace,
+    RankJournal, SCHEMA_VERSION,
 };
 pub use trace::{
     render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, Recorder,

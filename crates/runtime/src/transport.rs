@@ -21,6 +21,13 @@
 
 use crate::error::CommError;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+pub use crate::inproc::InprocTransport;
+
+// The multi-process TCP backend (`TcpTransport`) lives in the
+// `autocfd-runtime-net` crate, which depends on this one, so it cannot
+// be re-exported here without a crate cycle; the `autocfd::transport`
+// facade module re-exports both backends side by side.
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -191,6 +198,12 @@ pub trait Transport: Send {
 
     /// Blocking send: post with [`Transport::isend`] and immediately
     /// complete. Returns the wire bytes enqueued.
+    ///
+    /// Legacy shim kept for the default [`Transport::barrier`] and old
+    /// call sites; new code should use [`Transport::isend`] +
+    /// [`Transport::wait_send`], which make the completion point (and
+    /// any overlap opportunity) explicit.
+    #[doc(hidden)]
     fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
         let req = self.isend(to, tag, payload)?;
         self.wait_send(req, Duration::ZERO)
@@ -199,6 +212,12 @@ pub trait Transport: Send {
     /// Blocking receive: post with [`Transport::irecv`] and wait up to
     /// `timeout` for a message from `from` with `tag`. Returns the
     /// payload and its wire size.
+    ///
+    /// Legacy shim kept for the default [`Transport::barrier`] and old
+    /// call sites; new code should use [`Transport::irecv`] +
+    /// [`Transport::wait_recv`] (or [`Transport::test_recv`] to poll),
+    /// which make the completion point explicit.
+    #[doc(hidden)]
     fn recv(
         &self,
         from: usize,

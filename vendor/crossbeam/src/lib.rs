@@ -17,6 +17,8 @@ pub mod channel {
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     pub use std::sync::mpsc::SendError;
+    /// Why a non-blocking send failed: full channel or receiver gone.
+    pub use std::sync::mpsc::TrySendError;
 
     enum SenderInner<T> {
         Unbounded(mpsc::Sender<T>),
@@ -43,6 +45,18 @@ pub mod channel {
             match &self.0 {
                 SenderInner::Unbounded(tx) => tx.send(value),
                 SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking send: on a full bounded channel fails with
+        /// [`TrySendError::Full`] instead of waiting (an unbounded
+        /// channel is never full).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                SenderInner::Bounded(tx) => tx.try_send(value),
             }
         }
     }
