@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! acfc [run|trace] INPUT.f [options]
+//! acfc compile INPUT.f --server ADDR --partition AxB [-o plan.json] [--emit FILE]
 //! acfc plan INPUT.f [-o plan.json] [compile options]
 //! acfc resume DIR [--verify | --verify-exact] [--profile] [--trace-dir DIR]
 //! acfc stats DIR [--input INPUT.f] [options]
@@ -43,7 +44,21 @@
 //!                        N-th checkpoint-safe sync visit (chaos testing)
 //!   -o FILE              (plan) where to write the plan JSON ('-' or
 //!                        absent = stdout)
+//!   --server ADDR        submit the compile (and run) to a resident
+//!                        `acfd-compile serve` daemon instead of running
+//!                        the pipeline locally; requires an explicit
+//!                        --partition AxB (the server never auto-picks)
 //! ```
+//!
+//! With `--server ADDR`, `acfc run`/`acfc trace` submit the source to a
+//! resident `acfd-compile` daemon: the server compiles (or serves the
+//! plan from its content-addressed cache — the cache verdict is
+//! reported), executes the parallel program on its own rank-threads, and
+//! streams the per-rank JSONL journals back over the wire. `acfc trace
+//! --server` therefore renders the same report, and `acfc stats DIR`
+//! works unchanged on the streamed journals. `acfc compile --server`
+//! stops after the compile: `-o` captures the plan JSON and `--emit` the
+//! generated parallel source, exactly like their local counterparts.
 //!
 //! `acfc plan INPUT.f -o plan.json` runs the analysis pipeline and
 //! emits the executable [`SpmdPlan`](autocfd::codegen::SpmdPlan) as
@@ -78,10 +93,16 @@
 //! [`autocfd::Error::exit_code`]).
 
 use autocfd::cli::{CommonOpts, TransportKind};
+use autocfd::compile_service::{
+    Client, CompileReq, ErrorClass, Request, RunReq, ServiceError, StreamItem,
+};
 use autocfd::obs;
 use autocfd::runtime::checkpoint::{self, RunManifest};
+use autocfd::runtime::journal;
 use autocfd::runtime_net::Rendezvous;
 use autocfd::{compile, Compiled, Error};
+use serde::json::Value;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -98,6 +119,8 @@ enum Mode {
     Plan,
     /// Relaunch a checkpointed run from its newest consistent epoch.
     Resume,
+    /// Compile on a resident `acfd-compile` daemon, nothing more.
+    RemoteCompile,
 }
 
 struct Args {
@@ -121,6 +144,8 @@ struct Args {
     stats_input: Option<String>,
     /// `plan` only: output path for the plan JSON.
     plan_out: Option<String>,
+    /// `--server ADDR`: compile (and run) on a resident daemon.
+    server: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -139,9 +164,11 @@ fn parse_args() -> Result<Args, String> {
     let mut check = false;
     let mut stats_input = None;
     let mut plan_out = None;
+    let mut server = None;
     // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`;
     // `trace` and `stats` select the observability modes, `plan` emits
-    // the plan artifact, `resume` relaunches a checkpointed run
+    // the plan artifact, `resume` relaunches a checkpointed run,
+    // `compile` submits a compile-only request to `--server`
     match args.peek().map(String::as_str) {
         Some("run") => {
             args.next();
@@ -163,6 +190,10 @@ fn parse_args() -> Result<Args, String> {
             args.next();
             mode = Mode::Resume;
         }
+        Some("compile") => {
+            args.next();
+            mode = Mode::RemoteCompile;
+        }
         _ => {}
     }
     while let Some(a) = args.next() {
@@ -180,6 +211,7 @@ fn parse_args() -> Result<Args, String> {
                 min_coverage = v.parse().map_err(|_| format!("bad coverage `{v}`"))?;
             }
             "--check" => check = true,
+            "--server" => server = Some(args.next().ok_or("--server needs HOST:PORT")?),
             "--input" => stats_input = Some(args.next().ok_or("--input needs a path")?),
             "--report" => report = true,
             "--analysis" => analysis = true,
@@ -197,7 +229,10 @@ fn parse_args() -> Result<Args, String> {
                             [--analysis] [--profile] [--run] [--verify] [--verify-exact] \
                             [--overlap] [--transport inproc|tcp] [--ranks N] \
                             [--timeout-ms N] [--trace-dir DIR] [--tolerance T] [--check] \
-                            [--plan FILE] [--checkpoint-every N] [--checkpoint-dir DIR]\n\
+                            [--plan FILE] [--checkpoint-every N] [--checkpoint-dir DIR] \
+                            [--server HOST:PORT]\n\
+                     or:    acfc compile INPUT.f --server HOST:PORT --partition AxB[xC] \
+                            [-o plan.json] [--emit FILE|-]\n\
                      or:    acfc plan INPUT.f [-o plan.json] [compile options]\n\
                      or:    acfc resume DIR [--verify | --verify-exact] [--profile]\n\
                      or:    acfc stats DIR [--input INPUT.f] [--tolerance T] \
@@ -225,6 +260,7 @@ fn parse_args() -> Result<Args, String> {
         check,
         stats_input,
         plan_out,
+        server,
     })
 }
 
@@ -507,7 +543,7 @@ fn run_resume(args: &Args) -> ExitCode {
 /// `acfc plan INPUT.f -o plan.json`: emit the compiled SpmdPlan as
 /// schema-versioned JSON (stdout when `-o` is `-` or absent).
 fn run_plan(args: &Args, compiled: &Compiled) -> ExitCode {
-    let text = autocfd::codegen::to_json(&compiled.spmd_plan);
+    let text = autocfd::planio::plan_to_json(&compiled.spmd_plan);
     match args.plan_out.as_deref() {
         None | Some("-") => println!("{text}"),
         Some(path) => {
@@ -517,6 +553,209 @@ fn run_plan(args: &Args, compiled: &Compiled) -> ExitCode {
             }
             eprintln!("acfc: plan written to {path}");
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The directory `trace` mode journals into: `--trace-dir`, or
+/// `<INPUT stem>.trace/` next to the source.
+fn trace_dir_of(args: &Args) -> PathBuf {
+    args.common
+        .trace_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            let stem = Path::new(&args.input)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("acfc");
+            PathBuf::from(format!("{stem}.trace"))
+        })
+}
+
+/// Map a service error onto the local exit-code conventions: bad
+/// request 1, compile failure 2, server-side runtime failure 3.
+fn remote_exit(e: &ServiceError) -> ExitCode {
+    eprintln!("acfc: server: {e}");
+    ExitCode::from(match e.class {
+        ErrorClass::BadRequest => 1,
+        ErrorClass::Compile => 2,
+        ErrorClass::Internal => 3,
+    })
+}
+
+/// The compile request `--server` submits. The server never auto-picks
+/// a partition (choosing one takes the frontend it is trying to skip),
+/// so an explicit `--partition` is mandatory here.
+fn remote_request(args: &Args, source: &str) -> Result<CompileReq, String> {
+    let parts = args
+        .common
+        .compile
+        .partition
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .ok_or("--server needs an explicit --partition AxB[xC]")?;
+    Ok(CompileReq {
+        source: source.into(),
+        parts: parts.iter().map(|&p| p as usize).collect(),
+        distance: args.common.compile.distance.map(|d| d as usize),
+        optimize: args.common.compile.optimize,
+    })
+}
+
+/// Render the cache verdict trio every server response carries.
+fn remote_verdict(resp: &Value) -> String {
+    let cache = resp.get("cache").and_then(Value::as_str).unwrap_or("?");
+    let digest = resp.get("digest").and_then(Value::as_str).unwrap_or("?");
+    let ms = resp
+        .get("compile_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    format!("cache {cache}, plan {digest}, compile {ms:.1} ms")
+}
+
+/// `--server ADDR`: submit the source to a resident `acfd-compile`
+/// daemon instead of compiling locally. `acfc compile` stops after the
+/// (possibly cached) compile; `acfc run`/`acfc trace` execute on the
+/// server and stream the per-rank journals back, so the trace report —
+/// and `acfc stats` afterwards — work unchanged on remote runs.
+fn run_remote(args: &Args, source: &str, addr: &str) -> ExitCode {
+    let req = match remote_request(args, source) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return remote_exit(&e),
+    };
+
+    if args.mode == Mode::RemoteCompile {
+        let resp = match client.request(&Request::Compile(req), &mut |_| {}) {
+            Ok(v) => v,
+            Err(e) => return remote_exit(&e),
+        };
+        eprintln!("acfc: server compile: {}", remote_verdict(&resp));
+        if let Some(path) = args.plan_out.as_deref() {
+            let plan = resp.get("plan").and_then(Value::as_str).unwrap_or("");
+            if path == "-" {
+                println!("{plan}");
+            } else if let Err(e) = std::fs::write(path, plan) {
+                eprintln!("acfc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            } else {
+                eprintln!("acfc: plan written to {path}");
+            }
+        }
+        if let Some(path) = args.emit.as_deref() {
+            let out = resp
+                .get("parallel_source")
+                .and_then(Value::as_str)
+                .unwrap_or("");
+            if path == "-" {
+                print!("{out}");
+            } else if let Err(e) = std::fs::write(path, out) {
+                eprintln!("acfc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // run / trace: the server's per-rank journals stream back into a
+    // local trace directory, arrival order, one file per rank
+    let dir: Option<PathBuf> = if args.mode == Mode::Trace {
+        Some(trace_dir_of(args))
+    } else {
+        args.common.trace_dir.clone().map(PathBuf::from)
+    };
+    if let Some(d) = &dir {
+        if let Err(e) = obs::clean_trace_dir(d).and_then(|()| std::fs::create_dir_all(d)) {
+            eprintln!("acfc: cannot prepare `{}`: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let run = Request::Run(RunReq {
+        compile: req,
+        overlap: args.common.overlap,
+        verify: args.verify,
+    });
+    let mut files: std::collections::HashMap<usize, std::fs::File> = Default::default();
+    let mut stream_err: Option<String> = None;
+    let resp = client.request(&run, &mut |item| match item {
+        StreamItem::Output { line } => println!("{line}"),
+        StreamItem::Journal { rank, line } => {
+            let Some(d) = &dir else { return };
+            if stream_err.is_some() {
+                return;
+            }
+            let written = (|| -> std::io::Result<()> {
+                use std::collections::hash_map::Entry;
+                let f = match files.entry(rank) {
+                    Entry::Occupied(o) => o.into_mut(),
+                    Entry::Vacant(v) => v.insert(
+                        std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(journal::rank_path(d, rank))?,
+                    ),
+                };
+                writeln!(f, "{line}")
+            })();
+            if let Err(e) = written {
+                stream_err = Some(format!("rank {rank}: {e}"));
+            }
+        }
+    });
+    let resp = match resp {
+        Ok(v) => v,
+        Err(e) => return remote_exit(&e),
+    };
+    if let Some(e) = stream_err {
+        eprintln!("acfc: cannot write streamed journal: {e}");
+        return ExitCode::FAILURE;
+    }
+    let ranks = resp.get("ranks").and_then(Value::as_int).unwrap_or(0);
+    eprintln!(
+        "acfc: server run: {}, {ranks} rank(s)",
+        remote_verdict(&resp)
+    );
+    if matches!(resp.get("verified"), Some(Value::Bool(true))) {
+        let d = resp.get("max_diff").and_then(Value::as_f64).unwrap_or(0.0);
+        eprintln!("acfc: verified (server) — max |seq - par| = {d:e}");
+    }
+    if args.mode != Mode::Trace {
+        return ExitCode::SUCCESS;
+    }
+    // trace: render the report from the streamed journals, exactly as a
+    // local `acfc trace` would (the forecast table needs a local
+    // compile, so it stays with `acfc stats DIR --input INPUT.f`)
+    let dir = dir.expect("trace mode always journals");
+    let merged = match obs::load_merged(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: cannot load trace dir `{}`: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chrome = autocfd::runtime::chrome_trace(&merged);
+    if let Err(e) = std::fs::write(dir.join("trace.json"), chrome) {
+        eprintln!("acfc: cannot write trace.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprint!("{}", obs::render_report(&merged));
+    eprintln!(
+        "acfc: trace written to {} (open trace.json in ui.perfetto.dev)",
+        dir.display()
+    );
+    if args.check {
+        let failures = check_failures(&merged, None, args.min_coverage);
+        if !failures.is_empty() {
+            return check_exit(&failures);
+        }
+        eprintln!("acfc: trace checks passed");
     }
     ExitCode::SUCCESS
 }
@@ -627,18 +866,7 @@ fn run_stats(args: &Args) -> ExitCode {
 /// render the report plus the predicted-vs-measured table. Renders the
 /// partial trace even when ranks fail.
 fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
-    let dir: PathBuf = args
-        .common
-        .trace_dir
-        .clone()
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            let stem = Path::new(&args.input)
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("acfc");
-            PathBuf::from(format!("{stem}.trace"))
-        });
+    let dir = trace_dir_of(args);
     if let Err(e) = obs::clean_trace_dir(&dir) {
         eprintln!("acfc: cannot clean `{}`: {e}", dir.display());
         return ExitCode::FAILURE;
@@ -733,6 +961,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--server ADDR` routes the compile (and run) to a resident
+    // daemon: no local pipeline runs at all on this path
+    if let Some(addr) = args.server.clone() {
+        return run_remote(&args, &source, &addr);
+    }
+    if args.mode == Mode::RemoteCompile {
+        eprintln!(
+            "acfc: `acfc compile` needs --server ADDR (plain `acfc INPUT.f` compiles locally)"
+        );
+        return ExitCode::FAILURE;
+    }
     let mut compiled = match compile(&source, &args.common.compile) {
         Ok(c) => c,
         Err(e) => {
@@ -743,28 +982,9 @@ fn main() -> ExitCode {
     // `--plan plan.json`: execute against a previously emitted plan
     // artifact instead of the plan this compile just produced
     if let Some(path) = &args.common.plan {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("acfc: cannot read `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match autocfd::codegen::from_json(&text) {
-            Ok(plan) if plan.ranks() == compiled.spmd_plan.ranks() => compiled.spmd_plan = plan,
-            Ok(plan) => {
-                let e = Error::Validation(format!(
-                    "plan `{path}` targets {} ranks but the compile produced {}",
-                    plan.ranks(),
-                    compiled.spmd_plan.ranks()
-                ));
-                eprintln!("acfc: {e}");
-                return exit_with(&e);
-            }
-            Err(e) => {
-                eprintln!("acfc: `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(e) = autocfd::planio::substitute_plan_file(&mut compiled, path) {
+            eprintln!("acfc: {e}");
+            return exit_with(&e);
         }
     }
     if args.mode == Mode::Plan {

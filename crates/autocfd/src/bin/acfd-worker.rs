@@ -142,29 +142,9 @@ fn main() -> ExitCode {
     // `--plan plan.json`: substitute the previously emitted plan
     // artifact for the one the local compile produced
     if let Some(path) = &args.common.plan {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("acfd-worker: cannot read `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match autocfd::codegen::from_json(&text) {
-            Ok(plan) if plan.ranks() == compiled.spmd_plan.ranks() => compiled.spmd_plan = plan,
-            Ok(plan) => {
-                eprintln!(
-                    "acfd-worker: plan `{path}` targets {} ranks, compile produced {}",
-                    plan.ranks(),
-                    compiled.spmd_plan.ranks()
-                );
-                return ExitCode::from(
-                    Error::Validation("plan/partition mismatch".into()).exit_code(),
-                );
-            }
-            Err(e) => {
-                eprintln!("acfd-worker: `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(e) = autocfd::planio::substitute_plan_file(&mut compiled, path) {
+            eprintln!("acfd-worker: {e}");
+            return ExitCode::from(e.exit_code());
         }
     }
     let ckpt = match args.common.checkpointing() {

@@ -59,7 +59,9 @@
 
 pub mod cli;
 pub mod obs;
+pub mod planio;
 pub mod prelude;
+pub mod serve;
 pub mod transport;
 
 /// Compile-checks the README's library-usage example: its `rust` code
@@ -79,6 +81,7 @@ use autocfd_runtime::CommError;
 use autocfd_syncopt::{plan_program, SyncPlan};
 
 pub use autocfd_codegen as codegen;
+pub use autocfd_compile_service as compile_service;
 pub use autocfd_depend as depend;
 pub use autocfd_fortran as fortran;
 pub use autocfd_grid as grid;

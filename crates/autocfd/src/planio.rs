@@ -1,0 +1,95 @@
+//! The one entry point for plan artifacts — `acfc plan` emission,
+//! `--plan` substitution (launcher and workers), and the compile
+//! service's cached entries all pass through here, so the on-disk
+//! artifact format and the wire format are the same bytes by
+//! construction and cannot drift.
+
+use crate::{Compiled, Error};
+use autocfd_codegen::{plan_json, SpmdPlan};
+
+/// Serialize a plan to its schema-versioned JSON form (identical for
+/// the `acfc plan -o` artifact and the service wire/cache formats).
+pub fn plan_to_json(plan: &SpmdPlan) -> String {
+    plan_json::to_json(plan)
+}
+
+/// Parse a schema-versioned plan JSON document. `origin` names where
+/// the text came from (a path, "server response") for the error message.
+pub fn plan_from_json(text: &str, origin: &str) -> Result<SpmdPlan, Error> {
+    plan_json::from_json(text).map_err(|e| Error::Validation(format!("plan from {origin}: {e}")))
+}
+
+/// Substitute a deserialized plan for the one `compiled` produced,
+/// enforcing the only compatibility requirement: the rank counts must
+/// agree (the executing mesh is sized by the compile).
+pub fn substitute_plan(compiled: &mut Compiled, plan: SpmdPlan, origin: &str) -> Result<(), Error> {
+    if plan.ranks() != compiled.spmd_plan.ranks() {
+        return Err(Error::Validation(format!(
+            "plan from {origin} targets {} ranks but the compile produced {}",
+            plan.ranks(),
+            compiled.spmd_plan.ranks()
+        )));
+    }
+    compiled.spmd_plan = plan;
+    Ok(())
+}
+
+/// Read, parse, and substitute a plan artifact from `path` — the
+/// `--plan FILE` behaviour shared by `acfc` and `acfd-worker`.
+pub fn substitute_plan_file(compiled: &mut Compiled, path: &str) -> Result<(), Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::Validation(format!("cannot read plan `{path}`: {e}")))?;
+    let plan = plan_from_json(&text, &format!("`{path}`"))?;
+    substitute_plan(compiled, plan, &format!("`{path}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+
+    const SRC: &str = "
+!$acf grid(16, 16)
+!$acf status v, vn
+      program t
+      real v(16,16), vn(16,16)
+      integer i, j, it
+      do it = 1, 2
+        do i = 2, 15
+          do j = 2, 15
+            vn(i,j) = 0.25*(v(i-1,j)+v(i+1,j)+v(i,j-1)+v(i,j+1))
+          end do
+        end do
+        do i = 2, 15
+          do j = 2, 15
+            v(i,j) = vn(i,j)
+          end do
+        end do
+      end do
+      end
+";
+
+    #[test]
+    fn roundtrip_and_substitution() {
+        let mut c = compile(SRC, &CompileOptions::with_partition(&[2, 2])).unwrap();
+        let text = plan_to_json(&c.spmd_plan);
+        let plan = plan_from_json(&text, "test").unwrap();
+        assert_eq!(plan, c.spmd_plan);
+        substitute_plan(&mut c, plan, "test").unwrap();
+    }
+
+    #[test]
+    fn rank_mismatch_is_a_validation_error() {
+        let mut c = compile(SRC, &CompileOptions::with_partition(&[2, 2])).unwrap();
+        let other = compile(SRC, &CompileOptions::with_partition(&[2, 1])).unwrap();
+        let err = substitute_plan(&mut c, other.spmd_plan, "test").unwrap_err();
+        assert!(matches!(err, Error::Validation(_)));
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn garbage_plan_text_is_a_validation_error_naming_its_origin() {
+        let err = plan_from_json("{not json", "`p.json`").unwrap_err();
+        assert!(err.to_string().contains("`p.json`"), "{err}");
+    }
+}

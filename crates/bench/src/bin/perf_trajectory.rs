@@ -1,0 +1,185 @@
+//! Emit the `BENCH_*.json` performance trajectory the ROADMAP expects:
+//! measured wall time and communication volume for every case study ×
+//! partition, plus the compile-service cold-vs-warm cache latency
+//! series.
+//!
+//! ```text
+//! cargo run --release -p autocfd-bench --bin perf_trajectory \
+//!     [-o BENCH_perf_trajectory.json]
+//! ```
+//!
+//! Everything in the file is *measured* on this machine (small-size
+//! case studies executed on in-process rank-threads; a real
+//! `compile-service` spun up on a loopback port) — no cost model. The
+//! output is one self-describing JSON document per invocation; CI
+//! archives them per commit, which over commits forms the trajectory a
+//! regression gate can read.
+
+use autocfd::compile_service::{Client, CompileReq, Request, Service, ServiceConfig};
+use autocfd::serve::PipelineBackend;
+use autocfd::CompileOptions;
+use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
+use serde::json::Value;
+use std::time::Instant;
+
+/// One measured case × partition row.
+fn measure_case(name: &str, source: &str, parts: &[u32]) -> Value {
+    let opts = CompileOptions {
+        partition: Some(parts.to_vec()),
+        optimize: true,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let compiled = autocfd::compile(source, &opts).expect("case studies always compile");
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let runs = compiled.run_parallel_traced_opts(vec![], false);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut msgs = 0u64;
+    let mut elems = 0u64;
+    let mut barriers = 0u64;
+    let mut reduces = 0u64;
+    for run in &runs {
+        assert!(run.outcome.is_ok(), "{name} {parts:?} rank failed");
+        let (m, e, b, r) = run.comm_stats;
+        msgs += m;
+        elems += e;
+        barriers += b;
+        reduces += r;
+    }
+    let spec = parts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    eprintln!(
+        "  {name} {spec}: compile {compile_ms:.1} ms, wall {wall_ms:.1} ms, \
+         {msgs} msgs / {elems} f64s"
+    );
+    Value::obj(vec![
+        ("case", Value::Str(name.into())),
+        ("partition", Value::Str(spec)),
+        ("ranks", Value::Int(runs.len() as i128)),
+        ("compile_ms", Value::Float(compile_ms)),
+        ("wall_ms", Value::Float(wall_ms)),
+        ("comm_msgs", Value::Int(msgs as i128)),
+        ("comm_elems", Value::Int(elems as i128)),
+        ("comm_bytes", Value::Int((elems * 8) as i128)),
+        ("barriers", Value::Int(barriers as i128)),
+        ("reduces", Value::Int(reduces as i128)),
+        (
+            "syncs_before",
+            Value::Int(compiled.sync_plan.stats.before as i128),
+        ),
+        (
+            "syncs_after",
+            Value::Int(compiled.sync_plan.stats.after as i128),
+        ),
+    ])
+}
+
+/// The cold-vs-warm compile latency series: one service, one source,
+/// `n` identical `Compile` requests. The first is a cache miss (full
+/// pipeline), the rest are hits served from the plan cache.
+fn measure_cache_series(name: &str, source: &str, parts: &[usize], n: usize) -> Value {
+    let service = Service::bind(
+        "127.0.0.1:0",
+        Box::new(PipelineBackend::new()),
+        ServiceConfig::default(),
+    )
+    .expect("bind loopback service");
+    let handle = service.spawn().expect("spawn service");
+    let req = Request::Compile(CompileReq {
+        source: source.into(),
+        parts: parts.to_vec(),
+        distance: None,
+        optimize: true,
+    });
+    let mut series_ms = Vec::new();
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let resp = client.request(&req, &mut |_| {}).expect("compile request");
+        series_ms.push(Value::Float(t0.elapsed().as_secs_f64() * 1e3));
+        verdicts.push(Value::Str(
+            resp.get("cache")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .into(),
+        ));
+    }
+    let pipeline_runs = handle.pipeline_invocations();
+    handle.shutdown();
+    assert_eq!(pipeline_runs, 1, "warm requests must skip the frontend");
+    let spec = parts
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    let fmt = |v: &Value| match v {
+        Value::Float(f) => format!("{f:.2}"),
+        other => other.to_string(),
+    };
+    eprintln!(
+        "  {name} {spec}: round-trip series [{}] ms (pipeline ran {pipeline_runs}x)",
+        series_ms.iter().map(fmt).collect::<Vec<_>>().join(", ")
+    );
+    Value::obj(vec![
+        ("case", Value::Str(name.into())),
+        ("partition", Value::Str(spec)),
+        ("requests", Value::Int(n as i128)),
+        ("round_trip_ms", Value::Arr(series_ms)),
+        ("cache", Value::Arr(verdicts)),
+        ("pipeline_invocations", Value::Int(pipeline_runs as i128)),
+    ])
+}
+
+fn main() {
+    let mut out = "BENCH_perf_trajectory.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-o" | "--output" => match args.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("-o needs a path");
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (usage: perf_trajectory [-o FILE])");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let aerofoil = aerofoil_program(&CaseParams::aerofoil_small());
+    let sprayer = sprayer_program(&CaseParams::sprayer_small());
+
+    eprintln!("perf_trajectory: measuring case studies on rank-threads");
+    let cases = vec![
+        measure_case("aerofoil-small", &aerofoil, &[2, 1, 1]),
+        measure_case("aerofoil-small", &aerofoil, &[2, 2, 1]),
+        measure_case("sprayer-small", &sprayer, &[4, 1]),
+        measure_case("sprayer-small", &sprayer, &[2, 2]),
+    ];
+    eprintln!("perf_trajectory: measuring compile-service cold-vs-warm latency");
+    let cache = vec![
+        measure_cache_series("aerofoil-small", &aerofoil, &[2, 2, 1], 5),
+        measure_cache_series("sprayer-small", &sprayer, &[2, 2], 5),
+    ];
+
+    let doc = Value::obj(vec![
+        ("schema", Value::Int(1)),
+        ("bench", Value::Str("perf_trajectory".into())),
+        ("cases", Value::Arr(cases)),
+        ("compile_cache", Value::Arr(cache)),
+    ]);
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("perf_trajectory: cannot write `{out}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("perf_trajectory: wrote {out}");
+}

@@ -34,11 +34,13 @@
 //! modeled separately by the cluster cost model.
 
 pub mod analyze;
+pub mod content;
 pub mod plan;
 pub mod plan_json;
 pub mod restructure;
 
 pub use analyze::{detect_reductions, loop_axis, ReduceOpKind, Reduction};
+pub use content::{canonicalize_source, stable_hash_128, PlanKey};
 pub use plan::{
     OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
 };

@@ -1,0 +1,405 @@
+//! The compile-service wire protocol.
+//!
+//! Requests, responses, and stream items are single-line JSON documents
+//! carried as text frames ([`FrameKind::Request`], [`FrameKind::Response`],
+//! [`FrameKind::Stream`]) over the same length-prefixed codec the SPMD
+//! mesh uses. One request yields zero or more `Stream` frames followed by
+//! exactly one terminating `Response` frame; requests on one connection
+//! are processed in order, connections are served concurrently.
+//!
+//! [`FrameKind::Request`]: autocfd_runtime_net::frame::FrameKind::Request
+//! [`FrameKind::Response`]: autocfd_runtime_net::frame::FrameKind::Response
+//! [`FrameKind::Stream`]: autocfd_runtime_net::frame::FrameKind::Stream
+
+use serde::json::{self, Value};
+use std::fmt;
+
+/// Protocol version stamped into every request; the server rejects
+/// mismatches as `bad_request` so both sides can evolve deliberately.
+pub const PROTO_VERSION: i64 = 1;
+
+/// What a client may ask the service to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile `source` and return the plan + generated parallel source.
+    Compile(CompileReq),
+    /// Compile (through the same cache) and execute server-side,
+    /// streaming per-rank journals back.
+    Run(RunReq),
+    /// Report service metrics.
+    Stats,
+}
+
+/// The inputs that identify one compile — exactly the [`PlanKey`]
+/// material, so equal requests share a cache entry.
+///
+/// [`PlanKey`]: autocfd_codegen::PlanKey
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileReq {
+    /// Sequential Fortran program text.
+    pub source: String,
+    /// Ranks along each partitioned grid axis.
+    pub parts: Vec<usize>,
+    /// Dependence-distance override; `None` defers to the source's
+    /// `!$acf distance` directive (or the default of 1).
+    pub distance: Option<usize>,
+    /// Run redundant-sync elimination.
+    pub optimize: bool,
+}
+
+/// A server-side execution request: compile options plus run options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReq {
+    /// What to compile (cache key material).
+    pub compile: CompileReq,
+    /// Overlap halo exchange with interior compute.
+    pub overlap: bool,
+    /// Verify owned regions against a sequential run (tolerance 0).
+    pub verify: bool,
+}
+
+/// One mid-request stream item, sent as a `Stream` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamItem {
+    /// One journal line of `rank`'s JSONL journal, in file order. The
+    /// client appends it verbatim to `rank-<rank>.jsonl`, reproducing
+    /// the trace directory a local run would have written.
+    Journal {
+        /// Which rank's journal this line extends.
+        rank: usize,
+        /// The raw JSONL line (no trailing newline).
+        line: String,
+    },
+    /// One line of human-readable run output (convergence report etc.).
+    Output {
+        /// The output line.
+        line: String,
+    },
+}
+
+/// Why a request failed; decides the client's exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The request itself was malformed (unknown type, missing field,
+    /// protocol version mismatch).
+    BadRequest,
+    /// The submitted program failed to compile — maps to the client's
+    /// typed compile error (exit 2).
+    Compile,
+    /// Execution or service-internal failure.
+    Internal,
+}
+
+impl ErrorClass {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::BadRequest => "bad_request",
+            ErrorClass::Compile => "compile",
+            ErrorClass::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`ErrorClass::name`]; unknown names read as internal.
+    pub fn from_name(s: &str) -> ErrorClass {
+        match s {
+            "bad_request" => ErrorClass::BadRequest,
+            "compile" => ErrorClass::Compile,
+            _ => ErrorClass::Internal,
+        }
+    }
+}
+
+/// A typed protocol-level failure (also used by the client for
+/// transport problems, reported as [`ErrorClass::Internal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Failure class.
+    pub class: ErrorClass,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Build an error.
+    pub fn new(class: ErrorClass, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            class,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class.name(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+fn parts_value(parts: &[usize]) -> Value {
+    Value::Arr(parts.iter().map(|&p| Value::Int(p as i128)).collect())
+}
+
+fn compile_fields(c: &CompileReq) -> Vec<(&'static str, Value)> {
+    vec![
+        ("source", Value::Str(c.source.clone())),
+        ("parts", parts_value(&c.parts)),
+        (
+            "distance",
+            match c.distance {
+                Some(d) => Value::Int(d as i128),
+                None => Value::Null,
+            },
+        ),
+        ("optimize", Value::Bool(c.optimize)),
+    ]
+}
+
+impl Request {
+    /// Render as the single-line JSON wire form.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![("proto", Value::Int(i128::from(PROTO_VERSION)))];
+        match self {
+            Request::Compile(c) => {
+                fields.push(("type", Value::Str("compile".into())));
+                fields.extend(compile_fields(c));
+            }
+            Request::Run(r) => {
+                fields.push(("type", Value::Str("run".into())));
+                fields.extend(compile_fields(&r.compile));
+                fields.push(("overlap", Value::Bool(r.overlap)));
+                fields.push(("verify", Value::Bool(r.verify)));
+            }
+            Request::Stats => fields.push(("type", Value::Str("stats".into()))),
+        }
+        Value::obj(fields).to_string()
+    }
+
+    /// Parse the wire form; malformed input is a `bad_request`.
+    pub fn from_json(text: &str) -> Result<Request, ServiceError> {
+        let bad = |m: String| ServiceError::new(ErrorClass::BadRequest, m);
+        let v = json::parse(text).map_err(|e| bad(format!("request: {e}")))?;
+        let proto = v
+            .get("proto")
+            .and_then(Value::as_int)
+            .ok_or_else(|| bad("request: missing `proto`".into()))?;
+        if proto != i128::from(PROTO_VERSION) {
+            return Err(bad(format!(
+                "request: protocol version {proto} (this server speaks {PROTO_VERSION})"
+            )));
+        }
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("request: missing `type`".into()))?;
+        let compile = |v: &Value| -> Result<CompileReq, ServiceError> {
+            let source = v
+                .get("source")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("request: missing `source`".into()))?
+                .to_string();
+            let parts = v
+                .get("parts")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| bad("request: missing `parts`".into()))?
+                .iter()
+                .map(|p| {
+                    p.as_int()
+                        .filter(|&n| n > 0)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| bad("request: `parts` must be positive integers".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let distance = match v.get("distance") {
+                Some(Value::Null) => None,
+                Some(val) => Some(
+                    val.as_int()
+                        .filter(|&n| n >= 0)
+                        .ok_or_else(|| bad("request: bad `distance`".into()))?
+                        as usize,
+                ),
+                None => return Err(bad("request: missing `distance`".into())),
+            };
+            let optimize = match v.get("optimize") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err(bad("request: missing `optimize`".into())),
+            };
+            Ok(CompileReq {
+                source,
+                parts,
+                distance,
+                optimize,
+            })
+        };
+        match ty {
+            "compile" => Ok(Request::Compile(compile(&v)?)),
+            "run" => Ok(Request::Run(RunReq {
+                compile: compile(&v)?,
+                overlap: matches!(v.get("overlap"), Some(Value::Bool(true))),
+                verify: matches!(v.get("verify"), Some(Value::Bool(true))),
+            })),
+            "stats" => Ok(Request::Stats),
+            other => Err(bad(format!("request: unknown type `{other}`"))),
+        }
+    }
+}
+
+impl StreamItem {
+    /// Render as the single-line JSON wire form.
+    pub fn to_json(&self) -> String {
+        match self {
+            StreamItem::Journal { rank, line } => Value::obj(vec![
+                ("stream", Value::Str("journal".into())),
+                ("rank", Value::Int(*rank as i128)),
+                ("line", Value::Str(line.clone())),
+            ]),
+            StreamItem::Output { line } => Value::obj(vec![
+                ("stream", Value::Str("output".into())),
+                ("line", Value::Str(line.clone())),
+            ]),
+        }
+        .to_string()
+    }
+
+    /// Parse the wire form.
+    pub fn from_json(text: &str) -> Result<StreamItem, ServiceError> {
+        let bad = |m: String| ServiceError::new(ErrorClass::Internal, m);
+        let v = json::parse(text).map_err(|e| bad(format!("stream item: {e}")))?;
+        let line = v
+            .get("line")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("stream item: missing `line`".into()))?
+            .to_string();
+        match v.get("stream").and_then(Value::as_str) {
+            Some("journal") => {
+                let rank = v
+                    .get("rank")
+                    .and_then(Value::as_int)
+                    .filter(|&n| n >= 0)
+                    .ok_or_else(|| bad("stream item: missing `rank`".into()))?
+                    as usize;
+                Ok(StreamItem::Journal { rank, line })
+            }
+            Some("output") => Ok(StreamItem::Output { line }),
+            other => Err(bad(format!("stream item: unknown kind {other:?}"))),
+        }
+    }
+}
+
+/// Render a success response: `{"ok":true,...fields}`.
+pub fn ok_response(fields: Vec<(&str, Value)>) -> String {
+    let mut all = vec![("ok", Value::Bool(true))];
+    all.extend(fields);
+    Value::obj(all).to_string()
+}
+
+/// Render a failure response: `{"ok":false,"kind":...,"message":...}`.
+pub fn err_response(err: &ServiceError) -> String {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("kind", Value::Str(err.class.name().into())),
+        ("message", Value::Str(err.message.clone())),
+    ])
+    .to_string()
+}
+
+/// Parse a response body: `Ok(fields)` for `ok:true`, the typed error
+/// for `ok:false`, `Internal` for anything unparseable.
+pub fn parse_response(text: &str) -> Result<Value, ServiceError> {
+    let v = json::parse(text)
+        .map_err(|e| ServiceError::new(ErrorClass::Internal, format!("response: {e}")))?;
+    match v.get("ok") {
+        Some(Value::Bool(true)) => Ok(v),
+        Some(Value::Bool(false)) => {
+            let class = v
+                .get("kind")
+                .and_then(Value::as_str)
+                .map(ErrorClass::from_name)
+                .unwrap_or(ErrorClass::Internal);
+            let message = v
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified server error")
+                .to_string();
+            Err(ServiceError { class, message })
+        }
+        _ => Err(ServiceError::new(
+            ErrorClass::Internal,
+            "response: missing `ok`".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> CompileReq {
+        CompileReq {
+            source: "program t\n  x = 1\nend\n".into(),
+            parts: vec![2, 2],
+            distance: Some(1),
+            optimize: true,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for r in [
+            Request::Compile(req()),
+            Request::Run(RunReq {
+                compile: req(),
+                overlap: true,
+                verify: false,
+            }),
+            Request::Stats,
+        ] {
+            assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn stream_items_roundtrip() {
+        for s in [
+            StreamItem::Journal {
+                rank: 3,
+                line: "{\"type\":\"event\"}".into(),
+            },
+            StreamItem::Output {
+                line: "converged after 12 steps".into(),
+            },
+        ] {
+            assert_eq!(StreamItem::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request_not_panics() {
+        for text in [
+            "",
+            "{",
+            "{\"proto\":1}",
+            "{\"proto\":99,\"type\":\"stats\"}",
+            "{\"proto\":1,\"type\":\"nope\"}",
+            "{\"proto\":1,\"type\":\"compile\",\"source\":\"x\"}",
+            "{\"proto\":1,\"type\":\"compile\",\"source\":\"x\",\"parts\":[0],\"distance\":1,\"optimize\":true}",
+        ] {
+            let err = Request::from_json(text).unwrap_err();
+            assert_eq!(err.class, ErrorClass::BadRequest, "{text}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_ok_and_error() {
+        let ok = ok_response(vec![("cache", Value::Str("hit".into()))]);
+        let v = parse_response(&ok).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+
+        let err_text = err_response(&ServiceError::new(ErrorClass::Compile, "line 3: bad loop"));
+        let err = parse_response(&err_text).unwrap_err();
+        assert_eq!(err.class, ErrorClass::Compile);
+        assert!(err.message.contains("bad loop"));
+    }
+}

@@ -5,7 +5,8 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic       0xACFD0001, big-endian
-//!      4     1  kind        0 Data, 1 Hello, 2 Welcome, 3 Peers, 4 Heartbeat
+//!      4     1  kind        0 Data, 1 Hello, 2 Welcome, 3 Peers, 4 Heartbeat,
+//!                           5 Request, 6 Response, 7 Stream
 //!      5     4  from        sending rank (u32, big-endian)
 //!      9     8  tag         message tag (u64, big-endian)
 //!     17     4  len         payload length in f64 *elements* (u32, BE)
@@ -51,6 +52,18 @@ pub enum FrameKind {
     /// no payload, is never delivered to the application, and is
     /// excluded from wire statistics.
     Heartbeat,
+    /// Compile-service request: client → `acfd-compile`. The payload is
+    /// UTF-8 JSON text packed into f64 bit patterns (see [`pack_text`]);
+    /// `tag` carries the byte length.
+    Request,
+    /// Compile-service response: server → client, terminating one
+    /// request. Same text packing as [`FrameKind::Request`].
+    Response,
+    /// Compile-service stream element: server → client, zero or more
+    /// before the terminating [`FrameKind::Response`] (journal lines and
+    /// program output of a remote run). Same text packing; `from`
+    /// carries the originating rank.
+    Stream,
 }
 
 impl FrameKind {
@@ -61,6 +74,9 @@ impl FrameKind {
             FrameKind::Welcome => 2,
             FrameKind::Peers => 3,
             FrameKind::Heartbeat => 4,
+            FrameKind::Request => 5,
+            FrameKind::Response => 6,
+            FrameKind::Stream => 7,
         }
     }
 
@@ -71,6 +87,9 @@ impl FrameKind {
             2 => Some(FrameKind::Welcome),
             3 => Some(FrameKind::Peers),
             4 => Some(FrameKind::Heartbeat),
+            5 => Some(FrameKind::Request),
+            6 => Some(FrameKind::Response),
+            7 => Some(FrameKind::Stream),
             _ => None,
         }
     }
@@ -105,6 +124,62 @@ impl Frame {
     pub fn encoded_len(&self) -> usize {
         HEADER_LEN + self.payload.len() * 8
     }
+
+    /// A text-carrying frame of the given `kind` ([`FrameKind::Request`],
+    /// [`FrameKind::Response`], or [`FrameKind::Stream`]): the UTF-8
+    /// bytes of `text` packed into the f64 payload, the byte length in
+    /// `tag`. Inverse: [`Frame::text`].
+    pub fn from_text(kind: FrameKind, from: u32, text: &str) -> Frame {
+        Frame {
+            kind,
+            from,
+            tag: text.len() as u64,
+            payload: pack_text(text),
+        }
+    }
+
+    /// Recover the UTF-8 text of a frame built by [`Frame::from_text`].
+    /// Fails with [`DecodeError::Malformed`] when the claimed byte
+    /// length does not fit the payload or the bytes are not UTF-8.
+    pub fn text(&self) -> Result<String, DecodeError> {
+        unpack_text(self.tag, &self.payload)
+    }
+}
+
+/// Pack UTF-8 bytes into f64 bit patterns, 8 bytes per element
+/// big-endian, zero-padded. The codec moves f64 payloads bit-exactly, so
+/// arbitrary byte strings — JSON requests, journal lines — ride the same
+/// wire format as halo data. The byte length travels in the frame's
+/// `tag`; [`unpack_text`] is the inverse.
+pub fn pack_text(text: &str) -> Vec<f64> {
+    let bytes = text.as_bytes();
+    let mut payload = Vec::with_capacity(bytes.len().div_ceil(8));
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        payload.push(f64::from_bits(u64::from_be_bytes(word)));
+    }
+    payload
+}
+
+/// Unpack text packed by [`pack_text`]: `len` is the byte length (the
+/// frame `tag`), `payload` the f64 words. Total: a bad length or
+/// non-UTF-8 bytes yield a typed [`DecodeError::Malformed`].
+pub fn unpack_text(len: u64, payload: &[f64]) -> Result<String, DecodeError> {
+    let len = usize::try_from(len)
+        .map_err(|_| DecodeError::Malformed(format!("text length {len} out of range")))?;
+    if len.div_ceil(8) != payload.len() {
+        return Err(DecodeError::Malformed(format!(
+            "text length {len} does not fit a {}-element payload",
+            payload.len()
+        )));
+    }
+    let mut bytes = Vec::with_capacity(payload.len() * 8);
+    for &v in payload {
+        bytes.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+    bytes.truncate(len);
+    String::from_utf8(bytes).map_err(|e| DecodeError::Malformed(format!("non-UTF-8 text: {e}")))
 }
 
 /// Why a buffer failed to decode.
@@ -327,6 +402,47 @@ mod tests {
     }
 
     #[test]
+    fn text_frames_roundtrip_through_the_codec() {
+        for text in [
+            "",
+            "x",
+            "12345678",
+            "123456789",
+            "{\"kind\":\"compile\",\"source\":\"      program p\\n      end\\n\"}",
+            "unicode: μ∂²u/∂x² ✓",
+        ] {
+            let f = Frame::from_text(FrameKind::Request, 3, text);
+            assert_eq!(f.tag, text.len() as u64);
+            let wire = encode(&f);
+            let (g, _) = decode(&wire).unwrap();
+            assert_eq!(g.kind, FrameKind::Request);
+            assert_eq!(g.text().unwrap(), text, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn text_unpack_rejects_bad_lengths_and_bytes() {
+        let f = Frame::from_text(FrameKind::Response, 0, "hello");
+        // claimed length does not fit the payload
+        assert!(matches!(
+            unpack_text(f.tag + 8, &f.payload),
+            Err(DecodeError::Malformed(_))
+        ));
+        assert!(matches!(
+            unpack_text(100, &f.payload),
+            Err(DecodeError::Malformed(_))
+        ));
+        // invalid UTF-8 inside a correctly sized payload
+        let payload = vec![f64::from_bits(u64::from_be_bytes([
+            0xff, 0xfe, 0, 0, 0, 0, 0, 0,
+        ]))];
+        assert!(matches!(
+            unpack_text(2, &payload),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn read_frame_clean_eof_vs_mid_frame() {
         use std::io::Cursor;
         let wire = encode(&Frame::data(2, 5, vec![1.0]));
@@ -355,6 +471,9 @@ mod proptests {
                 Just(FrameKind::Welcome),
                 Just(FrameKind::Peers),
                 Just(FrameKind::Heartbeat),
+                Just(FrameKind::Request),
+                Just(FrameKind::Response),
+                Just(FrameKind::Stream),
             ],
             0u32..=u32::MAX,
             0u64..=u64::MAX,
@@ -413,6 +532,18 @@ mod proptests {
                 Err(DecodeError::Incomplete { needed }) => prop_assert!(needed > buf.len()),
                 Err(DecodeError::Malformed(_)) => {}
             }
+        }
+
+        /// pack_text → unpack_text is the identity for any string,
+        /// through the full wire codec.
+        #[test]
+        fn text_roundtrip_any_string(
+            bytes in proptest::collection::vec(0u8..=255u8, 0..200)
+        ) {
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            let f = Frame::from_text(FrameKind::Stream, 1, &text);
+            let (g, _) = decode(&encode(&f)).expect("own encoding decodes");
+            prop_assert_eq!(g.text().expect("text unpacks"), text);
         }
 
         /// A corrupted header byte never panics; if the frame still
