@@ -1,0 +1,268 @@
+//! The perf regression gate.
+//!
+//! `bench/perf_trajectory` measures every case study × partition and
+//! writes a schema-versioned `BENCH_perf_trajectory.json`. The gate
+//! compares a freshly measured trajectory against a committed baseline
+//! row by row and reports every case whose wall time or communication
+//! volume regressed beyond a tolerance. Wall time is noisy across
+//! machines, so its default tolerance is generous; message and byte
+//! counts are deterministic, so theirs is tight.
+
+use serde::json::{parse, Value};
+
+/// Tolerances for the gate, as allowed relative growth over baseline
+/// (`0.5` = up to +50% accepted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    /// Allowed wall-time growth. Wall time varies with machine load,
+    /// so the default is deliberately loose.
+    pub wall_tolerance: f64,
+    /// Allowed comm-volume growth (bytes and messages). Traffic is
+    /// deterministic for a given plan, so any real growth is a plan
+    /// change and the default is tight.
+    pub comm_tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            wall_tolerance: 0.5,
+            comm_tolerance: 0.02,
+        }
+    }
+}
+
+/// One measured case × partition row of a trajectory document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRow {
+    /// Case-study name (e.g. `"sprayer-small"`).
+    pub case_name: String,
+    /// `"2x2"`-style partition label.
+    pub partition: String,
+    /// Measured wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Point-to-point messages over the whole run.
+    pub comm_msgs: u64,
+    /// Wire bytes over the whole run.
+    pub comm_bytes: u64,
+}
+
+/// Parse a `BENCH_perf_trajectory.json` document into its case rows.
+/// Rejects unknown schema versions and malformed rows.
+pub fn parse_trajectory(text: &str) -> Result<Vec<TrajectoryRow>, String> {
+    let doc = parse(text).map_err(|e| format!("trajectory is not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_int)
+        .ok_or("trajectory has no `schema` field")?;
+    if schema != 1 {
+        return Err(format!(
+            "unsupported trajectory schema {schema} (expected 1)"
+        ));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Value::as_arr)
+        .ok_or("trajectory has no `cases` array")?;
+    let mut rows = Vec::with_capacity(cases.len());
+    for (i, c) in cases.iter().enumerate() {
+        let field = |k: &str| c.get(k).ok_or(format!("cases[{i}] missing `{k}`"));
+        rows.push(TrajectoryRow {
+            case_name: field("case")?
+                .as_str()
+                .ok_or(format!("cases[{i}].case is not a string"))?
+                .to_string(),
+            partition: field("partition")?
+                .as_str()
+                .ok_or(format!("cases[{i}].partition is not a string"))?
+                .to_string(),
+            wall_ms: field("wall_ms")?
+                .as_f64()
+                .ok_or(format!("cases[{i}].wall_ms is not a number"))?,
+            comm_msgs: field("comm_msgs")?
+                .as_int()
+                .ok_or(format!("cases[{i}].comm_msgs is not an integer"))?
+                as u64,
+            comm_bytes: field("comm_bytes")?
+                .as_int()
+                .ok_or(format!("cases[{i}].comm_bytes is not an integer"))?
+                as u64,
+        });
+    }
+    Ok(rows)
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Case-study name.
+    pub case_name: String,
+    /// Partition label.
+    pub partition: String,
+    /// Which metric regressed (`wall_ms`, `comm_bytes`, `comm_msgs`,
+    /// or `missing` when the current trajectory dropped the row).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Measured value.
+    pub current: f64,
+    /// The largest value the tolerance would have accepted.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.metric == "missing" {
+            return write!(
+                f,
+                "{} {}: row missing from current trajectory",
+                self.case_name, self.partition
+            );
+        }
+        write!(
+            f,
+            "{} {}: {} regressed {:.1} -> {:.1} (limit {:.1})",
+            self.case_name, self.partition, self.metric, self.baseline, self.current, self.limit
+        )
+    }
+}
+
+/// Compare a current trajectory against a baseline. Every baseline row
+/// must exist in the current document and stay within tolerance on
+/// wall time, wire bytes, and message count; extra current rows (new
+/// cases) are not regressions. Returns every violation.
+pub fn gate(
+    current: &[TrajectoryRow],
+    baseline: &[TrajectoryRow],
+    cfg: &GateConfig,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in baseline {
+        let Some(cur) = current
+            .iter()
+            .find(|c| c.case_name == base.case_name && c.partition == base.partition)
+        else {
+            out.push(Regression {
+                case_name: base.case_name.clone(),
+                partition: base.partition.clone(),
+                metric: "missing".into(),
+                baseline: 0.0,
+                current: 0.0,
+                limit: 0.0,
+            });
+            continue;
+        };
+        let mut check = |metric: &str, b: f64, c: f64, tol: f64| {
+            let limit = b * (1.0 + tol);
+            if c > limit {
+                out.push(Regression {
+                    case_name: base.case_name.clone(),
+                    partition: base.partition.clone(),
+                    metric: metric.into(),
+                    baseline: b,
+                    current: c,
+                    limit,
+                });
+            }
+        };
+        check("wall_ms", base.wall_ms, cur.wall_ms, cfg.wall_tolerance);
+        check(
+            "comm_bytes",
+            base.comm_bytes as f64,
+            cur.comm_bytes as f64,
+            cfg.comm_tolerance,
+        );
+        check(
+            "comm_msgs",
+            base.comm_msgs as f64,
+            cur.comm_msgs as f64,
+            cfg.comm_tolerance,
+        );
+    }
+    out
+}
+
+/// Render the gate verdict: a pass line, or one line per regression.
+pub fn render_gate(regressions: &[Regression], checked: usize, cfg: &GateConfig) -> String {
+    if regressions.is_empty() {
+        return format!(
+            "perf gate: PASS ({checked} rows within wall +{:.0}% / comm +{:.0}%)\n",
+            cfg.wall_tolerance * 100.0,
+            cfg.comm_tolerance * 100.0
+        );
+    }
+    let mut out = format!(
+        "perf gate: FAIL ({} regression{} across {checked} rows)\n",
+        regressions.len(),
+        if regressions.len() == 1 { "" } else { "s" }
+    );
+    for r in regressions {
+        out.push_str(&format!("  {r}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(wall: f64, bytes: u64) -> String {
+        format!(
+            r#"{{"schema": 1, "cases": [
+                {{"case": "sprayer-small", "partition": "2x2", "ranks": 4,
+                  "compile_ms": 1.0, "wall_ms": {wall}, "comm_msgs": 100,
+                  "comm_elems": 1000, "comm_bytes": {bytes},
+                  "barriers": 2, "reduces": 8,
+                  "syncs_before": 9, "syncs_after": 3}}
+            ]}}"#
+        )
+    }
+
+    #[test]
+    fn identical_trajectories_pass() {
+        let rows = parse_trajectory(&doc(20.0, 8000)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].comm_bytes, 8000);
+        assert!(gate(&rows, &rows, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn injected_wall_regression_fails() {
+        let base = parse_trajectory(&doc(20.0, 8000)).unwrap();
+        let cur = parse_trajectory(&doc(200.0, 8000)).unwrap();
+        let regs = gate(&cur, &base, &GateConfig::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wall_ms");
+        assert!(render_gate(&regs, base.len(), &GateConfig::default()).contains("FAIL"));
+    }
+
+    #[test]
+    fn comm_growth_beyond_tolerance_fails() {
+        let base = parse_trajectory(&doc(20.0, 8000)).unwrap();
+        let cur = parse_trajectory(&doc(20.0, 8400)).unwrap(); // +5%
+        let regs = gate(&cur, &base, &GateConfig::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "comm_bytes");
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let base = parse_trajectory(&doc(20.0, 8000)).unwrap();
+        let cur = parse_trajectory(&doc(1.0, 4000)).unwrap();
+        assert!(gate(&cur, &base, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_row_fails() {
+        let base = parse_trajectory(&doc(20.0, 8000)).unwrap();
+        let regs = gate(&[], &base, &GateConfig::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "missing");
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let err = parse_trajectory(r#"{"schema": 99, "cases": []}"#).unwrap_err();
+        assert!(err.contains("schema 99"), "{err}");
+    }
+}

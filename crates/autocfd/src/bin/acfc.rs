@@ -6,6 +6,8 @@
 //! acfc plan INPUT.f [-o plan.json] [compile options]
 //! acfc resume DIR [--verify | --verify-exact] [--profile] [--trace-dir DIR]
 //! acfc stats DIR [--input INPUT.f] [options]
+//! acfc advise DIR [--input INPUT.f] [-o advice.json] [compile options]
+//! acfc advise --gate CURRENT.json [--baseline FILE] [--wall-tolerance T] [--comm-tolerance T]
 //!
 //!   --procs N            target processor count (partition chosen automatically)
 //!   --partition AxB[xC]  explicit processor grid (e.g. 3x2x1)
@@ -48,7 +50,26 @@
 //!                        `acfd-compile serve` daemon instead of running
 //!                        the pipeline locally; requires an explicit
 //!                        --partition AxB (the server never auto-picks)
+//!   --gate CURRENT.json  (advise) compare a freshly measured perf
+//!                        trajectory against the committed baseline and
+//!                        exit 5 on any regression beyond tolerance
+//!   --baseline FILE      (advise --gate) the baseline trajectory
+//!                        (default BENCH_perf_trajectory.json)
+//!   --wall-tolerance T   (advise --gate) allowed wall-time growth as a
+//!                        fraction (default 0.5 — wall time is noisy)
+//!   --comm-tolerance T   (advise --gate) allowed comm-volume growth
+//!                        (default 0.02 — traffic is deterministic)
 //! ```
+//!
+//! `acfc advise DIR` mines a trace directory for performance problems:
+//! per-phase load imbalance across ranks (with straggler attribution),
+//! per-sync exposed-communication percentages (wait not hidden by
+//! overlap), and — with `--input INPUT.f` — forecast-vs-measured
+//! divergence plus a `cluster-sim` search over every candidate Table-1
+//! partition, ranked by predicted wall time. The report goes to
+//! stderr; a schema-versioned `advice.json` is written into DIR (or to
+//! `-o`). Skew math runs on the marker-aligned merge, so ranks whose
+//! journals have different wall-clock origins are compared correctly.
 //!
 //! With `--server ADDR`, `acfc run`/`acfc trace` submit the source to a
 //! resident `acfd-compile` daemon: the server compiles (or serves the
@@ -89,9 +110,10 @@
 //! workers' exit statuses.
 //!
 //! Exit codes: 0 success, 1 usage or I/O error, 2 compile failure,
-//! 3 runtime/communication failure, 4 validation failure (see
-//! [`autocfd::Error::exit_code`]).
+//! 3 runtime/communication failure, 4 validation failure, 5 perf
+//! regression (see [`autocfd::Error::exit_code`]).
 
+use autocfd::advisor;
 use autocfd::cli::{CommonOpts, TransportKind};
 use autocfd::compile_service::{
     Client, CompileReq, ErrorClass, Request, RunReq, ServiceError, StreamItem,
@@ -121,6 +143,9 @@ enum Mode {
     Resume,
     /// Compile on a resident `acfd-compile` daemon, nothing more.
     RemoteCompile,
+    /// Mine a trace directory for performance advice, or gate a perf
+    /// trajectory against the committed baseline.
+    Advise,
 }
 
 struct Args {
@@ -142,10 +167,20 @@ struct Args {
     check: bool,
     /// `stats` only: source file for the predicted-vs-measured table.
     stats_input: Option<String>,
-    /// `plan` only: output path for the plan JSON.
+    /// `plan` only: output path for the plan JSON. `advise` reuses it
+    /// for `advice.json`.
     plan_out: Option<String>,
     /// `--server ADDR`: compile (and run) on a resident daemon.
     server: Option<String>,
+    /// `advise` only: gate this freshly measured trajectory file
+    /// against the baseline instead of mining a trace directory.
+    gate: Option<String>,
+    /// `advise --gate` only: the baseline trajectory file.
+    baseline: Option<String>,
+    /// `advise --gate` only: allowed wall-time growth fraction.
+    wall_tolerance: f64,
+    /// `advise --gate` only: allowed comm-volume growth fraction.
+    comm_tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -165,6 +200,10 @@ fn parse_args() -> Result<Args, String> {
     let mut stats_input = None;
     let mut plan_out = None;
     let mut server = None;
+    let mut gate = None;
+    let mut baseline = None;
+    let mut wall_tolerance = 0.5;
+    let mut comm_tolerance = 0.02;
     // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`;
     // `trace` and `stats` select the observability modes, `plan` emits
     // the plan artifact, `resume` relaunches a checkpointed run,
@@ -194,6 +233,10 @@ fn parse_args() -> Result<Args, String> {
             args.next();
             mode = Mode::RemoteCompile;
         }
+        Some("advise") => {
+            args.next();
+            mode = Mode::Advise;
+        }
         _ => {}
     }
     while let Some(a) = args.next() {
@@ -212,6 +255,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--check" => check = true,
             "--server" => server = Some(args.next().ok_or("--server needs HOST:PORT")?),
+            "--gate" => gate = Some(args.next().ok_or("--gate needs a trajectory JSON path")?),
+            "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
+            "--wall-tolerance" => {
+                let v = args
+                    .next()
+                    .ok_or("--wall-tolerance needs a value like 0.5")?;
+                wall_tolerance = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
+            }
+            "--comm-tolerance" => {
+                let v = args
+                    .next()
+                    .ok_or("--comm-tolerance needs a value like 0.02")?;
+                comm_tolerance = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
+            }
             "--input" => stats_input = Some(args.next().ok_or("--input needs a path")?),
             "--report" => report = true,
             "--analysis" => analysis = true,
@@ -236,7 +293,11 @@ fn parse_args() -> Result<Args, String> {
                      or:    acfc plan INPUT.f [-o plan.json] [compile options]\n\
                      or:    acfc resume DIR [--verify | --verify-exact] [--profile]\n\
                      or:    acfc stats DIR [--input INPUT.f] [--tolerance T] \
-                            [--min-coverage C] [--check] [compile options]"
+                            [--min-coverage C] [--check] [compile options]\n\
+                     or:    acfc advise DIR [--input INPUT.f] [-o advice.json] \
+                            [compile options]\n\
+                     or:    acfc advise --gate CURRENT.json [--baseline FILE] \
+                            [--wall-tolerance T] [--comm-tolerance T]"
                         .into(),
                 )
             }
@@ -245,8 +306,15 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     common.finish();
+    // `advise --gate FILE` works on trajectory files alone — no trace
+    // directory (positional input) required.
+    let input = match input {
+        Some(i) => i,
+        None if mode == Mode::Advise && gate.is_some() => String::new(),
+        None => return Err("no input file (try --help)".into()),
+    };
     Ok(Args {
-        input: input.ok_or("no input file (try --help)")?,
+        input,
         common,
         emit,
         report,
@@ -261,6 +329,10 @@ fn parse_args() -> Result<Args, String> {
         stats_input,
         plan_out,
         server,
+        gate,
+        baseline,
+        wall_tolerance,
+        comm_tolerance,
     })
 }
 
@@ -862,6 +934,149 @@ fn run_stats(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `acfc advise --gate CURRENT.json`: compare a freshly measured perf
+/// trajectory against the committed baseline; any wall-time or
+/// comm-volume regression beyond tolerance exits with the distinct
+/// perf-regression code (5).
+fn run_gate(args: &Args, current_path: &str) -> ExitCode {
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| "BENCH_perf_trajectory.json".into());
+    let read = |path: &str| -> Result<Vec<advisor::TrajectoryRow>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        advisor::parse_trajectory(&text).map_err(|e| format!("`{path}`: {e}"))
+    };
+    let (current, baseline) = match (read(current_path), read(&baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = advisor::GateConfig {
+        wall_tolerance: args.wall_tolerance,
+        comm_tolerance: args.comm_tolerance,
+    };
+    let regressions = advisor::gate(&current, &baseline, &cfg);
+    eprint!(
+        "{}",
+        advisor::render_gate(&regressions, baseline.len(), &cfg)
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        exit_with(&Error::PerfRegression(format!(
+            "{} of {} trajectory rows regressed vs `{baseline_path}`",
+            regressions.len(),
+            baseline.len()
+        )))
+    }
+}
+
+/// `acfc advise DIR`: mine a trace directory for load imbalance and
+/// exposed communication; with `--input`, also compute the forecast
+/// divergence and search candidate partitions through `cluster-sim`.
+/// Writes the schema-versioned `advice.json` next to the journals (or
+/// to `-o`).
+fn run_advise(args: &Args) -> ExitCode {
+    if let Some(current) = &args.gate {
+        return run_gate(args, current);
+    }
+    if args.input.is_empty() {
+        eprintln!("acfc: advise needs a trace directory or --gate FILE (try --help)");
+        return ExitCode::FAILURE;
+    }
+    let dir = Path::new(&args.input);
+    // Skew math must not trust wall-clock epochs: align ranks at their
+    // first shared sync instead.
+    let merged = match obs::load_merged_aligned(dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: cannot load trace dir `{}`: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut advice = advisor::Advice {
+        diagnosis: advisor::diagnose(&merged),
+        divergence: None,
+        recommendation: None,
+        tolerance: args.tolerance,
+    };
+    if let Some(src_path) = &args.stats_input {
+        let source = match std::fs::read_to_string(src_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("acfc: cannot read `{src_path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let compiled = match compile(&source, &args.common.compile) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("acfc: {e}");
+                return exit_with(&Error::Compile(e));
+            }
+        };
+        if compiled.spmd_plan.ranks() as usize != advice.diagnosis.ranks {
+            let e = Error::Validation(format!(
+                "journal has {} ranks but `{src_path}` compiles to {} (pass the partition the \
+                 trace ran on)",
+                advice.diagnosis.ranks,
+                compiled.spmd_plan.ranks()
+            ));
+            eprintln!("acfc: {e}");
+            return exit_with(&e);
+        }
+        let fc = match autocfd::interp::forecast(&compiled.parallel_file, &compiled.spmd_plan) {
+            Ok(fc) => fc,
+            Err(e) => {
+                eprintln!("acfc: forecast: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let metrics = autocfd::runtime::phase_metrics(&merged);
+        advice.divergence = Some(advisor::divergence(
+            &fc,
+            &metrics,
+            obs::frame_header_bytes(&merged.transport),
+        ));
+        match advisor::search(
+            &advice.diagnosis,
+            &compiled.partition.shape,
+            &compiled.partition.spec,
+            &advisor::SearchConfig::default(),
+        ) {
+            Ok(rec) => advice.recommendation = Some(rec),
+            Err(e) => {
+                eprintln!("acfc: partition search: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!(
+            "acfc: no --input source: diagnosis only (no forecast divergence or partition search)"
+        );
+    }
+    eprint!("{}", advice.render());
+    let json = format!("{}\n", advice.to_json());
+    match args.plan_out.as_deref() {
+        Some("-") => print!("{json}"),
+        out => {
+            let path = out
+                .map(PathBuf::from)
+                .unwrap_or_else(|| dir.join("advice.json"));
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("acfc: cannot write `{}`: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("acfc: advice written to {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `acfc trace INPUT.f`: run with journaling, export `trace.json`, and
 /// render the report plus the predicted-vs-measured table. Renders the
 /// partial trace even when ranks fail.
@@ -950,6 +1165,9 @@ fn main() -> ExitCode {
     };
     if args.mode == Mode::Stats {
         return run_stats(&args);
+    }
+    if args.mode == Mode::Advise {
+        return run_advise(&args);
     }
     if args.mode == Mode::Resume {
         return run_resume(&args);

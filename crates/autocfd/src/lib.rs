@@ -80,6 +80,7 @@ use autocfd_ir::{build_ir, ProgramIr};
 use autocfd_runtime::CommError;
 use autocfd_syncopt::{plan_program, SyncPlan};
 
+pub use autocfd_advisor as advisor;
 pub use autocfd_codegen as codegen;
 pub use autocfd_compile_service as compile_service;
 pub use autocfd_depend as depend;
@@ -181,17 +182,22 @@ pub enum Error {
     /// The computation ran but its result failed validation:
     /// sequential/parallel divergence or trace checks (exit code 4).
     Validation(String),
+    /// The run was correct but slower (or chattier) than the recorded
+    /// perf trajectory allows: `acfc advise --gate` found a wall-time
+    /// or comm-volume regression beyond tolerance (exit code 5).
+    PerfRegression(String),
 }
 
 impl Error {
     /// Exit code for the paper's `acfc` binary (compile = 2,
-    /// runtime/communication = 3, validation = 4; argument and I/O
-    /// errors use the conventional 1).
+    /// runtime/communication = 3, validation = 4, perf regression = 5;
+    /// argument and I/O errors use the conventional 1).
     pub fn exit_code(&self) -> u8 {
         match self {
             Error::Compile(_) => 2,
             Error::Runtime(_) | Error::Comm(_) => 3,
             Error::Validation(_) => 4,
+            Error::PerfRegression(_) => 5,
         }
     }
 }
@@ -203,6 +209,7 @@ impl std::fmt::Display for Error {
             Error::Runtime(e) => write!(f, "{e}"),
             Error::Comm(e) => write!(f, "{e}"),
             Error::Validation(s) => write!(f, "validation failed: {s}"),
+            Error::PerfRegression(s) => write!(f, "perf regression: {s}"),
         }
     }
 }

@@ -83,6 +83,16 @@ pub fn load_merged(dir: &Path) -> Result<MergedTrace, String> {
     Ok(journal::merge(&journals))
 }
 
+/// Like [`load_merged`] but aligned at the first shared sync marker
+/// instead of the wall-clock epochs
+/// ([`journal::merge_marker_aligned`]) — the merge cross-rank skew
+/// math should run on, since rank processes on different hosts journal
+/// against clocks whose offset is meaningless.
+pub fn load_merged_aligned(dir: &Path) -> Result<MergedTrace, String> {
+    let journals = journal::load_trace_dir(dir).map_err(|e| e.to_string())?;
+    Ok(journal::merge_marker_aligned(&journals))
+}
+
 /// Render the full trace report: timeline, wire table, per-phase
 /// metrics, per-rank wall-time breakdown, and — when the run used
 /// compute/communication overlap — the fraction of communication
@@ -176,10 +186,23 @@ fn model_phase_seconds(net: &NetworkModel, f: &PhaseForecast, visits: u64) -> f6
     visits as f64 * net.exchange_time(msgs_max, total, max)
 }
 
+/// The per-frame wire overhead a transport adds on top of the payload
+/// (what the advisor's divergence math needs to price TCP framing).
+pub fn frame_header_bytes(transport: &str) -> u64 {
+    if transport == "tcp" {
+        HEADER_LEN as u64
+    } else {
+        0
+    }
+}
+
 /// Cross-validate the traffic forecast (and, informationally, the
 /// cluster cost model) against a measured merged trace. `tolerance` is
 /// the maximum relative error accepted on wire bytes. Also flags phases
-/// the trace measured but the forecast never predicted.
+/// the trace measured but the forecast never predicted. The divergence
+/// math itself lives in [`autocfd_advisor::divergence()`]; this wrapper
+/// adds the forecast, the cost-model seconds, and the `--check`
+/// verdict shape.
 pub fn cross_validate(
     compiled: &Compiled,
     merged: &MergedTrace,
@@ -187,59 +210,35 @@ pub fn cross_validate(
 ) -> Result<Vec<PhaseCheck>, String> {
     let fc = forecast(&compiled.parallel_file, &compiled.spmd_plan).map_err(|e| e.to_string())?;
     let metrics = phase_metrics(merged);
-    let tcp = merged.transport == "tcp";
     let net = NetworkModel::ethernet_10mbit();
-    let mut checks = Vec::new();
-    for f in &fc {
-        let m = metrics.iter().find(|m| m.phase == f.phase);
-        let (msgs, bytes, seconds) = m
-            .map(|m| (m.msgs, m.bytes, (m.comm + m.wait).as_secs_f64()))
-            .unwrap_or((0, 0, 0.0));
-        let per_visit = f.events();
-        let (visits, structure_ok) = match msgs.checked_div(per_visit) {
-            None => (0, msgs == 0),
-            Some(v) => (v, msgs % per_visit == 0),
-        };
-        let framing = if tcp {
-            HEADER_LEN as u64 * f.frames()
-        } else {
-            0
-        };
-        checks.push(PhaseCheck {
-            phase: f.phase.clone(),
-            visits,
-            structure_ok,
-            msgs_per_visit: per_visit,
-            msgs_measured: msgs,
-            bytes: Comparison {
-                label: format!("{} wire bytes", f.phase),
-                predicted: (visits * (f.payload() + framing)) as f64,
-                measured: bytes as f64,
-                tolerance,
-            },
-            model_seconds: model_phase_seconds(&net, f, visits),
-            measured_seconds: seconds,
-        });
-    }
-    for m in &metrics {
-        if m.msgs > 0 && !fc.iter().any(|f| f.phase == m.phase) {
-            checks.push(PhaseCheck {
-                phase: m.phase.clone(),
-                visits: 0,
-                structure_ok: false,
-                msgs_per_visit: 0,
-                msgs_measured: m.msgs,
+    let framing = frame_header_bytes(&merged.transport);
+    let checks = autocfd_advisor::divergence(&fc, &metrics, framing)
+        .into_iter()
+        .map(|d| {
+            let f = fc.iter().find(|f| f.phase == d.phase);
+            PhaseCheck {
+                visits: d.visits,
+                structure_ok: d.structure_ok,
+                msgs_per_visit: f.map(PhaseForecast::events).unwrap_or(0),
+                msgs_measured: d.msgs_measured,
                 bytes: Comparison {
-                    label: format!("{} wire bytes", m.phase),
-                    predicted: 0.0,
-                    measured: m.bytes as f64,
+                    label: format!("{} wire bytes", d.phase),
+                    predicted: d.bytes_predicted as f64,
+                    measured: d.bytes_measured as f64,
                     tolerance,
                 },
-                model_seconds: 0.0,
-                measured_seconds: (m.comm + m.wait).as_secs_f64(),
-            });
-        }
-    }
+                model_seconds: f
+                    .map(|f| model_phase_seconds(&net, f, d.visits))
+                    .unwrap_or(0.0),
+                measured_seconds: metrics
+                    .iter()
+                    .find(|m| m.phase == d.phase)
+                    .map(|m| (m.comm + m.wait).as_secs_f64())
+                    .unwrap_or(0.0),
+                phase: d.phase,
+            }
+        })
+        .collect();
     Ok(checks)
 }
 

@@ -21,9 +21,10 @@ use crate::cache::{CacheEntry, PlanCache};
 use crate::proto::{
     err_response, ok_response, CompileReq, ErrorClass, Request, RunReq, ServiceError, StreamItem,
 };
+use autocfd_advisor as advisor;
 use autocfd_codegen::PlanKey;
 use autocfd_runtime::export::percentiles;
-use autocfd_runtime::journal::{self, JournalHeader};
+use autocfd_runtime::journal::{self, JournalHeader, MergedTrace};
 use autocfd_runtime::trace::{EventKind, TraceEvent};
 use autocfd_runtime_net::frame::{encode, read_frame, Frame, FrameKind};
 use serde::json::Value;
@@ -217,6 +218,37 @@ impl State {
             .unwrap_or_default();
         let pct = percentiles(&mut lat);
         let ms = |d: Duration| Value::Float(d.as_secs_f64() * 1e3);
+        // The advisor's one-line verdict over the service's own request
+        // trace: which request class dominates the service's busy time.
+        let verdict = self
+            .request_events
+            .lock()
+            .ok()
+            .filter(|evs| !evs.is_empty())
+            .map(|evs| {
+                let merged = MergedTrace {
+                    traces: vec![evs.clone()],
+                    phase_names: vec![PHASES.iter().map(|p| p.to_string()).collect()],
+                    transport: "service".into(),
+                    complete: true,
+                };
+                advisor::diagnose(&merged)
+            })
+            .as_ref()
+            .and_then(|diag| {
+                advisor::hot_phase(diag)
+                    .map(|(name, busy, share)| (name.to_string(), busy.as_secs_f64() * 1e3, share))
+            });
+        let (hot, hot_ms, hot_share) = match verdict {
+            Some((name, busy_ms, share)) => {
+                (Value::Str(name), Value::Float(busy_ms), Value::Float(share))
+            }
+            None => (
+                Value::Str("none".into()),
+                Value::Float(0.0),
+                Value::Float(0.0),
+            ),
+        };
         ok_response(vec![
             ("req", Value::Str("stats".into())),
             ("hits", Value::Int(cache.hits as i128)),
@@ -240,6 +272,9 @@ impl State {
             ("compile_ms_p50", ms(pct.p50)),
             ("compile_ms_p95", ms(pct.p95)),
             ("compile_ms_max", ms(pct.max)),
+            ("advice_hot_phase", hot),
+            ("advice_hot_phase_ms", hot_ms),
+            ("advice_hot_phase_share_pct", hot_share),
         ])
     }
 

@@ -122,6 +122,27 @@ pub struct PhaseMetrics {
     pub compute_hist: Percentiles,
     /// Distribution of individual wait spans.
     pub wait_hist: Percentiles,
+    /// Compute-span time per rank (index = rank), the raw skew the
+    /// advisor reasons about.
+    pub compute_per_rank: Vec<Duration>,
+}
+
+impl PhaseMetrics {
+    /// Per-rank compute skew: max over mean of [`Self::compute_per_rank`].
+    /// `None` when the phase has no compute.
+    pub fn imbalance(&self) -> Option<f64> {
+        let total: Duration = self.compute_per_rank.iter().sum();
+        if total.is_zero() || self.compute_per_rank.is_empty() {
+            return None;
+        }
+        let mean = total.as_secs_f64() / self.compute_per_rank.len() as f64;
+        let max = self
+            .compute_per_rank
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0, f64::max);
+        Some(max / mean)
+    }
 }
 
 /// Aggregate a merged trace into per-phase metrics, in first-appearance
@@ -150,10 +171,11 @@ pub fn phase_metrics(merged: &MergedTrace) -> Vec<PhaseMetrics> {
             overlap: Duration::ZERO,
             compute_hist: Percentiles::default(),
             wait_hist: Percentiles::default(),
+            compute_per_rank: vec![Duration::ZERO; merged.traces.len()],
         };
         let mut compute_samples = Vec::new();
         let mut wait_samples = Vec::new();
-        for (trace, names) in merged.traces.iter().zip(&merged.phase_names) {
+        for (rank, (trace, names)) in merged.traces.iter().zip(&merged.phase_names).enumerate() {
             for e in trace {
                 if names.get(e.phase as usize) != Some(phase) {
                     continue;
@@ -163,11 +185,13 @@ pub fn phase_metrics(merged: &MergedTrace) -> Vec<PhaseMetrics> {
                 match e.kind {
                     EventKind::Compute => {
                         m.compute += e.span();
+                        m.compute_per_rank[rank] += e.span();
                         compute_samples.push(e.span());
                     }
                     EventKind::Overlap => {
                         m.compute += e.span();
                         m.overlap += e.span();
+                        m.compute_per_rank[rank] += e.span();
                         compute_samples.push(e.span());
                     }
                     EventKind::Send | EventKind::Reduce => {
@@ -213,7 +237,7 @@ pub fn render_phase_metrics(metrics: &[PhaseMetrics]) -> String {
         .max()
         .unwrap_or(5);
     let mut out = format!(
-        "{:name_w$}  {:>6}  {:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>20}  {:>20}\n",
+        "{:name_w$}  {:>6}  {:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>5}  {:>20}  {:>20}\n",
         "phase",
         "events",
         "msgs",
@@ -221,12 +245,13 @@ pub fn render_phase_metrics(metrics: &[PhaseMetrics]) -> String {
         "compute",
         "comm",
         "wait",
+        "imb",
         "wait p50/p95/max",
         "compute p50/p95/max",
     );
     for m in metrics {
         out.push_str(&format!(
-            "{:name_w$}  {:>6}  {:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>20}  {:>20}\n",
+            "{:name_w$}  {:>6}  {:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>5}  {:>20}  {:>20}\n",
             m.phase,
             m.events,
             m.msgs,
@@ -234,6 +259,9 @@ pub fn render_phase_metrics(metrics: &[PhaseMetrics]) -> String {
             dur(m.compute),
             dur(m.comm),
             dur(m.wait),
+            m.imbalance()
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
             format!(
                 "{}/{}/{}",
                 dur(m.wait_hist.p50),

@@ -381,7 +381,7 @@ pub fn load_trace_dir(dir: &Path) -> Result<Vec<RankJournal>, JournalError> {
 /// A run's journals merged onto one epoch-aligned timeline, shaped for
 /// the text renderers in [`crate::trace`] and the exporters in
 /// [`crate::export`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MergedTrace {
     /// Per-rank events, times re-anchored to the earliest rank epoch and
     /// sorted by start within each rank. `traces[r]` belongs to the
@@ -407,10 +407,68 @@ pub fn merge(journals: &[RankJournal]) -> MergedTrace {
         .map(|j| j.header.epoch_unix_ns)
         .min()
         .unwrap_or(0);
+    let offsets: Vec<Duration> = journals
+        .iter()
+        .map(|j| Duration::from_nanos((j.header.epoch_unix_ns - base).max(0) as u64))
+        .collect();
+    merge_with_offsets(journals, &offsets)
+}
+
+/// Like [`merge`], but aligns ranks at a shared synchronization marker
+/// instead of trusting the wall-clock epochs in the headers. Ranks on
+/// different hosts (or launched seconds apart) journal against
+/// origins whose wall-clock gap says nothing about where the ranks
+/// stood *relative to each other* — epoch alignment then smears that
+/// clock skew into every cross-rank figure. The first communication
+/// event every rank shares is a true rendezvous: no rank can complete
+/// it before the others arrive, so pinning its completion to one
+/// instant across ranks bounds the alignment error by that sync's
+/// duration instead of the clock skew. Skew math (per-phase compute
+/// imbalance, straggler attribution) should run on this merge.
+///
+/// The marker is the first phase, in rank-0 event order, in which
+/// every rank recorded a non-compute event; each rank aligns at its
+/// first such event's end. Falls back to [`merge`] when no shared
+/// marker phase exists (e.g. a single rank, or disjoint journals).
+pub fn merge_marker_aligned(journals: &[RankJournal]) -> MergedTrace {
+    let is_marker = |e: &JournalEvent| !matches!(e.kind, EventKind::Compute | EventKind::Overlap);
+    let marker_ends = journals.first().and_then(|j0| {
+        let mut seen: Vec<&str> = Vec::new();
+        for e in j0.events.iter().filter(|e| is_marker(e)) {
+            let phase = e.phase.as_str();
+            if seen.contains(&phase) {
+                continue;
+            }
+            seen.push(phase);
+            let ends: Vec<Duration> = journals
+                .iter()
+                .filter_map(|j| {
+                    j.events
+                        .iter()
+                        .find(|ev| ev.phase == phase && is_marker(ev))
+                        .map(|ev| ev.end)
+                })
+                .collect();
+            if ends.len() == journals.len() {
+                return Some(ends);
+            }
+        }
+        None
+    });
+    let Some(ends) = marker_ends else {
+        return merge(journals);
+    };
+    let rendezvous = ends.iter().copied().max().unwrap_or_default();
+    let offsets: Vec<Duration> = ends.iter().map(|&e| rendezvous - e).collect();
+    merge_with_offsets(journals, &offsets)
+}
+
+/// Shared merge body: shift rank `r`'s events forward by `offsets[r]`,
+/// intern phase names per rank, and re-sort within each rank.
+fn merge_with_offsets(journals: &[RankJournal], offsets: &[Duration]) -> MergedTrace {
     let mut traces = Vec::with_capacity(journals.len());
     let mut phase_names = Vec::with_capacity(journals.len());
-    for j in journals {
-        let offset = Duration::from_nanos((j.header.epoch_unix_ns - base).max(0) as u64);
+    for (j, &offset) in journals.iter().zip(offsets) {
         let mut names: Vec<String> = Vec::new();
         let mut trace: Vec<TraceEvent> = j
             .events
@@ -566,6 +624,76 @@ mod tests {
         assert_eq!(merged.traces[1][0].end, Duration::from_micros(130));
         assert_eq!(merged.phase_names[0], vec!["sync_0".to_string()]);
         assert!(merged.complete);
+    }
+
+    #[test]
+    fn marker_alignment_cancels_offset_origins() {
+        // Both ranks computed 100 µs then met at the sync_0 barrier —
+        // but rank 1's wall clock (journal epoch) reads 5 s ahead.
+        // Epoch alignment smears those 5 s into the timeline; marker
+        // alignment pins both ranks' barrier completion to one instant
+        // so skew math sees the true (identical) compute spans.
+        let j0 = RankJournal {
+            header: header(0, 1_000_000_000),
+            events: vec![
+                event(EventKind::Compute, 0, 100, "main"),
+                event(EventKind::Barrier, 100, 130, "sync_0"),
+            ],
+            complete: true,
+        };
+        let j1 = RankJournal {
+            header: header(1, 5_001_000_000_000),
+            events: vec![
+                event(EventKind::Compute, 0, 100, "main"),
+                event(EventKind::Barrier, 100, 130, "sync_0"),
+            ],
+            complete: true,
+        };
+        let epoch = merge(&[j0.clone(), j1.clone()]);
+        // wall-clock merge pushes rank 1 ~5 s into the future
+        assert!(epoch.traces[1][0].start >= Duration::from_secs(5));
+        let aligned = merge_marker_aligned(&[j0, j1]);
+        assert_eq!(aligned.traces[0], aligned.traces[1]);
+        assert_eq!(aligned.traces[0][1].end, Duration::from_micros(130));
+        assert!(aligned.complete);
+    }
+
+    #[test]
+    fn marker_alignment_shifts_late_ranks_not_early_ones() {
+        // Rank 1 reached the barrier 40 µs later (journal-local); the
+        // rendezvous instant is the latest arrival, so rank 0 shifts
+        // forward by 40 µs and rank 1 not at all.
+        let j0 = RankJournal {
+            header: header(0, 0),
+            events: vec![event(EventKind::Barrier, 100, 130, "sync_0")],
+            complete: true,
+        };
+        let j1 = RankJournal {
+            header: header(1, 0),
+            events: vec![event(EventKind::Barrier, 140, 170, "sync_0")],
+            complete: true,
+        };
+        let aligned = merge_marker_aligned(&[j0, j1]);
+        assert_eq!(aligned.traces[0][0].end, Duration::from_micros(170));
+        assert_eq!(aligned.traces[1][0].end, Duration::from_micros(170));
+    }
+
+    #[test]
+    fn marker_alignment_falls_back_without_a_shared_sync() {
+        // No phase has a non-compute event on every rank: behave like
+        // the epoch merge.
+        let j0 = RankJournal {
+            header: header(0, 1_000),
+            events: vec![event(EventKind::Compute, 0, 10, "main")],
+            complete: true,
+        };
+        let j1 = RankJournal {
+            header: header(1, 2_000),
+            events: vec![event(EventKind::Compute, 0, 10, "main")],
+            complete: true,
+        };
+        let aligned = merge_marker_aligned(&[j0.clone(), j1.clone()]);
+        assert_eq!(aligned, merge(&[j0, j1]));
     }
 
     #[test]

@@ -59,9 +59,9 @@ pub use export::{
 };
 pub use inproc::{run_spmd, run_spmd_with_timeout, InprocTransport};
 pub use journal::{
-    epoch_unix_ns, load_trace_dir, merge, parse_line, parse_rank_journal, write_rank_journal,
-    JournalError, JournalEvent, JournalHeader, JournalRecord, JournalWriter, MergedTrace,
-    RankJournal, SCHEMA_VERSION,
+    epoch_unix_ns, load_trace_dir, merge, merge_marker_aligned, parse_line, parse_rank_journal,
+    write_rank_journal, JournalError, JournalEvent, JournalHeader, JournalRecord, JournalWriter,
+    MergedTrace, RankJournal, SCHEMA_VERSION,
 };
 pub use trace::{
     render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, Recorder,
