@@ -32,13 +32,20 @@ impl Default for GateConfig {
     }
 }
 
-/// One measured case × partition row of a trajectory document.
+/// One measured case × partition × engine row of a trajectory document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryRow {
     /// Case-study name (e.g. `"sprayer-small"`).
     pub case_name: String,
     /// `"2x2"`-style partition label.
     pub partition: String,
+    /// Execution engine the row was measured with (`"tree"` or
+    /// `"kernel"`). Schema-1 documents predate the field and read back
+    /// as `"tree"`.
+    pub engine: String,
+    /// Worker threads per rank the row was measured with (schema-1
+    /// documents read back as 1).
+    pub threads: u64,
     /// Measured wall time, milliseconds.
     pub wall_ms: f64,
     /// Point-to-point messages over the whole run.
@@ -48,16 +55,18 @@ pub struct TrajectoryRow {
 }
 
 /// Parse a `BENCH_perf_trajectory.json` document into its case rows.
-/// Rejects unknown schema versions and malformed rows.
+/// Accepts schema 1 (rows default to the tree engine, one thread) and
+/// schema 2 (rows carry `engine` and `threads`); rejects unknown schema
+/// versions and malformed rows.
 pub fn parse_trajectory(text: &str) -> Result<Vec<TrajectoryRow>, String> {
     let doc = parse(text).map_err(|e| format!("trajectory is not valid JSON: {e}"))?;
     let schema = doc
         .get("schema")
         .and_then(Value::as_int)
         .ok_or("trajectory has no `schema` field")?;
-    if schema != 1 {
+    if !(1..=2).contains(&schema) {
         return Err(format!(
-            "unsupported trajectory schema {schema} (expected 1)"
+            "unsupported trajectory schema {schema} (expected 1..=2)"
         ));
     }
     let cases = doc
@@ -76,6 +85,12 @@ pub fn parse_trajectory(text: &str) -> Result<Vec<TrajectoryRow>, String> {
                 .as_str()
                 .ok_or(format!("cases[{i}].partition is not a string"))?
                 .to_string(),
+            engine: c
+                .get("engine")
+                .and_then(Value::as_str)
+                .unwrap_or("tree")
+                .to_string(),
+            threads: c.get("threads").and_then(Value::as_int).unwrap_or(1).max(1) as u64,
             wall_ms: field("wall_ms")?
                 .as_f64()
                 .ok_or(format!("cases[{i}].wall_ms is not a number"))?,
@@ -99,6 +114,8 @@ pub struct Regression {
     pub case_name: String,
     /// Partition label.
     pub partition: String,
+    /// Engine the regressed row was measured with.
+    pub engine: String,
     /// Which metric regressed (`wall_ms`, `comm_bytes`, `comm_msgs`,
     /// or `missing` when the current trajectory dropped the row).
     pub metric: String,
@@ -115,22 +132,30 @@ impl std::fmt::Display for Regression {
         if self.metric == "missing" {
             return write!(
                 f,
-                "{} {}: row missing from current trajectory",
-                self.case_name, self.partition
+                "{} {} [{}]: row missing from current trajectory",
+                self.case_name, self.partition, self.engine
             );
         }
         write!(
             f,
-            "{} {}: {} regressed {:.1} -> {:.1} (limit {:.1})",
-            self.case_name, self.partition, self.metric, self.baseline, self.current, self.limit
+            "{} {} [{}]: {} regressed {:.1} -> {:.1} (limit {:.1})",
+            self.case_name,
+            self.partition,
+            self.engine,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.limit
         )
     }
 }
 
-/// Compare a current trajectory against a baseline. Every baseline row
-/// must exist in the current document and stay within tolerance on
-/// wall time, wire bytes, and message count; extra current rows (new
-/// cases) are not regressions. Returns every violation.
+/// Compare a current trajectory against a baseline. Rows are keyed by
+/// case × partition × engine — a tree-walk row never gates a kernel
+/// row. Every baseline row must exist in the current document and stay
+/// within tolerance on wall time, wire bytes, and message count; extra
+/// current rows (new cases or engines) are not regressions. Returns
+/// every violation.
 pub fn gate(
     current: &[TrajectoryRow],
     baseline: &[TrajectoryRow],
@@ -138,13 +163,15 @@ pub fn gate(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for base in baseline {
-        let Some(cur) = current
-            .iter()
-            .find(|c| c.case_name == base.case_name && c.partition == base.partition)
-        else {
+        let Some(cur) = current.iter().find(|c| {
+            c.case_name == base.case_name
+                && c.partition == base.partition
+                && c.engine == base.engine
+        }) else {
             out.push(Regression {
                 case_name: base.case_name.clone(),
                 partition: base.partition.clone(),
+                engine: base.engine.clone(),
                 metric: "missing".into(),
                 baseline: 0.0,
                 current: 0.0,
@@ -158,6 +185,7 @@ pub fn gate(
                 out.push(Regression {
                     case_name: base.case_name.clone(),
                     partition: base.partition.clone(),
+                    engine: base.engine.clone(),
                     metric: metric.into(),
                     baseline: b,
                     current: c,
@@ -264,5 +292,46 @@ mod tests {
     fn unknown_schema_is_rejected() {
         let err = parse_trajectory(r#"{"schema": 99, "cases": []}"#).unwrap_err();
         assert!(err.contains("schema 99"), "{err}");
+    }
+
+    #[test]
+    fn schema1_rows_default_to_tree_engine() {
+        let rows = parse_trajectory(&doc(20.0, 8000)).unwrap();
+        assert_eq!(rows[0].engine, "tree");
+        assert_eq!(rows[0].threads, 1);
+    }
+
+    fn doc2(engine: &str, threads: u64, wall: f64) -> String {
+        format!(
+            r#"{{"schema": 2, "cases": [
+                {{"case": "sprayer-small", "partition": "2x2", "ranks": 4,
+                  "engine": "{engine}", "threads": {threads},
+                  "compile_ms": 1.0, "wall_ms": {wall}, "comm_msgs": 100,
+                  "comm_elems": 1000, "comm_bytes": 8000,
+                  "barriers": 2, "reduces": 8,
+                  "syncs_before": 9, "syncs_after": 3}}
+            ]}}"#
+        )
+    }
+
+    #[test]
+    fn rows_are_keyed_by_engine() {
+        // a fast kernel row must not satisfy a tree baseline: the tree
+        // row is missing from the current document, and that is the
+        // reported regression (not a bogus wall comparison)
+        let base = parse_trajectory(&doc2("tree", 1, 20.0)).unwrap();
+        let cur = parse_trajectory(&doc2("kernel", 4, 2.0)).unwrap();
+        let regs = gate(&cur, &base, &GateConfig::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "missing");
+        assert!(regs[0].to_string().contains("[tree]"), "{}", regs[0]);
+
+        // same engine on both sides gates normally
+        let slow = parse_trajectory(&doc2("kernel", 4, 200.0)).unwrap();
+        let fast = parse_trajectory(&doc2("kernel", 4, 2.0)).unwrap();
+        let regs = gate(&slow, &fast, &GateConfig::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wall_ms");
+        assert!(regs[0].to_string().contains("[kernel]"), "{}", regs[0]);
     }
 }

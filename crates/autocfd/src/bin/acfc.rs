@@ -451,6 +451,8 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
                 .common
                 .timeout_ms
                 .unwrap_or(Duration::from_secs(30).as_millis() as u64),
+            engine: args.common.compile.engine.name().into(),
+            threads: args.common.compile.threads.into(),
         };
         checkpoint::write_manifest(Path::new(dir), &manifest)
             .map_err(|e| runtime_err(format!("cannot write relaunch manifest: {e}")))?;
@@ -506,10 +508,19 @@ fn run_resume(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let engine = match autocfd::codegen::EnginePref::parse(&manifest.engine) {
+        Some(e) => e,
+        None => {
+            eprintln!("acfc: manifest names unknown engine `{}`", manifest.engine);
+            return exit_with(&Error::Validation("manifest engine unknown".into()));
+        }
+    };
     let opts = autocfd::CompileOptions {
         partition: Some(manifest.parts.clone()),
         distance: Some(manifest.distance as u64),
         optimize: manifest.optimize,
+        engine,
+        threads: manifest.threads.min(u64::from(u32::MAX)) as u32,
         ..Default::default()
     };
     let compiled = match compile(&manifest.source, &opts) {
@@ -585,6 +596,14 @@ fn run_resume(args: &Args) -> ExitCode {
         ];
         if !manifest.optimize {
             a.push("--no-optimize".into());
+        }
+        if engine != autocfd::codegen::EnginePref::Tree {
+            a.push("--engine".into());
+            a.push(engine.name().into());
+        }
+        if manifest.threads > 1 {
+            a.push("--threads".into());
+            a.push(manifest.threads.to_string());
         }
         if manifest.overlap {
             a.push("--overlap".into());
@@ -672,6 +691,8 @@ fn remote_request(args: &Args, source: &str) -> Result<CompileReq, String> {
         parts: parts.iter().map(|&p| p as usize).collect(),
         distance: args.common.compile.distance.map(|d| d as usize),
         optimize: args.common.compile.optimize,
+        engine: args.common.compile.engine,
+        threads: args.common.compile.threads,
     })
 }
 
@@ -1092,7 +1113,10 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
             run_error = Some(e);
         }
     } else {
-        let runs = compiled.run_parallel_traced_opts(vec![], args.common.overlap);
+        let runs = compiled
+            .run_config()
+            .overlap(args.common.overlap)
+            .run_parallel_traced();
         if let Ok((m, _)) = &runs[0].outcome {
             for line in &m.output {
                 println!("{line}");
@@ -1321,7 +1345,10 @@ fn main() -> ExitCode {
     } else if args.run || args.common.profile {
         // traced even for a plain run: on failure the partial trace
         // still renders, instead of vanishing with the error
-        let runs = compiled.run_parallel_traced_opts(vec![], args.common.overlap);
+        let runs = compiled
+            .run_config()
+            .overlap(args.common.overlap)
+            .run_parallel_traced();
         if let Ok((m, _)) = &runs[0].outcome {
             for line in &m.output {
                 println!("{line}");

@@ -4,13 +4,15 @@
 //! acfd-compile serve [--addr HOST:PORT] [--cache-dir DIR] [--capacity N]
 //!                    [--journal DIR] [--addr-file PATH]
 //! acfd-compile hash INPUT.f [--partition AxB[xC]] [--distance D] [--no-optimize]
+//!                    [--engine tree|kernel] [--threads N]
 //! acfd-compile stats --server HOST:PORT
 //! ```
 //!
 //! `serve` binds the daemon (default `127.0.0.1:7407`, `:0` picks a
 //! free port) and serves `acfc --server` clients: compiles are cached
 //! content-addressed by (canonicalized source × partition × distance ×
-//! optimization × plan-schema version), identical concurrent requests
+//! optimization × engine × threads × plan-schema version), identical
+//! concurrent requests
 //! coalesce onto one pipeline run, and the bounded LRU persists under
 //! `--cache-dir` across restarts. `--addr-file` writes the bound
 //! address to a file once listening — how scripts find a `:0` port.
@@ -152,6 +154,8 @@ fn cmd_hash(mut args: std::env::Args) -> ExitCode {
         &parts,
         common.compile.distance.map(|d| d as usize),
         common.compile.optimize,
+        common.compile.engine,
+        common.compile.threads,
     );
     println!("{}", key.digest());
     ExitCode::SUCCESS

@@ -40,7 +40,7 @@
 //! 4 verification (see [`autocfd::Error::exit_code`]).
 
 use autocfd::cli::CommonOpts;
-use autocfd::interp::{run_rank_traced_full, verify_rank_owned_region, CheckpointOpts, RankResult};
+use autocfd::interp::{verify_rank_owned_region, CheckpointOpts, RankResult};
 use autocfd::runtime::checkpoint::{load_snapshot, rank_snapshot_path, Snapshot};
 use autocfd::runtime::{wire_by_phase, Comm, Transport};
 use autocfd::runtime_net::{MeshConfig, TcpTransport};
@@ -208,16 +208,17 @@ fn main() -> ExitCode {
         .map(Duration::from_millis)
         .unwrap_or(Duration::from_secs(30));
     let comm = Comm::new(Box::new(transport), timeout, Instant::now());
-    let run = run_rank_traced_full(
-        &compiled.parallel_file,
-        &compiled.spmd_plan,
-        vec![],
-        0,
-        &comm,
-        args.common.overlap,
-        ckpt,
-        resume.as_ref(),
-    );
+    // the plan carries the engine/thread selection (local compile or
+    // `--plan` artifact), so this rank executes on the same engine as
+    // every other process of the mesh
+    let mut cfg = compiled.run_config().overlap(args.common.overlap);
+    if let Some(c) = ckpt {
+        cfg = cfg.checkpoint(c);
+    }
+    let run = match resume.as_ref() {
+        Some(snap) => cfg.run_rank_resumed(&comm, snap),
+        None => cfg.run_rank_traced(&comm),
+    };
     drop(comm); // closes this rank's mesh endpoint
 
     // a chaos-injected failure simulates a hard crash: abort without

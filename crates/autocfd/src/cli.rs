@@ -3,9 +3,9 @@
 //!
 //! Every binary parses its own argument list, but the flags that select
 //! a compilation and an execution environment — `--procs`,
-//! `--partition`, `--distance`, `--no-optimize`, `--transport`,
-//! `--ranks`, `--timeout-ms`, `--trace-dir`, `--profile`, `--overlap` —
-//! mean the same thing everywhere. [`CommonOpts`] owns their parsing:
+//! `--partition`, `--distance`, `--no-optimize`, `--engine`,
+//! `--threads`, `--transport`, `--ranks`, `--timeout-ms`, `--trace-dir`,
+//! `--profile`, `--overlap` — mean the same thing everywhere. [`CommonOpts`] owns their parsing:
 //! a binary's argument loop offers each flag to [`CommonOpts::accept`]
 //! first and only handles its own mode-specific flags itself.
 
@@ -102,6 +102,19 @@ impl CommonOpts {
                 let v = rest.next().ok_or("--distance needs a value")?;
                 self.compile.distance = Some(v.parse().map_err(|_| format!("bad distance `{v}`"))?);
             }
+            "--engine" => {
+                let v = rest.next().ok_or("--engine needs `tree` or `kernel`")?;
+                self.compile.engine = autocfd_codegen::EnginePref::parse(&v)
+                    .ok_or_else(|| format!("unknown engine `{v}` (expected `tree` or `kernel`)"))?;
+            }
+            "--threads" => {
+                let v = rest.next().ok_or("--threads needs a value")?;
+                self.compile.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u32| n >= 1)
+                    .ok_or_else(|| format!("bad thread count `{v}`"))?;
+            }
             "--timeout-ms" => {
                 let v = rest.next().ok_or("--timeout-ms needs a value")?;
                 self.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
@@ -165,6 +178,14 @@ impl CommonOpts {
         }
         if !self.compile.optimize {
             out.push("--no-optimize".into());
+        }
+        if self.compile.engine != autocfd_codegen::EnginePref::Tree {
+            out.push("--engine".into());
+            out.push(self.compile.engine.name().into());
+        }
+        if self.compile.threads != 1 {
+            out.push("--threads".into());
+            out.push(self.compile.threads.to_string());
         }
         if let Some(ms) = self.timeout_ms {
             out.push("--timeout-ms".into());
@@ -289,6 +310,10 @@ mod tests {
             "--timeout-ms",
             "500",
             "--overlap",
+            "--engine",
+            "kernel",
+            "--threads",
+            "4",
         ])
         .unwrap();
         let words = opts.worker_args();
@@ -299,5 +324,25 @@ mod tests {
         assert!(!back.compile.optimize);
         assert_eq!(back.timeout_ms, Some(500));
         assert!(back.overlap && !back.profile);
+        assert_eq!(back.compile.engine, autocfd_codegen::EnginePref::Kernel);
+        assert_eq!(back.compile.threads, 4);
+    }
+
+    #[test]
+    fn engine_flag_parses_and_defaults() {
+        let (opts, _) = parse(&[]).unwrap();
+        assert_eq!(opts.compile.engine, autocfd_codegen::EnginePref::Tree);
+        assert_eq!(opts.compile.threads, 1);
+        let (opts, _) = parse(&["--engine", "kernel", "--threads", "8"]).unwrap();
+        assert_eq!(opts.compile.engine, autocfd_codegen::EnginePref::Kernel);
+        assert_eq!(opts.compile.threads, 8);
+        assert!(parse(&["--engine", "warp"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+        // tree defaults are not forwarded (older workers keep working)
+        let (opts, _) = parse(&[]).unwrap();
+        let words = opts.worker_args();
+        assert!(!words.contains(&"--engine".to_string()));
+        assert!(!words.contains(&"--threads".to_string()));
     }
 }

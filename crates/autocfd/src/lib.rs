@@ -71,11 +71,11 @@ pub mod transport;
 #[cfg(doctest)]
 pub struct ReadmeDoctests;
 
-use autocfd_codegen::{transform, SpmdPlan, TransformError};
+use autocfd_codegen::{transform, EnginePref, SpmdPlan, TransformError};
 use autocfd_fortran::{FortranError, SourceFile};
 use autocfd_grid::{choose_partition, partition, GridShape, Partition, PartitionSpec};
-use autocfd_interp::spmd::{run_parallel, run_parallel_opts, verify_owned_regions, RankResult};
-use autocfd_interp::{run_program_capture, Frame, Machine, NoHooks, RunError};
+use autocfd_interp::spmd::{verify_owned_regions, RankResult};
+use autocfd_interp::{Frame, Machine, RunConfig, RunError};
 use autocfd_ir::{build_ir, ProgramIr};
 use autocfd_runtime::CommError;
 use autocfd_syncopt::{plan_program, SyncPlan};
@@ -93,7 +93,7 @@ pub use autocfd_runtime_net as runtime_net;
 pub use autocfd_syncopt as syncopt;
 
 /// Options controlling a compilation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CompileOptions {
     /// Number of processors; the partitioner chooses the best shape.
     /// Ignored when `partition` (or the `!$acf partition` directive)
@@ -108,6 +108,25 @@ pub struct CompileOptions {
     /// `false` keeps one synchronization per writer loop — the paper's
     /// "before optimization" configuration.
     pub optimize: bool,
+    /// Execution engine recorded in the emitted plan (default tree):
+    /// `Kernel` makes runs of this compile execute eligible comm-free
+    /// loop nests as fused compiled kernels, bit-exactly.
+    pub engine: EnginePref,
+    /// Kernel-engine worker threads recorded in the plan (default 1).
+    pub threads: u32,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            procs: None,
+            partition: None,
+            distance: None,
+            optimize: false,
+            engine: EnginePref::Tree,
+            threads: 1,
+        }
+    }
 }
 
 impl CompileOptions {
@@ -269,15 +288,24 @@ impl Compiled {
         autocfd_fortran::print(&self.parallel_file)
     }
 
-    /// Run the *original sequential* program.
+    /// Run the *original sequential* program on the reference tree-walk
+    /// engine — the ground truth every parallel/kernel execution is
+    /// verified against.
     pub fn run_sequential(&self, input: Vec<f64>) -> Result<(Machine, Frame), RunError> {
-        let mut hooks = NoHooks;
-        run_program_capture(&self.ir.file, input, &mut hooks, 0)
+        RunConfig::new(&self.ir.file).input(input).run_sequential()
+    }
+
+    /// A [`RunConfig`] for the transformed parallel program, plan
+    /// attached: the plan's engine/thread selection applies, and every
+    /// execution knob (overlap, checkpointing, engine override) is a
+    /// builder call away.
+    pub fn run_config(&self) -> RunConfig<'_> {
+        RunConfig::new(&self.parallel_file).plan(&self.spmd_plan)
     }
 
     /// Run the transformed program on `partition.tasks()` rank-threads.
     pub fn run_parallel(&self, input: Vec<f64>) -> Result<Vec<RankResult>, RunError> {
-        run_parallel(&self.parallel_file, &self.spmd_plan, input, 0)
+        self.run_config().input(input).run_parallel()
     }
 
     /// [`Compiled::run_parallel`] with compute/communication overlap on
@@ -289,7 +317,7 @@ impl Compiled {
         input: Vec<f64>,
         overlap: bool,
     ) -> Result<Vec<RankResult>, RunError> {
-        run_parallel_opts(&self.parallel_file, &self.spmd_plan, input, 0, overlap)
+        self.run_config().input(input).overlap(overlap).run_parallel()
     }
 
     /// Run both versions and verify that every rank's owned region of
@@ -366,7 +394,17 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileE
         .collect();
 
     let sync_plan = plan_program(&ir, &cut_axes, distance, opts.optimize);
-    let (parallel_file, spmd_plan) = transform(&ir, &part, &sync_plan, distance)?;
+    let (parallel_file, mut spmd_plan) = transform(&ir, &part, &sync_plan, distance)?;
+
+    // The plan carries the execution-engine choice so artifacts (plan
+    // JSON, compile-service cache entries) replay with the engine the
+    // submitter picked. Eligibility runs over the *transformed* program
+    // — the one that executes — so remote runs compile the same nests.
+    spmd_plan.engine = opts.engine;
+    spmd_plan.threads = opts.threads.max(1);
+    if opts.engine == EnginePref::Kernel {
+        spmd_plan.kernel_nests = autocfd_interp::kernel_nests(&parallel_file);
+    }
 
     Ok(Compiled {
         ir,

@@ -14,7 +14,6 @@
 use crate::Compiled;
 use autocfd_cluster_sim::{Comparison, NetworkModel};
 use autocfd_interp::forecast::{forecast, PhaseForecast};
-use autocfd_interp::spmd::run_parallel_traced_opts;
 use autocfd_interp::RankRun;
 use autocfd_runtime::journal::{self, JournalHeader, MergedTrace, SCHEMA_VERSION};
 use autocfd_runtime::{
@@ -36,7 +35,10 @@ impl Compiled {
     /// [`Compiled::run_parallel_traced`] with compute/communication
     /// overlap on or off.
     pub fn run_parallel_traced_opts(&self, input: Vec<f64>, overlap: bool) -> Vec<RankRun> {
-        run_parallel_traced_opts(&self.parallel_file, &self.spmd_plan, input, 0, overlap)
+        self.run_config()
+            .input(input)
+            .overlap(overlap)
+            .run_parallel_traced()
     }
 }
 
@@ -74,7 +76,8 @@ pub fn write_rank_run(
         transport: transport.into(),
         epoch_unix_ns: run.epoch_unix_ns,
     };
-    journal::write_rank_journal(dir, &header, &run.trace, &run.phases).map_err(|e| e.to_string())
+    journal::write_rank_journal(dir, &header, &run.trace, &run.phases, &run.engine)
+        .map_err(|e| e.to_string())
 }
 
 /// Reload a trace directory and merge the rank journals onto one clock.
@@ -349,9 +352,7 @@ mod tests {
         );
         // bit-exactness against the sequential program with overlap on
         let seq = c.run_sequential(vec![]).unwrap();
-        let par =
-            autocfd_interp::run_parallel_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, true)
-                .unwrap();
+        let par = c.run_parallel_opts(vec![], true).unwrap();
         let diff = autocfd_interp::verify_owned_regions(&seq, &par, &c.spmd_plan, 0.0).unwrap();
         assert_eq!(diff, 0.0, "overlapped execution must stay bit-identical");
 

@@ -30,7 +30,7 @@ pub use crate::obs::{
     render_cross_validation, render_report, write_rank_run, PhaseCheck,
 };
 pub use crate::{compile, CompileError, CompileOptions, Compiled, Error};
-pub use autocfd_codegen::SpmdPlan;
+pub use autocfd_codegen::{EnginePref, SpmdPlan};
 pub use autocfd_grid::{GridShape, Partition, PartitionSpec};
-pub use autocfd_interp::{RankResult, RankRun, RunError};
+pub use autocfd_interp::{Engine, KernelEngine, RankResult, RankRun, RunConfig, RunError, TreeEngine};
 pub use autocfd_runtime::{CommError, MergedTrace, PhaseMetrics};

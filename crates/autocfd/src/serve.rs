@@ -19,8 +19,8 @@ use crate::planio;
 use crate::{compile, CompileOptions};
 use autocfd_compile_service::proto::{CompileReq, ErrorClass, RunReq, ServiceError, StreamItem};
 use autocfd_compile_service::{Backend, CacheEntry, CompiledUnit};
-use autocfd_interp::spmd::{run_parallel_traced_opts, verify_rank_owned_region, RankResult};
-use autocfd_interp::{run_program_capture, NoHooks};
+use autocfd_interp::spmd::{verify_rank_owned_region, RankResult};
+use autocfd_interp::RunConfig;
 use serde::json::Value;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +61,8 @@ fn options_of(req: &CompileReq) -> Result<CompileOptions, ServiceError> {
         partition: Some(req.parts.iter().map(|&p| p as u32).collect()),
         distance: req.distance.map(|d| d as u64),
         optimize: req.optimize,
+        engine: req.engine,
+        threads: req.threads,
     })
 }
 
@@ -89,7 +91,13 @@ impl Backend for PipelineBackend {
         let parallel_file = autocfd_fortran::parse(&entry.parallel_source)
             .map_err(|e| internal(format!("cached parallel source: {e}")))?;
 
-        let runs = run_parallel_traced_opts(&parallel_file, &plan, vec![], 0, req.overlap);
+        // The plan artifact carries the submitter's engine and thread
+        // choice; RunConfig resolves them, so a remote run executes on
+        // exactly the engine the client requested.
+        let runs = RunConfig::new(&parallel_file)
+            .plan(&plan)
+            .overlap(req.overlap)
+            .run_parallel_traced();
 
         // journals first (they exist even for failed ranks), then output
         let dir = self.scratch_dir();
@@ -141,8 +149,8 @@ impl Backend for PipelineBackend {
             // *submitted* source (no pipeline; nothing cached changes)
             let seq_file = autocfd_fortran::parse(&req.compile.source)
                 .map_err(|e| internal(format!("sequential reference: {e}")))?;
-            let mut hooks = NoHooks;
-            let seq = run_program_capture(&seq_file, vec![], &mut hooks, 0)
+            let seq = RunConfig::new(&seq_file)
+                .run_sequential()
                 .map_err(|e| internal(format!("sequential reference: {e}")))?;
             let mut max_diff = 0.0f64;
             for (rank, run) in runs.into_iter().enumerate() {

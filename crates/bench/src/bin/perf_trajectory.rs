@@ -15,6 +15,7 @@
 //! archives them per commit, which over commits forms the trajectory a
 //! regression gate can read.
 
+use autocfd::codegen::EnginePref;
 use autocfd::compile_service::{Client, CompileReq, Request, Service, ServiceConfig};
 use autocfd::serve::PipelineBackend;
 use autocfd::CompileOptions;
@@ -22,11 +23,13 @@ use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
 use serde::json::Value;
 use std::time::Instant;
 
-/// One measured case × partition row.
-fn measure_case(name: &str, source: &str, parts: &[u32]) -> Value {
+/// One measured case × partition × engine row.
+fn measure_case(name: &str, source: &str, parts: &[u32], engine: EnginePref, threads: u32) -> Value {
     let opts = CompileOptions {
         partition: Some(parts.to_vec()),
         optimize: true,
+        engine,
+        threads,
         ..Default::default()
     };
     let t0 = Instant::now();
@@ -34,7 +37,7 @@ fn measure_case(name: &str, source: &str, parts: &[u32]) -> Value {
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t0 = Instant::now();
-    let runs = compiled.run_parallel_traced_opts(vec![], false);
+    let runs = compiled.run_config().run_parallel_traced();
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mut msgs = 0u64;
     let mut elems = 0u64;
@@ -54,12 +57,14 @@ fn measure_case(name: &str, source: &str, parts: &[u32]) -> Value {
         .collect::<Vec<_>>()
         .join("x");
     eprintln!(
-        "  {name} {spec}: compile {compile_ms:.1} ms, wall {wall_ms:.1} ms, \
-         {msgs} msgs / {elems} f64s"
+        "  {name} {spec} [{engine} x{threads}]: compile {compile_ms:.1} ms, \
+         wall {wall_ms:.1} ms, {msgs} msgs / {elems} f64s"
     );
     Value::obj(vec![
         ("case", Value::Str(name.into())),
         ("partition", Value::Str(spec)),
+        ("engine", Value::Str(engine.name().into())),
+        ("threads", Value::Int(threads.into())),
         ("ranks", Value::Int(runs.len() as i128)),
         ("compile_ms", Value::Float(compile_ms)),
         ("wall_ms", Value::Float(wall_ms)),
@@ -95,6 +100,8 @@ fn measure_cache_series(name: &str, source: &str, parts: &[usize], n: usize) -> 
         parts: parts.to_vec(),
         distance: None,
         optimize: true,
+        engine: EnginePref::Tree,
+        threads: 1,
     });
     let mut series_ms = Vec::new();
     let mut verdicts = Vec::new();
@@ -155,24 +162,33 @@ fn main() {
         }
     }
 
-    let aerofoil = aerofoil_program(&CaseParams::aerofoil_small());
-    let sprayer = sprayer_program(&CaseParams::sprayer_small());
+    // Bench-size grids: large enough that per-frame stencil compute
+    // dominates halo exchange (the regime Table 1 measures — the small
+    // correctness grids are communication-bound and would understate
+    // any engine difference), small enough that the tree-walk rows
+    // finish in seconds.
+    let aerofoil = aerofoil_program(&CaseParams::aerofoil_bench());
+    let sprayer = sprayer_program(&CaseParams::sprayer_bench());
 
     eprintln!("perf_trajectory: measuring case studies on rank-threads");
-    let cases = vec![
-        measure_case("aerofoil-small", &aerofoil, &[2, 1, 1]),
-        measure_case("aerofoil-small", &aerofoil, &[2, 2, 1]),
-        measure_case("sprayer-small", &sprayer, &[4, 1]),
-        measure_case("sprayer-small", &sprayer, &[2, 2]),
-    ];
+    // every case × partition is measured on both engines: the tree walk
+    // (reference) and the compiled-kernel engine with a 4-way interior
+    // split — the pair forms the speedup series the gate watches
+    let mut cases = Vec::new();
+    for (engine, threads) in [(EnginePref::Tree, 1), (EnginePref::Kernel, 4)] {
+        cases.push(measure_case("aerofoil-bench", &aerofoil, &[2, 1, 1], engine, threads));
+        cases.push(measure_case("aerofoil-bench", &aerofoil, &[2, 2, 1], engine, threads));
+        cases.push(measure_case("sprayer-bench", &sprayer, &[4, 1], engine, threads));
+        cases.push(measure_case("sprayer-bench", &sprayer, &[2, 2], engine, threads));
+    }
     eprintln!("perf_trajectory: measuring compile-service cold-vs-warm latency");
     let cache = vec![
-        measure_cache_series("aerofoil-small", &aerofoil, &[2, 2, 1], 5),
-        measure_cache_series("sprayer-small", &sprayer, &[2, 2], 5),
+        measure_cache_series("aerofoil-bench", &aerofoil, &[2, 2, 1], 5),
+        measure_cache_series("sprayer-bench", &sprayer, &[2, 2], 5),
     ];
 
     let doc = Value::obj(vec![
-        ("schema", Value::Int(1)),
+        ("schema", Value::Int(2)),
         ("bench", Value::Str("perf_trajectory".into())),
         ("cases", Value::Arr(cases)),
         ("compile_cache", Value::Arr(cache)),

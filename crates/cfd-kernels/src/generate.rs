@@ -53,6 +53,20 @@ impl CaseParams {
         }
     }
 
+    /// An intermediate aerofoil for wall-time benchmarking: large
+    /// enough that per-frame compute dominates halo exchange (the
+    /// regime the paper's Table 1 measures), small enough that a
+    /// tree-walk measurement stays in low single-digit seconds.
+    pub fn aerofoil_bench() -> Self {
+        Self {
+            ni: 48,
+            nj: 24,
+            nk: 10,
+            frames: 8,
+            width: 8,
+        }
+    }
+
     /// A small aerofoil for fast correctness tests.
     pub fn aerofoil_small() -> Self {
         Self {
@@ -73,6 +87,18 @@ impl CaseParams {
             nk: 0,
             frames: 60,
             width: 20,
+        }
+    }
+
+    /// An intermediate sprayer for wall-time benchmarking, sized like
+    /// [`CaseParams::aerofoil_bench`].
+    pub fn sprayer_bench() -> Self {
+        Self {
+            ni: 150,
+            nj: 60,
+            nk: 0,
+            frames: 12,
+            width: 10,
         }
     }
 

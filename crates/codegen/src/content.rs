@@ -15,6 +15,7 @@
 //! entries; FNV is stable across processes, architectures, and releases
 //! (the constants below are fixed by the algorithm, not by us).
 
+use crate::plan::EnginePref;
 use crate::plan_json::PLAN_SCHEMA_VERSION;
 use std::fmt;
 
@@ -65,6 +66,12 @@ pub struct PlanKey {
     pub distance: Option<usize>,
     /// Whether redundant-sync elimination ran.
     pub optimize: bool,
+    /// Requested execution engine. The emitted plan JSON embeds it, so
+    /// two compiles that differ only here must not share a cache entry.
+    pub engine: EnginePref,
+    /// Requested kernel-engine worker threads (embedded in the plan
+    /// JSON like `engine`).
+    pub threads: u32,
     /// [`PLAN_SCHEMA_VERSION`] at key construction time.
     pub schema_version: i64,
 }
@@ -72,12 +79,22 @@ pub struct PlanKey {
 impl PlanKey {
     /// Build the key for `source` compiled with the given options. The
     /// source is canonicalized first (see [`canonicalize_source`]).
-    pub fn new(source: &str, parts: &[usize], distance: Option<usize>, optimize: bool) -> PlanKey {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        source: &str,
+        parts: &[usize],
+        distance: Option<usize>,
+        optimize: bool,
+        engine: EnginePref,
+        threads: u32,
+    ) -> PlanKey {
         PlanKey {
             source_digest: stable_hash_128(canonicalize_source(source).as_bytes()),
             parts: parts.to_vec(),
             distance,
             optimize,
+            engine,
+            threads,
             schema_version: PLAN_SCHEMA_VERSION,
         }
     }
@@ -87,7 +104,7 @@ impl PlanKey {
     /// and wire-safe; used as the cache entry name.
     pub fn digest(&self) -> String {
         let mut material = String::new();
-        material.push_str("acfd-plan-key:v1\n");
+        material.push_str("acfd-plan-key:v2\n");
         material.push_str(&format!("source:{:032x}\n", self.source_digest));
         material.push_str("parts:");
         for (i, p) in self.parts.iter().enumerate() {
@@ -102,6 +119,8 @@ impl PlanKey {
             None => material.push_str("distance:default\n"),
         }
         material.push_str(&format!("optimize:{}\n", self.optimize));
+        material.push_str(&format!("engine:{}\n", self.engine.name()));
+        material.push_str(&format!("threads:{}\n", self.threads));
         material.push_str(&format!("schema:{}\n", self.schema_version));
         format!("{:032x}", stable_hash_128(material.as_bytes()))
     }
@@ -138,37 +157,47 @@ mod tests {
         let dos = "program t\r\n  x = 1\r\nend\r\n";
         let mac = "program t\r  x = 1\rend\r";
         let trailing = "program t   \n  x = 1\t\nend\n";
-        let a = PlanKey::new(unix, &[2, 2], Some(1), true);
-        assert_eq!(a, PlanKey::new(dos, &[2, 2], Some(1), true));
-        assert_eq!(a, PlanKey::new(mac, &[2, 2], Some(1), true));
-        assert_eq!(a, PlanKey::new(trailing, &[2, 2], Some(1), true));
+        let a = PlanKey::new(unix, &[2, 2], Some(1), true, EnginePref::Tree, 1);
+        assert_eq!(a, PlanKey::new(dos, &[2, 2], Some(1), true, EnginePref::Tree, 1));
+        assert_eq!(a, PlanKey::new(mac, &[2, 2], Some(1), true, EnginePref::Tree, 1));
+        assert_eq!(a, PlanKey::new(trailing, &[2, 2], Some(1), true, EnginePref::Tree, 1));
         // ...but real edits change the key
         assert_ne!(
             a,
-            PlanKey::new("program t\n  x = 2\nend\n", &[2, 2], Some(1), true)
+            PlanKey::new("program t\n  x = 2\nend\n", &[2, 2], Some(1), true, EnginePref::Tree, 1)
         );
     }
 
     #[test]
     fn every_option_is_key_material() {
         let src = "program t\nend\n";
-        let base = PlanKey::new(src, &[2, 2], Some(1), true);
+        let base = PlanKey::new(src, &[2, 2], Some(1), true, EnginePref::Tree, 1);
         assert_ne!(
             base.digest(),
-            PlanKey::new(src, &[4, 1], Some(1), true).digest()
+            PlanKey::new(src, &[4, 1], Some(1), true, EnginePref::Tree, 1).digest()
         );
         assert_ne!(
             base.digest(),
-            PlanKey::new(src, &[2, 2], Some(2), true).digest()
+            PlanKey::new(src, &[2, 2], Some(2), true, EnginePref::Tree, 1).digest()
         );
         assert_ne!(
             base.digest(),
-            PlanKey::new(src, &[2, 2], Some(1), false).digest()
+            PlanKey::new(src, &[2, 2], Some(1), false, EnginePref::Tree, 1).digest()
         );
         assert_ne!(
             base.digest(),
-            PlanKey::new(src, &[2, 2], None, true).digest(),
+            PlanKey::new(src, &[2, 2], None, true, EnginePref::Tree, 1).digest(),
             "an explicit override of 1 and `no override` are distinct keys"
+        );
+        assert_ne!(
+            base.digest(),
+            PlanKey::new(src, &[2, 2], Some(1), true, EnginePref::Kernel, 1).digest(),
+            "engine selection is key material (the plan JSON embeds it)"
+        );
+        assert_ne!(
+            PlanKey::new(src, &[2, 2], Some(1), true, EnginePref::Kernel, 1).digest(),
+            PlanKey::new(src, &[2, 2], Some(1), true, EnginePref::Kernel, 4).digest(),
+            "thread count is key material (the plan JSON embeds it)"
         );
         let mut stale = base.clone();
         stale.schema_version += 1;
@@ -180,12 +209,12 @@ mod tests {
         let src = "program t\nend\n";
         // [12] vs [1,2] must not collide through string concatenation
         assert_ne!(
-            PlanKey::new(src, &[12], Some(1), true).digest(),
-            PlanKey::new(src, &[1, 2], Some(1), true).digest()
+            PlanKey::new(src, &[12], Some(1), true, EnginePref::Tree, 1).digest(),
+            PlanKey::new(src, &[1, 2], Some(1), true, EnginePref::Tree, 1).digest()
         );
         assert_ne!(
-            PlanKey::new(src, &[2, 1], Some(1), true).digest(),
-            PlanKey::new(src, &[1, 2], Some(1), true).digest()
+            PlanKey::new(src, &[2, 1], Some(1), true, EnginePref::Tree, 1).digest(),
+            PlanKey::new(src, &[1, 2], Some(1), true, EnginePref::Tree, 1).digest()
         );
     }
 
@@ -194,14 +223,16 @@ mod tests {
         // A golden digest proves cross-process determinism: any
         // process-random seed, map-order dependence, or host-path leak
         // would break it. If this fails after an intentional key-material
-        // change, bump "acfd-plan-key:v1" and re-pin.
+        // change, bump "acfd-plan-key:v2" and re-pin.
         let key = PlanKey {
             source_digest: stable_hash_128(b"program t\nend\n"),
             parts: vec![2, 2],
             distance: Some(1),
             optimize: true,
-            schema_version: 1,
+            engine: EnginePref::Kernel,
+            threads: 4,
+            schema_version: 2,
         };
-        assert_eq!(key.digest(), "2020e296259feab9d8d87941e4db9661");
+        assert_eq!(key.digest(), "15c8eb707959bdb3972a124441a28153");
     }
 }

@@ -97,6 +97,44 @@ pub struct OverlapSpec {
     pub high_width: u64,
 }
 
+/// Which interpreter backend executes the plan — carried in the plan
+/// (and its JSON artifact) so a remote run selects the same engine the
+/// submitting client did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EnginePref {
+    /// Tree-walk every statement (the reference engine).
+    #[default]
+    Tree,
+    /// Compiled fused kernels for eligible comm-free loop nests,
+    /// tree-walk for everything else. Bit-exact with `Tree`.
+    Kernel,
+}
+
+impl EnginePref {
+    /// Stable lower-case name (CLI flag value, plan JSON, trace tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePref::Tree => "tree",
+            EnginePref::Kernel => "kernel",
+        }
+    }
+
+    /// Parse a [`EnginePref::name`] back; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<EnginePref> {
+        match s {
+            "tree" => Some(EnginePref::Tree),
+            "kernel" => Some(EnginePref::Kernel),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EnginePref {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Everything the SPMD hook set needs at run time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpmdPlan {
@@ -133,6 +171,18 @@ pub struct SpmdPlan {
     pub sync_before: u64,
     /// See [`SpmdPlan::sync_before`].
     pub sync_after: u64,
+    /// Which execution engine should run this plan. Serialized with the
+    /// plan so a remote (`--server`) run uses the engine the client
+    /// requested.
+    pub engine: EnginePref,
+    /// Worker threads for the kernel engine's interior split (1 =
+    /// sequential kernels). Ignored by the tree engine.
+    pub threads: u32,
+    /// Statement ids of outermost comm-free loop nests in the
+    /// *transformed* program that the kernel compiler proved eligible.
+    /// The kernel engine compiles exactly these; an empty list with
+    /// `engine == Kernel` means "discover at load time".
+    pub kernel_nests: Vec<StmtId>,
 }
 
 impl SpmdPlan {
@@ -173,6 +223,9 @@ mod tests {
             checkpoint_syncs: BTreeMap::new(),
             sync_before: 0,
             sync_after: 0,
+            engine: EnginePref::Tree,
+            threads: 1,
+            kernel_nests: vec![],
         };
         assert_eq!(plan.cut_axes(), vec![0, 2]);
         assert_eq!(plan.ranks(), 4);
@@ -214,6 +267,9 @@ mod tests {
             checkpoint_syncs: BTreeMap::from([(0, StmtId(3))]),
             sync_before: 5,
             sync_after: 1,
+            engine: EnginePref::Kernel,
+            threads: 4,
+            kernel_nests: vec![StmtId(7)],
         };
         let dbg = format!("{plan:?}");
         assert!(dbg.contains("err"));

@@ -13,7 +13,8 @@
 //! `i128` — nothing round-trips through `f64`.
 
 use crate::plan::{
-    OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan, SyncArray, SyncSpec,
+    EnginePref, OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan,
+    SyncArray, SyncSpec,
 };
 use autocfd_fortran::ast::StmtId;
 use autocfd_grid::{partition, GridShape, PartitionSpec};
@@ -22,7 +23,10 @@ use std::collections::BTreeMap;
 
 /// Version of the plan JSON schema. Bump on any incompatible change;
 /// the loader rejects mismatches instead of guessing.
-pub const PLAN_SCHEMA_VERSION: i64 = 1;
+///
+/// v2 added `engine`, `threads` and `kernel_nests` (compiled-kernel
+/// engine selection travels with the plan).
+pub const PLAN_SCHEMA_VERSION: i64 = 2;
 
 fn ints<T: Copy + Into<i128>>(vs: &[T]) -> Value {
     Value::Arr(vs.iter().map(|&v| Value::Int(v.into())).collect())
@@ -189,6 +193,17 @@ pub fn to_json(plan: &SpmdPlan) -> String {
         ("checkpoint_syncs", checkpoint_syncs),
         ("sync_before", Value::Int(plan.sync_before.into())),
         ("sync_after", Value::Int(plan.sync_after.into())),
+        ("engine", Value::Str(plan.engine.name().to_string())),
+        ("threads", Value::Int(plan.threads.into())),
+        (
+            "kernel_nests",
+            Value::Arr(
+                plan.kernel_nests
+                    .iter()
+                    .map(|s| Value::Int(s.0.into()))
+                    .collect(),
+            ),
+        ),
     ])
     .to_string()
 }
@@ -409,6 +424,16 @@ pub fn from_json(text: &str) -> Result<SpmdPlan, String> {
         checkpoint_syncs,
         sync_before: u64_field(&v, "sync_before")?,
         sync_after: u64_field(&v, "sync_after")?,
+        engine: {
+            let name = str_field(&v, "engine")?;
+            EnginePref::parse(&name)
+                .ok_or_else(|| format!("plan JSON: unknown engine `{name}`"))?
+        },
+        threads: u32_field(&v, "threads")?.max(1),
+        kernel_nests: int_vec::<u32>(&v, "kernel_nests")?
+            .into_iter()
+            .map(StmtId)
+            .collect(),
     })
 }
 
@@ -470,6 +495,9 @@ mod tests {
             checkpoint_syncs: BTreeMap::from([(0, StmtId(4))]),
             sync_before: 5,
             sync_after: 1,
+            engine: EnginePref::Kernel,
+            threads: 4,
+            kernel_nests: vec![StmtId(7), StmtId(12)],
         };
         let text = to_json(&plan);
         let back = from_json(&text).unwrap();
@@ -492,20 +520,28 @@ mod tests {
             checkpoint_syncs: BTreeMap::new(),
             sync_before: 0,
             sync_after: 0,
+            engine: EnginePref::Tree,
+            threads: 1,
+            kernel_nests: vec![],
         };
-        let text = to_json(&plan).replace("\"version\":1", "\"version\":99");
+        let text = to_json(&plan).replace("\"version\":2", "\"version\":99");
         let err = from_json(&text).unwrap_err();
         assert!(err.contains("schema version 99"), "{err}");
+        // v1 artifacts (pre-engine) are stale too
+        let old = to_json(&plan).replace("\"version\":2", "\"version\":1");
+        let err = from_json(&old).unwrap_err();
+        assert!(err.contains("schema version 1"), "{err}");
     }
 
     #[test]
     fn invalid_partition_rejected_not_panicking() {
         // 8 parts on an extent-4 axis would make `partition()` panic;
         // the loader must reject it as a parse error instead
-        let text = r#"{"version":1,"partition":{"extents":[4,4],"parts":[8,1]},
+        let text = r#"{"version":2,"partition":{"extents":[4,4],"parts":[8,1]},
             "dim_axis":[],"syncs":[],"overlaps":[],"self_loops":[],
             "reduces":[],"fills":[],"checkpoint_syncs":[],
-            "sync_before":0,"sync_after":0}"#;
+            "sync_before":0,"sync_after":0,
+            "engine":"tree","threads":1,"kernel_nests":[]}"#;
         let err = from_json(text).unwrap_err();
         assert!(err.contains("cannot be split"), "{err}");
     }
@@ -514,7 +550,7 @@ mod tests {
     fn garbage_rejected_with_context() {
         assert!(from_json("not json").unwrap_err().contains("parse error"));
         assert!(from_json("{}").unwrap_err().contains("version"));
-        let err = from_json(r#"{"version":1}"#).unwrap_err();
+        let err = from_json(r#"{"version":2}"#).unwrap_err();
         assert!(err.contains("partition"), "{err}");
     }
 }

@@ -349,6 +349,12 @@ pub fn transform(
         checkpoint_syncs,
         sync_before: plan.stats.before,
         sync_after: plan.stats.after,
+        // Engine selection is a front-end concern: the driver overwrites
+        // these from its options (and fills `kernel_nests` by running the
+        // kernel compiler over the transformed program).
+        engine: crate::plan::EnginePref::default(),
+        threads: 1,
+        kernel_nests: Vec::new(),
     };
     let _ = distance;
     Ok((file, spmd))

@@ -11,6 +11,7 @@
 //! [`FrameKind::Response`]: autocfd_runtime_net::frame::FrameKind::Response
 //! [`FrameKind::Stream`]: autocfd_runtime_net::frame::FrameKind::Stream
 
+use autocfd_codegen::EnginePref;
 use serde::json::{self, Value};
 use std::fmt;
 
@@ -45,6 +46,12 @@ pub struct CompileReq {
     pub distance: Option<usize>,
     /// Run redundant-sync elimination.
     pub optimize: bool,
+    /// Requested execution engine; embedded in the returned plan so a
+    /// server-side run uses what the client asked for. Requests from
+    /// older clients that omit the field read as [`EnginePref::Tree`].
+    pub engine: EnginePref,
+    /// Kernel-engine worker threads (≥ 1); omitted reads as 1.
+    pub threads: u32,
 }
 
 /// A server-side execution request: compile options plus run options.
@@ -154,6 +161,8 @@ fn compile_fields(c: &CompileReq) -> Vec<(&'static str, Value)> {
             },
         ),
         ("optimize", Value::Bool(c.optimize)),
+        ("engine", Value::Str(c.engine.name().into())),
+        ("threads", Value::Int(c.threads.into())),
     ]
 }
 
@@ -226,11 +235,31 @@ impl Request {
                 Some(Value::Bool(b)) => *b,
                 _ => return Err(bad("request: missing `optimize`".into())),
             };
+            // `engine`/`threads` arrived with proto-compatible lenient
+            // parsing: absent fields read as the tree-walk defaults so
+            // requests from older clients stay valid.
+            let engine = match v.get("engine") {
+                None | Some(Value::Null) => EnginePref::Tree,
+                Some(val) => val
+                    .as_str()
+                    .and_then(EnginePref::parse)
+                    .ok_or_else(|| bad(format!("request: unknown engine `{val}`")))?,
+            };
+            let threads = match v.get("threads") {
+                None | Some(Value::Null) => 1,
+                Some(val) => val
+                    .as_int()
+                    .filter(|&n| n >= 1)
+                    .map(|n| n as u32)
+                    .ok_or_else(|| bad("request: `threads` must be a positive integer".into()))?,
+            };
             Ok(CompileReq {
                 source,
                 parts,
                 distance,
                 optimize,
+                engine,
+                threads,
             })
         };
         match ty {
@@ -342,13 +371,21 @@ mod tests {
             parts: vec![2, 2],
             distance: Some(1),
             optimize: true,
+            engine: EnginePref::Tree,
+            threads: 1,
         }
     }
 
     #[test]
     fn requests_roundtrip() {
+        let kernel = CompileReq {
+            engine: EnginePref::Kernel,
+            threads: 4,
+            ..req()
+        };
         for r in [
             Request::Compile(req()),
+            Request::Compile(kernel),
             Request::Run(RunReq {
                 compile: req(),
                 overlap: true,
@@ -358,6 +395,33 @@ mod tests {
         ] {
             assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn engine_fields_default_when_absent() {
+        // a pre-engine client's request (no `engine`/`threads` keys)
+        let text = "{\"proto\":1,\"type\":\"compile\",\"source\":\"x\",\
+                    \"parts\":[2],\"distance\":null,\"optimize\":true}";
+        let Request::Compile(c) = Request::from_json(text).unwrap() else {
+            panic!("not a compile request");
+        };
+        assert_eq!(c.engine, EnginePref::Tree);
+        assert_eq!(c.threads, 1);
+        // but garbage values are rejected, not defaulted
+        let bad = "{\"proto\":1,\"type\":\"compile\",\"source\":\"x\",\
+                   \"parts\":[2],\"distance\":null,\"optimize\":true,\
+                   \"engine\":\"warp\"}";
+        assert_eq!(
+            Request::from_json(bad).unwrap_err().class,
+            ErrorClass::BadRequest
+        );
+        let bad = "{\"proto\":1,\"type\":\"compile\",\"source\":\"x\",\
+                   \"parts\":[2],\"distance\":null,\"optimize\":true,\
+                   \"threads\":0}";
+        assert_eq!(
+            Request::from_json(bad).unwrap_err().class,
+            ErrorClass::BadRequest
+        );
     }
 
     #[test]

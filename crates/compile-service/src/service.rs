@@ -118,7 +118,15 @@ impl State {
         self: &Arc<State>,
         req: &CompileReq,
     ) -> Result<(CacheEntry, &'static str, Duration), ServiceError> {
-        let digest = PlanKey::new(&req.source, &req.parts, req.distance, req.optimize).digest();
+        let digest = PlanKey::new(
+            &req.source,
+            &req.parts,
+            req.distance,
+            req.optimize,
+            req.engine,
+            req.threads,
+        )
+        .digest();
         if let Some(entry) = self.cache_lock()?.get(&digest) {
             return Ok((entry, "hit", Duration::ZERO));
         }
@@ -307,7 +315,7 @@ impl State {
                 epoch_unix_ns: self.epoch_unix_ns,
             };
             let phases: Vec<String> = PHASES.iter().map(|p| p.to_string()).collect();
-            if let Err(e) = journal::write_rank_journal(dir, &header, &events, &phases) {
+            if let Err(e) = journal::write_rank_journal(dir, &header, &events, &phases, "tree") {
                 eprintln!("acfd-compile: journal write failed: {e}");
             }
         }

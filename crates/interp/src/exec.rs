@@ -1,5 +1,6 @@
 //! Statement execution and program driving.
 
+use crate::kernel::{KernelClamp, KernelSet};
 use crate::machine::{build_frame, ArrayId, Binding, Frame, Machine, RunError};
 use crate::value::Value;
 use autocfd_fortran::ast::{LValue, SourceFile, Stmt, StmtId, StmtKind, UnitKind};
@@ -123,6 +124,11 @@ pub struct Exec<'p, H: Hooks> {
     // maintained when `track` is set — sequential runs pay nothing.
     cursor: Vec<DoProgress>,
     track: bool,
+    // Compiled kernels for eligible loop nests (the kernel engine).
+    // `None` tree-walks everything. A `do` statement with a compiled
+    // kernel whose entry check passes runs fused; otherwise it falls
+    // back to the tree walk from an identical state.
+    kernels: Option<&'p KernelSet>,
 }
 
 /// Scalar copy-out obligations after a call: `(dummy, caller variable)`.
@@ -153,6 +159,20 @@ pub fn run_program_capture<H: Hooks>(
     hooks: &mut H,
     stmt_limit: u64,
 ) -> Result<(Machine, Frame), RunError> {
+    run_program_capture_with(file, input, hooks, stmt_limit, None)
+}
+
+/// [`run_program_capture`] with an optional compiled-kernel set: `do`
+/// nests with a compiled kernel execute fused (and possibly threaded)
+/// instead of tree-walked, bit-exactly. This is the full-surface entry
+/// the [`crate::engine`] backends drive.
+pub fn run_program_capture_with<H: Hooks>(
+    file: &SourceFile,
+    input: Vec<f64>,
+    hooks: &mut H,
+    stmt_limit: u64,
+    kernels: Option<&KernelSet>,
+) -> Result<(Machine, Frame), RunError> {
     let main = file
         .main_unit()
         .ok_or_else(|| RunError::new("no `program` unit"))?;
@@ -167,6 +187,7 @@ pub fn run_program_capture<H: Hooks>(
         hook_calls: 0,
         cursor: Vec::new(),
         track,
+        kernels,
     };
     let mut frame = build_frame(&mut m, main, HashMap::new())?;
     let flow = exec.exec_stmts(&mut m, &mut frame, &main.body)?;
@@ -200,6 +221,25 @@ pub fn run_program_capture_from<H: Hooks>(
     dos: &[DoProgress],
     seed: impl FnOnce(&mut Machine, &mut Frame) -> Result<(), RunError>,
 ) -> Result<(Machine, Frame), RunError> {
+    run_program_capture_from_with(file, input, hooks, stmt_limit, target, dos, seed, None)
+}
+
+/// [`run_program_capture_from`] with an optional compiled-kernel set
+/// (see [`run_program_capture_with`]). Resume targets are
+/// checkpoint-safe sync calls, which can never sit inside a
+/// kernel-eligible nest, so the resume walk itself is unaffected;
+/// kernels only accelerate the re-executed remainder.
+#[allow(clippy::too_many_arguments)]
+pub fn run_program_capture_from_with<H: Hooks>(
+    file: &SourceFile,
+    input: Vec<f64>,
+    hooks: &mut H,
+    stmt_limit: u64,
+    target: StmtId,
+    dos: &[DoProgress],
+    seed: impl FnOnce(&mut Machine, &mut Frame) -> Result<(), RunError>,
+    kernels: Option<&KernelSet>,
+) -> Result<(Machine, Frame), RunError> {
     let main = file
         .main_unit()
         .ok_or_else(|| RunError::new("no `program` unit"))?;
@@ -214,6 +254,7 @@ pub fn run_program_capture_from<H: Hooks>(
         hook_calls: 0,
         cursor: Vec::new(),
         track,
+        kernels,
     };
     let mut frame = build_frame(&mut m, main, HashMap::new())?;
     seed(&mut m, &mut frame)?;
@@ -601,6 +642,20 @@ impl<'p, H: Hooks> Exec<'p, H> {
                 if let Some(split) = self.hooks.split_loop(m, s)? {
                     return self.exec_split_do(m, frame, s, &split);
                 }
+                // Compiled-kernel fast path: `begin` is side-effect
+                // free, so a `None` (unsupported runtime state) falls
+                // through to the tree walk from an identical state.
+                // The statement's own tick was already charged above.
+                if let Some(ks) = self.kernels {
+                    if let Some(k) = ks.get(s.id) {
+                        if let Some(ready) = k.begin(frame, None) {
+                            let mark = self.span_enter();
+                            k.run(ks, ready, m, frame, true)?;
+                            self.span_exit(mark);
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                }
                 let from = self
                     .eval(m, frame, from)?
                     .as_i64()
@@ -746,18 +801,47 @@ impl<'p, H: Hooks> Exec<'p, H> {
         self.hook_calls += 1;
         let pend0 = self.pending.len();
         let t0 = Instant::now();
-        let flow = self.exec_stmt_clamped(m, frame, s, split, Clamp::Interior)?;
-        ensure_normal(flow, s.line)?;
+        self.exec_chunk(m, frame, s, split, Clamp::Interior)?;
         self.pending.truncate(pend0);
         if let Some(rec) = self.hooks.recorder() {
             rec.record_span(EventKind::Overlap, t0, Instant::now());
         }
         self.hooks.finish_split(m, frame)?;
-        let flow = self.exec_stmt_clamped(m, frame, s, split, Clamp::Low)?;
-        ensure_normal(flow, s.line)?;
-        let flow = self.exec_stmt_clamped(m, frame, s, split, Clamp::High)?;
-        ensure_normal(flow, s.line)?;
+        self.exec_chunk(m, frame, s, split, Clamp::Low)?;
+        self.exec_chunk(m, frame, s, split, Clamp::High)?;
         self.finalize_split_var(m, frame, s, split)
+    }
+
+    /// One chunk of a split loop: through the compiled kernel when one
+    /// is available and its entry check passes (the kernel re-enters
+    /// per chunk — boundary scalars differ between chunks), else the
+    /// clamped tree walk. The kernel charges the root statement's tick
+    /// itself, exactly like [`Exec::exec_stmt_clamped`] does per chunk.
+    fn exec_chunk(
+        &mut self,
+        m: &mut Machine,
+        frame: &mut Frame,
+        s: &Stmt,
+        split: &LoopSplit,
+        mode: Clamp,
+    ) -> Result<(), RunError> {
+        if let Some(ks) = self.kernels {
+            if let Some(k) = ks.get(s.id) {
+                let kc = match mode {
+                    Clamp::Interior => KernelClamp::Interior,
+                    Clamp::Low => KernelClamp::Low,
+                    Clamp::High => KernelClamp::High,
+                };
+                if let Some(ready) = k.begin(frame, Some((split, kc))) {
+                    let mark = self.span_enter();
+                    k.run(ks, ready, m, frame, false)?;
+                    self.span_exit(mark);
+                    return Ok(());
+                }
+            }
+        }
+        let flow = self.exec_stmt_clamped(m, frame, s, split, mode)?;
+        ensure_normal(flow, s.line)
     }
 
     /// Leave the clamped variable where the unsplit loop would: one past

@@ -26,25 +26,38 @@
 //! their names across units (no dummy-argument renaming of status
 //! arrays); array dummy arguments assume the caller's shape.
 
+pub mod engine;
 pub mod eval;
 pub mod exec;
 pub mod fasthash;
 pub mod forecast;
+pub mod kernel;
 pub mod machine;
 pub mod spmd;
 pub mod value;
 
-pub use exec::{
-    run_program, run_program_capture, run_program_capture_from, run_program_with_hooks, Hooks,
-    LoopSplit, NoHooks,
-};
+pub use engine::{kernel_nests, Engine, KernelEngine, RunConfig, TreeEngine};
+pub use exec::{Hooks, LoopSplit, NoHooks};
 pub use forecast::{forecast, PhaseForecast, RankTraffic};
+pub use kernel::{eligible_nests, KernelSet};
 pub use machine::{ArrayId, Binding, Frame, Machine, OpCounts, RunError};
 pub use spmd::{
-    ghost_region, owned_region, region_len, restore_into, run_parallel, run_parallel_opts,
-    run_parallel_traced, run_parallel_traced_opts, run_rank, run_rank_opts, run_rank_traced,
-    run_rank_traced_full, run_rank_traced_opts, verify_owned_regions, verify_rank_owned_region,
-    CheckpointOpts, RankResult, RankRun, SpmdHooks,
+    ghost_region, owned_region, region_len, restore_into, verify_owned_regions,
+    verify_rank_owned_region, CheckpointOpts, RankResult, RankRun, SpmdHooks,
 };
 pub use value::ArrayVal;
 pub use value::Value;
+
+// Legacy positional entry points, kept as thin shims for downstream
+// code that predates [`engine::RunConfig`]. New code should build a
+// `RunConfig` instead — it is the one surface that carries engine
+// selection.
+#[doc(hidden)]
+pub use exec::{
+    run_program, run_program_capture, run_program_capture_from, run_program_with_hooks,
+};
+#[doc(hidden)]
+pub use spmd::{
+    run_parallel, run_parallel_opts, run_parallel_traced, run_parallel_traced_opts, run_rank,
+    run_rank_opts, run_rank_traced, run_rank_traced_full, run_rank_traced_opts,
+};

@@ -30,7 +30,10 @@
 //! so its interior runs while the messages travel, completes the
 //! receives, and finishes with the two boundary strips.
 
-use crate::exec::{run_program_capture, run_program_capture_from, Hooks, LoopSplit};
+use crate::exec::{
+    run_program_capture_from_with, run_program_capture_with, Hooks, LoopSplit,
+};
+use crate::kernel::KernelSet;
 use crate::machine::{ArrayId, Frame, Machine, RunError};
 use crate::value::{ArrayVal, Value};
 use autocfd_codegen::{SelfLoopSpec, SpmdPlan, SyncSpec};
@@ -995,6 +998,11 @@ pub struct RankRun {
     pub phases: Vec<String>,
     /// The rank's full trace: communication events *and* compute spans.
     pub trace: Vec<TraceEvent>,
+    /// Which engine executed this rank's compute spans: `"kernel"` when
+    /// a compiled-kernel set was attached, `"tree"` otherwise. Journal
+    /// events carry this tag so traces from different engines stay
+    /// distinguishable after the run.
+    pub engine: String,
     /// The communicator epoch as unix nanoseconds — journal headers
     /// carry it so the merger can align ranks that ran in different
     /// processes.
@@ -1101,10 +1109,33 @@ pub fn run_rank_traced_full(
     ckpt: Option<CheckpointOpts>,
     resume: Option<&Snapshot>,
 ) -> RankRun {
+    run_rank_traced_impl(
+        file, plan, input, stmt_limit, comm, overlap, ckpt, resume, None,
+    )
+}
+
+/// [`run_rank_traced_full`] plus an optional compiled-kernel set: when
+/// `kernels` is `Some`, eligible comm-free loop nests execute through the
+/// kernel engine (bit-exact with the tree walk) instead of statement
+/// dispatch. The [`crate::engine::RunConfig`] executors are the public
+/// way in; this stays crate-internal so the engine selection has exactly
+/// one surface.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_rank_traced_impl(
+    file: &SourceFile,
+    plan: &SpmdPlan,
+    input: Vec<f64>,
+    stmt_limit: u64,
+    comm: &Comm,
+    overlap: bool,
+    ckpt: Option<CheckpointOpts>,
+    resume: Option<&Snapshot>,
+    kernels: Option<&KernelSet>,
+) -> RankRun {
     let mut hooks = SpmdHooks::new(plan, comm, overlap);
     hooks.ckpt = ckpt;
     let mut outcome = match resume {
-        None => run_program_capture(file, input, &mut hooks, stmt_limit),
+        None => run_program_capture_with(file, input, &mut hooks, stmt_limit, kernels),
         Some(snap) => {
             hooks.visits = snap.epoch;
             hooks.resume_skip = true;
@@ -1117,7 +1148,7 @@ pub fn run_rank_traced_full(
                     chaos_abort_after: None,
                 });
             }
-            run_program_capture_from(
+            run_program_capture_from_with(
                 file,
                 input,
                 &mut hooks,
@@ -1125,6 +1156,7 @@ pub fn run_rank_traced_full(
                 StmtId(snap.cursor.stmt),
                 &snap.cursor.dos,
                 |m, frame| restore_into(m, frame, snap),
+                kernels,
             )
         }
     };
@@ -1144,6 +1176,7 @@ pub fn run_rank_traced_full(
         wire_stats: comm.wire_stats(),
         phases: comm.phase_names(),
         trace: comm.take_trace(),
+        engine: if kernels.is_some() { "kernel" } else { "tree" }.to_string(),
         epoch_unix_ns: autocfd_runtime::epoch_unix_ns(comm.epoch()),
     }
 }

@@ -158,6 +158,13 @@ pub struct RunManifest {
     pub checkpoint_every: u64,
     /// Receive timeout in milliseconds.
     pub timeout_ms: u64,
+    /// Execution engine name (`"tree"` or `"kernel"`) the run used —
+    /// a plain string here because this crate sits below the planner.
+    /// Manifests written before engines existed read back as `"tree"`.
+    pub engine: String,
+    /// Kernel-engine worker threads (1 for sequential kernels and for
+    /// the tree engine). Pre-engine manifests read back as 1.
+    pub threads: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -461,6 +468,8 @@ pub fn manifest_to_json(m: &RunManifest) -> String {
             Value::Int(i128::from(m.checkpoint_every)),
         ),
         ("timeout_ms", Value::Int(i128::from(m.timeout_ms))),
+        ("engine", Value::Str(m.engine.clone())),
+        ("threads", Value::Int(i128::from(m.threads))),
     ])
     .to_string()
 }
@@ -491,6 +500,19 @@ pub fn manifest_from_json(text: &str) -> Result<RunManifest, String> {
         overlap: matches!(get(&v, "overlap")?, Value::Bool(true)),
         checkpoint_every: num(&v, "checkpoint_every")?,
         timeout_ms: num(&v, "timeout_ms")?,
+        // lenient: manifests written before engine selection existed
+        // omit these — they ran the tree engine, single-threaded
+        engine: v
+            .get("engine")
+            .and_then(Value::as_str)
+            .unwrap_or("tree")
+            .to_string(),
+        threads: v
+            .get("threads")
+            .and_then(Value::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .unwrap_or(1)
+            .max(1),
     })
 }
 
@@ -680,9 +702,35 @@ mod tests {
             overlap: false,
             checkpoint_every: 5,
             timeout_ms: 30_000,
+            engine: "kernel".into(),
+            threads: 4,
         };
         let back = manifest_from_json(&manifest_to_json(&m)).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_engine_fields_default_when_absent() {
+        let m = RunManifest {
+            source: "      program p\n      end\n".into(),
+            parts: vec![2],
+            ranks: 2,
+            distance: 1,
+            optimize: true,
+            overlap: false,
+            checkpoint_every: 1,
+            timeout_ms: 1000,
+            engine: "tree".into(),
+            threads: 1,
+        };
+        // strip the engine fields the way a pre-engine manifest would
+        let text = manifest_to_json(&m)
+            .replace(",\"engine\":\"tree\"", "")
+            .replace(",\"threads\":1", "");
+        assert!(!text.contains("engine"));
+        let back = manifest_from_json(&text).unwrap();
+        assert_eq!(back.engine, "tree");
+        assert_eq!(back.threads, 1);
     }
 
     #[test]

@@ -383,6 +383,7 @@ mod tests {
             elems: if kind == EventKind::Send { 8 } else { 0 },
             bytes: if kind == EventKind::Send { 64 } else { 0 },
             phase: phase.into(),
+            engine: "tree".into(),
         };
         crate::journal::merge(&[
             mk(
@@ -482,6 +483,7 @@ mod tests {
                     elems: 0,
                     bytes: 0,
                     phase: "sync_0".into(),
+                    engine: "tree".into(),
                 },
                 JournalEvent {
                     kind: EventKind::Recv,
@@ -491,6 +493,7 @@ mod tests {
                     elems: 4,
                     bytes: 32,
                     phase: "sync_0".into(),
+                    engine: "tree".into(),
                 },
             ],
             complete: true,

@@ -27,8 +27,10 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Version stamped into every journal header; bump on any change to the
-/// record shapes below.
-pub const SCHEMA_VERSION: i64 = 1;
+/// record shapes below. The parser accepts every version from 1 up to
+/// this one — version 2 added the per-event `engine` tag, which defaults
+/// to `"tree"` when reading version-1 journals.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// Run-level metadata opening each rank's journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +66,10 @@ pub struct JournalEvent {
     pub bytes: usize,
     /// Program phase name.
     pub phase: String,
+    /// Engine that executed the run this span belongs to: `"tree"` or
+    /// `"kernel"`. Version-1 journals (written before the tag existed)
+    /// read back as `"tree"`.
+    pub engine: String,
 }
 
 /// One rank's parsed journal.
@@ -167,6 +173,7 @@ impl JournalWriter {
             ("elems", Value::Int(ev.elems as i128)),
             ("bytes", Value::Int(ev.bytes as i128)),
             ("phase", Value::Str(ev.phase.clone())),
+            ("engine", Value::Str(ev.engine.clone())),
         ]);
         writeln!(self.file, "{line}")?;
         self.file.flush()?;
@@ -187,8 +194,13 @@ impl JournalWriter {
 }
 
 /// Resolve a rank's raw trace to journal events (phase indices become
-/// names; unknown indices render as `phase_<i>`).
-pub fn resolve_events(trace: &[TraceEvent], phase_names: &[String]) -> Vec<JournalEvent> {
+/// names; unknown indices render as `phase_<i>`), tagging every event
+/// with the engine (`"tree"` or `"kernel"`) that executed the run.
+pub fn resolve_events(
+    trace: &[TraceEvent],
+    phase_names: &[String],
+    engine: &str,
+) -> Vec<JournalEvent> {
     trace
         .iter()
         .map(|e| JournalEvent {
@@ -202,20 +214,23 @@ pub fn resolve_events(trace: &[TraceEvent], phase_names: &[String]) -> Vec<Journ
                 .get(e.phase as usize)
                 .cloned()
                 .unwrap_or_else(|| format!("phase_{}", e.phase)),
+            engine: engine.to_string(),
         })
         .collect()
 }
 
 /// Write one rank's complete journal (header, every event, footer) to
-/// `dir/rank-<r>.jsonl`, returning the path.
+/// `dir/rank-<r>.jsonl`, returning the path. `engine` is the per-event
+/// engine tag (`"tree"` or `"kernel"`).
 pub fn write_rank_journal(
     dir: &Path,
     header: &JournalHeader,
     trace: &[TraceEvent],
     phase_names: &[String],
+    engine: &str,
 ) -> Result<PathBuf, JournalError> {
     let mut w = JournalWriter::create(dir, header)?;
-    for ev in resolve_events(trace, phase_names) {
+    for ev in resolve_events(trace, phase_names, engine) {
         w.append(&ev)?;
     }
     w.finish()?;
@@ -268,9 +283,9 @@ pub fn parse_line(raw: &str, ln: usize) -> Result<JournalRecord, JournalError> {
     match ty.as_str() {
         "header" => {
             let version = int_field(&line, "version", ln)? as i64;
-            if version != SCHEMA_VERSION {
+            if !(1..=SCHEMA_VERSION).contains(&version) {
                 return Err(JournalError::new(format!(
-                    "line {ln}: unsupported schema version {version} (expected {SCHEMA_VERSION})"
+                    "line {ln}: unsupported schema version {version} (expected 1..={SCHEMA_VERSION})"
                 )));
             }
             Ok(JournalRecord::Header(JournalHeader {
@@ -300,6 +315,12 @@ pub fn parse_line(raw: &str, ln: usize) -> Result<JournalRecord, JournalError> {
                 elems: int_field(&line, "elems", ln)? as usize,
                 bytes: int_field(&line, "bytes", ln)? as usize,
                 phase: str_field(&line, "phase", ln)?,
+                // absent in version-1 journals: default to the tree walk
+                engine: line
+                    .get("engine")
+                    .and_then(Value::as_str)
+                    .unwrap_or("tree")
+                    .to_string(),
             }))
         }
         "footer" => Ok(JournalRecord::Footer {
@@ -534,6 +555,7 @@ mod tests {
             elems: 4,
             bytes: 32,
             phase: phase.into(),
+            engine: "tree".into(),
         }
     }
 
@@ -562,11 +584,12 @@ mod tests {
         ];
         let names = vec!["main".to_string(), "sync_0".to_string()];
         let h = header(0, 1_722_000_000_123_456_789);
-        let path = write_rank_journal(&dir, &h, &trace, &names).unwrap();
+        let path = write_rank_journal(&dir, &h, &trace, &names, "kernel").unwrap();
         let parsed = parse_rank_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert!(parsed.complete);
         assert_eq!(parsed.header, h);
-        assert_eq!(parsed.events, resolve_events(&trace, &names));
+        assert_eq!(parsed.events, resolve_events(&trace, &names, "kernel"));
+        assert!(parsed.events.iter().all(|e| e.engine == "kernel"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -582,7 +605,8 @@ mod tests {
             bytes: 16,
             phase: 0,
         }];
-        let path = write_rank_journal(&dir, &header(0, 1), &trace, &["main".to_string()]).unwrap();
+        let path =
+            write_rank_journal(&dir, &header(0, 1), &trace, &["main".to_string()], "tree").unwrap();
         let full = std::fs::read_to_string(&path).unwrap();
         // drop the footer, as a crash mid-run would
         let cut: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
@@ -602,6 +626,18 @@ mod tests {
         let wrong_version = r#"{"type":"header","version":99,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}"#;
         let e = parse_rank_journal(wrong_version).unwrap_err();
         assert!(e.message.contains("version"), "{e}");
+    }
+
+    #[test]
+    fn version1_events_without_engine_default_to_tree() {
+        // a journal written before the engine tag existed still parses,
+        // with every event tagged "tree"
+        let v1 = r#"{"type":"header","version":1,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}
+{"type":"event","kind":"compute","start_ns":0,"end_ns":10,"peer":null,"elems":0,"bytes":0,"phase":"main"}
+{"type":"footer","events":1}"#;
+        let parsed = parse_rank_journal(v1).unwrap();
+        assert!(parsed.complete);
+        assert_eq!(parsed.events[0].engine, "tree");
     }
 
     #[test]
@@ -701,7 +737,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("acf-dir-{}", std::process::id()));
         // write rank 1 before rank 0; loading must come back rank-ordered
         for rank in [1usize, 0] {
-            write_rank_journal(&dir, &header(rank, rank as i128), &[], &[]).unwrap();
+            write_rank_journal(&dir, &header(rank, rank as i128), &[], &[], "tree").unwrap();
         }
         let js = load_trace_dir(&dir).unwrap();
         assert_eq!(js.len(), 2);
@@ -762,6 +798,7 @@ mod proptests {
                             elems: i,
                             bytes: i * 8,
                             phase: format!("phase_{}", phases[i]),
+                            engine: "tree".into(),
                         })
                         .collect(),
                     complete: true,

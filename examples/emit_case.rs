@@ -14,13 +14,16 @@ fn main() {
         .unwrap_or_else(|| "sprayer-small".into());
     let src = match name.as_str() {
         "aerofoil-small" => aerofoil_program(&CaseParams::aerofoil_small()),
+        "aerofoil-bench" => aerofoil_program(&CaseParams::aerofoil_bench()),
         "aerofoil-paper" => aerofoil_program(&CaseParams::aerofoil_paper()),
         "sprayer-small" => sprayer_program(&CaseParams::sprayer_small()),
+        "sprayer-bench" => sprayer_program(&CaseParams::sprayer_bench()),
         "sprayer-paper" => sprayer_program(&CaseParams::sprayer_paper()),
         other => {
             eprintln!(
                 "unknown case `{other}` \
-                 (aerofoil-small|aerofoil-paper|sprayer-small|sprayer-paper)"
+                 (aerofoil-small|aerofoil-bench|aerofoil-paper\
+                 |sprayer-small|sprayer-bench|sprayer-paper)"
             );
             std::process::exit(1);
         }

@@ -37,6 +37,7 @@ fn compute(start: Duration, end: Duration, phase: &str) -> JournalEvent {
         elems: 0,
         bytes: 0,
         phase: phase.into(),
+        engine: "tree".into(),
     }
 }
 
@@ -49,6 +50,7 @@ fn recv(start: Duration, end: Duration, peer: usize, elems: usize, phase: &str) 
         elems,
         bytes: elems * 8,
         phase: phase.into(),
+        engine: "tree".into(),
     }
 }
 
@@ -74,6 +76,7 @@ fn skewed_journals() -> Vec<RankJournal> {
                     elems: 1,
                     bytes: 8,
                     phase: "reduce_res".into(),
+                    engine: "tree".into(),
                 },
             ];
             RankJournal {

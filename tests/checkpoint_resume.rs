@@ -5,9 +5,7 @@
 //! the Table-1 partitions. Also covers torn-snapshot fallback and the
 //! process-level `acfc run --chaos-abort-after` → `acfc resume` path.
 
-use autocfd::interp::{
-    run_rank_traced_full, verify_owned_regions, CheckpointOpts, RankResult, RankRun,
-};
+use autocfd::interp::{verify_owned_regions, CheckpointOpts, RankResult, RankRun};
 use autocfd::runtime::checkpoint::{
     latest_consistent_epoch, load_epoch, rank_snapshot_path, write_manifest, RunManifest,
 };
@@ -32,20 +30,14 @@ fn chaos_run(c: &Compiled, dir: &Path, every: u64, chaos_at: u64, overlap: bool)
     let n = c.spmd_plan.ranks() as usize;
     run_spmd_tcp(n, Duration::from_millis(1500), |comm| {
         let chaos = (comm.rank() == 0).then_some(chaos_at);
-        run_rank_traced_full(
-            &c.parallel_file,
-            &c.spmd_plan,
-            vec![],
-            0,
-            &comm,
-            overlap,
-            Some(CheckpointOpts {
+        c.run_config()
+            .overlap(overlap)
+            .checkpoint(CheckpointOpts {
                 every,
                 dir: dir.to_path_buf(),
                 chaos_abort_after: chaos,
-            }),
-            None,
-        )
+            })
+            .run_rank_traced(&comm)
     })
     .expect("mesh setup")
 }
@@ -56,16 +48,9 @@ fn resume_run(c: &Compiled, dir: &Path, epoch: u64, overlap: bool) -> Vec<RankRe
     let n = c.spmd_plan.ranks() as usize;
     let snaps = load_epoch(dir, epoch, n).expect("consistent epoch loads");
     run_spmd_tcp(n, Duration::from_secs(60), |comm| {
-        run_rank_traced_full(
-            &c.parallel_file,
-            &c.spmd_plan,
-            vec![],
-            0,
-            &comm,
-            overlap,
-            None,
-            Some(&snaps[comm.rank()]),
-        )
+        c.run_config()
+            .overlap(overlap)
+            .run_rank_resumed(&comm, &snaps[comm.rank()])
     })
     .expect("mesh setup")
     .into_iter()
@@ -260,6 +245,8 @@ fn acfc_resume_reports_missing_checkpoints() {
         overlap: false,
         checkpoint_every: 2,
         timeout_ms: 2000,
+        engine: "tree".into(),
+        threads: 1,
     };
     write_manifest(&dir, &m).unwrap();
     let status = acfc()

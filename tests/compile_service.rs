@@ -32,6 +32,8 @@ fn sprayer_req() -> CompileReq {
         parts: vec![2, 2],
         distance: None,
         optimize: true,
+        engine: autocfd::codegen::EnginePref::Tree,
+        threads: 1,
     }
 }
 
@@ -41,6 +43,8 @@ fn aerofoil_req() -> CompileReq {
         parts: vec![2, 1, 1],
         distance: None,
         optimize: true,
+        engine: autocfd::codegen::EnginePref::Tree,
+        threads: 1,
     }
 }
 
@@ -227,13 +231,13 @@ fn stale_schema_entry_rejected_on_load() {
 
     // simulate an entry written by a build with a newer plan schema:
     // the embedded plan JSON (an escaped string inside the entry) leads
-    // with `{\"version\":1,` — bump it past what this build reads
+    // with `{\"version\":2,` — bump it past what this build reads
     let doctored = rewrite_entries(&dir, |text| {
         assert!(
-            text.contains("{\\\"version\\\":1,"),
+            text.contains("{\\\"version\\\":2,"),
             "fixture drifted: entry is {text}"
         );
-        text.replace("{\\\"version\\\":1,", "{\\\"version\\\":999,")
+        text.replace("{\\\"version\\\":2,", "{\\\"version\\\":999,")
     });
     assert_eq!(doctored, 1);
 
@@ -254,6 +258,8 @@ fn malformed_source_is_typed_error_and_connection_survives() {
         parts: vec![2, 2],
         distance: None,
         optimize: true,
+        engine: autocfd::codegen::EnginePref::Tree,
+        threads: 1,
     };
     let err = client
         .request(&Request::Compile(bad), &mut |_| {})
@@ -356,6 +362,8 @@ fn plan_digest_is_stable_across_processes() {
         &[2, 2],
         None,
         true,
+        autocfd::codegen::EnginePref::Tree,
+        1,
     );
     assert_eq!(key.digest(), a);
     let _ = std::fs::remove_dir_all(&dir);

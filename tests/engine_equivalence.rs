@@ -1,0 +1,244 @@
+//! Engine equivalence: the compiled-kernel engine must be bit-exact
+//! with the tree walk across the whole execution matrix — {tree, kernel}
+//! × {overlap off, on} × {inproc, tcp} — against the sequential original
+//! on both case studies, across the Table-1 partitions. Also covers the
+//! ineligible-nest fallback, multi-thread determinism, the per-run
+//! engine tag, and kernel-engine checkpoint/resume.
+
+use autocfd::codegen::EnginePref;
+use autocfd::interp::{
+    eligible_nests, verify_owned_regions, CheckpointOpts, RankResult, RunConfig,
+};
+use autocfd::runtime::checkpoint::{latest_consistent_epoch, load_epoch};
+use autocfd::runtime_net::run_spmd_tcp;
+use autocfd::{compile, CompileOptions, Compiled};
+use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
+use autocfd_fortran::parse;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn kernel_opts(parts: &[u32], threads: u32) -> CompileOptions {
+    CompileOptions {
+        engine: EnginePref::Kernel,
+        threads,
+        ..CompileOptions::with_partition(parts)
+    }
+}
+
+/// Execute the compiled program with every rank on its own TCP endpoint,
+/// returning per-rank results in rank order.
+fn run_over_tcp(c: &Compiled, overlap: bool) -> Vec<RankResult> {
+    let n = c.spmd_plan.ranks() as usize;
+    run_spmd_tcp(n, Duration::from_secs(60), |comm| {
+        c.run_config().overlap(overlap).run_rank(&comm)
+    })
+    .expect("mesh setup")
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()
+    .expect("rank execution")
+}
+
+/// Every cell of the engine matrix must be bit-exact against the
+/// sequential original, and the kernel engine must agree with the tree
+/// walk on everything observable: fields, output, op counters, traffic,
+/// and phase structure.
+fn check_engines_agree(src: &str, parts: &[u32]) {
+    let tree = compile(src, &CompileOptions::with_partition(parts))
+        .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+    let kern = compile(src, &kernel_opts(parts, 4)).unwrap_or_else(|e| panic!("{parts:?}: {e}"));
+    assert_eq!(kern.spmd_plan.engine, EnginePref::Kernel);
+    assert!(
+        !kern.spmd_plan.kernel_nests.is_empty(),
+        "{parts:?}: the transformed program exposes no kernel-eligible nests"
+    );
+    let seq = tree.run_sequential(vec![]).unwrap();
+
+    for overlap in [false, true] {
+        let t_in = tree.run_parallel_opts(vec![], overlap).unwrap();
+        let k_in = kern.run_parallel_opts(vec![], overlap).unwrap();
+        let k_tcp = run_over_tcp(&kern, overlap);
+
+        for (label, runs) in [("tree inproc", &t_in), ("kernel inproc", &k_in), ("kernel tcp", &k_tcp)]
+        {
+            let d = verify_owned_regions(&seq, runs, &tree.spmd_plan, 0.0).unwrap();
+            assert_eq!(d, 0.0, "{parts:?} {label} overlap={overlap}");
+            assert_eq!(
+                seq.0.output, runs[0].machine.output,
+                "{parts:?} {label} overlap={overlap}: output diverged"
+            );
+        }
+        for (r, (t, k)) in t_in.iter().zip(&k_in).enumerate() {
+            // bit-exactness is stronger than equal fields: the kernel
+            // engine charges the same op counters, takes the same
+            // communication path, and visits the same phases
+            assert_eq!(
+                t.machine.ops, k.machine.ops,
+                "{parts:?} rank {r} overlap={overlap}: engines disagree on op counts"
+            );
+            assert_eq!(
+                t.comm_stats, k.comm_stats,
+                "{parts:?} rank {r} overlap={overlap}: engines disagree on traffic"
+            );
+            assert_eq!(t.phases, k.phases, "{parts:?} rank {r}");
+        }
+    }
+}
+
+#[test]
+fn aerofoil_kernel_engine_bit_exact_on_table1_partitions() {
+    let src = aerofoil_program(&CaseParams::aerofoil_small());
+    for parts in [[2u32, 1, 1], [1, 2, 1], [1, 1, 2], [2, 2, 1], [3, 1, 1]] {
+        check_engines_agree(&src, &parts);
+    }
+}
+
+#[test]
+fn sprayer_kernel_engine_bit_exact_on_table1_partitions() {
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    for parts in [[4u32, 1], [1, 4], [2, 2], [3, 1]] {
+        check_engines_agree(&src, &parts);
+    }
+}
+
+#[test]
+fn kernel_engine_is_deterministic_across_thread_counts() {
+    // splitting the interior across workers must not change a single
+    // bit: same fields, same output, same op counters at 1 and 4 threads
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    let seq = {
+        let c = compile(&src, &CompileOptions::with_partition(&[2, 2])).unwrap();
+        c.run_sequential(vec![]).unwrap()
+    };
+    let mut runs = Vec::new();
+    for threads in [1u32, 4] {
+        let c = compile(&src, &kernel_opts(&[2, 2], threads)).unwrap();
+        let rs = c.run_parallel_opts(vec![], false).unwrap();
+        assert_eq!(
+            verify_owned_regions(&seq, &rs, &c.spmd_plan, 0.0).unwrap(),
+            0.0,
+            "threads={threads}"
+        );
+        runs.push(rs);
+    }
+    for (r, (a, b)) in runs[0].iter().zip(&runs[1]).enumerate() {
+        assert_eq!(a.machine.ops, b.machine.ops, "rank {r}: op counts differ");
+        assert_eq!(a.machine.output, b.machine.output, "rank {r}");
+    }
+}
+
+#[test]
+fn ineligible_nest_falls_back_to_tree_walk() {
+    // the goto escaping the loop makes the nest kernel-ineligible; the
+    // kernel engine must silently tree-walk it and still match the tree
+    // engine bit-for-bit
+    let src = "
+      program fallback
+      real v(8)
+      integer i
+      do i = 1, 8
+        v(i) = i * 2.0
+        if (v(i) .gt. 9.0) goto 10
+      end do
+ 10   continue
+      write(*,*) v(1), v(5), v(8)
+      end
+";
+    let file = parse(src).unwrap();
+    assert!(
+        eligible_nests(&file).is_empty(),
+        "the escaping goto must make this nest ineligible"
+    );
+    let tree = RunConfig::new(&file).run_sequential().unwrap();
+    let kern = RunConfig::new(&file)
+        .engine(EnginePref::Kernel)
+        .threads(4)
+        .run_sequential()
+        .unwrap();
+    assert_eq!(tree.0.output, kern.0.output);
+    assert_eq!(tree.0.ops, kern.0.ops);
+}
+
+#[test]
+fn kernel_runs_tag_their_traces_and_keep_compute_spans() {
+    // the engine tag rides in the RankRun (and from there into every
+    // journal event); kernel execution still records compute spans
+    // through the same recorder, so trace structure survives the engine
+    // swap
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    let kern = compile(&src, &kernel_opts(&[2, 2], 4)).unwrap();
+    let tree = compile(&src, &CompileOptions::with_partition(&[2, 2])).unwrap();
+    let k_runs = kern.run_parallel_traced(vec![]);
+    let t_runs = tree.run_parallel_traced(vec![]);
+    for (r, (k, t)) in k_runs.iter().zip(&t_runs).enumerate() {
+        assert!(k.outcome.is_ok(), "rank {r}");
+        assert_eq!(k.engine, "kernel", "rank {r}");
+        assert_eq!(t.engine, "tree", "rank {r}");
+        let computes = |run: &autocfd::interp::RankRun| {
+            run.trace
+                .iter()
+                .filter(|e| matches!(e.kind.name(), "compute" | "overlap"))
+                .count()
+        };
+        assert!(computes(k) > 0, "rank {r}: kernel run traced no compute");
+        // identical span structure: same number of compute spans in the
+        // same phases as the tree walk
+        assert_eq!(computes(k), computes(t), "rank {r}");
+        assert_eq!(k.phases, t.phases, "rank {r}");
+    }
+}
+
+#[test]
+fn kernel_engine_kill_and_resume_stays_bit_exact() {
+    // checkpoint under the kernel engine, crash a rank, resume with the
+    // kernel engine on both sides: fields must match the sequential
+    // original exactly
+    let src = sprayer_program(&CaseParams::sprayer_small());
+    let c = compile(&src, &kernel_opts(&[2, 2], 2)).unwrap();
+    let n = c.spmd_plan.ranks() as usize;
+    let seq = c.run_sequential(vec![]).unwrap();
+    let dir = std::env::temp_dir().join(format!("acfd-kern-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let runs = run_spmd_tcp(n, Duration::from_millis(1500), |comm| {
+        let chaos = (comm.rank() == 0).then_some(7);
+        c.run_config()
+            .checkpoint(CheckpointOpts {
+                every: 2,
+                dir: PathBuf::from(&dir),
+                chaos_abort_after: chaos,
+            })
+            .run_rank_traced(&comm)
+    })
+    .expect("mesh setup");
+    let err = runs[0].outcome.as_ref().expect_err("rank 0 must crash");
+    assert!(err.to_string().contains("chaos-abort"), "{err}");
+
+    let epoch = latest_consistent_epoch(&dir, n).expect("a consistent epoch survived");
+    let snaps = load_epoch(&dir, epoch, n).expect("epoch loads");
+    let resumed: Vec<RankResult> = run_spmd_tcp(n, Duration::from_secs(60), |comm| {
+        c.run_config().run_rank_resumed(&comm, &snaps[comm.rank()])
+    })
+    .expect("mesh setup")
+    .into_iter()
+    .enumerate()
+    .map(|(r, run)| {
+        assert_eq!(run.engine, "kernel", "rank {r} resumed on the wrong engine");
+        let (machine, frame) = run
+            .outcome
+            .unwrap_or_else(|e| panic!("resumed rank {r} failed: {e}"));
+        RankResult {
+            machine,
+            frame,
+            comm_stats: run.comm_stats,
+            wire_stats: run.wire_stats,
+            phases: run.phases,
+            trace: run.trace,
+        }
+    })
+    .collect();
+    let d = verify_owned_regions(&seq, &resumed, &c.spmd_plan, 0.0).unwrap();
+    assert_eq!(d, 0.0, "kernel-engine resume diverged");
+    assert_eq!(seq.0.output, resumed[0].machine.output);
+    let _ = std::fs::remove_dir_all(&dir);
+}

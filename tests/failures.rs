@@ -1,8 +1,7 @@
 //! Failure injection: the system must *diagnose* bad inputs and runtime
 //! misbehavior, never hang or silently corrupt.
 
-use autocfd::interp::run_rank;
-use autocfd::interp::spmd::{run_parallel, verify_owned_regions};
+use autocfd::interp::{verify_owned_regions, RunConfig};
 use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileError, CompileOptions};
 use std::time::{Duration, Instant};
@@ -34,7 +33,10 @@ fn corrupted_plan_sync_id_reports_error() {
     // corrupt the plan: remove all sync specs so acf_sync_0 dangles
     let mut bad_plan = c.spmd_plan.clone();
     bad_plan.syncs.clear();
-    let err = run_parallel(&c.parallel_file, &bad_plan, vec![], 0).unwrap_err();
+    let err = RunConfig::new(&c.parallel_file)
+        .plan(&bad_plan)
+        .run_parallel()
+        .unwrap_err();
     assert!(err.message.contains("unknown sync id"), "{err}");
 }
 
@@ -66,7 +68,7 @@ fn statement_budget_aborts_runaway_parallel_programs() {
       end
 ";
     let c = compile(src, &CompileOptions::with_partition(&[2, 1])).unwrap();
-    let err = run_parallel(&c.parallel_file, &c.spmd_plan, vec![], 5_000).unwrap_err();
+    let err = c.run_config().stmt_limit(5_000).run_parallel().unwrap_err();
     assert!(err.message.contains("budget"), "{err}");
 }
 
@@ -133,7 +135,10 @@ fn missing_status_array_at_comm_point_diagnosed() {
             sa.array = "ghost_array".into();
         }
     }
-    let err = run_parallel(&c.parallel_file, &bad_plan, vec![], 0).unwrap_err();
+    let err = RunConfig::new(&c.parallel_file)
+        .plan(&bad_plan)
+        .run_parallel()
+        .unwrap_err();
     assert!(
         err.message.contains("not bound") || err.message.contains("no mapping"),
         "{err}"
@@ -212,7 +217,7 @@ fn tcp_peer_dropping_mid_exchange_surfaces_typed_error() {
         if comm.rank() == 1 {
             return None; // simulated crash: endpoint closes on drop
         }
-        Some(run_rank(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm))
+        Some(c.run_config().run_rank(&comm))
     })
     .unwrap();
     let err = results[0].as_ref().unwrap().as_ref().unwrap_err();
@@ -273,7 +278,7 @@ fn tcp_recv_timeout_is_configurable_and_diagnosed() {
             return None; // alive the whole time, just silent
         }
         let t0 = Instant::now();
-        let r = run_rank(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm);
+        let r = c.run_config().run_rank(&comm);
         Some((r, t0.elapsed()))
     })
     .unwrap();

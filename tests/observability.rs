@@ -7,7 +7,6 @@
 //! Failures journal too: a rank that dies mid-run still flushes its
 //! partial trace so there is something to debug with.
 
-use autocfd::interp::run_rank_traced;
 use autocfd::obs;
 use autocfd::runtime::{
     chrome_trace, rank_breakdown, run_spmd_with_timeout, MergedTrace, SCHEMA_VERSION,
@@ -168,7 +167,7 @@ fn failed_ranks_still_flush_partial_journals() {
         / 2;
     assert!(limit > 0);
     let runs = run_spmd_with_timeout(n, Duration::from_millis(200), |comm| {
-        run_rank_traced(&c.parallel_file, &c.spmd_plan, vec![], limit, &comm)
+        c.run_config().stmt_limit(limit).run_rank_traced(&comm)
     });
     assert!(
         runs.iter().all(|r| r.outcome.is_err()),

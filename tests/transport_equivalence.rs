@@ -4,9 +4,7 @@
 //! match the sequential original on every owned point, on both case
 //! studies, across the Table-1 partitions.
 
-use autocfd::interp::{
-    run_parallel_opts, run_rank_opts, run_rank_traced, verify_owned_regions, RankResult, RankRun,
-};
+use autocfd::interp::{verify_owned_regions, RankResult, RankRun};
 use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileOptions, Compiled};
 use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
@@ -17,7 +15,7 @@ use std::time::Duration;
 fn run_over_tcp(c: &Compiled, overlap: bool) -> Vec<RankResult> {
     let n = c.spmd_plan.ranks() as usize;
     run_spmd_tcp(n, Duration::from_secs(60), |comm| {
-        run_rank_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm, overlap)
+        c.run_config().overlap(overlap).run_rank(&comm)
     })
     .expect("mesh setup")
     .into_iter()
@@ -35,14 +33,10 @@ fn check_transports_agree(src: &str, parts: &[u32]) {
     let c = compile(src, &CompileOptions::with_partition(parts))
         .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
     let seq = c.run_sequential(vec![]).unwrap();
-    let blocking = run_parallel_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, false).unwrap();
+    let blocking = c.run_parallel_opts(vec![], false).unwrap();
 
     for overlap in [false, true] {
-        let inproc = if overlap {
-            run_parallel_opts(&c.parallel_file, &c.spmd_plan, vec![], 0, true).unwrap()
-        } else {
-            c.run_parallel(vec![]).unwrap()
-        };
+        let inproc = c.run_parallel_opts(vec![], overlap).unwrap();
         let tcp = run_over_tcp(&c, overlap);
 
         // both transports bit-exact against sequential on every owned point
@@ -111,7 +105,7 @@ fn check_trace_structure_agrees(src: &str, parts: &[u32]) {
     let n = c.spmd_plan.ranks() as usize;
     let inproc = c.run_parallel_traced(vec![]);
     let tcp: Vec<RankRun> = run_spmd_tcp(n, Duration::from_secs(60), |comm| {
-        run_rank_traced(&c.parallel_file, &c.spmd_plan, vec![], 0, &comm)
+        c.run_config().run_rank_traced(&comm)
     })
     .expect("mesh setup");
 

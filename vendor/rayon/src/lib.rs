@@ -103,9 +103,152 @@ impl<U: Send> MappedParIter<U> {
     }
 }
 
+/// A persistent scoped thread pool: workers are spawned once and reused
+/// across [`ThreadPool::broadcast`] calls, so submitting a batch of
+/// short-lived tasks costs a channel send per task instead of a thread
+/// spawn. Real rayon's pool serves the same purpose; this stub keeps the
+/// subset the interpreter's kernel engine needs.
+pub struct ThreadPool {
+    // Mutex-wrapped so `broadcast(&self)` works from several submitting
+    // threads at once (mpsc senders are Send but not Sync).
+    sender: Option<std::sync::Mutex<std::sync::mpsc::Sender<Task>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+// One queued task: call `func(index)`, then count down the batch latch.
+// The function pointer is lifetime-erased: `broadcast` blocks until the
+// latch reaches zero, so the borrow it points into outlives every use.
+struct Task {
+    func: *const (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: std::sync::Arc<Latch>,
+}
+
+// SAFETY: the raw pointer targets a `Sync` closure that `broadcast`
+// keeps alive (and blocks on) until all tasks referencing it finish.
+unsafe impl Send for Task {}
+
+struct Latch {
+    remaining: std::sync::Mutex<usize>,
+    done: std::sync::Condvar,
+    panicked: std::sync::atomic::AtomicBool,
+}
+
+impl Latch {
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+// Counts the latch down even if the task panics, so `broadcast` never
+// deadlocks; the panic itself is re-raised on the submitting thread.
+struct CountDownGuard(std::sync::Arc<Latch>);
+
+impl Drop for CountDownGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0
+                .panicked
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        self.0.count_down();
+    }
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = std::sync::mpsc::channel::<Task>();
+        let receiver = std::sync::Arc::new(std::sync::Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    let task = match rx.lock().unwrap().recv() {
+                        Ok(t) => t,
+                        Err(_) => return, // pool dropped
+                    };
+                    let guard = CountDownGuard(std::sync::Arc::clone(&task.latch));
+                    // SAFETY: see `Task` — the closure outlives the batch.
+                    let func = unsafe { &*task.func };
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        func(task.index)
+                    }));
+                    drop(guard);
+                })
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(std::sync::Mutex::new(sender)),
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0)`, `f(1)`, …, `f(tasks - 1)` on the pool and block until
+    /// every call returned. Panics if any task panicked.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, tasks: usize, f: &F) {
+        if tasks == 0 {
+            return;
+        }
+        let latch = std::sync::Arc::new(Latch {
+            remaining: std::sync::Mutex::new(tasks),
+            done: std::sync::Condvar::new(),
+            panicked: std::sync::atomic::AtomicBool::new(false),
+        });
+        let wide: &(dyn Fn(usize) + Sync) = f;
+        // erase the borrow's lifetime for the trip through the channel
+        let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(wide) };
+        let sender = self.sender.as_ref().expect("pool alive");
+        for index in 0..tasks {
+            sender
+                .lock()
+                .unwrap()
+                .send(Task {
+                    func,
+                    index,
+                    latch: std::sync::Arc::clone(&latch),
+                })
+                .expect("pool workers alive");
+        }
+        latch.wait();
+        if latch.panicked.load(std::sync::atomic::Ordering::SeqCst) {
+            panic!("rayon-stub pool task panicked");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // workers see Err(recv) and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPool;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -117,5 +260,43 @@ mod tests {
     fn empty_input() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_broadcast_runs_every_task_once() {
+        use std::sync::Mutex;
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let slots: Vec<Mutex<u64>> = (0..97).map(|_| Mutex::new(0)).collect();
+        // Reuse the same pool for several batches.
+        for round in 1..=3u64 {
+            pool.broadcast(slots.len(), &|i| {
+                *slots[i].lock().unwrap() += round;
+            });
+        }
+        for s in &slots {
+            assert_eq!(*s.lock().unwrap(), 1 + 2 + 3);
+        }
+        pool.broadcast(0, &|_| panic!("no tasks expected"));
+    }
+
+    #[test]
+    fn pool_broadcast_from_many_submitters() {
+        use std::sync::Mutex;
+        let pool = ThreadPool::new(2);
+        let sums: Vec<Mutex<usize>> = (0..4).map(|_| Mutex::new(0)).collect();
+        std::thread::scope(|scope| {
+            for (r, sum) in sums.iter().enumerate() {
+                let pool = &pool;
+                scope.spawn(move || {
+                    pool.broadcast(50, &|i| {
+                        *sum.lock().unwrap() += i + r;
+                    });
+                });
+            }
+        });
+        for (r, sum) in sums.iter().enumerate() {
+            assert_eq!(*sum.lock().unwrap(), (0..50).sum::<usize>() + 50 * r);
+        }
     }
 }
