@@ -4,7 +4,9 @@
 //! acfc [run|trace] INPUT.f [options]
 //! acfc compile INPUT.f --server ADDR --partition AxB [-o plan.json] [--emit FILE]
 //! acfc plan INPUT.f [-o plan.json] [compile options]
-//! acfc resume DIR [--verify | --verify-exact] [--profile] [--trace-dir DIR]
+//! acfc resume DIR [--ranks M | --partition PxQ] [--transport inproc|tcp]
+//!                 [--engine E] [--threads T] [--server ADDR] [--trace-dir DIR]
+//!                 [--verify | --verify-exact] [--profile]
 //! acfc stats DIR [--input INPUT.f] [options]
 //! acfc advise DIR [--input INPUT.f] [-o advice.json] [compile options]
 //! acfc advise --gate CURRENT.json [--baseline FILE] [--wall-tolerance T] [--comm-tolerance T]
@@ -44,6 +46,13 @@
 //!                        parallel fields must be bit-identical
 //!   --chaos-abort-after N fault injection: one worker hard-aborts at its
 //!                        N-th checkpoint-safe sync visit (chaos testing)
+//!   --elastic            (run, tcp + checkpointing) on a runtime failure,
+//!                        shrink the mesh by one rank and auto-resume from
+//!                        the newest consistent epoch, repeating until the
+//!                        relaunch succeeds or one rank remains
+//!   --apply              (advise) resume the checkpointed run named by
+//!                        --checkpoint-dir onto the advisor's top-ranked
+//!                        partition
 //!   -o FILE              (plan) where to write the plan JSON ('-' or
 //!                        absent = stdout)
 //!   --server ADDR        submit the compile (and run) to a resident
@@ -88,8 +97,16 @@
 //! plan its own compile produced. `acfc resume DIR` reloads the
 //! relaunch manifest a checkpointed `acfc run` wrote into DIR, picks the
 //! newest epoch for which every rank has a consistent snapshot
-//! (discarding torn or incomplete epochs), and relaunches the worker
-//! mesh from that cut; the resumed run continues bit-exactly.
+//! (discarding torn or incomplete epochs), and relaunches the mesh from
+//! that cut; the resumed run continues bit-exactly. With `--ranks M` or
+//! `--partition PxQ` the cut is *elastically repartitioned*: the N-rank
+//! snapshots are stitched into global fields along their recorded owned
+//! regions and re-scattered for the new geometry (see
+//! [`autocfd::interp::repartition`]), so a checkpoint taken on N ranks
+//! resumes — still bit-exactly — on M. `--transport inproc` resumes on
+//! rank-threads in this process instead of spawning workers; `--server
+//! ADDR` recompiles the plan for the new geometry on a resident
+//! `acfd-compile` daemon and hands workers the cached artifact.
 //!
 //! `acfc trace INPUT.f` executes the parallel program with per-rank
 //! JSONL journaling, writes a Perfetto-openable `trace.json`, and prints
@@ -118,6 +135,7 @@ use autocfd::cli::{CommonOpts, TransportKind};
 use autocfd::compile_service::{
     Client, CompileReq, ErrorClass, Request, RunReq, ServiceError, StreamItem,
 };
+use autocfd::interp::{verify_owned_regions, CheckpointOpts};
 use autocfd::obs;
 use autocfd::runtime::checkpoint::{self, RunManifest};
 use autocfd::runtime::journal;
@@ -181,6 +199,11 @@ struct Args {
     wall_tolerance: f64,
     /// `advise --gate` only: allowed comm-volume growth fraction.
     comm_tolerance: f64,
+    /// `run` only: auto-shrink and resume on worker failure.
+    elastic: bool,
+    /// `advise` only: resume the checkpointed run onto the advised
+    /// partition.
+    apply: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -204,6 +227,8 @@ fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut wall_tolerance = 0.5;
     let mut comm_tolerance = 0.02;
+    let mut elastic = false;
+    let mut apply = false;
     // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`;
     // `trace` and `stats` select the observability modes, `plan` emits
     // the plan artifact, `resume` relaunches a checkpointed run,
@@ -270,6 +295,8 @@ fn parse_args() -> Result<Args, String> {
                 comm_tolerance = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
             }
             "--input" => stats_input = Some(args.next().ok_or("--input needs a path")?),
+            "--elastic" => elastic = true,
+            "--apply" => apply = true,
             "--report" => report = true,
             "--analysis" => analysis = true,
             "--run" => run = true,
@@ -287,15 +314,18 @@ fn parse_args() -> Result<Args, String> {
                             [--overlap] [--transport inproc|tcp] [--ranks N] \
                             [--timeout-ms N] [--trace-dir DIR] [--tolerance T] [--check] \
                             [--plan FILE] [--checkpoint-every N] [--checkpoint-dir DIR] \
-                            [--server HOST:PORT]\n\
+                            [--server HOST:PORT] [--elastic]\n\
                      or:    acfc compile INPUT.f --server HOST:PORT --partition AxB[xC] \
                             [-o plan.json] [--emit FILE|-]\n\
                      or:    acfc plan INPUT.f [-o plan.json] [compile options]\n\
-                     or:    acfc resume DIR [--verify | --verify-exact] [--profile]\n\
+                     or:    acfc resume DIR [--ranks M | --partition PxQ] \
+                            [--transport inproc|tcp] [--engine E] [--threads T] \
+                            [--server HOST:PORT] [--trace-dir DIR] \
+                            [--verify | --verify-exact] [--profile]\n\
                      or:    acfc stats DIR [--input INPUT.f] [--tolerance T] \
                             [--min-coverage C] [--check] [compile options]\n\
                      or:    acfc advise DIR [--input INPUT.f] [-o advice.json] \
-                            [compile options]\n\
+                            [--apply --checkpoint-dir DIR] [compile options]\n\
                      or:    acfc advise --gate CURRENT.json [--baseline FILE] \
                             [--wall-tolerance T] [--comm-tolerance T]"
                         .into(),
@@ -333,6 +363,8 @@ fn parse_args() -> Result<Args, String> {
         baseline,
         wall_tolerance,
         comm_tolerance,
+        elastic,
+        apply,
     })
 }
 
@@ -442,6 +474,7 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
         let manifest = RunManifest {
             source,
             parts: compiled.partition.spec.parts.clone(),
+            grid: compiled.partition.shape.extents.clone(),
             ranks: n,
             distance: effective_distance(args, compiled) as i64,
             optimize: args.common.compile.optimize,
@@ -494,91 +527,34 @@ fn run_tcp(args: &Args, compiled: &Compiled, journal: Option<&Path>) -> Result<(
     })
 }
 
-/// `acfc resume DIR`: reload the relaunch manifest, recompile the
-/// embedded source (statement ids are minted deterministically, so the
-/// saved cursors stay valid), find the newest epoch with a complete
-/// consistent snapshot set — torn or partial epochs are skipped — and
-/// relaunch the worker mesh from it.
-fn run_resume(args: &Args) -> ExitCode {
-    let dir = PathBuf::from(&args.input);
-    let manifest = match checkpoint::load_manifest(&dir) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("acfc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let engine = match autocfd::codegen::EnginePref::parse(&manifest.engine) {
-        Some(e) => e,
-        None => {
-            eprintln!("acfc: manifest names unknown engine `{}`", manifest.engine);
-            return exit_with(&Error::Validation("manifest engine unknown".into()));
-        }
-    };
-    let opts = autocfd::CompileOptions {
-        partition: Some(manifest.parts.clone()),
-        distance: Some(manifest.distance as u64),
-        optimize: manifest.optimize,
-        engine,
-        threads: manifest.threads.min(u64::from(u32::MAX)) as u32,
-        ..Default::default()
-    };
-    let compiled = match compile(&manifest.source, &opts) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("acfc: manifest source no longer compiles: {e}");
-            return exit_with(&Error::Compile(e));
-        }
-    };
-    let n = manifest.ranks;
-    if compiled.spmd_plan.ranks() as usize != n {
-        eprintln!(
-            "acfc: manifest claims {n} ranks but its partition compiles to {}",
-            compiled.spmd_plan.ranks()
-        );
-        return exit_with(&Error::Validation("manifest/partition mismatch".into()));
-    }
-    let epoch = match checkpoint::latest_consistent_epoch(&dir, n) {
-        Some(e) => e,
-        None => {
-            let err = runtime_err(format!(
-                "no consistent checkpoint epoch under `{}` (need all {n} rank snapshots \
-                 of one epoch to parse and agree)",
-                dir.display()
-            ));
-            eprintln!("acfc: {err}");
-            return exit_with(&err);
-        }
-    };
-    eprintln!(
-        "acfc: resuming from checkpoint epoch {epoch} in {}",
-        dir.display()
-    );
-
+/// Relaunch a worker mesh from the checkpoint directory `dir`, resuming
+/// the pinned `epoch` under the geometry and execution knobs `manifest`
+/// records (the manifest must already be rewritten to the *target*
+/// geometry — workers infer an elastic move by comparing it to the
+/// epoch's snapshots). `plan_file` substitutes a server-compiled plan
+/// artifact for each worker's local compile.
+fn launch_resumed(
+    dir: &Path,
+    manifest: &RunManifest,
+    epoch: u64,
+    args: &Args,
+    journal_dir: Option<&Path>,
+    plan_file: Option<&Path>,
+) -> Result<(), Error> {
     // workers re-read the source from disk; hand them the manifest's
     // embedded copy, which is the authority even if the original file
     // changed since the checkpointed launch
     let source_path = dir.join("source.f");
-    if let Err(e) = std::fs::write(&source_path, &manifest.source) {
-        eprintln!("acfc: cannot write `{}`: {e}", source_path.display());
-        return ExitCode::FAILURE;
-    }
-    // `--trace-dir` journals the resumed run, so `acfc stats --check`
-    // can validate a post-recovery execution like any other
-    let journal_dir = args.common.trace_dir.clone().map(PathBuf::from);
-    if let Some(d) = &journal_dir {
-        if let Err(e) = obs::clean_trace_dir(d) {
-            eprintln!("acfc: cannot clean `{}`: {e}", d.display());
-            return ExitCode::FAILURE;
-        }
-    }
+    std::fs::write(&source_path, &manifest.source)
+        .map_err(|e| runtime_err(format!("cannot write `{}`: {e}", source_path.display())))?;
+    let engine = autocfd::codegen::EnginePref::parse(&manifest.engine).unwrap_or_default();
     let partition_arg = manifest
         .parts
         .iter()
         .map(u32::to_string)
         .collect::<Vec<_>>()
         .join("x");
-    let result = launch_workers(n, |_| {
+    launch_workers(manifest.ranks, |_| {
         let mut a = vec![
             source_path.to_string_lossy().into_owned(),
             "--partition".into(),
@@ -608,6 +584,10 @@ fn run_resume(args: &Args) -> ExitCode {
         if manifest.overlap {
             a.push("--overlap".into());
         }
+        if let Some(p) = plan_file {
+            a.push("--plan".into());
+            a.push(p.to_string_lossy().into_owned());
+        }
         if args.verify_exact {
             a.push("--verify-exact".into());
         } else if args.verify {
@@ -616,17 +596,347 @@ fn run_resume(args: &Args) -> ExitCode {
         if args.common.profile {
             a.push("--profile".into());
         }
-        if let Some(d) = &journal_dir {
+        if let Some(d) = journal_dir {
             a.push("--journal".into());
             a.push(d.to_string_lossy().into_owned());
         }
         a
-    });
+    })
+}
+
+/// `--server ADDR` on a resume: recompile the plan for the (possibly
+/// new) geometry on the resident daemon — the content-addressed cache
+/// makes a repeat resume a cache hit — and stash the artifact in the
+/// checkpoint directory for the workers' `--plan`.
+fn fetch_remote_plan(addr: &str, manifest: &RunManifest, dir: &Path) -> Result<PathBuf, ExitCode> {
+    let req = CompileReq {
+        source: manifest.source.clone(),
+        parts: manifest.parts.iter().map(|&p| p as usize).collect(),
+        distance: Some(manifest.distance as usize),
+        optimize: manifest.optimize,
+        engine: autocfd::codegen::EnginePref::parse(&manifest.engine).unwrap_or_default(),
+        threads: manifest.threads.min(u64::from(u32::MAX)) as u32,
+    };
+    let mut client = Client::connect(addr).map_err(|e| remote_exit(&e))?;
+    let resp = client
+        .request(&Request::Compile(req), &mut |_| {})
+        .map_err(|e| remote_exit(&e))?;
+    eprintln!("acfc: server recompile: {}", remote_verdict(&resp));
+    let plan = resp.get("plan").and_then(Value::as_str).unwrap_or("");
+    let path = dir.join("plan.json");
+    if let Err(e) = std::fs::write(&path, plan) {
+        eprintln!("acfc: cannot write `{}`: {e}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(path)
+}
+
+/// `acfc resume --transport inproc`: resume the epoch on rank-threads
+/// in this process through
+/// [`autocfd::interp::RunConfig::resume_from`] instead of spawning
+/// workers — checkpointing continues into the same directory.
+fn resume_inproc(
+    args: &Args,
+    dir: &Path,
+    manifest: &RunManifest,
+    epoch: u64,
+    compiled: &Compiled,
+    journal_dir: Option<&Path>,
+) -> ExitCode {
+    let ckpt = CheckpointOpts {
+        every: manifest.checkpoint_every,
+        dir: dir.to_path_buf(),
+        chaos_abort_after: None,
+    };
+    let runs = compiled
+        .run_config()
+        .overlap(manifest.overlap)
+        .checkpoint(ckpt)
+        .resume_from(dir)
+        .resume_epoch(epoch)
+        .run_parallel_traced();
+    if let Ok((m, _)) = &runs[0].outcome {
+        for line in &m.output {
+            println!("{line}");
+        }
+    }
+    let mut results = Vec::new();
+    let mut failed: Option<Error> = None;
+    for (rank, run) in runs.into_iter().enumerate() {
+        if let Some(d) = journal_dir {
+            if let Err(e) = obs::write_rank_run(d, "inproc", rank, manifest.ranks, &run) {
+                eprintln!("acfc: cannot write journal for rank {rank}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.common.profile {
+            let ws = &run.wire_stats;
+            eprintln!(
+                "acfc: rank {rank}: wire {} msg / {} B sent, {} msg / {} B recvd",
+                ws.msgs_sent, ws.bytes_sent, ws.msgs_recvd, ws.bytes_recvd
+            );
+        }
+        match run.outcome {
+            Ok((machine, frame)) => results.push(autocfd::interp::RankResult {
+                machine,
+                frame,
+                comm_stats: run.comm_stats,
+                wire_stats: run.wire_stats,
+                phases: run.phases,
+                trace: run.trace,
+            }),
+            Err(e) => {
+                eprintln!("acfc: rank {rank}: {e}");
+                failed = Some(Error::Runtime(e));
+            }
+        }
+    }
+    if let Some(e) = failed {
+        return exit_with(&e);
+    }
+    if args.verify {
+        let seq = match compiled.run_sequential(vec![]) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("acfc: sequential reference run: {e}");
+                return exit_with(&Error::Runtime(e));
+            }
+        };
+        let tol = if args.verify_exact { 0.0 } else { 1e-12 };
+        match verify_owned_regions(&seq, &results, &compiled.spmd_plan, tol) {
+            Ok(d) => eprintln!("acfc: verified — max |seq - par| = {d:e}"),
+            Err(e) => {
+                eprintln!("acfc: VERIFICATION FAILED: {e}");
+                return exit_with(&Error::Validation(e));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `acfc resume DIR`: reload the relaunch manifest, recompile the
+/// embedded source (statement ids are minted deterministically, so the
+/// saved cursors stay valid), find the newest epoch with a complete
+/// consistent snapshot set — torn or partial epochs are skipped — and
+/// relaunch the mesh from it. `--ranks M` / `--partition PxQ` resume
+/// elastically onto a different geometry: the epoch's N-rank snapshots
+/// are regathered and re-scattered by the resuming ranks, and the
+/// manifest is rewritten to the new geometry *before* launch so the
+/// checkpoint directory's future epochs stay self-consistent.
+fn run_resume(args: &Args) -> ExitCode {
+    let dir = PathBuf::from(&args.input);
+    let mut manifest = match checkpoint::load_manifest(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Target geometry: explicit --partition beats --ranks (auto-chosen
+    // over the manifest's recorded grid) beats the recorded partition.
+    let target_parts: Vec<u32> = if let Some(p) = &args.common.compile.partition {
+        p.clone()
+    } else if let Some(m) = args.common.ranks.filter(|&m| m as usize != manifest.ranks) {
+        if manifest.grid.is_empty() {
+            let e = Error::Validation(format!(
+                "manifest predates grid-geometry recording; pass an explicit \
+                 --partition to resume on {m} ranks"
+            ));
+            eprintln!("acfc: {e}");
+            return exit_with(&e);
+        }
+        let shape = autocfd::grid::GridShape {
+            extents: manifest.grid.clone(),
+        };
+        autocfd::grid::choose_partition(&shape, m, manifest.distance as u64)
+            .0
+            .spec
+            .parts
+    } else {
+        manifest.parts.clone()
+    };
+    // Execution-knob overrides: a non-default CLI flag beats the
+    // manifest; everything else resumes exactly as launched.
+    if args.common.compile.engine != autocfd::codegen::EnginePref::Tree {
+        manifest.engine = args.common.compile.engine.name().into();
+    }
+    if args.common.compile.threads != 1 {
+        manifest.threads = args.common.compile.threads.into();
+    }
+    if let Some(ms) = args.common.timeout_ms {
+        manifest.timeout_ms = ms;
+    }
+    if args.common.overlap {
+        manifest.overlap = true;
+    }
+    let engine = match autocfd::codegen::EnginePref::parse(&manifest.engine) {
+        Some(e) => e,
+        None => {
+            eprintln!("acfc: manifest names unknown engine `{}`", manifest.engine);
+            return exit_with(&Error::Validation("manifest engine unknown".into()));
+        }
+    };
+    let opts = autocfd::CompileOptions {
+        partition: Some(target_parts.clone()),
+        distance: Some(manifest.distance as u64),
+        optimize: manifest.optimize,
+        engine,
+        threads: manifest.threads.min(u64::from(u32::MAX)) as u32,
+        ..Default::default()
+    };
+    let compiled = match compile(&manifest.source, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("acfc: manifest source no longer compiles: {e}");
+            return exit_with(&Error::Compile(e));
+        }
+    };
+    let n = compiled.spmd_plan.ranks() as usize;
+    if let Some(m) = args.common.ranks {
+        if m as usize != n {
+            eprintln!("acfc: --ranks {m} conflicts with partition ({n} subtasks)");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Pick the epoch before committing the target geometry below, so a
+    // failure here leaves the manifest untouched.
+    let epoch = match checkpoint::latest_consistent_epoch(&dir) {
+        Some(e) => e,
+        None => {
+            let err = runtime_err(format!(
+                "no consistent checkpoint epoch under `{}` (need all rank snapshots \
+                 of one epoch to parse and agree)",
+                dir.display()
+            ));
+            eprintln!("acfc: {err}");
+            return exit_with(&err);
+        }
+    };
+    if target_parts != manifest.parts || n != manifest.ranks {
+        eprintln!(
+            "acfc: elastic resume: repartitioning {} ({} rank(s)) -> {} ({n} rank(s))",
+            manifest
+                .parts
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join("x"),
+            manifest.ranks,
+            compiled.partition.spec.display(),
+        );
+    }
+    eprintln!(
+        "acfc: resuming from checkpoint epoch {epoch} in {}",
+        dir.display()
+    );
+    // Commit the target geometry: workers launched below — and any
+    // later resume — read this manifest. Epochs recorded under the old
+    // geometry stay loadable via their pinned epoch number, but no
+    // longer count as "latest".
+    manifest.parts = target_parts;
+    manifest.ranks = n;
+    manifest.grid = compiled.partition.shape.extents.clone();
+    if let Err(e) = checkpoint::write_manifest(&dir, &manifest) {
+        eprintln!("acfc: cannot rewrite relaunch manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+    // `--trace-dir` journals the resumed run, so `acfc stats --check`
+    // can validate a post-recovery execution like any other
+    let journal_dir = args.common.trace_dir.clone().map(PathBuf::from);
+    if let Some(d) = &journal_dir {
+        if let Err(e) = obs::clean_trace_dir(d) {
+            eprintln!("acfc: cannot clean `{}`: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.common.transport == TransportKind::Inproc && args.server.is_none() {
+        return resume_inproc(
+            args,
+            &dir,
+            &manifest,
+            epoch,
+            &compiled,
+            journal_dir.as_deref(),
+        );
+    }
+    let plan_file = match args.server.as_deref() {
+        Some(addr) => match fetch_remote_plan(addr, &manifest, &dir) {
+            Ok(p) => Some(p),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let result = launch_resumed(
+        &dir,
+        &manifest,
+        epoch,
+        args,
+        journal_dir.as_deref(),
+        plan_file.as_deref(),
+    );
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("acfc: {e}");
             exit_with(&e)
+        }
+    }
+}
+
+/// `acfc run --elastic`: after a runtime-class failure of a
+/// checkpointed tcp run (a chaos abort, a killed worker, a hang
+/// declared dead by the heartbeat liveness check), shrink the mesh by
+/// one rank, re-partition the recorded grid for the survivors, and
+/// resume from the newest consistent epoch — repeating until a relaunch
+/// succeeds or one rank remains. Chaos injection is never re-applied to
+/// a recovery launch.
+fn elastic_recover(args: &Args, first_err: Error) -> Result<(), Error> {
+    if !matches!(first_err, Error::Runtime(_) | Error::Comm(_)) {
+        return Err(first_err); // only failed peers are recoverable
+    }
+    let Some((_, ckdir)) = args.common.checkpointing().map_err(runtime_err)? else {
+        return Err(first_err);
+    };
+    let dir = PathBuf::from(ckdir);
+    let mut err = first_err;
+    loop {
+        let mut manifest = match checkpoint::load_manifest(&dir) {
+            Ok(m) => m,
+            Err(_) => return Err(err),
+        };
+        // each epoch is judged in its own geometry — the cut the
+        // snapshots were actually written under
+        let Some(epoch) = checkpoint::latest_consistent_epoch(&dir) else {
+            return Err(err);
+        };
+        let survivors = manifest.ranks.saturating_sub(1);
+        if survivors == 0 || manifest.grid.is_empty() {
+            return Err(err);
+        }
+        let shape = autocfd::grid::GridShape {
+            extents: manifest.grid.clone(),
+        };
+        let (part, _) =
+            autocfd::grid::choose_partition(&shape, survivors as u32, manifest.distance as u64);
+        eprintln!(
+            "acfc: elastic: mesh failed ({err}); shrinking {} -> {survivors} rank(s) \
+             (partition {}), resuming epoch {epoch}",
+            manifest.ranks,
+            part.spec.display()
+        );
+        manifest.parts = part.spec.parts.clone();
+        manifest.ranks = survivors;
+        checkpoint::write_manifest(&dir, &manifest)
+            .map_err(|e| runtime_err(format!("cannot rewrite relaunch manifest: {e}")))?;
+        match launch_resumed(&dir, &manifest, epoch, args, None, None) {
+            Ok(()) => {
+                eprintln!("acfc: elastic: recovered on {survivors} rank(s)");
+                return Ok(());
+            }
+            e @ Err(Error::Runtime(_)) | e @ Err(Error::Comm(_)) => {
+                err = e.unwrap_err(); // shrink further
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -1095,7 +1405,73 @@ fn run_advise(args: &Args) -> ExitCode {
             eprintln!("acfc: advice written to {}", path.display());
         }
     }
+    if args.apply {
+        return apply_advice(args, &advice);
+    }
     ExitCode::SUCCESS
+}
+
+/// `acfc advise --apply`: rewrite the checkpointed run's relaunch
+/// manifest to the advisor's top-ranked partition and elastically
+/// resume it from the newest consistent epoch — the trace-driven
+/// closing of the loop: measure, diagnose, repartition, continue.
+fn apply_advice(args: &Args, advice: &advisor::Advice) -> ExitCode {
+    let Some(rec) = &advice.recommendation else {
+        eprintln!("acfc: --apply needs a partition search (pass --input INPUT.f)");
+        return ExitCode::FAILURE;
+    };
+    let Some(ckdir) = &args.common.checkpoint_dir else {
+        eprintln!("acfc: --apply needs --checkpoint-dir DIR (the checkpointed run to resume)");
+        return ExitCode::FAILURE;
+    };
+    let dir = PathBuf::from(ckdir);
+    let mut manifest = match checkpoint::load_manifest(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let best = rec.best();
+    let best_disp = best
+        .parts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    if best.parts == manifest.parts {
+        eprintln!("acfc: advised partition {best_disp} is already in use; nothing to apply");
+        return ExitCode::SUCCESS;
+    }
+    // judged against the manifest still on disk — the geometry the
+    // snapshots were cut under
+    let Some(epoch) = checkpoint::latest_consistent_epoch(&dir) else {
+        let e = runtime_err(format!(
+            "no consistent checkpoint epoch under `{}` to apply the advice to",
+            dir.display()
+        ));
+        eprintln!("acfc: {e}");
+        return exit_with(&e);
+    };
+    let ranks: usize = best.parts.iter().map(|&p| p as usize).product();
+    eprintln!(
+        "acfc: applying advised partition {best_disp}: resuming epoch {epoch} on \
+         {ranks} rank(s) (predicted wall {:+.1}%)",
+        best.wall_delta_pct
+    );
+    manifest.parts = best.parts.clone();
+    manifest.ranks = ranks;
+    if let Err(e) = checkpoint::write_manifest(&dir, &manifest) {
+        eprintln!("acfc: cannot rewrite relaunch manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+    match launch_resumed(&dir, &manifest, epoch, args, None, None) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("acfc: {e}");
+            exit_with(&e)
+        }
+    }
 }
 
 /// `acfc trace INPUT.f`: run with journaling, export `trace.json`, and
@@ -1328,10 +1704,19 @@ fn main() -> ExitCode {
     if args.common.transport == TransportKind::Tcp
         && (args.run || args.common.profile || args.verify)
     {
-        // multi-process path: workers execute, verify, and profile
+        // multi-process path: workers execute, verify, and profile;
+        // with --elastic a runtime failure triggers shrink-and-resume
+        // instead of giving up
         if let Err(e) = run_tcp(&args, &compiled, None) {
-            eprintln!("acfc: {e}");
-            return exit_with(&e);
+            let recovered = if args.elastic {
+                elastic_recover(&args, e)
+            } else {
+                Err(e)
+            };
+            if let Err(e) = recovered {
+                eprintln!("acfc: {e}");
+                return exit_with(&e);
+            }
         }
     } else if args.verify {
         let tol = if args.verify_exact { 0.0 } else { 1e-12 };

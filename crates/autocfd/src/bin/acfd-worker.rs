@@ -29,7 +29,10 @@
 //! its full interpreter state every N-th checkpoint-safe sync visit.
 //! `--resume-epoch E` restores rank state from `DIR/epoch-E/` — the
 //! snapshot is loaded *after* the mesh join assigns this process its
-//! rank — and continues bit-exactly. `--plan plan.json` substitutes a
+//! rank — and continues bit-exactly; an epoch cut on a *different*
+//! rank count is elastically repartitioned onto this mesh first
+//! (see [`autocfd::interp::repartition`]). `--plan plan.json`
+//! substitutes a
 //! previously emitted plan artifact for the one the local compile
 //! produced. `--chaos-abort-after N` (fault injection for the chaos
 //! tests) aborts the whole process at the N-th checkpoint-safe sync
@@ -41,7 +44,6 @@
 
 use autocfd::cli::CommonOpts;
 use autocfd::interp::{verify_rank_owned_region, CheckpointOpts, RankResult};
-use autocfd::runtime::checkpoint::{load_snapshot, rank_snapshot_path, Snapshot};
 use autocfd::runtime::{wire_by_phase, Comm, Transport};
 use autocfd::runtime_net::{MeshConfig, TcpTransport};
 use autocfd::{compile, obs, Error};
@@ -180,28 +182,6 @@ fn main() -> ExitCode {
     };
     let rank = Transport::rank(&transport);
     let ranks_total = compiled.spmd_plan.ranks() as usize;
-    // the snapshot can only be picked once the mesh join has assigned
-    // this process its rank — workers are interchangeable until then
-    let resume: Option<Snapshot> = match args.resume_epoch {
-        None => None,
-        Some(epoch) => {
-            let dir = PathBuf::from(args.common.checkpoint_dir.as_deref().unwrap_or(""));
-            match load_snapshot(&rank_snapshot_path(&dir, epoch, rank)) {
-                Ok(s) if s.ranks == ranks_total => Some(s),
-                Ok(s) => {
-                    eprintln!(
-                        "acfd-worker[rank {rank}]: snapshot is for a {}-rank mesh, not {ranks_total}",
-                        s.ranks
-                    );
-                    return ExitCode::from(3);
-                }
-                Err(e) => {
-                    eprintln!("acfd-worker[rank {rank}]: {e}");
-                    return ExitCode::from(3);
-                }
-            }
-        }
-    };
     let timeout = args
         .common
         .timeout_ms
@@ -215,10 +195,17 @@ fn main() -> ExitCode {
     if let Some(c) = ckpt {
         cfg = cfg.checkpoint(c);
     }
-    let run = match resume.as_ref() {
-        Some(snap) => cfg.run_rank_resumed(&comm, snap),
-        None => cfg.run_rank_traced(&comm),
-    };
+    // resume is resolved *after* the mesh join assigns this process its
+    // rank — workers are interchangeable until then. The epoch stays
+    // pinned by the launcher (never re-inferred here): the resumed run
+    // writes new epochs into the same directory, so "latest" drifts.
+    // When the snapshots' rank count differs from the plan's, the
+    // config elastically repartitions the cut onto this mesh.
+    if let Some(epoch) = args.resume_epoch {
+        let dir = PathBuf::from(args.common.checkpoint_dir.as_deref().unwrap_or(""));
+        cfg = cfg.resume_from(dir).resume_epoch(epoch);
+    }
+    let run = cfg.run_rank_traced(&comm);
     drop(comm); // closes this rank's mesh endpoint
 
     // a chaos-injected failure simulates a hard crash: abort without

@@ -317,7 +317,10 @@ impl Compiled {
         input: Vec<f64>,
         overlap: bool,
     ) -> Result<Vec<RankResult>, RunError> {
-        self.run_config().input(input).overlap(overlap).run_parallel()
+        self.run_config()
+            .input(input)
+            .overlap(overlap)
+            .run_parallel()
     }
 
     /// Run both versions and verify that every rank's owned region of

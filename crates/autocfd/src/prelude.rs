@@ -1,8 +1,9 @@
 //! One-import surface for driving the pre-compiler as a library.
 //!
 //! Re-exports the driver-level types: compilation entry points, the
-//! unified [`Error`], execution results, and the observability helpers
-//! behind `acfc trace`.
+//! unified [`Error`], execution results, the checkpoint/resume surface
+//! (snapshots, manifests, epoch selection, elastic repartitioning),
+//! and the observability helpers behind `acfc trace`.
 //!
 //! ```
 //! use autocfd::prelude::*;
@@ -32,5 +33,11 @@ pub use crate::obs::{
 pub use crate::{compile, CompileError, CompileOptions, Compiled, Error};
 pub use autocfd_codegen::{EnginePref, SpmdPlan};
 pub use autocfd_grid::{GridShape, Partition, PartitionSpec};
-pub use autocfd_interp::{Engine, KernelEngine, RankResult, RankRun, RunConfig, RunError, TreeEngine};
+pub use autocfd_interp::{
+    repartition, CheckpointOpts, Engine, KernelEngine, RankResult, RankRun, RunConfig, RunError,
+    TreeEngine,
+};
+pub use autocfd_runtime::checkpoint::{
+    latest_consistent_epoch, load_epoch, load_manifest, write_manifest, RunManifest, Snapshot,
+};
 pub use autocfd_runtime::{CommError, MergedTrace, PhaseMetrics};

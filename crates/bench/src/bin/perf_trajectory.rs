@@ -24,7 +24,13 @@ use serde::json::Value;
 use std::time::Instant;
 
 /// One measured case × partition × engine row.
-fn measure_case(name: &str, source: &str, parts: &[u32], engine: EnginePref, threads: u32) -> Value {
+fn measure_case(
+    name: &str,
+    source: &str,
+    parts: &[u32],
+    engine: EnginePref,
+    threads: u32,
+) -> Value {
     let opts = CompileOptions {
         partition: Some(parts.to_vec()),
         optimize: true,
@@ -176,10 +182,34 @@ fn main() {
     // split — the pair forms the speedup series the gate watches
     let mut cases = Vec::new();
     for (engine, threads) in [(EnginePref::Tree, 1), (EnginePref::Kernel, 4)] {
-        cases.push(measure_case("aerofoil-bench", &aerofoil, &[2, 1, 1], engine, threads));
-        cases.push(measure_case("aerofoil-bench", &aerofoil, &[2, 2, 1], engine, threads));
-        cases.push(measure_case("sprayer-bench", &sprayer, &[4, 1], engine, threads));
-        cases.push(measure_case("sprayer-bench", &sprayer, &[2, 2], engine, threads));
+        cases.push(measure_case(
+            "aerofoil-bench",
+            &aerofoil,
+            &[2, 1, 1],
+            engine,
+            threads,
+        ));
+        cases.push(measure_case(
+            "aerofoil-bench",
+            &aerofoil,
+            &[2, 2, 1],
+            engine,
+            threads,
+        ));
+        cases.push(measure_case(
+            "sprayer-bench",
+            &sprayer,
+            &[4, 1],
+            engine,
+            threads,
+        ));
+        cases.push(measure_case(
+            "sprayer-bench",
+            &sprayer,
+            &[2, 2],
+            engine,
+            threads,
+        ));
     }
     eprintln!("perf_trajectory: measuring compile-service cold-vs-warm latency");
     let cache = vec![

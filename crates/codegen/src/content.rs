@@ -158,13 +158,29 @@ mod tests {
         let mac = "program t\r  x = 1\rend\r";
         let trailing = "program t   \n  x = 1\t\nend\n";
         let a = PlanKey::new(unix, &[2, 2], Some(1), true, EnginePref::Tree, 1);
-        assert_eq!(a, PlanKey::new(dos, &[2, 2], Some(1), true, EnginePref::Tree, 1));
-        assert_eq!(a, PlanKey::new(mac, &[2, 2], Some(1), true, EnginePref::Tree, 1));
-        assert_eq!(a, PlanKey::new(trailing, &[2, 2], Some(1), true, EnginePref::Tree, 1));
+        assert_eq!(
+            a,
+            PlanKey::new(dos, &[2, 2], Some(1), true, EnginePref::Tree, 1)
+        );
+        assert_eq!(
+            a,
+            PlanKey::new(mac, &[2, 2], Some(1), true, EnginePref::Tree, 1)
+        );
+        assert_eq!(
+            a,
+            PlanKey::new(trailing, &[2, 2], Some(1), true, EnginePref::Tree, 1)
+        );
         // ...but real edits change the key
         assert_ne!(
             a,
-            PlanKey::new("program t\n  x = 2\nend\n", &[2, 2], Some(1), true, EnginePref::Tree, 1)
+            PlanKey::new(
+                "program t\n  x = 2\nend\n",
+                &[2, 2],
+                Some(1),
+                true,
+                EnginePref::Tree,
+                1
+            )
         );
     }
 

@@ -42,7 +42,7 @@ pub mod restructure;
 pub use analyze::{detect_reductions, loop_axis, ReduceOpKind, Reduction};
 pub use content::{canonicalize_source, stable_hash_128, PlanKey};
 pub use plan::{
-    EnginePref, OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan,
+    CutSite, EnginePref, OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan,
     SyncArray, SyncSpec,
 };
 pub use plan_json::{from_json, to_json, PLAN_SCHEMA_VERSION};

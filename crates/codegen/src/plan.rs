@@ -135,6 +135,24 @@ impl std::fmt::Display for EnginePref {
     }
 }
 
+/// Plan-independent source coordinates of a sync insertion gap: which
+/// statement list of the main unit it sits in (identified by the
+/// *parser-minted* id of the owning `do`/`if` statement, stable across
+/// partitions) and the source-statement gap index within that list.
+/// Mirrors the runtime checkpoint schema's cut-site record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CutSite {
+    /// List discriminant: 0 = unit body, 1 = `do` body, 2 = `then` arm,
+    /// 3 = `else if` arm, 4 = `else` arm.
+    pub list_kind: u8,
+    /// Source id of the statement owning the list (0 for the unit body).
+    pub list_stmt: u32,
+    /// `else if` arm ordinal (0 otherwise).
+    pub arm: u32,
+    /// Source-statement gap index within the list.
+    pub gap: u64,
+}
+
 /// Everything the SPMD hook set needs at run time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpmdPlan {
@@ -167,6 +185,14 @@ pub struct SpmdPlan {
     /// Syncs hoisted into subroutines are excluded — their call-stack
     /// context cannot be re-entered from a flat cursor.
     pub checkpoint_syncs: BTreeMap<u32, StmtId>,
+    /// Source coordinates of each checkpoint-safe sync's insertion gap
+    /// (same keys as [`SpmdPlan::checkpoint_syncs`]). Statement ids in
+    /// here are *parser-minted* — stable across compiles of the same
+    /// source regardless of partition — so an elastic resume can map a
+    /// cut taken under one partition onto this plan's statement ids.
+    /// Empty on plan artifacts that predate elastic resume.
+    #[serde(default)]
+    pub checkpoint_sites: BTreeMap<u32, CutSite>,
     /// Table-1 statistics carried through from the sync plan.
     pub sync_before: u64,
     /// See [`SpmdPlan::sync_before`].
@@ -221,6 +247,7 @@ mod tests {
             reduces: vec![],
             fills: BTreeMap::new(),
             checkpoint_syncs: BTreeMap::new(),
+            checkpoint_sites: BTreeMap::new(),
             sync_before: 0,
             sync_after: 0,
             engine: EnginePref::Tree,
@@ -265,6 +292,15 @@ mod tests {
             }],
             fills: BTreeMap::new(),
             checkpoint_syncs: BTreeMap::from([(0, StmtId(3))]),
+            checkpoint_sites: BTreeMap::from([(
+                0,
+                CutSite {
+                    list_kind: 1,
+                    list_stmt: 2,
+                    arm: 0,
+                    gap: 1,
+                },
+            )]),
             sync_before: 5,
             sync_after: 1,
             engine: EnginePref::Kernel,

@@ -13,7 +13,7 @@
 //! `i128` — nothing round-trips through `f64`.
 
 use crate::plan::{
-    EnginePref, OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan,
+    CutSite, EnginePref, OverlapSpec, PipeStep, ReduceSpec, SelfArraySpec, SelfLoopSpec, SpmdPlan,
     SyncArray, SyncSpec,
 };
 use autocfd_fortran::ast::StmtId;
@@ -181,6 +181,20 @@ pub fn to_json(plan: &SpmdPlan) -> String {
             })
             .collect(),
     );
+    let checkpoint_sites = Value::Arr(
+        plan.checkpoint_sites
+            .iter()
+            .map(|(sync, site)| {
+                Value::obj(vec![
+                    ("sync", Value::Int((*sync).into())),
+                    ("kind", Value::Int(site.list_kind.into())),
+                    ("stmt", Value::Int(site.list_stmt.into())),
+                    ("arm", Value::Int(site.arm.into())),
+                    ("gap", Value::Int(site.gap.into())),
+                ])
+            })
+            .collect(),
+    );
     Value::obj(vec![
         ("version", Value::Int(PLAN_SCHEMA_VERSION.into())),
         ("partition", partition_v),
@@ -191,6 +205,7 @@ pub fn to_json(plan: &SpmdPlan) -> String {
         ("reduces", reduces),
         ("fills", fills),
         ("checkpoint_syncs", checkpoint_syncs),
+        ("checkpoint_sites", checkpoint_sites),
         ("sync_before", Value::Int(plan.sync_before.into())),
         ("sync_after", Value::Int(plan.sync_after.into())),
         ("engine", Value::Str(plan.engine.name().to_string())),
@@ -413,6 +428,23 @@ pub fn from_json(text: &str) -> Result<SpmdPlan, String> {
         checkpoint_syncs.insert(u32_field(c, "sync")?, StmtId(u32_field(c, "stmt")?));
     }
 
+    // absent on pre-elastic artifacts: the plan still runs, but a cut
+    // taken under it cannot be mapped onto a different partition
+    let mut checkpoint_sites = BTreeMap::new();
+    if v.get("checkpoint_sites").is_some() {
+        for c in arr(&v, "checkpoint_sites")? {
+            checkpoint_sites.insert(
+                u32_field(c, "sync")?,
+                CutSite {
+                    list_kind: u32_field(c, "kind")? as u8,
+                    list_stmt: u32_field(c, "stmt")?,
+                    arm: u32_field(c, "arm")?,
+                    gap: u64_field(c, "gap")?,
+                },
+            );
+        }
+    }
+
     Ok(SpmdPlan {
         partition,
         dim_axis,
@@ -422,12 +454,12 @@ pub fn from_json(text: &str) -> Result<SpmdPlan, String> {
         reduces,
         fills,
         checkpoint_syncs,
+        checkpoint_sites,
         sync_before: u64_field(&v, "sync_before")?,
         sync_after: u64_field(&v, "sync_after")?,
         engine: {
             let name = str_field(&v, "engine")?;
-            EnginePref::parse(&name)
-                .ok_or_else(|| format!("plan JSON: unknown engine `{name}`"))?
+            EnginePref::parse(&name).ok_or_else(|| format!("plan JSON: unknown engine `{name}`"))?
         },
         threads: u32_field(&v, "threads")?.max(1),
         kernel_nests: int_vec::<u32>(&v, "kernel_nests")?
@@ -493,6 +525,15 @@ mod tests {
             }],
             fills: BTreeMap::from([(0, vec!["v".into()])]),
             checkpoint_syncs: BTreeMap::from([(0, StmtId(4))]),
+            checkpoint_sites: BTreeMap::from([(
+                0,
+                CutSite {
+                    list_kind: 1,
+                    list_stmt: 3,
+                    arm: 0,
+                    gap: 2,
+                },
+            )]),
             sync_before: 5,
             sync_after: 1,
             engine: EnginePref::Kernel,
@@ -518,6 +559,7 @@ mod tests {
             reduces: vec![],
             fills: BTreeMap::new(),
             checkpoint_syncs: BTreeMap::new(),
+            checkpoint_sites: BTreeMap::new(),
             sync_before: 0,
             sync_after: 0,
             engine: EnginePref::Tree,

@@ -334,6 +334,33 @@ pub fn transform(
         });
     }
 
+    // Record each checkpoint-safe sync's insertion gap in *source*
+    // coordinates (parser-minted owning-statement id + gap index), which
+    // are stable across partitions — elastic resume uses these to map a
+    // cut taken under a different partition onto this plan.
+    let checkpoint_sites = checkpoint_syncs
+        .keys()
+        .map(|&id| {
+            let pt = &plan.sync_points[id as usize];
+            let (list_kind, list_stmt, arm) = match pt.list {
+                ListKey::UnitBody => (0u8, 0u32, 0u32),
+                ListKey::DoBody(s) => (1, s.0, 0),
+                ListKey::ThenArm(s) => (2, s.0, 0),
+                ListKey::ElseIfArm(s, a) => (3, s.0, a),
+                ListKey::ElseArm(s) => (4, s.0, 0),
+            };
+            (
+                id,
+                crate::plan::CutSite {
+                    list_kind,
+                    list_stmt,
+                    arm,
+                    gap: pt.gap as u64,
+                },
+            )
+        })
+        .collect();
+
     let spmd = SpmdPlan {
         partition: part.clone(),
         dim_axis: ir
@@ -347,6 +374,7 @@ pub fn transform(
         reduces,
         fills,
         checkpoint_syncs,
+        checkpoint_sites,
         sync_before: plan.stats.before,
         sync_after: plan.stats.after,
         // Engine selection is a front-end concern: the driver overwrites

@@ -25,6 +25,9 @@
 //! engine the submitting client chose; [`RunConfig::engine`] overrides
 //! it per run.
 
+use std::path::PathBuf;
+
+use crate::elastic::repartition;
 use crate::exec::{run_program_capture_with, Hooks, NoHooks};
 use crate::kernel::{eligible_nests, KernelSet};
 use crate::machine::{Frame, Machine, RunError};
@@ -32,7 +35,7 @@ use crate::spmd::{run_rank_traced_impl, CheckpointOpts, RankResult, RankRun};
 use autocfd_codegen::{EnginePref, SpmdPlan};
 use autocfd_fortran::ast::StmtId;
 use autocfd_fortran::SourceFile;
-use autocfd_runtime::checkpoint::Snapshot;
+use autocfd_runtime::checkpoint::{latest_consistent_epoch, load_epoch, Snapshot};
 use autocfd_runtime::{run_spmd, Comm};
 
 /// An execution backend. Both implementations produce bit-identical
@@ -126,6 +129,8 @@ pub struct RunConfig<'a> {
     engine: Option<EnginePref>,
     threads: Option<u32>,
     ckpt: Option<CheckpointOpts>,
+    resume_dir: Option<PathBuf>,
+    resume_epoch: Option<u64>,
 }
 
 impl<'a> RunConfig<'a> {
@@ -141,6 +146,8 @@ impl<'a> RunConfig<'a> {
             engine: None,
             threads: None,
             ckpt: None,
+            resume_dir: None,
+            resume_epoch: None,
         }
     }
 
@@ -189,6 +196,57 @@ impl<'a> RunConfig<'a> {
     pub fn checkpoint(mut self, opts: CheckpointOpts) -> Self {
         self.ckpt = Some(opts);
         self
+    }
+
+    /// Resume the parallel executors from the checkpoint directory
+    /// `dir` instead of starting fresh. By default the newest epoch
+    /// every rank of the *recorded* mesh completed is used; pin one
+    /// with [`RunConfig::resume_epoch`]. The snapshots need not match
+    /// the attached plan's rank count — when they differ (or the
+    /// partition shape differs) the cut is elastically re-decomposed
+    /// through [`crate::elastic::repartition`], so an N-rank checkpoint
+    /// resumes bit-exactly on an M-rank plan.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_dir = Some(dir.into());
+        self
+    }
+
+    /// Pin the epoch a [`RunConfig::resume_from`] run loads, instead of
+    /// the newest consistent one. Required when several processes of
+    /// one mesh resume from a directory that is still being written to
+    /// (a launcher picks the epoch once; workers must not re-infer it).
+    pub fn resume_epoch(mut self, epoch: u64) -> Self {
+        self.resume_epoch = Some(epoch);
+        self
+    }
+
+    /// Load (and, when geometry differs, elastically repartition) the
+    /// snapshots this config resumes from: `Ok(None)` when the config
+    /// has no resume directory, otherwise one snapshot per rank of
+    /// `plan`. Deterministic, so every process of a mesh that calls it
+    /// independently reconstructs the identical state.
+    fn load_resume_snaps(&self, plan: &SpmdPlan) -> Result<Option<Vec<Snapshot>>, RunError> {
+        let Some(dir) = &self.resume_dir else {
+            return Ok(None);
+        };
+        let epoch = match self.resume_epoch {
+            Some(e) => e,
+            None => latest_consistent_epoch(dir).ok_or_else(|| {
+                RunError::new(format!(
+                    "resume: no consistent epoch under {}",
+                    dir.display()
+                ))
+            })?,
+        };
+        let snaps = load_epoch(dir, epoch).map_err(|e| RunError::new(format!("resume: {e}")))?;
+        let same_geometry = snaps.len() == plan.ranks() as usize
+            && (snaps[0].parts.is_empty() || snaps[0].parts == plan.partition.spec.parts);
+        if same_geometry {
+            return Ok(Some(snaps));
+        }
+        repartition(&snaps, plan, self.file)
+            .map(Some)
+            .map_err(|e| RunError::new(format!("resume: {e}")))
     }
 
     /// The engine this config resolves to (explicit > plan > tree).
@@ -255,8 +313,9 @@ impl<'a> RunConfig<'a> {
     }
 
     fn plan_or_err(&self) -> Result<&'a SpmdPlan, RunError> {
-        self.plan
-            .ok_or_else(|| RunError::new("RunConfig: parallel execution needs a plan (use .plan())"))
+        self.plan.ok_or_else(|| {
+            RunError::new("RunConfig: parallel execution needs a plan (use .plan())")
+        })
     }
 
     /// Execute one rank over an existing communicator; the rank identity
@@ -275,33 +334,28 @@ impl<'a> RunConfig<'a> {
     }
 
     /// Execute one rank, always returning trace and statistics — even
-    /// when the program fails mid-run.
+    /// when the program fails mid-run. When the config carries a
+    /// [`RunConfig::resume_from`] directory, the machine is rebuilt,
+    /// overwritten from this rank's (possibly repartitioned) snapshot,
+    /// and execution re-enters at the snapshot's cursor by re-executing
+    /// the cut sync.
     pub fn run_rank_traced(&self, comm: &Comm) -> RankRun {
-        self.run_rank_inner(comm, None)
-    }
-
-    /// Execute one rank resuming from a checkpoint snapshot: the machine
-    /// is rebuilt, overwritten from the snapshot, and execution re-enters
-    /// at the snapshot's cursor. Every rank of the mesh must resume from
-    /// the same epoch.
-    pub fn run_rank_resumed(&self, comm: &Comm, snap: &Snapshot) -> RankRun {
-        self.run_rank_inner(comm, Some(snap))
-    }
-
-    fn run_rank_inner(&self, comm: &Comm, resume: Option<&Snapshot>) -> RankRun {
+        let fail = |e: RunError| RankRun {
+            outcome: Err(e),
+            comm_stats: comm.stats().snapshot(),
+            wire_stats: comm.wire_stats(),
+            phases: comm.phase_names(),
+            trace: comm.take_trace(),
+            engine: "tree".to_string(),
+            epoch_unix_ns: autocfd_runtime::epoch_unix_ns(comm.epoch()),
+        };
         let plan = match self.plan_or_err() {
             Ok(p) => p,
-            Err(e) => {
-                return RankRun {
-                    outcome: Err(e),
-                    comm_stats: comm.stats().snapshot(),
-                    wire_stats: comm.wire_stats(),
-                    phases: comm.phase_names(),
-                    trace: comm.take_trace(),
-                    engine: "tree".to_string(),
-                    epoch_unix_ns: autocfd_runtime::epoch_unix_ns(comm.epoch()),
-                }
-            }
+            Err(e) => return fail(e),
+        };
+        let snaps = match self.load_resume_snaps(plan) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
         };
         let engine = self.build_engine();
         run_rank_traced_impl(
@@ -312,16 +366,18 @@ impl<'a> RunConfig<'a> {
             comm,
             self.overlap,
             self.ckpt.clone(),
-            resume,
+            snaps.as_ref().map(|s| &s[comm.rank()]),
             engine.kernels(),
         )
     }
 
     /// Run the plan's full mesh on `plan.ranks()` in-process rank
     /// threads. The engine is built once and shared by every rank (one
-    /// kernel compilation, one worker pool).
+    /// kernel compilation, one worker pool); likewise any resume
+    /// snapshots are loaded and repartitioned once.
     pub fn run_parallel(&self) -> Result<Vec<RankResult>, RunError> {
         let plan = self.plan_or_err()?;
+        let snaps = self.load_resume_snaps(plan)?;
         let engine = self.build_engine();
         let kernels = engine.kernels();
         let n = plan.ranks() as usize;
@@ -334,7 +390,7 @@ impl<'a> RunConfig<'a> {
                 &comm,
                 self.overlap,
                 self.ckpt.clone(),
-                None,
+                snaps.as_ref().map(|s| &s[comm.rank()]),
                 kernels,
             );
             let (machine, frame) = run.outcome?;
@@ -354,19 +410,24 @@ impl<'a> RunConfig<'a> {
     /// [`RankRun`] — traces and statistics survive individual rank
     /// failures.
     pub fn run_parallel_traced(&self) -> Vec<RankRun> {
+        let dead = |e: RunError| {
+            vec![RankRun {
+                outcome: Err(e),
+                comm_stats: (0, 0, 0, 0),
+                wire_stats: Default::default(),
+                phases: Vec::new(),
+                trace: Vec::new(),
+                engine: "tree".to_string(),
+                epoch_unix_ns: 0,
+            }]
+        };
         let plan = match self.plan_or_err() {
             Ok(p) => p,
-            Err(e) => {
-                return vec![RankRun {
-                    outcome: Err(e),
-                    comm_stats: (0, 0, 0, 0),
-                    wire_stats: Default::default(),
-                    phases: Vec::new(),
-                    trace: Vec::new(),
-                    engine: "tree".to_string(),
-                    epoch_unix_ns: 0,
-                }]
-            }
+            Err(e) => return dead(e),
+        };
+        let snaps = match self.load_resume_snaps(plan) {
+            Ok(s) => s,
+            Err(e) => return dead(e),
         };
         let engine = self.build_engine();
         let kernels = engine.kernels();
@@ -380,7 +441,7 @@ impl<'a> RunConfig<'a> {
                 &comm,
                 self.overlap,
                 self.ckpt.clone(),
-                None,
+                snaps.as_ref().map(|s| &s[comm.rank()]),
                 kernels,
             )
         })

@@ -169,20 +169,54 @@ struct DoLoop {
 #[derive(Debug, Clone, PartialEq)]
 enum CStmt {
     /// Integer slot ← integer expression.
-    AssignI { slot: usize, rhs: IExpr, line: u32 },
+    AssignI {
+        slot: usize,
+        rhs: IExpr,
+        line: u32,
+    },
     /// Integer slot ← real expression (`set_scalar` truncates).
-    AssignIFromR { slot: usize, rhs: RExpr, line: u32 },
+    AssignIFromR {
+        slot: usize,
+        rhs: RExpr,
+        line: u32,
+    },
     /// Real slot ← real expression (integer RHS pre-wrapped).
-    AssignR { slot: usize, rhs: RExpr, line: u32 },
+    AssignR {
+        slot: usize,
+        rhs: RExpr,
+        line: u32,
+    },
     /// Array element store.
-    Store { arr: usize, idx: Vec<IExpr>, rhs: RExpr, line: u32 },
+    Store {
+        arr: usize,
+        idx: Vec<IExpr>,
+        rhs: RExpr,
+        line: u32,
+    },
     /// `Store` with every subscript affine — fast path, same semantics.
-    StoreA { arr: usize, idx: Box<[Aff]>, rhs: RExpr, line: u32 },
-    If { cond: BExpr, then: Vec<CStmt>, elifs: Vec<(BExpr, Vec<CStmt>)>, els: Vec<CStmt>, line: u32 },
-    LogicalIf { cond: BExpr, stmt: Box<CStmt>, line: u32 },
+    StoreA {
+        arr: usize,
+        idx: Box<[Aff]>,
+        rhs: RExpr,
+        line: u32,
+    },
+    If {
+        cond: BExpr,
+        then: Vec<CStmt>,
+        elifs: Vec<(BExpr, Vec<CStmt>)>,
+        els: Vec<CStmt>,
+        line: u32,
+    },
+    LogicalIf {
+        cond: BExpr,
+        stmt: Box<CStmt>,
+        line: u32,
+    },
     Do(DoLoop),
     /// `continue`: ticks, does nothing.
-    Continue { line: u32 },
+    Continue {
+        line: u32,
+    },
 }
 
 /// One scalar register of a kernel.
@@ -239,12 +273,20 @@ impl KernelSet {
         } else {
             None
         };
-        KernelSet { kernels, pool, threads }
+        KernelSet {
+            kernels,
+            pool,
+            threads,
+        }
     }
 
     /// An empty set (pure tree-walk execution).
     pub fn empty() -> KernelSet {
-        KernelSet { kernels: HashMap::new(), pool: None, threads: 1 }
+        KernelSet {
+            kernels: HashMap::new(),
+            pool: None,
+            threads: 1,
+        }
     }
 
     /// The kernel compiled for a root `do` statement, if any.
@@ -327,7 +369,12 @@ fn walk_nests(unit: &Unit, stmts: &[Stmt], sink: &mut impl FnMut(&Stmt, Option<K
                 }
             }
             StmtKind::DoWhile { body, .. } => walk_nests(unit, body, sink),
-            StmtKind::If { then, else_ifs, els, .. } => {
+            StmtKind::If {
+                then,
+                else_ifs,
+                els,
+                ..
+            } => {
                 walk_nests(unit, then, sink);
                 for (_, b) in else_ifs {
                     walk_nests(unit, b, sink);
@@ -336,9 +383,7 @@ fn walk_nests(unit: &Unit, stmts: &[Stmt], sink: &mut impl FnMut(&Stmt, Option<K
                     walk_nests(unit, b, sink);
                 }
             }
-            StmtKind::LogicalIf { stmt, .. } => {
-                walk_nests(unit, std::slice::from_ref(stmt), sink)
-            }
+            StmtKind::LogicalIf { stmt, .. } => walk_nests(unit, std::slice::from_ref(stmt), sink),
             _ => {}
         }
     }
@@ -453,7 +498,10 @@ impl<'u> Compiler<'u> {
         }
         let is_int = self.scalar_is_int(name)?;
         let i = self.slots.len();
-        self.slots.push(SlotInfo { name: name.to_string(), is_int });
+        self.slots.push(SlotInfo {
+            name: name.to_string(),
+            is_int,
+        });
         self.slot_ix.insert(name.to_string(), i);
         Some(i)
     }
@@ -467,7 +515,11 @@ impl<'u> Compiler<'u> {
             Some(&i) => i,
             None => {
                 let i = self.arrays.len();
-                self.arrays.push(ArrInfo { name: name.to_string(), is_int, written: false });
+                self.arrays.push(ArrInfo {
+                    name: name.to_string(),
+                    is_int,
+                    written: false,
+                });
                 self.arr_ix.insert(name.to_string(), i);
                 i
             }
@@ -479,7 +531,15 @@ impl<'u> Compiler<'u> {
     }
 
     fn compile_do(&mut self, s: &Stmt) -> Option<DoLoop> {
-        let StmtKind::Do { var, from, to, step, body, .. } = &s.kind else {
+        let StmtKind::Do {
+            var,
+            from,
+            to,
+            step,
+            body,
+            ..
+        } = &s.kind
+        else {
             return None;
         };
         let vslot = self.slot(var)?;
@@ -495,7 +555,14 @@ impl<'u> Compiler<'u> {
             None => None,
         };
         let body = self.stmts(body)?;
-        Some(DoLoop { var: vslot, from, to, step, body, line: s.line })
+        Some(DoLoop {
+            var: vslot,
+            from,
+            to,
+            step,
+            body,
+            line: s.line,
+        })
     }
 
     fn stmts(&mut self, list: &[Stmt]) -> Option<Vec<CStmt>> {
@@ -510,7 +577,12 @@ impl<'u> Compiler<'u> {
         match &s.kind {
             StmtKind::Assign { target, value } => self.assign(target, value, s.line),
             StmtKind::Do { .. } => Some(CStmt::Do(self.compile_do(s)?)),
-            StmtKind::If { cond, then, else_ifs, els } => {
+            StmtKind::If {
+                cond,
+                then,
+                else_ifs,
+                els,
+            } => {
                 let cond = self.expr(cond)?.boolean()?;
                 let then = self.stmts(then)?;
                 let mut elifs = Vec::with_capacity(else_ifs.len());
@@ -521,12 +593,22 @@ impl<'u> Compiler<'u> {
                     Some(b) => self.stmts(b)?,
                     None => Vec::new(),
                 };
-                Some(CStmt::If { cond, then, elifs, els, line: s.line })
+                Some(CStmt::If {
+                    cond,
+                    then,
+                    elifs,
+                    els,
+                    line: s.line,
+                })
             }
             StmtKind::LogicalIf { cond, stmt } => {
                 let cond = self.expr(cond)?.boolean()?;
                 let inner = self.stmt(stmt)?;
-                Some(CStmt::LogicalIf { cond, stmt: Box::new(inner), line: s.line })
+                Some(CStmt::LogicalIf {
+                    cond,
+                    stmt: Box::new(inner),
+                    line: s.line,
+                })
             }
             StmtKind::Continue => Some(CStmt::Continue { line: s.line }),
             // Calls (communication!), goto/return/stop (escaping
@@ -548,7 +630,11 @@ impl<'u> Compiler<'u> {
                     CE::B(_) => return None,
                 }
             } else {
-                CStmt::AssignR { slot, rhs: rhs.real()?, line }
+                CStmt::AssignR {
+                    slot,
+                    rhs: rhs.real()?,
+                    line,
+                }
             });
         }
         let arr = self.array(&lv.name, true)?;
@@ -559,7 +645,12 @@ impl<'u> Compiler<'u> {
             .collect();
         let idx = idx?;
         self.stores.push((arr, idx.clone()));
-        Some(CStmt::Store { arr, idx, rhs: rhs.real()?, line })
+        Some(CStmt::Store {
+            arr,
+            idx,
+            rhs: rhs.real()?,
+            line,
+        })
     }
 
     fn expr(&mut self, e: &Expr) -> Option<CE> {
@@ -675,8 +766,8 @@ impl<'u> Compiler<'u> {
                     return None;
                 }
                 let is_max = name == "max" || name == "amax1";
-                let all_int = (name == "max" || name == "min")
-                    && args.iter().all(|a| matches!(a, CE::I(_)));
+                let all_int =
+                    (name == "max" || name == "min") && args.iter().all(|a| matches!(a, CE::I(_)));
                 let reals: Option<Vec<RExpr>> = args.into_iter().map(CE::real).collect();
                 let reals = reals?;
                 Some(if all_int {
@@ -707,13 +798,8 @@ impl<'u> Compiler<'u> {
                 let b = args.pop().unwrap();
                 let a = args.pop().unwrap();
                 match (a, b) {
-                    (CE::I(a), CE::I(b)) => {
-                        Some(CE::I(IExpr::Mod(Box::new(a), Box::new(b))))
-                    }
-                    (a, b) => Some(CE::R(RExpr::Mod(
-                        Box::new(a.real()?),
-                        Box::new(b.real()?),
-                    ))),
+                    (CE::I(a), CE::I(b)) => Some(CE::I(IExpr::Mod(Box::new(a), Box::new(b)))),
+                    (a, b) => Some(CE::R(RExpr::Mod(Box::new(a.real()?), Box::new(b.real()?)))),
                 }
             }
             "sign" => {
@@ -831,19 +917,27 @@ impl<'u> Compiler<'u> {
 /// unobservable.
 fn as_aff(e: &IExpr) -> Option<Aff> {
     match e {
-        IExpr::Const(c) => Some(Aff { slot: None, add: *c }),
-        IExpr::Slot(s) => Some(Aff { slot: Some(*s as u32), add: 0 }),
+        IExpr::Const(c) => Some(Aff {
+            slot: None,
+            add: *c,
+        }),
+        IExpr::Slot(s) => Some(Aff {
+            slot: Some(*s as u32),
+            add: 0,
+        }),
         IExpr::Add(a, b) => match (&**a, &**b) {
-            (IExpr::Slot(s), IExpr::Const(c)) | (IExpr::Const(c), IExpr::Slot(s)) => {
-                Some(Aff { slot: Some(*s as u32), add: *c })
-            }
+            (IExpr::Slot(s), IExpr::Const(c)) | (IExpr::Const(c), IExpr::Slot(s)) => Some(Aff {
+                slot: Some(*s as u32),
+                add: *c,
+            }),
             _ => None,
         },
         IExpr::Sub(a, b) => match (&**a, &**b) {
             // `i - c` wraps like `i + (-c)` except at `c == i64::MIN`.
-            (IExpr::Slot(s), IExpr::Const(c)) => {
-                Some(Aff { slot: Some(*s as u32), add: c.checked_neg()? })
-            }
+            (IExpr::Slot(s), IExpr::Const(c)) => Some(Aff {
+                slot: Some(*s as u32),
+                add: c.checked_neg()?,
+            }),
             _ => None,
         },
         _ => None,
@@ -869,18 +963,34 @@ fn opt_stmt(s: &mut CStmt) {
     match s {
         CStmt::AssignI { rhs, .. } => opt_i(rhs),
         CStmt::AssignIFromR { rhs, .. } | CStmt::AssignR { rhs, .. } => opt_r(rhs),
-        CStmt::Store { arr, idx, rhs, line } => {
+        CStmt::Store {
+            arr,
+            idx,
+            rhs,
+            line,
+        } => {
             opt_r(rhs);
             for e in idx.iter_mut() {
                 opt_i(e);
             }
             if let Some(aff) = aff_idx(idx) {
                 let (arr, rhs, line) = (*arr, std::mem::replace(rhs, RExpr::Const(0.0)), *line);
-                *s = CStmt::StoreA { arr, idx: aff, rhs, line };
+                *s = CStmt::StoreA {
+                    arr,
+                    idx: aff,
+                    rhs,
+                    line,
+                };
             }
         }
         CStmt::StoreA { idx: _, rhs, .. } => opt_r(rhs),
-        CStmt::If { cond, then, elifs, els, .. } => {
+        CStmt::If {
+            cond,
+            then,
+            elifs,
+            els,
+            ..
+        } => {
             opt_b(cond);
             for st in then.iter_mut().chain(els.iter_mut()) {
                 opt_stmt(st);
@@ -1043,9 +1153,7 @@ fn mentions_any_slot_i(e: &IExpr, slots: &HashSet<usize>) -> bool {
         | IExpr::Mul(a, b)
         | IExpr::Div(a, b)
         | IExpr::Pow(a, b)
-        | IExpr::Mod(a, b) => {
-            mentions_any_slot_i(a, slots) || mentions_any_slot_i(b, slots)
-        }
+        | IExpr::Mod(a, b) => mentions_any_slot_i(a, slots) || mentions_any_slot_i(b, slots),
         IExpr::Neg(a) | IExpr::Abs(a) => mentions_any_slot_i(a, slots),
         IExpr::MaxMin(_, args) => args.iter().any(|a| mentions_any_slot_r(a, slots)),
     }
@@ -1153,7 +1261,12 @@ impl Kernel {
                 })
             }
         };
-        Some(Ready { ints, reals, arr_ids, clamp })
+        Some(Ready {
+            ints,
+            reals,
+            arr_ids,
+            clamp,
+        })
     }
 
     /// Execute the nest. `root_ticked` is true when the interpreter's
@@ -1169,7 +1282,12 @@ impl Kernel {
         frame: &mut Frame,
         root_ticked: bool,
     ) -> Result<(), RunError> {
-        let Ready { ints, reals, arr_ids, clamp } = ready;
+        let Ready {
+            ints,
+            reals,
+            arr_ids,
+            clamp,
+        } = ready;
         let arrs: Vec<ArrRt> = arr_ids
             .iter()
             .map(|id| {
@@ -1182,7 +1300,6 @@ impl Kernel {
             })
             .collect();
         let mut ctx = Vm {
-
             ints,
             reals,
             arrs: &arrs,
@@ -1237,9 +1354,7 @@ impl Kernel {
         let (f, t, step) = match &root_clamp {
             Some(c) => {
                 if step != 1 {
-                    return Err(
-                        RunError::new("overlapped loop must have unit step").at(d.line)
-                    );
+                    return Err(RunError::new("overlapped loop must have unit step").at(d.line));
                 }
                 // Below the clamped loop the body runs unmodified.
                 ctx.clamp = None;
@@ -1297,7 +1412,6 @@ impl Kernel {
             let lo = trips as usize * k / nchunks;
             let hi = trips as usize * (k + 1) / nchunks;
             let mut vm = Vm {
-
                 ints: ints0.clone(),
                 reals: reals0.clone(),
                 arrs: share.0,
@@ -1730,7 +1844,12 @@ impl Vm<'_> {
                 self.reals[*slot] = v;
                 Ok(())
             }
-            CStmt::Store { arr, idx, rhs, line } => {
+            CStmt::Store {
+                arr,
+                idx,
+                rhs,
+                line,
+            } => {
                 self.tick(*line)?;
                 // RHS first, then subscripts, then the store counter,
                 // then the bounds check — `assign`'s exact order.
@@ -1762,7 +1881,12 @@ impl Vm<'_> {
                 })();
                 res.map_err(|e| e.at(*line))
             }
-            CStmt::StoreA { arr, idx, rhs, line } => {
+            CStmt::StoreA {
+                arr,
+                idx,
+                rhs,
+                line,
+            } => {
                 self.tick(*line)?;
                 // Same order as `Store`: RHS, then (op-free, error-free)
                 // subscripts, then the store counter, then the bounds
@@ -1777,7 +1901,13 @@ impl Vm<'_> {
                 unsafe { *a.ptr.add(off) = stored };
                 Ok(())
             }
-            CStmt::If { cond, then, elifs, els, line } => {
+            CStmt::If {
+                cond,
+                then,
+                elifs,
+                els,
+                line,
+            } => {
                 self.tick(*line)?;
                 if self.eval_b(cond)? {
                     return self.exec_all(then);
@@ -1824,9 +1954,7 @@ impl Vm<'_> {
         let (f, t, step) = match &clamped {
             Some(c) => {
                 if step != 1 {
-                    return Err(
-                        RunError::new("overlapped loop must have unit step").at(d.line)
-                    );
+                    return Err(RunError::new("overlapped loop must have unit step").at(d.line));
                 }
                 let (cf, ct) = kclamp_range(f, t, c);
                 (cf, ct, 1)
@@ -1937,19 +2065,27 @@ mod tests {
 
     #[test]
     fn affine_recognition_matches_wrapping_semantics() {
-        let slot_minus = |c: i64| {
-            IExpr::Sub(Box::new(IExpr::Slot(0)), Box::new(IExpr::Const(c)))
-        };
-        assert_eq!(as_aff(&slot_minus(3)), Some(Aff { slot: Some(0), add: -3 }));
+        let slot_minus = |c: i64| IExpr::Sub(Box::new(IExpr::Slot(0)), Box::new(IExpr::Const(c)));
+        assert_eq!(
+            as_aff(&slot_minus(3)),
+            Some(Aff {
+                slot: Some(0),
+                add: -3
+            })
+        );
         // `i - i64::MIN` has no wrapping-equivalent `i + c`: must stay
         // on the generic evaluator rather than silently mis-fold
         assert_eq!(as_aff(&slot_minus(i64::MIN)), None);
-        let c_plus_slot =
-            IExpr::Add(Box::new(IExpr::Const(7)), Box::new(IExpr::Slot(2)));
-        assert_eq!(as_aff(&c_plus_slot), Some(Aff { slot: Some(2), add: 7 }));
+        let c_plus_slot = IExpr::Add(Box::new(IExpr::Const(7)), Box::new(IExpr::Slot(2)));
+        assert_eq!(
+            as_aff(&c_plus_slot),
+            Some(Aff {
+                slot: Some(2),
+                add: 7
+            })
+        );
         // non-affine shapes are left alone
-        let scaled =
-            IExpr::Mul(Box::new(IExpr::Slot(0)), Box::new(IExpr::Const(2)));
+        let scaled = IExpr::Mul(Box::new(IExpr::Slot(0)), Box::new(IExpr::Const(2)));
         assert_eq!(as_aff(&scaled), None);
     }
 
@@ -1980,7 +2116,10 @@ mod tests {
       end
 ",
         );
-        assert!(ids.is_empty(), "goto inside nest must stay on the tree walk");
+        assert!(
+            ids.is_empty(),
+            "goto inside nest must stay on the tree walk"
+        );
     }
 
     #[test]
@@ -2048,11 +2187,29 @@ mod tests {
     fn aliased_names_rejected_at_runtime() {
         // Two names bound to the same ArrayId defeat the static proof;
         // the invocation-time check catches it.
-        let a = ArrInfo { name: "a".into(), is_int: false, written: true };
-        let b = ArrInfo { name: "b".into(), is_int: false, written: false };
-        assert!(rw_disjoint(&[a.clone(), b.clone()], &[ArrayId(0), ArrayId(1)]));
-        assert!(!rw_disjoint(&[a.clone(), b.clone()], &[ArrayId(0), ArrayId(0)]));
-        let w2 = ArrInfo { name: "c".into(), is_int: false, written: true };
+        let a = ArrInfo {
+            name: "a".into(),
+            is_int: false,
+            written: true,
+        };
+        let b = ArrInfo {
+            name: "b".into(),
+            is_int: false,
+            written: false,
+        };
+        assert!(rw_disjoint(
+            &[a.clone(), b.clone()],
+            &[ArrayId(0), ArrayId(1)]
+        ));
+        assert!(!rw_disjoint(
+            &[a.clone(), b.clone()],
+            &[ArrayId(0), ArrayId(0)]
+        ));
+        let w2 = ArrInfo {
+            name: "c".into(),
+            is_int: false,
+            written: true,
+        };
         assert!(!rw_disjoint(&[a, w2], &[ArrayId(3), ArrayId(3)]));
     }
 
@@ -2108,9 +2265,8 @@ mod tests {
         let set = KernelSet::build(&file, None, threads);
         assert!(!set.is_empty(), "at least one nest must compile");
         let mut h2 = crate::exec::NoHooks;
-        let (mk, fk) =
-            crate::exec::run_program_capture_with(&file, vec![], &mut h2, 0, Some(&set))
-                .expect("kernel runs");
+        let (mk, fk) = crate::exec::run_program_capture_with(&file, vec![], &mut h2, 0, Some(&set))
+            .expect("kernel runs");
         assert_eq!(mt.ops, mk.ops, "op counters must match bit-for-bit");
         assert_eq!(mt.arrays.len(), mk.arrays.len());
         for (a, b) in mt.arrays.iter().zip(&mk.arrays) {
@@ -2223,7 +2379,11 @@ mod tests {
         let mut h2 = crate::exec::NoHooks;
         let ke = crate::exec::run_program_capture_with(&file, vec![], &mut h2, 0, Some(&set))
             .expect_err("kernel must report out-of-bounds");
-        assert_eq!(format!("{te}"), format!("{ke}"), "error text and line must match");
+        assert_eq!(
+            format!("{te}"),
+            format!("{ke}"),
+            "error text and line must match"
+        );
     }
 
     #[test]

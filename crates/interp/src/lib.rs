@@ -26,6 +26,7 @@
 //! their names across units (no dummy-argument renaming of status
 //! arrays); array dummy arguments assume the caller's shape.
 
+pub mod elastic;
 pub mod engine;
 pub mod eval;
 pub mod exec;
@@ -36,6 +37,7 @@ pub mod machine;
 pub mod spmd;
 pub mod value;
 
+pub use elastic::repartition;
 pub use engine::{kernel_nests, Engine, KernelEngine, RunConfig, TreeEngine};
 pub use exec::{Hooks, LoopSplit, NoHooks};
 pub use forecast::{forecast, PhaseForecast, RankTraffic};
@@ -48,16 +50,11 @@ pub use spmd::{
 pub use value::ArrayVal;
 pub use value::Value;
 
-// Legacy positional entry points, kept as thin shims for downstream
-// code that predates [`engine::RunConfig`]. New code should build a
-// `RunConfig` instead — it is the one surface that carries engine
-// selection.
+// Tree-walking executor internals, exposed for the test suite and the
+// codegen round-trip checks. Application code should build a
+// [`engine::RunConfig`] instead — it is the one surface that carries
+// engine selection and resume.
 #[doc(hidden)]
 pub use exec::{
     run_program, run_program_capture, run_program_capture_from, run_program_with_hooks,
-};
-#[doc(hidden)]
-pub use spmd::{
-    run_parallel, run_parallel_opts, run_parallel_traced, run_parallel_traced_opts, run_rank,
-    run_rank_opts, run_rank_traced, run_rank_traced_full, run_rank_traced_opts,
 };

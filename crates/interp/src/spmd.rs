@@ -30,9 +30,7 @@
 //! so its interior runs while the messages travel, completes the
 //! receives, and finishes with the two boundary strips.
 
-use crate::exec::{
-    run_program_capture_from_with, run_program_capture_with, Hooks, LoopSplit,
-};
+use crate::exec::{run_program_capture_from_with, run_program_capture_with, Hooks, LoopSplit};
 use crate::kernel::KernelSet;
 use crate::machine::{ArrayId, Frame, Machine, RunError};
 use crate::value::{ArrayVal, Value};
@@ -43,9 +41,7 @@ use autocfd_grid::Partition;
 use autocfd_runtime::checkpoint::{
     write_snapshot, ArraySnap, Cursor, DoProgress, OpsSnap, ScalarSnap, Snapshot,
 };
-use autocfd_runtime::{
-    run_spmd, Comm, EventKind, Recorder, RecvRequest, ReduceOp, TraceEvent, WireStats,
-};
+use autocfd_runtime::{Comm, EventKind, Recorder, RecvRequest, ReduceOp, TraceEvent, WireStats};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -64,7 +60,8 @@ struct PendingOverlap {
     recvs: Vec<PendingRecv>,
 }
 
-/// Checkpoint behavior for one rank (see [`run_rank_traced_full`]).
+/// Checkpoint behavior for one rank (see
+/// [`crate::engine::RunConfig::checkpoint`]).
 #[derive(Debug, Clone)]
 pub struct CheckpointOpts {
     /// Write a snapshot every `every`-th visit of a checkpoint-safe sync
@@ -472,12 +469,21 @@ impl SpmdHooks<'_> {
         Ok(Snapshot {
             rank: self.comm.rank(),
             ranks: self.comm.size(),
+            parts: self.plan.partition.spec.parts.clone(),
             epoch,
             sync_id,
             cursor: Cursor {
                 stmt: at.0,
                 dos: cursor.to_vec(),
             },
+            cut: self.plan.checkpoint_sites.get(&sync_id).map(|s| {
+                autocfd_runtime::checkpoint::CutSite {
+                    list_kind: s.list_kind,
+                    list_stmt: s.list_stmt,
+                    arm: s.arm,
+                    gap: s.gap,
+                }
+            }),
             arrays,
             commons,
             scalars,
@@ -1009,34 +1015,6 @@ pub struct RankRun {
     pub epoch_unix_ns: i128,
 }
 
-/// Execute one rank of the transformed `file` under `plan` over an
-/// existing communicator, always returning trace and statistics — even
-/// when the program fails mid-run (the partial trace covers everything
-/// up to the failure). The rank identity comes from `comm.rank()`.
-pub fn run_rank_traced(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    comm: &Comm,
-) -> RankRun {
-    run_rank_traced_opts(file, plan, input, stmt_limit, comm, false)
-}
-
-/// [`run_rank_traced`] with compute/communication overlap control:
-/// `overlap` makes eligible sync points leave their last-axis exchange
-/// in flight behind the following nest's interior.
-pub fn run_rank_traced_opts(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    comm: &Comm,
-    overlap: bool,
-) -> RankRun {
-    run_rank_traced_full(file, plan, input, stmt_limit, comm, overlap, None, None)
-}
-
 /// Overwrite a freshly built main-program machine/frame with a
 /// snapshot's state: common-block arrays, main-frame local arrays,
 /// scalars, the I/O queues, and the op counters. Every array the
@@ -1088,8 +1066,10 @@ pub fn restore_into(m: &mut Machine, frame: &mut Frame, snap: &Snapshot) -> Resu
     Ok(())
 }
 
-/// The full-featured rank runner: [`run_rank_traced_opts`] plus
-/// checkpointing (`ckpt`) and restart (`resume`).
+/// The full-featured rank runner: trace + statistics plus checkpointing
+/// (`ckpt`), restart (`resume`), and an optional compiled-kernel set
+/// (when `kernels` is `Some`, eligible comm-free loop nests execute
+/// through the kernel engine, bit-exact with the tree walk).
 ///
 /// With `resume` set, the program does not start from the top: the
 /// machine is rebuilt, overwritten from the snapshot, and execution
@@ -1098,28 +1078,10 @@ pub fn restore_into(m: &mut Machine, frame: &mut Frame, snap: &Snapshot) -> Resu
 /// sync regenerates its exchange over the fresh connections, after
 /// which the run is statement-for-statement identical to one that was
 /// never interrupted (every rank must resume from the *same* epoch).
-#[allow(clippy::too_many_arguments)]
-pub fn run_rank_traced_full(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    comm: &Comm,
-    overlap: bool,
-    ckpt: Option<CheckpointOpts>,
-    resume: Option<&Snapshot>,
-) -> RankRun {
-    run_rank_traced_impl(
-        file, plan, input, stmt_limit, comm, overlap, ckpt, resume, None,
-    )
-}
-
-/// [`run_rank_traced_full`] plus an optional compiled-kernel set: when
-/// `kernels` is `Some`, eligible comm-free loop nests execute through the
-/// kernel engine (bit-exact with the tree walk) instead of statement
-/// dispatch. The [`crate::engine::RunConfig`] executors are the public
-/// way in; this stays crate-internal so the engine selection has exactly
-/// one surface.
+///
+/// The [`crate::engine::RunConfig`] executors are the public way in;
+/// this stays crate-internal so engine selection and resume have
+/// exactly one surface.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_rank_traced_impl(
     file: &SourceFile,
@@ -1138,7 +1100,12 @@ pub(crate) fn run_rank_traced_impl(
         None => run_program_capture_with(file, input, &mut hooks, stmt_limit, kernels),
         Some(snap) => {
             hooks.visits = snap.epoch;
-            hooks.resume_skip = true;
+            // After an elastic repartition the cursor may have been
+            // translated to a *statement* (not a checkpoint sync call) of
+            // the new plan; the first sync visit is then a genuinely new
+            // visit, not the re-executed snapshot sync.
+            hooks.resume_skip =
+                plan.checkpoint_syncs.get(&snap.sync_id) == Some(&StmtId(snap.cursor.stmt));
             // the cursor only makes sense with tracking on; a resumed run
             // that doesn't checkpoint further still needs the machinery
             if hooks.ckpt.is_none() {
@@ -1179,93 +1146,6 @@ pub(crate) fn run_rank_traced_impl(
         engine: if kernels.is_some() { "kernel" } else { "tree" }.to_string(),
         epoch_unix_ns: autocfd_runtime::epoch_unix_ns(comm.epoch()),
     }
-}
-
-/// Execute one rank of the transformed `file` under `plan` over an
-/// existing communicator — any transport (in-process thread mesh or a
-/// TCP process mesh). The rank identity comes from `comm.rank()`.
-pub fn run_rank(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    comm: &Comm,
-) -> Result<RankResult, RunError> {
-    run_rank_opts(file, plan, input, stmt_limit, comm, false)
-}
-
-/// [`run_rank`] with compute/communication overlap control.
-pub fn run_rank_opts(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    comm: &Comm,
-    overlap: bool,
-) -> Result<RankResult, RunError> {
-    let run = run_rank_traced_opts(file, plan, input, stmt_limit, comm, overlap);
-    let (machine, frame) = run.outcome?;
-    Ok(RankResult {
-        machine,
-        frame,
-        comm_stats: run.comm_stats,
-        wire_stats: run.wire_stats,
-        phases: run.phases,
-        trace: run.trace,
-    })
-}
-
-/// Run the transformed `file` under `plan` on `plan.ranks()` threads.
-/// Every rank receives its own copy of `input`. Returns per-rank results
-/// in rank order.
-pub fn run_parallel(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-) -> Result<Vec<RankResult>, RunError> {
-    run_parallel_opts(file, plan, input, stmt_limit, false)
-}
-
-/// [`run_parallel`] with compute/communication overlap control.
-pub fn run_parallel_opts(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    overlap: bool,
-) -> Result<Vec<RankResult>, RunError> {
-    let n = plan.ranks() as usize;
-    let results = run_spmd(n, |comm| {
-        run_rank_opts(file, plan, input.clone(), stmt_limit, &comm, overlap)
-    });
-    results.into_iter().collect()
-}
-
-/// Like [`run_parallel`], but every rank returns a [`RankRun`] — traces
-/// and statistics survive individual rank failures, so the profiler can
-/// render a partial timeline after a communication error.
-pub fn run_parallel_traced(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-) -> Vec<RankRun> {
-    run_parallel_traced_opts(file, plan, input, stmt_limit, false)
-}
-
-/// [`run_parallel_traced`] with compute/communication overlap control.
-pub fn run_parallel_traced_opts(
-    file: &SourceFile,
-    plan: &SpmdPlan,
-    input: Vec<f64>,
-    stmt_limit: u64,
-    overlap: bool,
-) -> Vec<RankRun> {
-    let n = plan.ranks() as usize;
-    run_spmd(n, |comm| {
-        run_rank_traced_opts(file, plan, input.clone(), stmt_limit, &comm, overlap)
-    })
 }
 
 /// Verify that a *single* rank's owned region of every status array

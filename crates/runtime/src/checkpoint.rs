@@ -38,8 +38,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Version of the snapshot/manifest schema. Bump on any incompatible
-/// change; loaders reject mismatches instead of guessing.
-pub const CHECKPOINT_SCHEMA_VERSION: i64 = 1;
+/// change; loaders reject versions they do not know instead of
+/// guessing. Version 2 added partition geometry: each snapshot records
+/// the `parts` its owned regions were cut for, and the manifest records
+/// the global grid extents — together they make a checkpoint directory
+/// self-describing enough to re-decompose onto a different rank count.
+/// Version 1 files read back with both left empty (geometry unknown:
+/// same-rank-count resume still works, elastic resume refuses).
+pub const CHECKPOINT_SCHEMA_VERSION: i64 = 2;
 
 /// Progress of one active `do` loop on the path from the top of the
 /// main unit to the checkpoint statement, outermost first.
@@ -66,6 +72,27 @@ pub struct Cursor {
     pub stmt: u32,
     /// Enclosing `do` loops, outermost first.
     pub dos: Vec<DoProgress>,
+}
+
+/// Plan-independent source coordinates of the gap the snapshot was cut
+/// at: which statement list of the main unit, and the index of the
+/// source-statement gap within it. Statement ids are minted by the
+/// parser, *before* any partition-specific rewriting, so two compiles
+/// of the same source agree on these coordinates even when their
+/// inserted sync sets (and hence the cursor's statement ids) differ —
+/// this is what lets an elastic resume map a cut taken under one
+/// partition onto another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CutSite {
+    /// List discriminant: 0 = unit body, 1 = `do` body, 2 = `then` arm,
+    /// 3 = `else if` arm, 4 = `else` arm.
+    pub list_kind: u8,
+    /// Source id of the statement owning the list (0 for the unit body).
+    pub list_stmt: u32,
+    /// `else if` arm ordinal (0 otherwise).
+    pub arm: u32,
+    /// Source-statement gap index within the list.
+    pub gap: u64,
 }
 
 /// One array's saved contents.
@@ -115,6 +142,9 @@ pub struct Snapshot {
     pub rank: usize,
     /// Mesh size the run was partitioned for.
     pub ranks: usize,
+    /// Partition parts per grid axis the owned regions were cut for
+    /// (empty when loaded from a pre-geometry snapshot).
+    pub parts: Vec<u32>,
     /// Checkpoint epoch: the count of checkpoint-safe sync visits made
     /// when this snapshot was cut. All ranks of one epoch agree.
     pub epoch: u64,
@@ -122,6 +152,9 @@ pub struct Snapshot {
     pub sync_id: u32,
     /// Resume position in the main unit.
     pub cursor: Cursor,
+    /// Source coordinates of the cut gap (`None` on pre-geometry
+    /// snapshots, which elastic resume refuses).
+    pub cut: Option<CutSite>,
     /// Main-frame local arrays (excluding common-block members).
     pub arrays: Vec<ArraySnap>,
     /// Common-block members as `(block, member, contents)`.
@@ -146,6 +179,11 @@ pub struct RunManifest {
     pub source: String,
     /// Partition parts per grid axis.
     pub parts: Vec<u32>,
+    /// Global grid extents per axis (the `!$acf grid(...)` directive),
+    /// so a resume can re-partition for a different rank count without
+    /// recompiling first. Empty when the manifest predates geometry
+    /// recording.
+    pub grid: Vec<u64>,
     /// Mesh size.
     pub ranks: usize,
     /// Dependence-test distance limit the compile used.
@@ -237,13 +275,30 @@ pub fn snapshot_to_json(s: &Snapshot) -> String {
             ),
         ),
     ]);
-    Value::obj(vec![
+    let mut fields = vec![
         ("version", Value::Int(i128::from(CHECKPOINT_SCHEMA_VERSION))),
         ("rank", Value::Int(s.rank as i128)),
         ("ranks", Value::Int(s.ranks as i128)),
+        (
+            "parts",
+            Value::Arr(s.parts.iter().map(|&p| Value::Int(i128::from(p))).collect()),
+        ),
         ("epoch", Value::Int(i128::from(s.epoch))),
         ("sync_id", Value::Int(i128::from(s.sync_id))),
         ("cursor", cursor),
+    ];
+    if let Some(c) = &s.cut {
+        fields.push((
+            "cut",
+            Value::obj(vec![
+                ("kind", Value::Int(i128::from(c.list_kind))),
+                ("stmt", Value::Int(i128::from(c.list_stmt))),
+                ("arm", Value::Int(i128::from(c.arm))),
+                ("gap", Value::Int(i128::from(c.gap))),
+            ]),
+        ));
+    }
+    fields.extend(vec![
         (
             "arrays",
             Value::Arr(s.arrays.iter().map(array_snap_json).collect()),
@@ -291,8 +346,35 @@ pub fn snapshot_to_json(s: &Snapshot) -> String {
                 ("stmts", Value::Int(i128::from(s.ops.stmts))),
             ]),
         ),
-    ])
-    .to_string()
+    ]);
+    Value::obj(fields).to_string()
+}
+
+/// Accept any schema version this build knows how to read (1 through
+/// the current); `what` names the file kind in the error.
+fn check_version(v: &Value, what: &str) -> Result<(), String> {
+    let version = int_field(v, "version").map_err(|e| e.replace("snapshot", what))?;
+    if !(1..=i128::from(CHECKPOINT_SCHEMA_VERSION)).contains(&version) {
+        return Err(format!(
+            "{what}: schema version {version} (this build reads 1..={CHECKPOINT_SCHEMA_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
+/// Parse an optional `u32` array field; absent (schema 1) reads back
+/// empty.
+fn parts_field(v: &Value, key: &str, what: &str) -> Result<Vec<u32>, String> {
+    let Some(raw) = v.get(key).and_then(Value::as_arr) else {
+        return Ok(Vec::new());
+    };
+    raw.iter()
+        .map(|p| {
+            p.as_int()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| format!("{what}: bad `{key}` entry"))
+        })
+        .collect()
 }
 
 fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
@@ -377,12 +459,7 @@ fn parse_scalar(v: &Value) -> Result<ScalarSnap, String> {
 /// Parse a snapshot back from its JSON rendering.
 pub fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
     let v = json::parse(text).map_err(|e| format!("snapshot: {e}"))?;
-    let version = int_field(&v, "version")?;
-    if version != i128::from(CHECKPOINT_SCHEMA_VERSION) {
-        return Err(format!(
-            "snapshot: schema version {version} (this build reads {CHECKPOINT_SCHEMA_VERSION})"
-        ));
-    }
+    check_version(&v, "snapshot")?;
     let cv = get(&v, "cursor")?;
     let cursor = Cursor {
         stmt: num(cv, "stmt")?,
@@ -430,12 +507,24 @@ pub fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
         })
         .collect::<Result<Vec<_>, _>>()?;
     let ov = get(&v, "ops")?;
+    // absent on schema-1 snapshots: geometry unknown, elastic refuses
+    let cut = match v.get("cut") {
+        None => None,
+        Some(cv) => Some(CutSite {
+            list_kind: num(cv, "kind")?,
+            list_stmt: num(cv, "stmt")?,
+            arm: num(cv, "arm")?,
+            gap: num(cv, "gap")?,
+        }),
+    };
     Ok(Snapshot {
         rank: num(&v, "rank")?,
         ranks: num(&v, "ranks")?,
+        parts: parts_field(&v, "parts", "snapshot")?,
         epoch: num(&v, "epoch")?,
         sync_id: num(&v, "sync_id")?,
         cursor,
+        cut,
         arrays,
         commons,
         scalars,
@@ -459,6 +548,10 @@ pub fn manifest_to_json(m: &RunManifest) -> String {
             "parts",
             Value::Arr(m.parts.iter().map(|&p| Value::Int(i128::from(p))).collect()),
         ),
+        (
+            "grid",
+            Value::Arr(m.grid.iter().map(|&e| Value::Int(i128::from(e))).collect()),
+        ),
         ("ranks", Value::Int(m.ranks as i128)),
         ("distance", Value::Int(i128::from(m.distance))),
         ("optimize", Value::Bool(m.optimize)),
@@ -477,12 +570,7 @@ pub fn manifest_to_json(m: &RunManifest) -> String {
 /// Parse a run manifest back from its JSON rendering.
 pub fn manifest_from_json(text: &str) -> Result<RunManifest, String> {
     let v = json::parse(text).map_err(|e| format!("run manifest: {e}"))?;
-    let version = int_field(&v, "version")?;
-    if version != i128::from(CHECKPOINT_SCHEMA_VERSION) {
-        return Err(format!(
-            "run manifest: schema version {version} (this build reads {CHECKPOINT_SCHEMA_VERSION})"
-        ));
-    }
+    check_version(&v, "run manifest")?;
     let parts = arr(&v, "parts")?
         .iter()
         .map(|p| {
@@ -491,9 +579,24 @@ pub fn manifest_from_json(text: &str) -> Result<RunManifest, String> {
                 .ok_or_else(|| "run manifest: bad part".to_string())
         })
         .collect::<Result<Vec<_>, _>>()?;
+    let grid = v
+        .get("grid")
+        .and_then(Value::as_arr)
+        .map(|raw| {
+            raw.iter()
+                .map(|e| {
+                    e.as_int()
+                        .and_then(|i| u64::try_from(i).ok())
+                        .ok_or_else(|| "run manifest: bad grid extent".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()?
+        .unwrap_or_default();
     Ok(RunManifest {
         source: str_field(&v, "source")?,
         parts,
+        grid,
         ranks: num(&v, "ranks")?,
         distance: num(&v, "distance")?,
         optimize: matches!(get(&v, "optimize")?, Value::Bool(true)),
@@ -573,14 +676,12 @@ pub fn load_manifest(dir: &Path) -> Result<RunManifest, String> {
     manifest_from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Newest epoch under `dir` for which all `ranks` snapshots exist,
-/// parse, and agree on (epoch, mesh size, sync id, cursor statement).
-/// A torn, missing, or inconsistent file disqualifies the whole epoch
-/// and the scan falls back to the next older one — so recovery always
-/// lands on a complete consistent cut or reports none.
-pub fn latest_consistent_epoch(dir: &Path, ranks: usize) -> Option<u64> {
-    let mut epochs: Vec<u64> = fs::read_dir(dir)
-        .ok()?
+/// Every epoch number with a directory under `dir`, ascending.
+fn epoch_numbers(dir: &Path) -> Vec<u64> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut epochs: Vec<u64> = entries
         .flatten()
         .filter_map(|e| {
             e.file_name()
@@ -592,15 +693,55 @@ pub fn latest_consistent_epoch(dir: &Path, ranks: usize) -> Option<u64> {
         .collect();
     epochs.sort_unstable();
     epochs
-        .into_iter()
-        .rev()
-        .find(|&epoch| load_epoch(dir, epoch, ranks).is_ok())
 }
 
-/// Load every rank's snapshot of one epoch, verifying consistency:
-/// all files present and parseable, each claiming the requested epoch
-/// and mesh size, all cut at the same sync visit.
-pub fn load_epoch(dir: &Path, epoch: u64, ranks: usize) -> Result<Vec<Snapshot>, String> {
+/// Newest epoch under `dir` whose snapshots form a complete
+/// self-consistent cut (see [`load_epoch`]): all files of the epoch's
+/// own mesh present, parseable, and agreeing on (epoch, mesh size,
+/// sync id, cursor statement). Geometry is judged from the snapshots
+/// themselves, not the manifest: an epoch left behind by a
+/// pre-repartition geometry is still the latest usable cut — elastic
+/// resume re-partitions it onto the manifest's current mesh — so a
+/// relaunch that died before writing its first checkpoint in the new
+/// geometry never strands the directory. A torn epoch (missing or
+/// half-written file) still fails [`load_epoch`] and the scan falls
+/// back to the next older one, so recovery always lands on a complete
+/// consistent cut or reports none.
+pub fn latest_consistent_epoch(dir: &Path) -> Option<u64> {
+    epoch_numbers(dir)
+        .into_iter()
+        .rev()
+        .find(|&epoch| load_epoch(dir, epoch).is_ok())
+}
+
+/// Load every rank's snapshot of one epoch, verifying consistency. The
+/// epoch's mesh size is inferred from the files themselves: with `n`
+/// `rank-<r>.json` files present, ranks `0..n` must all exist, each
+/// claiming its own rank out of exactly `n` and the requested epoch,
+/// all cut at the same sync visit with the same partition parts. This
+/// makes a fully-written epoch loadable without the manifest (an
+/// elastic resume reads old-geometry epochs this way after the manifest
+/// has moved on), while a torn epoch — some ranks' files missing —
+/// still fails, because the survivors claim a bigger mesh than the
+/// files on disk.
+pub fn load_epoch(dir: &Path, epoch: u64) -> Result<Vec<Snapshot>, String> {
+    let edir = epoch_dir(dir, epoch);
+    let entries = fs::read_dir(&edir).map_err(|e| format!("read {}: {e}", edir.display()))?;
+    let ranks = entries
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix("rank-")?.strip_suffix(".json"))
+                .is_some_and(|r| r.parse::<usize>().is_ok())
+        })
+        .count();
+    if ranks == 0 {
+        return Err(format!(
+            "epoch {epoch}: no rank snapshots under {}",
+            edir.display()
+        ));
+    }
     let mut snaps = Vec::with_capacity(ranks);
     for rank in 0..ranks {
         let snap = load_snapshot(&rank_snapshot_path(dir, epoch, rank))?;
@@ -621,8 +762,90 @@ pub fn load_epoch(dir: &Path, epoch: u64, ranks: usize) -> Result<Vec<Snapshot>,
                 first.sync_id, first.cursor.stmt, s.sync_id, s.cursor.stmt
             ));
         }
+        if s.parts != first.parts || s.cut != first.cut {
+            return Err(format!(
+                "epoch {epoch}: ranks disagree on partition geometry \
+                 ({:?} vs {:?})",
+                first.parts, s.parts
+            ));
+        }
     }
     Ok(snaps)
+}
+
+// ---------------------------------------------------------------------
+// Region copy: the regather/scatter primitive
+// ---------------------------------------------------------------------
+
+/// Copy the elements of `region` — per-dimension inclusive global index
+/// ranges — from `src` into `dst`, both full-size column-major arrays
+/// declared with `bounds`. This is the primitive both halves of elastic
+/// repartitioning are built from: *regather* copies each old rank's
+/// owned region into a global stitch buffer, *scatter* is a whole-array
+/// copy of the stitched field into each new rank's snapshot. Returns
+/// the number of elements copied.
+///
+/// The caller supplies regions already clamped to `bounds` (the
+/// interpreter's `owned_region` does that); out-of-bounds regions or
+/// wrong-size buffers are an error, never a silent partial copy.
+pub fn copy_region(
+    bounds: &[(i64, i64)],
+    region: &[(i64, i64)],
+    src: &[u64],
+    dst: &mut [u64],
+) -> Result<u64, String> {
+    if region.len() != bounds.len() {
+        return Err(format!(
+            "copy_region: region has {} dims, bounds have {}",
+            region.len(),
+            bounds.len()
+        ));
+    }
+    let mut len = 1usize;
+    let mut strides = Vec::with_capacity(bounds.len());
+    for (d, &(blo, bhi)) in bounds.iter().enumerate() {
+        let (rlo, rhi) = region[d];
+        if rlo < blo || rhi > bhi {
+            return Err(format!(
+                "copy_region: dim {d} region ({rlo}, {rhi}) outside bounds ({blo}, {bhi})"
+            ));
+        }
+        strides.push(len);
+        len *= usize::try_from(bhi - blo + 1).map_err(|_| "copy_region: bad bounds")?;
+    }
+    if src.len() != len || dst.len() != len {
+        return Err(format!(
+            "copy_region: bounds hold {len} elements, src has {} and dst has {}",
+            src.len(),
+            dst.len()
+        ));
+    }
+    if region.iter().any(|&(lo, hi)| hi < lo) {
+        return Ok(0); // empty region: nothing to move
+    }
+    // column-major odometer over the region, first dimension fastest
+    let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+    let mut copied = 0u64;
+    loop {
+        let mut off = 0usize;
+        for (d, &x) in idx.iter().enumerate() {
+            off += strides[d] * usize::try_from(x - bounds[d].0).expect("in-bounds index");
+        }
+        dst[off] = src[off];
+        copied += 1;
+        let mut d = 0;
+        loop {
+            if d == idx.len() {
+                return Ok(copied);
+            }
+            idx[d] += 1;
+            if idx[d] <= region[d].1 {
+                break;
+            }
+            idx[d] = region[d].0;
+            d += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -633,6 +856,7 @@ mod tests {
         Snapshot {
             rank,
             ranks: 2,
+            parts: vec![2, 1],
             epoch,
             sync_id: 3,
             cursor: Cursor {
@@ -644,6 +868,12 @@ mod tests {
                     remaining: 6,
                 }],
             },
+            cut: Some(CutSite {
+                list_kind: 1,
+                list_stmt: 9,
+                arm: 0,
+                gap: 2,
+            }),
             arrays: vec![ArraySnap {
                 name: "v".into(),
                 bounds: vec![(1, 2), (0, 1)],
@@ -696,6 +926,7 @@ mod tests {
         let m = RunManifest {
             source: "      program p\n      end\n".into(),
             parts: vec![2, 1, 2],
+            grid: vec![16, 8, 16],
             ranks: 4,
             distance: 3,
             optimize: true,
@@ -714,6 +945,7 @@ mod tests {
         let m = RunManifest {
             source: "      program p\n      end\n".into(),
             parts: vec![2],
+            grid: vec![8],
             ranks: 2,
             distance: 1,
             optimize: true,
@@ -736,35 +968,92 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let text =
-            snapshot_to_json(&sample_snapshot(0, 0)).replace("\"version\":1", "\"version\":9");
+            snapshot_to_json(&sample_snapshot(0, 0)).replace("\"version\":2", "\"version\":9");
         assert!(snapshot_from_json(&text).unwrap_err().contains("version 9"));
+    }
+
+    #[test]
+    fn schema_one_snapshot_reads_back_without_geometry() {
+        // a v1 snapshot has no `parts`; it must still load (geometry
+        // unknown → empty), so same-rank-count resume keeps working
+        let text = snapshot_to_json(&sample_snapshot(1, 3))
+            .replace("\"version\":2", "\"version\":1")
+            .replace(",\"parts\":[2,1]", "");
+        let back = snapshot_from_json(&text).unwrap();
+        assert!(back.parts.is_empty());
+        assert_eq!(back.rank, 1);
+    }
+
+    fn sample_manifest(ranks: usize) -> RunManifest {
+        RunManifest {
+            source: "      program p\n      end\n".into(),
+            parts: vec![ranks as u32, 1],
+            grid: vec![8, 8],
+            ranks,
+            distance: 1,
+            optimize: true,
+            overlap: false,
+            checkpoint_every: 1,
+            timeout_ms: 1000,
+            engine: "tree".into(),
+            threads: 1,
+        }
     }
 
     #[test]
     fn torn_newest_epoch_falls_back() {
         let dir = std::env::temp_dir().join(format!("acfd-ckpt-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
+        write_manifest(&dir, &sample_manifest(2)).unwrap();
         for epoch in [1, 2] {
             for rank in 0..2 {
                 write_snapshot(&dir, &sample_snapshot(rank, epoch)).unwrap();
             }
         }
-        assert_eq!(latest_consistent_epoch(&dir, 2), Some(2));
+        assert_eq!(latest_consistent_epoch(&dir), Some(2));
 
         // truncate rank 1's newest snapshot mid-file: epoch 2 is torn
         let torn = rank_snapshot_path(&dir, 2, 1);
         let text = fs::read_to_string(&torn).unwrap();
         fs::write(&torn, &text[..text.len() / 2]).unwrap();
-        assert_eq!(latest_consistent_epoch(&dir, 2), Some(1));
+        assert_eq!(latest_consistent_epoch(&dir), Some(1));
 
-        // remove it entirely: still epoch 1
+        // remove it entirely: still epoch 1 (the survivor claims a
+        // 2-rank mesh but only one file is on disk)
         fs::remove_file(&torn).unwrap();
-        assert_eq!(latest_consistent_epoch(&dir, 2), Some(1));
+        assert_eq!(latest_consistent_epoch(&dir), Some(1));
 
         // no epoch has all ranks → none
         fs::remove_file(rank_snapshot_path(&dir, 1, 0)).unwrap();
         fs::remove_file(rank_snapshot_path(&dir, 2, 0)).unwrap();
-        assert_eq!(latest_consistent_epoch(&dir, 2), None);
+        assert_eq!(latest_consistent_epoch(&dir), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_geometry_epoch_still_selectable() {
+        // an elastic resume rewrote the manifest from 2 ranks to 3 but
+        // died before its first 3-rank checkpoint; the old 2-rank epoch
+        // is a complete self-consistent cut and must still be selected
+        // (the resume path re-partitions it onto the manifest geometry)
+        let dir = std::env::temp_dir().join(format!("acfd-ckpt-elastic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        write_manifest(&dir, &sample_manifest(3)).unwrap();
+        for rank in 0..2 {
+            write_snapshot(&dir, &sample_snapshot(rank, 5)).unwrap();
+        }
+        // explicit load works (mesh size inferred from the files)...
+        assert_eq!(load_epoch(&dir, 5).unwrap().len(), 2);
+        // ...and so does automatic selection, despite the 3-rank manifest
+        assert_eq!(latest_consistent_epoch(&dir), Some(5));
+        // once a newer 3-rank epoch lands, it wins
+        for rank in 0..3 {
+            let mut s = sample_snapshot(rank, 6);
+            s.ranks = 3;
+            s.parts = vec![3, 1];
+            write_snapshot(&dir, &s).unwrap();
+        }
+        assert_eq!(latest_consistent_epoch(&dir), Some(6));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -772,14 +1061,66 @@ mod tests {
     fn mismatched_cut_points_rejected() {
         let dir = std::env::temp_dir().join(format!("acfd-ckpt-cut-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
+        write_manifest(&dir, &sample_manifest(2)).unwrap();
         write_snapshot(&dir, &sample_snapshot(0, 1)).unwrap();
         let mut other = sample_snapshot(1, 1);
         other.sync_id = 9;
         write_snapshot(&dir, &other).unwrap();
-        let err = load_epoch(&dir, 1, 2).unwrap_err();
+        let err = load_epoch(&dir, 1).unwrap_err();
         assert!(err.contains("disagree"), "{err}");
-        assert_eq!(latest_consistent_epoch(&dir, 2), None);
+        assert_eq!(latest_consistent_epoch(&dir), None);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_geometry_rejected() {
+        let dir = std::env::temp_dir().join(format!("acfd-ckpt-geom-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        write_snapshot(&dir, &sample_snapshot(0, 1)).unwrap();
+        let mut other = sample_snapshot(1, 1);
+        other.parts = vec![1, 2];
+        write_snapshot(&dir, &other).unwrap();
+        let err = load_epoch(&dir, 1).unwrap_err();
+        assert!(err.contains("partition geometry"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn copy_region_moves_exactly_the_region() {
+        // 2D array (1..4, 1..3) column-major; copy the (2..3, 2..3) block
+        let bounds = [(1i64, 4), (1i64, 3)];
+        let src: Vec<u64> = (100..112).collect();
+        let mut dst = vec![0u64; 12];
+        let n = copy_region(&bounds, &[(2, 3), (2, 3)], &src, &mut dst).unwrap();
+        assert_eq!(n, 4);
+        // element (i, j) sits at (i-1) + (j-1)*4
+        let at = |i: i64, j: i64| ((i - 1) + (j - 1) * 4) as usize;
+        for i in 1..=4 {
+            for j in 1..=3 {
+                let want = if (2..=3).contains(&i) && (2..=3).contains(&j) {
+                    src[at(i, j)]
+                } else {
+                    0
+                };
+                assert_eq!(dst[at(i, j)], want, "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_region_rejects_bad_shapes() {
+        let bounds = [(1i64, 4)];
+        let src = vec![0u64; 4];
+        let mut dst = vec![0u64; 4];
+        // region outside bounds
+        assert!(copy_region(&bounds, &[(0, 2)], &src, &mut dst).is_err());
+        // wrong dimensionality
+        assert!(copy_region(&bounds, &[(1, 2), (1, 2)], &src, &mut dst).is_err());
+        // wrong buffer size
+        let mut short = vec![0u64; 3];
+        assert!(copy_region(&bounds, &[(1, 2)], &src, &mut short).is_err());
+        // empty region copies nothing
+        assert_eq!(copy_region(&bounds, &[(3, 2)], &src, &mut dst).unwrap(), 0);
     }
 
     #[test]

@@ -202,8 +202,12 @@ impl Comm {
         self.stats
             .elems_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let req = self
+            .transport
+            .isend(to, tag, payload)
+            .map_err(|e| self.ctx(e))?;
         self.transport
-            .send(to, tag, payload)
+            .wait_send(req, self.timeout)
             .map_err(|e| self.ctx(e))
     }
 
@@ -212,10 +216,7 @@ impl Comm {
     /// first are parked, preserving their own order.
     pub fn recv(&self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
         let t0 = Instant::now();
-        let (payload, bytes) = self
-            .transport
-            .recv(from, tag, self.timeout)
-            .map_err(|e| self.ctx(e))?;
+        let (payload, bytes) = self.recv_raw(from, tag)?;
         self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
         Ok(payload)
     }
@@ -315,8 +316,9 @@ impl Comm {
     }
 
     fn recv_raw(&self, from: usize, tag: u64) -> Result<(Vec<f64>, usize), CommError> {
+        let req = self.transport.irecv(from, tag);
         self.transport
-            .recv(from, tag, self.timeout)
+            .wait_recv(req, self.timeout)
             .map_err(|e| self.ctx(e))
     }
 

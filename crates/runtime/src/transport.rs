@@ -10,9 +10,10 @@
 //! handle ([`SendRequest`] / [`RecvRequest`]); the completion operations
 //! [`Transport::wait_send`], [`Transport::wait_recv`],
 //! [`Transport::wait_all_recv`] and [`Transport::test_recv`] retire
-//! them. The classic blocking [`Transport::send`] / [`Transport::recv`]
-//! are provided as default-method shims (post + immediately wait), so
-//! backends only implement the nonblocking core.
+//! them. There is no blocking send/recv pair in the trait — callers
+//! that want blocking semantics post and immediately wait (the
+//! [`crate::Comm`] convenience methods do exactly that), so backends
+//! only implement the nonblocking core.
 //!
 //! Backends that deliver messages through a single inbox channel (both
 //! shipped backends do) share [`MatchingInbox`], so tag-matching, message
@@ -196,40 +197,9 @@ pub trait Transport: Send {
             .collect()
     }
 
-    /// Blocking send: post with [`Transport::isend`] and immediately
-    /// complete. Returns the wire bytes enqueued.
-    ///
-    /// Legacy shim kept for the default [`Transport::barrier`] and old
-    /// call sites; new code should use [`Transport::isend`] +
-    /// [`Transport::wait_send`], which make the completion point (and
-    /// any overlap opportunity) explicit.
-    #[doc(hidden)]
-    fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
-        let req = self.isend(to, tag, payload)?;
-        self.wait_send(req, Duration::ZERO)
-    }
-
-    /// Blocking receive: post with [`Transport::irecv`] and wait up to
-    /// `timeout` for a message from `from` with `tag`. Returns the
-    /// payload and its wire size.
-    ///
-    /// Legacy shim kept for the default [`Transport::barrier`] and old
-    /// call sites; new code should use [`Transport::irecv`] +
-    /// [`Transport::wait_recv`] (or [`Transport::test_recv`] to poll),
-    /// which make the completion point explicit.
-    #[doc(hidden)]
-    fn recv(
-        &self,
-        from: usize,
-        tag: u64,
-        timeout: Duration,
-    ) -> Result<(Vec<f64>, usize), CommError> {
-        let req = self.irecv(from, tag);
-        self.wait_recv(req, timeout)
-    }
-
     /// Synchronize all ranks. The default is a dissemination barrier
-    /// built on `send`/`recv` over the reserved tag band — ⌈log₂ n⌉
+    /// built on the nonblocking core (`isend`/`wait_send` +
+    /// `irecv`/`wait_recv`) over the reserved tag band — ⌈log₂ n⌉
     /// rounds, no coordinator. Backends with a cheaper native primitive
     /// (the in-process backend has `std::sync::Barrier`) override this.
     fn barrier(&self, timeout: Duration) -> Result<(), CommError> {
@@ -240,8 +210,10 @@ pub trait Transport: Send {
         while step < n {
             let to = (rank + step) % n;
             let from = (rank + n - step) % n;
-            self.send(to, BARRIER_TAG_BASE + round, &[])?;
-            self.recv(from, BARRIER_TAG_BASE + round, timeout)?;
+            let send = self.isend(to, BARRIER_TAG_BASE + round, &[])?;
+            self.wait_send(send, timeout)?;
+            let recv = self.irecv(from, BARRIER_TAG_BASE + round);
+            self.wait_recv(recv, timeout)?;
             step <<= 1;
             round += 1;
         }
@@ -355,8 +327,8 @@ impl MatchingInbox {
         self.gone.lock().get(&peer).cloned()
     }
 
-    /// Blocking tag-matched receive; see [`Transport::recv`] for the
-    /// contract.
+    /// Blocking tag-matched receive: waits until a message from
+    /// `from` carrying `tag` arrives, or errors on timeout/peer death.
     pub fn recv(
         &self,
         from: usize,

@@ -7,7 +7,7 @@
 
 use autocfd::interp::{verify_owned_regions, CheckpointOpts, RankResult, RankRun};
 use autocfd::runtime::checkpoint::{
-    latest_consistent_epoch, load_epoch, rank_snapshot_path, write_manifest, RunManifest,
+    latest_consistent_epoch, rank_snapshot_path, write_manifest, RunManifest,
 };
 use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileOptions, Compiled};
@@ -20,6 +20,29 @@ fn temp_dir(tag: &str) -> PathBuf {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
+}
+
+/// Write the relaunch manifest an `acfc run` launch would have left
+/// next to the snapshots — epoch consistency is judged against its
+/// recorded rank count.
+fn write_run_manifest(c: &Compiled, src: &str, dir: &Path) {
+    write_manifest(
+        dir,
+        &RunManifest {
+            source: src.to_string(),
+            parts: c.partition.spec.parts.clone(),
+            grid: c.partition.shape.extents.clone(),
+            ranks: c.spmd_plan.ranks() as usize,
+            distance: 1,
+            optimize: true,
+            overlap: false,
+            checkpoint_every: 2,
+            timeout_ms: 2000,
+            engine: "tree".into(),
+            threads: 1,
+        },
+    )
+    .unwrap();
 }
 
 /// Run the compiled program on a TCP mesh with checkpointing on, the
@@ -46,11 +69,12 @@ fn chaos_run(c: &Compiled, dir: &Path, every: u64, chaos_at: u64, overlap: bool)
 /// return the completed results in rank order.
 fn resume_run(c: &Compiled, dir: &Path, epoch: u64, overlap: bool) -> Vec<RankResult> {
     let n = c.spmd_plan.ranks() as usize;
-    let snaps = load_epoch(dir, epoch, n).expect("consistent epoch loads");
     run_spmd_tcp(n, Duration::from_secs(60), |comm| {
         c.run_config()
             .overlap(overlap)
-            .run_rank_resumed(&comm, &snaps[comm.rank()])
+            .resume_from(dir)
+            .resume_epoch(epoch)
+            .run_rank_traced(&comm)
     })
     .expect("mesh setup")
     .into_iter()
@@ -77,7 +101,6 @@ fn resume_run(c: &Compiled, dir: &Path, epoch: u64, overlap: bool) -> Vec<RankRe
 fn check_kill_and_resume(src: &str, parts: &[u32], every: u64, chaos_at: u64, overlap: bool) {
     let c = compile(src, &CompileOptions::with_partition(parts))
         .unwrap_or_else(|e| panic!("{parts:?}: {e}"));
-    let n = c.spmd_plan.ranks() as usize;
     assert!(
         !c.spmd_plan.checkpoint_syncs.is_empty(),
         "{parts:?}: no checkpoint-safe sync points in the main unit"
@@ -94,11 +117,12 @@ fn check_kill_and_resume(src: &str, parts: &[u32], every: u64, chaos_at: u64, ov
             .join("x"),
         if overlap { "ovl" } else { "blk" }
     ));
+    write_run_manifest(&c, src, &dir);
     let runs = chaos_run(&c, &dir, every, chaos_at, overlap);
     let err = runs[0].outcome.as_ref().expect_err("rank 0 must crash");
     assert!(err.to_string().contains("chaos-abort"), "{parts:?}: {err}");
 
-    let epoch = latest_consistent_epoch(&dir, n)
+    let epoch = latest_consistent_epoch(&dir)
         .unwrap_or_else(|| panic!("{parts:?}: no consistent epoch survived the crash"));
     assert!(
         epoch < chaos_at,
@@ -148,13 +172,13 @@ fn kill_and_resume_survives_overlapped_exchanges() {
 fn torn_newest_snapshot_falls_back_to_previous_epoch() {
     let src = sprayer_program(&CaseParams::sprayer_small());
     let c = compile(src.as_str(), &CompileOptions::with_partition(&[2, 2])).unwrap();
-    let n = c.spmd_plan.ranks() as usize;
     let seq = c.run_sequential(vec![]).unwrap();
     let dir = temp_dir("torn");
+    write_run_manifest(&c, &src, &dir);
 
     let runs = chaos_run(&c, &dir, 1, 8, false);
     assert!(runs[0].outcome.is_err());
-    let newest = latest_consistent_epoch(&dir, n).expect("epochs written");
+    let newest = latest_consistent_epoch(&dir).expect("epochs written");
     assert!(
         newest >= 2,
         "need at least two complete epochs, got {newest}"
@@ -165,7 +189,7 @@ fn torn_newest_snapshot_falls_back_to_previous_epoch() {
     let torn = rank_snapshot_path(&dir, newest, 1);
     let text = std::fs::read_to_string(&torn).unwrap();
     std::fs::write(&torn, &text[..text.len() / 3]).unwrap();
-    let fallback = latest_consistent_epoch(&dir, n).expect("older epoch still consistent");
+    let fallback = latest_consistent_epoch(&dir).expect("older epoch still consistent");
     assert!(fallback < newest, "torn epoch {newest} must be skipped");
 
     let resumed = resume_run(&c, &dir, fallback, false);
@@ -228,6 +252,14 @@ fn acfc_chaos_run_then_resume_end_to_end() {
         .status()
         .expect("spawn acfc resume");
     assert!(status.success(), "resume failed: {status}");
+
+    // elastic: re-partition the 4-rank epochs the resumed run left
+    // behind onto 2 ranks and verify bit-exactly again
+    let status = acfc()
+        .args(["resume", &ck_s, "--ranks", "2", "--verify-exact"])
+        .status()
+        .expect("spawn acfc resume --ranks");
+    assert!(status.success(), "elastic resume failed: {status}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -239,6 +271,9 @@ fn acfc_resume_reports_missing_checkpoints() {
     let m = RunManifest {
         source: sprayer_program(&CaseParams::sprayer_small()),
         parts: vec![2, 2],
+        // empty grid = a manifest from before geometry recording; plain
+        // resume (same rank count) must still work with it
+        grid: vec![],
         ranks: 4,
         distance: 1,
         optimize: true,

@@ -9,7 +9,7 @@ use autocfd::codegen::EnginePref;
 use autocfd::interp::{
     eligible_nests, verify_owned_regions, CheckpointOpts, RankResult, RunConfig,
 };
-use autocfd::runtime::checkpoint::{latest_consistent_epoch, load_epoch};
+use autocfd::runtime::checkpoint::{latest_consistent_epoch, write_manifest, RunManifest};
 use autocfd::runtime_net::run_spmd_tcp;
 use autocfd::{compile, CompileOptions, Compiled};
 use autocfd_cfd_kernels::{aerofoil_program, sprayer_program, CaseParams};
@@ -58,8 +58,11 @@ fn check_engines_agree(src: &str, parts: &[u32]) {
         let k_in = kern.run_parallel_opts(vec![], overlap).unwrap();
         let k_tcp = run_over_tcp(&kern, overlap);
 
-        for (label, runs) in [("tree inproc", &t_in), ("kernel inproc", &k_in), ("kernel tcp", &k_tcp)]
-        {
+        for (label, runs) in [
+            ("tree inproc", &t_in),
+            ("kernel inproc", &k_in),
+            ("kernel tcp", &k_tcp),
+        ] {
             let d = verify_owned_regions(&seq, runs, &tree.spmd_plan, 0.0).unwrap();
             assert_eq!(d, 0.0, "{parts:?} {label} overlap={overlap}");
             assert_eq!(
@@ -214,10 +217,31 @@ fn kernel_engine_kill_and_resume_stays_bit_exact() {
     let err = runs[0].outcome.as_ref().expect_err("rank 0 must crash");
     assert!(err.to_string().contains("chaos-abort"), "{err}");
 
-    let epoch = latest_consistent_epoch(&dir, n).expect("a consistent epoch survived");
-    let snaps = load_epoch(&dir, epoch, n).expect("epoch loads");
+    // epoch consistency is judged against the manifest's rank count, so
+    // write the manifest an `acfc run` launch would have left behind
+    write_manifest(
+        &dir,
+        &RunManifest {
+            source: src.clone(),
+            parts: c.partition.spec.parts.clone(),
+            grid: c.partition.shape.extents.clone(),
+            ranks: n,
+            distance: 1,
+            optimize: true,
+            overlap: false,
+            checkpoint_every: 2,
+            timeout_ms: 2000,
+            engine: "kernel".into(),
+            threads: 2,
+        },
+    )
+    .unwrap();
+    let epoch = latest_consistent_epoch(&dir).expect("a consistent epoch survived");
     let resumed: Vec<RankResult> = run_spmd_tcp(n, Duration::from_secs(60), |comm| {
-        c.run_config().run_rank_resumed(&comm, &snaps[comm.rank()])
+        c.run_config()
+            .resume_from(&dir)
+            .resume_epoch(epoch)
+            .run_rank_traced(&comm)
     })
     .expect("mesh setup")
     .into_iter()

@@ -184,9 +184,8 @@ impl ThreadPool {
                     let guard = CountDownGuard(std::sync::Arc::clone(&task.latch));
                     // SAFETY: see `Task` — the closure outlives the batch.
                     let func = unsafe { &*task.func };
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        func(task.index)
-                    }));
+                    let _ =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(task.index)));
                     drop(guard);
                 })
             })
