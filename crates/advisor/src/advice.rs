@@ -106,6 +106,13 @@ impl Advice {
                     .map(|(name, _, _)| Value::Str(name.into()))
                     .unwrap_or(Value::Null),
             ),
+            ("critical_path_ms", ms(d.critical_path())),
+            (
+                "critical_path_measured_ms",
+                d.critical_path_measured.map(ms).unwrap_or(Value::Null),
+            ),
+            ("edges_matched", Value::Int(d.edges_matched as i128)),
+            ("edges_unmatched", Value::Int(d.edges_unmatched as i128)),
             ("phases", Value::Arr(phases)),
         ]);
         let divergence = match &self.divergence {
@@ -193,10 +200,12 @@ mod tests {
                 elems: 0,
                 bytes: 0,
                 phase: 0,
+                seq: None,
             }]],
             phase_names: vec![vec!["main".into()]],
             transport: "inproc".into(),
             complete: true,
+            skipped: 0,
         };
         Advice {
             diagnosis: diagnose(&merged),

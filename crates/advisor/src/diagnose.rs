@@ -7,6 +7,7 @@
 //! run in), and exposed communication (how much of each sync's wait
 //! latency the overlap machinery failed to hide).
 
+use std::collections::HashMap;
 use std::time::Duration;
 
 use autocfd_runtime::journal::MergedTrace;
@@ -157,6 +158,19 @@ pub struct Diagnosis {
     /// Whole-run exposed-communication share, when the run had any
     /// wait or overlap.
     pub exposed_pct: Option<f64>,
+    /// The *measured* cross-rank critical path: the longest busy chain
+    /// through the send→recv causality edges the runtime stamped into
+    /// the trace (journal schema 3). Unlike [`Diagnosis::critical_path`],
+    /// which sums each phase's slowest rank, this follows actual message
+    /// dependencies — a wait only lengthens the path when the matching
+    /// send really gated it. `None` when no recv carried a matched edge
+    /// (pre-v3 journals, or a run with no point-to-point traffic).
+    pub critical_path_measured: Option<Duration>,
+    /// Recv events whose `(peer, seq)` stamp paired with a send.
+    pub edges_matched: usize,
+    /// Recv events with no pairable stamp: unstamped (old journal) or
+    /// the sender's journal was truncated before the matching send.
+    pub edges_unmatched: usize,
 }
 
 impl Diagnosis {
@@ -179,6 +193,75 @@ impl Diagnosis {
         }
         100.0 * self.phases[phase].critical_busy().as_secs_f64() / total
     }
+}
+
+/// The longest busy chain through the measured send→recv causality
+/// edges: a dataflow replay of the merged trace. Each rank's events run
+/// in order; `Compute`/`Overlap`/`Send`/`Reduce` spans add busy time,
+/// `Recv` adds none but cannot complete before the send it pairs with
+/// (by `(peer, seq)`), and `Barrier` joins the local chain only (no
+/// stamped edges). Returns the path plus matched/unmatched edge counts;
+/// the path is `None` when nothing matched.
+fn measured_critical_path(merged: &MergedTrace) -> (Option<Duration>, usize, usize) {
+    let n = merged.traces.len();
+    let mut next = vec![0usize; n]; // next unprocessed event per rank
+    let mut done = vec![Duration::ZERO; n]; // chain completion per rank
+    let mut send_done: HashMap<(usize, u64), Duration> = HashMap::new();
+    let mut matched = 0usize;
+    let mut unmatched = 0usize;
+    loop {
+        let mut progress = false;
+        for r in 0..n {
+            while let Some(ev) = merged.traces[r].get(next[r]) {
+                match ev.kind {
+                    EventKind::Recv => {
+                        let edge = match (ev.peer, ev.seq) {
+                            (Some(p), Some(s)) if p < n => Some((p, s)),
+                            _ => None,
+                        };
+                        match edge {
+                            Some(key) => {
+                                if let Some(&sd) = send_done.get(&key) {
+                                    done[r] = done[r].max(sd);
+                                    matched += 1;
+                                } else if next[key.0] < merged.traces[key.0].len() {
+                                    break; // sender still replaying: revisit
+                                } else {
+                                    unmatched += 1; // sender exhausted: no pair
+                                }
+                            }
+                            None => unmatched += 1,
+                        }
+                    }
+                    EventKind::Barrier => {}
+                    EventKind::Send | EventKind::Reduce => {
+                        done[r] += ev.span();
+                        if let (EventKind::Send, Some(s)) = (ev.kind, ev.seq) {
+                            send_done.insert((r, s), done[r]);
+                        }
+                    }
+                    EventKind::Compute | EventKind::Overlap => done[r] += ev.span(),
+                }
+                next[r] += 1;
+                progress = true;
+            }
+        }
+        if progress {
+            continue;
+        }
+        // No rank can move: every stuck rank heads a recv whose sender
+        // is itself stuck (a cycle the stamps cannot order, e.g. from a
+        // truncated journal). Break it at the first stuck recv.
+        match (0..n).find(|&r| next[r] < merged.traces[r].len()) {
+            Some(r) => {
+                unmatched += 1;
+                next[r] += 1;
+            }
+            None => break,
+        }
+    }
+    let path = done.into_iter().max().filter(|_| matched > 0);
+    (path, matched, unmatched)
 }
 
 /// Diagnose a merged trace: fold every event into per-phase per-rank
@@ -288,6 +371,8 @@ pub fn diagnose(merged: &MergedTrace) -> Diagnosis {
         }
     };
 
+    let (critical_path_measured, edges_matched, edges_unmatched) = measured_critical_path(merged);
+
     Diagnosis {
         ranks,
         transport: merged.transport.clone(),
@@ -298,6 +383,9 @@ pub fn diagnose(merged: &MergedTrace) -> Diagnosis {
         imbalance,
         straggler,
         exposed_pct,
+        critical_path_measured,
+        edges_matched,
+        edges_unmatched,
     }
 }
 
@@ -379,6 +467,20 @@ pub fn render_diagnosis(diag: &Diagnosis) -> String {
             .map(|p| format!(", {p:.1}% of comm latency exposed"))
             .unwrap_or_default(),
     ));
+    if let Some(measured) = diag.critical_path_measured {
+        out.push_str(&format!(
+            "critical path: {} phase-estimated, {} edge-measured \
+             ({} send→recv edges{})\n",
+            fmt_dur(diag.critical_path()),
+            fmt_dur(measured),
+            diag.edges_matched,
+            if diag.edges_unmatched > 0 {
+                format!(", {} unmatched", diag.edges_unmatched)
+            } else {
+                String::new()
+            },
+        ));
+    }
 
     let comm: Vec<&PhaseLoad> = diag.phases.iter().filter(|p| p.is_comm()).collect();
     if !comm.is_empty() {
@@ -418,6 +520,7 @@ mod tests {
             elems: bytes / 8,
             bytes,
             phase,
+            seq: None,
         }
     }
 
@@ -441,6 +544,7 @@ mod tests {
             ],
             transport: "inproc".into(),
             complete: true,
+            skipped: 0,
         }
     }
 
@@ -483,6 +587,53 @@ mod tests {
         assert_eq!(name, "main");
         assert_eq!(busy, Duration::from_micros(400));
         assert!(share > 50.0);
+    }
+
+    #[test]
+    fn unstamped_trace_has_no_measured_path() {
+        let d = diagnose(&skewed_two_rank());
+        assert_eq!(d.critical_path_measured, None);
+        assert_eq!(d.edges_matched, 0);
+        // the one recv carried no (peer, seq) stamp
+        assert_eq!(d.edges_unmatched, 1);
+    }
+
+    #[test]
+    fn measured_path_follows_send_recv_edges() {
+        // Rank 1 computes 400µs then sends; rank 0 computes 100µs,
+        // waits 300µs for that message, then computes 50µs more. The
+        // phase-sum estimate charges main its slowest rank (400µs) AND
+        // sync_0 its slowest rank (300µs wait) = 750µs; the edge walk
+        // knows the wait and the send are the *same* serialization:
+        // 400µs compute + 10µs send + 50µs post-recv compute = 460µs.
+        let mut m = skewed_two_rank();
+        m.traces[0][1].peer = Some(1);
+        m.traces[0][1].seq = Some(1);
+        m.traces[1][1].peer = Some(0);
+        m.traces[1][1].seq = Some(1);
+        m.traces[0].push(ev(EventKind::Compute, 400, 450, 0, 0));
+        let d = diagnose(&m);
+        assert_eq!(d.edges_matched, 1);
+        assert_eq!(d.edges_unmatched, 0);
+        let measured = d.critical_path_measured.expect("one edge matched");
+        assert_eq!(measured, Duration::from_micros(460));
+        assert!(
+            measured < d.critical_path(),
+            "edge walk must beat the phase-sum estimate: {measured:?} vs {:?}",
+            d.critical_path()
+        );
+    }
+
+    #[test]
+    fn unpaired_stamp_counts_as_unmatched() {
+        // recv claims (peer 1, seq 9) but rank 1 never sent seq 9
+        let mut m = skewed_two_rank();
+        m.traces[0][1].peer = Some(1);
+        m.traces[0][1].seq = Some(9);
+        let d = diagnose(&m);
+        assert_eq!(d.edges_matched, 0);
+        assert_eq!(d.edges_unmatched, 1);
+        assert_eq!(d.critical_path_measured, None);
     }
 
     #[test]

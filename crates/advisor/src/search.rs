@@ -413,6 +413,7 @@ mod tests {
             elems: bytes / 8,
             bytes,
             phase,
+            seq: None,
         }
     }
 
@@ -439,6 +440,7 @@ mod tests {
             phase_names: vec![names.clone(), names.clone(), names.clone(), names],
             transport: "inproc".into(),
             complete: true,
+            skipped: 0,
         })
     }
 

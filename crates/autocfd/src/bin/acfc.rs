@@ -10,6 +10,7 @@
 //! acfc stats DIR [--input INPUT.f] [options]
 //! acfc advise DIR [--input INPUT.f] [-o advice.json] [compile options]
 //! acfc advise --gate CURRENT.json [--baseline FILE] [--wall-tolerance T] [--comm-tolerance T]
+//! acfc top DIR | --attach HOST:PORT [--once] [--interval MS] [--check]
 //!
 //!   --procs N            target processor count (partition chosen automatically)
 //!   --partition AxB[xC]  explicit processor grid (e.g. 3x2x1)
@@ -68,7 +69,28 @@
 //!                        fraction (default 0.5 — wall time is noisy)
 //!   --comm-tolerance T   (advise --gate) allowed comm-volume growth
 //!                        (default 0.02 — traffic is deterministic)
+//!   --telemetry          publish live per-rank stat frames (spooled into
+//!                        the trace directory and piggybacked on the TCP
+//!                        heartbeat framing) for `acfc top`
+//!   --telemetry-ms N     telemetry publish interval (implies --telemetry;
+//!                        default 100 ms)
+//!   --attach ADDR        (top) watch a resident `acfd-compile serve`
+//!                        daemon — queue depth, cache hit rate, latencies
+//!   --once               (top) render one frame and exit (CI-scriptable
+//!                        with --check)
+//!   --interval MS        (top) refresh cadence (default 500 ms)
 //! ```
+//!
+//! `acfc top DIR` is the live monitor: it polls the telemetry spool
+//! files a `--telemetry` run writes next to its journals and redraws a
+//! per-rank table in place — current phase, busy time and imbalance
+//! against the mesh mean, exposed-communication percentage, checkpoint
+//! epoch and lag, queue depth, dropped frames, and liveness (age of the
+//! rank's last frame). It works against a live TCP run, an elastic run
+//! mid-shrink (vanished ranks go idle, survivors keep updating), and —
+//! via `--attach ADDR` — a resident compile service. `--once --check`
+//! exits nonzero when telemetry is unhealthy (no frames, drop rate over
+//! threshold, coverage gap), so CI can assert on a live run.
 //!
 //! `acfc advise DIR` mines a trace directory for performance problems:
 //! per-phase load imbalance across ranks (with straggler attribution),
@@ -164,6 +186,9 @@ enum Mode {
     /// Mine a trace directory for performance advice, or gate a perf
     /// trajectory against the committed baseline.
     Advise,
+    /// Live per-rank monitor over the telemetry spools (or a resident
+    /// compile service), refreshing in place.
+    Top,
 }
 
 struct Args {
@@ -204,6 +229,13 @@ struct Args {
     /// `advise` only: resume the checkpointed run onto the advised
     /// partition.
     apply: bool,
+    /// `top --attach ADDR`: watch a resident compile service instead of
+    /// a trace directory.
+    attach: Option<String>,
+    /// `top --once`: render a single frame and exit (CI-scriptable).
+    once: bool,
+    /// `top --interval MS`: refresh cadence.
+    top_interval: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -229,6 +261,9 @@ fn parse_args() -> Result<Args, String> {
     let mut comm_tolerance = 0.02;
     let mut elastic = false;
     let mut apply = false;
+    let mut attach = None;
+    let mut once = false;
+    let mut top_interval = None;
     // `acfc run INPUT.f ...` is sugar for `acfc INPUT.f --run ...`;
     // `trace` and `stats` select the observability modes, `plan` emits
     // the plan artifact, `resume` relaunches a checkpointed run,
@@ -261,6 +296,10 @@ fn parse_args() -> Result<Args, String> {
         Some("advise") => {
             args.next();
             mode = Mode::Advise;
+        }
+        Some("top") => {
+            args.next();
+            mode = Mode::Top;
         }
         _ => {}
     }
@@ -297,6 +336,12 @@ fn parse_args() -> Result<Args, String> {
             "--input" => stats_input = Some(args.next().ok_or("--input needs a path")?),
             "--elastic" => elastic = true,
             "--apply" => apply = true,
+            "--attach" => attach = Some(args.next().ok_or("--attach needs HOST:PORT")?),
+            "--once" => once = true,
+            "--interval" => {
+                let v = args.next().ok_or("--interval needs milliseconds")?;
+                top_interval = Some(v.parse().map_err(|_| format!("bad interval `{v}`"))?);
+            }
             "--report" => report = true,
             "--analysis" => analysis = true,
             "--run" => run = true,
@@ -327,7 +372,9 @@ fn parse_args() -> Result<Args, String> {
                      or:    acfc advise DIR [--input INPUT.f] [-o advice.json] \
                             [--apply --checkpoint-dir DIR] [compile options]\n\
                      or:    acfc advise --gate CURRENT.json [--baseline FILE] \
-                            [--wall-tolerance T] [--comm-tolerance T]"
+                            [--wall-tolerance T] [--comm-tolerance T]\n\
+                     or:    acfc top DIR | --attach HOST:PORT [--once] \
+                            [--interval MS] [--check]"
                         .into(),
                 )
             }
@@ -341,6 +388,8 @@ fn parse_args() -> Result<Args, String> {
     let input = match input {
         Some(i) => i,
         None if mode == Mode::Advise && gate.is_some() => String::new(),
+        // `top --attach ADDR` watches a service — no directory needed
+        None if mode == Mode::Top && attach.is_some() => String::new(),
         None => return Err("no input file (try --help)".into()),
     };
     Ok(Args {
@@ -365,6 +414,9 @@ fn parse_args() -> Result<Args, String> {
         comm_tolerance,
         elastic,
         apply,
+        attach,
+        once,
+        top_interval,
     })
 }
 
@@ -849,6 +901,15 @@ fn run_resume(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Leave the authoritative source next to the manifest on every
+    // path (the TCP relaunch rewrites it for its workers): post-resume
+    // tooling — `acfc stats DIR --input ck/source.f` — reads it, and
+    // the original `.f` may have changed or vanished since the launch.
+    let source_path = dir.join("source.f");
+    if let Err(e) = std::fs::write(&source_path, &manifest.source) {
+        eprintln!("acfc: cannot write `{}`: {e}", source_path.display());
+        return ExitCode::FAILURE;
+    }
     if args.common.transport == TransportKind::Inproc && args.server.is_none() {
         return resume_inproc(
             args,
@@ -1143,6 +1204,9 @@ fn run_remote(args: &Args, source: &str, addr: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(w) = obs::skipped_warning(&merged) {
+        eprintln!("acfc: {w}");
+    }
     let chrome = autocfd::runtime::chrome_trace(&merged);
     if let Err(e) = std::fs::write(dir.join("trace.json"), chrome) {
         eprintln!("acfc: cannot write trace.json: {e}");
@@ -1228,6 +1292,19 @@ fn run_stats(args: &Args) -> ExitCode {
         }
     };
     eprint!("{}", obs::render_report(&merged));
+    if let Some(w) = obs::skipped_warning(&merged) {
+        eprintln!("acfc: {w}");
+    }
+    // telemetry health: a `--telemetry` run leaves spool files next to
+    // the journals — render the per-rank dropped/gap verdicts with them
+    let telemetry = obs::scan_telemetry(dir);
+    if !telemetry.is_empty() {
+        eprintln!("telemetry health ({} rank spool(s)):", telemetry.len());
+        eprint!(
+            "{}",
+            obs::render_telemetry_health(&telemetry, TELEMETRY_DROP_THRESHOLD)
+        );
+    }
     let mut checks = None;
     if let Some(src_path) = &args.stats_input {
         let source = match std::fs::read_to_string(src_path) {
@@ -1256,7 +1333,11 @@ fn run_stats(args: &Args) -> ExitCode {
         }
     }
     if args.check {
-        let failures = check_failures(&merged, checks.as_deref(), args.min_coverage);
+        let mut failures = check_failures(&merged, checks.as_deref(), args.min_coverage);
+        failures.extend(obs::telemetry_failures(
+            &telemetry,
+            TELEMETRY_DROP_THRESHOLD,
+        ));
         if !failures.is_empty() {
             return check_exit(&failures);
         }
@@ -1329,6 +1410,9 @@ fn run_advise(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(w) = obs::skipped_warning(&merged) {
+        eprintln!("acfc: {w}");
+    }
     let mut advice = advisor::Advice {
         diagnosis: advisor::diagnose(&merged),
         divergence: None,
@@ -1474,6 +1558,158 @@ fn apply_advice(args: &Args, advice: &advisor::Advice) -> ExitCode {
     }
 }
 
+/// The dropped-frame fraction above which `top --check` and
+/// `stats --check` call a rank's telemetry unhealthy.
+const TELEMETRY_DROP_THRESHOLD: f64 = 0.1;
+
+/// A rank is rendered `live` while its spool was written more recently
+/// than this (workers flush every frame, so a healthy rank's spool is
+/// always fresher than a couple of publish intervals).
+const TOP_LIVE_WINDOW: Duration = Duration::from_secs(2);
+
+/// Render one `acfc top` frame from a trace directory's telemetry
+/// spools, plus the health failures a `--check` would report.
+fn render_top_dir(dir: &Path) -> (String, Vec<String>) {
+    let rows = obs::scan_telemetry(dir);
+    if rows.is_empty() {
+        let msg = format!(
+            "acfc top — {} | no telemetry spools yet (run with --telemetry)\n",
+            dir.display()
+        );
+        return (msg, vec!["no telemetry spool files found".into()]);
+    }
+    let mean_busy = rows.iter().map(|r| r.latest.busy_us()).sum::<u64>() as f64 / rows.len() as f64;
+    let max_epoch = rows
+        .iter()
+        .map(|r| r.latest.checkpoint_epoch)
+        .max()
+        .unwrap_or(0);
+    let dropped: u64 = rows.iter().map(|r| r.latest.dropped).sum();
+    let mut out = format!(
+        "acfc top — {} | {} rank(s), engine {}, {} frame(s) dropped\n",
+        dir.display(),
+        rows.len(),
+        rows[0].latest.engine,
+        dropped
+    );
+    out.push_str(&format!(
+        "{:>4}  {:<12}  {:>9}  {:>7}  {:>7}  {:>5}  {:>4}  {:>3}  {:>5}  {}\n",
+        "rank", "phase", "busy", "imbal", "expos", "ckpt", "lag", "q", "drop", "last frame"
+    ));
+    for r in &rows {
+        let busy = r.latest.busy_us();
+        let imbal = if mean_busy > 0.0 {
+            format!("{:+.1}%", (busy as f64 - mean_busy) / mean_busy * 100.0)
+        } else {
+            "-".into()
+        };
+        let exposed = r
+            .latest
+            .exposed_pct()
+            .map(|p| format!("{:.1}%", p * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let liveness = match r.age {
+            Some(age) if age < TOP_LIVE_WINDOW => format!("live ({:.1}s)", age.as_secs_f64()),
+            Some(age) => format!("idle ({:.0}s)", age.as_secs_f64()),
+            None => "?".into(),
+        };
+        out.push_str(&format!(
+            "{:>4}  {:<12}  {:>7}ms  {:>7}  {:>7}  {:>5}  {:>4}  {:>3}  {:>5}  {}\n",
+            r.rank,
+            r.latest.phase,
+            busy / 1_000,
+            imbal,
+            exposed,
+            r.latest.checkpoint_epoch,
+            max_epoch - r.latest.checkpoint_epoch,
+            r.latest.queue_depth,
+            r.latest.dropped,
+            liveness,
+        ));
+    }
+    let failures = obs::telemetry_failures(&rows, TELEMETRY_DROP_THRESHOLD);
+    (out, failures)
+}
+
+/// Render one `acfc top --attach` frame from a resident compile
+/// service's `Stats` counters (queue depth, cache hit rate, latencies).
+fn render_top_attach(addr: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client
+        .request(&Request::Stats, &mut |_| {})
+        .map_err(|e| e.to_string())?;
+    let int = |k: &str| resp.get(k).and_then(Value::as_int).unwrap_or(0);
+    let flt = |k: &str| resp.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let hits = int("hits");
+    let misses = int("misses");
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0 {
+        format!("{:.1}%", hits as f64 / lookups as f64 * 100.0)
+    } else {
+        "-".into()
+    };
+    let hot = resp
+        .get("advice_hot_phase")
+        .and_then(Value::as_str)
+        .unwrap_or("none")
+        .to_string();
+    Ok(format!(
+        "acfc top — compile service {addr}\n\
+         queue depth    {}\n\
+         served         {}\n\
+         cache          {} hit / {} miss ({hit_rate}), {}/{} entries\n\
+         compile ms     p50 {:.1}  p95 {:.1}  max {:.1}\n\
+         hot phase      {hot} ({:.1} ms, {:.0}% of busy)\n",
+        int("queue_depth"),
+        int("served"),
+        hits,
+        misses,
+        int("entries"),
+        int("capacity"),
+        flt("compile_ms_p50"),
+        flt("compile_ms_p95"),
+        flt("compile_ms_max"),
+        flt("advice_hot_phase_ms"),
+        flt("advice_hot_phase_share_pct"),
+    ))
+}
+
+/// `acfc top`: redraw the live per-rank table (or the service counters
+/// with `--attach`) every `--interval` until interrupted; `--once`
+/// renders a single frame, and with `--check` exits nonzero when the
+/// telemetry plane is unhealthy.
+fn run_top(args: &Args) -> ExitCode {
+    let interval = Duration::from_millis(args.top_interval.unwrap_or(500));
+    loop {
+        let (screen, failures) = match args.attach.as_deref() {
+            Some(addr) => match render_top_attach(addr) {
+                Ok(s) => (s, Vec::new()),
+                Err(e) => (
+                    format!("acfc top — service {addr} unreachable: {e}\n"),
+                    vec![format!("service {addr}: {e}")],
+                ),
+            },
+            None => render_top_dir(Path::new(&args.input)),
+        };
+        if !args.once {
+            // clear screen + home: redraw the table in place
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{screen}");
+        let _ = std::io::stdout().flush();
+        if args.once {
+            if args.check && !failures.is_empty() {
+                for f in &failures {
+                    eprintln!("acfc: CHECK FAILED: {f}");
+                }
+                return exit_with(&Error::Validation("telemetry checks failed".into()));
+            }
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 /// `acfc trace INPUT.f`: run with journaling, export `trace.json`, and
 /// render the report plus the predicted-vs-measured table. Renders the
 /// partial trace even when ranks fail.
@@ -1489,10 +1725,15 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
             run_error = Some(e);
         }
     } else {
-        let runs = compiled
-            .run_config()
-            .overlap(args.common.overlap)
-            .run_parallel_traced();
+        let mut cfg = compiled.run_config().overlap(args.common.overlap);
+        if let Some(interval) = args.common.telemetry_interval() {
+            cfg = cfg.telemetry(autocfd::runtime::TelemetryConfig {
+                interval,
+                spool_dir: Some(dir.clone()),
+                ..Default::default()
+            });
+        }
+        let runs = cfg.run_parallel_traced();
         if let Ok((m, _)) = &runs[0].outcome {
             for line in &m.output {
                 println!("{line}");
@@ -1521,6 +1762,9 @@ fn run_trace(args: &Args, compiled: &Compiled) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(w) = obs::skipped_warning(&merged) {
+        eprintln!("acfc: {w}");
+    }
     let chrome = autocfd::runtime::chrome_trace(&merged);
     if let Err(e) = std::fs::write(dir.join("trace.json"), chrome) {
         eprintln!("acfc: cannot write trace.json: {e}");
@@ -1571,6 +1815,9 @@ fn main() -> ExitCode {
     }
     if args.mode == Mode::Resume {
         return run_resume(&args);
+    }
+    if args.mode == Mode::Top {
+        return run_top(&args);
     }
     let source = match std::fs::read_to_string(&args.input) {
         Ok(s) => s,
@@ -1730,10 +1977,16 @@ fn main() -> ExitCode {
     } else if args.run || args.common.profile {
         // traced even for a plain run: on failure the partial trace
         // still renders, instead of vanishing with the error
-        let runs = compiled
-            .run_config()
-            .overlap(args.common.overlap)
-            .run_parallel_traced();
+        let mut cfg = compiled.run_config().overlap(args.common.overlap);
+        if let Some(interval) = args.common.telemetry_interval() {
+            // spool into --trace-dir when given, else bus/wire only
+            cfg = cfg.telemetry(autocfd::runtime::TelemetryConfig {
+                interval,
+                spool_dir: args.common.trace_dir.clone().map(PathBuf::from),
+                ..Default::default()
+            });
+        }
+        let runs = cfg.run_parallel_traced();
         if let Ok((m, _)) = &runs[0].outcome {
             for line in &m.output {
                 println!("{line}");

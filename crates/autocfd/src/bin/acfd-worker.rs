@@ -17,6 +17,7 @@
 //!             [--journal DIR] [--plan plan.json]
 //!             [--checkpoint-every N] [--checkpoint-dir DIR]
 //!             [--resume-epoch E] [--chaos-abort-after N]
+//!             [--telemetry] [--telemetry-ms N]
 //! ```
 //!
 //! With `--journal DIR` the worker appends its rank's JSONL trace
@@ -97,7 +98,7 @@ fn parse_args() -> Result<Args, String> {
                             [--verify-exact] [--profile] [--journal DIR] \
                             [--plan plan.json] [--checkpoint-every N] \
                             [--checkpoint-dir DIR] [--resume-epoch E] \
-                            [--chaos-abort-after N]"
+                            [--chaos-abort-after N] [--telemetry] [--telemetry-ms N]"
                     .into())
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(a),
@@ -194,6 +195,16 @@ fn main() -> ExitCode {
     let mut cfg = compiled.run_config().overlap(args.common.overlap);
     if let Some(c) = ckpt {
         cfg = cfg.checkpoint(c);
+    }
+    // live telemetry: frames spool next to the journal (when one was
+    // requested) and piggyback on the TCP heartbeat framing either way,
+    // so `acfc top DIR` can watch the run while it executes
+    if let Some(interval) = args.common.telemetry_interval() {
+        cfg = cfg.telemetry(autocfd::runtime::TelemetryConfig {
+            interval,
+            spool_dir: args.journal.clone(),
+            ..Default::default()
+        });
     }
     // resume is resolved *after* the mesh join assigns this process its
     // rank — workers are interchangeable until then. The epoch stays

@@ -54,6 +54,13 @@ pub struct CommonOpts {
     /// abort the rank at its N-th checkpoint-safe sync visit. The
     /// launcher injects this into a single worker, never the whole mesh.
     pub chaos_abort_after: Option<u64>,
+    /// `--telemetry` — publish live per-rank stat frames (spooled next
+    /// to the journals and piggybacked on the transport) for `acfc top`.
+    pub telemetry: bool,
+    /// `--telemetry-ms N` — telemetry publish interval in milliseconds
+    /// (implies `--telemetry`; default
+    /// [`autocfd_runtime::telemetry::DEFAULT_TELEMETRY_INTERVAL`]).
+    pub telemetry_ms: Option<u64>,
 }
 
 impl CommonOpts {
@@ -140,6 +147,15 @@ impl CommonOpts {
                         .map_err(|_| format!("bad chaos visit count `{v}`"))?,
                 );
             }
+            "--telemetry" => self.telemetry = true,
+            "--telemetry-ms" => {
+                let v = rest.next().ok_or("--telemetry-ms needs a value")?;
+                self.telemetry_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad telemetry interval `{v}`"))?,
+                );
+                self.telemetry = true;
+            }
             "--no-optimize" => self.compile.optimize = false,
             "--profile" => self.profile = true,
             "--overlap" => self.overlap = true,
@@ -165,6 +181,19 @@ impl CommonOpts {
             (every, Some(dir)) => Ok(Some((every.unwrap_or(1), dir.clone()))),
             (None, None) => Ok(None),
         }
+    }
+
+    /// The telemetry publish interval, when live telemetry was
+    /// requested: `--telemetry-ms N` beats the built-in default.
+    pub fn telemetry_interval(&self) -> Option<std::time::Duration> {
+        if !self.telemetry {
+            return None;
+        }
+        Some(
+            self.telemetry_ms
+                .map(std::time::Duration::from_millis)
+                .unwrap_or(autocfd_runtime::telemetry::DEFAULT_TELEMETRY_INTERVAL),
+        )
     }
 
     /// The shared flags a launcher forwards to each `acfd-worker`
@@ -208,6 +237,12 @@ impl CommonOpts {
         if let Some(plan) = &self.plan {
             out.push("--plan".into());
             out.push(plan.clone());
+        }
+        if let Some(interval) = self.telemetry_interval() {
+            // resolved to an explicit interval so every worker publishes
+            // on the same cadence regardless of its binary's default
+            out.push("--telemetry-ms".into());
+            out.push(interval.as_millis().to_string());
         }
         // --chaos-abort-after is deliberately NOT forwarded here: the
         // launcher injects it into exactly one worker, so a chaos run
@@ -326,6 +361,34 @@ mod tests {
         assert!(back.overlap && !back.profile);
         assert_eq!(back.compile.engine, autocfd_codegen::EnginePref::Kernel);
         assert_eq!(back.compile.threads, 4);
+    }
+
+    #[test]
+    fn telemetry_flags_resolve_and_forward() {
+        let (opts, _) = parse(&[]).unwrap();
+        assert!(!opts.telemetry);
+        assert_eq!(opts.telemetry_interval(), None);
+        let words = opts.worker_args();
+        assert!(!words.contains(&"--telemetry-ms".to_string()));
+
+        let (opts, _) = parse(&["--telemetry"]).unwrap();
+        assert_eq!(
+            opts.telemetry_interval(),
+            Some(autocfd_runtime::telemetry::DEFAULT_TELEMETRY_INTERVAL)
+        );
+
+        let (opts, _) = parse(&["--telemetry-ms", "25"]).unwrap();
+        assert!(opts.telemetry, "--telemetry-ms implies --telemetry");
+        assert_eq!(
+            opts.telemetry_interval(),
+            Some(std::time::Duration::from_millis(25))
+        );
+        // workers receive the resolved interval, never the bare flag
+        let words = opts.worker_args();
+        let at = words.iter().position(|w| w == "--telemetry-ms").unwrap();
+        assert_eq!(words[at + 1], "25");
+        assert!(!words.contains(&"--telemetry".to_string()));
+        assert!(parse(&["--telemetry-ms", "soon"]).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use autocfd_cluster_sim::{Comparison, NetworkModel};
 use autocfd_interp::forecast::{forecast, PhaseForecast};
 use autocfd_interp::RankRun;
 use autocfd_runtime::journal::{self, JournalHeader, MergedTrace, SCHEMA_VERSION};
+use autocfd_runtime::telemetry::{read_spool, StatFrame};
 use autocfd_runtime::{
     phase_metrics, rank_breakdown, render_phase_metrics, render_rank_breakdown, render_timeline,
     render_wire_table, PhaseMetrics,
@@ -43,8 +44,8 @@ impl Compiled {
 }
 
 /// Remove artifacts of a previous traced run (`rank-*.jsonl`,
-/// `trace.json`) from `dir`, leaving anything else alone. Missing
-/// directories are fine.
+/// `telemetry-rank-*.jsonl`, `trace.json`) from `dir`, leaving anything
+/// else alone. Missing directories are fine.
 pub fn clean_trace_dir(dir: &Path) -> std::io::Result<()> {
     if !dir.exists() {
         return Ok(());
@@ -52,7 +53,9 @@ pub fn clean_trace_dir(dir: &Path) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if (name.starts_with("rank-") && name.ends_with(".jsonl")) || name == "trace.json" {
+        let journal = (name.starts_with("rank-") || name.starts_with("telemetry-rank-"))
+            && name.ends_with(".jsonl");
+        if journal || name == "trace.json" {
             std::fs::remove_file(&path)?;
         }
     }
@@ -277,6 +280,173 @@ pub fn render_cross_validation(checks: &[PhaseCheck]) -> String {
     out
 }
 
+/// One rank's telemetry spool, summarized for `acfc top` and the
+/// `acfc stats` health section.
+#[derive(Debug, Clone)]
+pub struct RankTelemetry {
+    /// Rank the spool belongs to.
+    pub rank: usize,
+    /// Newest frame in the spool.
+    pub latest: StatFrame,
+    /// Frames parsed from the spool.
+    pub frames: usize,
+    /// Unparsable lines skipped (usually one line torn mid-write by a
+    /// live rank).
+    pub skipped: usize,
+    /// Largest gap between consecutive frame timestamps, milliseconds —
+    /// the coverage-gap signal (a rank that stopped publishing mid-run).
+    pub max_gap_ms: u64,
+    /// Milliseconds covered from the first to the newest frame.
+    pub span_ms: u64,
+    /// Age of the spool file's last write, when the filesystem reports
+    /// modification times — the liveness signal `acfc top` renders.
+    pub age: Option<Duration>,
+}
+
+impl RankTelemetry {
+    /// Fraction of published frames the wire refused. Bus drop-oldest
+    /// evictions don't count — counters are cumulative, so an evicted
+    /// frame is subsumed by the newest retained one.
+    pub fn drop_fraction(&self) -> f64 {
+        let published = self.latest.seq + 1;
+        self.latest.dropped as f64 / published as f64
+    }
+
+    /// The warn-column verdict `acfc stats` renders: `drops!` over the
+    /// drop threshold, `gap!` on a coverage hole, `torn!` on unparsable
+    /// spool lines, `-` when healthy.
+    pub fn warn(&self, max_drop_fraction: f64) -> &'static str {
+        if self.drop_fraction() > max_drop_fraction {
+            "drops!"
+        } else if self.has_coverage_gap() {
+            "gap!"
+        } else if self.skipped > 1 {
+            // one torn line is a live writer, several are corruption
+            "torn!"
+        } else {
+            "-"
+        }
+    }
+
+    /// Whether the spool has a coverage hole: one inter-frame gap
+    /// swallowing more than half the covered span (only judged once the
+    /// span is long enough to make cadence meaningful).
+    pub fn has_coverage_gap(&self) -> bool {
+        self.span_ms >= 1_000 && self.max_gap_ms as f64 > self.span_ms as f64 * 0.5
+    }
+}
+
+/// Scan `dir` for telemetry spool files (`telemetry-rank-<r>.jsonl`) and
+/// summarize each rank's newest state, sorted by rank. An absent
+/// directory or a directory without spools is an empty result, not an
+/// error — telemetry is optional.
+pub fn scan_telemetry(dir: &Path) -> Vec<RankTelemetry> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(rank) = name
+            .strip_prefix("telemetry-rank-")
+            .and_then(|r| r.strip_suffix(".jsonl"))
+            .and_then(|r| r.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let Ok((frames, skipped)) = read_spool(&path) else {
+            continue;
+        };
+        let Some(latest) = frames.last().cloned() else {
+            continue;
+        };
+        let max_gap_ms = frames
+            .windows(2)
+            .map(|w| w[1].at_ms.saturating_sub(w[0].at_ms))
+            .max()
+            .unwrap_or(0);
+        let span_ms = latest
+            .at_ms
+            .saturating_sub(frames.first().map(|f| f.at_ms).unwrap_or(0));
+        let age = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok());
+        rows.push(RankTelemetry {
+            rank,
+            latest,
+            frames: frames.len(),
+            skipped,
+            max_gap_ms,
+            span_ms,
+            age,
+        });
+    }
+    rows.sort_by_key(|r| r.rank);
+    rows
+}
+
+/// Telemetry health verdicts for `--check`: dropped frames over the
+/// threshold and coverage gaps fail; torn lines and idleness only warn.
+pub fn telemetry_failures(rows: &[RankTelemetry], max_drop_fraction: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        if r.drop_fraction() > max_drop_fraction {
+            failures.push(format!(
+                "rank {}: {} of {} telemetry frame(s) dropped ({:.1}% > {:.1}%)",
+                r.rank,
+                r.latest.dropped,
+                r.latest.seq + 1,
+                r.drop_fraction() * 100.0,
+                max_drop_fraction * 100.0
+            ));
+        } else if r.has_coverage_gap() {
+            failures.push(format!(
+                "rank {}: telemetry coverage gap — {} ms silent out of {} ms covered",
+                r.rank, r.max_gap_ms, r.span_ms
+            ));
+        }
+    }
+    failures
+}
+
+/// Render the `acfc stats` telemetry-health table: one row per rank with
+/// the dropped-frame and coverage warn column.
+pub fn render_telemetry_health(rows: &[RankTelemetry], max_drop_fraction: f64) -> String {
+    let mut out = format!(
+        "{:>4}  {:>6}  {:>7}  {:>9}  {:>6}  {:>4}  {:>6}\n",
+        "rank", "frames", "dropped", "gap ms", "ckpt", "q", "warn"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4}  {:>6}  {:>7}  {:>9}  {:>6}  {:>4}  {:>6}\n",
+            r.rank,
+            r.frames,
+            r.latest.dropped,
+            r.max_gap_ms,
+            r.latest.checkpoint_epoch,
+            r.latest.queue_depth,
+            r.warn(max_drop_fraction),
+        ));
+    }
+    out
+}
+
+/// The counted forward-compat warning for journal reads: how many lines
+/// the merger skipped as unrecognized (newer schema, unknown kinds).
+/// `None` when nothing was skipped.
+pub fn skipped_warning(merged: &MergedTrace) -> Option<String> {
+    if merged.skipped == 0 {
+        return None;
+    }
+    Some(format!(
+        "warning: skipped {} unrecognized journal line(s) (written by a newer schema?)",
+        merged.skipped
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +547,84 @@ mod tests {
         let report = render_report(&merged);
         assert!(report.contains("comm hidden by overlap"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_scan_summarizes_and_flags_drops_and_gaps() {
+        use autocfd_runtime::telemetry::{encode_stat_frame, spool_path, TELEMETRY_SCHEMA};
+        let dir = std::env::temp_dir().join(format!("acf-obs-telem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |rank: usize, seq: u64, at_ms: u64, dropped: u64| StatFrame {
+            schema: TELEMETRY_SCHEMA,
+            rank,
+            seq,
+            at_ms,
+            phase: "sync_0".into(),
+            compute_us: 100,
+            wait_us: 10,
+            overlap_us: 0,
+            comm_us: 5,
+            peers: vec![],
+            checkpoint_epoch: 3,
+            engine: "tree".into(),
+            queue_depth: 1,
+            dropped,
+        };
+        // rank 0: healthy; rank 1: a coverage hole plus heavy drops
+        let healthy: Vec<String> = (0..4)
+            .map(|i| encode_stat_frame(&mk(0, i, 100 * i, 0)))
+            .collect();
+        std::fs::write(spool_path(&dir, 0), healthy.join("\n")).unwrap();
+        let gappy = [
+            encode_stat_frame(&mk(1, 0, 0, 0)),
+            encode_stat_frame(&mk(1, 1, 100, 0)),
+            encode_stat_frame(&mk(1, 2, 2_000, 2)),
+        ];
+        std::fs::write(spool_path(&dir, 1), gappy.join("\n")).unwrap();
+
+        assert!(scan_telemetry(Path::new("/nonexistent-acf")).is_empty());
+        let rows = scan_telemetry(&dir);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].rank, 0);
+        assert_eq!(rows[0].frames, 4);
+        assert_eq!(rows[0].max_gap_ms, 100);
+        assert!(!rows[0].has_coverage_gap());
+        assert_eq!(rows[0].warn(0.1), "-");
+        assert_eq!(rows[1].max_gap_ms, 1_900);
+        assert_eq!(rows[1].span_ms, 2_000);
+        assert!(rows[1].has_coverage_gap());
+        assert!(rows[1].drop_fraction() > 0.5);
+        assert_eq!(rows[1].warn(0.1), "drops!");
+
+        let failures = telemetry_failures(&rows, 0.1);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("rank 1"), "{failures:?}");
+        // gap alone (drops under threshold) also fails the check
+        assert_eq!(telemetry_failures(&rows, 10.0).len(), 1);
+        assert!(telemetry_failures(&rows, 10.0)[0].contains("coverage gap"));
+
+        let table = render_telemetry_health(&rows, 0.1);
+        assert!(table.contains("warn"), "{table}");
+        assert!(table.contains("drops!"), "{table}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn skipped_warning_counts_lenient_reads() {
+        let merged = MergedTrace {
+            traces: vec![],
+            phase_names: vec![],
+            transport: "inproc".into(),
+            complete: true,
+            skipped: 0,
+        };
+        assert!(skipped_warning(&merged).is_none());
+        let merged = MergedTrace {
+            skipped: 3,
+            ..merged
+        };
+        assert!(skipped_warning(&merged).unwrap().contains("3"));
     }
 
     #[test]

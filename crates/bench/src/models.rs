@@ -328,6 +328,7 @@ mod tests {
                 phase_names: runs.iter().map(|r| r.phases.clone()).collect(),
                 transport: "inproc".into(),
                 complete: true,
+                skipped: 0,
             };
             let checks = autocfd::obs::cross_validate(&c, &merged, 0.0).unwrap();
             assert!(!checks.is_empty(), "{parts:?}: nothing to validate");

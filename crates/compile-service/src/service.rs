@@ -239,6 +239,7 @@ impl State {
                     phase_names: vec![PHASES.iter().map(|p| p.to_string()).collect()],
                     transport: "service".into(),
                     complete: true,
+                    skipped: 0,
                 };
                 advisor::diagnose(&merged)
             })
@@ -298,6 +299,7 @@ impl State {
             elems: 0,
             bytes: 0,
             phase,
+            seq: None,
         };
         let events = match self.request_events.lock() {
             Ok(mut evs) => {

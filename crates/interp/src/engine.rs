@@ -36,7 +36,7 @@ use autocfd_codegen::{EnginePref, SpmdPlan};
 use autocfd_fortran::ast::StmtId;
 use autocfd_fortran::SourceFile;
 use autocfd_runtime::checkpoint::{latest_consistent_epoch, load_epoch, Snapshot};
-use autocfd_runtime::{run_spmd, Comm};
+use autocfd_runtime::{run_spmd, Comm, TelemetryConfig};
 
 /// An execution backend. Both implementations produce bit-identical
 /// machines, frames, op counters, errors, and trace span structure; the
@@ -131,6 +131,7 @@ pub struct RunConfig<'a> {
     ckpt: Option<CheckpointOpts>,
     resume_dir: Option<PathBuf>,
     resume_epoch: Option<u64>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl<'a> RunConfig<'a> {
@@ -148,6 +149,7 @@ impl<'a> RunConfig<'a> {
             ckpt: None,
             resume_dir: None,
             resume_epoch: None,
+            telemetry: None,
         }
     }
 
@@ -195,6 +197,18 @@ impl<'a> RunConfig<'a> {
     /// Write per-rank snapshots at checkpoint-safe sync points.
     pub fn checkpoint(mut self, opts: CheckpointOpts) -> Self {
         self.ckpt = Some(opts);
+        self
+    }
+
+    /// Stream live per-rank stat frames while the program runs (see
+    /// [`autocfd_runtime::telemetry`]): each rank aggregates its trace
+    /// spans into periodic frames published over the transport and, when
+    /// the config names a spool directory, to
+    /// `telemetry-rank-<r>.jsonl` files `acfc top DIR` tails. The
+    /// config's `engine` label is overwritten with the engine this run
+    /// resolves to.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
         self
     }
 
@@ -318,6 +332,16 @@ impl<'a> RunConfig<'a> {
         })
     }
 
+    /// Attach this config's telemetry sink (if any) to `comm`, stamping
+    /// the frames with the engine the run resolved to.
+    fn attach_telemetry(&self, comm: &Comm, kernels: bool) {
+        if let Some(config) = &self.telemetry {
+            let mut config = config.clone();
+            config.engine = if kernels { "kernel" } else { "tree" }.to_string();
+            comm.enable_telemetry(config);
+        }
+    }
+
     /// Execute one rank over an existing communicator; the rank identity
     /// comes from `comm.rank()`.
     pub fn run_rank(&self, comm: &Comm) -> Result<RankResult, RunError> {
@@ -358,6 +382,7 @@ impl<'a> RunConfig<'a> {
             Err(e) => return fail(e),
         };
         let engine = self.build_engine();
+        self.attach_telemetry(comm, engine.kernels().is_some());
         run_rank_traced_impl(
             self.file,
             plan,
@@ -382,6 +407,7 @@ impl<'a> RunConfig<'a> {
         let kernels = engine.kernels();
         let n = plan.ranks() as usize;
         let results = run_spmd(n, |comm| {
+            self.attach_telemetry(&comm, kernels.is_some());
             let run = run_rank_traced_impl(
                 self.file,
                 plan,
@@ -433,6 +459,7 @@ impl<'a> RunConfig<'a> {
         let kernels = engine.kernels();
         let n = plan.ranks() as usize;
         run_spmd(n, |comm| {
+            self.attach_telemetry(&comm, kernels.is_some());
             run_rank_traced_impl(
                 self.file,
                 plan,

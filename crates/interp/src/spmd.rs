@@ -404,6 +404,9 @@ impl SpmdHooks<'_> {
             return Ok(());
         }
         self.visits += 1;
+        // the telemetry plane reports checkpoint lag as epochs-behind,
+        // so every counted visit updates the rank's epoch counter
+        self.comm.note_checkpoint_epoch(self.visits);
         if let Some(n) = opts.chaos_abort_after {
             if self.visits == n {
                 return Err(RunError::new(format!(

@@ -6,11 +6,12 @@
 //! offset  size  field
 //!      0     4  magic       0xACFD0001, big-endian
 //!      4     1  kind        0 Data, 1 Hello, 2 Welcome, 3 Peers, 4 Heartbeat,
-//!                           5 Request, 6 Response, 7 Stream
+//!                           5 Request, 6 Response, 7 Stream, 8 Telemetry
 //!      5     4  from        sending rank (u32, big-endian)
 //!      9     8  tag         message tag (u64, big-endian)
-//!     17     4  len         payload length in f64 *elements* (u32, BE)
-//!     21  8*len payload     IEEE-754 bit patterns, big-endian
+//!     17     8  seq         sender's causality stamp (u64, BE; 0 = none)
+//!     25     4  len         payload length in f64 *elements* (u32, BE)
+//!     29  8*len payload     IEEE-754 bit patterns, big-endian
 //! ```
 //!
 //! The decoder is incremental (asks for more bytes until a whole frame is
@@ -23,10 +24,10 @@ use bytes::{Buf, BufMut};
 /// Frame magic: "ACFD" spirit, version 1.
 pub const MAGIC: u32 = 0xACFD_0001;
 
-/// Fixed header size in bytes (`magic + kind + from + tag + len`).
+/// Fixed header size in bytes (`magic + kind + from + tag + seq + len`).
 /// Consumers beyond the codec: the trace cross-validation adds this per
 /// predicted frame to turn payload bytes into TCP wire bytes.
-pub const HEADER_LEN: usize = 4 + 1 + 4 + 8 + 4;
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 8 + 8 + 4;
 
 /// Upper bound on payload elements a decoder will accept (1 GiB of
 /// f64s); anything larger is treated as a corrupt length field.
@@ -64,6 +65,11 @@ pub enum FrameKind {
     /// program output of a remote run). Same text packing; `from`
     /// carries the originating rank.
     Stream,
+    /// Live telemetry stat frame (see `autocfd_runtime::telemetry`),
+    /// piggybacked on the heartbeat write queues with drop-on-full
+    /// semantics. Text-packed JSON like [`FrameKind::Request`]; never
+    /// delivered to the application and excluded from wire statistics.
+    Telemetry,
 }
 
 impl FrameKind {
@@ -77,6 +83,7 @@ impl FrameKind {
             FrameKind::Request => 5,
             FrameKind::Response => 6,
             FrameKind::Stream => 7,
+            FrameKind::Telemetry => 8,
         }
     }
 
@@ -90,6 +97,7 @@ impl FrameKind {
             5 => Some(FrameKind::Request),
             6 => Some(FrameKind::Response),
             7 => Some(FrameKind::Stream),
+            8 => Some(FrameKind::Telemetry),
             _ => None,
         }
     }
@@ -104,20 +112,31 @@ pub struct Frame {
     pub from: u32,
     /// Message tag; handshake frames overload it (see [`FrameKind`]).
     pub tag: u64,
+    /// Sender's per-endpoint causality stamp for data frames (first
+    /// send is 1); 0 on frames that carry no stamp (handshake,
+    /// heartbeat, service traffic).
+    pub seq: u64,
     /// The values. f64 bit patterns survive the round-trip exactly,
     /// NaNs included.
     pub payload: Vec<f64>,
 }
 
 impl Frame {
-    /// A data frame.
+    /// A data frame (unstamped; see [`Frame::with_seq`]).
     pub fn data(from: u32, tag: u64, payload: Vec<f64>) -> Frame {
         Frame {
             kind: FrameKind::Data,
             from,
             tag,
+            seq: 0,
             payload,
         }
+    }
+
+    /// The same frame carrying causality stamp `seq`.
+    pub fn with_seq(mut self, seq: u64) -> Frame {
+        self.seq = seq;
+        self
     }
 
     /// Encoded size in bytes.
@@ -134,6 +153,7 @@ impl Frame {
             kind,
             from,
             tag: text.len() as u64,
+            seq: 0,
             payload: pack_text(text),
         }
     }
@@ -221,6 +241,7 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     buf.put_u8(frame.kind.to_wire());
     buf.put_u32(frame.from);
     buf.put_u64(frame.tag);
+    buf.put_u64(frame.seq);
     buf.put_u32(frame.payload.len() as u32);
     for &v in &frame.payload {
         buf.put_f64(v);
@@ -248,6 +269,7 @@ pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
         .ok_or_else(|| DecodeError::Malformed(format!("unknown frame kind {kind_byte}")))?;
     let from = cur.get_u32();
     let tag = cur.get_u64();
+    let seq = cur.get_u64();
     let len = cur.get_u32();
     if len > MAX_PAYLOAD_ELEMS {
         return Err(DecodeError::Malformed(format!(
@@ -267,6 +289,7 @@ pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
             kind,
             from,
             tag,
+            seq,
             payload,
         },
         total,
@@ -322,7 +345,7 @@ mod tests {
 
     #[test]
     fn roundtrip_simple() {
-        let f = Frame::data(3, 1007, vec![1.0, -2.5, 0.0]);
+        let f = Frame::data(3, 1007, vec![1.0, -2.5, 0.0]).with_seq(42);
         let wire = encode(&f);
         assert_eq!(wire.len(), f.encoded_len());
         let (g, consumed) = decode(&wire).unwrap();
@@ -394,6 +417,7 @@ mod tests {
             kind: FrameKind::Welcome,
             from: 2,
             tag: 4,
+            seq: 0,
             payload: vec![],
         };
         let wire = encode(&f);
@@ -474,16 +498,19 @@ mod proptests {
                 Just(FrameKind::Request),
                 Just(FrameKind::Response),
                 Just(FrameKind::Stream),
+                Just(FrameKind::Telemetry),
             ],
             0u32..=u32::MAX,
+            0u64..=u64::MAX,
             0u64..=u64::MAX,
             // arbitrary bit patterns, NaNs and infinities included
             proptest::collection::vec((0u64..=u64::MAX).prop_map(f64::from_bits), 0..48),
         )
-            .prop_map(|(kind, from, tag, payload)| Frame {
+            .prop_map(|(kind, from, tag, seq, payload)| Frame {
                 kind,
                 from,
                 tag,
+                seq,
                 payload,
             })
     }
@@ -505,6 +532,7 @@ mod proptests {
             prop_assert_eq!(out.kind, frame.kind);
             prop_assert_eq!(out.from, frame.from);
             prop_assert_eq!(out.tag, frame.tag);
+            prop_assert_eq!(out.seq, frame.seq);
             prop_assert_eq!(bits(&out.payload), bits(&frame.payload));
         }
 

@@ -150,10 +150,10 @@ mod tests {
             comm.wire_stats()
         })
         .unwrap();
-        // 10 f64s + 21-byte header = 101 wire bytes for the data frame;
+        // 10 f64s + 29-byte header = 109 wire bytes for the data frame;
         // barrier frames add more on both counters
-        assert!(results[0].bytes_sent >= 101, "{:?}", results[0]);
-        assert!(results[1].bytes_recvd >= 101, "{:?}", results[1]);
+        assert!(results[0].bytes_sent >= 109, "{:?}", results[0]);
+        assert!(results[1].bytes_recvd >= 109, "{:?}", results[1]);
         assert_eq!(
             results[0].bytes_sent + results[1].bytes_sent,
             results[0].bytes_recvd + results[1].bytes_recvd,
@@ -232,6 +232,7 @@ mod tests {
                 kind: FrameKind::Hello,
                 from: 0,
                 tag: u64::from(dead_port),
+                seq: 0,
                 payload: vec![],
             }))
             .unwrap();

@@ -143,6 +143,7 @@ impl Rendezvous {
                         kind: FrameKind::Welcome,
                         from: rank,
                         tag: self.n as u64,
+                        seq: 0,
                         payload: vec![],
                     }))
                     .map_err(|e| io_err(0, rank as usize, &e))?;
@@ -169,6 +170,7 @@ impl Rendezvous {
             kind: FrameKind::Peers,
             from: 0,
             tag: self.n as u64,
+            seq: 0,
             payload: ports,
         });
         for (rank, (s, _)) in workers.iter_mut().enumerate() {
@@ -202,6 +204,11 @@ pub struct TcpTransport {
     liveness_epoch: Instant,
     hb_stop: Arc<AtomicBool>,
     hb_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Monotonic causality stamp for outgoing data frames (first = 1).
+    send_seq: AtomicU64,
+    /// `telemetry[p]` holds the latest telemetry frame (JSON line)
+    /// decoded from peer `p`'s connection.
+    telemetry: Arc<Vec<Mutex<Option<String>>>>,
     msgs_sent: AtomicU64,
     bytes_sent: AtomicU64,
     msgs_recvd: AtomicU64,
@@ -229,6 +236,7 @@ impl TcpTransport {
             kind: FrameKind::Hello,
             from: 0,
             tag: u64::from(my_port),
+            seq: 0,
             payload: vec![],
         }))
         .map_err(|e| io_err(0, 0, &e))?;
@@ -289,6 +297,7 @@ impl TcpTransport {
                 kind: FrameKind::Hello,
                 from: rank as u32,
                 tag: 0,
+                seq: 0,
                 payload: vec![],
             }))
             .map_err(|e| io_err(rank, peer, &e))?;
@@ -324,13 +333,18 @@ impl TcpTransport {
         let last_seen: Arc<Vec<AtomicU64>> =
             Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
         let (inbox_tx, inbox_rx) = unbounded::<InboxMsg>();
+        let telemetry: Arc<Vec<Mutex<Option<String>>>> =
+            Arc::new((0..size).map(|_| Mutex::new(None)).collect());
         let mut writers: WriterQueues = (0..size).map(|_| None).collect();
         let mut writer_handles = Vec::with_capacity(size.saturating_sub(1));
         for (peer, stream) in streams {
             let reader = stream.try_clone().map_err(|e| io_err(rank, peer, &e))?;
             let inbox_tx = inbox_tx.clone();
             let seen = Arc::clone(&last_seen);
-            std::thread::spawn(move || run_reader(peer, reader, inbox_tx, seen, liveness_epoch));
+            let telem = Arc::clone(&telemetry);
+            std::thread::spawn(move || {
+                run_reader(peer, reader, inbox_tx, seen, telem, liveness_epoch)
+            });
 
             let (wtx, wrx) = bounded::<Vec<u8>>(WRITE_QUEUE_FRAMES);
             writers[peer] = Some(wtx);
@@ -360,6 +374,7 @@ impl TcpTransport {
                 kind: FrameKind::Heartbeat,
                 from: rank as u32,
                 tag: 0,
+                seq: 0,
                 payload: vec![],
             });
             Some(std::thread::spawn(move || {
@@ -394,6 +409,8 @@ impl TcpTransport {
             liveness_epoch,
             hb_stop,
             hb_handle: Mutex::new(hb_handle),
+            send_seq: AtomicU64::new(0),
+            telemetry,
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             msgs_recvd: AtomicU64::new(0),
@@ -424,20 +441,31 @@ impl TcpTransport {
 }
 
 /// Reader thread body: decode frames into the inbox until the peer goes
-/// away, then report how it went away. Every decoded frame — data or
-/// heartbeat — refreshes the peer's last-seen clock; heartbeats are
-/// otherwise swallowed here (never forwarded, never counted).
+/// away, then report how it went away. Every decoded frame — data,
+/// heartbeat, or telemetry — refreshes the peer's last-seen clock;
+/// heartbeats are otherwise swallowed here (never forwarded, never
+/// counted), and telemetry frames only replace the peer's latest-frame
+/// slot.
 fn run_reader(
     peer: usize,
     mut stream: TcpStream,
     inbox: Sender<InboxMsg>,
     last_seen: Arc<Vec<AtomicU64>>,
+    telemetry: Arc<Vec<Mutex<Option<String>>>>,
     epoch: Instant,
 ) {
     loop {
         match read_frame(&mut stream) {
             Ok(Some((frame, _))) if frame.kind == FrameKind::Heartbeat => {
                 last_seen[peer].store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+            }
+            Ok(Some((frame, _))) if frame.kind == FrameKind::Telemetry => {
+                last_seen[peer].store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+                if let Ok(json) = frame.text() {
+                    *telemetry[peer].lock() = Some(json);
+                }
+                // an undecodable telemetry frame is dropped, not fatal:
+                // the observability side channel must never kill a run
             }
             Ok(Some((frame, wire_bytes))) if frame.kind == FrameKind::Data => {
                 last_seen[peer].store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
@@ -447,6 +475,7 @@ fn run_reader(
                         tag: frame.tag,
                         payload: frame.payload,
                         wire_bytes,
+                        seq: frame.seq,
                     })
                     .is_err()
                 {
@@ -525,7 +554,8 @@ impl Transport for TcpTransport {
     }
 
     fn isend(&self, to: usize, tag: u64, payload: &[f64]) -> Result<SendRequest, CommError> {
-        let frame = Frame::data(self.rank as u32, tag, payload.to_vec());
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let frame = Frame::data(self.rank as u32, tag, payload.to_vec()).with_seq(seq);
         let wire = encode(&frame);
         let wire_bytes = wire.len();
         let tx = {
@@ -546,6 +576,7 @@ impl Transport for TcpTransport {
             to,
             tag,
             wire_bytes,
+            seq,
         })
     }
 
@@ -553,19 +584,19 @@ impl Transport for TcpTransport {
         &self,
         mut req: RecvRequest,
         timeout: Duration,
-    ) -> Result<(Vec<f64>, usize), CommError> {
+    ) -> Result<(Vec<f64>, usize, u64), CommError> {
         // test_recv already pulled it off the inbox (and counted it)
         if let Some(found) = req.take_done() {
             return Ok(found);
         }
-        let (payload, wire_bytes) = self
+        let (payload, wire_bytes, seq) = self
             .inbox
             .recv(req.from, req.tag, timeout)
             .map_err(|e| self.annotate_liveness(e, req.from))?;
         self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
         self.bytes_recvd
             .fetch_add(wire_bytes as u64, Ordering::Relaxed);
-        Ok((payload, wire_bytes))
+        Ok((payload, wire_bytes, seq))
     }
 
     fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError> {
@@ -573,15 +604,34 @@ impl Transport for TcpTransport {
             return Ok(true);
         }
         match self.inbox.try_recv(req.from, req.tag)? {
-            Some((payload, wire_bytes)) => {
+            Some((payload, wire_bytes, seq)) => {
                 self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
                 self.bytes_recvd
                     .fetch_add(wire_bytes as u64, Ordering::Relaxed);
-                req.complete(payload, wire_bytes);
+                req.complete(payload, wire_bytes, seq);
                 Ok(true)
             }
             None => Ok(false),
         }
+    }
+
+    fn publish_telemetry(&self, frame_json: &str) -> bool {
+        // mirror our own frame locally so a same-process observer (the
+        // launcher polling an attached transport) sees every rank
+        *self.telemetry[self.rank].lock() = Some(frame_json.to_string());
+        let frame = Frame::from_text(FrameKind::Telemetry, self.rank as u32, frame_json);
+        let wire = encode(&frame);
+        let mut taken = false;
+        // try_send only: a full write queue means data frames are in
+        // flight — drop the telemetry frame rather than stall compute
+        for w in self.writers.lock().iter().flatten() {
+            taken |= w.try_send(wire.clone()).is_ok();
+        }
+        taken
+    }
+
+    fn peer_telemetry(&self, peer: usize) -> Option<String> {
+        self.telemetry.get(peer)?.lock().clone()
     }
 
     fn wire_stats(&self) -> WireStats {

@@ -3,10 +3,12 @@
 //! trace for the profiler.
 
 use crate::error::CommError;
+use crate::telemetry::{encode_stat_frame, TelemetryConfig, TelemetrySink};
 use crate::trace::{EventKind, Recorder, TraceEvent};
 use crate::transport::{RecvRequest, SendRequest, Transport, WireStats};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default receive timeout; long enough for heavyweight tests, short
@@ -76,6 +78,8 @@ pub struct Comm {
     phases: Mutex<Vec<String>>,
     /// Index of the currently executing phase.
     phase: AtomicU32,
+    /// Live telemetry sink, when enabled (see [`Comm::enable_telemetry`]).
+    telemetry: Mutex<Option<Arc<TelemetrySink>>>,
 }
 
 impl Comm {
@@ -91,6 +95,50 @@ impl Comm {
             trace: Mutex::new(Vec::new()),
             phases: Mutex::new(vec!["main".to_string()]),
             phase: AtomicU32::new(0),
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Turn the live telemetry plane on: from now on this rank
+    /// aggregates its spans into periodic stat frames, spools them (if
+    /// `config.spool_dir` is set), and offers them to the transport's
+    /// side channel. Returns the sink so callers can read the bus or the
+    /// dropped-frame counter.
+    pub fn enable_telemetry(&self, config: TelemetryConfig) -> Arc<TelemetrySink> {
+        let sink = Arc::new(TelemetrySink::new(config));
+        *self.telemetry.lock() = Some(Arc::clone(&sink));
+        sink
+    }
+
+    /// The telemetry sink, if [`Comm::enable_telemetry`] has been called.
+    pub fn telemetry(&self) -> Option<Arc<TelemetrySink>> {
+        self.telemetry.lock().clone()
+    }
+
+    /// Record that checkpoint `epoch` has completed on this rank; shows
+    /// up in the next stat frame so observers can see checkpoint lag.
+    pub fn note_checkpoint_epoch(&self, epoch: u64) {
+        if let Some(sink) = self.telemetry() {
+            sink.note_checkpoint(epoch);
+        }
+    }
+
+    /// Cut and publish a stat frame if the telemetry interval elapsed.
+    /// Called from the record paths; cheap no-op when telemetry is off
+    /// or the interval has not passed.
+    fn maybe_publish_telemetry(&self) {
+        let Some(sink) = self.telemetry() else { return };
+        if !sink.due() {
+            return;
+        }
+        let frame = sink.publish(
+            self.rank(),
+            &self.current_phase_name(),
+            self.epoch.elapsed(),
+        );
+        let taken = self.transport.publish_telemetry(&encode_stat_frame(&frame));
+        if !taken && self.size() > 1 {
+            sink.note_wire_drop();
         }
     }
 
@@ -160,6 +208,7 @@ impl Comm {
         peer: Option<usize>,
         elems: usize,
         bytes: usize,
+        seq: Option<u64>,
     ) {
         let end = self.epoch.elapsed();
         let start = start.duration_since(self.epoch);
@@ -171,7 +220,24 @@ impl Comm {
             elems,
             bytes,
             phase: self.current_phase(),
+            seq,
         });
+        if let Some(sink) = self.telemetry() {
+            let span = end.saturating_sub(start);
+            match kind {
+                EventKind::Send => {
+                    sink.add_comm(span);
+                    if let Some(p) = peer {
+                        sink.add_send(p, bytes);
+                    }
+                }
+                EventKind::Reduce => sink.add_comm(span),
+                EventKind::Recv | EventKind::Barrier => sink.add_wait(span),
+                EventKind::Compute => sink.add_compute(span),
+                EventKind::Overlap => sink.add_overlap(span),
+            }
+        }
+        self.maybe_publish_telemetry();
     }
 
     /// The instant trace timestamps are measured from.
@@ -190,12 +256,19 @@ impl Comm {
     /// Panics if `to` is out of range or is this rank itself.
     pub fn send(&self, to: usize, tag: u64, payload: &[f64]) -> Result<(), CommError> {
         let t0 = Instant::now();
-        let bytes = self.send_raw(to, tag, payload)?;
-        self.record(EventKind::Send, t0, Some(to), payload.len(), bytes);
+        let (bytes, seq) = self.send_raw(to, tag, payload)?;
+        self.record(
+            EventKind::Send,
+            t0,
+            Some(to),
+            payload.len(),
+            bytes,
+            Some(seq),
+        );
         Ok(())
     }
 
-    fn send_raw(&self, to: usize, tag: u64, payload: &[f64]) -> Result<usize, CommError> {
+    fn send_raw(&self, to: usize, tag: u64, payload: &[f64]) -> Result<(usize, u64), CommError> {
         assert!(to < self.size(), "send to rank {to} of {}", self.size());
         assert_ne!(to, self.rank(), "self-send is a schedule bug");
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
@@ -206,9 +279,12 @@ impl Comm {
             .transport
             .isend(to, tag, payload)
             .map_err(|e| self.ctx(e))?;
-        self.transport
+        let seq = req.seq;
+        let bytes = self
+            .transport
             .wait_send(req, self.timeout)
-            .map_err(|e| self.ctx(e))
+            .map_err(|e| self.ctx(e))?;
+        Ok((bytes, seq))
     }
 
     /// Receive the next message from `from` with `tag` (FIFO per
@@ -216,8 +292,15 @@ impl Comm {
     /// first are parked, preserving their own order.
     pub fn recv(&self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
         let t0 = Instant::now();
-        let (payload, bytes) = self.recv_raw(from, tag)?;
-        self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
+        let (payload, bytes, seq) = self.recv_raw(from, tag)?;
+        self.record(
+            EventKind::Recv,
+            t0,
+            Some(from),
+            payload.len(),
+            bytes,
+            Some(seq),
+        );
         Ok(payload)
     }
 
@@ -241,7 +324,14 @@ impl Comm {
             .transport
             .isend(to, tag, payload)
             .map_err(|e| self.ctx(e))?;
-        self.record(EventKind::Send, t0, Some(to), payload.len(), req.wire_bytes);
+        self.record(
+            EventKind::Send,
+            t0,
+            Some(to),
+            payload.len(),
+            req.wire_bytes,
+            Some(req.seq),
+        );
         Ok(req)
     }
 
@@ -265,11 +355,18 @@ impl Comm {
     pub fn wait_recv(&self, req: RecvRequest) -> Result<Vec<f64>, CommError> {
         let t0 = Instant::now();
         let from = req.from;
-        let (payload, bytes) = self
+        let (payload, bytes, seq) = self
             .transport
             .wait_recv(req, self.timeout)
             .map_err(|e| self.ctx(e))?;
-        self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
+        self.record(
+            EventKind::Recv,
+            t0,
+            Some(from),
+            payload.len(),
+            bytes,
+            Some(seq),
+        );
         Ok(payload)
     }
 
@@ -296,26 +393,40 @@ impl Comm {
                 .map_err(|e| self.ctx(e))?
             {
                 let from = req.from;
-                let (payload, bytes) = self
+                let (payload, bytes, seq) = self
                     .transport
                     .wait_recv(req, self.timeout)
                     .map_err(|e| self.ctx(e))?;
-                self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
+                self.record(
+                    EventKind::Recv,
+                    t0,
+                    Some(from),
+                    payload.len(),
+                    bytes,
+                    Some(seq),
+                );
                 return Ok(payload);
             }
             std::hint::spin_loop();
         }
         std::thread::yield_now();
         let from = req.from;
-        let (payload, bytes) = self
+        let (payload, bytes, seq) = self
             .transport
             .wait_recv(req, self.timeout)
             .map_err(|e| self.ctx(e))?;
-        self.record(EventKind::Recv, t0, Some(from), payload.len(), bytes);
+        self.record(
+            EventKind::Recv,
+            t0,
+            Some(from),
+            payload.len(),
+            bytes,
+            Some(seq),
+        );
         Ok(payload)
     }
 
-    fn recv_raw(&self, from: usize, tag: u64) -> Result<(Vec<f64>, usize), CommError> {
+    fn recv_raw(&self, from: usize, tag: u64) -> Result<(Vec<f64>, usize, u64), CommError> {
         let req = self.transport.irecv(from, tag);
         self.transport
             .wait_recv(req, self.timeout)
@@ -342,7 +453,7 @@ impl Comm {
         self.transport
             .barrier(self.timeout)
             .map_err(|e| self.ctx(e))?;
-        self.record(EventKind::Barrier, t0, None, 0, 0);
+        self.record(EventKind::Barrier, t0, None, 0, 0, None);
         Ok(())
     }
 
@@ -360,21 +471,21 @@ impl Comm {
         let result = if self.rank() == 0 {
             let mut acc = value;
             for src in 1..self.size() {
-                let (v, b) = self.recv_raw(src, REDUCE_TAG)?;
+                let (v, b, _) = self.recv_raw(src, REDUCE_TAG)?;
                 bytes += b;
                 acc = op.apply(acc, v[0]);
             }
             for dst in 1..self.size() {
-                bytes += self.send_raw(dst, BCAST_TAG, &[acc])?;
+                bytes += self.send_raw(dst, BCAST_TAG, &[acc])?.0;
             }
             acc
         } else {
-            bytes += self.send_raw(0, REDUCE_TAG, &[value])?;
-            let (v, b) = self.recv_raw(0, BCAST_TAG)?;
+            bytes += self.send_raw(0, REDUCE_TAG, &[value])?.0;
+            let (v, b, _) = self.recv_raw(0, BCAST_TAG)?;
             bytes += b;
             v[0]
         };
-        self.record(EventKind::Reduce, t0, None, 1, bytes);
+        self.record(EventKind::Reduce, t0, None, 1, bytes, None);
         Ok(result)
     }
 
@@ -437,7 +548,16 @@ impl Recorder for Comm {
             elems: 0,
             bytes: 0,
             phase: self.current_phase(),
+            seq: None,
         });
+        if let Some(sink) = self.telemetry() {
+            let span = end.saturating_duration_since(start);
+            match kind {
+                EventKind::Overlap => sink.add_overlap(span),
+                _ => sink.add_compute(span),
+            }
+        }
+        self.maybe_publish_telemetry();
     }
 }
 
@@ -803,7 +923,7 @@ mod tests {
                 &self,
                 req: RecvRequest,
                 timeout: Duration,
-            ) -> Result<(Vec<f64>, usize), CommError> {
+            ) -> Result<(Vec<f64>, usize, u64), CommError> {
                 self.0.wait_recv(req, timeout)
             }
             fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError> {

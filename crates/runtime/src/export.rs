@@ -17,10 +17,24 @@ use crate::trace::{EventKind, TraceEvent};
 use serde::json::Value;
 use std::time::Duration;
 
+/// The flow id tying a send `ph:"s"` to its recv `ph:"f"`: the sender's
+/// rank in the high bits, its per-endpoint sequence number in the low
+/// 40. Both sides derive the same id independently (the recv carries
+/// the sender's rank as `peer` and the sender's seq), so no cross-rank
+/// coordination is needed at export time.
+fn flow_id(sender: usize, seq: u64) -> i128 {
+    ((sender as i128) << 40) | (seq as i128 & ((1 << 40) - 1))
+}
+
 /// Render a merged trace in Chrome trace-event JSON (object form, `"X"`
 /// complete events, microsecond timestamps). Tracks: `pid` 0, one `tid`
 /// per rank plus a `thread_name` metadata record; event names are
 /// `<kind> <phase>` so Perfetto groups by activity.
+///
+/// Causality-stamped messages (journal schema 3) additionally emit flow
+/// events — `ph:"s"` anchored in the send slice and `ph:"f"` /
+/// `bp:"e"` anchored in the matching recv slice — so Perfetto draws a
+/// send→recv arrow for every point-to-point message.
 pub fn chrome_trace(merged: &MergedTrace) -> String {
     let mut events = Vec::new();
     for (rank, trace) in merged.traces.iter().enumerate() {
@@ -60,6 +74,32 @@ pub fn chrome_trace(merged: &MergedTrace) -> String {
                 ("tid", Value::Int(rank as i128)),
                 ("args", Value::obj(args)),
             ]));
+            let flow = match (e.kind, e.peer, e.seq) {
+                // the send starts the flow; the arrow leaves its slice
+                (EventKind::Send, Some(_), Some(seq)) => Some(("s", flow_id(rank, seq), e.start)),
+                // the recv finishes it; `peer` is the *sender*, so both
+                // sides compute the same id
+                (EventKind::Recv, Some(sender), Some(seq)) => {
+                    Some(("f", flow_id(sender, seq), e.end))
+                }
+                _ => None,
+            };
+            if let Some((ph, id, ts)) = flow {
+                let mut fields = vec![
+                    ("name", Value::Str("msg".into())),
+                    ("cat", Value::Str("flow".into())),
+                    ("ph", Value::Str(ph.into())),
+                    ("id", Value::Int(id)),
+                    ("ts", Value::Float(ts.as_nanos() as f64 / 1000.0)),
+                    ("pid", Value::Int(0)),
+                    ("tid", Value::Int(rank as i128)),
+                ];
+                if ph == "f" {
+                    // bind to the enclosing (recv) slice, not the next one
+                    fields.push(("bp", Value::Str("e".into())));
+                }
+                events.push(Value::obj(fields));
+            }
         }
     }
     Value::obj(vec![
@@ -370,6 +410,7 @@ mod tests {
             },
             events,
             complete: true,
+            skipped: 0,
         };
         let ev = |kind, s: u64, e: u64, phase: &str| JournalEvent {
             kind,
@@ -384,6 +425,7 @@ mod tests {
             bytes: if kind == EventKind::Send { 64 } else { 0 },
             phase: phase.into(),
             engine: "tree".into(),
+            seq: None,
         };
         crate::journal::merge(&[
             mk(
@@ -442,6 +484,76 @@ mod tests {
         );
     }
 
+    /// Golden test for the flow-event export: a stamped send/recv pair
+    /// must produce exactly one `ph:"s"` and one `ph:"f"` with the same
+    /// id, and that id must be stable across runs (it is derived from
+    /// `(sender_rank, seq)`, nothing time- or order-dependent).
+    #[test]
+    fn chrome_trace_emits_paired_flow_events_for_stamped_messages() {
+        let mk = |rank: usize, events: Vec<JournalEvent>| RankJournal {
+            header: JournalHeader {
+                version: SCHEMA_VERSION,
+                rank,
+                ranks: 2,
+                transport: "inproc".into(),
+                epoch_unix_ns: 0,
+            },
+            events,
+            complete: true,
+            skipped: 0,
+        };
+        let msg = |kind, peer: usize, seq: u64, s: u64, e: u64| JournalEvent {
+            kind,
+            start: Duration::from_micros(s),
+            end: Duration::from_micros(e),
+            peer: Some(peer),
+            elems: 8,
+            bytes: 64,
+            phase: "sync_0".into(),
+            engine: "tree".into(),
+            seq: Some(seq),
+        };
+        let merged = crate::journal::merge(&[
+            mk(0, vec![msg(EventKind::Send, 1, 3, 10, 12)]),
+            mk(1, vec![msg(EventKind::Recv, 0, 3, 10, 40)]),
+        ]);
+        let doc = json::parse(&chrome_trace(&merged)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 2, "one start + one finish");
+        let s = flows
+            .iter()
+            .find(|f| f.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        let f = flows
+            .iter()
+            .find(|f| f.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow finish");
+        // the golden id: sender rank 0 << 40 | seq 3
+        assert_eq!(s.get("id").unwrap().as_int(), Some(3));
+        assert_eq!(f.get("id").unwrap().as_int(), Some(3));
+        assert_eq!(s.get("tid").unwrap().as_int(), Some(0), "starts on sender");
+        assert_eq!(f.get("tid").unwrap().as_int(), Some(1), "ends on receiver");
+        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"), "binds enclosing");
+        assert!(s.get("bp").is_none());
+        // anchored inside their slices: s at send start, f at recv end
+        assert_eq!(s.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(f.get("ts").unwrap().as_f64(), Some(40.0));
+        // a second export is byte-identical (stable ordering)
+        assert_eq!(chrome_trace(&merged), chrome_trace(&merged));
+    }
+
+    #[test]
+    fn flow_id_packs_rank_and_seq() {
+        assert_eq!(flow_id(0, 1), 1);
+        assert_eq!(flow_id(3, 1), (3 << 40) + 1);
+        // ids never collide across sender ranks for in-range seqs
+        assert_ne!(flow_id(1, 7), flow_id(2, 7));
+    }
+
     #[test]
     fn phase_metrics_split_compute_comm_wait() {
         let merged = merged_fixture();
@@ -484,6 +596,7 @@ mod tests {
                     bytes: 0,
                     phase: "sync_0".into(),
                     engine: "tree".into(),
+                    seq: None,
                 },
                 JournalEvent {
                     kind: EventKind::Recv,
@@ -494,9 +607,11 @@ mod tests {
                     bytes: 32,
                     phase: "sync_0".into(),
                     engine: "tree".into(),
+                    seq: Some(1),
                 },
             ],
             complete: true,
+            skipped: 0,
         };
         let merged = crate::journal::merge(&[journal]);
         let ms = phase_metrics(&merged);

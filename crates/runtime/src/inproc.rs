@@ -8,6 +8,7 @@ use crate::comm::{Comm, DEFAULT_TIMEOUT};
 use crate::error::CommError;
 use crate::transport::{InboxMsg, MatchingInbox, RecvRequest, SendRequest, Transport, WireStats};
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -20,6 +21,11 @@ pub struct InprocTransport {
     senders: Vec<Sender<InboxMsg>>,
     inbox: MatchingInbox,
     barrier: Arc<Barrier>,
+    /// Monotonic causality stamp for outgoing messages (first send = 1).
+    send_seq: AtomicU64,
+    /// Shared mesh-wide telemetry slots: `telemetry[r]` holds rank `r`'s
+    /// latest published stat frame (JSON line).
+    telemetry: Arc<Vec<Mutex<Option<String>>>>,
     msgs_sent: AtomicU64,
     bytes_sent: AtomicU64,
     msgs_recvd: AtomicU64,
@@ -39,6 +45,7 @@ impl InprocTransport {
             receivers.push(rx);
         }
         let barrier = Arc::new(Barrier::new(n));
+        let telemetry = Arc::new((0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>());
         receivers
             .into_iter()
             .enumerate()
@@ -48,6 +55,8 @@ impl InprocTransport {
                 senders: senders.clone(),
                 inbox: MatchingInbox::new(rank, rx),
                 barrier: barrier.clone(),
+                send_seq: AtomicU64::new(0),
+                telemetry: telemetry.clone(),
                 msgs_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
                 msgs_recvd: AtomicU64::new(0),
@@ -68,6 +77,7 @@ impl Transport for InprocTransport {
 
     fn isend(&self, to: usize, tag: u64, payload: &[f64]) -> Result<SendRequest, CommError> {
         let wire_bytes = payload.len() * 8;
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed) + 1;
         // peer gone = program shutting down; ignore like MPI_Send to a
         // finalized rank would abort — tests catch it via recv timeouts.
         let _ = self.senders[to].send(InboxMsg::Data {
@@ -75,6 +85,7 @@ impl Transport for InprocTransport {
             tag,
             payload: payload.to_vec(),
             wire_bytes,
+            seq,
         });
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent
@@ -83,6 +94,7 @@ impl Transport for InprocTransport {
             to,
             tag,
             wire_bytes,
+            seq,
         })
     }
 
@@ -90,16 +102,16 @@ impl Transport for InprocTransport {
         &self,
         mut req: RecvRequest,
         timeout: Duration,
-    ) -> Result<(Vec<f64>, usize), CommError> {
+    ) -> Result<(Vec<f64>, usize, u64), CommError> {
         // test_recv already pulled it off the inbox (and counted it)
         if let Some(found) = req.take_done() {
             return Ok(found);
         }
-        let (payload, wire_bytes) = self.inbox.recv(req.from, req.tag, timeout)?;
+        let (payload, wire_bytes, seq) = self.inbox.recv(req.from, req.tag, timeout)?;
         self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
         self.bytes_recvd
             .fetch_add(wire_bytes as u64, Ordering::Relaxed);
-        Ok((payload, wire_bytes))
+        Ok((payload, wire_bytes, seq))
     }
 
     fn test_recv(&self, req: &mut RecvRequest) -> Result<bool, CommError> {
@@ -107,11 +119,11 @@ impl Transport for InprocTransport {
             return Ok(true);
         }
         match self.inbox.try_recv(req.from, req.tag)? {
-            Some((payload, wire_bytes)) => {
+            Some((payload, wire_bytes, seq)) => {
                 self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
                 self.bytes_recvd
                     .fetch_add(wire_bytes as u64, Ordering::Relaxed);
-                req.complete(payload, wire_bytes);
+                req.complete(payload, wire_bytes, seq);
                 Ok(true)
             }
             None => Ok(false),
@@ -123,6 +135,15 @@ impl Transport for InprocTransport {
         // cheaper and immune to tag-band traffic
         self.barrier.wait();
         Ok(())
+    }
+
+    fn publish_telemetry(&self, frame_json: &str) -> bool {
+        *self.telemetry[self.rank].lock() = Some(frame_json.to_string());
+        true
+    }
+
+    fn peer_telemetry(&self, peer: usize) -> Option<String> {
+        self.telemetry.get(peer)?.lock().clone()
     }
 
     fn wire_stats(&self) -> WireStats {
@@ -225,8 +246,9 @@ mod proptests {
                     // touching the inbox again
                     while !receiver.test_recv(&mut req).unwrap() {}
                 }
-                let (payload, wire) = receiver.wait_recv(req, T).unwrap();
+                let (payload, wire, seq) = receiver.wait_recv(req, T).unwrap();
                 prop_assert_eq!(wire, 8);
+                prop_assert!(seq >= 1, "every data message carries a causality stamp");
                 prop_assert_eq!(payload.len(), 1);
                 per_tag[tag].push(payload[0]);
                 step += 1;

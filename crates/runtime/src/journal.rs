@@ -27,10 +27,14 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Version stamped into every journal header; bump on any change to the
-/// record shapes below. The parser accepts every version from 1 up to
-/// this one — version 2 added the per-event `engine` tag, which defaults
-/// to `"tree"` when reading version-1 journals.
-pub const SCHEMA_VERSION: i64 = 2;
+/// record shapes below. The parser accepts every version from 1 upward —
+/// version 2 added the per-event `engine` tag (defaults to `"tree"` when
+/// reading version-1 journals); version 3 added the optional per-event
+/// `seq` causality stamp and made reads forward-compatible: unknown
+/// record types, unknown event kinds, and extra fields are *skipped and
+/// counted* (see [`RankJournal::skipped`]) instead of erroring, so a
+/// journal written by a newer build still merges on an older one.
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// Run-level metadata opening each rank's journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +74,11 @@ pub struct JournalEvent {
     /// `"kernel"`. Version-1 journals (written before the tag existed)
     /// read back as `"tree"`.
     pub engine: String,
+    /// Per-endpoint message sequence number — the causality stamp that
+    /// pairs a recv with the exact send that produced it (`(peer, seq)`
+    /// is unique per sender). `None` for collectives, compute spans, and
+    /// events from pre-version-3 journals.
+    pub seq: Option<u64>,
 }
 
 /// One rank's parsed journal.
@@ -82,6 +91,11 @@ pub struct RankJournal {
     /// Whether the footer was present and its count matched — `false`
     /// means the journal was truncated (the rank died mid-run).
     pub complete: bool,
+    /// Lines skipped by the forward-compat parser: unknown record types
+    /// or event kinds a newer schema introduced. Non-zero means the
+    /// timeline is readable but not exhaustive — surface it as a
+    /// warning, not an error.
+    pub skipped: usize,
 }
 
 /// A journal read or parse failure.
@@ -164,7 +178,7 @@ impl JournalWriter {
             Some(p) => Value::Int(p as i128),
             None => Value::Null,
         };
-        let line = Value::obj(vec![
+        let mut fields = vec![
             ("type", Value::Str("event".into())),
             ("kind", Value::Str(ev.kind.name().into())),
             ("start_ns", Value::Int(ev.start.as_nanos() as i128)),
@@ -174,7 +188,11 @@ impl JournalWriter {
             ("bytes", Value::Int(ev.bytes as i128)),
             ("phase", Value::Str(ev.phase.clone())),
             ("engine", Value::Str(ev.engine.clone())),
-        ]);
+        ];
+        if let Some(seq) = ev.seq {
+            fields.push(("seq", Value::Int(seq as i128)));
+        }
+        let line = Value::obj(fields);
         writeln!(self.file, "{line}")?;
         self.file.flush()?;
         self.events += 1;
@@ -215,6 +233,7 @@ pub fn resolve_events(
                 .cloned()
                 .unwrap_or_else(|| format!("phase_{}", e.phase)),
             engine: engine.to_string(),
+            seq: e.seq,
         })
         .collect()
 }
@@ -273,6 +292,13 @@ pub enum JournalRecord {
         /// mismatch with the lines actually present marks truncation.
         events: usize,
     },
+    /// A syntactically valid line this build does not understand — an
+    /// unknown record type or event kind from a newer schema. Counted
+    /// by [`parse_rank_journal`] so readers can warn instead of dying.
+    Skipped {
+        /// What was unrecognized (for the warning message).
+        reason: String,
+    },
 }
 
 /// Parse one journal line (`ln` is its 1-based line number, used in
@@ -283,11 +309,13 @@ pub fn parse_line(raw: &str, ln: usize) -> Result<JournalRecord, JournalError> {
     match ty.as_str() {
         "header" => {
             let version = int_field(&line, "version", ln)? as i64;
-            if !(1..=SCHEMA_VERSION).contains(&version) {
+            if version < 1 {
                 return Err(JournalError::new(format!(
-                    "line {ln}: unsupported schema version {version} (expected 1..={SCHEMA_VERSION})"
+                    "line {ln}: unsupported schema version {version} (expected >= 1)"
                 )));
             }
+            // versions above SCHEMA_VERSION read best-effort: known
+            // fields parse, unknown records/kinds become Skipped lines
             Ok(JournalRecord::Header(JournalHeader {
                 version,
                 rank: int_field(&line, "rank", ln)? as usize,
@@ -298,9 +326,12 @@ pub fn parse_line(raw: &str, ln: usize) -> Result<JournalRecord, JournalError> {
         }
         "event" => {
             let kind_name = str_field(&line, "kind", ln)?;
-            let kind = EventKind::from_name(&kind_name).ok_or_else(|| {
-                JournalError::new(format!("line {ln}: unknown event kind `{kind_name}`"))
-            })?;
+            let Some(kind) = EventKind::from_name(&kind_name) else {
+                // an event kind from a newer schema: skip, don't die
+                return Ok(JournalRecord::Skipped {
+                    reason: format!("line {ln}: unknown event kind `{kind_name}`"),
+                });
+            };
             let peer = match field(&line, "peer", ln)? {
                 Value::Null => None,
                 v => Some(v.as_int().ok_or_else(|| {
@@ -321,14 +352,16 @@ pub fn parse_line(raw: &str, ln: usize) -> Result<JournalRecord, JournalError> {
                     .and_then(Value::as_str)
                     .unwrap_or("tree")
                     .to_string(),
+                // absent before version 3 and on collectives
+                seq: line.get("seq").and_then(Value::as_int).map(|s| s as u64),
             }))
         }
         "footer" => Ok(JournalRecord::Footer {
             events: int_field(&line, "events", ln)? as usize,
         }),
-        other => Err(JournalError::new(format!(
-            "line {ln}: unknown record type `{other}`"
-        ))),
+        other => Ok(JournalRecord::Skipped {
+            reason: format!("line {ln}: unknown record type `{other}`"),
+        }),
     }
 }
 
@@ -340,6 +373,7 @@ pub fn parse_rank_journal(text: &str) -> Result<RankJournal, JournalError> {
     let mut header: Option<JournalHeader> = None;
     let mut events = Vec::new();
     let mut complete = false;
+    let mut skipped = 0usize;
     for (i, raw) in text.lines().enumerate() {
         let ln = i + 1;
         if raw.trim().is_empty() {
@@ -348,7 +382,10 @@ pub fn parse_rank_journal(text: &str) -> Result<RankJournal, JournalError> {
         match parse_line(raw, ln)? {
             JournalRecord::Header(h) => header = Some(h),
             JournalRecord::Event(e) => events.push(e),
-            JournalRecord::Footer { events: n } => complete = n == events.len(),
+            // the footer counts *writer-side* events: lines this build
+            // skipped still count toward a matching footer
+            JournalRecord::Footer { events: n } => complete = n == events.len() + skipped,
+            JournalRecord::Skipped { .. } => skipped += 1,
             // `JournalRecord` is non-exhaustive for downstream crates;
             // record types this build doesn't know cannot parse above.
             #[allow(unreachable_patterns)]
@@ -360,6 +397,7 @@ pub fn parse_rank_journal(text: &str) -> Result<RankJournal, JournalError> {
         header,
         events,
         complete,
+        skipped,
     })
 }
 
@@ -415,6 +453,9 @@ pub struct MergedTrace {
     pub transport: String,
     /// Whether every rank's journal was complete (footer matched).
     pub complete: bool,
+    /// Total lines skipped by the forward-compat parser across all
+    /// ranks ([`RankJournal::skipped`] summed).
+    pub skipped: usize,
 }
 
 /// Merge per-rank journals into one timeline. Ranks journal against
@@ -510,6 +551,7 @@ fn merge_with_offsets(journals: &[RankJournal], offsets: &[Duration]) -> MergedT
                     elems: e.elems,
                     bytes: e.bytes,
                     phase,
+                    seq: e.seq,
                 }
             })
             .collect();
@@ -525,6 +567,7 @@ fn merge_with_offsets(journals: &[RankJournal], offsets: &[Duration]) -> MergedT
             .map(|j| j.header.transport.clone())
             .unwrap_or_default(),
         complete: journals.iter().all(|j| j.complete),
+        skipped: journals.iter().map(|j| j.skipped).sum(),
     }
 }
 
@@ -556,6 +599,10 @@ mod tests {
             bytes: 32,
             phase: phase.into(),
             engine: "tree".into(),
+            seq: match kind {
+                EventKind::Send | EventKind::Recv => Some(1),
+                _ => None,
+            },
         }
     }
 
@@ -571,6 +618,7 @@ mod tests {
                 elems: 0,
                 bytes: 0,
                 phase: 0,
+                seq: None,
             },
             TraceEvent {
                 kind: EventKind::Send,
@@ -580,6 +628,7 @@ mod tests {
                 elems: 10,
                 bytes: 80,
                 phase: 1,
+                seq: Some(7),
             },
         ];
         let names = vec!["main".to_string(), "sync_0".to_string()];
@@ -587,9 +636,11 @@ mod tests {
         let path = write_rank_journal(&dir, &h, &trace, &names, "kernel").unwrap();
         let parsed = parse_rank_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert!(parsed.complete);
+        assert_eq!(parsed.skipped, 0);
         assert_eq!(parsed.header, h);
         assert_eq!(parsed.events, resolve_events(&trace, &names, "kernel"));
         assert!(parsed.events.iter().all(|e| e.engine == "kernel"));
+        assert_eq!(parsed.events[1].seq, Some(7), "causality stamp survives");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -604,6 +655,7 @@ mod tests {
             elems: 2,
             bytes: 16,
             phase: 0,
+            seq: Some(1),
         }];
         let path =
             write_rank_journal(&dir, &header(0, 1), &trace, &["main".to_string()], "tree").unwrap();
@@ -617,15 +669,33 @@ mod tests {
     }
 
     #[test]
-    fn missing_header_and_bad_kind_are_errors() {
+    fn missing_header_and_garbage_are_errors() {
         assert!(parse_rank_journal("").is_err());
-        let bad = r#"{"type":"header","version":1,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}
-{"type":"event","kind":"teleport","start_ns":0,"end_ns":0,"peer":null,"elems":0,"bytes":0,"phase":"main"}"#;
-        let e = parse_rank_journal(bad).unwrap_err();
-        assert!(e.message.contains("teleport"), "{e}");
-        let wrong_version = r#"{"type":"header","version":99,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}"#;
-        let e = parse_rank_journal(wrong_version).unwrap_err();
+        assert!(parse_rank_journal("not json at all").is_err());
+        let negative_version = r#"{"type":"header","version":-1,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}"#;
+        let e = parse_rank_journal(negative_version).unwrap_err();
         assert!(e.message.contains("version"), "{e}");
+    }
+
+    #[test]
+    fn newer_schema_lines_are_skipped_and_counted() {
+        // a version-99 journal with one known event, one unknown event
+        // kind, and one unknown record type: the known event survives,
+        // the other two are counted, and the footer (which counts all
+        // three writer-side lines) still marks the journal complete
+        let future = r#"{"type":"header","version":99,"rank":0,"ranks":1,"transport":"inproc","epoch_unix_ns":0}
+{"type":"event","kind":"compute","start_ns":0,"end_ns":10,"peer":null,"elems":0,"bytes":0,"phase":"main","novel_field":42}
+{"type":"event","kind":"teleport","start_ns":10,"end_ns":20,"peer":null,"elems":0,"bytes":0,"phase":"main"}
+{"type":"gpu_counter","value":7}
+{"type":"footer","events":3}"#;
+        let parsed = parse_rank_journal(future).unwrap();
+        assert_eq!(parsed.header.version, 99);
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.events[0].kind, EventKind::Compute);
+        assert_eq!(parsed.skipped, 2);
+        assert!(parsed.complete, "skipped lines count toward the footer");
+        let merged = merge(&[parsed]);
+        assert_eq!(merged.skipped, 2, "merge surfaces the skip count");
     }
 
     #[test]
@@ -638,6 +708,7 @@ mod tests {
         let parsed = parse_rank_journal(v1).unwrap();
         assert!(parsed.complete);
         assert_eq!(parsed.events[0].engine, "tree");
+        assert_eq!(parsed.events[0].seq, None, "pre-v3 events carry no seq");
     }
 
     #[test]
@@ -648,11 +719,13 @@ mod tests {
             header: header(0, 1_000_000_000),
             events: vec![event(EventKind::Send, 0, 0, "sync_0")],
             complete: true,
+            skipped: 0,
         };
         let j1 = RankJournal {
             header: header(1, 1_000_100_000),
             events: vec![event(EventKind::Recv, 0, 30, "sync_0")],
             complete: true,
+            skipped: 0,
         };
         let merged = merge(&[j0, j1]);
         assert_eq!(merged.traces[0][0].start, Duration::from_micros(0));
@@ -676,6 +749,7 @@ mod tests {
                 event(EventKind::Barrier, 100, 130, "sync_0"),
             ],
             complete: true,
+            skipped: 0,
         };
         let j1 = RankJournal {
             header: header(1, 5_001_000_000_000),
@@ -684,6 +758,7 @@ mod tests {
                 event(EventKind::Barrier, 100, 130, "sync_0"),
             ],
             complete: true,
+            skipped: 0,
         };
         let epoch = merge(&[j0.clone(), j1.clone()]);
         // wall-clock merge pushes rank 1 ~5 s into the future
@@ -703,11 +778,13 @@ mod tests {
             header: header(0, 0),
             events: vec![event(EventKind::Barrier, 100, 130, "sync_0")],
             complete: true,
+            skipped: 0,
         };
         let j1 = RankJournal {
             header: header(1, 0),
             events: vec![event(EventKind::Barrier, 140, 170, "sync_0")],
             complete: true,
+            skipped: 0,
         };
         let aligned = merge_marker_aligned(&[j0, j1]);
         assert_eq!(aligned.traces[0][0].end, Duration::from_micros(170));
@@ -722,11 +799,13 @@ mod tests {
             header: header(0, 1_000),
             events: vec![event(EventKind::Compute, 0, 10, "main")],
             complete: true,
+            skipped: 0,
         };
         let j1 = RankJournal {
             header: header(1, 2_000),
             events: vec![event(EventKind::Compute, 0, 10, "main")],
             complete: true,
+            skipped: 0,
         };
         let aligned = merge_marker_aligned(&[j0.clone(), j1.clone()]);
         assert_eq!(aligned, merge(&[j0, j1]));
@@ -799,9 +878,11 @@ mod proptests {
                             bytes: i * 8,
                             phase: format!("phase_{}", phases[i]),
                             engine: "tree".into(),
+                            seq: None,
                         })
                         .collect(),
                     complete: true,
+                    skipped: 0,
                 })
                 .collect();
             let base = *epochs.iter().min().unwrap() as i128;

@@ -43,6 +43,7 @@ pub mod error;
 pub mod export;
 pub mod inproc;
 pub mod journal;
+pub mod telemetry;
 pub mod trace;
 pub mod transport;
 
@@ -62,6 +63,10 @@ pub use journal::{
     epoch_unix_ns, load_trace_dir, merge, merge_marker_aligned, parse_line, parse_rank_journal,
     write_rank_journal, JournalError, JournalEvent, JournalHeader, JournalRecord, JournalWriter,
     MergedTrace, RankJournal, SCHEMA_VERSION,
+};
+pub use telemetry::{
+    encode_stat_frame, parse_stat_frame, read_spool, spool_path, PeerTraffic, StatFrame,
+    TelemetryBus, TelemetryConfig, TelemetrySink, DEFAULT_TELEMETRY_INTERVAL, TELEMETRY_SCHEMA,
 };
 pub use trace::{
     render_timeline, render_wire_table, summarize, wire_by_phase, wire_bytes, EventKind, Recorder,

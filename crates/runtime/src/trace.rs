@@ -80,6 +80,12 @@ pub struct TraceEvent {
     /// [`crate::Comm::phase_names`]) identifying the program phase this
     /// event ran in.
     pub phase: u32,
+    /// Cross-rank causality stamp. For sends: this message's
+    /// per-endpoint sequence number. For receives: the *sender's*
+    /// sequence number, so `(peer, seq)` pairs the receive with exactly
+    /// one send event on the peer's trace. `None` for collectives,
+    /// compute spans, and events recorded before stamping existed.
+    pub seq: Option<u64>,
 }
 
 impl TraceEvent {
@@ -310,6 +316,7 @@ mod tests {
             elems,
             bytes: elems * 8,
             phase,
+            seq: None,
         }
     }
 

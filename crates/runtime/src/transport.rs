@@ -80,6 +80,12 @@ pub struct SendRequest {
     pub tag: u64,
     /// Wire bytes enqueued at post time.
     pub wire_bytes: usize,
+    /// Per-sender monotonic sequence number stamped on the message
+    /// (first send is 1; 0 means the backend does not stamp). Together
+    /// with the sending rank this forms the causality span id that the
+    /// matching receive records, letting the exporter draw send→recv
+    /// flow edges and the advisor measure the cross-rank critical path.
+    pub seq: u64,
 }
 
 /// Handle for a posted nonblocking receive ([`Transport::irecv`]).
@@ -96,8 +102,9 @@ pub struct RecvRequest {
     pub from: usize,
     /// Tag to match.
     pub tag: u64,
-    /// Payload cached by an early completion (`test_recv`).
-    done: Option<(Vec<f64>, usize)>,
+    /// Payload cached by an early completion (`test_recv`):
+    /// `(payload, wire_bytes, sender_seq)`.
+    done: Option<(Vec<f64>, usize, u64)>,
 }
 
 impl RecvRequest {
@@ -116,14 +123,15 @@ impl RecvRequest {
     }
 
     /// Store an early-completed payload (used by backends from
-    /// `test_recv`). Panics if the request is already complete.
-    pub fn complete(&mut self, payload: Vec<f64>, wire_bytes: usize) {
+    /// `test_recv`); `seq` is the sender's sequence stamp (0 = none).
+    /// Panics if the request is already complete.
+    pub fn complete(&mut self, payload: Vec<f64>, wire_bytes: usize, seq: u64) {
         assert!(self.done.is_none(), "receive request completed twice");
-        self.done = Some((payload, wire_bytes));
+        self.done = Some((payload, wire_bytes, seq));
     }
 
     /// Take the cached payload out of the handle, if any.
-    pub fn take_done(&mut self) -> Option<(Vec<f64>, usize)> {
+    pub fn take_done(&mut self) -> Option<(Vec<f64>, usize, u64)> {
         self.done.take()
     }
 }
@@ -168,14 +176,15 @@ pub trait Transport: Send {
     }
 
     /// Block until the receive posted as `req` completes (or `timeout`
-    /// expires), returning the payload and its wire size. If
+    /// expires), returning the payload, its wire size, and the sender's
+    /// sequence stamp (0 when the backend does not stamp). If
     /// [`Transport::test_recv`] already completed the request, the
     /// cached payload is returned without blocking.
     fn wait_recv(
         &self,
         req: RecvRequest,
         timeout: Duration,
-    ) -> Result<(Vec<f64>, usize), CommError>;
+    ) -> Result<(Vec<f64>, usize, u64), CommError>;
 
     /// Poll a receive request without blocking. Returns `Ok(true)` once
     /// the matching message has arrived (the payload is cached in the
@@ -191,7 +200,7 @@ pub trait Transport: Send {
         &self,
         reqs: Vec<RecvRequest>,
         timeout: Duration,
-    ) -> Result<Vec<(Vec<f64>, usize)>, CommError> {
+    ) -> Result<Vec<(Vec<f64>, usize, u64)>, CommError> {
         reqs.into_iter()
             .map(|req| self.wait_recv(req, timeout))
             .collect()
@@ -229,6 +238,23 @@ pub trait Transport: Send {
     /// Release wire resources (close sockets, join I/O threads). Called
     /// once when the rank finishes; the default is a no-op.
     fn shutdown(&self) {}
+
+    /// Offer a telemetry stat frame (one JSON line, see
+    /// [`crate::telemetry`]) to the backend's side channel. Must never
+    /// block: backends either enqueue with drop-on-full semantics (TCP
+    /// piggybacks on the heartbeat write queues) or store the frame in a
+    /// shared slot (in-process). Returns `true` if the frame was taken
+    /// by at least one peer channel; the default discards it.
+    fn publish_telemetry(&self, _frame_json: &str) -> bool {
+        false
+    }
+
+    /// The latest telemetry frame received *from* `peer` over the side
+    /// channel, as its JSON line. Backends without a telemetry channel
+    /// return `None`.
+    fn peer_telemetry(&self, _peer: usize) -> Option<String> {
+        None
+    }
 }
 
 /// What a backend's delivery path feeds into a [`MatchingInbox`].
@@ -245,6 +271,8 @@ pub enum InboxMsg {
         payload: Vec<f64>,
         /// Wire footprint of this message.
         wire_bytes: usize,
+        /// Sender's per-endpoint sequence stamp (0 = unstamped).
+        seq: u64,
     },
     /// The connection to `peer` is gone; no further messages from it can
     /// arrive. `detail` says how it died ("connection reset", ...).
@@ -256,8 +284,8 @@ pub enum InboxMsg {
     },
 }
 
-/// A parked message: `(from, tag, payload, wire_bytes)`.
-type ParkedMsg = (usize, u64, Vec<f64>, usize);
+/// A parked message: `(from, tag, payload, wire_bytes, seq)`.
+type ParkedMsg = (usize, u64, Vec<f64>, usize, u64);
 
 /// Tag-matching receive logic shared by inbox-style backends.
 ///
@@ -287,13 +315,13 @@ impl MatchingInbox {
     }
 
     /// Take the first parked message matching `(from, tag)`.
-    fn take_parked(&self, from: usize, tag: u64) -> Option<(Vec<f64>, usize)> {
+    fn take_parked(&self, from: usize, tag: u64) -> Option<(Vec<f64>, usize, u64)> {
         let mut parked = self.parked.lock();
         let idx = parked
             .iter()
-            .position(|(f, t, _, _)| *f == from && *t == tag)?;
-        let (_, _, payload, wire) = parked.remove(idx).expect("index from position");
-        Some((payload, wire))
+            .position(|(f, t, _, _, _)| *f == from && *t == tag)?;
+        let (_, _, payload, wire, seq) = parked.remove(idx).expect("index from position");
+        Some((payload, wire, seq))
     }
 
     /// Move every message already sitting in the channel into the parked
@@ -312,10 +340,11 @@ impl MatchingInbox {
                 tag,
                 payload,
                 wire_bytes,
+                seq,
             } => self
                 .parked
                 .lock()
-                .push_back((from, tag, payload, wire_bytes)),
+                .push_back((from, tag, payload, wire_bytes, seq)),
             InboxMsg::PeerGone { peer, detail } => {
                 self.gone.lock().entry(peer).or_insert(detail);
             }
@@ -334,7 +363,7 @@ impl MatchingInbox {
         from: usize,
         tag: u64,
         timeout: Duration,
-    ) -> Result<(Vec<f64>, usize), CommError> {
+    ) -> Result<(Vec<f64>, usize, u64), CommError> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(found) = self.take_parked(from, tag) {
@@ -371,7 +400,11 @@ impl MatchingInbox {
     /// the contract. Returns the matched payload if one is available
     /// now, `None` if the caller should poll again later, and an error
     /// once the peer is known dead with nothing left to drain.
-    pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<(Vec<f64>, usize)>, CommError> {
+    pub fn try_recv(
+        &self,
+        from: usize,
+        tag: u64,
+    ) -> Result<Option<(Vec<f64>, usize, u64)>, CommError> {
         if let Some(found) = self.take_parked(from, tag) {
             return Ok(Some(found));
         }
@@ -403,6 +436,7 @@ mod tests {
             tag: 7,
             payload: vec![1.0],
             wire_bytes: 8,
+            seq: 1,
         })
         .unwrap();
         tx.send(InboxMsg::Data {
@@ -410,6 +444,7 @@ mod tests {
             tag: 5,
             payload: vec![2.0],
             wire_bytes: 8,
+            seq: 1,
         })
         .unwrap();
         // Ask for tag 5 first: tag 7 must be parked, not lost.
@@ -427,6 +462,7 @@ mod tests {
                 tag: 1,
                 payload: vec![v],
                 wire_bytes: 8,
+                seq: 1,
             })
             .unwrap();
         }
@@ -453,6 +489,7 @@ mod tests {
             tag: 9,
             payload: vec![4.0],
             wire_bytes: 8,
+            seq: 1,
         })
         .unwrap();
         tx.send(InboxMsg::PeerGone {
@@ -487,6 +524,7 @@ mod tests {
             tag: 1,
             payload: vec![5.0],
             wire_bytes: 8,
+            seq: 1,
         })
         .unwrap();
         assert_eq!(inbox.recv(2, 1, T).unwrap().0, vec![5.0]);
@@ -503,6 +541,7 @@ mod tests {
             tag: 3,
             payload: vec![6.0],
             wire_bytes: 8,
+            seq: 1,
         })
         .unwrap();
         assert_eq!(inbox.try_recv(1, 3).unwrap().unwrap().0, vec![6.0]);
@@ -519,6 +558,7 @@ mod tests {
             tag: 2,
             payload: vec![7.0],
             wire_bytes: 8,
+            seq: 1,
         })
         .unwrap();
         tx.send(InboxMsg::PeerGone {

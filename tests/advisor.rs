@@ -38,6 +38,7 @@ fn compute(start: Duration, end: Duration, phase: &str) -> JournalEvent {
         bytes: 0,
         phase: phase.into(),
         engine: "tree".into(),
+        seq: None,
     }
 }
 
@@ -51,6 +52,7 @@ fn recv(start: Duration, end: Duration, peer: usize, elems: usize, phase: &str) 
         bytes: elems * 8,
         phase: phase.into(),
         engine: "tree".into(),
+        seq: Some(1),
     }
 }
 
@@ -77,6 +79,7 @@ fn skewed_journals() -> Vec<RankJournal> {
                     bytes: 8,
                     phase: "reduce_res".into(),
                     engine: "tree".into(),
+                    seq: None,
                 },
             ];
             RankJournal {
@@ -89,6 +92,7 @@ fn skewed_journals() -> Vec<RankJournal> {
                 },
                 events,
                 complete: true,
+                skipped: 0,
             }
         })
         .collect()
